@@ -1,0 +1,86 @@
+// Design ablation (paper §4): the cost of requiring aligned partitioning,
+// and lazy vs eager introduction of aligned candidate variants during
+// enumeration.
+//
+// Paper claim: alignment constrains the search space (quality can drop
+// slightly vs unconstrained), and lazy introduction of aligned variants
+// keeps enumeration scalable where eager expansion blows up the candidate
+// set.
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "dta/tuning_session.h"
+#include "workloads/tpch.h"
+
+namespace dta {
+namespace {
+
+std::unique_ptr<server::Server> MakeServer() {
+  auto s = std::make_unique<server::Server>("prod",
+                                            optimizer::HardwareParams());
+  Status st = workloads::AttachTpch(s.get(), 1.0, false, 7);
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  return s;
+}
+
+struct RunResult {
+  double quality = 0;
+  double time_ms = 0;
+  size_t evaluations = 0;
+  bool aligned = false;
+};
+
+RunResult Run(bool require_alignment, bool lazy) {
+  RunResult out;
+  auto server = MakeServer();
+  workload::Workload w = workloads::TpchQueries(7);
+  tuner::TuningOptions opts;
+  opts.tune_materialized_views = false;  // isolate index/partition interplay
+  opts.require_alignment = require_alignment;
+  opts.lazy_alignment = lazy;
+  tuner::TuningSession session(server.get(), opts);
+  auto r = session.Tune(w);
+  if (!r.ok()) {
+    std::fprintf(stderr, "tune: %s\n", r.status().ToString().c_str());
+    return out;
+  }
+  out.quality = r->ImprovementPercent();
+  out.time_ms = r->tuning_time_ms;
+  out.evaluations = r->enumeration_evaluations;
+  out.aligned = r->recommendation.IsFullyAligned();
+  return out;
+}
+
+}  // namespace
+}  // namespace dta
+
+int main() {
+  using namespace dta;
+  bench::Banner("Ablation: alignment constraint and lazy vs eager variants");
+
+  bench::TablePrinter t({"Mode", "Quality", "Enum evaluations",
+                         "Tuning time (s)", "Aligned"});
+  RunResult unconstrained = Run(false, true);
+  RunResult lazy = Run(true, true);
+  RunResult eager = Run(true, false);
+  t.AddRow({"unconstrained", StrFormat("%.1f%%", unconstrained.quality),
+            StrFormat("%zu", unconstrained.evaluations),
+            StrFormat("%.2f", unconstrained.time_ms / 1000.0),
+            unconstrained.aligned ? "yes" : "no"});
+  t.AddRow({"aligned (lazy)", StrFormat("%.1f%%", lazy.quality),
+            StrFormat("%zu", lazy.evaluations),
+            StrFormat("%.2f", lazy.time_ms / 1000.0),
+            lazy.aligned ? "yes" : "no"});
+  t.AddRow({"aligned (eager)", StrFormat("%.1f%%", eager.quality),
+            StrFormat("%zu", eager.evaluations),
+            StrFormat("%.2f", eager.time_ms / 1000.0),
+            eager.aligned ? "yes" : "no"});
+  t.Print();
+  std::printf(
+      "\nExpected shape: aligned recommendations are aligned; lazy and "
+      "eager reach comparable quality but eager pays for a larger "
+      "candidate pool (more enumeration evaluations); the alignment "
+      "constraint restricts the search space, so unconstrained quality is "
+      "typically at least as good.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Component micro-benchmarks (google-benchmark): parser, signatures,
+// histogram construction and estimation, what-if optimizer calls, workload
+// compression, Greedy(m,k), and XML round trips.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/strings.h"
+#include "dta/greedy.h"
+#include "dta/xml_schema.h"
+#include "sql/parser.h"
+#include "sql/signature.h"
+#include "stats/builder.h"
+#include "storage/datagen.h"
+#include "workload/compression.h"
+#include "workloads/tpch.h"
+
+namespace dta {
+namespace {
+
+const char* kJoinQuery =
+    "SELECT o_custkey, SUM(l_extendedprice * (1 - l_discount)) FROM "
+    "customer, orders, lineitem WHERE c_custkey = o_custkey AND l_orderkey "
+    "= o_orderkey AND o_orderdate < '1995-03-15' AND l_shipdate > "
+    "'1995-03-15' GROUP BY o_custkey ORDER BY o_custkey";
+
+void BM_ParseStatement(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = sql::ParseStatement(kJoinQuery);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseStatement);
+
+void BM_SignatureHash(benchmark::State& state) {
+  auto stmt = sql::ParseStatement(kJoinQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::SignatureHash(*stmt));
+  }
+}
+BENCHMARK(BM_SignatureHash);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Random rng(1);
+  std::vector<sql::Value> values;
+  for (int i = 0; i < state.range(0); ++i) {
+    values.push_back(sql::Value::Int(rng.Uniform(0, 100000)));
+  }
+  for (auto _ : state) {
+    auto h = stats::Histogram::Build(values, 1.0);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HistogramBuild)->Arg(1000)->Arg(50000);
+
+void BM_HistogramEstimate(benchmark::State& state) {
+  Random rng(1);
+  std::vector<sql::Value> values;
+  for (int i = 0; i < 50000; ++i) {
+    values.push_back(sql::Value::Int(rng.Uniform(0, 100000)));
+  }
+  auto h = stats::Histogram::Build(std::move(values), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.EstimateRange(
+        sql::Value::Int(1000), true, sql::Value::Int(60000), false));
+  }
+}
+BENCHMARK(BM_HistogramEstimate);
+
+// What-if optimizer call on the TPC-H catalog (metadata-only, SF 1).
+class WhatIfFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (server_ != nullptr) return;
+    server_ = std::make_unique<server::Server>(
+        "prod", optimizer::HardwareParams());
+    Status st = workloads::AttachTpch(server_.get(), 1.0, false, 7);
+    (void)st;
+    stmt_ = std::make_unique<sql::Statement>(
+        std::move(sql::ParseStatement(kJoinQuery)).value());
+    config_ = workloads::TpchRawConfiguration();
+    catalog::IndexDef ix;
+    ix.table = "lineitem";
+    ix.key_columns = {"l_shipdate"};
+    ix.included_columns = {"l_extendedprice", "l_discount", "l_orderkey"};
+    Status s2 = config_.AddIndex(std::move(ix));
+    (void)s2;
+  }
+  static std::unique_ptr<server::Server> server_;
+  static std::unique_ptr<sql::Statement> stmt_;
+  static catalog::Configuration config_;
+};
+std::unique_ptr<server::Server> WhatIfFixture::server_;
+std::unique_ptr<sql::Statement> WhatIfFixture::stmt_;
+catalog::Configuration WhatIfFixture::config_;
+
+BENCHMARK_F(WhatIfFixture, WhatIfCostJoinQuery)(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = server_->WhatIfCost(*stmt_, config_);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_WorkloadCompression(benchmark::State& state) {
+  Random rng(3);
+  workload::Workload w;
+  for (int i = 0; i < state.range(0); ++i) {
+    auto stmt = sql::ParseStatement(StrFormat(
+        "SELECT a FROM t%d WHERE k = %lld", i % 20,
+        static_cast<long long>(rng.Uniform(1, 100000))));
+    w.Add(std::move(stmt).value());
+  }
+  for (auto _ : state) {
+    auto c = workload::CompressWorkload(w);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_WorkloadCompression)->Arg(1000)->Arg(5000);
+
+void BM_GreedySearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto eval = [n](const std::vector<size_t>& subset) -> Result<double> {
+    double cost = 1000;
+    for (size_t i : subset) {
+      cost -= 100.0 / (1.0 + static_cast<double>(i));
+    }
+    return cost;
+  };
+  for (auto _ : state) {
+    auto r = tuner::GreedySearch(n, 1, 10, 1000, eval);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GreedySearch)->Arg(32)->Arg(128);
+
+void BM_XmlConfigurationRoundTrip(benchmark::State& state) {
+  catalog::Configuration config = workloads::TpchRawConfiguration();
+  for (auto _ : state) {
+    auto elem = tuner::ConfigurationToXml(config);
+    auto parsed = tuner::ConfigurationFromXml(*elem);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_XmlConfigurationRoundTrip);
+
+}  // namespace
+}  // namespace dta
+
+BENCHMARK_MAIN();

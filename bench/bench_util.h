@@ -1,0 +1,75 @@
+// Shared helpers for the paper-reproduction bench binaries: simple table
+// printing and environment-based scale knobs.
+//
+// Every bench accepts the environment variable DTA_BENCH_SCALE:
+//   DTA_BENCH_SCALE=full   — paper-scale workloads (slow but faithful)
+//   (unset / anything else) — reduced scale with the same shapes
+
+#ifndef DTA_BENCH_BENCH_UTIL_H_
+#define DTA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dta::bench {
+
+inline bool FullScale() {
+  const char* v = std::getenv("DTA_BENCH_SCALE");
+  return v != nullptr && std::strcmp(v, "full") == 0;
+}
+
+// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths_[i] = headers_[i].size();
+    }
+  }
+
+  void AddRow(std::vector<std::string> row) {
+    for (size_t i = 0; i < row.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], row[i].size());
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string sep;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+      if (i + 1 < headers_.size()) sep += "+";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& row) const {
+    std::string line;
+    for (size_t i = 0; i < widths_.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      line += " " + cell + std::string(widths_[i] - cell.size() + 1, ' ');
+      if (i + 1 < widths_.size()) line += "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace dta::bench
+
+#endif  // DTA_BENCH_BENCH_UTIL_H_

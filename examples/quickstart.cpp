@@ -1,0 +1,133 @@
+// Quickstart: create a server with a small database, capture a workload,
+// run the Database Tuning Advisor, and inspect the recommendation.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "dta/tuning_session.h"
+#include "sql/parser.h"
+#include "dta/xml_schema.h"
+#include "server/server.h"
+#include "storage/datagen.h"
+#include "workload/workload.h"
+
+using namespace dta;
+
+int main() {
+  // ---- 1. A server with one database: an orders table with real data.
+  server::Server prod("prod", optimizer::HardwareParams());
+
+  catalog::TableSchema orders(
+      "orders", {{"o_id", catalog::ColumnType::kInt, 8},
+                 {"o_customer", catalog::ColumnType::kInt, 8},
+                 {"o_date", catalog::ColumnType::kString, 10},
+                 {"o_amount", catalog::ColumnType::kDouble, 8}});
+  orders.set_row_count(200000);
+  orders.SetPrimaryKey({"o_id"});
+
+  catalog::Database db("shop");
+  if (Status s = db.AddTable(orders); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = prod.AttachDatabase(std::move(db)); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  Random rng(7);
+  storage::TableGenSpec spec;
+  spec.schema = orders;
+  spec.column_specs = {storage::ColumnSpec::Sequential(),
+                       storage::ColumnSpec::ZipfInt(1, 5000, 0.7),
+                       storage::ColumnSpec::Date("2003-01-01", 900),
+                       storage::ColumnSpec::UniformReal(5, 2000)};
+  spec.rows = 200000;
+  auto data = storage::GenerateTable(spec, &rng);
+  if (!data.ok() ||
+      !prod.AttachTableData("shop", std::move(data).value()).ok()) {
+    std::fprintf(stderr, "data generation failed\n");
+    return 1;
+  }
+
+  // The current physical design: just the primary-key constraint index.
+  catalog::Configuration raw;
+  (void)raw.AddIndex({.table = "orders",
+                      .key_columns = {"o_id"},
+                      .constraint_enforcing = true});
+  (void)prod.ImplementConfiguration(raw);
+
+  // ---- 2. A workload, as a SQL script (a profiler trace would do too).
+  auto workload = workload::Workload::FromScript(
+      "SELECT o_amount FROM orders WHERE o_customer = 42;"
+      "SELECT o_amount FROM orders WHERE o_customer = 17;"
+      "SELECT o_customer, SUM(o_amount), COUNT(*) FROM orders "
+      "  WHERE o_date >= '2004-01-01' GROUP BY o_customer;"
+      "SELECT o_id, o_amount FROM orders WHERE o_date BETWEEN "
+      "  '2004-06-01' AND '2004-06-30' ORDER BY o_id;"
+      "UPDATE orders SET o_amount = 99.5 WHERE o_id = 31337;");
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- 3. Tune. Options select the feature set and constraints.
+  tuner::TuningOptions options;
+  options.storage_bytes = 64ull * 1024 * 1024;  // at most 64 MB of indexes
+
+  tuner::TuningSession session(&prod, options);
+  auto result = session.Tune(*workload);
+  if (!result.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- 4. Inspect the recommendation.
+  std::printf("Expected improvement: %.1f%% (cost %.2f -> %.2f)\n",
+              result->ImprovementPercent(), result->current_cost,
+              result->recommended_cost);
+  std::printf("Recommended structures:\n");
+  for (const auto& ix : result->recommendation.indexes()) {
+    if (!ix.constraint_enforcing) {
+      std::printf("  CREATE %sINDEX ON %s\n",
+                  ix.clustered ? "CLUSTERED " : "",
+                  ix.CanonicalName().c_str());
+    }
+  }
+  for (const auto& v : result->recommendation.views()) {
+    std::printf("  CREATE MATERIALIZED VIEW %s\n", v.CanonicalName().c_str());
+  }
+  for (const auto& [table, scheme] :
+       result->recommendation.table_partitioning()) {
+    std::printf("  PARTITION %s BY %s\n", table.c_str(),
+                scheme.CanonicalString().c_str());
+  }
+  std::printf("\nPer-statement report:\n%s\n",
+              result->report.ToText().c_str());
+
+  // ---- 5. Implement it and actually run a query.
+  (void)prod.ImplementConfiguration(result->recommendation);
+  auto stmt = sql::ParseStatement(
+      "SELECT o_amount FROM orders WHERE o_customer = 42");
+  double elapsed = 0;
+  auto rows = prod.ExecuteSelect(stmt->select(), &elapsed);
+  if (rows.ok()) {
+    std::printf("Query under recommended design: %zu rows in %.2f ms\n",
+                rows->rows.size(), elapsed);
+  }
+
+  // ---- 6. Everything is scriptable via the public XML schema (§6.1).
+  tuner::TuningInput input;
+  input.server_name = prod.name();
+  input.workload = std::move(*workload);
+  input.options = options;
+  std::string doc =
+      tuner::TuningOutputToXml(input, result->recommendation, result->report);
+  std::printf("\nDTAXML output document: %zu bytes (see dta/xml_schema.h)\n",
+              doc.size());
+  return 0;
+}

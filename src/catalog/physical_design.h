@@ -1,0 +1,158 @@
+// Physical design objects: range partitioning schemes, indexes, materialized
+// views, and complete configurations.
+//
+// A `Configuration` is the unit the what-if optimizer consumes (paper §2.2):
+// it fully describes the hypothetical physical design of all tables —
+// clustered index / heap, nonclustered indexes, materialized views, and
+// single-column range partitioning of tables, indexes and views.
+//
+// All objects are value types with cheap copies (view definitions are shared
+// immutable pointers) because DTA's search copies configurations heavily.
+
+#ifndef DTA_CATALOG_PHYSICAL_DESIGN_H_
+#define DTA_CATALOG_PHYSICAL_DESIGN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/value.h"
+
+namespace dta::catalog {
+
+// Single-column horizontal range partitioning (SQL Server 2005 model).
+// `boundaries` are sorted split points; N boundaries define N+1 partitions
+// (right-open ranges: partition i holds values in [b[i-1], b[i])).
+struct PartitionScheme {
+  std::string column;
+  std::vector<sql::Value> boundaries;
+
+  int PartitionCount() const {
+    return static_cast<int>(boundaries.size()) + 1;
+  }
+  // 0-based partition index for a value.
+  int PartitionFor(const sql::Value& v) const;
+
+  bool operator==(const PartitionScheme& other) const;
+  // Stable content string, e.g. "p(ship_date:[d1,d2,d3])".
+  std::string CanonicalString() const;
+};
+
+// An index (clustered or nonclustered, optionally covering via included
+// columns, optionally partitioned).
+struct IndexDef {
+  std::string database;  // optional qualifier
+  std::string table;
+  std::vector<std::string> key_columns;
+  std::vector<std::string> included_columns;
+  bool clustered = false;
+  // Enforces a primary-key/unique constraint; such indexes are never dropped
+  // by DTA and are part of the "raw" configuration (paper §7.1).
+  bool constraint_enforcing = false;
+  std::optional<PartitionScheme> partitioning;
+
+  // Content-derived identity. Two IndexDefs with equal canonical names are
+  // interchangeable.
+  std::string CanonicalName() const;
+  bool operator==(const IndexDef& other) const {
+    return CanonicalName() == other.CanonicalName();
+  }
+
+  // True if `column` appears in the key or included list.
+  bool ContainsColumn(std::string_view column) const;
+  // Number of key columns that prefix-match `columns` starting at the key's
+  // first column.
+  int KeyPrefixMatch(const std::vector<std::string>& columns) const;
+
+  // Additional storage the index consumes, beyond the base table.
+  // Clustered indexes are non-redundant (they reorganize the heap) and cost
+  // ~0 additional bytes; nonclustered leaf size is estimated from column
+  // widths with a fill-factor allowance.
+  uint64_t EstimateBytes(const TableSchema& schema) const;
+  // Leaf pages of this index (for scan costing). For a clustered index this
+  // is the table's data pages.
+  uint64_t LeafPages(const TableSchema& schema) const;
+  // Bytes of one leaf row.
+  int LeafRowBytes(const TableSchema& schema) const;
+};
+
+// A materialized view over an SPJ(+GROUP BY) select statement, optionally
+// with a clustered key and partitioning.
+struct ViewDef {
+  std::string name;
+  std::shared_ptr<const sql::SelectStatement> definition;
+  // Tables referenced by the definition (normalized names), for relevance
+  // and update-cost analysis.
+  std::vector<std::string> referenced_tables;
+  // Filled by the candidate generator using the cardinality estimator.
+  double estimated_rows = 0;
+  int estimated_row_bytes = 64;
+  // Optional clustered key (column aliases of the view output).
+  std::vector<std::string> clustered_key;
+  std::optional<PartitionScheme> partitioning;  // over an output column
+
+  std::string CanonicalName() const;
+  bool operator==(const ViewDef& other) const {
+    return CanonicalName() == other.CanonicalName();
+  }
+  uint64_t EstimateBytes() const;
+};
+
+// A complete physical design.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  // Adds an index; replaces nothing. Fails if an equal index exists or a
+  // second clustered index is added for the same table.
+  Status AddIndex(IndexDef index);
+  Status AddView(ViewDef view);
+  void SetTablePartitioning(const std::string& table, PartitionScheme scheme);
+  void ClearTablePartitioning(const std::string& table);
+
+  // Removes the structure with the given canonical name (index or view).
+  bool RemoveStructure(const std::string& canonical_name);
+  bool ContainsStructure(const std::string& canonical_name) const;
+
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+  const std::vector<ViewDef>& views() const { return views_; }
+  const std::map<std::string, PartitionScheme>& table_partitioning() const {
+    return table_partitioning_;
+  }
+
+  // nullptr if the table is a heap under this configuration.
+  const IndexDef* FindClusteredIndex(std::string_view table) const;
+  // Partitioning of the table, if any.
+  const PartitionScheme* FindTablePartitioning(std::string_view table) const;
+  std::vector<const IndexDef*> IndexesOnTable(std::string_view table) const;
+  std::vector<const ViewDef*> ViewsReferencing(std::string_view table) const;
+
+  // Additional storage consumed by all redundant structures.
+  uint64_t EstimateBytes(const Catalog& catalog) const;
+
+  // Alignment (paper §4): every index on `table` partitioned identically to
+  // the table itself.
+  bool IsAligned(std::string_view table) const;
+  bool IsFullyAligned() const;
+
+  // Deterministic content string covering every structure; used as a cache
+  // key component for what-if calls.
+  std::string Fingerprint() const;
+
+  size_t StructureCount() const { return indexes_.size() + views_.size(); }
+
+ private:
+  std::vector<IndexDef> indexes_;
+  std::vector<ViewDef> views_;
+  std::map<std::string, PartitionScheme> table_partitioning_;
+};
+
+}  // namespace dta::catalog
+
+#endif  // DTA_CATALOG_PHYSICAL_DESIGN_H_

@@ -1,0 +1,143 @@
+#include "catalog/schema.h"
+
+#include "common/strings.h"
+
+namespace dta::catalog {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<ColumnType> ColumnTypeFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "int") return ColumnType::kInt;
+  if (lower == "double") return ColumnType::kDouble;
+  if (lower == "string") return ColumnType::kString;
+  return Status::InvalidArgument(StrFormat("unknown column type '%s'",
+                                           lower.c_str()));
+}
+
+TableSchema::TableSchema(std::string name, std::vector<Column> columns)
+    : name_(ToLower(name)), columns_(std::move(columns)) {
+  for (Column& c : columns_) c.name = ToLower(c.name);
+}
+
+void TableSchema::SetPrimaryKey(const std::vector<std::string>& key_columns) {
+  primary_key_.clear();
+  for (const std::string& name : key_columns) {
+    int idx = ColumnIndex(name);
+    if (idx >= 0) primary_key_.push_back(idx);
+  }
+}
+
+int TableSchema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int TableSchema::RowBytes() const {
+  int bytes = kRowHeaderBytes;
+  for (const Column& c : columns_) bytes += c.width_bytes;
+  return bytes;
+}
+
+uint64_t TableSchema::DataPages() const {
+  uint64_t bytes = DataBytes();
+  return (bytes + kPageBytes - 1) / kPageBytes;
+}
+
+Database::Database(std::string name) : name_(ToLower(name)) {}
+
+Status Database::AddTable(TableSchema table) {
+  std::string key = table.name();
+  auto [it, inserted] = tables_.emplace(key, std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("table '%s' already exists in database '%s'", key.c_str(),
+                  name_.c_str()));
+  }
+  return Status::Ok();
+}
+
+const TableSchema* Database::FindTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  return it != tables_.end() ? &it->second : nullptr;
+}
+
+TableSchema* Database::FindTableMutable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  return it != tables_.end() ? &it->second : nullptr;
+}
+
+uint64_t Database::TotalDataBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.DataBytes();
+  return total;
+}
+
+Status Catalog::AddDatabase(Database db) {
+  std::string key = db.name();
+  auto [it, inserted] = databases_.emplace(key, std::move(db));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("database '%s' already exists", key.c_str()));
+  }
+  return Status::Ok();
+}
+
+const Database* Catalog::FindDatabase(std::string_view name) const {
+  auto it = databases_.find(ToLower(name));
+  return it != databases_.end() ? &it->second : nullptr;
+}
+
+Database* Catalog::FindDatabaseMutable(std::string_view name) {
+  auto it = databases_.find(ToLower(name));
+  return it != databases_.end() ? &it->second : nullptr;
+}
+
+Result<Catalog::ResolvedTable> Catalog::ResolveTable(
+    std::string_view database, std::string_view table) const {
+  if (!database.empty()) {
+    const Database* db = FindDatabase(database);
+    if (db == nullptr) {
+      return Status::NotFound(
+          StrFormat("database '%s' not found", ToLower(database).c_str()));
+    }
+    const TableSchema* t = db->FindTable(table);
+    if (t == nullptr) {
+      return Status::NotFound(StrFormat("table '%s' not found in '%s'",
+                                        ToLower(table).c_str(),
+                                        db->name().c_str()));
+    }
+    return ResolvedTable{db, t};
+  }
+  ResolvedTable found;
+  for (const auto& [name, db] : databases_) {
+    const TableSchema* t = db.FindTable(table);
+    if (t != nullptr) {
+      if (found.table != nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("table '%s' is ambiguous across databases",
+                      ToLower(table).c_str()));
+      }
+      found = ResolvedTable{&db, t};
+    }
+  }
+  if (found.table == nullptr) {
+    return Status::NotFound(
+        StrFormat("table '%s' not found", ToLower(table).c_str()));
+  }
+  return found;
+}
+
+}  // namespace dta::catalog

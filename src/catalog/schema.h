@@ -1,0 +1,118 @@
+// Logical schema objects: columns, tables, databases, and the catalog.
+//
+// All identifiers are normalized to lower case at construction; lookups are
+// exact-match after normalization.
+
+#ifndef DTA_CATALOG_SCHEMA_H_
+#define DTA_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dta::catalog {
+
+enum class ColumnType { kInt, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType type);
+Result<ColumnType> ColumnTypeFromName(std::string_view name);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  // Average stored width in bytes (8 for numerics; configured for strings).
+  int width_bytes = 8;
+};
+
+// Logical description of a table: columns, cardinality, primary key.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  uint64_t row_count() const { return row_count_; }
+  void set_row_count(uint64_t n) { row_count_ = n; }
+
+  // Ordinals of the primary-key columns (empty if none declared).
+  const std::vector<int>& primary_key() const { return primary_key_; }
+  void SetPrimaryKey(const std::vector<std::string>& key_columns);
+
+  // Returns -1 if not found. `name` is matched case-insensitively.
+  int ColumnIndex(std::string_view name) const;
+  bool HasColumn(std::string_view name) const { return ColumnIndex(name) >= 0; }
+  const Column& column(int index) const { return columns_[index]; }
+
+  // Average bytes per row across all columns (+ fixed header overhead).
+  int RowBytes() const;
+  // Heap/clustered data pages at the default page size.
+  uint64_t DataPages() const;
+  uint64_t DataBytes() const { return row_count_ * RowBytes(); }
+
+  static constexpr int kPageBytes = 8192;
+  static constexpr int kRowHeaderBytes = 9;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  uint64_t row_count_ = 0;
+  std::vector<int> primary_key_;
+};
+
+// A named collection of tables.
+class Database {
+ public:
+  explicit Database(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // Fails if a table with the same (normalized) name exists.
+  Status AddTable(TableSchema table);
+  // nullptr if absent.
+  const TableSchema* FindTable(std::string_view name) const;
+  TableSchema* FindTableMutable(std::string_view name);
+  const std::map<std::string, TableSchema>& tables() const { return tables_; }
+
+  // Sum of data bytes across tables.
+  uint64_t TotalDataBytes() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, TableSchema> tables_;  // key: normalized name
+};
+
+// The set of databases attached to a server. DTA can tune workloads that
+// span multiple databases (paper §2.1), so lookups may search all of them.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddDatabase(Database db);
+  const Database* FindDatabase(std::string_view name) const;
+  Database* FindDatabaseMutable(std::string_view name);
+  const std::map<std::string, Database>& databases() const {
+    return databases_;
+  }
+
+  struct ResolvedTable {
+    const Database* database = nullptr;
+    const TableSchema* table = nullptr;
+  };
+  // Resolves `table`, optionally qualified by `database`. When `database` is
+  // empty, searches all databases and fails on ambiguity.
+  Result<ResolvedTable> ResolveTable(std::string_view database,
+                                     std::string_view table) const;
+
+ private:
+  std::map<std::string, Database> databases_;
+};
+
+}  // namespace dta::catalog
+
+#endif  // DTA_CATALOG_SCHEMA_H_

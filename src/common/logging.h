@@ -1,0 +1,69 @@
+// Minimal leveled logging to stderr. Verbosity is a process-wide setting;
+// benchmarks and tests keep it at kWarning to stay quiet.
+
+#ifndef DTA_COMMON_LOGGING_H_
+#define DTA_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dta {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "D";
+      case LogLevel::kInfo:
+        return "I";
+      case LogLevel::kWarning:
+        return "W";
+      case LogLevel::kError:
+        return "E";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dta
+
+#define DTA_LOG(level)                                                  \
+  ::dta::internal_logging::LogMessage(::dta::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                         \
+      .stream()
+
+#endif  // DTA_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dta {
+
+int64_t Random::Zipf(int64_t n, double theta) {
+  assert(n >= 1);
+  if (theta <= 0.0) return Uniform(1, n);
+  // Standard CDF-inversion approximation (Gray et al., "Quickly Generating
+  // Billion-Record Synthetic Databases"). Valid for theta != 1; for theta
+  // near 1 we nudge it slightly to keep the closed forms finite.
+  double t = theta;
+  if (std::fabs(t - 1.0) < 1e-6) t = 1.0 + 1e-6;
+  double u = UniformReal(0.0, 1.0);
+  // zeta(n, t) approximated by the integral; adequate for data generation.
+  auto zeta_approx = [t](double m) {
+    return (std::pow(m, 1.0 - t) - 1.0) / (1.0 - t) + 1.0;
+  };
+  double zn = zeta_approx(static_cast<double>(n));
+  double x = u * zn;
+  double v;
+  if (x <= 1.0) {
+    v = 1.0;
+  } else {
+    v = std::pow((x - 1.0) * (1.0 - t) + 1.0, 1.0 / (1.0 - t));
+  }
+  int64_t r = static_cast<int64_t>(v);
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return r;
+}
+
+size_t Random::Weighted(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = UniformReal(0.0, total);
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Random::AlphaString(size_t length) {
+  std::string s(length, 'a');
+  for (char& c : s) {
+    c = static_cast<char>('a' + Uniform(0, 25));
+  }
+  return s;
+}
+
+}  // namespace dta

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random generation helpers for synthetic data and
+// workload generators. All generators are seeded explicitly so experiments
+// are reproducible run-to-run.
+
+#ifndef DTA_COMMON_RANDOM_H_
+#define DTA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace dta {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Zipf-distributed value in [1, n] with skew parameter `theta` (>0).
+  // theta=0 degenerates to uniform. Uses the rejection-inversion-free
+  // cumulative method with a cached normalization constant for small n and
+  // the approximation of Gray et al. for large n.
+  int64_t Zipf(int64_t n, double theta);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights);
+
+  // Random lowercase ASCII string of the given length.
+  std::string AlphaString(size_t length);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dta
+
+#endif  // DTA_COMMON_RANDOM_H_

@@ -1,0 +1,129 @@
+// Error-handling primitives used across the dta codebase.
+//
+// We do not use exceptions across API boundaries (database-domain idiom, cf.
+// RocksDB). Fallible functions return `dta::Status` or `dta::Result<T>`.
+
+#ifndef DTA_COMMON_STATUS_H_
+#define DTA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dta {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace dta
+
+// Propagates a non-OK Status from an expression returning Status.
+#define DTA_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::dta::Status _dta_status = (expr);          \
+    if (!_dta_status.ok()) return _dta_status;   \
+  } while (false)
+
+// Evaluates an expression returning Result<T>; on error propagates the
+// Status, otherwise assigns the value to `lhs`.
+#define DTA_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto DTA_CONCAT_(_dta_result_, __LINE__) = (expr);                \
+  if (!DTA_CONCAT_(_dta_result_, __LINE__).ok())                    \
+    return DTA_CONCAT_(_dta_result_, __LINE__).status();            \
+  lhs = std::move(DTA_CONCAT_(_dta_result_, __LINE__)).value()
+
+#define DTA_CONCAT_INNER_(a, b) a##b
+#define DTA_CONCAT_(a, b) DTA_CONCAT_INNER_(a, b)
+
+#endif  // DTA_COMMON_STATUS_H_

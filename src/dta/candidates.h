@@ -1,0 +1,74 @@
+// Physical design candidates and their per-statement generation.
+//
+// Candidate Selection (paper §2.2) works per statement: syntactically derive
+// promising structures (indexes, materialized views, range partitionings)
+// from the statement's predicates, joins, grouping and ordering — restricted
+// to interesting column-groups — then pick the best small configuration for
+// that statement with Greedy(m,k) what-if search. The union of picked
+// structures forms the global candidate set.
+
+#ifndef DTA_DTA_CANDIDATES_H_
+#define DTA_DTA_CANDIDATES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "common/status.h"
+#include "dta/column_groups.h"
+#include "dta/tuning_options.h"
+#include "server/server.h"
+
+namespace dta::tuner {
+
+struct Candidate {
+  enum class Kind { kIndex, kView, kTablePartitioning };
+
+  Kind kind = Kind::kIndex;
+  catalog::IndexDef index;            // kIndex
+  catalog::ViewDef view;              // kView
+  std::string database;               // kTablePartitioning
+  std::string table;                  // kTablePartitioning
+  catalog::PartitionScheme scheme;    // kTablePartitioning
+
+  std::string name;    // canonical identity
+  uint64_t bytes = 0;  // additional storage estimate
+
+  static Candidate MakeIndex(catalog::IndexDef index,
+                             const catalog::Catalog& catalog);
+  static Candidate MakeView(catalog::ViewDef view);
+  static Candidate MakePartitioning(std::string database, std::string table,
+                                    catalog::PartitionScheme scheme);
+
+  // The table this candidate is "about" (partitioning/index target; views
+  // return their first referenced table).
+  const std::string& TargetTable() const;
+
+  // Adds the structure to a configuration. When `aligned` and the
+  // configuration partitions the target table, indexes take on the table's
+  // scheme (lazy introduction of aligned variants, paper §4). Errors on
+  // conflicts (duplicate structure, second clustered index).
+  Status ApplyTo(catalog::Configuration* config, bool aligned) const;
+};
+
+// Supplies single-column statistics during candidate generation (partition
+// boundary proposals). In the production/test-server scenario the fetcher
+// creates statistics on the production server and imports them into the
+// test server (paper §5.3); the default fetches from `server` directly.
+using StatsFetcher =
+    std::function<Result<const stats::Statistics*>(const stats::StatsKey&)>;
+
+// Generated candidates for one statement, produced before what-if pricing.
+// `statement_weight` > 1 marks a compression representative: view candidates
+// then expose predicate columns through GROUP BY instead of baking in the
+// representative's constants (an exact-constant view could not serve the
+// cluster the representative stands for).
+Result<std::vector<Candidate>> GenerateCandidatesForStatement(
+    const sql::Statement& stmt, server::Server* server,
+    const InterestingColumnGroups& groups, const TuningOptions& options,
+    const StatsFetcher& fetch_stats = nullptr, double statement_weight = 1.0);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_CANDIDATES_H_

@@ -1,0 +1,192 @@
+#include "dta/column_groups.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "optimizer/bound_query.h"
+
+namespace dta::tuner {
+
+InterestingColumnGroups InterestingColumnGroups::Unrestricted() {
+  InterestingColumnGroups g;
+  g.unrestricted_ = true;
+  return g;
+}
+
+std::string InterestingColumnGroups::Key(const std::string& database,
+                                         const std::string& table,
+                                         std::vector<std::string> columns) {
+  for (auto& c : columns) c = ToLower(c);
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  return ToLower(database) + "." + ToLower(table) + "{" +
+         StrJoin(columns, ",") + "}";
+}
+
+void InterestingColumnGroups::Insert(const std::string& database,
+                                     const std::string& table,
+                                     std::vector<std::string> columns) {
+  groups_.insert(Key(database, table, std::move(columns)));
+}
+
+bool InterestingColumnGroups::Contains(
+    const std::string& database, const std::string& table,
+    std::vector<std::string> columns) const {
+  if (unrestricted_) return true;
+  return groups_.count(Key(database, table, std::move(columns))) > 0;
+}
+
+Result<StatementColumnUsage> AnalyzeStatementColumns(
+    const sql::Statement& stmt, const catalog::Catalog& catalog) {
+  StatementColumnUsage usage;
+  if (stmt.is_select()) {
+    auto bound = optimizer::BindSelect(stmt.select(), catalog);
+    if (!bound.ok()) return bound.status();
+    const optimizer::BoundQuery& q = *bound;
+    usage.tables.resize(q.tables.size());
+    for (size_t t = 0; t < q.tables.size(); ++t) {
+      usage.tables[t].database = q.tables[t].database->name();
+      usage.tables[t].table = q.tables[t].schema->name();
+    }
+    auto add = [&](int t, int c) {
+      usage.tables[static_cast<size_t>(t)].columns.insert(
+          q.ColumnName(t, c));
+    };
+    for (const auto& atom : q.atoms) {
+      add(atom.table, atom.column);
+      if (atom.rhs_table >= 0) add(atom.rhs_table, atom.rhs_column);
+    }
+    for (const auto& [t, c] : q.group_by) add(t, c);
+    for (const auto& o : q.order_by) add(o.table, o.column);
+    // Drop tables with no tunable columns.
+    usage.tables.erase(
+        std::remove_if(usage.tables.begin(), usage.tables.end(),
+                       [](const StatementColumnUsage::TableUsage& t) {
+                         return t.columns.empty();
+                       }),
+        usage.tables.end());
+    return usage;
+  }
+  // DML: the WHERE columns of the target table.
+  auto dml = optimizer::BindDml(stmt, catalog);
+  if (!dml.ok()) return dml.status();
+  StatementColumnUsage::TableUsage tu;
+  tu.database = dml->database->name();
+  tu.table = dml->table->name();
+  for (int c : dml->filter_columns) {
+    tu.columns.insert(dml->table->column(c).name);
+  }
+  if (!tu.columns.empty()) usage.tables.push_back(std::move(tu));
+  return usage;
+}
+
+Result<InterestingColumnGroups> ComputeInterestingColumnGroups(
+    const workload::Workload& workload,
+    const std::vector<double>& statement_costs,
+    const catalog::Catalog& catalog, double cost_fraction,
+    int max_group_size) {
+  if (cost_fraction <= 0) return InterestingColumnGroups::Unrestricted();
+
+  // Transactions: per statement, per table, the set of tunable columns,
+  // weighted by the statement's share of workload cost.
+  struct Txn {
+    std::string key;  // db.table
+    std::vector<std::string> columns;
+    double cost = 0;
+  };
+  std::vector<Txn> txns;
+  double total_cost = 0;
+  for (size_t i = 0; i < workload.statements().size(); ++i) {
+    const auto& ws = workload.statements()[i];
+    double cost =
+        (i < statement_costs.size() ? statement_costs[i] : 1.0) * ws.weight;
+    total_cost += cost;
+    auto usage = AnalyzeStatementColumns(ws.stmt, catalog);
+    if (!usage.ok()) return usage.status();
+    for (auto& tu : usage->tables) {
+      Txn txn;
+      txn.key = tu.database + "." + tu.table;
+      txn.columns.assign(tu.columns.begin(), tu.columns.end());
+      txn.cost = cost;
+      txns.push_back(std::move(txn));
+    }
+  }
+  const double threshold = std::max(1e-12, cost_fraction * total_cost);
+
+  InterestingColumnGroups out;
+  // Level 1: frequent singletons per table.
+  std::map<std::string, std::map<std::string, double>> singleton_cost;
+  for (const auto& txn : txns) {
+    for (const auto& c : txn.columns) {
+      singleton_cost[txn.key][c] += txn.cost;
+    }
+  }
+  // frequent[table] = sorted list of frequent column-sets at current level.
+  std::map<std::string, std::vector<std::vector<std::string>>> frequent;
+  for (const auto& [table_key, cols] : singleton_cost) {
+    for (const auto& [col, cost] : cols) {
+      if (cost >= threshold) {
+        frequent[table_key].push_back({col});
+      }
+    }
+  }
+  auto emit = [&out](const std::string& table_key,
+                     const std::vector<std::string>& group) {
+    auto dot = table_key.find('.');
+    out.Insert(table_key.substr(0, dot), table_key.substr(dot + 1), group);
+  };
+  for (const auto& [table_key, groups] : frequent) {
+    for (const auto& g : groups) emit(table_key, g);
+  }
+
+  // Levels 2..max: extend frequent (k-1)-groups with frequent singletons.
+  for (int level = 2; level <= max_group_size; ++level) {
+    std::map<std::string, std::vector<std::vector<std::string>>> next;
+    for (const auto& [table_key, groups] : frequent) {
+      const auto& singles = singleton_cost[table_key];
+      // Candidate k-groups.
+      std::map<std::string, std::pair<std::vector<std::string>, double>>
+          cand_cost;
+      for (const auto& g : groups) {
+        if (static_cast<int>(g.size()) != level - 1) continue;
+        for (const auto& [col, ccost] : singles) {
+          if (ccost < threshold) continue;
+          if (std::find(g.begin(), g.end(), col) != g.end()) continue;
+          std::vector<std::string> extended = g;
+          extended.push_back(col);
+          std::sort(extended.begin(), extended.end());
+          cand_cost.try_emplace(StrJoin(extended, ","),
+                                std::make_pair(extended, 0.0));
+        }
+      }
+      if (cand_cost.empty()) continue;
+      // Count support.
+      for (const auto& txn : txns) {
+        if (txn.key != table_key) continue;
+        for (auto& [key, entry] : cand_cost) {
+          bool subset = true;
+          for (const auto& col : entry.first) {
+            if (std::find(txn.columns.begin(), txn.columns.end(), col) ==
+                txn.columns.end()) {
+              subset = false;
+              break;
+            }
+          }
+          if (subset) entry.second += txn.cost;
+        }
+      }
+      for (const auto& [key, entry] : cand_cost) {
+        if (entry.second >= threshold) {
+          next[table_key].push_back(entry.first);
+          emit(table_key, entry.first);
+        }
+      }
+    }
+    if (next.empty()) break;
+    frequent = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace dta::tuner

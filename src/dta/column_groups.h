@@ -1,0 +1,71 @@
+// Column-group restriction (paper §2.2): a pre-processing step that prunes
+// the space of physical design structures by keeping only "interesting"
+// column-groups — sets of columns that co-occur in a significant fraction of
+// the workload by cost. Built bottom-up with the frequent-itemset (Apriori)
+// idea of Agrawal & Srikant [5].
+
+#ifndef DTA_DTA_COLUMN_GROUPS_H_
+#define DTA_DTA_COLUMN_GROUPS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+
+class InterestingColumnGroups {
+ public:
+  InterestingColumnGroups() = default;
+
+  // A disabled instance admits every group (used when the restriction is
+  // turned off).
+  static InterestingColumnGroups Unrestricted();
+
+  void Insert(const std::string& database, const std::string& table,
+              std::vector<std::string> columns);
+  // True when the (set of) columns is an interesting group of the table.
+  bool Contains(const std::string& database, const std::string& table,
+                std::vector<std::string> columns) const;
+  size_t size() const { return groups_.size(); }
+  bool unrestricted() const { return unrestricted_; }
+
+ private:
+  static std::string Key(const std::string& database,
+                         const std::string& table,
+                         std::vector<std::string> columns);
+  std::set<std::string> groups_;
+  bool unrestricted_ = false;
+};
+
+// Per-statement tunable columns of each referenced table (predicate, join,
+// group-by, order-by columns — the columns index keys can be built from).
+struct StatementColumnUsage {
+  struct TableUsage {
+    std::string database;
+    std::string table;
+    std::set<std::string> columns;
+  };
+  std::vector<TableUsage> tables;
+};
+
+Result<StatementColumnUsage> AnalyzeStatementColumns(
+    const sql::Statement& stmt, const catalog::Catalog& catalog);
+
+// Computes interesting column-groups for the workload. `statement_costs`
+// are current-configuration costs (parallel to workload.statements());
+// weights multiply in. Groups whose supporting statements carry less than
+// `cost_fraction` of the total workload cost are pruned. Groups larger than
+// `max_group_size` are not considered.
+Result<InterestingColumnGroups> ComputeInterestingColumnGroups(
+    const workload::Workload& workload,
+    const std::vector<double>& statement_costs,
+    const catalog::Catalog& catalog, double cost_fraction,
+    int max_group_size);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_COLUMN_GROUPS_H_

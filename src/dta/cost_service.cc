@@ -1,0 +1,106 @@
+#include "dta/cost_service.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dta::tuner {
+
+namespace {
+
+std::set<std::string> TablesOf(const sql::Statement& stmt) {
+  std::set<std::string> out;
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:
+      for (const auto& tr : stmt.select().from) {
+        out.insert(ToLower(tr.table));
+      }
+      break;
+    case sql::StatementKind::kInsert:
+      out.insert(ToLower(stmt.insert().table));
+      break;
+    case sql::StatementKind::kUpdate:
+      out.insert(ToLower(stmt.update().table));
+      break;
+    case sql::StatementKind::kDelete:
+      out.insert(ToLower(stmt.del().table));
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+CostService::CostService(server::Server* server,
+                         const optimizer::HardwareParams* simulate_hardware,
+                         const workload::Workload* workload)
+    : server_(server),
+      simulate_hardware_(simulate_hardware),
+      workload_(workload) {
+  statement_tables_.reserve(workload->size());
+  for (const auto& ws : workload->statements()) {
+    statement_tables_.push_back(TablesOf(ws.stmt));
+  }
+  cache_.resize(workload->size());
+}
+
+std::string CostService::RelevantFingerprint(
+    size_t index, const catalog::Configuration& config) const {
+  const std::set<std::string>& tables = statement_tables_[index];
+  std::vector<std::string> parts;
+  for (const auto& ix : config.indexes()) {
+    if (tables.count(ToLower(ix.table)) > 0) {
+      parts.push_back(ix.CanonicalName());
+    }
+  }
+  for (const auto& v : config.views()) {
+    for (const auto& t : v.referenced_tables) {
+      if (tables.count(ToLower(t)) > 0) {
+        parts.push_back(v.CanonicalName());
+        break;
+      }
+    }
+  }
+  for (const auto& [table, scheme] : config.table_partitioning()) {
+    if (tables.count(table) > 0) {
+      parts.push_back("tp:" + table + ":" + scheme.CanonicalString());
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  return StrJoin(parts, "|");
+}
+
+Result<double> CostService::StatementCost(
+    size_t index, const catalog::Configuration& config) {
+  std::string fp = RelevantFingerprint(index, config);
+  auto& cache = cache_[index];
+  auto it = cache.find(fp);
+  if (it != cache.end()) {
+    ++hits_;
+    return it->second;
+  }
+  auto r = server_->WhatIfCost(workload_->statements()[index].stmt, config,
+                               simulate_hardware_);
+  ++calls_;
+  if (!r.ok()) return r.status();
+  for (const auto& key : r->missing_stats) missing_.insert(key);
+  cache.emplace(std::move(fp), r->cost);
+  return r->cost;
+}
+
+Result<double> CostService::WorkloadCost(
+    const catalog::Configuration& config) {
+  double total = 0;
+  for (size_t i = 0; i < workload_->size(); ++i) {
+    auto c = StatementCost(i, config);
+    if (!c.ok()) return c.status();
+    total += *c * workload_->statements()[i].weight;
+  }
+  return total;
+}
+
+void CostService::ClearCache() {
+  for (auto& c : cache_) c.clear();
+}
+
+}  // namespace dta::tuner

@@ -1,0 +1,78 @@
+// Cached what-if costing of a workload against a tuning server.
+//
+// DTA makes thousands of what-if calls during search; most configurations
+// differ from previously priced ones only in structures irrelevant to a
+// given statement. The cost service keys each statement's cached cost by
+// the fingerprint of the *relevant* subset of the configuration (structures
+// touching the statement's tables), so adding a candidate re-prices only
+// affected statements.
+
+#ifndef DTA_DTA_COST_SERVICE_H_
+#define DTA_DTA_COST_SERVICE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "common/status.h"
+#include "optimizer/hardware.h"
+#include "server/server.h"
+#include "stats/statistics.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+
+class CostService {
+ public:
+  // `server` performs the what-if calls (the test server in §5.3 mode).
+  // When `simulate_hardware` is set, its parameters are simulated in every
+  // call (the production server's hardware). The workload must outlive the
+  // service.
+  CostService(server::Server* server,
+              const optimizer::HardwareParams* simulate_hardware,
+              const workload::Workload* workload);
+
+  // Optimizer-estimated cost of statement i under the configuration
+  // (cached; weight NOT applied).
+  Result<double> StatementCost(size_t index,
+                               const catalog::Configuration& config);
+
+  // Sum over statements of weight * cost.
+  Result<double> WorkloadCost(const catalog::Configuration& config);
+
+  // Statistics the optimizer wanted but could not find, accumulated across
+  // all calls (drives reduced statistics creation and test-server import).
+  const std::set<stats::StatsKey>& missing_stats() const { return missing_; }
+  void ClearMissingStats() { missing_.clear(); }
+
+  // Number of actual what-if optimizer invocations (cache misses).
+  size_t whatif_calls() const { return calls_; }
+  size_t cache_hits() const { return hits_; }
+
+  // Invalidate everything (e.g. after statistics changed).
+  void ClearCache();
+
+  const workload::Workload& workload() const { return *workload_; }
+  server::Server* server() { return server_; }
+
+ private:
+  std::string RelevantFingerprint(size_t index,
+                                  const catalog::Configuration& config) const;
+
+  server::Server* server_;
+  const optimizer::HardwareParams* simulate_hardware_;
+  const workload::Workload* workload_;
+
+  // Lower-cased table names referenced by each statement.
+  std::vector<std::set<std::string>> statement_tables_;
+  std::vector<std::map<std::string, double>> cache_;
+  std::set<stats::StatsKey> missing_;
+  size_t calls_ = 0;
+  size_t hits_ = 0;
+};
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_COST_SERVICE_H_

@@ -1,0 +1,122 @@
+#include "dta/enumeration.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "dta/greedy.h"
+
+namespace dta::tuner {
+
+Result<catalog::Configuration> BuildConfiguration(
+    const catalog::Configuration& base,
+    const std::vector<const Candidate*>& chosen, bool aligned) {
+  catalog::Configuration config = base;
+  // Partitionings first so indexes can take on the table scheme.
+  for (const Candidate* c : chosen) {
+    if (c->kind == Candidate::Kind::kTablePartitioning) {
+      DTA_RETURN_IF_ERROR(c->ApplyTo(&config, aligned));
+    }
+  }
+  for (const Candidate* c : chosen) {
+    if (c->kind == Candidate::Kind::kIndex) {
+      Status s = c->ApplyTo(&config, aligned);
+      // Two candidates may collapse to the same aligned structure; that is
+      // fine (it is already present).
+      if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+    }
+  }
+  for (const Candidate* c : chosen) {
+    if (c->kind == Candidate::Kind::kView) {
+      Status s = c->ApplyTo(&config, aligned);
+      if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+    }
+  }
+  if (aligned) {
+    // Base structures on partitioned tables must be aligned as well;
+    // Candidate::ApplyTo handled candidate-introduced partitionings, but a
+    // base (user-specified) partitioning may require rewrites too.
+    for (const auto& [table, scheme] : config.table_partitioning()) {
+      if (config.IsAligned(table)) continue;
+      std::vector<catalog::IndexDef> rewritten;
+      for (const catalog::IndexDef* ix : config.IndexesOnTable(table)) {
+        catalog::IndexDef copy = *ix;
+        copy.partitioning = scheme;
+        rewritten.push_back(std::move(copy));
+      }
+      std::vector<std::string> to_remove;
+      for (const catalog::IndexDef* ix : config.IndexesOnTable(table)) {
+        to_remove.push_back(ix->CanonicalName());
+      }
+      for (const auto& name : to_remove) config.RemoveStructure(name);
+      for (auto& ix : rewritten) {
+        Status s = config.AddIndex(std::move(ix));
+        if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+      }
+    }
+  }
+  return config;
+}
+
+Result<EnumerationResult> EnumerateConfiguration(
+    CostService* costs, const std::vector<Candidate>& candidates,
+    const catalog::Configuration& base, const TuningOptions& options,
+    const std::function<bool()>& should_stop) {
+  // Eager alignment ablation (§4): pre-expand every index candidate with
+  // every proposed partitioning of its table. Lazy mode introduces aligned
+  // variants only as partitionings are chosen, keeping the pool small.
+  std::vector<Candidate> pool = candidates;
+  if (options.require_alignment && !options.lazy_alignment) {
+    std::vector<Candidate> expanded;
+    for (const Candidate& ix : candidates) {
+      if (ix.kind != Candidate::Kind::kIndex || ix.index.clustered) continue;
+      for (const Candidate& part : candidates) {
+        if (part.kind != Candidate::Kind::kTablePartitioning) continue;
+        if (!EqualsIgnoreCase(part.table, ix.index.table)) continue;
+        catalog::IndexDef variant = ix.index;
+        variant.partitioning = part.scheme;
+        expanded.push_back(Candidate::MakeIndex(
+            std::move(variant), costs->server()->catalog()));
+      }
+    }
+    for (auto& c : expanded) pool.push_back(std::move(c));
+  }
+
+  auto base_cost = costs->WorkloadCost(base);
+  if (!base_cost.ok()) return base_cost.status();
+
+  const catalog::Catalog& catalog = costs->server()->catalog();
+  auto eval = [&](const std::vector<size_t>& subset) -> Result<double> {
+    std::vector<const Candidate*> chosen;
+    chosen.reserve(subset.size());
+    for (size_t i : subset) chosen.push_back(&pool[i]);
+    auto config =
+        BuildConfiguration(base, chosen, options.require_alignment);
+    if (!config.ok()) return config.status();
+    if (options.storage_bytes.has_value() &&
+        config->EstimateBytes(catalog) > *options.storage_bytes) {
+      return Status::OutOfRange("storage bound exceeded");
+    }
+    return costs->WorkloadCost(*config);
+  };
+
+  GreedyResult greedy =
+      GreedySearch(pool.size(), options.enumeration_m, options.enumeration_k,
+                   *base_cost, eval, should_stop,
+                   options.min_improvement_fraction);
+
+  EnumerationResult out;
+  out.evaluations = greedy.evaluations;
+  out.candidates_considered = pool.size();
+  out.cost = greedy.cost;
+  std::vector<const Candidate*> chosen;
+  for (size_t i : greedy.chosen) {
+    chosen.push_back(&pool[i]);
+    out.chosen.push_back(pool[i].name);
+  }
+  auto config = BuildConfiguration(base, chosen, options.require_alignment);
+  if (!config.ok()) return config.status();
+  out.configuration = std::move(config).value();
+  return out;
+}
+
+}  // namespace dta::tuner

@@ -1,0 +1,47 @@
+// The Enumeration step (paper §2.2): Greedy(m,k) over the union of
+// candidates (including merged structures), pricing whole-workload cost via
+// the what-if interface, subject to the storage bound and (optionally) the
+// alignment constraint. Aligned candidate variants are introduced lazily
+// during search (paper §4) unless eager expansion is requested (ablation).
+
+#ifndef DTA_DTA_ENUMERATION_H_
+#define DTA_DTA_ENUMERATION_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "common/status.h"
+#include "dta/candidates.h"
+#include "dta/cost_service.h"
+#include "dta/tuning_options.h"
+
+namespace dta::tuner {
+
+struct EnumerationResult {
+  catalog::Configuration configuration;  // base + chosen candidates
+  double cost = 0;                       // workload cost under it
+  std::vector<std::string> chosen;       // candidate names, selection order
+  size_t evaluations = 0;                // configurations priced
+  size_t candidates_considered = 0;      // after any eager expansion
+};
+
+// `base` contains structures that are always present (constraint-enforcing
+// indexes and the user-specified configuration).
+Result<EnumerationResult> EnumerateConfiguration(
+    CostService* costs, const std::vector<Candidate>& candidates,
+    const catalog::Configuration& base, const TuningOptions& options,
+    const std::function<bool()>& should_stop = nullptr);
+
+// Builds base + subset into a full configuration, applying alignment
+// rewrites when required. Fails on conflicts (duplicate clustered index,
+// duplicate table partitioning).
+Result<catalog::Configuration> BuildConfiguration(
+    const catalog::Configuration& base,
+    const std::vector<const Candidate*>& chosen, bool aligned);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_ENUMERATION_H_

@@ -1,0 +1,89 @@
+#include "dta/greedy.h"
+
+#include <algorithm>
+
+namespace dta::tuner {
+
+GreedyResult GreedySearch(
+    size_t candidate_count, int m, int k, double empty_cost,
+    const std::function<Result<double>(const std::vector<size_t>&)>& eval,
+    const std::function<bool()>& should_stop,
+    double min_relative_improvement) {
+  GreedyResult best;
+  best.cost = empty_cost;
+
+  auto stopped = [&]() { return should_stop != nullptr && should_stop(); };
+
+  // Phase 1: exhaustive over subsets of size <= m (m is small: 1 or 2).
+  if (m >= 1) {
+    for (size_t i = 0; i < candidate_count && !stopped(); ++i) {
+      std::vector<size_t> subset = {i};
+      auto c = eval(subset);
+      ++best.evaluations;
+      if (c.ok() && *c < best.cost) {
+        best.cost = *c;
+        best.chosen = subset;
+      }
+    }
+  }
+  if (m >= 2) {
+    for (size_t i = 0; i < candidate_count && !stopped(); ++i) {
+      for (size_t j = i + 1; j < candidate_count && !stopped(); ++j) {
+        std::vector<size_t> subset = {i, j};
+        auto c = eval(subset);
+        ++best.evaluations;
+        if (c.ok() && *c < best.cost) {
+          best.cost = *c;
+          best.chosen = subset;
+        }
+      }
+    }
+  }
+
+  // Phase 2: greedy extension up to k structures. Candidates whose marginal
+  // benefit stays below the improvement threshold for two consecutive
+  // rounds are dropped from further consideration — marginal benefits only
+  // shrink as the configuration grows, so re-evaluating them every round
+  // wastes what-if calls.
+  std::vector<int> strikes(candidate_count, 0);
+  while (static_cast<int>(best.chosen.size()) < k && !stopped()) {
+    double round_best_cost = best.cost;
+    size_t round_best_candidate = candidate_count;
+    for (size_t i = 0; i < candidate_count; ++i) {
+      if (strikes[i] >= 2) continue;
+      if (std::find(best.chosen.begin(), best.chosen.end(), i) !=
+          best.chosen.end()) {
+        continue;
+      }
+      if (stopped()) break;
+      std::vector<size_t> subset = best.chosen;
+      subset.push_back(i);
+      auto c = eval(subset);
+      ++best.evaluations;
+      if (!c.ok()) {
+        ++strikes[i];
+        continue;
+      }
+      double improvement =
+          (best.cost - *c) / std::max(1e-12, best.cost);
+      if (improvement < min_relative_improvement) {
+        ++strikes[i];
+      } else {
+        strikes[i] = 0;
+      }
+      if (*c < round_best_cost) {
+        round_best_cost = *c;
+        round_best_candidate = i;
+      }
+    }
+    if (round_best_candidate == candidate_count) break;  // no improvement
+    double improvement = (best.cost - round_best_cost) /
+                         std::max(1e-12, best.cost);
+    if (improvement < min_relative_improvement) break;
+    best.chosen.push_back(round_best_candidate);
+    best.cost = round_best_cost;
+  }
+  return best;
+}
+
+}  // namespace dta::tuner

@@ -1,0 +1,41 @@
+// Greedy(m,k) search (Chaudhuri & Narasayya [8], used by both Candidate
+// Selection and Enumeration, paper §2.2): exhaustively choose the best
+// subset of size <= m, then greedily add structures (up to k total) while
+// the objective keeps improving.
+
+#ifndef DTA_DTA_GREEDY_H_
+#define DTA_DTA_GREEDY_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dta::tuner {
+
+struct GreedyResult {
+  std::vector<size_t> chosen;  // candidate indexes, in selection order
+  double cost = 0;             // objective of the chosen subset
+  size_t evaluations = 0;      // number of objective evaluations
+};
+
+// `eval` returns the objective (lower is better) for a subset of candidate
+// indexes, or an error when the subset is infeasible (e.g. conflicting
+// clustered indexes, storage bound exceeded) — infeasible subsets are
+// skipped. `empty_cost` is the objective of the empty subset.
+// `should_stop`, when provided, is polled between evaluations (time-bound
+// tuning); when it returns true the best answer so far is returned.
+// `min_relative_improvement`: the greedy extension stops when a round's
+// best addition improves the objective by less than this fraction —
+// structures with negligible benefit are not worth their storage and
+// maintenance (and each round costs a sweep of what-if calls).
+GreedyResult GreedySearch(
+    size_t candidate_count, int m, int k, double empty_cost,
+    const std::function<Result<double>(const std::vector<size_t>&)>& eval,
+    const std::function<bool()>& should_stop = nullptr,
+    double min_relative_improvement = 1e-9);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_GREEDY_H_

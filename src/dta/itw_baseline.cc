@@ -1,0 +1,28 @@
+#include "dta/itw_baseline.h"
+
+namespace dta::tuner {
+
+TuningOptions ItwOptions() {
+  TuningOptions o;
+  o.tune_indexes = true;
+  o.tune_materialized_views = true;
+  o.tune_partitioning = false;       // ITW cannot recommend partitioning
+  o.workload_compression = false;    // tunes every statement
+  o.reduced_statistics = false;      // naive statistics creation
+  o.column_group_cost_fraction = 0;  // no column-group restriction
+  // Eager candidate generation: more structures per statement and a wider
+  // per-query search.
+  o.max_candidates_per_statement = 24;
+  o.candidate_selection_k = 4;
+  o.enumeration_m = 1;
+  o.enumeration_k = 20;
+  return o;
+}
+
+Result<TuningResult> TuneWithItw(server::Server* production,
+                                 const workload::Workload& workload) {
+  TuningSession session(production, ItwOptions());
+  return session.Tune(workload);
+}
+
+}  // namespace dta::tuner

@@ -1,0 +1,31 @@
+// Baseline: a reimplementation of the previous-generation tool — the Index
+// Tuning Wizard of SQL Server 2000 ([2], built on [3]/[8]) — used by the
+// paper's end-to-end comparison (§7.6, Figures 4 and 5).
+//
+// Relative to DTA, ITW:
+//   * tunes indexes and materialized views only (no partitioning);
+//   * has no workload compression: every statement is tuned;
+//   * has no column-group restriction and generates candidates eagerly
+//     (more structures per statement, wider per-query search);
+//   * creates candidate statistics naively (no reduced creation).
+// These differences are exactly the paper's explanation for DTA's better
+// running time at comparable (slightly better) quality.
+
+#ifndef DTA_DTA_ITW_BASELINE_H_
+#define DTA_DTA_ITW_BASELINE_H_
+
+#include "dta/tuning_options.h"
+#include "dta/tuning_session.h"
+
+namespace dta::tuner {
+
+// Options preset reproducing ITW's behaviour in this codebase.
+TuningOptions ItwOptions();
+
+// Runs an ITW-style tuning session.
+Result<TuningResult> TuneWithItw(server::Server* production,
+                                 const workload::Workload& workload);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_ITW_BASELINE_H_

@@ -1,0 +1,431 @@
+#include "dta/merging.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "optimizer/bound_query.h"
+#include "sql/printer.h"
+
+namespace dta::tuner {
+
+std::optional<catalog::IndexDef> MergeIndexes(const catalog::IndexDef& a,
+                                              const catalog::IndexDef& b,
+                                              int max_key_columns) {
+  if (!EqualsIgnoreCase(a.table, b.table)) return std::nullopt;
+  if (a.clustered || b.clustered) return std::nullopt;
+  catalog::IndexDef merged;
+  merged.database = a.database;
+  merged.table = ToLower(a.table);
+  merged.key_columns = a.key_columns;
+  auto contains = [](const std::vector<std::string>& v,
+                     const std::string& s) {
+    for (const auto& x : v) {
+      if (EqualsIgnoreCase(x, s)) return true;
+    }
+    return false;
+  };
+  for (const auto& kc : b.key_columns) {
+    if (!contains(merged.key_columns, kc)) merged.key_columns.push_back(kc);
+  }
+  if (static_cast<int>(merged.key_columns.size()) > max_key_columns) {
+    return std::nullopt;
+  }
+  for (const auto& inc : a.included_columns) {
+    if (!contains(merged.key_columns, inc) &&
+        !contains(merged.included_columns, inc)) {
+      merged.included_columns.push_back(inc);
+    }
+  }
+  for (const auto& inc : b.included_columns) {
+    if (!contains(merged.key_columns, inc) &&
+        !contains(merged.included_columns, inc)) {
+      merged.included_columns.push_back(inc);
+    }
+  }
+  // Partitioning survives only when identical.
+  if (a.partitioning.has_value() && b.partitioning.has_value() &&
+      *a.partitioning == *b.partitioning) {
+    merged.partitioning = a.partitioning;
+  }
+  if (merged.CanonicalName() == a.CanonicalName() ||
+      merged.CanonicalName() == b.CanonicalName()) {
+    return std::nullopt;  // no new structure
+  }
+  return merged;
+}
+
+std::optional<catalog::PartitionScheme> MergePartitionSchemes(
+    const catalog::PartitionScheme& a, const catalog::PartitionScheme& b,
+    int max_boundaries) {
+  if (!EqualsIgnoreCase(a.column, b.column)) return std::nullopt;
+  catalog::PartitionScheme merged;
+  merged.column = ToLower(a.column);
+  std::vector<sql::Value> all = a.boundaries;
+  all.insert(all.end(), b.boundaries.begin(), b.boundaries.end());
+  std::sort(all.begin(), all.end(),
+            [](const sql::Value& x, const sql::Value& y) {
+              return x.Compare(y) < 0;
+            });
+  for (const auto& v : all) {
+    if (merged.boundaries.empty() ||
+        merged.boundaries.back().Compare(v) < 0) {
+      merged.boundaries.push_back(v);
+    }
+  }
+  // Thin evenly when over the cap.
+  if (static_cast<int>(merged.boundaries.size()) > max_boundaries) {
+    std::vector<sql::Value> thinned;
+    double step = static_cast<double>(merged.boundaries.size()) /
+                  max_boundaries;
+    for (int i = 0; i < max_boundaries; ++i) {
+      thinned.push_back(
+          merged.boundaries[static_cast<size_t>(i * step)]);
+    }
+    merged.boundaries = std::move(thinned);
+  }
+  if (merged == a || merged == b) return std::nullopt;
+  return merged;
+}
+
+namespace {
+
+using optimizer::BoundQuery;
+
+// Canonical "schematable.column" string of a column ref in a bound query.
+std::string CanonCol(const sql::ColumnRef& ref, const BoundQuery& q) {
+  auto rc = optimizer::ResolveColumnRef(ref, q);
+  if (!rc.ok()) return "";
+  return q.tables[static_cast<size_t>(rc->first)].schema->name() + "." +
+         q.ColumnName(rc->first, rc->second);
+}
+
+std::string CanonExpr(const sql::Expr& e, const BoundQuery& q) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kConst:
+      return e.value.ToSqlLiteral();
+    case sql::Expr::Kind::kColumn:
+      return CanonCol(e.column, q);
+    case sql::Expr::Kind::kBinary: {
+      std::string l = CanonExpr(*e.left, q);
+      std::string r = CanonExpr(*e.right, q);
+      if (l.empty() || r.empty()) return "";
+      const char* op = e.op == sql::BinaryOp::kAdd   ? "+"
+                       : e.op == sql::BinaryOp::kSub ? "-"
+                       : e.op == sql::BinaryOp::kMul ? "*"
+                                                     : "/";
+      return "(" + l + op + r + ")";
+    }
+    case sql::Expr::Kind::kAggregate: {
+      std::string arg = e.left != nullptr ? CanonExpr(*e.left, q) : "*";
+      if (arg.empty()) return "";
+      return StrFormat("%d%s(%s)", static_cast<int>(e.agg),
+                       e.distinct ? "D" : "", arg.c_str());
+    }
+  }
+  return "";
+}
+
+std::string CanonPredicate(const sql::Predicate& p, const BoundQuery& q) {
+  std::string lhs = CanonCol(p.column, q);
+  if (lhs.empty()) return "";
+  sql::PrintOptions opts;
+  opts.normalize_identifiers = true;
+  std::string rest = sql::PredicateToSql(p, opts);
+  // Replace the (alias-dependent) printed lhs with the canonical one.
+  size_t space = rest.find(' ');
+  return lhs + (space == std::string::npos ? "" : rest.substr(space));
+}
+
+// Rewrites an expression from query `src` into the alias space of `dst`
+// (tables matched by schema name). Returns nullptr on failure.
+sql::ExprPtr RewriteExpr(const sql::Expr& e, const BoundQuery& src,
+                         const std::map<std::string, std::string>& dst_alias) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kConst:
+      return sql::Expr::Const(e.value);
+    case sql::Expr::Kind::kColumn: {
+      auto rc = optimizer::ResolveColumnRef(e.column, src);
+      if (!rc.ok()) return nullptr;
+      const std::string& tname =
+          src.tables[static_cast<size_t>(rc->first)].schema->name();
+      auto it = dst_alias.find(tname);
+      if (it == dst_alias.end()) return nullptr;
+      return sql::Expr::Column(it->second,
+                               src.ColumnName(rc->first, rc->second));
+    }
+    case sql::Expr::Kind::kBinary: {
+      auto l = RewriteExpr(*e.left, src, dst_alias);
+      auto r = RewriteExpr(*e.right, src, dst_alias);
+      if (l == nullptr || r == nullptr) return nullptr;
+      return sql::Expr::Binary(e.op, std::move(l), std::move(r));
+    }
+    case sql::Expr::Kind::kAggregate: {
+      sql::ExprPtr arg;
+      if (e.left != nullptr) {
+        arg = RewriteExpr(*e.left, src, dst_alias);
+        if (arg == nullptr) return nullptr;
+      }
+      return sql::Expr::Aggregate(e.agg, std::move(arg), e.distinct);
+    }
+  }
+  return nullptr;
+}
+
+std::optional<sql::ColumnRef> RewriteColumn(
+    const sql::ColumnRef& ref, const BoundQuery& src,
+    const std::map<std::string, std::string>& dst_alias) {
+  auto rc = optimizer::ResolveColumnRef(ref, src);
+  if (!rc.ok()) return std::nullopt;
+  const std::string& tname =
+      src.tables[static_cast<size_t>(rc->first)].schema->name();
+  auto it = dst_alias.find(tname);
+  if (it == dst_alias.end()) return std::nullopt;
+  return sql::ColumnRef{it->second, src.ColumnName(rc->first, rc->second)};
+}
+
+}  // namespace
+
+std::optional<catalog::ViewDef> MergeViews(const catalog::ViewDef& a,
+                                           const catalog::ViewDef& b,
+                                           server::Server* server) {
+  if (a.definition == nullptr || b.definition == nullptr) return std::nullopt;
+  auto qa = optimizer::BindSelect(*a.definition, server->catalog());
+  auto qb = optimizer::BindSelect(*b.definition, server->catalog());
+  if (!qa.ok() || !qb.ok()) return std::nullopt;
+  if (qa->stmt->select_star || qb->stmt->select_star) return std::nullopt;
+
+  // Same table sets (no self-joins) and same join graphs.
+  std::map<std::string, std::string> a_alias;  // schema table -> alias in a
+  for (const auto& bt : qa->tables) {
+    if (!a_alias.emplace(bt.schema->name(), bt.alias).second) {
+      return std::nullopt;
+    }
+  }
+  std::set<std::string> b_tables;
+  for (const auto& bt : qb->tables) {
+    if (!b_tables.insert(bt.schema->name()).second) return std::nullopt;
+  }
+  if (b_tables.size() != a_alias.size()) return std::nullopt;
+  for (const auto& t : b_tables) {
+    if (a_alias.count(t) == 0) return std::nullopt;
+  }
+  auto join_set = [](const BoundQuery& q) {
+    std::set<std::string> out;
+    for (int ai : q.join_atoms) {
+      const auto& atom = q.atoms[static_cast<size_t>(ai)];
+      std::string l = q.tables[static_cast<size_t>(atom.table)]
+                          .schema->name() +
+                      "." + q.ColumnName(atom.table, atom.column);
+      std::string r = q.tables[static_cast<size_t>(atom.rhs_table)]
+                          .schema->name() +
+                      "." + q.ColumnName(atom.rhs_table, atom.rhs_column);
+      if (r < l) std::swap(l, r);
+      out.insert(l + "=" + r);
+    }
+    return out;
+  };
+  if (join_set(*qa) != join_set(*qb)) return std::nullopt;
+
+  // Build the merged definition in a's alias space.
+  sql::SelectStatement merged = a.definition->Clone();
+  merged.order_by.clear();
+  merged.top = -1;
+
+  // Predicates: keep joins always; keep non-join predicates only when the
+  // identical predicate appears in both; drop the rest, exposing columns.
+  std::set<std::string> preds_a, preds_b;
+  for (const auto& p : a.definition->where) {
+    if (p.kind != sql::Predicate::Kind::kColumnCompare) {
+      preds_a.insert(CanonPredicate(p, *qa));
+    }
+  }
+  for (const auto& p : b.definition->where) {
+    if (p.kind != sql::Predicate::Kind::kColumnCompare) {
+      preds_b.insert(CanonPredicate(p, *qb));
+    }
+  }
+  std::vector<sql::Predicate> kept;
+  std::vector<sql::ColumnRef> exposed;  // in a's alias space
+  for (const auto& p : merged.where) {
+    if (p.kind == sql::Predicate::Kind::kColumnCompare) {
+      kept.push_back(p);
+      continue;
+    }
+    std::string canon = CanonPredicate(p, *qa);
+    if (preds_b.count(canon) > 0) {
+      kept.push_back(p);
+    } else {
+      exposed.push_back(p.column);
+    }
+  }
+  for (const auto& p : b.definition->where) {
+    if (p.kind == sql::Predicate::Kind::kColumnCompare) continue;
+    if (preds_a.count(CanonPredicate(p, *qb)) == 0) {
+      auto col = RewriteColumn(p.column, *qb, a_alias);
+      if (!col.has_value()) return std::nullopt;
+      exposed.push_back(std::move(*col));
+    }
+  }
+  merged.where = std::move(kept);
+
+  bool aggregated = !a.definition->group_by.empty() ||
+                    !b.definition->group_by.empty() ||
+                    a.definition->HasAggregates() ||
+                    b.definition->HasAggregates();
+  if (!aggregated && !exposed.empty()) {
+    // SPJ views: exposed columns simply join the output list.
+  }
+
+  // Canonical item/group bookkeeping.
+  std::set<std::string> item_canon;
+  for (const auto& item : merged.items) {
+    item_canon.insert(CanonExpr(*item.expr, *qa));
+  }
+  std::set<std::string> group_canon;
+  for (const auto& g : merged.group_by) {
+    group_canon.insert(CanonCol(g, *qa));
+  }
+  auto add_group_col = [&](const sql::ColumnRef& col) {
+    // `col` is already in a's alias space.
+    std::string canon = CanonCol(col, *qa);
+    if (canon.empty()) return false;
+    if (aggregated && group_canon.insert(canon).second) {
+      merged.group_by.push_back(col);
+    }
+    if (item_canon.insert(canon).second) {
+      sql::SelectItem item;
+      item.expr = sql::Expr::Column(col);
+      merged.items.push_back(std::move(item));
+    }
+    return true;
+  };
+  for (const auto& col : exposed) {
+    if (!add_group_col(col)) return std::nullopt;
+  }
+  // b's group columns.
+  for (const auto& g : b.definition->group_by) {
+    auto col = RewriteColumn(g, *qb, a_alias);
+    if (!col.has_value()) return std::nullopt;
+    if (!add_group_col(*col)) return std::nullopt;
+  }
+  // b's items (aggregates and columns).
+  for (const auto& item : b.definition->items) {
+    std::string canon = CanonExpr(*item.expr, *qb);
+    if (canon.empty()) return std::nullopt;
+    if (item_canon.count(canon) > 0) continue;
+    auto rewritten = RewriteExpr(*item.expr, *qb, a_alias);
+    if (rewritten == nullptr) return std::nullopt;
+    item_canon.insert(canon);
+    sql::SelectItem si;
+    si.expr = std::move(rewritten);
+    merged.items.push_back(std::move(si));
+  }
+
+  // A merged aggregated view must carry COUNT(*) so folding stays possible.
+  if (aggregated) {
+    bool has_count_star = false;
+    for (const auto& item : merged.items) {
+      if (item.expr->kind == sql::Expr::Kind::kAggregate &&
+          item.expr->agg == sql::AggFunc::kCount &&
+          item.expr->left == nullptr) {
+        has_count_star = true;
+        break;
+      }
+    }
+    if (!has_count_star) {
+      sql::SelectItem si;
+      si.expr = sql::Expr::Aggregate(sql::AggFunc::kCount, nullptr);
+      merged.items.push_back(std::move(si));
+    }
+  }
+
+  catalog::ViewDef out;
+  out.definition =
+      std::make_shared<sql::SelectStatement>(std::move(merged));
+  for (const auto& tr : out.definition->from) {
+    out.referenced_tables.push_back(ToLower(tr.table));
+  }
+  auto plan = server->WhatIfPlan(*out.definition, catalog::Configuration());
+  if (!plan.ok()) return std::nullopt;
+  out.estimated_rows = std::max(1.0, plan->root->est_rows);
+  out.estimated_row_bytes =
+      16 + 12 * static_cast<int>(out.definition->items.size());
+  if (out.CanonicalName() == a.CanonicalName() ||
+      out.CanonicalName() == b.CanonicalName()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<Candidate> MergeCandidatePool(const std::vector<Candidate>& pool,
+                                          server::Server* server,
+                                          size_t max_new) {
+  std::vector<Candidate> out;
+  std::set<std::string> seen;
+  for (const auto& c : pool) seen.insert(c.name);
+
+  auto emit_index = [&](catalog::IndexDef ix) {
+    Candidate cand = Candidate::MakeIndex(std::move(ix), server->catalog());
+    if (seen.insert(cand.name).second) out.push_back(std::move(cand));
+  };
+
+  // Indexes grouped by table.
+  std::map<std::string, std::vector<const Candidate*>> by_table;
+  std::map<std::string, std::vector<const Candidate*>> views;
+  std::map<std::string, std::vector<const Candidate*>> parts;
+  for (const auto& c : pool) {
+    switch (c.kind) {
+      case Candidate::Kind::kIndex:
+        if (!c.index.clustered) {
+          by_table[ToLower(c.index.table)].push_back(&c);
+        }
+        break;
+      case Candidate::Kind::kView: {
+        std::vector<std::string> tables = c.view.referenced_tables;
+        std::sort(tables.begin(), tables.end());
+        views[StrJoin(tables, ",")].push_back(&c);
+        break;
+      }
+      case Candidate::Kind::kTablePartitioning:
+        parts[c.table + "/" + ToLower(c.scheme.column)].push_back(&c);
+        break;
+    }
+  }
+  for (const auto& [table, list] : by_table) {
+    for (size_t i = 0; i < list.size() && out.size() < max_new; ++i) {
+      for (size_t j = i + 1; j < list.size() && out.size() < max_new; ++j) {
+        auto merged = MergeIndexes(list[i]->index, list[j]->index);
+        if (merged.has_value()) emit_index(std::move(*merged));
+      }
+    }
+  }
+  for (const auto& [key, list] : views) {
+    for (size_t i = 0; i < list.size() && out.size() < max_new; ++i) {
+      for (size_t j = i + 1; j < list.size() && out.size() < max_new; ++j) {
+        auto merged = MergeViews(list[i]->view, list[j]->view, server);
+        if (merged.has_value()) {
+          Candidate cand = Candidate::MakeView(std::move(*merged));
+          if (seen.insert(cand.name).second) out.push_back(std::move(cand));
+        }
+      }
+    }
+  }
+  for (const auto& [key, list] : parts) {
+    for (size_t i = 0; i < list.size() && out.size() < max_new; ++i) {
+      for (size_t j = i + 1; j < list.size() && out.size() < max_new; ++j) {
+        auto merged =
+            MergePartitionSchemes(list[i]->scheme, list[j]->scheme);
+        if (merged.has_value()) {
+          Candidate cand = Candidate::MakePartitioning(
+              list[i]->database, list[i]->table, std::move(*merged));
+          if (seen.insert(cand.name).second) out.push_back(std::move(cand));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dta::tuner

@@ -1,0 +1,49 @@
+// The Merging step (paper §2.2): candidates chosen per-query can be
+// over-specialized; merged structures trade per-query optimality for
+// cross-query benefit, which matters under storage bounds and update-heavy
+// workloads. Index merging follows [8], view merging [3], and merging of
+// partitioned structures the techniques of [4] (boundary-set union).
+
+#ifndef DTA_DTA_MERGING_H_
+#define DTA_DTA_MERGING_H_
+
+#include <optional>
+#include <vector>
+
+#include "dta/candidates.h"
+#include "server/server.h"
+
+namespace dta::tuner {
+
+// Merges two nonclustered indexes on the same table: the merged key is a's
+// key followed by b's key columns not already present; included columns are
+// unioned. Returns nullopt when the inputs are not mergeable (different
+// tables, clustered, or the merged index would be wider than `max_key_cols`).
+std::optional<catalog::IndexDef> MergeIndexes(const catalog::IndexDef& a,
+                                              const catalog::IndexDef& b,
+                                              int max_key_columns = 6);
+
+// Merges two view candidates over the same join (same tables, same join
+// predicates): group-by columns and aggregates are unioned; predicates kept
+// only when identical in both, otherwise dropped with their columns exposed
+// through GROUP BY. Returns nullopt when not mergeable.
+std::optional<catalog::ViewDef> MergeViews(const catalog::ViewDef& a,
+                                           const catalog::ViewDef& b,
+                                           server::Server* server);
+
+// Merges two partition schemes on the same table and column by uniting
+// their boundary sets (thinned to `max_boundaries`).
+std::optional<catalog::PartitionScheme> MergePartitionSchemes(
+    const catalog::PartitionScheme& a, const catalog::PartitionScheme& b,
+    int max_boundaries = 16);
+
+// One merging pass over the candidate pool: every mergeable pair (same
+// table / same join signature) produces a merged candidate. Returns only
+// the new candidates. `server` re-estimates merged view sizes.
+std::vector<Candidate> MergeCandidatePool(const std::vector<Candidate>& pool,
+                                          server::Server* server,
+                                          size_t max_new = 64);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_MERGING_H_

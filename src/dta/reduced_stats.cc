@@ -1,0 +1,87 @@
+#include "dta/reduced_stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace dta::tuner {
+
+namespace {
+
+// Canonical string of a column *set* (order-insensitive).
+std::string SetKey(const std::string& database, const std::string& table,
+                   std::vector<std::string> columns) {
+  std::sort(columns.begin(), columns.end());
+  return database + "." + table + "{" + StrJoin(columns, ",") + "}";
+}
+
+std::string HistKey(const stats::StatsKey& key) {
+  return key.database + "." + key.table + ":" + key.columns[0];
+}
+
+// All leading-prefix density sets of a statistic.
+std::vector<std::string> DensityKeys(const stats::StatsKey& key) {
+  std::vector<std::string> out;
+  std::vector<std::string> prefix;
+  for (const auto& c : key.columns) {
+    prefix.push_back(c);
+    out.push_back(SetKey(key.database, key.table, prefix));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatsCreationPlan PlanReducedStatistics(
+    const std::set<stats::StatsKey>& requested,
+    const std::vector<const stats::Statistics*>& already_present) {
+  StatsCreationPlan plan;
+  plan.naive_count = requested.size();
+  if (requested.empty()) return plan;
+
+  // Step 1: H-List and D-List — the distinct information still needed.
+  std::set<std::string> h_list;
+  std::set<std::string> d_list;
+  for (const auto& key : requested) {
+    if (key.columns.empty()) continue;
+    h_list.insert(HistKey(key));
+    for (const auto& d : DensityKeys(key)) d_list.insert(d);
+  }
+  // Existing statistics already provide some of it.
+  for (const stats::Statistics* s : already_present) {
+    if (s == nullptr || s->key.columns.empty()) continue;
+    h_list.erase(HistKey(s->key));
+    for (const auto& d : DensityKeys(s->key)) d_list.erase(d);
+  }
+
+  // Steps 2-4: greedily pick the statistic covering the most remaining
+  // entries; ties broken toward wider statistics (they carry the most
+  // information at essentially the same creation cost, §5.2).
+  std::vector<stats::StatsKey> remaining(requested.begin(), requested.end());
+  while (!h_list.empty() || !d_list.empty()) {
+    size_t best = remaining.size();
+    size_t best_cover = 0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const stats::StatsKey& key = remaining[i];
+      if (key.columns.empty()) continue;
+      size_t cover = h_list.count(HistKey(key));
+      for (const auto& d : DensityKeys(key)) cover += d_list.count(d);
+      if (cover > best_cover ||
+          (cover == best_cover && cover > 0 && best < remaining.size() &&
+           key.columns.size() > remaining[best].columns.size())) {
+        best_cover = cover;
+        best = i;
+      }
+    }
+    if (best == remaining.size() || best_cover == 0) break;  // nothing covers
+    const stats::StatsKey chosen = remaining[best];
+    plan.to_create.push_back(chosen);
+    h_list.erase(HistKey(chosen));
+    for (const auto& d : DensityKeys(chosen)) d_list.erase(d);
+    remaining.erase(remaining.begin() + static_cast<long>(best));
+  }
+  return plan;
+}
+
+}  // namespace dta::tuner

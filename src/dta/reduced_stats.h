@@ -1,0 +1,37 @@
+// Reduced statistics creation (paper §5.2): given the set of statistics DTA
+// wants (one per candidate index key, plus singletons the optimizer asked
+// for), find a smallest subset whose creation yields the same histogram and
+// density information.
+//
+// A statistic on columns (A,B,C) provides a histogram on A and densities for
+// the prefix sets {A}, {A,B}, {A,B,C}; density is order-insensitive
+// (Density(A,B) == Density(B,A)). The greedy set-cover of the paper picks,
+// at each step, the remaining statistic covering the most still-needed
+// H-list (histogram column) and D-list (density set) entries.
+
+#ifndef DTA_DTA_REDUCED_STATS_H_
+#define DTA_DTA_REDUCED_STATS_H_
+
+#include <set>
+#include <vector>
+
+#include "stats/statistics.h"
+
+namespace dta::tuner {
+
+struct StatsCreationPlan {
+  // Statistics to actually create (subset of the request).
+  std::vector<stats::StatsKey> to_create;
+  // |requested| — what the naive strategy would create.
+  size_t naive_count = 0;
+};
+
+// `already_present` statistics contribute their information for free and
+// are never re-created.
+StatsCreationPlan PlanReducedStatistics(
+    const std::set<stats::StatsKey>& requested,
+    const std::vector<const stats::Statistics*>& already_present = {});
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_REDUCED_STATS_H_

@@ -1,0 +1,48 @@
+#include "dta/report.h"
+
+#include "common/strings.h"
+
+namespace dta::tuner {
+
+std::string Report::ToText() const {
+  std::string out;
+  out += StrFormat("Workload cost: current=%.2f recommended=%.2f (%.1f%%)\n",
+                   current_total, recommended_total, ImprovementPercent());
+  out += "Statements:\n";
+  for (const auto& s : statements) {
+    std::string sql = s.sql.size() > 72 ? s.sql.substr(0, 69) + "..." : s.sql;
+    out += StrFormat("  [w=%.0f] %8.2f -> %8.2f  %5.1f%%  %s\n", s.weight,
+                     s.current_cost, s.recommended_cost,
+                     s.ImprovementPercent(), sql.c_str());
+  }
+  if (!structure_usage.empty()) {
+    out += "Structure usage (statements):\n";
+    for (const auto& [name, count] : structure_usage) {
+      out += StrFormat("  %3d  %s\n", count, name.c_str());
+    }
+  }
+  return out;
+}
+
+xml::ElementPtr Report::ToXml() const {
+  auto root = std::make_unique<xml::Element>("Report");
+  root->SetAttr("CurrentCost", StrFormat("%.4f", current_total));
+  root->SetAttr("RecommendedCost", StrFormat("%.4f", recommended_total));
+  root->SetAttr("ExpectedImprovementPercent",
+                StrFormat("%.2f", ImprovementPercent()));
+  for (const auto& s : statements) {
+    xml::Element* e = root->AddChild("Statement");
+    e->SetAttr("Weight", StrFormat("%.2f", s.weight));
+    e->SetAttr("CurrentCost", StrFormat("%.4f", s.current_cost));
+    e->SetAttr("RecommendedCost", StrFormat("%.4f", s.recommended_cost));
+    e->set_text(s.sql);
+  }
+  for (const auto& [name, count] : structure_usage) {
+    xml::Element* e = root->AddChild("StructureUsage");
+    e->SetAttr("Statements", StrFormat("%d", count));
+    e->set_text(name);
+  }
+  return root;
+}
+
+}  // namespace dta::tuner

@@ -1,0 +1,47 @@
+// Analysis reports (paper §6.3): per-statement cost changes, structure
+// usage, and summary numbers, renderable as text or XML.
+
+#ifndef DTA_DTA_REPORT_H_
+#define DTA_DTA_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xmlio/xml.h"
+
+namespace dta::tuner {
+
+struct StatementReport {
+  std::string sql;
+  double weight = 1;
+  double current_cost = 0;
+  double recommended_cost = 0;
+
+  double ImprovementPercent() const {
+    if (current_cost <= 0) return 0;
+    return 100.0 * (current_cost - recommended_cost) / current_cost;
+  }
+};
+
+struct Report {
+  std::vector<StatementReport> statements;
+  // Canonical structure name -> number of statements whose recommended plan
+  // uses it.
+  std::map<std::string, int> structure_usage;
+
+  double current_total = 0;
+  double recommended_total = 0;
+
+  double ImprovementPercent() const {
+    if (current_total <= 0) return 0;
+    return 100.0 * (current_total - recommended_total) / current_total;
+  }
+
+  std::string ToText() const;
+  xml::ElementPtr ToXml() const;
+};
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_REPORT_H_

@@ -1,0 +1,57 @@
+#include "dta/staged_baseline.h"
+
+namespace dta::tuner {
+
+Result<StagedResult> TuneStaged(server::Server* production,
+                                const workload::Workload& workload,
+                                const TuningOptions& base_options) {
+  StagedResult out;
+
+  // Stage 1: partitioning only.
+  TuningOptions stage1 = base_options;
+  stage1.tune_indexes = false;
+  stage1.tune_materialized_views = false;
+  stage1.tune_partitioning = true;
+  {
+    TuningSession session(production, stage1);
+    auto r = session.Tune(workload);
+    if (!r.ok()) return r.status();
+    out.partitioning_stage = std::move(r).value();
+  }
+
+  // Stage 2: indexes, with stage 1's choices locked in.
+  TuningOptions stage2 = base_options;
+  stage2.tune_indexes = true;
+  stage2.tune_materialized_views = false;
+  stage2.tune_partitioning = false;
+  stage2.user_specified = out.partitioning_stage.recommendation;
+  {
+    TuningSession session(production, stage2);
+    auto r = session.Tune(workload);
+    if (!r.ok()) return r.status();
+    out.index_stage = std::move(r).value();
+  }
+
+  // Stage 3: materialized views, with stages 1+2 locked in.
+  TuningOptions stage3 = base_options;
+  stage3.tune_indexes = false;
+  stage3.tune_materialized_views = true;
+  stage3.tune_partitioning = false;
+  stage3.user_specified = out.index_stage.recommendation;
+  {
+    TuningSession session(production, stage3);
+    auto r = session.Tune(workload);
+    if (!r.ok()) return r.status();
+    out.view_stage = std::move(r).value();
+  }
+
+  out.final_configuration = out.view_stage.recommendation;
+  out.current_cost = out.view_stage.current_cost;
+  out.final_cost = out.view_stage.recommended_cost;
+  out.total_tuning_ms = out.partitioning_stage.tuning_time_ms +
+                        out.index_stage.tuning_time_ms +
+                        out.view_stage.tuning_time_ms;
+  return out;
+}
+
+}  // namespace dta::tuner

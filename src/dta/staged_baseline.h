@@ -1,0 +1,37 @@
+// Baseline: staged physical design selection (paper §3, Example 2) — first
+// choose partitioning only, then indexes given that partitioning, then
+// materialized views. The paper argues (and the ablation bench shows) that
+// staging can lock in inferior designs because features interact.
+
+#ifndef DTA_DTA_STAGED_BASELINE_H_
+#define DTA_DTA_STAGED_BASELINE_H_
+
+#include "dta/tuning_options.h"
+#include "dta/tuning_session.h"
+
+namespace dta::tuner {
+
+struct StagedResult {
+  TuningResult partitioning_stage;
+  TuningResult index_stage;
+  TuningResult view_stage;
+  catalog::Configuration final_configuration;
+  double current_cost = 0;
+  double final_cost = 0;
+  double ImprovementPercent() const {
+    if (current_cost <= 0) return 0;
+    return 100.0 * (current_cost - final_cost) / current_cost;
+  }
+  double total_tuning_ms = 0;
+};
+
+// Runs the three stages; each stage's chosen structures become the
+// user-specified (locked) configuration of the next. `base_options`
+// supplies constraints (storage bound, alignment) shared by all stages.
+Result<StagedResult> TuneStaged(server::Server* production,
+                                const workload::Workload& workload,
+                                const TuningOptions& base_options = {});
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_STAGED_BASELINE_H_

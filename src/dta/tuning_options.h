@@ -1,0 +1,89 @@
+// Inputs that control a tuning session (paper §2.1): the feature set to
+// tune, manageability (alignment) and storage constraints, an optional time
+// bound, a user-specified partial configuration, and the scalability knobs
+// (workload compression §5.1, reduced statistics §5.2).
+
+#ifndef DTA_DTA_TUNING_OPTIONS_H_
+#define DTA_DTA_TUNING_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "catalog/physical_design.h"
+
+namespace dta::tuner {
+
+struct TuningOptions {
+  // ---- Feature set (paper §3: DBAs may restrict tuning to a subset).
+  bool tune_indexes = true;
+  bool tune_materialized_views = true;
+  bool tune_partitioning = true;
+
+  // ---- Manageability (paper §4): every table and all of its indexes must
+  // be partitioned identically.
+  bool require_alignment = false;
+
+  // ---- Constraints.
+  // Upper bound on total storage of the recommended physical design.
+  std::optional<uint64_t> storage_bytes;
+  // Upper bound on tuning wall-clock time (ms).
+  std::optional<double> time_limit_ms;
+
+  // ---- Customization (paper §6.2): structures that must be part of the
+  // recommendation (evaluated, never dropped).
+  catalog::Configuration user_specified;
+
+  // When true, existing non-constraint structures of the current design are
+  // kept unconditionally; when false (DTA's default behaviour), they become
+  // ordinary candidates — re-recommended only when they pay for themselves,
+  // so DTA effectively recommends DROPs of harmful structures.
+  bool keep_existing_structures = false;
+
+  // ---- Scalability features.
+  bool workload_compression = true;
+  bool reduced_statistics = true;
+
+  // ---- Search parameters.
+  // Greedy(m,k) for per-query candidate selection.
+  int candidate_selection_m = 2;
+  int candidate_selection_k = 3;
+  int max_candidates_per_statement = 12;
+  // Greedy(m,k) for final enumeration.
+  int enumeration_m = 1;
+  int enumeration_k = 20;
+  // Enumeration stops when a greedy round improves workload cost by less
+  // than this fraction (a structure with negligible benefit is not worth
+  // its storage, maintenance, or the what-if calls to keep considering it).
+  double min_improvement_fraction = 0.004;
+  // The global candidate pool entering enumeration is capped to the best
+  // candidates by per-query benefit (keeps what-if call volume bounded on
+  // large workloads).
+  int max_enumeration_candidates = 40;
+  // Column-group restriction: groups below this fraction of total workload
+  // cost are pruned (§2.2); <= 0 disables the restriction.
+  double column_group_cost_fraction = 0.005;
+  int max_column_group_size = 3;
+  // Merging step on/off (§2.2).
+  bool enable_merging = true;
+  // Lazy (vs eager) introduction of aligned candidate variants (§4).
+  bool lazy_alignment = true;
+  // Range partitioning fan-out for proposed schemes.
+  int max_partition_boundaries = 8;
+
+  // Convenience presets ---------------------------------------------------
+  static TuningOptions IndexesOnly() {
+    TuningOptions o;
+    o.tune_materialized_views = false;
+    o.tune_partitioning = false;
+    return o;
+  }
+  static TuningOptions IndexesAndViews() {
+    TuningOptions o;
+    o.tune_partitioning = false;
+    return o;
+  }
+};
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_TUNING_OPTIONS_H_

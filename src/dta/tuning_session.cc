@@ -1,0 +1,435 @@
+#include "dta/tuning_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "dta/candidates.h"
+#include "dta/column_groups.h"
+#include "dta/cost_service.h"
+#include "dta/enumeration.h"
+#include "dta/greedy.h"
+#include "dta/merging.h"
+#include "dta/reduced_stats.h"
+
+namespace dta::tuner {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TuningSession::TuningSession(server::Server* production,
+                             TuningOptions options)
+    : production_(production), options_(std::move(options)) {}
+
+Status TuningSession::UseTestServer(server::Server* test) {
+  if (test == nullptr) {
+    test_ = nullptr;
+    return Status::Ok();
+  }
+  if (test->catalog().databases().empty()) {
+    return Status::FailedPrecondition(
+        "test server has no databases; create it with "
+        "Server::FromMetadataScript(production->ScriptMetadata(), ...)");
+  }
+  // Sanity: every production database must exist on the test server.
+  for (const auto& [name, db] : production_->catalog().databases()) {
+    if (test->catalog().FindDatabase(name) == nullptr) {
+      return Status::FailedPrecondition(
+          StrFormat("test server lacks database '%s'", name.c_str()));
+    }
+  }
+  test_ = test;
+  return Status::Ok();
+}
+
+Status TuningSession::CreateAndImportStats(
+    const std::vector<stats::StatsKey>& keys, TuningResult* result) {
+  for (const auto& key : keys) {
+    if (production_->HasStatistics(key)) {
+      // Already on production: only import (free) when in test mode.
+    } else {
+      auto duration = production_->CreateStatistics(key);
+      if (!duration.ok()) {
+        // Tables without data/specs cannot produce statistics; skip — the
+        // optimizer falls back to heuristics for them.
+        continue;
+      }
+      result->stats_created += 1;
+      result->stats_creation_ms += *duration;
+    }
+    if (test_ != nullptr && !test_->HasStatistics(key)) {
+      const stats::Statistics* s = production_->stats_manager().Find(key);
+      if (s != nullptr) test_->ImportStatistics(*s);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<catalog::Configuration> TuningSession::BaseConfiguration() const {
+  catalog::Configuration base;
+  for (const auto& ix : production_->current_configuration().indexes()) {
+    if (ix.constraint_enforcing || options_.keep_existing_structures) {
+      DTA_RETURN_IF_ERROR(base.AddIndex(ix));
+    }
+  }
+  if (options_.keep_existing_structures) {
+    for (const auto& v : production_->current_configuration().views()) {
+      DTA_RETURN_IF_ERROR(base.AddView(v));
+    }
+    for (const auto& [table, scheme] :
+         production_->current_configuration().table_partitioning()) {
+      base.SetTablePartitioning(table, scheme);
+    }
+  }
+  // User-specified configuration (paper §6.2) is honored verbatim.
+  for (const auto& ix : options_.user_specified.indexes()) {
+    Status s = base.AddIndex(ix);
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+  }
+  for (const auto& v : options_.user_specified.views()) {
+    Status s = base.AddView(v);
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+  }
+  for (const auto& [table, scheme] :
+       options_.user_specified.table_partitioning()) {
+    base.SetTablePartitioning(table, scheme);
+  }
+  return base;
+}
+
+Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
+  const double t_start = NowMs();
+  TuningResult result;
+  result.events_total = input.size();
+
+  auto deadline_reached = [&]() {
+    return options_.time_limit_ms.has_value() &&
+           NowMs() - t_start > *options_.time_limit_ms;
+  };
+
+  // ---- Workload compression (§5.1).
+  workload::Workload tuned;
+  if (options_.workload_compression) {
+    tuned = workload::CompressWorkload(input, {}, &result.compression);
+  } else {
+    for (const auto& ws : input.statements()) {
+      tuned.Add(ws.stmt.Clone(), ws.weight);
+    }
+    result.compression.original_statements = input.size();
+    result.compression.compressed_statements = input.size();
+    result.compression.templates = input.DistinctTemplates();
+  }
+  result.events_tuned = tuned.size();
+  if (tuned.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+
+  server::Server* tuning_server = TuningServer();
+  const optimizer::HardwareParams* simulate =
+      test_ != nullptr ? &production_->hardware() : nullptr;
+  CostService costs(tuning_server, simulate, &tuned);
+
+  auto base = BaseConfiguration();
+  if (!base.ok()) return base.status();
+  const catalog::Configuration& current =
+      production_->current_configuration();
+
+  // ---- Current-cost pass. Missing statistics are recorded but NOT created
+  // yet: they join the candidate-key statistics in one unified request, so
+  // reduced statistics creation (§5.2) can cover a requested singleton with
+  // a wider candidate statistic instead of creating both.
+  std::vector<double> current_costs(tuned.size(), 0.0);
+  for (size_t i = 0; i < tuned.size(); ++i) {
+    auto c = costs.StatementCost(i, current);
+    if (!c.ok()) return c.status();
+    current_costs[i] = *c;
+  }
+
+  // ---- Column-group restriction (§2.2).
+  auto groups = ComputeInterestingColumnGroups(
+      tuned, current_costs, tuning_server->catalog(),
+      options_.column_group_cost_fraction, options_.max_column_group_size);
+  if (!groups.ok()) return groups.status();
+
+  // ---- Candidate generation.
+  StatsFetcher fetcher = [this, &result](const stats::StatsKey& key)
+      -> Result<const stats::Statistics*> {
+    server::Server* ts = TuningServer();
+    if (const stats::Statistics* s = ts->stats_manager().Find(key);
+        s != nullptr) {
+      return s;
+    }
+    if (!production_->HasStatistics(key)) {
+      auto duration = production_->CreateStatistics(key);
+      if (!duration.ok()) return duration.status();
+      result.stats_created += 1;
+      result.stats_creation_ms += *duration;
+      result.stats_requested += 1;
+    }
+    const stats::Statistics* created = production_->stats_manager().Find(key);
+    if (created == nullptr) return Status::Internal("statistics vanished");
+    if (test_ != nullptr) {
+      test_->ImportStatistics(*created);
+      return test_->stats_manager().Find(key);
+    }
+    return created;
+  };
+
+  std::vector<std::vector<Candidate>> per_statement(tuned.size());
+  std::map<std::string, Candidate> pool_by_name;
+  std::set<stats::StatsKey> requested_stats;
+  for (size_t i = 0; i < tuned.size(); ++i) {
+    if (deadline_reached()) {
+      result.hit_time_limit = true;
+      break;
+    }
+    auto cands = GenerateCandidatesForStatement(
+        tuned.statements()[i].stmt, tuning_server, *groups, options_,
+        fetcher, tuned.statements()[i].weight);
+    if (!cands.ok()) return cands.status();
+    for (const Candidate& c : *cands) {
+      if (c.kind == Candidate::Kind::kIndex && !c.index.key_columns.empty()) {
+        requested_stats.insert(stats::StatsKey(
+            c.index.database, c.index.table, c.index.key_columns));
+      }
+    }
+    per_statement[i] = std::move(cands).value();
+  }
+
+  // ---- Reduced statistics creation (§5.2): one unified request covering
+  // the optimizer's missing statistics and the candidate index keys.
+  {
+    for (const auto& key : costs.missing_stats()) {
+      requested_stats.insert(key);
+    }
+    costs.ClearMissingStats();
+    // Fill database qualifiers by resolving against the catalog.
+    std::set<stats::StatsKey> resolved;
+    for (const auto& key : requested_stats) {
+      if (!key.database.empty()) {
+        resolved.insert(key);
+        continue;
+      }
+      auto r = tuning_server->catalog().ResolveTable("", key.table);
+      if (r.ok()) {
+        resolved.insert(stats::StatsKey(r->database->name(), key.table,
+                                        key.columns));
+      }
+    }
+    StatsCreationPlan plan;
+    if (options_.reduced_statistics) {
+      plan = PlanReducedStatistics(resolved,
+                                   production_->ExportStatistics());
+    } else {
+      for (const auto& key : resolved) {
+        if (!production_->HasStatistics(key)) {
+          plan.to_create.push_back(key);
+        }
+      }
+      plan.naive_count = resolved.size();
+    }
+    result.stats_requested += plan.naive_count;
+    DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result));
+    if (!plan.to_create.empty()) costs.ClearCache();
+  }
+
+  // ---- Candidate selection: per-statement Greedy(m,k) (§2.2).
+  std::map<std::string, double> candidate_benefit;  // weighted cost savings
+  for (size_t i = 0; i < tuned.size(); ++i) {
+    if (per_statement[i].empty()) continue;
+    if (deadline_reached()) {
+      result.hit_time_limit = true;
+      break;
+    }
+    const std::vector<Candidate>& cands = per_statement[i];
+    result.candidates_generated += cands.size();
+    auto eval = [&](const std::vector<size_t>& subset) -> Result<double> {
+      std::vector<const Candidate*> chosen;
+      for (size_t ci : subset) chosen.push_back(&cands[ci]);
+      auto config = BuildConfiguration(*base, chosen, false);
+      if (!config.ok()) return config.status();
+      return costs.StatementCost(i, *config);
+    };
+    auto empty_cost = costs.StatementCost(i, *base);
+    if (!empty_cost.ok()) return empty_cost.status();
+    GreedyResult picked = GreedySearch(
+        cands.size(), options_.candidate_selection_m,
+        options_.candidate_selection_k, *empty_cost, eval, deadline_reached);
+    double weight = tuned.statements()[i].weight;
+    double saved = std::max(0.0, *empty_cost - picked.cost) * weight;
+    for (size_t ci : picked.chosen) {
+      pool_by_name.emplace(cands[ci].name, cands[ci]);
+      candidate_benefit[cands[ci].name] +=
+          saved / static_cast<double>(picked.chosen.size());
+    }
+  }
+
+  std::vector<Candidate> pool;
+  pool.reserve(pool_by_name.size());
+  for (auto& [name, cand] : pool_by_name) pool.push_back(cand);
+  // Bound the pool entering enumeration: keep the best candidates by
+  // accumulated per-query benefit.
+  if (pool.size() >
+      static_cast<size_t>(options_.max_enumeration_candidates)) {
+    std::sort(pool.begin(), pool.end(),
+              [&](const Candidate& a, const Candidate& b) {
+                return candidate_benefit[a.name] > candidate_benefit[b.name];
+              });
+    pool.resize(static_cast<size_t>(options_.max_enumeration_candidates));
+  }
+
+  // ---- Existing non-constraint structures re-justify themselves: they
+  // enter the pool as ordinary candidates (past the benefit cap, so they
+  // are always considered). Whatever enumeration does not pick is an
+  // implicit DROP recommendation.
+  if (!options_.keep_existing_structures) {
+    const catalog::Configuration& cur = production_->current_configuration();
+    for (const auto& ix : cur.indexes()) {
+      if (ix.constraint_enforcing) continue;
+      Candidate cand =
+          Candidate::MakeIndex(ix, tuning_server->catalog());
+      if (pool_by_name.emplace(cand.name, cand).second) {
+        pool.push_back(std::move(cand));
+      }
+    }
+    for (const auto& v : cur.views()) {
+      Candidate cand = Candidate::MakeView(v);
+      if (pool_by_name.emplace(cand.name, cand).second) {
+        pool.push_back(std::move(cand));
+      }
+    }
+    for (const auto& [table, scheme] : cur.table_partitioning()) {
+      auto resolved = tuning_server->catalog().ResolveTable("", table);
+      Candidate cand = Candidate::MakePartitioning(
+          resolved.ok() ? resolved->database->name() : "", table, scheme);
+      if (pool_by_name.emplace(cand.name, cand).second) {
+        pool.push_back(std::move(cand));
+      }
+    }
+  }
+
+  // ---- Merging (§2.2).
+  if (options_.enable_merging && !deadline_reached()) {
+    std::vector<Candidate> merged =
+        MergeCandidatePool(pool, tuning_server);
+    std::set<stats::StatsKey> merged_stats;
+    for (const Candidate& c : merged) {
+      if (c.kind == Candidate::Kind::kIndex) {
+        auto r = tuning_server->catalog().ResolveTable(c.index.database,
+                                                       c.index.table);
+        if (r.ok()) {
+          merged_stats.insert(stats::StatsKey(
+              r->database->name(), c.index.table, c.index.key_columns));
+        }
+      }
+      pool.push_back(c);
+    }
+    if (!merged_stats.empty()) {
+      StatsCreationPlan plan;
+      if (options_.reduced_statistics) {
+        plan = PlanReducedStatistics(merged_stats,
+                                     production_->ExportStatistics());
+      } else {
+        for (const auto& key : merged_stats) {
+          if (!production_->HasStatistics(key)) {
+            plan.to_create.push_back(key);
+          }
+        }
+        plan.naive_count = merged_stats.size();
+      }
+      result.stats_requested += plan.naive_count;
+      DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result));
+      if (!plan.to_create.empty()) costs.ClearCache();
+    }
+  }
+
+  // ---- Enumeration (§2.2, §4).
+  auto enum_result = EnumerateConfiguration(&costs, pool, *base, options_,
+                                            deadline_reached);
+  if (!enum_result.ok()) return enum_result.status();
+  if (deadline_reached()) result.hit_time_limit = true;
+  result.enumeration_evaluations = enum_result->evaluations;
+  result.recommendation = std::move(enum_result->configuration);
+
+  // ---- Final numbers and report.
+  auto cur_total = costs.WorkloadCost(current);
+  if (!cur_total.ok()) return cur_total.status();
+  auto rec_total = costs.WorkloadCost(result.recommendation);
+  if (!rec_total.ok()) return rec_total.status();
+  result.current_cost = *cur_total;
+  result.recommended_cost = *rec_total;
+  result.whatif_calls = costs.whatif_calls();
+
+  result.report.current_total = *cur_total;
+  result.report.recommended_total = *rec_total;
+  for (size_t i = 0; i < tuned.size(); ++i) {
+    StatementReport sr;
+    sr.sql = tuned.statements()[i].text;
+    sr.weight = tuned.statements()[i].weight;
+    auto cc = costs.StatementCost(i, current);
+    auto rc = costs.StatementCost(i, result.recommendation);
+    sr.current_cost = cc.ok() ? *cc : 0;
+    sr.recommended_cost = rc.ok() ? *rc : 0;
+    result.report.statements.push_back(std::move(sr));
+    // Structure usage from the recommended plan.
+    const auto& stmt = tuned.statements()[i].stmt;
+    if (stmt.is_select()) {
+      auto plan =
+          tuning_server->WhatIfPlan(stmt.select(), result.recommendation);
+      if (plan.ok()) {
+        std::vector<std::string> used;
+        plan->root->CollectUsedStructures(&used);
+        std::sort(used.begin(), used.end());
+        used.erase(std::unique(used.begin(), used.end()), used.end());
+        for (const auto& name : used) {
+          result.report.structure_usage[name] += 1;
+        }
+      }
+    }
+  }
+
+  result.tuning_time_ms = NowMs() - t_start;
+  return result;
+}
+
+Result<EvaluationResult> TuningSession::EvaluateConfiguration(
+    const workload::Workload& workload,
+    const catalog::Configuration& config) {
+  server::Server* tuning_server = TuningServer();
+  const optimizer::HardwareParams* simulate =
+      test_ != nullptr ? &production_->hardware() : nullptr;
+  CostService costs(tuning_server, simulate, &workload);
+
+  EvaluationResult out;
+  const catalog::Configuration& current =
+      production_->current_configuration();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto cc = costs.StatementCost(i, current);
+    if (!cc.ok()) return cc.status();
+    auto ec = costs.StatementCost(i, config);
+    if (!ec.ok()) return ec.status();
+    double w = workload.statements()[i].weight;
+    out.current_cost += *cc * w;
+    out.evaluated_cost += *ec * w;
+    StatementReport sr;
+    sr.sql = workload.statements()[i].text;
+    sr.weight = w;
+    sr.current_cost = *cc;
+    sr.recommended_cost = *ec;
+    out.report.statements.push_back(std::move(sr));
+  }
+  out.report.current_total = out.current_cost;
+  out.report.recommended_total = out.evaluated_cost;
+  return out;
+}
+
+}  // namespace dta::tuner

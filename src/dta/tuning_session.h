@@ -1,0 +1,110 @@
+// End-to-end tuning driver: the orchestration of Figure 1 of the paper.
+//
+//   workload -> [compression §5.1] -> current-cost pass -> column-group
+//   restriction -> candidate generation + reduced statistics creation §5.2
+//   -> per-statement candidate selection (Greedy(m,k)) -> merging ->
+//   enumeration (Greedy(m,k), storage bound, alignment §4) -> recommendation
+//   + report.
+//
+// When a test server is supplied (§5.3), metadata is imported from the
+// production server, statistics are created on production and imported, and
+// every what-if call runs on the test server while simulating the
+// production server's hardware. Only statistics creation then loads the
+// production server.
+
+#ifndef DTA_DTA_TUNING_SESSION_H_
+#define DTA_DTA_TUNING_SESSION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "common/status.h"
+#include "dta/report.h"
+#include "dta/tuning_options.h"
+#include "server/server.h"
+#include "stats/statistics.h"
+#include "workload/compression.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+
+struct TuningResult {
+  catalog::Configuration recommendation;
+
+  double current_cost = 0;      // workload cost under the current design
+  double recommended_cost = 0;  // workload cost under the recommendation
+  double ImprovementPercent() const {
+    if (current_cost <= 0) return 0;
+    return 100.0 * (current_cost - recommended_cost) / current_cost;
+  }
+
+  size_t events_total = 0;  // statements before compression
+  size_t events_tuned = 0;  // statements actually tuned
+  double tuning_time_ms = 0;
+  bool hit_time_limit = false;
+
+  size_t whatif_calls = 0;
+  size_t enumeration_evaluations = 0;
+  size_t candidates_generated = 0;
+
+  // Statistics creation accounting (experiment 7.5).
+  size_t stats_requested = 0;  // what the naive strategy would create
+  size_t stats_created = 0;
+  double stats_creation_ms = 0;
+
+  workload::CompressionStats compression;
+  Report report;
+};
+
+struct EvaluationResult {
+  double current_cost = 0;
+  double evaluated_cost = 0;
+  double ChangePercent() const {
+    if (current_cost <= 0) return 0;
+    return 100.0 * (current_cost - evaluated_cost) / current_cost;
+  }
+  Report report;
+};
+
+class TuningSession {
+ public:
+  TuningSession(server::Server* production, TuningOptions options);
+
+  // Enables the production/test server scenario. The test server must be
+  // metadata-compatible; when its catalog is empty, metadata is imported
+  // from the production server automatically.
+  Status UseTestServer(server::Server* test);
+
+  // Runs the full tuning pipeline.
+  Result<TuningResult> Tune(const workload::Workload& workload);
+
+  // Exploratory analysis (paper §6.3): costs the workload under a
+  // user-provided configuration vs. the current one, without tuning.
+  Result<EvaluationResult> EvaluateConfiguration(
+      const workload::Workload& workload,
+      const catalog::Configuration& config);
+
+  const TuningOptions& options() const { return options_; }
+
+ private:
+  server::Server* TuningServer() {
+    return test_ != nullptr ? test_ : production_;
+  }
+  // Creates statistics on the production server and, in test-server mode,
+  // imports them into the test server. Accumulates counters.
+  Status CreateAndImportStats(const std::vector<stats::StatsKey>& keys,
+                              TuningResult* result);
+  // Base configuration: constraint-enforcing indexes of the current design
+  // plus the user-specified configuration.
+  Result<catalog::Configuration> BaseConfiguration() const;
+
+  server::Server* production_;
+  server::Server* test_ = nullptr;
+  TuningOptions options_;
+};
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_TUNING_SESSION_H_

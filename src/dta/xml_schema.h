@@ -1,0 +1,77 @@
+// Public XML schema for physical database design (paper §6.1): DTA's inputs
+// (workload, tuning options, user-specified configuration) and outputs
+// (recommended configuration, reports) serialize to a stable, documented
+// XML vocabulary so other tools can script DTA and exchange designs.
+//
+// Document shape:
+//
+//   <DTAXML>
+//     <Input>
+//       <Server Name="prod"/>
+//       <Workload>
+//         <Statement Weight="3">SELECT ...</Statement> ...
+//       </Workload>
+//       <TuningOptions Indexes="true" MaterializedViews="true"
+//                      Partitioning="true" Alignment="false"
+//                      StorageBytes="..." TimeLimitMs="...">
+//         <UserSpecifiedConfiguration> ...structures... </...>
+//       </TuningOptions>
+//     </Input>
+//     <Output>
+//       <Configuration>
+//         <Index Table="t" Clustered="false">
+//           <KeyColumn>a</KeyColumn> <IncludedColumn>b</IncludedColumn>
+//           <Partitioning Column="c"><Boundary>10</Boundary>...</Partitioning>
+//         </Index>
+//         <View EstimatedRows="100" EstimatedRowBytes="24">
+//           <Definition>SELECT ...</Definition>
+//         </View>
+//         <TablePartitioning Table="t">
+//           <Partitioning Column="c">...</Partitioning>
+//         </TablePartitioning>
+//       </Configuration>
+//       <Report .../>
+//     </Output>
+//   </DTAXML>
+
+#ifndef DTA_DTA_XML_SCHEMA_H_
+#define DTA_DTA_XML_SCHEMA_H_
+
+#include <string>
+
+#include "catalog/physical_design.h"
+#include "common/status.h"
+#include "dta/report.h"
+#include "dta/tuning_options.h"
+#include "workload/workload.h"
+#include "xmlio/xml.h"
+
+namespace dta::tuner {
+
+// ---- Configuration <-> XML ------------------------------------------------
+xml::ElementPtr ConfigurationToXml(const catalog::Configuration& config);
+Result<catalog::Configuration> ConfigurationFromXml(const xml::Element& elem);
+
+// ---- Tuning input ----------------------------------------------------------
+struct TuningInput {
+  std::string server_name;
+  workload::Workload workload;
+  TuningOptions options;
+};
+
+std::string TuningInputToXml(const TuningInput& input);
+Result<TuningInput> TuningInputFromXml(const std::string& xml_text);
+
+// ---- Tuning output ---------------------------------------------------------
+// Serializes a full DTAXML document carrying input echoes and the output
+// configuration + report.
+std::string TuningOutputToXml(const TuningInput& input,
+                              const catalog::Configuration& recommendation,
+                              const Report& report);
+// Extracts the recommended configuration from a DTAXML output document.
+Result<catalog::Configuration> RecommendationFromXml(
+    const std::string& xml_text);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_XML_SCHEMA_H_

@@ -1,0 +1,1012 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+#include "optimizer/view_matching.h"
+#include "sql/printer.h"
+
+namespace dta::engine {
+
+using optimizer::BoundAtom;
+using optimizer::BoundQuery;
+using optimizer::PlanNode;
+using optimizer::PlanOp;
+using optimizer::ViewMatchInfo;
+
+// --------------------------------------------------------------------------
+// Intermediate results
+// --------------------------------------------------------------------------
+
+struct Executor::Rel {
+  // Column identities: (table index, column ordinal) for base columns,
+  // (kViewTable, view output ordinal) for view output, (kItemSlot, item
+  // index) for final aggregated items.
+  static constexpr int kViewTable = -2;
+  static constexpr int kItemSlot = -3;
+
+  std::vector<std::pair<int, int>> cols;
+  std::vector<std::vector<sql::Value>> rows;
+  const ViewMatchInfo* view_match = nullptr;  // set for view output rels
+  bool aggregated = false;
+  size_t item_count = 0;
+
+  int SlotOf(int table, int col) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].first == table && cols[i].second == col) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+namespace {
+
+// LIKE pattern matcher supporting % and _.
+bool LikeMatch(const std::string& text, const std::string& pattern, size_t ti,
+               size_t pi) {
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '%') {
+      // Try to match the rest of the pattern at every position.
+      for (size_t k = ti; k <= text.size(); ++k) {
+        if (LikeMatch(text, pattern, k, pi + 1)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (pc != '_' && pc != text[ti]) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  return LikeMatch(text, pattern, 0, 0);
+}
+
+sql::Value ArithValue(sql::BinaryOp op, const sql::Value& l,
+                      const sql::Value& r) {
+  if (l.is_null() || r.is_null()) return sql::Value::Null();
+  if (op != sql::BinaryOp::kDiv && l.type() == sql::ValueType::kInt &&
+      r.type() == sql::ValueType::kInt) {
+    int64_t a = l.AsInt(), b = r.AsInt();
+    switch (op) {
+      case sql::BinaryOp::kAdd:
+        return sql::Value::Int(a + b);
+      case sql::BinaryOp::kSub:
+        return sql::Value::Int(a - b);
+      case sql::BinaryOp::kMul:
+        return sql::Value::Int(a * b);
+      default:
+        break;
+    }
+  }
+  double a = l.ToDouble(), b = r.ToDouble();
+  switch (op) {
+    case sql::BinaryOp::kAdd:
+      return sql::Value::Double(a + b);
+    case sql::BinaryOp::kSub:
+      return sql::Value::Double(a - b);
+    case sql::BinaryOp::kMul:
+      return sql::Value::Double(a * b);
+    case sql::BinaryOp::kDiv:
+      return b == 0 ? sql::Value::Null() : sql::Value::Double(a / b);
+  }
+  return sql::Value::Null();
+}
+
+struct VecValueLess {
+  bool operator()(const std::vector<sql::Value>& a,
+                  const std::vector<sql::Value>& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Expression / predicate evaluation
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Looks up the slot of a bound (table, column) in a rel, going through the
+// view column map when the rel is view output.
+int ResolveSlot(const Executor::Rel& rel, int table, int col) {
+  if (rel.view_match != nullptr) {
+    auto it = rel.view_match->column_map.find({table, col});
+    if (it == rel.view_match->column_map.end()) return -1;
+    return rel.SlotOf(Executor::Rel::kViewTable, it->second);
+  }
+  return rel.SlotOf(table, col);
+}
+
+Result<sql::Value> EvalExpr(const sql::Expr& e, const BoundQuery& q,
+                            const Executor::Rel& rel,
+                            const std::vector<sql::Value>& row) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kConst:
+      return e.value;
+    case sql::Expr::Kind::kColumn: {
+      auto rc = optimizer::ResolveColumnRef(e.column, q);
+      if (!rc.ok()) return rc.status();
+      int slot = ResolveSlot(rel, rc->first, rc->second);
+      if (slot < 0) {
+        return Status::Internal(
+            StrFormat("column '%s' not present in intermediate result",
+                      e.column.column.c_str()));
+      }
+      return row[static_cast<size_t>(slot)];
+    }
+    case sql::Expr::Kind::kBinary: {
+      auto l = EvalExpr(*e.left, q, rel, row);
+      if (!l.ok()) return l.status();
+      auto r = EvalExpr(*e.right, q, rel, row);
+      if (!r.ok()) return r.status();
+      return ArithValue(e.op, *l, *r);
+    }
+    case sql::Expr::Kind::kAggregate:
+      return Status::Internal("aggregate evaluated outside aggregation");
+  }
+  return sql::Value::Null();
+}
+
+Result<bool> EvalAtom(const BoundAtom& atom, const BoundQuery& /*q*/,
+                      const Executor::Rel& rel,
+                      const std::vector<sql::Value>& row) {
+  int lslot = ResolveSlot(rel, atom.table, atom.column);
+  if (lslot < 0) return Status::Internal("predicate column missing in rel");
+  const sql::Value& lhs = row[static_cast<size_t>(lslot)];
+  const sql::Predicate& p = *atom.pred;
+  auto cmp_ok = [&](sql::CompareOp op, int c) {
+    switch (op) {
+      case sql::CompareOp::kEq:
+        return c == 0;
+      case sql::CompareOp::kNe:
+        return c != 0;
+      case sql::CompareOp::kLt:
+        return c < 0;
+      case sql::CompareOp::kLe:
+        return c <= 0;
+      case sql::CompareOp::kGt:
+        return c > 0;
+      case sql::CompareOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  };
+  switch (p.kind) {
+    case sql::Predicate::Kind::kCompare:
+      return cmp_ok(p.op, lhs.Compare(p.value));
+    case sql::Predicate::Kind::kBetween:
+      return lhs.Compare(p.low) >= 0 && lhs.Compare(p.high) <= 0;
+    case sql::Predicate::Kind::kIn:
+      for (const auto& v : p.in_list) {
+        if (lhs.Compare(v) == 0) return true;
+      }
+      return false;
+    case sql::Predicate::Kind::kLike:
+      if (lhs.type() != sql::ValueType::kString) return false;
+      return LikeMatch(lhs.AsString(), p.like_pattern);
+    case sql::Predicate::Kind::kColumnCompare: {
+      int rslot = ResolveSlot(rel, atom.rhs_table, atom.rhs_column);
+      if (rslot < 0) {
+        return Status::Internal("rhs predicate column missing in rel");
+      }
+      return cmp_ok(p.op, lhs.Compare(row[static_cast<size_t>(rslot)]));
+    }
+  }
+  return false;
+}
+
+Result<bool> EvalAtoms(const std::vector<int>& atom_ids, const BoundQuery& q,
+                       const Executor::Rel& rel,
+                       const std::vector<sql::Value>& row) {
+  for (int a : atom_ids) {
+    auto ok = EvalAtom(q.atoms[static_cast<size_t>(a)], q, rel, row);
+    if (!ok.ok()) return ok.status();
+    if (!*ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Structure materialization
+// --------------------------------------------------------------------------
+
+struct Executor::IndexData {
+  const storage::TableData* data = nullptr;
+  std::vector<int> key_cols;          // column ordinals
+  std::vector<uint32_t> rowids;       // sorted by key
+};
+
+Executor::Executor(const catalog::Catalog& catalog, const DataSource* data)
+    : catalog_(catalog), data_(data) {}
+
+Executor::~Executor() = default;
+
+void Executor::ClearStructureCache() {
+  indexes_.clear();
+  views_.clear();
+}
+
+const storage::TableData* Executor::FindData(const BoundQuery& q,
+                                             int table) const {
+  const optimizer::BoundTable& bt = q.tables[static_cast<size_t>(table)];
+  if (data_ == nullptr) return nullptr;
+  return data_->Table(bt.database->name(), bt.schema->name());
+}
+
+Result<const Executor::IndexData*> Executor::MaterializeIndex(
+    const catalog::IndexDef& index) {
+  std::string key = index.CanonicalName();
+  auto it = indexes_.find(key);
+  if (it != indexes_.end()) return it->second.get();
+
+  auto resolved = catalog_.ResolveTable(index.database, index.table);
+  if (!resolved.ok()) return resolved.status();
+  const storage::TableData* data =
+      data_ != nullptr ? data_->Table(resolved->database->name(),
+                                      resolved->table->name())
+                       : nullptr;
+  if (data == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("no data for table '%s' (metadata-only?)",
+                  resolved->table->name().c_str()));
+  }
+  auto ix = std::make_unique<IndexData>();
+  ix->data = data;
+  for (const auto& col : index.key_columns) {
+    int ci = resolved->table->ColumnIndex(col);
+    if (ci < 0) {
+      return Status::NotFound(StrFormat("index key column '%s' missing",
+                                        col.c_str()));
+    }
+    ix->key_cols.push_back(ci);
+  }
+  ix->rowids.resize(data->row_count());
+  for (size_t i = 0; i < ix->rowids.size(); ++i) {
+    ix->rowids[i] = static_cast<uint32_t>(i);
+  }
+  std::stable_sort(ix->rowids.begin(), ix->rowids.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return data->CompareRows(a, b, ix->key_cols) < 0;
+                   });
+  const IndexData* out = ix.get();
+  indexes_[key] = std::move(ix);
+  return out;
+}
+
+Result<const Executor::Rel*> Executor::MaterializeView(
+    const catalog::ViewDef& view) {
+  std::string key = view.CanonicalName();
+  auto it = views_.find(key);
+  if (it != views_.end()) return it->second.get();
+  if (view.definition == nullptr) {
+    return Status::InvalidArgument("view has no definition");
+  }
+  // Execute the definition against the raw configuration.
+  stats::StatsManager no_stats;
+  optimizer::StatsProvider provider(&no_stats);
+  optimizer::Optimizer opt(catalog_, provider, optimizer::HardwareParams());
+  auto plan = opt.OptimizeSelect(*view.definition, catalog::Configuration());
+  if (!plan.ok()) return plan.status();
+  auto result = Execute(plan->bound, *plan->root);
+  if (!result.ok()) return result.status();
+
+  auto rel = std::make_unique<Rel>();
+  rel->rows = std::move(result->rows);
+  for (size_t i = 0; i < result->column_names.size(); ++i) {
+    rel->cols.emplace_back(Rel::kViewTable, static_cast<int>(i));
+  }
+  const Rel* out = rel.get();
+  views_[key] = std::move(rel);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Operators
+// --------------------------------------------------------------------------
+
+Result<Executor::Rel> Executor::ExecScan(const BoundQuery& q,
+                                         const PlanNode& node) {
+  const storage::TableData* data = FindData(q, node.table);
+  if (data == nullptr) {
+    return Status::FailedPrecondition("no data for scanned table");
+  }
+  Rel rel;
+  const auto& need =
+      q.referenced_columns[static_cast<size_t>(node.table)];
+  for (int c : need) rel.cols.emplace_back(node.table, c);
+
+  std::vector<uint32_t> order;
+  if (node.op == PlanOp::kIndexScan && node.index != nullptr) {
+    auto ix = MaterializeIndex(*node.index);
+    if (!ix.ok()) return ix.status();
+    order = (*ix)->rowids;
+  }
+  std::vector<sql::Value> row(need.size());
+  for (size_t i = 0; i < data->row_count(); ++i) {
+    size_t r = order.empty() ? i : order[i];
+    for (size_t c = 0; c < need.size(); ++c) {
+      row[c] = data->GetValue(r, static_cast<size_t>(need[c]));
+    }
+    auto keep = EvalAtoms(node.atoms, q, rel, row);
+    if (!keep.ok()) return keep.status();
+    if (*keep) rel.rows.push_back(row);
+  }
+  return rel;
+}
+
+Result<Executor::Rel> Executor::ExecSeek(
+    const BoundQuery& q, const PlanNode& node,
+    const std::vector<sql::Value>* param_key) {
+  if (node.index == nullptr) return Status::Internal("seek without index");
+  auto ix_or = MaterializeIndex(*node.index);
+  if (!ix_or.ok()) return ix_or.status();
+  const IndexData& ix = **ix_or;
+  const storage::TableData* data = ix.data;
+
+  Rel rel;
+  const auto& need =
+      q.referenced_columns[static_cast<size_t>(node.table)];
+  for (int c : need) rel.cols.emplace_back(node.table, c);
+
+  // Build the probes: a common equality prefix plus an optional terminal
+  // range; IN terminals expand into several equality probes.
+  struct Probe {
+    std::vector<sql::Value> prefix;
+    std::optional<sql::Value> lo, hi;
+    bool lo_incl = true, hi_incl = true;
+    bool bounded = false;  // lo/hi apply to the column after the prefix
+  };
+  std::vector<Probe> probes;
+  {
+    Probe base;
+    bool terminal_done = false;
+    for (size_t s = 0; s < node.seek_atoms.size(); ++s) {
+      const BoundAtom& atom =
+          q.atoms[static_cast<size_t>(node.seek_atoms[s])];
+      const sql::Predicate& p = *atom.pred;
+      if (param_key != nullptr && s == 0 && atom.IsJoin()) {
+        // Parameterized join probe: key supplied by the outer row.
+        base.prefix.push_back((*param_key)[0]);
+        continue;
+      }
+      if (p.IsEquality()) {
+        base.prefix.push_back(p.value);
+        continue;
+      }
+      terminal_done = true;
+      switch (p.kind) {
+        case sql::Predicate::Kind::kCompare:
+          base.bounded = true;
+          if (p.op == sql::CompareOp::kLt) {
+            base.hi = p.value;
+            base.hi_incl = false;
+          } else if (p.op == sql::CompareOp::kLe) {
+            base.hi = p.value;
+          } else if (p.op == sql::CompareOp::kGt) {
+            base.lo = p.value;
+            base.lo_incl = false;
+          } else if (p.op == sql::CompareOp::kGe) {
+            base.lo = p.value;
+          }
+          break;
+        case sql::Predicate::Kind::kBetween:
+          base.bounded = true;
+          base.lo = p.low;
+          base.hi = p.high;
+          break;
+        case sql::Predicate::Kind::kLike: {
+          size_t wild = p.like_pattern.find_first_of("%_");
+          std::string prefix = p.like_pattern.substr(
+              0, wild == std::string::npos ? p.like_pattern.size() : wild);
+          base.bounded = true;
+          base.lo = sql::Value::String(prefix);
+          std::string hi = prefix;
+          hi.push_back('\x7f');
+          base.hi = sql::Value::String(hi);
+          base.hi_incl = false;
+          break;
+        }
+        case sql::Predicate::Kind::kIn: {
+          for (const auto& v : p.in_list) {
+            Probe pr = base;
+            pr.prefix.push_back(v);
+            probes.push_back(std::move(pr));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      break;  // only one terminal
+    }
+    if (probes.empty()) probes.push_back(std::move(base));
+    (void)terminal_done;
+  }
+
+  // Binary-search helpers over the sorted rowids.
+  auto lower = [&](const std::vector<sql::Value>& key) {
+    return std::lower_bound(ix.rowids.begin(), ix.rowids.end(), key,
+                            [&](uint32_t rid,
+                                const std::vector<sql::Value>& k) {
+                              return data->CompareRowToKey(rid, ix.key_cols,
+                                                           k) < 0;
+                            });
+  };
+  auto upper = [&](const std::vector<sql::Value>& key) {
+    return std::upper_bound(ix.rowids.begin(), ix.rowids.end(), key,
+                            [&](const std::vector<sql::Value>& k,
+                                uint32_t rid) {
+                              return data->CompareRowToKey(rid, ix.key_cols,
+                                                           k) > 0;
+                            });
+  };
+
+  std::vector<sql::Value> row(need.size());
+  for (const Probe& probe : probes) {
+    auto begin = ix.rowids.begin();
+    auto end = ix.rowids.end();
+    if (!probe.prefix.empty() || probe.bounded) {
+      std::vector<sql::Value> lo_key = probe.prefix;
+      std::vector<sql::Value> hi_key = probe.prefix;
+      if (probe.bounded && probe.lo.has_value()) lo_key.push_back(*probe.lo);
+      if (probe.bounded && probe.hi.has_value()) hi_key.push_back(*probe.hi);
+      begin = probe.bounded && probe.lo.has_value() && !probe.lo_incl
+                  ? upper(lo_key)
+                  : lower(lo_key);
+      if (probe.bounded && probe.hi.has_value()) {
+        end = probe.hi_incl ? upper(hi_key) : lower(hi_key);
+      } else if (!probe.prefix.empty()) {
+        end = upper(probe.prefix);
+      }
+    }
+    for (auto it = begin; it != end; ++it) {
+      size_t r = *it;
+      // Unbounded-side prefix check: when bounded with only one side, rows
+      // beyond the prefix could slip in; verify prefix equality.
+      if (!probe.prefix.empty() &&
+          data->CompareRowToKey(r, ix.key_cols, probe.prefix) != 0) {
+        continue;
+      }
+      for (size_t c = 0; c < need.size(); ++c) {
+        row[c] = data->GetValue(r, static_cast<size_t>(need[c]));
+      }
+      auto keep = EvalAtoms(node.atoms, q, rel, row);
+      if (!keep.ok()) return keep.status();
+      if (*keep) rel.rows.push_back(row);
+    }
+  }
+  return rel;
+}
+
+Result<Executor::Rel> Executor::ExecViewScan(const BoundQuery& q,
+                                             const PlanNode& node) {
+  if (node.view == nullptr || node.view_match == nullptr) {
+    return Status::Internal("view scan without view");
+  }
+  auto mat = MaterializeView(*node.view);
+  if (!mat.ok()) return mat.status();
+  Rel rel;
+  rel.cols = (*mat)->cols;
+  rel.view_match = node.view_match.get();
+  for (const auto& row : (*mat)->rows) {
+    auto keep = EvalAtoms(node.atoms, q, rel, row);
+    if (!keep.ok()) return keep.status();
+    if (*keep) rel.rows.push_back(row);
+  }
+  return rel;
+}
+
+namespace {
+
+// Applies a node's residual atoms (e.g. cross-table comparisons attached
+// above a join) to an already-produced rel.
+Result<Executor::Rel> ApplyResidualAtoms(const std::vector<int>& atom_ids,
+                                         const BoundQuery& q,
+                                         Executor::Rel rel) {
+  if (atom_ids.empty()) return rel;
+  std::vector<std::vector<sql::Value>> kept;
+  kept.reserve(rel.rows.size());
+  for (auto& row : rel.rows) {
+    auto ok = EvalAtoms(atom_ids, q, rel, row);
+    if (!ok.ok()) return ok.status();
+    if (*ok) kept.push_back(std::move(row));
+  }
+  rel.rows = std::move(kept);
+  return rel;
+}
+
+}  // namespace
+
+Result<Executor::Rel> Executor::ExecJoin(const BoundQuery& q,
+                                         const PlanNode& node) {
+  // Hash or merge join over fully materialized children; merge joins are
+  // executed with the same hash algorithm (results identical; the cost
+  // model, not the executor, differentiates them).
+  auto left = Exec(q, *node.children[0]);
+  if (!left.ok()) return left.status();
+  auto right = Exec(q, *node.children[1]);
+  if (!right.ok()) return right.status();
+
+  Rel out;
+  out.cols = left->cols;
+  out.cols.insert(out.cols.end(), right->cols.begin(), right->cols.end());
+
+  // Join key slots per side.
+  std::vector<int> lslots, rslots;
+  for (int a : node.join_atoms) {
+    const BoundAtom& atom = q.atoms[static_cast<size_t>(a)];
+    int l1 = left->SlotOf(atom.table, atom.column);
+    int r1 = right->SlotOf(atom.rhs_table, atom.rhs_column);
+    if (l1 >= 0 && r1 >= 0) {
+      lslots.push_back(l1);
+      rslots.push_back(r1);
+      continue;
+    }
+    int l2 = left->SlotOf(atom.rhs_table, atom.rhs_column);
+    int r2 = right->SlotOf(atom.table, atom.column);
+    if (l2 >= 0 && r2 >= 0) {
+      lslots.push_back(l2);
+      rslots.push_back(r2);
+      continue;
+    }
+    return Status::Internal("join key not found in children");
+  }
+
+  if (lslots.empty()) {
+    // Cartesian product.
+    for (const auto& lr : left->rows) {
+      for (const auto& rr : right->rows) {
+        std::vector<sql::Value> row = lr;
+        row.insert(row.end(), rr.begin(), rr.end());
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return ApplyResidualAtoms(node.atoms, q, std::move(out));
+  }
+
+  // Build on the left child (the optimizer puts the build side first).
+  std::map<std::vector<sql::Value>, std::vector<size_t>, VecValueLess> table;
+  std::vector<sql::Value> key(lslots.size());
+  for (size_t i = 0; i < left->rows.size(); ++i) {
+    for (size_t k = 0; k < lslots.size(); ++k) {
+      key[k] = left->rows[i][static_cast<size_t>(lslots[k])];
+    }
+    table[key].push_back(i);
+  }
+  for (const auto& rr : right->rows) {
+    for (size_t k = 0; k < rslots.size(); ++k) {
+      key[k] = rr[static_cast<size_t>(rslots[k])];
+    }
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (size_t li : it->second) {
+      std::vector<sql::Value> row = left->rows[li];
+      row.insert(row.end(), rr.begin(), rr.end());
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return ApplyResidualAtoms(node.atoms, q, std::move(out));
+}
+
+Result<Executor::Rel> Executor::ExecNestLoop(const BoundQuery& q,
+                                             const PlanNode& node) {
+  auto outer = Exec(q, *node.children[0]);
+  if (!outer.ok()) return outer.status();
+  const PlanNode& inner = *node.children[1];
+  if (inner.op != PlanOp::kIndexSeek || inner.seek_atoms.empty()) {
+    return Status::Internal("nest-loop inner must be an index seek");
+  }
+  const BoundAtom& seek_atom =
+      q.atoms[static_cast<size_t>(inner.seek_atoms[0])];
+  // Outer side column of the seek atom.
+  int otab = seek_atom.table == inner.table ? seek_atom.rhs_table
+                                            : seek_atom.table;
+  int ocol = seek_atom.table == inner.table ? seek_atom.rhs_column
+                                            : seek_atom.column;
+  int oslot = outer->SlotOf(otab, ocol);
+  if (oslot < 0) return Status::Internal("outer join key not available");
+
+  Rel out;
+  out.cols = outer->cols;
+  bool cols_done = false;
+
+  std::vector<sql::Value> param(1);
+  for (const auto& orow : outer->rows) {
+    param[0] = orow[static_cast<size_t>(oslot)];
+    auto matched = ExecSeek(q, inner, &param);
+    if (!matched.ok()) return matched.status();
+    if (!cols_done) {
+      out.cols.insert(out.cols.end(), matched->cols.begin(),
+                      matched->cols.end());
+      cols_done = true;
+    }
+    for (const auto& irow : matched->rows) {
+      std::vector<sql::Value> row = orow;
+      row.insert(row.end(), irow.begin(), irow.end());
+      // Apply any additional join atoms beyond the seek key.
+      bool keep = true;
+      for (int a : node.join_atoms) {
+        if (a == inner.seek_atoms[0]) continue;
+        auto ok = EvalAtom(q.atoms[static_cast<size_t>(a)], q, out, row);
+        if (!ok.ok()) return ok.status();
+        if (!*ok) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out.rows.push_back(std::move(row));
+    }
+  }
+  if (!cols_done) {
+    // No outer rows matched anything; synthesize inner columns.
+    const auto& need =
+        q.referenced_columns[static_cast<size_t>(inner.table)];
+    for (int c : need) out.cols.emplace_back(inner.table, c);
+  }
+  return ApplyResidualAtoms(node.atoms, q, std::move(out));
+}
+
+Result<Executor::Rel> Executor::ExecAggregate(const BoundQuery& q,
+                                              const PlanNode& node) {
+  auto child = Exec(q, *node.children[0]);
+  if (!child.ok()) return child.status();
+  const sql::SelectStatement& stmt = *q.stmt;
+
+  // DISTINCT without aggregates: dedupe projected rows.
+  if (q.group_by.empty() && !stmt.HasAggregates() && stmt.distinct) {
+    Rel out;
+    out.aggregated = true;
+    out.item_count = stmt.items.size();
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      out.cols.emplace_back(Rel::kItemSlot, static_cast<int>(i));
+    }
+    std::map<std::vector<sql::Value>, bool, VecValueLess> seen;
+    for (const auto& row : child->rows) {
+      std::vector<sql::Value> proj;
+      proj.reserve(stmt.items.size());
+      for (const auto& item : stmt.items) {
+        auto v = EvalExpr(*item.expr, q, *child, row);
+        if (!v.ok()) return v.status();
+        proj.push_back(std::move(v).value());
+      }
+      if (seen.emplace(proj, true).second) out.rows.push_back(proj);
+    }
+    return out;
+  }
+
+  // Group keys.
+  const bool from_view = node.view_reaggregate;
+  const ViewMatchInfo* vm = node.view_match.get();
+  std::vector<int> key_slots;
+  for (const auto& [t, c] : q.group_by) {
+    int slot = ResolveSlot(*child, t, c);
+    if (slot < 0) return Status::Internal("group column missing");
+    key_slots.push_back(slot);
+  }
+
+  struct Acc {
+    double sum = 0;
+    double cnt = 0;
+    bool has = false;
+    sql::Value min, max;
+    std::map<std::vector<sql::Value>, bool, VecValueLess> distinct;
+  };
+  struct Group {
+    std::vector<sql::Value> rep;  // representative child row
+    std::vector<Acc> accs;
+  };
+  std::map<std::vector<sql::Value>, Group, VecValueLess> groups;
+
+  const size_t n_items = stmt.items.size();
+  std::vector<sql::Value> key(key_slots.size());
+  for (const auto& row : child->rows) {
+    for (size_t k = 0; k < key_slots.size(); ++k) {
+      key[k] = row[static_cast<size_t>(key_slots[k])];
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    Group& g = it->second;
+    if (inserted) {
+      g.rep = row;
+      g.accs.resize(n_items);
+    }
+    for (size_t i = 0; i < n_items; ++i) {
+      const sql::Expr* e = stmt.items[i].expr.get();
+      Acc& acc = g.accs[i];
+      if (from_view && vm != nullptr) {
+        const ViewMatchInfo::ItemSource& src = vm->item_sources[i];
+        if (src.avg_sum_col >= 0) {
+          int ss = child->SlotOf(Rel::kViewTable, src.avg_sum_col);
+          int cs = child->SlotOf(Rel::kViewTable, src.avg_cnt_col);
+          if (ss < 0 || cs < 0) return Status::Internal("avg cols missing");
+          acc.sum += row[static_cast<size_t>(ss)].ToDouble();
+          acc.cnt += row[static_cast<size_t>(cs)].ToDouble();
+          acc.has = true;
+          continue;
+        }
+        if (src.view_col >= 0) {
+          int slot = child->SlotOf(Rel::kViewTable, src.view_col);
+          if (slot < 0) return Status::Internal("view column missing");
+          const sql::Value& v = row[static_cast<size_t>(slot)];
+          switch (src.fold) {
+            case sql::AggFunc::kSum:
+            case sql::AggFunc::kCount:
+            case sql::AggFunc::kAvg:
+              acc.sum += v.ToDouble();
+              break;
+            case sql::AggFunc::kMin:
+              if (!acc.has || v.Compare(acc.min) < 0) acc.min = v;
+              break;
+            case sql::AggFunc::kMax:
+              if (!acc.has || v.Compare(acc.max) > 0) acc.max = v;
+              break;
+          }
+          acc.has = true;
+          continue;
+        }
+        // compute_from_columns: group column, handled at output time.
+        continue;
+      }
+      if (e == nullptr || e->kind != sql::Expr::Kind::kAggregate) continue;
+      // COUNT(*) has no argument.
+      sql::Value v;
+      if (e->left != nullptr) {
+        auto ev = EvalExpr(*e->left, q, *child, row);
+        if (!ev.ok()) return ev.status();
+        v = std::move(ev).value();
+        if (v.is_null()) continue;  // nulls don't aggregate
+      }
+      if (e->distinct) {
+        acc.distinct.emplace(std::vector<sql::Value>{v}, true);
+        acc.has = true;
+        continue;
+      }
+      switch (e->agg) {
+        case sql::AggFunc::kCount:
+          acc.cnt += 1;
+          break;
+        case sql::AggFunc::kSum:
+        case sql::AggFunc::kAvg:
+          acc.sum += v.ToDouble();
+          acc.cnt += 1;
+          break;
+        case sql::AggFunc::kMin:
+          if (!acc.has || v.Compare(acc.min) < 0) acc.min = v;
+          break;
+        case sql::AggFunc::kMax:
+          if (!acc.has || v.Compare(acc.max) > 0) acc.max = v;
+          break;
+      }
+      acc.has = true;
+    }
+  }
+
+  // Scalar aggregate over empty input still yields one group.
+  if (groups.empty() && q.group_by.empty() &&
+      (stmt.HasAggregates() || from_view)) {
+    Group g;
+    g.accs.resize(n_items);
+    groups.emplace(std::vector<sql::Value>{}, std::move(g));
+  }
+
+  // Output: [items..., group columns...].
+  Rel out;
+  out.aggregated = true;
+  out.item_count = n_items;
+  for (size_t i = 0; i < n_items; ++i) {
+    out.cols.emplace_back(Rel::kItemSlot, static_cast<int>(i));
+  }
+  for (const auto& [t, c] : q.group_by) out.cols.emplace_back(t, c);
+
+  for (auto& [gkey, g] : groups) {
+    std::vector<sql::Value> row;
+    row.reserve(n_items + gkey.size());
+    for (size_t i = 0; i < n_items; ++i) {
+      const sql::Expr* e = stmt.items[i].expr.get();
+      const Acc& acc = g.accs[i];
+      if (from_view && vm != nullptr) {
+        const ViewMatchInfo::ItemSource& src = vm->item_sources[i];
+        if (src.avg_sum_col >= 0) {
+          row.push_back(acc.cnt > 0
+                            ? sql::Value::Double(acc.sum / acc.cnt)
+                            : sql::Value::Null());
+          continue;
+        }
+        if (src.view_col >= 0) {
+          switch (src.fold) {
+            case sql::AggFunc::kMin:
+              row.push_back(acc.has ? acc.min : sql::Value::Null());
+              break;
+            case sql::AggFunc::kMax:
+              row.push_back(acc.has ? acc.max : sql::Value::Null());
+              break;
+            default:
+              // COUNT folds to an integral total; SUM stays floating.
+              if (e != nullptr && e->kind == sql::Expr::Kind::kAggregate &&
+                  e->agg == sql::AggFunc::kCount) {
+                row.push_back(sql::Value::Int(
+                    static_cast<int64_t>(std::llround(acc.sum))));
+              } else {
+                row.push_back(sql::Value::Double(acc.sum));
+              }
+              break;
+          }
+          continue;
+        }
+        auto v = g.rep.empty()
+                     ? Result<sql::Value>(sql::Value::Null())
+                     : EvalExpr(*e, q, *child, g.rep);
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v).value());
+        continue;
+      }
+      if (e != nullptr && e->kind == sql::Expr::Kind::kAggregate) {
+        if (e->distinct) {
+          row.push_back(
+              sql::Value::Int(static_cast<int64_t>(acc.distinct.size())));
+          continue;
+        }
+        switch (e->agg) {
+          case sql::AggFunc::kCount:
+            row.push_back(sql::Value::Int(static_cast<int64_t>(acc.cnt)));
+            break;
+          case sql::AggFunc::kSum:
+            row.push_back(acc.has ? sql::Value::Double(acc.sum)
+                                  : sql::Value::Null());
+            break;
+          case sql::AggFunc::kAvg:
+            row.push_back(acc.cnt > 0
+                              ? sql::Value::Double(acc.sum / acc.cnt)
+                              : sql::Value::Null());
+            break;
+          case sql::AggFunc::kMin:
+            row.push_back(acc.has ? acc.min : sql::Value::Null());
+            break;
+          case sql::AggFunc::kMax:
+            row.push_back(acc.has ? acc.max : sql::Value::Null());
+            break;
+        }
+        continue;
+      }
+      // Plain column / expression: evaluate on the representative row.
+      if (g.rep.empty()) {
+        row.push_back(sql::Value::Null());
+      } else {
+        auto v = EvalExpr(*e, q, *child, g.rep);
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v).value());
+      }
+    }
+    for (const auto& kv : gkey) row.push_back(kv);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Executor::Rel> Executor::ExecSort(const BoundQuery& q,
+                                         const PlanNode& node) {
+  auto child = Exec(q, *node.children[0]);
+  if (!child.ok()) return child.status();
+  Rel rel = std::move(child).value();
+  std::vector<std::pair<int, bool>> keys;  // slot, ascending
+  for (const auto& o : q.order_by) {
+    int slot = ResolveSlot(rel, o.table, o.column);
+    if (slot < 0) return Status::Internal("order column missing in rel");
+    keys.emplace_back(slot, o.ascending);
+  }
+  std::stable_sort(rel.rows.begin(), rel.rows.end(),
+                   [&](const std::vector<sql::Value>& a,
+                       const std::vector<sql::Value>& b) {
+                     for (const auto& [slot, asc] : keys) {
+                       int c = a[static_cast<size_t>(slot)].Compare(
+                           b[static_cast<size_t>(slot)]);
+                       if (c != 0) return asc ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return rel;
+}
+
+Result<Executor::Rel> Executor::Exec(const BoundQuery& q,
+                                     const PlanNode& node) {
+  switch (node.op) {
+    case PlanOp::kTableScan:
+    case PlanOp::kIndexScan:
+      return ExecScan(q, node);
+    case PlanOp::kIndexSeek:
+      return ExecSeek(q, node, nullptr);
+    case PlanOp::kViewScan:
+      return ExecViewScan(q, node);
+    case PlanOp::kHashJoin:
+    case PlanOp::kMergeJoin:
+      return ExecJoin(q, node);
+    case PlanOp::kNestLoopJoin:
+      return ExecNestLoop(q, node);
+    case PlanOp::kHashAggregate:
+    case PlanOp::kStreamAggregate:
+      return ExecAggregate(q, node);
+    case PlanOp::kSort:
+      return ExecSort(q, node);
+    case PlanOp::kTop: {
+      auto child = Exec(q, *node.children[0]);
+      if (!child.ok()) return child.status();
+      Rel rel = std::move(child).value();
+      size_t top = static_cast<size_t>(std::max<int64_t>(0, q.stmt->top));
+      if (rel.rows.size() > top) rel.rows.resize(top);
+      return rel;
+    }
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<QueryResult> Executor::Execute(const BoundQuery& bound,
+                                      const PlanNode& plan) {
+  auto rel_or = Exec(bound, plan);
+  if (!rel_or.ok()) return rel_or.status();
+  Rel rel = std::move(rel_or).value();
+  const sql::SelectStatement& stmt = *bound.stmt;
+
+  QueryResult out;
+  if (rel.aggregated) {
+    for (size_t i = 0; i < rel.item_count; ++i) {
+      const auto& item = stmt.items[i];
+      out.column_names.push_back(
+          !item.alias.empty() ? item.alias : sql::ExprToSql(*item.expr));
+    }
+    out.rows.reserve(rel.rows.size());
+    for (auto& row : rel.rows) {
+      row.resize(rel.item_count);
+      out.rows.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  // Non-aggregated: project select items (or star).
+  if (stmt.select_star) {
+    for (const auto& [t, c] : rel.cols) {
+      out.column_names.push_back(bound.ColumnName(t, c));
+    }
+    out.rows = std::move(rel.rows);
+    return out;
+  }
+  for (const auto& item : stmt.items) {
+    out.column_names.push_back(
+        !item.alias.empty() ? item.alias : sql::ExprToSql(*item.expr));
+  }
+  out.rows.reserve(rel.rows.size());
+  for (const auto& row : rel.rows) {
+    std::vector<sql::Value> proj;
+    proj.reserve(stmt.items.size());
+    for (const auto& item : stmt.items) {
+      auto v = EvalExpr(*item.expr, bound, rel, row);
+      if (!v.ok()) return v.status();
+      proj.push_back(std::move(v).value());
+    }
+    out.rows.push_back(std::move(proj));
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::ExecuteSelect(
+    const sql::SelectStatement& stmt, const catalog::Configuration& config,
+    const optimizer::Optimizer& opt) {
+  auto plan = opt.OptimizeSelect(stmt, config);
+  if (!plan.ok()) return plan.status();
+  return Execute(plan->bound, *plan->root);
+}
+
+}  // namespace dta::engine

@@ -1,0 +1,103 @@
+// Execution engine: runs optimizer plans against actual table data.
+//
+// The executor exists so DTA recommendations can be *implemented* and
+// queries actually executed (paper §7.2 compares optimizer-estimated against
+// actual improvement). Physical structures referenced by a plan (indexes,
+// materialized views) are materialized lazily and cached by canonical name:
+// an index becomes a row-id permutation sorted by its key, a view becomes a
+// materialized result set of its definition.
+//
+// Operators are materializing (each produces a full in-memory result), which
+// is adequate at bench scales and keeps the engine auditable.
+
+#ifndef DTA_ENGINE_EXECUTOR_H_
+#define DTA_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan.h"
+#include "sql/ast.h"
+#include "storage/table_data.h"
+
+namespace dta::engine {
+
+// Supplies actual data for tables. Returns nullptr for metadata-only tables
+// (execution then fails, by design: you cannot run queries on a test server
+// that only imported metadata).
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+  virtual const storage::TableData* Table(const std::string& database,
+                                          const std::string& table) const = 0;
+};
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<sql::Value>> rows;
+};
+
+class Executor {
+ public:
+  // Constructor/destructor out-of-line: members hold incomplete types.
+  Executor(const catalog::Catalog& catalog, const DataSource* data);
+  ~Executor();
+
+  // Executes a previously optimized plan. `bound`, `plan` and the
+  // configuration they were optimized against must outlive the call.
+  Result<QueryResult> Execute(const optimizer::BoundQuery& bound,
+                              const optimizer::PlanNode& plan);
+
+  // Convenience: optimize + execute.
+  Result<QueryResult> ExecuteSelect(const sql::SelectStatement& stmt,
+                                    const catalog::Configuration& config,
+                                    const optimizer::Optimizer& opt);
+
+  // Drops materialized structures (e.g. after changing configurations).
+  void ClearStructureCache();
+
+  struct Rel;        // intermediate result (public for internal helpers)
+  struct IndexData;  // materialized index
+
+ private:
+
+  Result<Rel> Exec(const optimizer::BoundQuery& q,
+                   const optimizer::PlanNode& node);
+  Result<Rel> ExecScan(const optimizer::BoundQuery& q,
+                       const optimizer::PlanNode& node);
+  Result<Rel> ExecSeek(const optimizer::BoundQuery& q,
+                       const optimizer::PlanNode& node,
+                       const std::vector<sql::Value>* param_key);
+  Result<Rel> ExecViewScan(const optimizer::BoundQuery& q,
+                           const optimizer::PlanNode& node);
+  Result<Rel> ExecJoin(const optimizer::BoundQuery& q,
+                       const optimizer::PlanNode& node);
+  Result<Rel> ExecNestLoop(const optimizer::BoundQuery& q,
+                           const optimizer::PlanNode& node);
+  Result<Rel> ExecAggregate(const optimizer::BoundQuery& q,
+                            const optimizer::PlanNode& node);
+  Result<Rel> ExecSort(const optimizer::BoundQuery& q,
+                       const optimizer::PlanNode& node);
+
+  Result<const IndexData*> MaterializeIndex(const catalog::IndexDef& index);
+  Result<const Rel*> MaterializeView(const catalog::ViewDef& view);
+
+  const storage::TableData* FindData(const optimizer::BoundQuery& q,
+                                     int table) const;
+
+  const catalog::Catalog& catalog_;
+  const DataSource* data_;
+
+  std::map<std::string, std::unique_ptr<IndexData>> indexes_;
+  std::map<std::string, std::unique_ptr<Rel>> views_;
+};
+
+}  // namespace dta::engine
+
+#endif  // DTA_ENGINE_EXECUTOR_H_

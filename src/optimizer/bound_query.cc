@@ -1,0 +1,223 @@
+#include "optimizer/bound_query.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dta::optimizer {
+
+namespace {
+
+// Resolves a column reference to (table index, column ordinal).
+Result<std::pair<int, int>> ResolveColumn(const sql::ColumnRef& ref,
+                                          const BoundQuery& q) {
+  if (!ref.table.empty()) {
+    int t = q.TableIndexByAlias(ToLower(ref.table));
+    if (t < 0) {
+      return Status::NotFound(
+          StrFormat("unknown table alias '%s'", ref.table.c_str()));
+    }
+    int c = q.tables[static_cast<size_t>(t)].schema->ColumnIndex(ref.column);
+    if (c < 0) {
+      return Status::NotFound(StrFormat("column '%s' not in table '%s'",
+                                        ref.column.c_str(),
+                                        ref.table.c_str()));
+    }
+    return std::make_pair(t, c);
+  }
+  // Unqualified: search all tables; must be unique.
+  int found_t = -1, found_c = -1;
+  for (size_t t = 0; t < q.tables.size(); ++t) {
+    int c = q.tables[t].schema->ColumnIndex(ref.column);
+    if (c >= 0) {
+      if (found_t >= 0) {
+        return Status::InvalidArgument(
+            StrFormat("column '%s' is ambiguous", ref.column.c_str()));
+      }
+      found_t = static_cast<int>(t);
+      found_c = c;
+    }
+  }
+  if (found_t < 0) {
+    return Status::NotFound(
+        StrFormat("column '%s' not found in any FROM table",
+                  ref.column.c_str()));
+  }
+  return std::make_pair(found_t, found_c);
+}
+
+void AddReferenced(BoundQuery* q, int table, int column) {
+  auto& cols = q->referenced_columns[static_cast<size_t>(table)];
+  if (std::find(cols.begin(), cols.end(), column) == cols.end()) {
+    cols.push_back(column);
+  }
+}
+
+Status ResolveExprColumns(const sql::Expr& e, BoundQuery* q) {
+  std::vector<sql::ColumnRef> refs;
+  e.CollectColumns(&refs);
+  for (const auto& ref : refs) {
+    auto rc = ResolveColumn(ref, *q);
+    if (!rc.ok()) return rc.status();
+    AddReferenced(q, rc->first, rc->second);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::pair<int, int>> ResolveColumnRef(const sql::ColumnRef& ref,
+                                             const BoundQuery& query) {
+  return ResolveColumn(ref, query);
+}
+
+int BoundQuery::TableIndexByAlias(std::string_view alias) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (EqualsIgnoreCase(tables[i].alias, alias)) return static_cast<int>(i);
+  }
+  // Also accept the underlying table name when it is unambiguous.
+  int found = -1;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (EqualsIgnoreCase(tables[i].schema->name(), alias)) {
+      if (found >= 0) return -1;
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+Result<BoundQuery> BindSelect(const sql::SelectStatement& stmt,
+                              const catalog::Catalog& catalog) {
+  BoundQuery q;
+  q.stmt = &stmt;
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("SELECT requires a FROM clause");
+  }
+  for (const auto& tr : stmt.from) {
+    auto resolved = catalog.ResolveTable(tr.database, tr.table);
+    if (!resolved.ok()) return resolved.status();
+    BoundTable bt;
+    bt.database = resolved->database;
+    bt.schema = resolved->table;
+    bt.alias = ToLower(tr.EffectiveAlias());
+    q.tables.push_back(bt);
+  }
+  q.referenced_columns.resize(q.tables.size());
+  q.filters_by_table.resize(q.tables.size());
+
+  // Select list.
+  if (stmt.select_star) {
+    for (size_t t = 0; t < q.tables.size(); ++t) {
+      for (size_t c = 0; c < q.tables[t].schema->columns().size(); ++c) {
+        AddReferenced(&q, static_cast<int>(t), static_cast<int>(c));
+      }
+    }
+  } else {
+    for (const auto& item : stmt.items) {
+      if (item.expr == nullptr) continue;
+      DTA_RETURN_IF_ERROR(ResolveExprColumns(*item.expr, &q));
+    }
+  }
+
+  // WHERE atoms.
+  for (const auto& pred : stmt.where) {
+    BoundAtom atom;
+    atom.pred = &pred;
+    auto lhs = ResolveColumn(pred.column, q);
+    if (!lhs.ok()) return lhs.status();
+    atom.table = lhs->first;
+    atom.column = lhs->second;
+    AddReferenced(&q, atom.table, atom.column);
+    if (pred.kind == sql::Predicate::Kind::kColumnCompare) {
+      auto rhs = ResolveColumn(pred.rhs_column, q);
+      if (!rhs.ok()) return rhs.status();
+      atom.rhs_table = rhs->first;
+      atom.rhs_column = rhs->second;
+      AddReferenced(&q, atom.rhs_table, atom.rhs_column);
+    }
+    int atom_index = static_cast<int>(q.atoms.size());
+    q.atoms.push_back(atom);
+    if (atom.IsJoin() && atom.table != atom.rhs_table) {
+      q.join_atoms.push_back(atom_index);
+    } else if (atom.rhs_table >= 0 && atom.rhs_table != atom.table) {
+      // Cross-table non-equality comparison: only evaluable post-join.
+      q.post_join_atoms.push_back(atom_index);
+    } else {
+      // Single-table predicate (including same-table column comparisons).
+      q.filters_by_table[static_cast<size_t>(atom.table)].push_back(
+          atom_index);
+    }
+  }
+
+  // GROUP BY / ORDER BY.
+  for (const auto& g : stmt.group_by) {
+    auto rc = ResolveColumn(g, q);
+    if (!rc.ok()) return rc.status();
+    q.group_by.push_back(*rc);
+    AddReferenced(&q, rc->first, rc->second);
+  }
+  for (const auto& o : stmt.order_by) {
+    auto rc = ResolveColumn(o.column, q);
+    if (!rc.ok()) return rc.status();
+    q.order_by.push_back({rc->first, rc->second, o.ascending});
+    AddReferenced(&q, rc->first, rc->second);
+  }
+
+  for (auto& cols : q.referenced_columns) std::sort(cols.begin(), cols.end());
+  return q;
+}
+
+Result<BoundDml> BindDml(const sql::Statement& stmt,
+                         const catalog::Catalog& catalog) {
+  BoundDml out;
+  out.kind = stmt.kind();
+  const std::string* table_name = nullptr;
+  const std::vector<sql::Predicate>* where = nullptr;
+  switch (stmt.kind()) {
+    case sql::StatementKind::kInsert:
+      table_name = &stmt.insert().table;
+      out.rows_inserted = stmt.insert().rows.size();
+      break;
+    case sql::StatementKind::kUpdate:
+      table_name = &stmt.update().table;
+      where = &stmt.update().where;
+      break;
+    case sql::StatementKind::kDelete:
+      table_name = &stmt.del().table;
+      where = &stmt.del().where;
+      break;
+    case sql::StatementKind::kSelect:
+      return Status::InvalidArgument("BindDml called on SELECT");
+  }
+  auto resolved = catalog.ResolveTable("", *table_name);
+  if (!resolved.ok()) return resolved.status();
+  out.database = resolved->database;
+  out.table = resolved->table;
+
+  if (where != nullptr) {
+    for (const auto& pred : *where) {
+      int c = out.table->ColumnIndex(pred.column.column);
+      if (c < 0) {
+        return Status::NotFound(StrFormat("column '%s' not in table '%s'",
+                                          pred.column.column.c_str(),
+                                          out.table->name().c_str()));
+      }
+      out.filters.push_back(&pred);
+      out.filter_columns.push_back(c);
+    }
+  }
+  if (stmt.kind() == sql::StatementKind::kUpdate) {
+    for (const auto& [col, value] : stmt.update().assignments) {
+      int c = out.table->ColumnIndex(col);
+      if (c < 0) {
+        return Status::NotFound(StrFormat("column '%s' not in table '%s'",
+                                          col.c_str(),
+                                          out.table->name().c_str()));
+      }
+      out.updated_columns.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace dta::optimizer

@@ -1,0 +1,103 @@
+// Name resolution: turns parsed statements into catalog-bound form the
+// optimizer and executor operate on.
+
+#ifndef DTA_OPTIMIZER_BOUND_QUERY_H_
+#define DTA_OPTIMIZER_BOUND_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace dta::optimizer {
+
+// One table occurrence in FROM.
+struct BoundTable {
+  const catalog::Database* database = nullptr;
+  const catalog::TableSchema* schema = nullptr;
+  std::string alias;  // normalized lower-case
+};
+
+// One atomic WHERE predicate with resolved column references.
+struct BoundAtom {
+  const sql::Predicate* pred = nullptr;
+  int table = -1;   // lhs table index into BoundQuery::tables
+  int column = -1;  // lhs column ordinal in that table's schema
+  int rhs_table = -1;
+  int rhs_column = -1;
+
+  bool IsJoin() const { return rhs_table >= 0 && pred->IsJoin(); }
+};
+
+// A SELECT statement bound against the catalog. The statement must outlive
+// the bound query (pointers into its AST are retained).
+struct BoundQuery {
+  const sql::SelectStatement* stmt = nullptr;
+  // Optional ownership: set when the bound query must keep the statement
+  // alive itself (e.g. view definitions cached inside the optimizer, which
+  // can outlive any one Configuration holding the view).
+  std::shared_ptr<const sql::SelectStatement> owned_stmt;
+  std::vector<BoundTable> tables;
+  std::vector<BoundAtom> atoms;
+
+  std::vector<std::pair<int, int>> group_by;  // (table, column)
+  struct OrderItem {
+    int table;
+    int column;
+    bool ascending;
+  };
+  std::vector<OrderItem> order_by;
+
+  // All columns of each table referenced anywhere in the statement
+  // (ordinals, sorted, deduplicated). An index on table i covers the query
+  // iff it contains all of referenced_columns[i].
+  std::vector<std::vector<int>> referenced_columns;
+
+  // Atom indexes that are single-table filters on table i.
+  std::vector<std::vector<int>> filters_by_table;
+  // Atom indexes that are equality join predicates across tables.
+  std::vector<int> join_atoms;
+  // Cross-table comparisons that are not equality joins; evaluated after the
+  // join that makes both sides available.
+  std::vector<int> post_join_atoms;
+
+  int TableIndexByAlias(std::string_view alias) const;
+  // Convenience: column name for a (table, column) pair.
+  const std::string& ColumnName(int table, int column) const {
+    return tables[static_cast<size_t>(table)]
+        .schema->column(column)
+        .name;
+  }
+};
+
+// Binds a SELECT. Fails on unknown tables/columns or ambiguous unqualified
+// column references.
+Result<BoundQuery> BindSelect(const sql::SelectStatement& stmt,
+                              const catalog::Catalog& catalog);
+
+// Resolves a column reference against an already-bound query. Fails on
+// unknown or ambiguous references.
+Result<std::pair<int, int>> ResolveColumnRef(const sql::ColumnRef& ref,
+                                             const BoundQuery& query);
+
+// Bound form of INSERT/UPDATE/DELETE: the target table plus (for
+// UPDATE/DELETE) filter atoms bound against it.
+struct BoundDml {
+  sql::StatementKind kind = sql::StatementKind::kInsert;
+  const catalog::Database* database = nullptr;
+  const catalog::TableSchema* table = nullptr;
+  std::vector<const sql::Predicate*> filters;     // on the target table
+  std::vector<int> filter_columns;                // lhs ordinals, parallel
+  std::vector<int> updated_columns;               // UPDATE SET ordinals
+  size_t rows_inserted = 0;                       // INSERT literal row count
+};
+
+Result<BoundDml> BindDml(const sql::Statement& stmt,
+                         const catalog::Catalog& catalog);
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_BOUND_QUERY_H_

@@ -1,0 +1,64 @@
+// Cardinality and selectivity estimation over bound queries, using
+// histograms and density information with standard independence /
+// containment assumptions.
+
+#ifndef DTA_OPTIMIZER_CARDINALITY_H_
+#define DTA_OPTIMIZER_CARDINALITY_H_
+
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "optimizer/bound_query.h"
+#include "optimizer/stats_provider.h"
+
+namespace dta::optimizer {
+
+// Default selectivities when no statistics apply (SQL Server-inspired magic
+// numbers).
+struct DefaultSelectivity {
+  static constexpr double kEquality = 0.05;
+  static constexpr double kRange = 0.30;
+  static constexpr double kLike = 0.10;
+  static constexpr double kNotEqual = 0.90;
+};
+
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const BoundQuery& query, const StatsProvider& stats)
+      : q_(query), stats_(stats) {}
+
+  double TableRows(int table) const;
+
+  // Selectivity of one non-join atom against its table.
+  double AtomSelectivity(int atom_index) const;
+
+  // Combined selectivity of a set of filter atoms on one table
+  // (independence with exponential backoff on the 3rd+ predicate).
+  double FilterSelectivity(const std::vector<int>& atom_indexes) const;
+
+  // Join selectivity of an equality join atom: 1/max(d_left, d_right).
+  double JoinSelectivity(int atom_index) const;
+
+  // Distinct count of a set of (table, column) pairs, capped by input_rows.
+  // Uses multi-column density when available, else combines per-column
+  // distincts with exponential backoff.
+  double GroupCardinality(const std::vector<std::pair<int, int>>& cols,
+                          double input_rows) const;
+
+  // Fraction of partitions a set of filter atoms touches under `scheme` on
+  // `table`, and the number touched.
+  double PartitionFraction(int table, const catalog::PartitionScheme& scheme,
+                           const std::vector<int>& atom_indexes,
+                           int* partitions_touched) const;
+
+  // Distinct values of a single column.
+  double ColumnDistinct(int table, int column) const;
+
+ private:
+  const BoundQuery& q_;
+  const StatsProvider& stats_;
+};
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,114 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dta::optimizer {
+
+double CostModel::Dop(double rows) const {
+  if (rows < hw_.parallel_threshold_rows) return 1.0;
+  return static_cast<double>(std::max(1, hw_.cpu_count));
+}
+
+double CostModel::IoDiscount(double bytes) const {
+  double memory_bytes = hw_.memory_mb * 1024.0 * 1024.0;
+  if (bytes <= memory_bytes * 0.8) return hw_.cached_io_fraction;
+  // Partial caching between 0.8x and 4x of memory.
+  if (bytes >= memory_bytes * 4.0) return 1.0;
+  double t = (bytes - memory_bytes * 0.8) / (memory_bytes * 3.2);
+  return hw_.cached_io_fraction + t * (1.0 - hw_.cached_io_fraction);
+}
+
+double CostModel::ScanCost(double pages, double rows, double bytes) const {
+  double io = pages * hw_.seq_page_ms * IoDiscount(bytes);
+  double cpu = rows * hw_.cpu_row_ms / Dop(rows);
+  return io + cpu;
+}
+
+double CostModel::SeekCost(double leaf_pages, double matched_rows,
+                           double lookup_rows, double object_bytes,
+                           double table_bytes, int partitions) const {
+  double descend = 3.0 * hw_.rand_page_ms * IoDiscount(object_bytes) *
+                   std::max(1, partitions);
+  double leaf_io =
+      leaf_pages * hw_.seq_page_ms * IoDiscount(object_bytes);
+  double lookups = lookup_rows * hw_.rand_page_ms * IoDiscount(table_bytes);
+  double cpu = matched_rows * hw_.cpu_row_ms / Dop(matched_rows);
+  return descend + leaf_io + lookups + cpu;
+}
+
+double CostModel::SortCost(double rows, double row_bytes) const {
+  if (rows < 2) return hw_.cmp_row_ms;
+  double cmp = rows * std::log2(rows) * hw_.cmp_row_ms / Dop(rows);
+  double bytes = rows * row_bytes;
+  double memory_bytes = hw_.memory_mb * 1024.0 * 1024.0;
+  double spill = 0;
+  if (bytes > memory_bytes * 0.25) {
+    // One spill pass: write + read.
+    double pages = bytes / 8192.0;
+    spill = 2.0 * pages * hw_.seq_page_ms;
+  }
+  return cmp + spill;
+}
+
+double CostModel::HashJoinCost(double build_rows, double probe_rows,
+                               double build_row_bytes) const {
+  double cpu = (build_rows + probe_rows) * hw_.hash_row_ms /
+               Dop(build_rows + probe_rows);
+  double build_bytes = build_rows * build_row_bytes;
+  double memory_bytes = hw_.memory_mb * 1024.0 * 1024.0;
+  double spill = 0;
+  if (build_bytes > memory_bytes * 0.25) {
+    double pages = (build_bytes + probe_rows * build_row_bytes) / 8192.0;
+    spill = 2.0 * pages * hw_.seq_page_ms;
+  }
+  return cpu + spill;
+}
+
+double CostModel::MergeJoinCost(double left_rows, double right_rows) const {
+  return (left_rows + right_rows) * hw_.cpu_row_ms /
+         Dop(left_rows + right_rows);
+}
+
+double CostModel::NestLoopCost(double outer_rows,
+                               double inner_cost_per_probe) const {
+  return outer_rows * inner_cost_per_probe +
+         outer_rows * hw_.cpu_row_ms / Dop(outer_rows);
+}
+
+double CostModel::HashAggCost(double rows, double groups) const {
+  return rows * hw_.hash_row_ms / Dop(rows) +
+         groups * hw_.cpu_row_ms;
+}
+
+double CostModel::StreamAggCost(double rows) const {
+  return rows * hw_.cpu_row_ms / Dop(rows);
+}
+
+double CostModel::FilterCost(double rows) const {
+  return rows * hw_.cpu_row_ms * 0.5 / Dop(rows);
+}
+
+double CostModel::IndexInsertCost(double table_bytes) const {
+  // Descend + leaf write.
+  return 1.5 * hw_.rand_page_ms * IoDiscount(table_bytes);
+}
+
+double CostModel::IndexDeleteCost(double table_bytes) const {
+  return 1.5 * hw_.rand_page_ms * IoDiscount(table_bytes);
+}
+
+double CostModel::ViewMaintenanceCost(double delta_rows, double view_rows,
+                                      int joined_tables) const {
+  // Incremental maintenance: per delta row, join against the other view
+  // tables (seek each) and update the view's storage.
+  double per_row = 2.0 * hw_.rand_page_ms +
+                   static_cast<double>(std::max(0, joined_tables - 1)) *
+                       1.5 * hw_.rand_page_ms;
+  double touch = delta_rows * per_row;
+  // Aggregated views also re-aggregate the touched groups.
+  double agg = delta_rows * hw_.hash_row_ms + std::log2(view_rows + 2);
+  return touch + agg;
+}
+
+}  // namespace dta::optimizer

@@ -1,0 +1,58 @@
+// Operator-level cost formulas. Costs are in abstract "optimizer cost
+// units" calibrated to roughly milliseconds of elapsed time on the simulated
+// hardware, so workload costs and execution durations are comparable.
+
+#ifndef DTA_OPTIMIZER_COST_MODEL_H_
+#define DTA_OPTIMIZER_COST_MODEL_H_
+
+#include "optimizer/hardware.h"
+
+namespace dta::optimizer {
+
+class CostModel {
+ public:
+  explicit CostModel(const HardwareParams& hw) : hw_(hw) {}
+
+  const HardwareParams& hardware() const { return hw_; }
+
+  // Degree of parallelism credited for an operator over `rows` input rows.
+  double Dop(double rows) const;
+
+  // Multiplier applied to I/O cost given the working-set size: data that
+  // fits comfortably in memory is mostly cached.
+  double IoDiscount(double bytes) const;
+
+  // Sequential scan of `pages` pages producing `rows` rows (`bytes` = size
+  // of the scanned object, for cache modeling).
+  double ScanCost(double pages, double rows, double bytes) const;
+
+  // B-tree seek: descent + `leaf_pages` sequential leaf pages +
+  // `lookup_rows` random row lookups into the base table of `table_bytes`.
+  // `partitions` > 1 adds per-partition descent overhead.
+  double SeekCost(double leaf_pages, double matched_rows, double lookup_rows,
+                  double object_bytes, double table_bytes,
+                  int partitions = 1) const;
+
+  double SortCost(double rows, double row_bytes) const;
+  double HashJoinCost(double build_rows, double probe_rows,
+                      double build_row_bytes) const;
+  double MergeJoinCost(double left_rows, double right_rows) const;
+  // Per-outer-row cost is supplied by the caller (inner seek cost).
+  double NestLoopCost(double outer_rows, double inner_cost_per_probe) const;
+  double HashAggCost(double rows, double groups) const;
+  double StreamAggCost(double rows) const;
+  double FilterCost(double rows) const;
+
+  // DML maintenance primitives.
+  double IndexInsertCost(double table_bytes) const;   // one row into an index
+  double IndexDeleteCost(double table_bytes) const;
+  double ViewMaintenanceCost(double delta_rows, double view_rows,
+                             int joined_tables) const;
+
+ private:
+  HardwareParams hw_;
+};
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,114 @@
+// The cost-based query optimizer with a what-if interface.
+//
+// Given a statement and a (possibly hypothetical) Configuration, produces a
+// physical plan and its estimated cost. This is the component DTA is
+// "in-sync" with (paper §2.2): every candidate configuration is priced by
+// the same cost model that would execute it, so recommendations, if
+// implemented, are actually used.
+//
+// The optimizer supports:
+//   - access-path selection: heap/clustered scans, clustered seeks,
+//     covering/non-covering nonclustered index seeks and scans,
+//     single-column range partition elimination on tables and indexes;
+//   - left-deep join-order search (dynamic programming up to 12 relations,
+//     greedy beyond) with hash, merge, and index-nested-loop joins;
+//   - materialized-view matching with residual predicates and
+//     re-aggregation;
+//   - stream/hash aggregation, DISTINCT, ORDER BY, TOP;
+//   - maintenance costing of INSERT/UPDATE/DELETE against every index and
+//     materialized view the statement affects.
+
+#ifndef DTA_OPTIMIZER_OPTIMIZER_H_
+#define DTA_OPTIMIZER_OPTIMIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/physical_design.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "optimizer/bound_query.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/hardware.h"
+#include "optimizer/plan.h"
+#include "optimizer/stats_provider.h"
+
+namespace dta::optimizer {
+
+class Optimizer {
+ public:
+  Optimizer(const catalog::Catalog& catalog, const StatsProvider& stats,
+            const HardwareParams& hardware)
+      : catalog_(catalog), stats_(stats), cm_(hardware) {}
+
+  struct QueryPlan {
+    // Bound form of the statement (plans point into it). The statement
+    // itself is owned by the caller and must outlive this object, as must
+    // the Configuration optimized against.
+    BoundQuery bound;
+    PlanNodePtr root;
+    double cost = 0;
+  };
+
+  // Optimizes a SELECT against the configuration.
+  Result<QueryPlan> OptimizeSelect(const sql::SelectStatement& stmt,
+                                   const catalog::Configuration& config) const;
+
+  // Estimated cost of any statement (SELECT or DML) under the configuration.
+  Result<double> CostStatement(const sql::Statement& stmt,
+                               const catalog::Configuration& config) const;
+
+  // Estimated cost of INSERT/UPDATE/DELETE: row location plus maintenance of
+  // every affected index and materialized view.
+  Result<double> CostDml(const sql::Statement& stmt,
+                         const catalog::Configuration& config) const;
+
+  const CostModel& cost_model() const { return cm_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+
+ private:
+  struct AccessPath {
+    PlanNodePtr node;
+    double rows = 0;    // output rows (after filters)
+    double cost = 0;
+    // Output ordering: column ordinals of the scanned table (empty if
+    // unordered / order destroyed).
+    std::vector<int> order_cols;
+  };
+
+  // All viable access paths for table `t` of the bound query.
+  std::vector<AccessPath> BuildAccessPaths(
+      const BoundQuery& q, const CardinalityEstimator& est,
+      const catalog::Configuration& config, int t) const;
+
+  // Cheapest inner-side seek path for an index-nested-loop join into table
+  // `t` on the join atom; returns nullopt when no usable index exists.
+  std::optional<AccessPath> InnerSeekPath(const BoundQuery& q,
+                                          const CardinalityEstimator& est,
+                                          const catalog::Configuration& config,
+                                          int t, int join_atom) const;
+
+  // Joins, aggregation, ordering on top of base paths.
+  Result<QueryPlan> PlanQueryBlock(BoundQuery q,
+                                   const catalog::Configuration& config) const;
+
+  // Best whole-query replacement using a materialized view, if any.
+  std::optional<AccessPath> BestViewPlan(
+      const BoundQuery& q, const CardinalityEstimator& est,
+      const catalog::Configuration& config) const;
+
+  // Binds a view definition (cached by canonical name).
+  const BoundQuery* BoundView(const catalog::ViewDef& view) const;
+
+  const catalog::Catalog& catalog_;
+  const StatsProvider& stats_;
+  CostModel cm_;
+
+  mutable std::map<std::string, std::unique_ptr<BoundQuery>> view_bind_cache_;
+};
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_OPTIMIZER_H_

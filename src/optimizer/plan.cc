@@ -1,0 +1,112 @@
+#include "optimizer/plan.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "sql/printer.h"
+
+namespace dta::optimizer {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kTableScan:
+      return "TableScan";
+    case PlanOp::kIndexSeek:
+      return "IndexSeek";
+    case PlanOp::kIndexScan:
+      return "IndexScan";
+    case PlanOp::kViewScan:
+      return "ViewScan";
+    case PlanOp::kHashJoin:
+      return "HashJoin";
+    case PlanOp::kMergeJoin:
+      return "MergeJoin";
+    case PlanOp::kNestLoopJoin:
+      return "NestLoopJoin";
+    case PlanOp::kSort:
+      return "Sort";
+    case PlanOp::kHashAggregate:
+      return "HashAggregate";
+    case PlanOp::kStreamAggregate:
+      return "StreamAggregate";
+    case PlanOp::kTop:
+      return "Top";
+  }
+  return "?";
+}
+
+PlanNodePtr PlanNode::Clone() const {
+  auto n = std::make_unique<PlanNode>();
+  n->op = op;
+  n->est_rows = est_rows;
+  n->est_cost = est_cost;
+  n->table = table;
+  n->index = index;
+  n->view = view;
+  n->seek_atoms = seek_atoms;
+  n->atoms = atoms;
+  n->partitions_touched = partitions_touched;
+  n->needs_lookup = needs_lookup;
+  n->join_atoms = join_atoms;
+  n->view_reaggregate = view_reaggregate;
+  n->view_match = view_match;
+  n->children.reserve(children.size());
+  for (const auto& c : children) n->children.push_back(c->Clone());
+  return n;
+}
+
+std::string PlanNode::Describe(const BoundQuery& q, int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += PlanOpName(op);
+  if (table >= 0 && table < static_cast<int>(q.tables.size())) {
+    out += " " + q.tables[static_cast<size_t>(table)].schema->name();
+  }
+  if (index != nullptr) out += " [" + index->CanonicalName() + "]";
+  if (view != nullptr) out += " [" + view->CanonicalName() + "]";
+  if (partitions_touched >= 0) {
+    out += StrFormat(" parts=%d", partitions_touched);
+  }
+  if (needs_lookup) out += " +lookup";
+  if (view_reaggregate) out += " reagg";
+  if (!seek_atoms.empty()) {
+    out += " seek{";
+    for (size_t i = 0; i < seek_atoms.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += sql::PredicateToSql(
+          *q.atoms[static_cast<size_t>(seek_atoms[i])].pred);
+    }
+    out += "}";
+  }
+  if (!atoms.empty()) {
+    out += " filter{";
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += sql::PredicateToSql(*q.atoms[static_cast<size_t>(atoms[i])].pred);
+    }
+    out += "}";
+  }
+  out += StrFormat(" (rows=%.0f, cost=%.2f)\n", est_rows, est_cost);
+  for (const auto& c : children) {
+    out += c->Describe(q, indent + 1);
+  }
+  return out;
+}
+
+bool PlanNode::UsesStructure(const std::string& canonical_name) const {
+  if (index != nullptr && index->CanonicalName() == canonical_name) {
+    return true;
+  }
+  if (view != nullptr && view->CanonicalName() == canonical_name) return true;
+  for (const auto& c : children) {
+    if (c->UsesStructure(canonical_name)) return true;
+  }
+  return false;
+}
+
+void PlanNode::CollectUsedStructures(std::vector<std::string>* out) const {
+  if (index != nullptr) out->push_back(index->CanonicalName());
+  if (view != nullptr) out->push_back(view->CanonicalName());
+  for (const auto& c : children) c->CollectUsedStructures(out);
+}
+
+}  // namespace dta::optimizer

@@ -1,0 +1,85 @@
+// Physical plan tree produced by the optimizer and consumed by the executor.
+//
+// Plan nodes reference (do not own) index/view definitions inside the
+// Configuration they were optimized against, and predicates inside the bound
+// query: both must outlive the plan.
+
+#ifndef DTA_OPTIMIZER_PLAN_H_
+#define DTA_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "optimizer/bound_query.h"
+
+namespace dta::optimizer {
+
+enum class PlanOp {
+  kTableScan,        // heap or clustered-index scan (with residual filters)
+  kIndexSeek,        // seek on seek_atoms, residual atoms applied on rows
+  kIndexScan,        // full leaf scan of a (covering) nonclustered index
+  kViewScan,         // scan a materialized view (+ residual filters)
+  kHashJoin,         // children: [build, probe]
+  kMergeJoin,        // children already sorted on the join keys
+  kNestLoopJoin,     // children: [outer, inner]; inner re-seeks per row
+  kSort,
+  kHashAggregate,
+  kStreamAggregate,  // input sorted on the group columns
+  kTop,
+};
+
+const char* PlanOpName(PlanOp op);
+
+struct PlanNode;
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+// Defined in view_matching.h; describes how a materialized view substitutes
+// for (part of) a query, including column and aggregate mappings.
+struct ViewMatchInfo;
+
+struct PlanNode {
+  PlanOp op = PlanOp::kTableScan;
+  double est_rows = 0;   // output cardinality
+  double est_cost = 0;   // cumulative cost including children
+
+  // Scans.
+  int table = -1;                              // BoundQuery table index
+  const catalog::IndexDef* index = nullptr;    // kIndexSeek / kIndexScan
+  const catalog::ViewDef* view = nullptr;      // kViewScan
+  std::vector<int> seek_atoms;  // atoms used as B-tree seek bounds
+  std::vector<int> atoms;       // residual predicate atoms applied here
+  int partitions_touched = -1;  // >=0 when partition elimination applied
+  bool needs_lookup = false;    // nonclustered seek that fetches base rows
+
+  // Joins.
+  std::vector<int> join_atoms;
+
+  // Aggregation / sort: group and order specifications are taken from the
+  // bound query (group_by / order_by); `view_reaggregate` marks aggregation
+  // that re-aggregates pre-aggregated view output.
+  bool view_reaggregate = false;
+  // Set on kViewScan nodes (and propagated to the re-aggregation node):
+  // column/aggregate mappings the executor needs.
+  std::shared_ptr<const ViewMatchInfo> view_match;
+
+  std::vector<PlanNodePtr> children;
+
+  PlanNodePtr Clone() const;
+
+  // One-line-per-node indented description (for reports and tests), e.g.
+  //   HashJoin (rows=120, cost=85.2)
+  //     IndexSeek lineitem ix:lineitem:k=l_shipdate (rows=5000, ...)
+  std::string Describe(const BoundQuery& q, int indent = 0) const;
+
+  // True if any node in the tree uses the structure with this canonical
+  // name (index or view).
+  bool UsesStructure(const std::string& canonical_name) const;
+  // Collects canonical names of all indexes/views used in the tree.
+  void CollectUsedStructures(std::vector<std::string>* out) const;
+};
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_PLAN_H_

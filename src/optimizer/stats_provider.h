@@ -1,0 +1,91 @@
+// Statistics access layer for the optimizer.
+//
+// Wraps a StatsManager and (a) serves histogram / distinct-count lookups,
+// (b) records every *missing* statistic that the optimizer would have wanted
+// — the "required statistics" discovery that drives both reduced statistics
+// creation (paper §5.2) and statistics import in the production/test-server
+// scenario (§5.3).
+
+#ifndef DTA_OPTIMIZER_STATS_PROVIDER_H_
+#define DTA_OPTIMIZER_STATS_PROVIDER_H_
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "stats/statistics.h"
+
+namespace dta::optimizer {
+
+class StatsProvider {
+ public:
+  explicit StatsProvider(const stats::StatsManager* manager)
+      : manager_(manager) {}
+
+  // When set, every lookup that had to fall back to a heuristic records the
+  // statistic it wanted.
+  void set_missing_recorder(std::set<stats::StatsKey>* recorder) {
+    missing_ = recorder;
+  }
+
+  // Histogram describing `column` (leading column of some statistic), or
+  // nullptr with the miss recorded.
+  const stats::Statistics* Histogram(const std::string& database,
+                                     const catalog::TableSchema& table,
+                                     const std::string& column) const {
+    const stats::Statistics* s =
+        manager_ != nullptr
+            ? manager_->FindHistogram(database, table.name(), column)
+            : nullptr;
+    if (s == nullptr) RecordMissing(database, table.name(), {column});
+    return s;
+  }
+
+  // Distinct-count estimate for a column group; falls back to a heuristic
+  // when no density information exists (and records the miss).
+  double DistinctCount(const std::string& database,
+                       const catalog::TableSchema& table,
+                       const std::vector<std::string>& columns) const {
+    if (manager_ != nullptr) {
+      auto d = manager_->DistinctCount(database, table.name(), columns);
+      if (d.has_value()) return std::max(1.0, *d);
+    }
+    RecordMissing(database, table.name(), columns);
+    return FallbackDistinct(table, columns);
+  }
+
+  // Heuristic used when no statistics exist: primary keys are unique,
+  // everything else gets a sublinear guess.
+  static double FallbackDistinct(const catalog::TableSchema& table,
+                                 const std::vector<std::string>& columns) {
+    double rows = static_cast<double>(table.row_count());
+    if (rows < 1) return 1;
+    if (columns.size() == 1 && table.primary_key().size() == 1) {
+      int pk = table.primary_key()[0];
+      if (table.ColumnIndex(columns[0]) == pk) return rows;
+    }
+    double guess = std::pow(rows, 0.6);
+    // Wider groups are more distinct.
+    guess *= std::pow(2.0, static_cast<double>(columns.size()) - 1);
+    return std::min(rows, std::max(10.0, guess));
+  }
+
+  const stats::StatsManager* manager() const { return manager_; }
+
+ private:
+  void RecordMissing(const std::string& database, const std::string& table,
+                     const std::vector<std::string>& columns) const {
+    if (missing_ != nullptr) {
+      missing_->insert(stats::StatsKey(database, table, columns));
+    }
+  }
+
+  const stats::StatsManager* manager_;
+  mutable std::set<stats::StatsKey>* missing_ = nullptr;
+};
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_STATS_PROVIDER_H_

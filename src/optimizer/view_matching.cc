@@ -1,0 +1,344 @@
+#include "optimizer/view_matching.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+
+namespace dta::optimizer {
+
+namespace {
+
+// Canonical identity of a bound column: "schematable.column".
+std::string ColId(const BoundQuery& q, int table, int column) {
+  return q.tables[static_cast<size_t>(table)].schema->name() + "." +
+         q.ColumnName(table, column);
+}
+
+// Canonical string of an expression with all column refs resolved to
+// schema-table names (so exprs from different queries compare structurally).
+// Returns empty string when a reference fails to resolve.
+std::string CanonicalExpr(const sql::Expr& e, const BoundQuery& q) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kConst:
+      return e.value.ToSqlLiteral();
+    case sql::Expr::Kind::kColumn: {
+      auto rc = ResolveColumnRef(e.column, q);
+      if (!rc.ok()) return "";
+      return ColId(q, rc->first, rc->second);
+    }
+    case sql::Expr::Kind::kBinary: {
+      std::string l = CanonicalExpr(*e.left, q);
+      std::string r = CanonicalExpr(*e.right, q);
+      if (l.empty() || r.empty()) return "";
+      const char* op = e.op == sql::BinaryOp::kAdd   ? "+"
+                       : e.op == sql::BinaryOp::kSub ? "-"
+                       : e.op == sql::BinaryOp::kMul ? "*"
+                                                     : "/";
+      return "(" + l + op + r + ")";
+    }
+    case sql::Expr::Kind::kAggregate: {
+      std::string arg = e.left != nullptr ? CanonicalExpr(*e.left, q) : "*";
+      if (arg.empty()) return "";
+      const char* fn = e.agg == sql::AggFunc::kCount ? "COUNT"
+                       : e.agg == sql::AggFunc::kSum ? "SUM"
+                       : e.agg == sql::AggFunc::kAvg ? "AVG"
+                       : e.agg == sql::AggFunc::kMin ? "MIN"
+                                                     : "MAX";
+      return std::string(fn) + (e.distinct ? "{D}" : "") + "(" + arg + ")";
+    }
+  }
+  return "";
+}
+
+// Closed/open range over one column; eq renders as [v, v].
+struct AtomRange {
+  std::optional<sql::Value> lo, hi;
+  bool lo_incl = true, hi_incl = true;
+  bool valid = false;
+};
+
+AtomRange RangeOf(const sql::Predicate& p) {
+  AtomRange r;
+  if (p.kind == sql::Predicate::Kind::kCompare) {
+    switch (p.op) {
+      case sql::CompareOp::kEq:
+        r = {p.value, p.value, true, true, true};
+        break;
+      case sql::CompareOp::kLt:
+        r = {std::nullopt, p.value, true, false, true};
+        break;
+      case sql::CompareOp::kLe:
+        r = {std::nullopt, p.value, true, true, true};
+        break;
+      case sql::CompareOp::kGt:
+        r = {p.value, std::nullopt, false, true, true};
+        break;
+      case sql::CompareOp::kGe:
+        r = {p.value, std::nullopt, true, true, true};
+        break;
+      default:
+        break;
+    }
+  } else if (p.kind == sql::Predicate::Kind::kBetween) {
+    r = {p.low, p.high, true, true, true};
+  }
+  return r;
+}
+
+// True when `inner` range is contained in `outer`.
+bool RangeContained(const AtomRange& inner, const AtomRange& outer) {
+  if (!inner.valid || !outer.valid) return false;
+  if (outer.lo.has_value()) {
+    if (!inner.lo.has_value()) return false;
+    int c = inner.lo->Compare(*outer.lo);
+    if (c < 0) return false;
+    if (c == 0 && inner.lo_incl && !outer.lo_incl) return false;
+  }
+  if (outer.hi.has_value()) {
+    if (!inner.hi.has_value()) return false;
+    int c = inner.hi->Compare(*outer.hi);
+    if (c > 0) return false;
+    if (c == 0 && inner.hi_incl && !outer.hi_incl) return false;
+  }
+  return true;
+}
+
+// Exact structural equality of two predicates on an already-matched column.
+bool SamePredicate(const sql::Predicate& a, const sql::Predicate& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case sql::Predicate::Kind::kCompare:
+      return a.op == b.op && a.value.Compare(b.value) == 0;
+    case sql::Predicate::Kind::kBetween:
+      return a.low.Compare(b.low) == 0 && a.high.Compare(b.high) == 0;
+    case sql::Predicate::Kind::kIn: {
+      if (a.in_list.size() != b.in_list.size()) return false;
+      for (size_t i = 0; i < a.in_list.size(); ++i) {
+        if (a.in_list[i].Compare(b.in_list[i]) != 0) return false;
+      }
+      return true;
+    }
+    case sql::Predicate::Kind::kLike:
+      return a.like_pattern == b.like_pattern;
+    case sql::Predicate::Kind::kColumnCompare:
+      return a.op == b.op;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ViewMatchInfo> MatchView(const BoundQuery& q,
+                                       const BoundQuery& vq,
+                                       const catalog::ViewDef& view) {
+  if (q.stmt->distinct) return std::nullopt;
+  if (vq.stmt->distinct || vq.stmt->top >= 0 || !vq.stmt->order_by.empty()) {
+    return std::nullopt;
+  }
+  if (q.stmt->select_star || vq.stmt->select_star) return std::nullopt;
+
+  // --- Table sets must match exactly (no self-joins on either side).
+  std::map<std::string, int> q_by_name, v_by_name;
+  for (size_t i = 0; i < q.tables.size(); ++i) {
+    if (!q_by_name.emplace(q.tables[i].schema->name(), i).second) {
+      return std::nullopt;
+    }
+  }
+  for (size_t i = 0; i < vq.tables.size(); ++i) {
+    if (!v_by_name.emplace(vq.tables[i].schema->name(), i).second) {
+      return std::nullopt;
+    }
+  }
+  if (q_by_name.size() != v_by_name.size()) return std::nullopt;
+  for (const auto& [name, vi] : v_by_name) {
+    if (q_by_name.count(name) == 0) return std::nullopt;
+  }
+
+  // --- Join graphs must be identical (as sets of column-name pairs).
+  auto join_set = [](const BoundQuery& bq) {
+    std::set<std::string> out;
+    for (int a : bq.join_atoms) {
+      const BoundAtom& atom = bq.atoms[static_cast<size_t>(a)];
+      std::string l = ColId(bq, atom.table, atom.column);
+      std::string r = ColId(bq, atom.rhs_table, atom.rhs_column);
+      if (r < l) std::swap(l, r);
+      out.insert(l + "=" + r);
+    }
+    return out;
+  };
+  if (join_set(q) != join_set(vq)) return std::nullopt;
+
+  // --- Filters.
+  ViewMatchInfo info;
+  info.view = &view;
+  std::set<size_t> exactly_matched_q;
+  // Every view filter must be matched or subsumed by the query's filters,
+  // otherwise the view excludes rows the query needs.
+  for (size_t va = 0; va < vq.atoms.size(); ++va) {
+    const BoundAtom& vatom = vq.atoms[va];
+    if (vatom.IsJoin()) continue;
+    std::string vcol = ColId(vq, vatom.table, vatom.column);
+    bool satisfied = false;
+    for (size_t qa = 0; qa < q.atoms.size(); ++qa) {
+      const BoundAtom& qatom = q.atoms[qa];
+      if (qatom.IsJoin()) continue;
+      if (ColId(q, qatom.table, qatom.column) != vcol) continue;
+      if (SamePredicate(*qatom.pred, *vatom.pred)) {
+        satisfied = true;
+        exactly_matched_q.insert(qa);
+        break;
+      }
+      if (RangeContained(RangeOf(*qatom.pred), RangeOf(*vatom.pred))) {
+        satisfied = true;  // the (tighter) q atom becomes a residual
+        break;
+      }
+    }
+    if (!satisfied) return std::nullopt;
+  }
+  // Remaining q filters are residuals.
+  for (size_t qa = 0; qa < q.atoms.size(); ++qa) {
+    if (q.atoms[qa].IsJoin()) continue;
+    if (exactly_matched_q.count(qa) > 0) continue;
+    info.residual_atoms.push_back(static_cast<int>(qa));
+  }
+
+  // --- Column map from view output (plain-column select items only).
+  for (size_t i = 0; i < vq.stmt->items.size(); ++i) {
+    const sql::Expr* e = vq.stmt->items[i].expr.get();
+    if (e == nullptr || e->kind != sql::Expr::Kind::kColumn) continue;
+    auto rc = ResolveColumnRef(e->column, vq);
+    if (!rc.ok()) return std::nullopt;
+    const std::string& tname =
+        vq.tables[static_cast<size_t>(rc->first)].schema->name();
+    int q_table = q_by_name.at(tname);
+    info.column_map[{q_table, rc->second}] = static_cast<int>(i);
+  }
+
+  auto col_available = [&info](int table, int column) {
+    return info.column_map.count({table, column}) > 0;
+  };
+
+  // Residual predicate columns must be available.
+  for (int ra : info.residual_atoms) {
+    const BoundAtom& atom = q.atoms[static_cast<size_t>(ra)];
+    if (!col_available(atom.table, atom.column)) return std::nullopt;
+    if (atom.rhs_table >= 0 && !col_available(atom.rhs_table,
+                                              atom.rhs_column)) {
+      return std::nullopt;
+    }
+  }
+  // Group-by and order-by columns must be available.
+  for (const auto& [t, c] : q.group_by) {
+    if (!col_available(t, c)) return std::nullopt;
+  }
+  for (const auto& o : q.order_by) {
+    if (!col_available(o.table, o.column)) return std::nullopt;
+  }
+
+  info.view_has_groupby = !vq.group_by.empty();
+  bool q_has_aggs = q.stmt->HasAggregates();
+  info.reaggregate = q_has_aggs || !q.group_by.empty();
+
+  if (info.view_has_groupby) {
+    // An aggregated view cannot answer a plain SPJ query.
+    if (!q_has_aggs && q.group_by.empty()) return std::nullopt;
+    // The query's group columns must be among the view's group columns
+    // (available in column_map is necessary; also check membership in Gv).
+    std::set<std::string> gv;
+    for (const auto& [t, c] : vq.group_by) gv.insert(ColId(vq, t, c));
+    for (const auto& [t, c] : q.group_by) {
+      if (gv.count(ColId(q, t, c)) == 0) return std::nullopt;
+    }
+    // Map aggregate items onto view aggregate outputs.
+    // Precompute canonical strings of view items.
+    std::vector<std::string> v_item_canon(vq.stmt->items.size());
+    for (size_t i = 0; i < vq.stmt->items.size(); ++i) {
+      if (vq.stmt->items[i].expr != nullptr) {
+        v_item_canon[i] = CanonicalExpr(*vq.stmt->items[i].expr, vq);
+      }
+    }
+    auto find_view_item = [&](const std::string& canon) {
+      for (size_t i = 0; i < v_item_canon.size(); ++i) {
+        if (!canon.empty() && v_item_canon[i] == canon) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    };
+    for (const auto& item : q.stmt->items) {
+      const sql::Expr* e = item.expr.get();
+      if (e == nullptr) return std::nullopt;
+      ViewMatchInfo::ItemSource src;
+      if (e->kind == sql::Expr::Kind::kAggregate) {
+        if (e->distinct) return std::nullopt;  // COUNT(DISTINCT) not foldable
+        std::string canon = CanonicalExpr(*e, q);
+        if (canon.empty()) return std::nullopt;
+        if (e->agg == sql::AggFunc::kAvg) {
+          // AVG(x) = SUM(sum_x) / SUM(count) from the view.
+          std::string arg = CanonicalExpr(*e->left, q);
+          int sum_col = find_view_item("SUM(" + arg + ")");
+          int cnt_col = find_view_item("COUNT(*)");
+          if (sum_col < 0 || cnt_col < 0) return std::nullopt;
+          src.avg_sum_col = sum_col;
+          src.avg_cnt_col = cnt_col;
+        } else {
+          int vi = find_view_item(canon);
+          if (vi < 0) return std::nullopt;
+          src.view_col = vi;
+          switch (e->agg) {
+            case sql::AggFunc::kCount:
+            case sql::AggFunc::kSum:
+              src.fold = sql::AggFunc::kSum;
+              break;
+            case sql::AggFunc::kMin:
+              src.fold = sql::AggFunc::kMin;
+              break;
+            case sql::AggFunc::kMax:
+              src.fold = sql::AggFunc::kMax;
+              break;
+            default:
+              return std::nullopt;
+          }
+        }
+      } else {
+        // Non-aggregate item: every referenced column must be available.
+        std::vector<sql::ColumnRef> refs;
+        e->CollectColumns(&refs);
+        for (const auto& ref : refs) {
+          auto rc = ResolveColumnRef(ref, q);
+          if (!rc.ok() || !col_available(rc->first, rc->second)) {
+            return std::nullopt;
+          }
+        }
+        src.compute_from_columns = true;
+      }
+      info.item_sources.push_back(src);
+    }
+  } else {
+    // SPJ view: every item is computed from mapped columns.
+    for (const auto& item : q.stmt->items) {
+      const sql::Expr* e = item.expr.get();
+      if (e == nullptr) return std::nullopt;
+      if (e->kind == sql::Expr::Kind::kAggregate && e->distinct) {
+        return std::nullopt;
+      }
+      std::vector<sql::ColumnRef> refs;
+      e->CollectColumns(&refs);
+      for (const auto& ref : refs) {
+        auto rc = ResolveColumnRef(ref, q);
+        if (!rc.ok() || !col_available(rc->first, rc->second)) {
+          return std::nullopt;
+        }
+      }
+      ViewMatchInfo::ItemSource src;
+      src.compute_from_columns = true;
+      info.item_sources.push_back(src);
+    }
+  }
+  return info;
+}
+
+}  // namespace dta::optimizer

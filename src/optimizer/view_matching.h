@@ -1,0 +1,63 @@
+// Materialized-view matching: decides whether a view can answer a query and
+// computes the compensation (residual predicates, re-aggregation, column /
+// aggregate mappings) needed on top of a view scan.
+//
+// Matching is deliberately conservative (whole-query replacement with exact
+// join-graph equality); a failed match merely means the optimizer does not
+// use the view for that query, never a wrong plan.
+
+#ifndef DTA_OPTIMIZER_VIEW_MATCHING_H_
+#define DTA_OPTIMIZER_VIEW_MATCHING_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "catalog/physical_design.h"
+#include "common/status.h"
+#include "optimizer/bound_query.h"
+
+namespace dta::optimizer {
+
+struct ViewMatchInfo {
+  const catalog::ViewDef* view = nullptr;
+  bool view_has_groupby = false;
+  // True when the plan must (re-)aggregate view output to produce the query
+  // result (q has aggregates or DISTINCT-style grouping).
+  bool reaggregate = false;
+
+  // q atom indexes to evaluate against view output rows.
+  std::vector<int> residual_atoms;
+
+  // Maps a q (table index, column ordinal) to the view-output ordinal
+  // holding that base column. Every column needed by residual predicates,
+  // group-by, order-by and non-aggregate select items appears here.
+  std::map<std::pair<int, int>, int> column_map;
+
+  // How each q select item is produced from view output.
+  struct ItemSource {
+    // >= 0: read this view output ordinal and fold with `fold` during
+    // re-aggregation (kSum for SUM/COUNT folding, kMin/kMax pass-through).
+    int view_col = -1;
+    sql::AggFunc fold = sql::AggFunc::kSum;
+    // AVG(x) over an aggregated view: computed as SUM(sum_col)/SUM(cnt_col).
+    int avg_sum_col = -1;
+    int avg_cnt_col = -1;
+    // view_col < 0 and avg cols < 0: evaluate the item's expression against
+    // view output using column_map (SPJ views / plain columns).
+    bool compute_from_columns = false;
+  };
+  std::vector<ItemSource> item_sources;  // parallel to q.stmt->items
+};
+
+// Attempts to match `view` (whose definition has been bound as `vq`) against
+// query `q`. Returns nullopt when the view cannot answer the query.
+std::optional<ViewMatchInfo> MatchView(const BoundQuery& q,
+                                       const BoundQuery& vq,
+                                       const catalog::ViewDef& view);
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_VIEW_MATCHING_H_

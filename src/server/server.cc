@@ -1,0 +1,304 @@
+#include "server/server.h"
+
+#include <chrono>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "xmlio/xml.h"
+
+namespace dta::server {
+
+Server::Server(std::string name, optimizer::HardwareParams hardware)
+    : name_(std::move(name)), hardware_(hardware) {
+  provider_ = std::make_unique<optimizer::StatsProvider>(&stats_);
+  optimizer_ =
+      std::make_unique<optimizer::Optimizer>(catalog_, *provider_, hardware_);
+  executor_ = std::make_unique<engine::Executor>(catalog_, this);
+}
+
+Server::~Server() = default;
+
+Status Server::AttachDatabase(catalog::Database db) {
+  DTA_RETURN_IF_ERROR(catalog_.AddDatabase(std::move(db)));
+  // Optimizers cache bound queries referencing catalog objects; rebuild to
+  // avoid any staleness after catalog changes.
+  optimizer_ =
+      std::make_unique<optimizer::Optimizer>(catalog_, *provider_, hardware_);
+  simulated_.clear();
+  executor_ = std::make_unique<engine::Executor>(catalog_, this);
+  return Status::Ok();
+}
+
+Status Server::AttachTableData(const std::string& database,
+                               storage::TableData data) {
+  auto resolved = catalog_.ResolveTable(database, data.table_name());
+  if (!resolved.ok()) return resolved.status();
+  if (data.row_count() != resolved->table->row_count()) {
+    return Status::InvalidArgument(StrFormat(
+        "data row count %zu != catalog row count %llu for table '%s'",
+        data.row_count(),
+        static_cast<unsigned long long>(resolved->table->row_count()),
+        data.table_name().c_str()));
+  }
+  std::string key = resolved->database->name() + "." + data.table_name();
+  data_.insert_or_assign(key, std::move(data));
+  return Status::Ok();
+}
+
+Status Server::RegisterColumnSpecs(const std::string& database,
+                                   const std::string& table,
+                                   std::vector<storage::ColumnSpec> specs) {
+  auto resolved = catalog_.ResolveTable(database, table);
+  if (!resolved.ok()) return resolved.status();
+  if (specs.size() != resolved->table->columns().size()) {
+    return Status::InvalidArgument(
+        StrFormat("%zu specs for %zu columns of '%s'", specs.size(),
+                  resolved->table->columns().size(),
+                  resolved->table->name().c_str()));
+  }
+  specs_[resolved->database->name() + "." + resolved->table->name()] =
+      std::move(specs);
+  return Status::Ok();
+}
+
+const storage::TableData* Server::Table(const std::string& database,
+                                        const std::string& table) const {
+  auto it = data_.find(ToLower(database) + "." + ToLower(table));
+  return it != data_.end() ? &it->second : nullptr;
+}
+
+bool Server::HasStatistics(const stats::StatsKey& key) const {
+  return stats_.Contains(key);
+}
+
+Result<double> Server::CreateStatistics(const stats::StatsKey& key) {
+  if (stats_.Contains(key)) return 0.0;
+  auto resolved = catalog_.ResolveTable(key.database, key.table);
+  if (!resolved.ok()) return resolved.status();
+  const catalog::TableSchema& schema = *resolved->table;
+  std::string data_key = resolved->database->name() + "." + schema.name();
+
+  Result<stats::Statistics> built = Status::Internal("unset");
+  auto data_it = data_.find(data_key);
+  if (data_it != data_.end()) {
+    built = stats::BuildFromData(resolved->database->name(), schema,
+                                 data_it->second, key.columns);
+  } else {
+    auto spec_it = specs_.find(data_key);
+    if (spec_it == specs_.end()) {
+      return Status::FailedPrecondition(StrFormat(
+          "server '%s' has neither data nor generator specs for '%s'; "
+          "import statistics instead",
+          name_.c_str(), schema.name().c_str()));
+    }
+    // Seed deterministically from the leading column so a statistic's
+    // histogram is identical no matter which (and in what order) wider
+    // statistics carry it — reduced statistics creation (§5.2) must yield
+    // exactly the same information as the naive strategy.
+    Random rng(HashBytes(data_key + "/" + key.columns[0]));
+    built = stats::SynthesizeFromSpecs(resolved->database->name(), schema,
+                                       spec_it->second, key.columns, &rng);
+  }
+  if (!built.ok()) return built.status();
+  double duration = built->build_duration_ms;
+  stats_.Put(std::move(built).value());
+  overhead_ms_ += duration;
+  return duration;
+}
+
+Result<const stats::Statistics*> Server::GetOrCreateStatistics(
+    const stats::StatsKey& key) {
+  if (!stats_.Contains(key)) {
+    auto created = CreateStatistics(key);
+    if (!created.ok()) return created.status();
+  }
+  const stats::Statistics* s = stats_.Find(key);
+  if (s == nullptr) return Status::Internal("statistics vanished");
+  return s;
+}
+
+void Server::ImportStatistics(const stats::Statistics& statistics) {
+  stats_.Put(statistics);
+}
+
+std::vector<const stats::Statistics*> Server::ExportStatistics() const {
+  return stats_.All();
+}
+
+double Server::SimulatedOptimizeDurationMs(
+    const sql::Statement& stmt, const catalog::Configuration& config) const {
+  // Calibrated against typical SQL Server compile times: ~10ms for a
+  // single-table statement, growing quadratically with the join count
+  // (plan-space size) and mildly with the number of hypothetical
+  // structures the optimizer must consider.
+  if (!stmt.is_select()) return 8.0;
+  const sql::SelectStatement& sel = stmt.select();
+  double tables = static_cast<double>(sel.from.size());
+  double base = 22.0 + 1.5 * tables * tables +
+                (sel.group_by.empty() ? 0.0 : 3.0);
+  base += 0.3 * static_cast<double>(config.StructureCount());
+  return base;
+}
+
+Result<Server::WhatIfResult> Server::WhatIfCost(
+    const sql::Statement& stmt, const catalog::Configuration& config,
+    const optimizer::HardwareParams* simulate_hardware) {
+  const optimizer::Optimizer* opt = optimizer_.get();
+  if (simulate_hardware != nullptr) {
+    std::string key = StrFormat(
+        "%d/%.0f/%.3f/%.3f", simulate_hardware->cpu_count,
+        simulate_hardware->memory_mb, simulate_hardware->seq_page_ms,
+        simulate_hardware->rand_page_ms);
+    auto it = simulated_.find(key);
+    if (it == simulated_.end()) {
+      it = simulated_
+               .emplace(key, std::make_unique<optimizer::Optimizer>(
+                                 catalog_, *provider_, *simulate_hardware))
+               .first;
+    }
+    opt = it->second.get();
+  }
+  WhatIfResult out;
+  provider_->set_missing_recorder(&out.missing_stats);
+  auto cost = opt->CostStatement(stmt, config);
+  provider_->set_missing_recorder(nullptr);
+  overhead_ms_ += SimulatedOptimizeDurationMs(stmt, config);
+  ++whatif_calls_;
+  if (!cost.ok()) return cost.status();
+  out.cost = *cost;
+  return out;
+}
+
+Result<optimizer::Optimizer::QueryPlan> Server::WhatIfPlan(
+    const sql::SelectStatement& stmt, const catalog::Configuration& config,
+    const optimizer::HardwareParams* simulate_hardware) {
+  (void)simulate_hardware;  // plan shape is hardware-sensitive only via cost
+  sql::Statement wrapper;
+  wrapper.node = stmt.Clone();
+  overhead_ms_ += SimulatedOptimizeDurationMs(wrapper, config);
+  ++whatif_calls_;
+  return optimizer_->OptimizeSelect(stmt, config);
+}
+
+Status Server::ImplementConfiguration(catalog::Configuration config) {
+  current_config_ = std::move(config);
+  executor_->ClearStructureCache();
+  return Status::Ok();
+}
+
+Result<engine::QueryResult> Server::ExecuteSelect(
+    const sql::SelectStatement& stmt, double* elapsed_ms) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = executor_->ExecuteSelect(stmt, current_config_, *optimizer_);
+  auto end = std::chrono::steady_clock::now();
+  double ms = std::chrono::duration<double, std::milli>(end - start).count();
+  if (elapsed_ms != nullptr) *elapsed_ms = ms;
+  overhead_ms_ += ms;
+  if (capturing_ && result.ok()) {
+    sql::Statement wrapper;
+    wrapper.node = stmt.Clone();
+    captured_.Add(std::move(wrapper));
+  }
+  return result;
+}
+
+void Server::StartWorkloadCapture() {
+  capturing_ = true;
+  captured_ = workload::Workload();
+}
+
+workload::Workload Server::StopWorkloadCapture() {
+  capturing_ = false;
+  workload::Workload out = std::move(captured_);
+  captured_ = workload::Workload();
+  return out;
+}
+
+Result<double> Server::ExecuteStatement(const sql::Statement& stmt) {
+  if (stmt.is_select()) {
+    double ms = 0;
+    auto r = ExecuteSelect(stmt.select(), &ms);
+    if (!r.ok()) return r.status();
+    return ms;
+  }
+  // DML: modeled, not applied — the estimated cost stands in for execution.
+  auto cost = optimizer_->CostStatement(stmt, current_config_);
+  if (!cost.ok()) return cost.status();
+  overhead_ms_ += *cost;
+  if (capturing_) {
+    captured_.Add(stmt.Clone());
+  }
+  return *cost;
+}
+
+std::string Server::ScriptMetadata() const {
+  xml::Element root("ServerMetadata");
+  root.SetAttr("Name", name_);
+  for (const auto& [db_name, db] : catalog_.databases()) {
+    xml::Element* dbe = root.AddChild("Database");
+    dbe->SetAttr("Name", db_name);
+    for (const auto& [t_name, table] : db.tables()) {
+      xml::Element* te = dbe->AddChild("Table");
+      te->SetAttr("Name", t_name);
+      te->SetAttr("RowCount",
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        table.row_count())));
+      for (const auto& col : table.columns()) {
+        xml::Element* ce = te->AddChild("Column");
+        ce->SetAttr("Name", col.name);
+        ce->SetAttr("Type", catalog::ColumnTypeName(col.type));
+        ce->SetAttr("Width", StrFormat("%d", col.width_bytes));
+      }
+      if (!table.primary_key().empty()) {
+        xml::Element* pk = te->AddChild("PrimaryKey");
+        for (int c : table.primary_key()) {
+          pk->AddTextChild("Column", table.column(c).name);
+        }
+      }
+    }
+  }
+  return root.ToString(/*prolog=*/true);
+}
+
+Result<std::unique_ptr<Server>> Server::FromMetadataScript(
+    const std::string& xml_text, std::string name,
+    optimizer::HardwareParams hardware) {
+  auto parsed = xml::Parse(xml_text);
+  if (!parsed.ok()) return parsed.status();
+  const xml::Element& root = **parsed;
+  if (root.name() != "ServerMetadata") {
+    return Status::InvalidArgument("not a ServerMetadata document");
+  }
+  auto server = std::make_unique<Server>(std::move(name), hardware);
+  for (const xml::Element* dbe : root.FindChildren("Database")) {
+    catalog::Database db(dbe->Attr("Name"));
+    for (const xml::Element* te : dbe->FindChildren("Table")) {
+      std::vector<catalog::Column> columns;
+      for (const xml::Element* ce : te->FindChildren("Column")) {
+        auto type = catalog::ColumnTypeFromName(ce->Attr("Type"));
+        if (!type.ok()) return type.status();
+        catalog::Column col;
+        col.name = ce->Attr("Name");
+        col.type = *type;
+        col.width_bytes = std::max(1, atoi(ce->Attr("Width").c_str()));
+        columns.push_back(std::move(col));
+      }
+      catalog::TableSchema table(te->Attr("Name"), std::move(columns));
+      table.set_row_count(
+          strtoull(te->Attr("RowCount").c_str(), nullptr, 10));
+      const xml::Element* pk = te->FindChild("PrimaryKey");
+      if (pk != nullptr) {
+        std::vector<std::string> key_cols;
+        for (const xml::Element* kc : pk->FindChildren("Column")) {
+          key_cols.push_back(kc->text());
+        }
+        table.SetPrimaryKey(key_cols);
+      }
+      DTA_RETURN_IF_ERROR(db.AddTable(std::move(table)));
+    }
+    DTA_RETURN_IF_ERROR(server->AttachDatabase(std::move(db)));
+  }
+  return server;
+}
+
+}  // namespace dta::server

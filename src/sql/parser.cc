@@ -1,0 +1,543 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "sql/token.h"
+
+namespace dta::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOne() {
+    auto stmt = ParseStatementInternal();
+    if (!stmt.ok()) return stmt.status();
+    // Optional trailing semicolon.
+    if (Cur().IsOp(";")) Advance();
+    if (Cur().type != TokenType::kEnd) {
+      return Err("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (true) {
+      while (Cur().IsOp(";")) Advance();
+      if (Cur().type == TokenType::kEnd) break;
+      auto stmt = ParseStatementInternal();
+      if (!stmt.ok()) return stmt.status();
+      out.push_back(std::move(stmt).value());
+      if (Cur().IsOp(";")) {
+        Advance();
+      } else if (Cur().type != TokenType::kEnd) {
+        return Err("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& LookAhead(size_t k) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(std::string_view what) const {
+    return Status::InvalidArgument(
+        StrFormat("sql parse error at offset %zu (near '%s'): %.*s",
+                  Cur().offset, Cur().text.c_str(),
+                  static_cast<int>(what.size()), what.data()));
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Cur().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeOp(std::string_view op) {
+    if (Cur().IsOp(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) return Err(StrFormat("expected %.*s",
+                                                  static_cast<int>(kw.size()),
+                                                  kw.data()));
+    return Status::Ok();
+  }
+
+  Status ExpectOp(std::string_view op) {
+    if (!ConsumeOp(op)) return Err(StrFormat("expected '%.*s'",
+                                             static_cast<int>(op.size()),
+                                             op.data()));
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Cur().type != TokenType::kIdentifier) return Err("expected identifier");
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  Result<Statement> ParseStatementInternal() {
+    if (Cur().IsKeyword("SELECT")) {
+      auto s = ParseSelect();
+      if (!s.ok()) return s.status();
+      Statement stmt;
+      stmt.node = std::move(s).value();
+      return stmt;
+    }
+    if (Cur().IsKeyword("INSERT")) return ParseInsert();
+    if (Cur().IsKeyword("UPDATE")) return ParseUpdate();
+    if (Cur().IsKeyword("DELETE")) return ParseDelete();
+    return Err("expected SELECT, INSERT, UPDATE or DELETE");
+  }
+
+  // ---------------------------------------------------------------- SELECT
+
+  Result<SelectStatement> ParseSelect() {
+    DTA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement sel;
+    if (ConsumeKeyword("DISTINCT")) sel.distinct = true;
+    if (ConsumeKeyword("TOP")) {
+      if (Cur().type != TokenType::kInt) return Err("expected TOP count");
+      sel.top = std::strtoll(Cur().text.c_str(), nullptr, 10);
+      Advance();
+    }
+    // Select list.
+    if (ConsumeOp("*")) {
+      sel.select_star = true;
+    } else {
+      while (true) {
+        SelectItem item;
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        item.expr = std::move(e).value();
+        if (ConsumeKeyword("AS")) {
+          auto alias = ExpectIdentifier();
+          if (!alias.ok()) return alias.status();
+          item.alias = std::move(alias).value();
+        } else if (Cur().type == TokenType::kIdentifier) {
+          item.alias = Cur().text;
+          Advance();
+        }
+        sel.items.push_back(std::move(item));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    DTA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    // FROM list with optional JOIN ... ON sugar.
+    {
+      auto tr = ParseTableRef();
+      if (!tr.ok()) return tr.status();
+      sel.from.push_back(std::move(tr).value());
+    }
+    while (true) {
+      if (ConsumeOp(",")) {
+        auto tr = ParseTableRef();
+        if (!tr.ok()) return tr.status();
+        sel.from.push_back(std::move(tr).value());
+        continue;
+      }
+      if (Cur().IsKeyword("JOIN") || Cur().IsKeyword("INNER")) {
+        ConsumeKeyword("INNER");
+        DTA_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        auto tr2 = ParseTableRef();
+        if (!tr2.ok()) return tr2.status();
+        sel.from.push_back(std::move(tr2).value());
+        DTA_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        auto pred = ParsePredicate();
+        if (!pred.ok()) return pred.status();
+        sel.where.push_back(std::move(pred).value());
+        // Allow chained ANDed ON conditions.
+        while (ConsumeKeyword("AND")) {
+          // Heuristic: conditions after ON's AND still belong to WHERE
+          // semantics in our conjunctive model.
+          auto more = ParsePredicate();
+          if (!more.ok()) return more.status();
+          sel.where.push_back(std::move(more).value());
+        }
+        continue;
+      }
+      break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      DTA_RETURN_IF_ERROR(ParseConjunction(&sel.where));
+    }
+    if (ConsumeKeyword("GROUP")) {
+      DTA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        auto c = ParseColumnRef();
+        if (!c.ok()) return c.status();
+        sel.group_by.push_back(std::move(c).value());
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    if (ConsumeKeyword("ORDER")) {
+      DTA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderByItem item;
+        auto c = ParseColumnRef();
+        if (!c.ok()) return c.status();
+        item.column = std::move(c).value();
+        if (ConsumeKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        sel.order_by.push_back(std::move(item));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    return sel;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    TableRef tr;
+    tr.table = std::move(name).value();
+    if (ConsumeOp(".")) {
+      // db.table form.
+      auto tbl = ExpectIdentifier();
+      if (!tbl.ok()) return tbl.status();
+      tr.database = std::move(tr.table);
+      tr.table = std::move(tbl).value();
+    }
+    if (ConsumeKeyword("AS")) {
+      auto alias = ExpectIdentifier();
+      if (!alias.ok()) return alias.status();
+      tr.alias = std::move(alias).value();
+    } else if (Cur().type == TokenType::kIdentifier) {
+      tr.alias = Cur().text;
+      Advance();
+    }
+    return tr;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    auto first = ExpectIdentifier();
+    if (!first.ok()) return first.status();
+    ColumnRef ref;
+    ref.column = std::move(first).value();
+    if (ConsumeOp(".")) {
+      auto second = ExpectIdentifier();
+      if (!second.ok()) return second.status();
+      ref.table = std::move(ref.column);
+      ref.column = std::move(second).value();
+    }
+    return ref;
+  }
+
+  // ------------------------------------------------------------ predicates
+
+  Status ParseConjunction(std::vector<Predicate>* out) {
+    while (true) {
+      auto pred = ParsePredicate();
+      if (!pred.ok()) return pred.status();
+      out->push_back(std::move(pred).value());
+      if (!ConsumeKeyword("AND")) break;
+    }
+    return Status::Ok();
+  }
+
+  Result<Predicate> ParsePredicate() {
+    auto col = ParseColumnRef();
+    if (!col.ok()) return col.status();
+    ColumnRef lhs = std::move(col).value();
+    if (ConsumeKeyword("BETWEEN")) {
+      auto lo = ParseLiteral();
+      if (!lo.ok()) return lo.status();
+      DTA_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      auto hi = ParseLiteral();
+      if (!hi.ok()) return hi.status();
+      return Predicate::Between(std::move(lhs), std::move(lo).value(),
+                                std::move(hi).value());
+    }
+    if (ConsumeKeyword("IN")) {
+      DTA_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<Value> values;
+      while (true) {
+        auto v = ParseLiteral();
+        if (!v.ok()) return v.status();
+        values.push_back(std::move(v).value());
+        if (!ConsumeOp(",")) break;
+      }
+      DTA_RETURN_IF_ERROR(ExpectOp(")"));
+      return Predicate::In(std::move(lhs), std::move(values));
+    }
+    if (ConsumeKeyword("LIKE")) {
+      if (Cur().type != TokenType::kString) {
+        return Err("expected string pattern after LIKE");
+      }
+      std::string pattern = Cur().text;
+      Advance();
+      return Predicate::Like(std::move(lhs), std::move(pattern));
+    }
+    CompareOp op;
+    if (ConsumeOp("=")) {
+      op = CompareOp::kEq;
+    } else if (ConsumeOp("<>") || ConsumeOp("!=")) {
+      op = CompareOp::kNe;
+    } else if (ConsumeOp("<=")) {
+      op = CompareOp::kLe;
+    } else if (ConsumeOp(">=")) {
+      op = CompareOp::kGe;
+    } else if (ConsumeOp("<")) {
+      op = CompareOp::kLt;
+    } else if (ConsumeOp(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Err("expected comparison operator");
+    }
+    // RHS: literal or column.
+    if (Cur().type == TokenType::kIdentifier) {
+      auto rhs = ParseColumnRef();
+      if (!rhs.ok()) return rhs.status();
+      Predicate p;
+      p.kind = Predicate::Kind::kColumnCompare;
+      p.column = std::move(lhs);
+      p.op = op;
+      p.rhs_column = std::move(rhs).value();
+      return p;
+    }
+    auto v = ParseLiteral();
+    if (!v.ok()) return v.status();
+    return Predicate::Compare(std::move(lhs), op, std::move(v).value());
+  }
+
+  Result<Value> ParseLiteral() {
+    if (ConsumeKeyword("DATE")) {
+      if (Cur().type != TokenType::kString) {
+        return Err("expected string after DATE");
+      }
+      Value v = Value::String(Cur().text);
+      Advance();
+      return v;
+    }
+    if (ConsumeKeyword("NULL")) return Value::Null();
+    bool negative = false;
+    if (Cur().IsOp("-")) {
+      negative = true;
+      Advance();
+    }
+    if (Cur().type == TokenType::kInt) {
+      int64_t v = std::strtoll(Cur().text.c_str(), nullptr, 10);
+      Advance();
+      return Value::Int(negative ? -v : v);
+    }
+    if (Cur().type == TokenType::kDouble) {
+      double v = std::strtod(Cur().text.c_str(), nullptr);
+      Advance();
+      return Value::Double(negative ? -v : v);
+    }
+    if (negative) return Err("expected number after '-'");
+    if (Cur().type == TokenType::kString) {
+      Value v = Value::String(Cur().text);
+      Advance();
+      return v;
+    }
+    return Err("expected literal");
+  }
+
+  // ----------------------------------------------------------- expressions
+
+  Result<ExprPtr> ParseExpr() { return ParseAdditive(); }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr e = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (Cur().IsOp("+")) {
+        op = BinaryOp::kAdd;
+      } else if (Cur().IsOp("-")) {
+        op = BinaryOp::kSub;
+      } else {
+        break;
+      }
+      Advance();
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs.status();
+      e = Expr::Binary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr e = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (Cur().IsOp("*")) {
+        op = BinaryOp::kMul;
+      } else if (Cur().IsOp("/")) {
+        op = BinaryOp::kDiv;
+      } else {
+        break;
+      }
+      Advance();
+      auto rhs = ParsePrimary();
+      if (!rhs.ok()) return rhs.status();
+      e = Expr::Binary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (ConsumeOp("(")) {
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      DTA_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    // Aggregates.
+    static constexpr std::pair<const char*, AggFunc> kAggs[] = {
+        {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+        {"AVG", AggFunc::kAvg},     {"MIN", AggFunc::kMin},
+        {"MAX", AggFunc::kMax},
+    };
+    for (const auto& [kw, fn] : kAggs) {
+      if (Cur().IsKeyword(kw)) {
+        Advance();
+        DTA_RETURN_IF_ERROR(ExpectOp("("));
+        bool distinct = ConsumeKeyword("DISTINCT");
+        ExprPtr arg;
+        if (ConsumeOp("*")) {
+          if (fn != AggFunc::kCount) return Err("'*' only valid in COUNT");
+          arg = nullptr;
+        } else {
+          auto e = ParseExpr();
+          if (!e.ok()) return e.status();
+          arg = std::move(e).value();
+        }
+        DTA_RETURN_IF_ERROR(ExpectOp(")"));
+        return Expr::Aggregate(fn, std::move(arg), distinct);
+      }
+    }
+    if (Cur().type == TokenType::kIdentifier) {
+      auto c = ParseColumnRef();
+      if (!c.ok()) return c.status();
+      return Expr::Column(std::move(c).value());
+    }
+    auto lit = ParseLiteral();
+    if (!lit.ok()) return lit.status();
+    return Expr::Const(std::move(lit).value());
+  }
+
+  // ------------------------------------------------------------------ DML
+
+  Result<Statement> ParseInsert() {
+    DTA_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    DTA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement ins;
+    auto tbl = ExpectIdentifier();
+    if (!tbl.ok()) return tbl.status();
+    ins.table = std::move(tbl).value();
+    if (ConsumeOp("(")) {
+      while (true) {
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        ins.columns.push_back(std::move(col).value());
+        if (!ConsumeOp(",")) break;
+      }
+      DTA_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    DTA_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      DTA_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<Value> row;
+      while (true) {
+        auto v = ParseLiteral();
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v).value());
+        if (!ConsumeOp(",")) break;
+      }
+      DTA_RETURN_IF_ERROR(ExpectOp(")"));
+      ins.rows.push_back(std::move(row));
+      if (!ConsumeOp(",")) break;
+    }
+    Statement stmt;
+    stmt.node = std::move(ins);
+    return stmt;
+  }
+
+  Result<Statement> ParseUpdate() {
+    DTA_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStatement upd;
+    auto tbl = ExpectIdentifier();
+    if (!tbl.ok()) return tbl.status();
+    upd.table = std::move(tbl).value();
+    DTA_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      DTA_RETURN_IF_ERROR(ExpectOp("="));
+      auto v = ParseLiteral();
+      if (!v.ok()) return v.status();
+      upd.assignments.emplace_back(std::move(col).value(),
+                                   std::move(v).value());
+      if (!ConsumeOp(",")) break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      DTA_RETURN_IF_ERROR(ParseConjunction(&upd.where));
+    }
+    Statement stmt;
+    stmt.node = std::move(upd);
+    return stmt;
+  }
+
+  Result<Statement> ParseDelete() {
+    DTA_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    DTA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement del;
+    auto tbl = ExpectIdentifier();
+    if (!tbl.ok()) return tbl.status();
+    del.table = std::move(tbl).value();
+    if (ConsumeKeyword("WHERE")) {
+      DTA_RETURN_IF_ERROR(ParseConjunction(&del.where));
+    }
+    Statement stmt;
+    stmt.node = std::move(del);
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseOne();
+}
+
+Result<std::vector<Statement>> ParseScript(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseAll();
+}
+
+}  // namespace dta::sql

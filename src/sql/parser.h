@@ -1,0 +1,23 @@
+// Recursive-descent parser for the SQL subset (see ast.h for the grammar).
+
+#ifndef DTA_SQL_PARSER_H_
+#define DTA_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace dta::sql {
+
+// Parses exactly one statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(std::string_view text);
+
+// Parses a ';'-separated script into individual statements. Empty statements
+// are skipped.
+Result<std::vector<Statement>> ParseScript(std::string_view text);
+
+}  // namespace dta::sql
+
+#endif  // DTA_SQL_PARSER_H_

@@ -1,0 +1,230 @@
+#include "sql/printer.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dta::sql {
+
+namespace {
+
+std::string Ident(const std::string& name, const PrintOptions& opts) {
+  return opts.normalize_identifiers ? ToLower(name) : name;
+}
+
+std::string ColRef(const ColumnRef& c, const PrintOptions& opts) {
+  if (c.table.empty()) return Ident(c.column, opts);
+  return Ident(c.table, opts) + "." + Ident(c.column, opts);
+}
+
+std::string Lit(const Value& v, const PrintOptions& opts) {
+  return opts.anonymize_literals ? "?" : v.ToSqlLiteral();
+}
+
+const char* AggName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+const char* BinOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+void PrintExpr(const Expr& e, const PrintOptions& opts, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      *out += Lit(e.value, opts);
+      break;
+    case Expr::Kind::kColumn:
+      *out += ColRef(e.column, opts);
+      break;
+    case Expr::Kind::kBinary:
+      *out += "(";
+      PrintExpr(*e.left, opts, out);
+      *out += " ";
+      *out += BinOpSymbol(e.op);
+      *out += " ";
+      PrintExpr(*e.right, opts, out);
+      *out += ")";
+      break;
+    case Expr::Kind::kAggregate:
+      *out += AggName(e.agg);
+      *out += "(";
+      if (e.distinct) *out += "DISTINCT ";
+      if (e.left == nullptr) {
+        *out += "*";
+      } else {
+        PrintExpr(*e.left, opts, out);
+      }
+      *out += ")";
+      break;
+  }
+}
+
+void PrintWhere(const std::vector<Predicate>& where, const PrintOptions& opts,
+                std::string* out) {
+  if (where.empty()) return;
+  *out += " WHERE ";
+  for (size_t i = 0; i < where.size(); ++i) {
+    if (i > 0) *out += " AND ";
+    *out += PredicateToSql(where[i], opts);
+  }
+}
+
+}  // namespace
+
+std::string ExprToSql(const Expr& expr, const PrintOptions& opts) {
+  std::string out;
+  PrintExpr(expr, opts, &out);
+  return out;
+}
+
+std::string PredicateToSql(const Predicate& p, const PrintOptions& opts) {
+  std::string out = ColRef(p.column, opts);
+  switch (p.kind) {
+    case Predicate::Kind::kCompare:
+      out += " ";
+      out += CompareOpSymbol(p.op);
+      out += " ";
+      out += Lit(p.value, opts);
+      break;
+    case Predicate::Kind::kBetween:
+      out += " BETWEEN " + Lit(p.low, opts) + " AND " + Lit(p.high, opts);
+      break;
+    case Predicate::Kind::kIn: {
+      out += " IN (";
+      for (size_t i = 0; i < p.in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Lit(p.in_list[i], opts);
+      }
+      out += ")";
+      break;
+    }
+    case Predicate::Kind::kLike:
+      out += " LIKE ";
+      out += opts.anonymize_literals
+                 ? "?"
+                 : Value::String(p.like_pattern).ToSqlLiteral();
+      break;
+    case Predicate::Kind::kColumnCompare:
+      out += " ";
+      out += CompareOpSymbol(p.op);
+      out += " ";
+      out += ColRef(p.rhs_column, opts);
+      break;
+  }
+  return out;
+}
+
+std::string ToSql(const SelectStatement& s, const PrintOptions& opts) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  if (s.top >= 0) out += StrFormat("TOP %lld ", static_cast<long long>(s.top));
+  if (s.select_star) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintExpr(*s.items[i].expr, opts, &out);
+      if (!s.items[i].alias.empty()) {
+        out += " AS " + Ident(s.items[i].alias, opts);
+      }
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < s.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    const TableRef& t = s.from[i];
+    if (!t.database.empty()) out += Ident(t.database, opts) + ".";
+    out += Ident(t.table, opts);
+    if (!t.alias.empty()) out += " " + Ident(t.alias, opts);
+  }
+  PrintWhere(s.where, opts, &out);
+  if (!s.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ColRef(s.group_by[i], opts);
+    }
+  }
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ColRef(s.order_by[i].column, opts);
+      if (!s.order_by[i].ascending) out += " DESC";
+    }
+  }
+  return out;
+}
+
+std::string ToSql(const Statement& stmt, const PrintOptions& opts) {
+  switch (stmt.kind()) {
+    case StatementKind::kSelect:
+      return ToSql(stmt.select(), opts);
+    case StatementKind::kInsert: {
+      const InsertStatement& ins = stmt.insert();
+      std::string out = "INSERT INTO " + Ident(ins.table, opts);
+      if (!ins.columns.empty()) {
+        out += " (";
+        for (size_t i = 0; i < ins.columns.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += Ident(ins.columns[i], opts);
+        }
+        out += ")";
+      }
+      out += " VALUES ";
+      for (size_t r = 0; r < ins.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += "(";
+        for (size_t i = 0; i < ins.rows[r].size(); ++i) {
+          if (i > 0) out += ", ";
+          out += Lit(ins.rows[r][i], opts);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case StatementKind::kUpdate: {
+      const UpdateStatement& upd = stmt.update();
+      std::string out = "UPDATE " + Ident(upd.table, opts) + " SET ";
+      for (size_t i = 0; i < upd.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Ident(upd.assignments[i].first, opts) + " = " +
+               Lit(upd.assignments[i].second, opts);
+      }
+      PrintWhere(upd.where, opts, &out);
+      return out;
+    }
+    case StatementKind::kDelete: {
+      const DeleteStatement& del = stmt.del();
+      std::string out = "DELETE FROM " + Ident(del.table, opts);
+      PrintWhere(del.where, opts, &out);
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace dta::sql

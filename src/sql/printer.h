@@ -1,0 +1,29 @@
+// SQL rendering for statements and expressions.
+
+#ifndef DTA_SQL_PRINTER_H_
+#define DTA_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace dta::sql {
+
+struct PrintOptions {
+  // Replace every literal with '?' (used for statement signatures, §5.1 of
+  // the paper: two statements share a signature if they are identical except
+  // for constants).
+  bool anonymize_literals = false;
+  // Lower-case identifiers so signatures are case-insensitive.
+  bool normalize_identifiers = false;
+};
+
+std::string ToSql(const Statement& stmt, const PrintOptions& opts = {});
+std::string ToSql(const SelectStatement& stmt, const PrintOptions& opts = {});
+std::string ExprToSql(const Expr& expr, const PrintOptions& opts = {});
+std::string PredicateToSql(const Predicate& pred,
+                           const PrintOptions& opts = {});
+
+}  // namespace dta::sql
+
+#endif  // DTA_SQL_PRINTER_H_

@@ -1,0 +1,19 @@
+#include "sql/signature.h"
+
+#include "common/hash.h"
+#include "sql/printer.h"
+
+namespace dta::sql {
+
+std::string SignatureText(const Statement& stmt) {
+  PrintOptions opts;
+  opts.anonymize_literals = true;
+  opts.normalize_identifiers = true;
+  return ToSql(stmt, opts);
+}
+
+uint64_t SignatureHash(const Statement& stmt) {
+  return HashBytes(SignatureText(stmt));
+}
+
+}  // namespace dta::sql

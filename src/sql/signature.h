@@ -1,0 +1,25 @@
+// Statement signatures (templatization), per §5.1 of the paper: two
+// statements have the same signature iff they are identical in all respects
+// except for the constants they reference.
+
+#ifndef DTA_SQL_SIGNATURE_H_
+#define DTA_SQL_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace dta::sql {
+
+// Canonical anonymized text: literals replaced by '?', identifiers
+// lower-cased. Statements with equal signature text belong to the same
+// template.
+std::string SignatureText(const Statement& stmt);
+
+// 64-bit hash of SignatureText (cheap partition key).
+uint64_t SignatureHash(const Statement& stmt);
+
+}  // namespace dta::sql
+
+#endif  // DTA_SQL_SIGNATURE_H_

@@ -1,0 +1,153 @@
+#include "sql/token.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dta::sql {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "SELECT", "FROM",   "WHERE",  "GROUP",   "BY",     "ORDER",  "HAVING",
+    "AND",    "OR",     "NOT",    "AS",      "ASC",    "DESC",   "BETWEEN",
+    "IN",     "LIKE",   "IS",     "NULL",    "INSERT", "INTO",   "VALUES",
+    "UPDATE", "SET",    "DELETE", "DISTINCT", "TOP",   "JOIN",   "INNER",
+    "ON",     "COUNT",  "SUM",    "AVG",     "MIN",    "MAX",    "DATE",
+};
+
+}  // namespace
+
+bool IsSqlKeyword(std::string_view upper_word) {
+  for (const char* kw : kKeywords) {
+    if (upper_word == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+    } else if (c == '[') {
+      // [bracketed identifier]
+      size_t end = input.find(']', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrFormat("sql: unterminated [identifier at offset %zu", i));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(input.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      tok.type = is_double ? TokenType::kDouble : TokenType::kInt;
+      tok.text = std::string(input.substr(start, i - start));
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+          } else {
+            closed = true;
+            ++i;
+            break;
+          }
+        } else {
+          text.push_back(input[i++]);
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("sql: unterminated string literal at offset %zu",
+                      tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+    } else {
+      // Operators and punctuation (longest match first).
+      static constexpr std::array kTwoChar = {"<=", ">=", "<>", "!="};
+      std::string_view two = input.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (two == op) {
+          tok.type = TokenType::kOperator;
+          tok.text = std::string(two);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static constexpr std::string_view kSingles = "=<>+-*/.,();";
+        if (kSingles.find(c) == std::string_view::npos) {
+          return Status::InvalidArgument(
+              StrFormat("sql: unexpected character '%c' at offset %zu", c, i));
+        }
+        tok.type = TokenType::kOperator;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dta::sql

@@ -1,0 +1,47 @@
+// Tokenizer for the SQL subset.
+
+#ifndef DTA_SQL_TOKEN_H_
+#define DTA_SQL_TOKEN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dta::sql {
+
+enum class TokenType {
+  kIdentifier,  // unquoted name or [bracketed name]
+  kKeyword,     // recognized SQL keyword, normalized upper-case in `text`
+  kInt,         // integer literal
+  kDouble,      // floating-point literal
+  kString,      // 'quoted' string literal, unescaped in `text`
+  kOperator,    // = < > <= >= <> != + - * / . , ( ) ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalized content (keywords upper-cased)
+  size_t offset = 0;  // byte offset into the original statement
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOp(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+// Tokenizes a statement. Keywords are matched case-insensitively against the
+// fixed keyword set and normalized to upper case; identifiers preserve case
+// but compare case-insensitively elsewhere.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+// True if `word` (upper-cased) is a recognized keyword.
+bool IsSqlKeyword(std::string_view upper_word);
+
+}  // namespace dta::sql
+
+#endif  // DTA_SQL_TOKEN_H_

@@ -1,0 +1,89 @@
+#include "sql/value.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace dta::sql {
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return StrFormat("%lld", static_cast<long long>(AsInt()));
+    case ValueType::kDouble:
+      return CompactDouble(AsDoubleStrict());
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string Value::ToDisplayString() const {
+  if (type() == ValueType::kString) return AsString();
+  return ToSqlLiteral();
+}
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    if (a == b) return 0;
+    return a == ValueType::kNull ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    // Exact path when both are ints avoids double rounding for large keys.
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      int64_t x = AsInt(), y = other.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = ToDouble(), y = other.ToDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a == ValueType::kString && b == ValueType::kString) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Type mismatch between numeric and string: order by type tag.
+  return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9d3f;
+    case ValueType::kInt: {
+      // Hash ints as doubles when they are exactly representable so that
+      // Int(5) and Double(5.0) (which compare equal) hash equal too.
+      double d = static_cast<double>(AsInt());
+      if (static_cast<int64_t>(d) == AsInt()) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(d));
+        return HashCombine(0x11, bits);
+      }
+      return HashCombine(0x11, static_cast<uint64_t>(AsInt()));
+    }
+    case ValueType::kDouble: {
+      double d = AsDoubleStrict();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return HashCombine(0x11, bits);
+    }
+    case ValueType::kString:
+      return HashBytes(AsString());
+  }
+  return 0;
+}
+
+}  // namespace dta::sql

@@ -1,0 +1,86 @@
+// Runtime value type for the SQL subset.
+//
+// Dates are represented as ISO-8601 strings ('1994-01-01'); lexicographic
+// comparison on that format is identical to chronological comparison, which
+// keeps the value model down to {null, int, double, string}.
+
+#ifndef DTA_SQL_VALUE_H_
+#define DTA_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dta::sql {
+
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDoubleStrict() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  // Numeric view: ints promote to double; non-numerics return 0.
+  double ToDouble() const {
+    switch (type()) {
+      case ValueType::kInt:
+        return static_cast<double>(AsInt());
+      case ValueType::kDouble:
+        return AsDoubleStrict();
+      default:
+        return 0.0;
+    }
+  }
+
+  // SQL literal rendering ('quoted' strings, bare numerics, NULL).
+  std::string ToSqlLiteral() const;
+  // Bare rendering (no quotes) for display.
+  std::string ToDisplayString() const;
+
+  // Three-way comparison with numeric promotion. Null sorts first.
+  // Comparing a numeric with a string compares type tags only (stable but
+  // arbitrary), which never happens for well-typed queries.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  // Hash consistent with operator== for well-typed comparisons.
+  uint64_t Hash() const;
+
+ private:
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace dta::sql
+
+#endif  // DTA_SQL_VALUE_H_

@@ -1,0 +1,156 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dta::stats {
+
+Histogram Histogram::Build(std::vector<sql::Value> sample, double scale,
+                           int max_steps, double expected_distinct) {
+  Histogram h;
+  if (sample.empty()) return h;
+  std::sort(sample.begin(), sample.end(),
+            [](const sql::Value& a, const sql::Value& b) {
+              return a.Compare(b) < 0;
+            });
+  h.min_value_ = sample.front();
+  const size_t n = sample.size();
+  // Run-length encode into (value, count) pairs.
+  std::vector<std::pair<sql::Value, double>> runs;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && sample[j].Compare(sample[i]) == 0) ++j;
+    runs.emplace_back(sample[i], static_cast<double>(j - i) * scale);
+    i = j;
+  }
+  // Per-value frequency correction (see header): without it, a sparse
+  // sample of a near-unique column over-reports every value's frequency by
+  // the sampling scale.
+  double sample_distinct = static_cast<double>(runs.size());
+  double eq_correction = 1.0;
+  if (expected_distinct > 0 && expected_distinct > sample_distinct) {
+    eq_correction = sample_distinct / expected_distinct;
+  }
+  h.distinct_count_ =
+      expected_distinct > 0 ? std::max(expected_distinct, sample_distinct)
+                            : sample_distinct;
+  h.total_rows_ = static_cast<double>(n) * scale;
+
+  // Equi-depth stepping: aim for ~total/max_steps rows per step, always
+  // closing a step at a distinct value boundary.
+  const double target = h.total_rows_ / std::max(1, max_steps);
+  Step cur;
+  double in_range_rows = 0;
+  double in_range_distinct = 0;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const bool last = (r + 1 == runs.size());
+    if (in_range_rows + runs[r].second >= target || last ||
+        runs[r].second >= target) {
+      // Close a step at this value.
+      cur.upper = runs[r].first;
+      cur.eq_rows = runs[r].second * eq_correction;
+      cur.range_rows = in_range_rows;
+      cur.distinct_range =
+          std::min(in_range_rows, in_range_distinct / eq_correction);
+      h.steps_.push_back(cur);
+      cur = Step{};
+      in_range_rows = 0;
+      in_range_distinct = 0;
+    } else {
+      in_range_rows += runs[r].second;
+      in_range_distinct += 1;
+    }
+  }
+  return h;
+}
+
+double Histogram::EstimateEquals(const sql::Value& v) const {
+  if (steps_.empty()) return 0;
+  if (v.Compare(min_value_) < 0 || v.Compare(MaxValue()) > 0) return 0;
+  for (const Step& s : steps_) {
+    int cmp = v.Compare(s.upper);
+    if (cmp == 0) return s.eq_rows;
+    if (cmp < 0) {
+      // Inside the open range of this step: uniform within distinct values.
+      if (s.distinct_range <= 0) return 0;
+      return s.range_rows / s.distinct_range;
+    }
+  }
+  return 0;
+}
+
+double Histogram::EstimateRange(const std::optional<sql::Value>& lo,
+                                bool lo_inclusive,
+                                const std::optional<sql::Value>& hi,
+                                bool hi_inclusive) const {
+  if (steps_.empty()) return 0;
+  // Accumulate rows <= x (with inclusivity) via a helper, then subtract.
+  auto rows_below = [this](const sql::Value& x, bool inclusive) {
+    // Rows with value < x (or <= x when inclusive).
+    double acc = 0;
+    for (const Step& s : steps_) {
+      int cmp = x.Compare(s.upper);
+      if (cmp > 0) {
+        acc += s.range_rows + s.eq_rows;
+        continue;
+      }
+      if (cmp == 0) {
+        acc += s.range_rows + (inclusive ? s.eq_rows : 0);
+        return acc;
+      }
+      // x falls inside this step's open range: linear interpolation over the
+      // range. Interpolate on numeric distance when possible, else half.
+      double frac = 0.5;
+      const sql::Value* prev_upper =
+          (&s == &steps_.front()) ? &min_value_ : nullptr;
+      // Find the previous step's upper for interpolation.
+      for (size_t i = 1; i < steps_.size(); ++i) {
+        if (&steps_[i] == &s) {
+          prev_upper = &steps_[i - 1].upper;
+          break;
+        }
+      }
+      if (prev_upper != nullptr && prev_upper->is_numeric() &&
+          s.upper.is_numeric() && x.is_numeric()) {
+        double lo_d = prev_upper->ToDouble();
+        double hi_d = s.upper.ToDouble();
+        if (hi_d > lo_d) {
+          frac = (x.ToDouble() - lo_d) / (hi_d - lo_d);
+          frac = std::clamp(frac, 0.0, 1.0);
+        }
+      }
+      acc += s.range_rows * frac;
+      return acc;
+    }
+    return acc;  // x above max: everything
+  };
+
+  double upper_rows =
+      hi.has_value() ? rows_below(*hi, hi_inclusive) : total_rows_;
+  double lower_rows = lo.has_value() ? rows_below(*lo, !lo_inclusive) : 0;
+  // When lo is inclusive we must NOT count rows == lo as below.
+  return std::max(0.0, upper_rows - lower_rows);
+}
+
+double Histogram::EstimateLikePrefix(const std::string& prefix) const {
+  if (prefix.empty()) return total_rows_;
+  // LIKE 'abc%' == range ['abc', 'abc\xff...').
+  std::string hi = prefix;
+  hi.push_back('\x7f');
+  return EstimateRange(sql::Value::String(prefix), true,
+                       sql::Value::String(hi), false);
+}
+
+sql::Value Histogram::ValueAtFraction(double fraction) const {
+  if (steps_.empty()) return sql::Value::Null();
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  double target = fraction * total_rows_;
+  double acc = 0;
+  for (const Step& s : steps_) {
+    acc += s.range_rows + s.eq_rows;
+    if (acc >= target) return s.upper;
+  }
+  return MaxValue();
+}
+
+}  // namespace dta::stats

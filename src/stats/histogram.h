@@ -1,0 +1,71 @@
+// Equi-depth histogram on a single column, modeled on SQL Server steps:
+// each step has an inclusive upper boundary (RANGE_HI_KEY), the number of
+// rows equal to the boundary (EQ_ROWS), and the rows / distinct values
+// strictly between the previous boundary and this one (RANGE_ROWS,
+// DISTINCT_RANGE_ROWS).
+
+#ifndef DTA_STATS_HISTOGRAM_H_
+#define DTA_STATS_HISTOGRAM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace dta::stats {
+
+class Histogram {
+ public:
+  struct Step {
+    sql::Value upper;       // inclusive upper boundary
+    double eq_rows = 0;     // rows equal to `upper`
+    double range_rows = 0;  // rows strictly inside (prev.upper, upper)
+    double distinct_range = 0;
+  };
+
+  Histogram() = default;
+
+  // Builds from a sample. `scale` multiplies sample counts up to table
+  // cardinality (scale = table_rows / sample_rows). `max_steps` bounds the
+  // number of steps (SQL Server uses up to 200).
+  //
+  // `expected_distinct` (when > 0) is the estimated distinct count of the
+  // column over the WHOLE table. Without it, per-value frequencies from a
+  // sparse sample are over-scaled: a key column sampled at 1% would look
+  // like every value occurs 100 times. The correction factor
+  // (sample distinct / expected distinct) fixes EQ_ROWS and
+  // DISTINCT_RANGE_ROWS so per-value estimates match rows/expected_distinct.
+  static Histogram Build(std::vector<sql::Value> sample, double scale,
+                         int max_steps = 200, double expected_distinct = -1);
+
+  bool empty() const { return steps_.empty(); }
+  double total_rows() const { return total_rows_; }
+  double distinct_count() const { return distinct_count_; }
+  const std::vector<Step>& steps() const { return steps_; }
+  const sql::Value& MinValue() const { return min_value_; }
+  const sql::Value& MaxValue() const { return steps_.back().upper; }
+
+  // Estimated rows with column == v.
+  double EstimateEquals(const sql::Value& v) const;
+  // Estimated rows in the range; nullopt bounds are unbounded.
+  double EstimateRange(const std::optional<sql::Value>& lo, bool lo_inclusive,
+                       const std::optional<sql::Value>& hi,
+                       bool hi_inclusive) const;
+  // Estimated rows matching a LIKE 'prefix%' pattern.
+  double EstimateLikePrefix(const std::string& prefix) const;
+
+  // Value below which approximately `fraction` of rows fall (equi-depth
+  // quantile); used to propose range-partition boundaries.
+  sql::Value ValueAtFraction(double fraction) const;
+
+ private:
+  std::vector<Step> steps_;
+  sql::Value min_value_;
+  double total_rows_ = 0;
+  double distinct_count_ = 0;
+};
+
+}  // namespace dta::stats
+
+#endif  // DTA_STATS_HISTOGRAM_H_

@@ -1,0 +1,90 @@
+#include "stats/statistics.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dta::stats {
+
+StatsKey::StatsKey(std::string database_in, std::string table_in,
+                   std::vector<std::string> columns_in)
+    : database(ToLower(database_in)),
+      table(ToLower(table_in)),
+      columns(std::move(columns_in)) {
+  for (std::string& c : columns) c = ToLower(c);
+}
+
+std::string StatsKey::CanonicalString() const {
+  std::string out = database + "." + table + "(";
+  out += StrJoin(columns, ",");
+  out += ")";
+  return out;
+}
+
+void StatsManager::Put(Statistics stats) {
+  std::string key = stats.key.CanonicalString();
+  stats_[key] = std::move(stats);
+}
+
+bool StatsManager::Contains(const StatsKey& key) const {
+  return stats_.count(key.CanonicalString()) > 0;
+}
+
+const Statistics* StatsManager::Find(const StatsKey& key) const {
+  auto it = stats_.find(key.CanonicalString());
+  return it != stats_.end() ? &it->second : nullptr;
+}
+
+const Statistics* StatsManager::FindHistogram(std::string_view database,
+                                              std::string_view table,
+                                              std::string_view column) const {
+  std::string db = ToLower(database);
+  std::string tbl = ToLower(table);
+  std::string col = ToLower(column);
+  const Statistics* best = nullptr;
+  for (const auto& [key, stats] : stats_) {
+    if (stats.key.database != db || stats.key.table != tbl) continue;
+    if (stats.key.columns.empty() || stats.key.columns[0] != col) continue;
+    // Prefer the statistic with the fewest columns (most targeted).
+    if (best == nullptr ||
+        stats.key.columns.size() < best->key.columns.size()) {
+      best = &stats;
+    }
+  }
+  return best;
+}
+
+std::optional<double> StatsManager::DistinctCount(
+    std::string_view database, std::string_view table,
+    const std::vector<std::string>& columns) const {
+  std::string db = ToLower(database);
+  std::string tbl = ToLower(table);
+  std::vector<std::string> want;
+  want.reserve(columns.size());
+  for (const auto& c : columns) want.push_back(ToLower(c));
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+
+  for (const auto& [key, stats] : stats_) {
+    if (stats.key.database != db || stats.key.table != tbl) continue;
+    if (stats.key.columns.size() < want.size()) continue;
+    // Compare the leading prefix of length want.size() as a set.
+    std::vector<std::string> prefix(stats.key.columns.begin(),
+                                    stats.key.columns.begin() +
+                                        static_cast<long>(want.size()));
+    std::sort(prefix.begin(), prefix.end());
+    if (prefix == want) {
+      return stats.prefix_distinct[want.size() - 1];
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<const Statistics*> StatsManager::All() const {
+  std::vector<const Statistics*> out;
+  out.reserve(stats_.size());
+  for (const auto& [key, stats] : stats_) out.push_back(&stats);
+  return out;
+}
+
+}  // namespace dta::stats

@@ -1,0 +1,95 @@
+// Multi-column statistics objects and the per-server statistics manager.
+//
+// Mirrors the SQL Server model the paper relies on (§5.2): a statistic on
+// columns (A,B,C) carries a histogram on the LEADING column only, plus
+// density (distinct count) information for each leading prefix (A), (A,B),
+// (A,B,C). Density is order-insensitive: Density(A,B) == Density(B,A).
+
+#ifndef DTA_STATS_STATISTICS_H_
+#define DTA_STATS_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/histogram.h"
+
+namespace dta::stats {
+
+// Identity of a statistic: table + ordered column list.
+struct StatsKey {
+  std::string database;
+  std::string table;
+  std::vector<std::string> columns;  // ordered, normalized lower-case
+
+  StatsKey() = default;
+  StatsKey(std::string database, std::string table,
+           std::vector<std::string> columns);
+
+  std::string CanonicalString() const;
+  bool operator<(const StatsKey& other) const {
+    return CanonicalString() < other.CanonicalString();
+  }
+  bool operator==(const StatsKey& other) const {
+    return CanonicalString() == other.CanonicalString();
+  }
+};
+
+struct Statistics {
+  StatsKey key;
+  Histogram histogram;  // on key.columns[0]
+  // prefix_distinct[i] = estimated distinct count of columns[0..i].
+  std::vector<double> prefix_distinct;
+  double row_count = 0;          // table cardinality at build time
+  double build_duration_ms = 0;  // simulated create-statistics duration
+  uint64_t sampled_pages = 0;
+
+  // Density of leading prefix of length `len` = 1/distinct (SQL Server
+  // "all density").
+  double PrefixDensity(size_t len) const {
+    if (len == 0 || len > prefix_distinct.size()) return 1.0;
+    double d = prefix_distinct[len - 1];
+    return d > 0 ? 1.0 / d : 1.0;
+  }
+};
+
+// Holds all statistics of one server; supports histogram and density lookup
+// as the optimizer needs them.
+class StatsManager {
+ public:
+  StatsManager() = default;
+
+  // Adds or replaces.
+  void Put(Statistics stats);
+  bool Contains(const StatsKey& key) const;
+  const Statistics* Find(const StatsKey& key) const;
+  size_t size() const { return stats_.size(); }
+
+  // Any statistic whose leading column is `column` (so its histogram
+  // describes that column).
+  const Statistics* FindHistogram(std::string_view database,
+                                  std::string_view table,
+                                  std::string_view column) const;
+
+  // Distinct-count estimate for a set of columns, using any statistic with a
+  // leading prefix that equals the set (order-insensitive). Returns nullopt
+  // when no statistic provides it.
+  std::optional<double> DistinctCount(
+      std::string_view database, std::string_view table,
+      const std::vector<std::string>& columns) const;
+
+  // Enumerates all stored statistics (e.g. for export to a test server).
+  std::vector<const Statistics*> All() const;
+
+  void Clear() { stats_.clear(); }
+
+ private:
+  std::map<std::string, Statistics> stats_;  // key: canonical string
+};
+
+}  // namespace dta::stats
+
+#endif  // DTA_STATS_STATISTICS_H_

@@ -1,0 +1,182 @@
+#include "storage/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace dta::storage {
+
+namespace {
+
+// Civil-date <-> day-number conversion (Howard Hinnant's algorithms).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yr = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yr + (month <= 2));
+  *m = static_cast<int>(month);
+  *d = static_cast<int>(day);
+}
+
+bool ParseIsoDate(const std::string& iso, int* y, int* m, int* d) {
+  return std::sscanf(iso.c_str(), "%d-%d-%d", y, m, d) == 3;
+}
+
+}  // namespace
+
+std::string DateString(const std::string& iso_base, int plus_days) {
+  int y = 1992, m = 1, d = 1;
+  ParseIsoDate(iso_base, &y, &m, &d);
+  int64_t days = DaysFromCivil(y, m, d) + plus_days;
+  CivilFromDays(days, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+sql::Value ColumnSpec::Sample(uint64_t sequential_position,
+                              Random* rng) const {
+  switch (dist) {
+    case Dist::kSequential:
+      return sql::Value::Int(static_cast<int64_t>(sequential_position) + lo);
+    case Dist::kUniformInt:
+      return sql::Value::Int(rng->Uniform(lo, hi));
+    case Dist::kZipfInt:
+      return sql::Value::Int(lo + rng->Zipf(distinct, theta) - 1);
+    case Dist::kUniformReal:
+      return sql::Value::Double(rng->UniformReal(real_lo, real_hi));
+    case Dist::kDate: {
+      int offset = static_cast<int>(rng->Uniform(0, days - 1));
+      return sql::Value::String(DateString(date_start, offset));
+    }
+    case Dist::kStringPool: {
+      int64_t id = rng->Uniform(0, distinct - 1);
+      return sql::Value::String(
+          StrFormat("%s%06lld", prefix.c_str(), static_cast<long long>(id)));
+    }
+  }
+  return sql::Value::Null();
+}
+
+double ColumnSpec::ExpectedDistinct(uint64_t rows) const {
+  double n = static_cast<double>(rows);
+  auto birthday = [n](double domain) {
+    // Expected distinct values when drawing n uniform samples from `domain`.
+    if (domain <= 0) return 1.0;
+    return domain * (1.0 - std::exp(-n / domain));
+  };
+  switch (dist) {
+    case Dist::kSequential:
+      return n;
+    case Dist::kUniformInt:
+      return birthday(static_cast<double>(hi - lo + 1));
+    case Dist::kZipfInt:
+      // Skew reduces effective distinct count, but for catalog estimation
+      // the uniform birthday bound is close enough.
+      return birthday(static_cast<double>(distinct));
+    case Dist::kUniformReal:
+      return n;  // continuous: effectively all-distinct
+    case Dist::kDate:
+      return birthday(static_cast<double>(days));
+    case Dist::kStringPool:
+      return birthday(static_cast<double>(distinct));
+  }
+  return n;
+}
+
+catalog::ColumnType ColumnSpec::ValueType() const {
+  switch (dist) {
+    case Dist::kSequential:
+    case Dist::kUniformInt:
+    case Dist::kZipfInt:
+      return catalog::ColumnType::kInt;
+    case Dist::kUniformReal:
+      return catalog::ColumnType::kDouble;
+    case Dist::kDate:
+    case Dist::kStringPool:
+      return catalog::ColumnType::kString;
+  }
+  return catalog::ColumnType::kInt;
+}
+
+Result<TableData> GenerateTable(const TableGenSpec& spec, Random* rng) {
+  if (spec.column_specs.size() != spec.schema.columns().size()) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s': %zu column specs for %zu columns",
+                  spec.schema.name().c_str(), spec.column_specs.size(),
+                  spec.schema.columns().size()));
+  }
+  TableData data(spec.schema);
+  // Generate column-by-column for locality.
+  for (size_t c = 0; c < spec.column_specs.size(); ++c) {
+    const ColumnSpec& cs = spec.column_specs[c];
+    catalog::ColumnType want = spec.schema.column(static_cast<int>(c)).type;
+    if (cs.ValueType() != want) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' column '%s': spec produces %s but schema expects %s",
+          spec.schema.name().c_str(),
+          spec.schema.column(static_cast<int>(c)).name.c_str(),
+          ColumnTypeName(cs.ValueType()), ColumnTypeName(want)));
+    }
+    switch (want) {
+      case catalog::ColumnType::kInt: {
+        IntColumn col;
+        col.reserve(spec.rows);
+        for (uint64_t r = 0; r < spec.rows; ++r) {
+          col.push_back(cs.Sample(r, rng).AsInt());
+        }
+        data.SetColumn(c, std::move(col));
+        break;
+      }
+      case catalog::ColumnType::kDouble: {
+        DoubleColumn col;
+        col.reserve(spec.rows);
+        for (uint64_t r = 0; r < spec.rows; ++r) {
+          col.push_back(cs.Sample(r, rng).AsDoubleStrict());
+        }
+        data.SetColumn(c, std::move(col));
+        break;
+      }
+      case catalog::ColumnType::kString: {
+        StringColumn col;
+        col.reserve(spec.rows);
+        for (uint64_t r = 0; r < spec.rows; ++r) {
+          col.push_back(cs.Sample(r, rng).AsString());
+        }
+        data.SetColumn(c, std::move(col));
+        break;
+      }
+    }
+  }
+  data.FinalizeRowCount();
+  return data;
+}
+
+std::vector<sql::Value> SampleColumn(const ColumnSpec& spec, size_t n,
+                                     Random* rng) {
+  std::vector<sql::Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(spec.Sample(i, rng));
+  }
+  return out;
+}
+
+}  // namespace dta::storage

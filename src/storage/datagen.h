@@ -1,0 +1,114 @@
+// Synthetic data generation: per-column distribution specs, table
+// generation, and date helpers. Used both to populate TableData for actual
+// execution and to synthesize statistics for metadata-only ("imported")
+// tables.
+
+#ifndef DTA_STORAGE_DATAGEN_H_
+#define DTA_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "sql/value.h"
+#include "storage/table_data.h"
+
+namespace dta::storage {
+
+// Distribution of values in a generated column.
+struct ColumnSpec {
+  enum class Dist {
+    kSequential,   // 1, 2, 3, ... (dense primary keys)
+    kUniformInt,   // uniform integer in [lo, hi]
+    kZipfInt,      // Zipf over [lo, lo+distinct-1] with skew `theta`
+    kUniformReal,  // uniform double in [real_lo, real_hi)
+    kDate,         // uniform date in [date_start, date_start + days)
+    kStringPool,   // one of `distinct` strings "<prefix>000017"-style
+  };
+
+  Dist dist = Dist::kUniformInt;
+  int64_t lo = 1;
+  int64_t hi = 100;
+  int64_t distinct = 100;     // kZipfInt / kStringPool domain size
+  double theta = 0.0;         // Zipf skew
+  double real_lo = 0.0;
+  double real_hi = 1.0;
+  std::string date_start = "1992-01-01";
+  int days = 2557;            // ~7 years, the TPC-H date span
+  std::string prefix = "v";   // kStringPool prefix
+
+  static ColumnSpec Sequential() {
+    ColumnSpec s;
+    s.dist = Dist::kSequential;
+    return s;
+  }
+  static ColumnSpec UniformInt(int64_t lo, int64_t hi) {
+    ColumnSpec s;
+    s.dist = Dist::kUniformInt;
+    s.lo = lo;
+    s.hi = hi;
+    return s;
+  }
+  static ColumnSpec ZipfInt(int64_t lo, int64_t distinct, double theta) {
+    ColumnSpec s;
+    s.dist = Dist::kZipfInt;
+    s.lo = lo;
+    s.distinct = distinct;
+    s.theta = theta;
+    return s;
+  }
+  static ColumnSpec UniformReal(double lo, double hi) {
+    ColumnSpec s;
+    s.dist = Dist::kUniformReal;
+    s.real_lo = lo;
+    s.real_hi = hi;
+    return s;
+  }
+  static ColumnSpec Date(std::string start, int days) {
+    ColumnSpec s;
+    s.dist = Dist::kDate;
+    s.date_start = std::move(start);
+    s.days = days;
+    return s;
+  }
+  static ColumnSpec StringPool(std::string prefix, int64_t distinct) {
+    ColumnSpec s;
+    s.dist = Dist::kStringPool;
+    s.prefix = std::move(prefix);
+    s.distinct = distinct;
+    return s;
+  }
+
+  // Draws one value.
+  sql::Value Sample(uint64_t sequential_position, Random* rng) const;
+  // Expected distinct count when drawing `rows` values.
+  double ExpectedDistinct(uint64_t rows) const;
+  // The catalog column type this spec produces.
+  catalog::ColumnType ValueType() const;
+};
+
+// Column specs paired with a schema.
+struct TableGenSpec {
+  catalog::TableSchema schema;
+  std::vector<ColumnSpec> column_specs;  // one per schema column
+  uint64_t rows = 0;
+};
+
+// Materializes data. The schema's row_count is NOT modified; callers keep
+// the catalog in sync themselves.
+Result<TableData> GenerateTable(const TableGenSpec& spec, Random* rng);
+
+// Draws `n` independent values from the spec (for synthesizing statistics of
+// metadata-only tables).
+std::vector<sql::Value> SampleColumn(const ColumnSpec& spec, size_t n,
+                                     Random* rng);
+
+// ISO date arithmetic. `DateString(base, k)` = base date + k days.
+std::string DateString(const std::string& iso_base, int plus_days);
+
+}  // namespace dta::storage
+
+#endif  // DTA_STORAGE_DATAGEN_H_

@@ -1,0 +1,136 @@
+#include "storage/table_data.h"
+
+#include "common/strings.h"
+
+namespace dta::storage {
+
+TableData::TableData(const catalog::TableSchema& schema)
+    : table_name_(schema.name()) {
+  columns_.reserve(schema.columns().size());
+  types_.reserve(schema.columns().size());
+  for (const auto& col : schema.columns()) {
+    types_.push_back(col.type);
+    switch (col.type) {
+      case catalog::ColumnType::kInt:
+        columns_.emplace_back(IntColumn{});
+        break;
+      case catalog::ColumnType::kDouble:
+        columns_.emplace_back(DoubleColumn{});
+        break;
+      case catalog::ColumnType::kString:
+        columns_.emplace_back(StringColumn{});
+        break;
+    }
+  }
+}
+
+sql::Value TableData::GetValue(size_t row, size_t col) const {
+  const ColumnVector& c = columns_[col];
+  switch (c.index()) {
+    case 0:
+      return sql::Value::Int(std::get<IntColumn>(c)[row]);
+    case 1:
+      return sql::Value::Double(std::get<DoubleColumn>(c)[row]);
+    default:
+      return sql::Value::String(std::get<StringColumn>(c)[row]);
+  }
+}
+
+Status TableData::AppendRow(const std::vector<sql::Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values; table '%s' has %zu columns",
+                  values.size(), table_name_.c_str(), columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const sql::Value& v = values[i];
+    switch (types_[i]) {
+      case catalog::ColumnType::kInt:
+        if (v.type() != sql::ValueType::kInt) {
+          return Status::InvalidArgument(
+              StrFormat("column %zu of '%s' expects int", i,
+                        table_name_.c_str()));
+        }
+        std::get<IntColumn>(columns_[i]).push_back(v.AsInt());
+        break;
+      case catalog::ColumnType::kDouble:
+        if (!v.is_numeric()) {
+          return Status::InvalidArgument(
+              StrFormat("column %zu of '%s' expects numeric", i,
+                        table_name_.c_str()));
+        }
+        std::get<DoubleColumn>(columns_[i]).push_back(v.ToDouble());
+        break;
+      case catalog::ColumnType::kString:
+        if (v.type() != sql::ValueType::kString) {
+          return Status::InvalidArgument(
+              StrFormat("column %zu of '%s' expects string", i,
+                        table_name_.c_str()));
+        }
+        std::get<StringColumn>(columns_[i]).push_back(v.AsString());
+        break;
+    }
+  }
+  ++row_count_;
+  return Status::Ok();
+}
+
+void TableData::SetColumn(size_t col, ColumnVector data) {
+  columns_[col] = std::move(data);
+}
+
+void TableData::FinalizeRowCount() {
+  row_count_ = 0;
+  if (columns_.empty()) return;
+  switch (columns_[0].index()) {
+    case 0:
+      row_count_ = std::get<IntColumn>(columns_[0]).size();
+      break;
+    case 1:
+      row_count_ = std::get<DoubleColumn>(columns_[0]).size();
+      break;
+    default:
+      row_count_ = std::get<StringColumn>(columns_[0]).size();
+      break;
+  }
+}
+
+int TableData::CompareRows(size_t row_a, size_t row_b,
+                           const std::vector<int>& cols) const {
+  for (int col : cols) {
+    const ColumnVector& c = columns_[static_cast<size_t>(col)];
+    int cmp = 0;
+    switch (c.index()) {
+      case 0: {
+        const auto& v = std::get<IntColumn>(c);
+        cmp = v[row_a] < v[row_b] ? -1 : (v[row_a] > v[row_b] ? 1 : 0);
+        break;
+      }
+      case 1: {
+        const auto& v = std::get<DoubleColumn>(c);
+        cmp = v[row_a] < v[row_b] ? -1 : (v[row_a] > v[row_b] ? 1 : 0);
+        break;
+      }
+      default: {
+        const auto& v = std::get<StringColumn>(c);
+        int r = v[row_a].compare(v[row_b]);
+        cmp = r < 0 ? -1 : (r > 0 ? 1 : 0);
+        break;
+      }
+    }
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+int TableData::CompareRowToKey(size_t row, const std::vector<int>& cols,
+                               const std::vector<sql::Value>& key) const {
+  for (size_t i = 0; i < key.size() && i < cols.size(); ++i) {
+    sql::Value v = GetValue(row, static_cast<size_t>(cols[i]));
+    int cmp = v.Compare(key[i]);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+}  // namespace dta::storage

@@ -1,0 +1,75 @@
+// In-memory column-oriented table storage for the execution substrate.
+//
+// Data is optional per table: the optimizer works purely from metadata and
+// statistics (which is what makes the production/test-server scenario of
+// paper §5.3 possible); TableData exists so that recommendations can be
+// *implemented* and queries actually executed (paper §7.2).
+
+#ifndef DTA_STORAGE_TABLE_DATA_H_
+#define DTA_STORAGE_TABLE_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace dta::storage {
+
+using IntColumn = std::vector<int64_t>;
+using DoubleColumn = std::vector<double>;
+using StringColumn = std::vector<std::string>;
+using ColumnVector = std::variant<IntColumn, DoubleColumn, StringColumn>;
+
+class TableData {
+ public:
+  TableData() = default;
+  // Creates empty columns matching the schema's column types.
+  explicit TableData(const catalog::TableSchema& schema);
+
+  const std::string& table_name() const { return table_name_; }
+  size_t row_count() const { return row_count_; }
+  size_t column_count() const { return columns_.size(); }
+
+  // Value accessors (copying; used by generic operators).
+  sql::Value GetValue(size_t row, size_t col) const;
+  // Typed accessors for hot paths; caller must know the column type.
+  const IntColumn& Ints(size_t col) const {
+    return std::get<IntColumn>(columns_[col]);
+  }
+  const DoubleColumn& Doubles(size_t col) const {
+    return std::get<DoubleColumn>(columns_[col]);
+  }
+  const StringColumn& Strings(size_t col) const {
+    return std::get<StringColumn>(columns_[col]);
+  }
+
+  // Appends a row; values must match column types (ints accepted into
+  // double columns).
+  Status AppendRow(const std::vector<sql::Value>& values);
+  // Bulk append of a typed column (replaces content); all columns must end
+  // up the same length before use.
+  void SetColumn(size_t col, ColumnVector data);
+  void FinalizeRowCount();
+
+  // Three-way comparison of two rows on the given columns.
+  int CompareRows(size_t row_a, size_t row_b,
+                  const std::vector<int>& cols) const;
+  // Compares row's column values against `key` (prefix comparison over
+  // key.size() columns).
+  int CompareRowToKey(size_t row, const std::vector<int>& cols,
+                      const std::vector<sql::Value>& key) const;
+
+ private:
+  std::string table_name_;
+  std::vector<ColumnVector> columns_;
+  std::vector<catalog::ColumnType> types_;
+  size_t row_count_ = 0;
+};
+
+}  // namespace dta::storage
+
+#endif  // DTA_STORAGE_TABLE_DATA_H_

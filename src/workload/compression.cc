@@ -1,0 +1,188 @@
+#include "workload/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace dta::workload {
+
+namespace {
+
+// Maps a value to a real number preserving order within a type: numerics by
+// value, strings by the first eight bytes interpreted as a base-256 number.
+double ValueFeature(const sql::Value& v) {
+  switch (v.type()) {
+    case sql::ValueType::kInt:
+      return static_cast<double>(v.AsInt());
+    case sql::ValueType::kDouble:
+      return v.AsDoubleStrict();
+    case sql::ValueType::kString: {
+      double acc = 0;
+      const std::string& s = v.AsString();
+      for (size_t i = 0; i < 8; ++i) {
+        double c = i < s.size() ? static_cast<unsigned char>(s[i]) : 0;
+        acc = acc * 256.0 + c;
+      }
+      return acc;
+    }
+    case sql::ValueType::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+void CollectPredicateFeatures(const std::vector<sql::Predicate>& preds,
+                              std::vector<double>* out) {
+  for (const auto& p : preds) {
+    switch (p.kind) {
+      case sql::Predicate::Kind::kCompare:
+        out->push_back(ValueFeature(p.value));
+        break;
+      case sql::Predicate::Kind::kBetween:
+        out->push_back(ValueFeature(p.low));
+        out->push_back(ValueFeature(p.high));
+        break;
+      case sql::Predicate::Kind::kIn:
+        if (!p.in_list.empty()) out->push_back(ValueFeature(p.in_list[0]));
+        break;
+      case sql::Predicate::Kind::kLike:
+        out->push_back(ValueFeature(sql::Value::String(p.like_pattern)));
+        break;
+      case sql::Predicate::Kind::kColumnCompare:
+        break;
+    }
+  }
+}
+
+// Feature vector of one statement: its constants, in syntactic order.
+// Statements with the same signature produce vectors of equal arity.
+std::vector<double> Features(const sql::Statement& stmt) {
+  std::vector<double> out;
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:
+      CollectPredicateFeatures(stmt.select().where, &out);
+      break;
+    case sql::StatementKind::kInsert:
+      for (const auto& row : stmt.insert().rows) {
+        for (const auto& v : row) out.push_back(ValueFeature(v));
+      }
+      break;
+    case sql::StatementKind::kUpdate:
+      for (const auto& [col, v] : stmt.update().assignments) {
+        out.push_back(ValueFeature(v));
+      }
+      CollectPredicateFeatures(stmt.update().where, &out);
+      break;
+    case sql::StatementKind::kDelete:
+      CollectPredicateFeatures(stmt.del().where, &out);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload CompressWorkload(const Workload& input,
+                          const CompressionOptions& options,
+                          CompressionStats* stats) {
+  if (stats != nullptr) {
+    stats->original_statements = input.size();
+    stats->compressed_statements = input.size();
+    stats->templates = input.DistinctTemplates();
+  }
+  if (input.size() < options.min_workload_size) {
+    Workload copy;
+    for (const auto& ws : input.statements()) {
+      copy.Add(ws.stmt.Clone(), ws.weight);
+    }
+    return copy;
+  }
+
+  // Partition by signature.
+  std::map<uint64_t, std::vector<size_t>> partitions;
+  for (size_t i = 0; i < input.statements().size(); ++i) {
+    partitions[input.statements()[i].signature].push_back(i);
+  }
+
+  Workload out;
+  for (const auto& [sig, members] : partitions) {
+    if (members.size() == 1) {
+      const auto& ws = input.statements()[members[0]];
+      out.Add(ws.stmt.Clone(), ws.weight);
+      continue;
+    }
+    // Normalized feature vectors.
+    std::vector<std::vector<double>> feats;
+    feats.reserve(members.size());
+    size_t dims = 0;
+    for (size_t idx : members) {
+      feats.push_back(Features(input.statements()[idx].stmt));
+      dims = std::max(dims, feats.back().size());
+    }
+    for (auto& f : feats) f.resize(dims, 0.0);
+    for (size_t d = 0; d < dims; ++d) {
+      double lo = feats[0][d], hi = feats[0][d];
+      for (const auto& f : feats) {
+        lo = std::min(lo, f[d]);
+        hi = std::max(hi, f[d]);
+      }
+      double span = hi - lo;
+      for (auto& f : feats) f[d] = span > 0 ? (f[d] - lo) / span : 0.0;
+    }
+    auto dist = [&](size_t a, size_t b) {
+      double acc = 0;
+      for (size_t d = 0; d < dims; ++d) {
+        double diff = feats[a][d] - feats[b][d];
+        acc += diff * diff;
+      }
+      return dims > 0 ? std::sqrt(acc / static_cast<double>(dims)) : 0.0;
+    };
+
+    // Greedy k-center: seed with the first statement, repeatedly add the
+    // farthest statement until everything is within the threshold or the
+    // cap is reached.
+    std::vector<size_t> centers = {0};
+    std::vector<double> nearest(members.size(),
+                                std::numeric_limits<double>::infinity());
+    auto update_nearest = [&](size_t center) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        nearest[i] = std::min(nearest[i], dist(i, center));
+      }
+    };
+    update_nearest(0);
+    while (centers.size() < options.max_representatives_per_template) {
+      size_t far = 0;
+      for (size_t i = 1; i < members.size(); ++i) {
+        if (nearest[i] > nearest[far]) far = i;
+      }
+      if (nearest[far] <= options.distance_threshold) break;
+      centers.push_back(far);
+      update_nearest(far);
+    }
+    // Assign every member to its closest center; weight accumulates.
+    std::vector<double> weights(centers.size(), 0.0);
+    for (size_t i = 0; i < members.size(); ++i) {
+      size_t best = 0;
+      double best_d = dist(i, centers[0]);
+      for (size_t c = 1; c < centers.size(); ++c) {
+        double d = dist(i, centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      weights[best] += input.statements()[members[i]].weight;
+    }
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (weights[c] <= 0) continue;
+      const auto& ws = input.statements()[members[centers[c]]];
+      out.Add(ws.stmt.Clone(), weights[c]);
+    }
+  }
+
+  if (stats != nullptr) stats->compressed_statements = out.size();
+  return out;
+}
+
+}  // namespace dta::workload

@@ -1,0 +1,46 @@
+// Workload compression (paper §5.1, after Chaudhuri/Gupta/Narasayya [7]):
+// partition the workload by statement signature (template), then pick a
+// small set of representatives per partition with a clustering method over
+// the statements' constants, weighting each representative by the number of
+// statements it stands for.
+
+#ifndef DTA_WORKLOAD_COMPRESSION_H_
+#define DTA_WORKLOAD_COMPRESSION_H_
+
+#include <cstddef>
+
+#include "workload/workload.h"
+
+namespace dta::workload {
+
+struct CompressionOptions {
+  // Workloads smaller than this are returned unchanged (compression cannot
+  // help and may hurt, cf. TPCH22 in Table 3).
+  size_t min_workload_size = 30;
+  // k-center clustering: representatives are added until every statement is
+  // within this normalized distance of one, up to max_representatives.
+  double distance_threshold = 0.25;
+  size_t max_representatives_per_template = 8;
+};
+
+struct CompressionStats {
+  size_t original_statements = 0;
+  size_t compressed_statements = 0;
+  size_t templates = 0;
+  double CompressionRatio() const {
+    return compressed_statements > 0
+               ? static_cast<double>(original_statements) /
+                     static_cast<double>(compressed_statements)
+               : 1.0;
+  }
+};
+
+// Returns the compressed workload; each representative carries the summed
+// weight of the statements it replaces.
+Workload CompressWorkload(const Workload& input,
+                          const CompressionOptions& options = {},
+                          CompressionStats* stats = nullptr);
+
+}  // namespace dta::workload
+
+#endif  // DTA_WORKLOAD_COMPRESSION_H_

@@ -1,0 +1,345 @@
+#include "workloads/customer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+#include "storage/datagen.h"
+
+namespace dta::workloads {
+
+using catalog::ColumnType;
+using storage::ColumnSpec;
+
+CustomerProfile Cust1() {
+  CustomerProfile p;
+  p.name = "cust1";
+  p.databases = 1;
+  p.tables = 40;
+  p.total_gb = 9;
+  p.events = 15000;
+  p.templates = 60;
+  p.update_fraction = 0.10;
+  p.hand_tuned = CustomerProfile::HandTunedStyle::kReasonable;
+  p.seed = 101;
+  return p;
+}
+
+CustomerProfile Cust2() {
+  CustomerProfile p;
+  p.name = "cust2";
+  p.databases = 2;
+  p.tables = 120;
+  p.total_gb = 30;
+  p.events = 252000;
+  p.templates = 80;
+  p.update_fraction = 0.05;
+  p.hand_tuned = CustomerProfile::HandTunedStyle::kSparse;
+  p.seed = 202;
+  return p;
+}
+
+CustomerProfile Cust3() {
+  CustomerProfile p;
+  p.name = "cust3";
+  p.databases = 1;
+  p.tables = 60;
+  p.total_gb = 120;
+  p.events = 176000;
+  p.templates = 45;
+  p.update_fraction = 0.55;
+  p.hand_tuned = CustomerProfile::HandTunedStyle::kOverIndexed;
+  p.oltp_reads = true;
+  p.seed = 303;
+  return p;
+}
+
+CustomerProfile Cust4() {
+  CustomerProfile p;
+  p.name = "cust4";
+  p.databases = 1;
+  p.tables = 15;
+  p.total_gb = 0.6;
+  p.events = 9000;
+  p.templates = 25;
+  p.update_fraction = 0.15;
+  p.hand_tuned = CustomerProfile::HandTunedStyle::kPkOnly;
+  p.seed = 404;
+  return p;
+}
+
+namespace {
+
+// Every customer table has the same generic shape; what varies is scale and
+// value distributions.
+//   id   : dense primary key
+//   fk   : skewed foreign-key-like column
+//   cat  : low-cardinality category
+//   dt   : date
+//   val  : measure
+//   txt  : wide-ish text attribute
+struct TablePlan {
+  std::string database;
+  std::string table;
+  uint64_t rows;
+};
+
+std::vector<TablePlan> PlanTables(const CustomerProfile& p) {
+  std::vector<TablePlan> out;
+  const double row_bytes = 66.0;  // schema width incl. header
+  double total_rows = p.total_gb * 1e9 / row_bytes;
+  // Zipf-ish size distribution: table k gets weight 1/(k+1).
+  double weight_sum = 0;
+  for (int k = 0; k < p.tables; ++k) weight_sum += 1.0 / (k + 1);
+  for (int k = 0; k < p.tables; ++k) {
+    TablePlan plan;
+    int db_index = k % p.databases;
+    plan.database = p.databases > 1
+                        ? StrFormat("%sdb%d", p.name.c_str(), db_index)
+                        : p.name;
+    plan.table = StrFormat("tab%03d", k);
+    plan.rows = std::max<uint64_t>(
+        1000, static_cast<uint64_t>(total_rows * (1.0 / (k + 1)) /
+                                    weight_sum));
+    out.push_back(std::move(plan));
+  }
+  return out;
+}
+
+std::vector<ColumnSpec> TableSpecs(uint64_t rows, uint64_t seed_mix) {
+  int64_t fk_domain =
+      std::max<int64_t>(10, static_cast<int64_t>(rows / 20));
+  return {ColumnSpec::Sequential(),
+          ColumnSpec::ZipfInt(1, fk_domain, 0.6 + (seed_mix % 5) * 0.1),
+          ColumnSpec::UniformInt(1, 20 + static_cast<int64_t>(seed_mix % 80)),
+          ColumnSpec::Date("2000-01-01", 1500),
+          ColumnSpec::UniformReal(0, 100000),
+          ColumnSpec::StringPool("tx", 1000)};
+}
+
+}  // namespace
+
+Status AttachCustomer(server::Server* server,
+                      const CustomerProfile& profile) {
+  std::vector<TablePlan> plans = PlanTables(profile);
+  // Group by database.
+  std::map<std::string, std::vector<const TablePlan*>> by_db;
+  for (const auto& plan : plans) by_db[plan.database].push_back(&plan);
+
+  for (const auto& [db_name, tables] : by_db) {
+    catalog::Database db(db_name);
+    for (const TablePlan* plan : tables) {
+      catalog::TableSchema t(plan->table,
+                             {{"id", ColumnType::kInt, 8},
+                              {"fk", ColumnType::kInt, 8},
+                              {"cat", ColumnType::kInt, 8},
+                              {"dt", ColumnType::kString, 10},
+                              {"val", ColumnType::kDouble, 8},
+                              {"txt", ColumnType::kString, 15}});
+      t.set_row_count(plan->rows);
+      t.SetPrimaryKey({"id"});
+      DTA_RETURN_IF_ERROR(db.AddTable(std::move(t)));
+    }
+    DTA_RETURN_IF_ERROR(server->AttachDatabase(std::move(db)));
+  }
+  uint64_t mix = profile.seed;
+  for (const auto& plan : plans) {
+    DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+        plan.database, plan.table, TableSpecs(plan.rows, mix++)));
+  }
+  return server->ImplementConfiguration(
+      CustomerRawConfiguration(profile, *server));
+}
+
+catalog::Configuration CustomerRawConfiguration(
+    const CustomerProfile& profile, const server::Server& server) {
+  (void)server;
+  catalog::Configuration raw;
+  for (const auto& plan : PlanTables(profile)) {
+    catalog::IndexDef pk;
+    pk.database = plan.database;
+    pk.table = plan.table;
+    pk.key_columns = {"id"};
+    pk.constraint_enforcing = true;
+    Status s = raw.AddIndex(std::move(pk));
+    (void)s;
+  }
+  return raw;
+}
+
+workload::Workload CustomerWorkload(const CustomerProfile& profile,
+                                    const server::Server& server,
+                                    size_t max_events) {
+  (void)server;
+  Random rng(profile.seed * 7919 + 13);
+  std::vector<TablePlan> plans = PlanTables(profile);
+  size_t events = max_events > 0 ? max_events : profile.events;
+
+  // A template fixes a statement kind and its target table(s); instances
+  // vary constants. Hot templates target the big (low-index) tables.
+  struct Template {
+    int kind;  // 0 point, 1 fk lookup, 2 range-agg, 3 group-by, 4 join,
+               // 5 update, 6 insert, 7 delete
+    size_t table_a;
+    size_t table_b;
+  };
+  std::vector<Template> templates;
+  size_t update_templates = static_cast<size_t>(
+      std::max(1.0, profile.update_fraction * profile.templates));
+  for (size_t t = 0; t < profile.templates; ++t) {
+    Template tpl;
+    bool is_update = t < update_templates;
+    if (is_update) {
+      tpl.kind = 5 + static_cast<int>(rng.Uniform(0, 2));
+    } else if (profile.oltp_reads) {
+      tpl.kind = 0;  // primary-key point lookups only
+    } else {
+      tpl.kind = static_cast<int>(rng.Uniform(0, 4));
+    }
+    // Bias toward big tables (they dominate cost).
+    tpl.table_a = static_cast<size_t>(rng.Zipf(plans.size(), 0.9)) - 1;
+    tpl.table_b = static_cast<size_t>(rng.Zipf(plans.size(), 0.9)) - 1;
+    if (tpl.table_b == tpl.table_a) {
+      tpl.table_b = (tpl.table_a + 1) % plans.size();
+    }
+    templates.push_back(tpl);
+  }
+
+  workload::Workload w;
+  for (size_t i = 0; i < events; ++i) {
+    const Template& tpl = templates[i % templates.size()];
+    const TablePlan& ta = plans[tpl.table_a];
+    const TablePlan& tb = plans[tpl.table_b];
+    int64_t fk_domain =
+        std::max<int64_t>(10, static_cast<int64_t>(ta.rows / 20));
+    std::string text;
+    switch (tpl.kind) {
+      case 0:
+        text = StrFormat("SELECT val, txt FROM %s.%s WHERE id = %lld",
+                         ta.database.c_str(), ta.table.c_str(),
+                         static_cast<long long>(rng.Uniform(1, ta.rows)));
+        break;
+      case 1:
+        text = StrFormat("SELECT id, val FROM %s.%s WHERE fk = %lld",
+                         ta.database.c_str(), ta.table.c_str(),
+                         static_cast<long long>(rng.Zipf(fk_domain, 0.8)));
+        break;
+      case 2: {
+        std::string lo = storage::DateString(
+            "2000-01-01", static_cast<int>(rng.Uniform(0, 1300)));
+        text = StrFormat(
+            "SELECT SUM(val), COUNT(*) FROM %s.%s WHERE dt BETWEEN '%s' "
+            "AND '%s'",
+            ta.database.c_str(), ta.table.c_str(), lo.c_str(),
+            storage::DateString(lo, 60).c_str());
+        break;
+      }
+      case 3:
+        text = StrFormat(
+            "SELECT cat, COUNT(*), SUM(val) FROM %s.%s WHERE dt >= '%s' "
+            "GROUP BY cat",
+            ta.database.c_str(), ta.table.c_str(),
+            storage::DateString("2000-01-01",
+                                static_cast<int>(rng.Uniform(0, 1300)))
+                .c_str());
+        break;
+      case 4: {
+        // Joins stay within one database; when the paired table landed in
+        // another database, fall back to a same-database sibling.
+        const TablePlan* join_b = &tb;
+        if (tb.database != ta.database) {
+          for (const auto& candidate : plans) {
+            if (candidate.database == ta.database &&
+                candidate.table != ta.table) {
+              join_b = &candidate;
+              break;
+            }
+          }
+        }
+        text = StrFormat(
+            "SELECT a.val FROM %s.%s a, %s.%s b WHERE a.fk = b.id AND "
+            "b.cat = %lld",
+            ta.database.c_str(), ta.table.c_str(), join_b->database.c_str(),
+            join_b->table.c_str(),
+            static_cast<long long>(rng.Uniform(1, 20)));
+        break;
+      }
+      case 5:
+        text = StrFormat("UPDATE %s SET val = %lld WHERE id = %lld",
+                         ta.table.c_str(),
+                         static_cast<long long>(rng.Uniform(1, 100000)),
+                         static_cast<long long>(rng.Uniform(1, ta.rows)));
+        break;
+      case 6:
+        text = StrFormat(
+            "INSERT INTO %s VALUES (%lld, %lld, %lld, '%s', %lld, 'tx%06d')",
+            ta.table.c_str(), static_cast<long long>(ta.rows + i),
+            static_cast<long long>(rng.Zipf(fk_domain, 0.8)),
+            static_cast<long long>(rng.Uniform(1, 20)),
+            storage::DateString("2004-01-01",
+                                static_cast<int>(rng.Uniform(0, 100)))
+                .c_str(),
+            static_cast<long long>(rng.Uniform(1, 100000)),
+            static_cast<int>(rng.Uniform(0, 999)));
+        break;
+      default:
+        text = StrFormat("DELETE FROM %s WHERE id = %lld", ta.table.c_str(),
+                         static_cast<long long>(rng.Uniform(1, ta.rows)));
+        break;
+    }
+    auto stmt = sql::ParseStatement(text);
+    if (stmt.ok()) w.Add(std::move(stmt).value());
+  }
+  return w;
+}
+
+catalog::Configuration HandTunedConfiguration(const CustomerProfile& profile,
+                                              const server::Server& server) {
+  catalog::Configuration config =
+      CustomerRawConfiguration(profile, server);
+  std::vector<TablePlan> plans = PlanTables(profile);
+  auto add = [&config](catalog::IndexDef ix) {
+    Status s = config.AddIndex(std::move(ix));
+    (void)s;
+  };
+  switch (profile.hand_tuned) {
+    case CustomerProfile::HandTunedStyle::kReasonable:
+      // Competent DBA: fk and date indexes on the big (hot) tables, a few
+      // covering ones.
+      for (size_t k = 0; k < plans.size() && k < 12; ++k) {
+        add({.database = plans[k].database,
+             .table = plans[k].table,
+             .key_columns = {"fk"},
+             .included_columns = {"val"}});
+        add({.database = plans[k].database,
+             .table = plans[k].table,
+             .key_columns = {"dt"},
+             .included_columns = {"val", "cat"}});
+      }
+      break;
+    case CustomerProfile::HandTunedStyle::kSparse:
+      // Only a couple of narrow indexes; most of the workload unserved.
+      for (size_t k = 2; k < plans.size() && k < 5; ++k) {
+        add({.database = plans[k].database,
+             .table = plans[k].table,
+             .key_columns = {"fk"}});
+      }
+      break;
+    case CustomerProfile::HandTunedStyle::kOverIndexed:
+      // Wide indexes on rarely-queried columns of the update-hot tables:
+      // all maintenance cost, no read benefit.
+      for (size_t k = 0; k < plans.size() && k < 6; ++k) {
+        add({.database = plans[k].database,
+             .table = plans[k].table,
+             .key_columns = {"txt", "cat"},
+             .included_columns = {"val", "dt"}});
+      }
+      break;
+    case CustomerProfile::HandTunedStyle::kPkOnly:
+      break;
+  }
+  return config;
+}
+
+}  // namespace dta::workloads

@@ -1,0 +1,251 @@
+#include "workloads/psoft.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+#include "storage/datagen.h"
+
+namespace dta::workloads {
+
+using catalog::ColumnType;
+using storage::ColumnSpec;
+
+namespace {
+
+constexpr uint64_t kEmployees = 50000;
+constexpr uint64_t kDepartments = 500;
+constexpr uint64_t kJobs = 2000;
+constexpr uint64_t kPaychecks = 400000;
+constexpr uint64_t kLedger = 900000;
+constexpr uint64_t kVouchers = 150000;
+
+}  // namespace
+
+Status AttachPsoft(server::Server* server, uint64_t seed) {
+  (void)seed;
+  catalog::Database db("psoft");
+
+  catalog::TableSchema employees(
+      "ps_employees", {{"emplid", ColumnType::kInt, 8},
+                       {"deptid", ColumnType::kInt, 8},
+                       {"jobcode", ColumnType::kInt, 8},
+                       {"status", ColumnType::kString, 2},
+                       {"hire_date", ColumnType::kString, 10},
+                       {"salary", ColumnType::kDouble, 8}});
+  employees.set_row_count(kEmployees);
+  employees.SetPrimaryKey({"emplid"});
+  DTA_RETURN_IF_ERROR(db.AddTable(employees));
+
+  catalog::TableSchema depts("ps_depts",
+                             {{"deptid", ColumnType::kInt, 8},
+                              {"dept_name", ColumnType::kString, 20},
+                              {"location", ColumnType::kString, 12}});
+  depts.set_row_count(kDepartments);
+  depts.SetPrimaryKey({"deptid"});
+  DTA_RETURN_IF_ERROR(db.AddTable(depts));
+
+  catalog::TableSchema jobs("ps_jobs", {{"jobcode", ColumnType::kInt, 8},
+                                        {"job_family", ColumnType::kInt, 8},
+                                        {"grade", ColumnType::kInt, 8}});
+  jobs.set_row_count(kJobs);
+  jobs.SetPrimaryKey({"jobcode"});
+  DTA_RETURN_IF_ERROR(db.AddTable(jobs));
+
+  catalog::TableSchema paychecks(
+      "ps_paychecks", {{"check_id", ColumnType::kInt, 8},
+                       {"emplid", ColumnType::kInt, 8},
+                       {"pay_period", ColumnType::kString, 10},
+                       {"gross", ColumnType::kDouble, 8},
+                       {"net", ColumnType::kDouble, 8}});
+  paychecks.set_row_count(kPaychecks);
+  paychecks.SetPrimaryKey({"check_id"});
+  DTA_RETURN_IF_ERROR(db.AddTable(paychecks));
+
+  catalog::TableSchema ledger(
+      "ps_ledger", {{"entry_id", ColumnType::kInt, 8},
+                    {"account", ColumnType::kInt, 8},
+                    {"deptid", ColumnType::kInt, 8},
+                    {"fiscal_period", ColumnType::kString, 10},
+                    {"amount", ColumnType::kDouble, 8},
+                    {"posted", ColumnType::kString, 2}});
+  ledger.set_row_count(kLedger);
+  ledger.SetPrimaryKey({"entry_id"});
+  DTA_RETURN_IF_ERROR(db.AddTable(ledger));
+
+  catalog::TableSchema vouchers(
+      "ps_vouchers", {{"voucher_id", ColumnType::kInt, 8},
+                      {"vendor", ColumnType::kInt, 8},
+                      {"voucher_date", ColumnType::kString, 10},
+                      {"amount", ColumnType::kDouble, 8},
+                      {"approved", ColumnType::kString, 2}});
+  vouchers.set_row_count(kVouchers);
+  vouchers.SetPrimaryKey({"voucher_id"});
+  DTA_RETURN_IF_ERROR(db.AddTable(vouchers));
+
+  DTA_RETURN_IF_ERROR(server->AttachDatabase(std::move(db)));
+
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+      "psoft", "ps_employees",
+      {ColumnSpec::Sequential(),
+       ColumnSpec::ZipfInt(1, kDepartments, 0.8),
+       ColumnSpec::ZipfInt(1, kJobs, 0.9), ColumnSpec::StringPool("st", 3),
+       ColumnSpec::Date("1985-01-01", 7000),
+       ColumnSpec::UniformReal(30000, 250000)}));
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+      "psoft", "ps_depts",
+      {ColumnSpec::Sequential(), ColumnSpec::StringPool("dept", 500),
+       ColumnSpec::StringPool("loc", 40)}));
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+      "psoft", "ps_jobs",
+      {ColumnSpec::Sequential(), ColumnSpec::UniformInt(1, 50),
+       ColumnSpec::UniformInt(1, 12)}));
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+      "psoft", "ps_paychecks",
+      {ColumnSpec::Sequential(), ColumnSpec::ZipfInt(1, kEmployees, 0.5),
+       ColumnSpec::Date("2001-01-01", 1100),
+       ColumnSpec::UniformReal(1000, 12000),
+       ColumnSpec::UniformReal(800, 9000)}));
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+      "psoft", "ps_ledger",
+      {ColumnSpec::Sequential(), ColumnSpec::ZipfInt(1000, 3000, 0.7),
+       ColumnSpec::ZipfInt(1, kDepartments, 0.8),
+       ColumnSpec::Date("2001-01-01", 1100),
+       ColumnSpec::UniformReal(-50000, 50000),
+       ColumnSpec::StringPool("p", 2)}));
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+      "psoft", "ps_vouchers",
+      {ColumnSpec::Sequential(), ColumnSpec::ZipfInt(1, 5000, 1.0),
+       ColumnSpec::Date("2001-01-01", 1100),
+       ColumnSpec::UniformReal(10, 100000),
+       ColumnSpec::StringPool("ap", 2)}));
+
+  // Raw configuration: PK constraint indexes.
+  catalog::Configuration raw;
+  for (const char* spec :
+       {"ps_employees:emplid", "ps_depts:deptid", "ps_jobs:jobcode",
+        "ps_paychecks:check_id", "ps_ledger:entry_id",
+        "ps_vouchers:voucher_id"}) {
+    std::string s(spec);
+    auto pos = s.find(':');
+    catalog::IndexDef ix;
+    ix.database = "psoft";
+    ix.table = s.substr(0, pos);
+    ix.key_columns = {s.substr(pos + 1)};
+    ix.constraint_enforcing = true;
+    DTA_RETURN_IF_ERROR(raw.AddIndex(std::move(ix)));
+  }
+  return server->ImplementConfiguration(std::move(raw));
+}
+
+workload::Workload PsoftWorkload(size_t n_statements, uint64_t seed) {
+  Random rng(seed);
+  workload::Workload w;
+  auto period = [&]() {
+    return storage::DateString("2001-01-01",
+                               static_cast<int>(rng.Uniform(0, 1000)));
+  };
+  // Stored-procedure-style templates with weights: lookups dominate,
+  // reports and modifications mix in (~25% updates by volume).
+  std::vector<double> weights = {18, 12, 10, 8, 7, 6, 5, 5, 3, 9, 8, 5, 4};
+  for (size_t i = 0; i < n_statements; ++i) {
+    std::string text;
+    switch (rng.Weighted(weights)) {
+      case 0:  // employee lookup by id
+        text = StrFormat(
+            "SELECT deptid, jobcode, salary FROM ps_employees WHERE emplid "
+            "= %lld",
+            static_cast<long long>(rng.Zipf(kEmployees, 0.6)));
+        break;
+      case 1:  // paychecks of an employee
+        text = StrFormat(
+            "SELECT pay_period, gross, net FROM ps_paychecks WHERE emplid "
+            "= %lld ORDER BY pay_period",
+            static_cast<long long>(rng.Zipf(kEmployees, 0.6)));
+        break;
+      case 2:  // ledger range scan by period + account
+        text = StrFormat(
+            "SELECT SUM(amount) FROM ps_ledger WHERE fiscal_period = '%s' "
+            "AND account = %lld",
+            period().c_str(),
+            static_cast<long long>(rng.Zipf(3000, 0.7) + 999));
+        break;
+      case 3:  // department roster join
+        text = StrFormat(
+            "SELECT e.emplid, d.dept_name FROM ps_employees e, ps_depts d "
+            "WHERE e.deptid = d.deptid AND d.deptid = %lld",
+            static_cast<long long>(rng.Zipf(kDepartments, 0.8)));
+        break;
+      case 4:  // payroll report per department
+        text = StrFormat(
+            "SELECT e.deptid, COUNT(*), SUM(p.gross) FROM ps_employees e, "
+            "ps_paychecks p WHERE e.emplid = p.emplid AND p.pay_period = "
+            "'%s' GROUP BY e.deptid",
+            period().c_str());
+        break;
+      case 5:  // open vouchers by vendor
+        text = StrFormat(
+            "SELECT voucher_id, amount FROM ps_vouchers WHERE vendor = "
+            "%lld AND approved = 'ap%06d'",
+            static_cast<long long>(rng.Zipf(5000, 1.0)),
+            static_cast<int>(rng.Uniform(0, 1)));
+        break;
+      case 6:  // job grade report
+        text = StrFormat(
+            "SELECT j.grade, COUNT(*) FROM ps_employees e, ps_jobs j WHERE "
+            "e.jobcode = j.jobcode AND e.status = 'st%06d' GROUP BY "
+            "j.grade",
+            static_cast<int>(rng.Uniform(0, 2)));
+        break;
+      case 7:  // ledger by department, recent periods
+        text = StrFormat(
+            "SELECT account, SUM(amount) FROM ps_ledger WHERE deptid = "
+            "%lld AND fiscal_period >= '%s' GROUP BY account",
+            static_cast<long long>(rng.Zipf(kDepartments, 0.8)),
+            period().c_str());
+        break;
+      case 8:  // salary band scan
+        text = StrFormat(
+            "SELECT emplid, salary FROM ps_employees WHERE salary BETWEEN "
+            "%lld AND %lld",
+            static_cast<long long>(rng.Uniform(3, 20) * 10000),
+            static_cast<long long>(rng.Uniform(21, 25) * 10000));
+        break;
+      case 9:  // post a ledger entry
+        text = StrFormat(
+            "INSERT INTO ps_ledger VALUES (%lld, %lld, %lld, '%s', %lld, "
+            "'p%06d')",
+            static_cast<long long>(kLedger + i),
+            static_cast<long long>(rng.Zipf(3000, 0.7) + 999),
+            static_cast<long long>(rng.Zipf(kDepartments, 0.8)),
+            period().c_str(), static_cast<long long>(rng.Uniform(1, 50000)),
+            static_cast<int>(rng.Uniform(0, 1)));
+        break;
+      case 10:  // approve a voucher
+        text = StrFormat(
+            "UPDATE ps_vouchers SET approved = 'ap%06d' WHERE voucher_id = "
+            "%lld",
+            static_cast<int>(rng.Uniform(0, 1)),
+            static_cast<long long>(rng.Uniform(1, kVouchers)));
+        break;
+      case 11:  // employee transfer
+        text = StrFormat(
+            "UPDATE ps_employees SET deptid = %lld WHERE emplid = %lld",
+            static_cast<long long>(rng.Zipf(kDepartments, 0.8)),
+            static_cast<long long>(rng.Uniform(1, kEmployees)));
+        break;
+      default: {  // purge one day of unposted ledger rows
+        std::string day = storage::DateString(
+            "2001-01-01", static_cast<int>(rng.Uniform(0, 200)));
+        text = StrFormat(
+            "DELETE FROM ps_ledger WHERE fiscal_period = '%s' AND posted = "
+            "'p%06d'",
+            day.c_str(), static_cast<int>(rng.Uniform(0, 1)));
+        break;
+      }
+    }
+    auto stmt = sql::ParseStatement(text);
+    if (stmt.ok()) w.Add(std::move(stmt).value());
+  }
+  return w;
+}
+
+}  // namespace dta::workloads

@@ -1,0 +1,23 @@
+// PSOFT: a PeopleSoft-style customer database and workload (paper §7.4):
+// an ERP-ish schema (~0.75 GB logical) and a heavily templatized workload
+// of ~6000 statements — queries, inserts, updates and deletes issued
+// through stored-procedure-style templates with skewed constants.
+
+#ifndef DTA_WORKLOADS_PSOFT_H_
+#define DTA_WORKLOADS_PSOFT_H_
+
+#include "common/status.h"
+#include "server/server.h"
+#include "workload/workload.h"
+
+namespace dta::workloads {
+
+// Attaches the "psoft" database (metadata + generator specs).
+Status AttachPsoft(server::Server* server, uint64_t seed);
+
+// Generates the `n_statements` workload (default profile ~6000).
+workload::Workload PsoftWorkload(size_t n_statements, uint64_t seed);
+
+}  // namespace dta::workloads
+
+#endif  // DTA_WORKLOADS_PSOFT_H_

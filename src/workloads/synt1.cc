@@ -1,0 +1,160 @@
+#include "workloads/synt1.h"
+
+#include <array>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+#include "storage/datagen.h"
+
+namespace dta::workloads {
+
+using catalog::ColumnType;
+using storage::ColumnSpec;
+
+namespace {
+
+// Set Query k-columns: name and distinct-value count.
+struct KCol {
+  const char* name;
+  int64_t distinct;
+};
+constexpr std::array<KCol, 10> kColumns = {{
+    {"k2", 2},
+    {"k4", 4},
+    {"k5", 5},
+    {"k10", 10},
+    {"k25", 25},
+    {"k100", 100},
+    {"k1k", 1000},
+    {"k10k", 10000},
+    {"k40k", 40000},
+    {"k100k", 100000},
+}};
+
+}  // namespace
+
+Status AttachSynt1(server::Server* server, uint64_t rows, uint64_t seed) {
+  (void)seed;
+  std::vector<catalog::Column> cols = {{"kseq", ColumnType::kInt, 8}};
+  std::vector<ColumnSpec> specs = {ColumnSpec::Sequential()};
+  for (const KCol& k : kColumns) {
+    cols.push_back({k.name, ColumnType::kInt, 8});
+    specs.push_back(ColumnSpec::UniformInt(1, k.distinct));
+  }
+  cols.push_back({"v1", ColumnType::kDouble, 8});
+  cols.push_back({"v2", ColumnType::kDouble, 8});
+  specs.push_back(ColumnSpec::UniformReal(0, 1000));
+  specs.push_back(ColumnSpec::UniformReal(0, 1));
+
+  catalog::TableSchema bench("bench", cols);
+  bench.set_row_count(rows);
+  bench.SetPrimaryKey({"kseq"});
+
+  catalog::TableSchema dim("dim", {{"d_key", ColumnType::kInt, 8},
+                                   {"d_group", ColumnType::kInt, 8},
+                                   {"d_label", ColumnType::kString, 12}});
+  dim.set_row_count(1000);
+  dim.SetPrimaryKey({"d_key"});
+
+  catalog::Database db("synt1");
+  DTA_RETURN_IF_ERROR(db.AddTable(bench));
+  DTA_RETURN_IF_ERROR(db.AddTable(dim));
+  DTA_RETURN_IF_ERROR(server->AttachDatabase(std::move(db)));
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs("synt1", "bench", specs));
+  DTA_RETURN_IF_ERROR(server->RegisterColumnSpecs(
+      "synt1", "dim",
+      {ColumnSpec::Sequential(), ColumnSpec::UniformInt(1, 50),
+       ColumnSpec::StringPool("lbl", 200)}));
+
+  catalog::Configuration raw;
+  catalog::IndexDef pk;
+  pk.database = "synt1";
+  pk.table = "bench";
+  pk.key_columns = {"kseq"};
+  pk.constraint_enforcing = true;
+  DTA_RETURN_IF_ERROR(raw.AddIndex(std::move(pk)));
+  return server->ImplementConfiguration(std::move(raw));
+}
+
+workload::Workload Synt1Workload(size_t n_queries, size_t n_templates,
+                                 uint64_t seed) {
+  Random rng(seed);
+  // A template fixes: selection columns (1-2), grouping column, aggregated
+  // column/function, and whether the dim table is joined. Instances vary
+  // the constants.
+  struct Template {
+    int sel_a, sel_b;  // indexes into kColumns; sel_b may be -1
+    int group_col;     // index into kColumns
+    int agg_func;      // 0=COUNT(*), 1=SUM(v1), 2=AVG(v1), 3=MAX(v2)
+    bool range_pred;   // range vs equality on sel_a
+    bool join_dim;     // join via k1k = d_key
+  };
+  std::vector<Template> templates;
+  templates.reserve(n_templates);
+  for (size_t t = 0; t < n_templates; ++t) {
+    Template tpl;
+    tpl.sel_a = static_cast<int>(rng.Uniform(0, kColumns.size() - 1));
+    tpl.sel_b = rng.Bernoulli(0.5)
+                    ? static_cast<int>(rng.Uniform(0, kColumns.size() - 1))
+                    : -1;
+    if (tpl.sel_b == tpl.sel_a) tpl.sel_b = -1;
+    tpl.group_col = static_cast<int>(rng.Uniform(0, 5));  // low-card groups
+    tpl.agg_func = static_cast<int>(rng.Uniform(0, 3));
+    tpl.range_pred = rng.Bernoulli(0.5);
+    tpl.join_dim = rng.Bernoulli(0.15);
+    templates.push_back(tpl);
+  }
+
+  auto agg_text = [](int f) {
+    switch (f) {
+      case 0:
+        return "COUNT(*)";
+      case 1:
+        return "SUM(v1)";
+      case 2:
+        return "AVG(v1)";
+      default:
+        return "MAX(v2)";
+    }
+  };
+
+  workload::Workload w;
+  for (size_t i = 0; i < n_queries; ++i) {
+    const Template& tpl = templates[i % templates.size()];
+    const KCol& a = kColumns[static_cast<size_t>(tpl.sel_a)];
+    const KCol& g = kColumns[static_cast<size_t>(tpl.group_col)];
+    std::string where;
+    if (tpl.range_pred) {
+      int64_t lo = rng.Uniform(1, a.distinct);
+      int64_t hi = std::min(a.distinct,
+                            lo + std::max<int64_t>(1, a.distinct / 10));
+      where = StrFormat("%s BETWEEN %lld AND %lld", a.name,
+                        static_cast<long long>(lo),
+                        static_cast<long long>(hi));
+    } else {
+      where = StrFormat("%s = %lld", a.name,
+                        static_cast<long long>(rng.Uniform(1, a.distinct)));
+    }
+    if (tpl.sel_b >= 0) {
+      const KCol& b = kColumns[static_cast<size_t>(tpl.sel_b)];
+      where += StrFormat(" AND %s = %lld", b.name,
+                         static_cast<long long>(rng.Uniform(1, b.distinct)));
+    }
+    std::string text;
+    if (tpl.join_dim) {
+      text = StrFormat(
+          "SELECT d_group, %s FROM bench, dim WHERE k1k = d_key AND %s "
+          "GROUP BY d_group",
+          agg_text(tpl.agg_func), where.c_str());
+    } else {
+      text = StrFormat("SELECT %s, %s FROM bench WHERE %s GROUP BY %s",
+                       g.name, agg_text(tpl.agg_func), where.c_str(),
+                       g.name);
+    }
+    auto stmt = sql::ParseStatement(text);
+    if (stmt.ok()) w.Add(std::move(stmt).value());
+  }
+  return w;
+}
+
+}  // namespace dta::workloads

@@ -1,0 +1,28 @@
+// SYNT1: a synthetic database conforming to the Set Query benchmark schema
+// (paper §7.4) — one wide BENCH table whose kN columns have exactly N
+// distinct values — plus a workload of SPJ queries with grouping and
+// aggregation drawn from a configurable number of distinct templates
+// (default ~100), each instantiated with random constants.
+
+#ifndef DTA_WORKLOADS_SYNT1_H_
+#define DTA_WORKLOADS_SYNT1_H_
+
+#include "common/status.h"
+#include "server/server.h"
+#include "workload/workload.h"
+
+namespace dta::workloads {
+
+// Attaches the "synt1" database: the BENCH table (`rows` rows) and a small
+// DIM dimension table for join templates. Metadata + generator specs only
+// (statistics work; execution is not needed for the compression and ITW
+// experiments).
+Status AttachSynt1(server::Server* server, uint64_t rows, uint64_t seed);
+
+// Generates `n_queries` statements from `n_templates` distinct templates.
+workload::Workload Synt1Workload(size_t n_queries, size_t n_templates,
+                                 uint64_t seed);
+
+}  // namespace dta::workloads
+
+#endif  // DTA_WORKLOADS_SYNT1_H_

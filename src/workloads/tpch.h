@@ -1,0 +1,46 @@
+// TPC-H-like benchmark substrate: the 8-table schema, a scale-factor-driven
+// data generator, and the 22 query templates expressed in this project's
+// SQL subset.
+//
+// Substitution note (see DESIGN.md): the original TPC-H queries use SQL
+// features outside our subset (subqueries, EXISTS, CASE, OR, HAVING). Each
+// template here preserves the original query's *access pattern* — the
+// tables joined, the predicate columns and selectivities, the grouping and
+// ordering — which is what drives physical design selection. Simplifications
+// are noted per query in tpch.cc.
+
+#ifndef DTA_WORKLOADS_TPCH_H_
+#define DTA_WORKLOADS_TPCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "server/server.h"
+#include "workload/workload.h"
+
+namespace dta::workloads {
+
+// Table generation specs for the given scale factor (SF 1.0 == the paper's
+// 1GB-class database; row counts scale linearly).
+std::vector<storage::TableGenSpec> TpchTableSpecs(double scale_factor);
+
+// Attaches the TPC-H database ("tpch") to a server. With `with_data`,
+// actual rows are generated (execution becomes possible); otherwise only
+// generator specs are registered (statistics can still be created).
+// The server's current configuration is set to the raw design: primary-key
+// constraint indexes only (paper §7.2 methodology).
+Status AttachTpch(server::Server* server, double scale_factor, bool with_data,
+                  uint64_t seed);
+
+// The 22-query benchmark workload (deterministic for a given seed).
+workload::Workload TpchQueries(uint64_t seed);
+
+// First `n` queries only (e.g. TPCHQ1 for Figure 3).
+workload::Workload TpchQueriesPrefix(size_t n, uint64_t seed);
+
+// Raw configuration: constraint-enforcing PK indexes only.
+catalog::Configuration TpchRawConfiguration();
+
+}  // namespace dta::workloads
+
+#endif  // DTA_WORKLOADS_TPCH_H_

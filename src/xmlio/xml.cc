@@ -1,0 +1,352 @@
+#include "xmlio/xml.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dta::xml {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+void Element::SetAttr(std::string key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+const std::string* Element::FindAttr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string& Element::Attr(std::string_view key) const {
+  const std::string* v = FindAttr(key);
+  return v != nullptr ? *v : kEmpty;
+}
+
+Element* Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+Element* Element::AddChild(ElementPtr child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+const Element* Element::FindChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::FindChild(std::string_view name) {
+  for (auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::FindChildren(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const std::string& Element::ChildText(std::string_view name) const {
+  const Element* c = FindChild(name);
+  return c != nullptr ? c->text() : kEmpty;
+}
+
+Element* Element::AddTextChild(std::string name, std::string text) {
+  Element* c = AddChild(std::move(name));
+  c->set_text(std::move(text));
+  return c;
+}
+
+std::string Element::ToString(bool prolog) const {
+  std::string out;
+  if (prolog) out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Serialize(&out, 0);
+  return out;
+}
+
+void Element::Serialize(std::string* out, int depth) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->push_back('<');
+  out->append(name_);
+  for (const auto& [k, v] : attrs_) {
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    out->append(Escape(v));
+    out->push_back('"');
+  }
+  if (children_.empty() && text_.empty()) {
+    out->append("/>\n");
+    return;
+  }
+  out->push_back('>');
+  if (children_.empty()) {
+    out->append(Escape(text_));
+    out->append("</");
+    out->append(name_);
+    out->append(">\n");
+    return;
+  }
+  out->push_back('\n');
+  if (!text_.empty()) {
+    out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+    out->append(Escape(text_));
+    out->push_back('\n');
+  }
+  for (const auto& c : children_) {
+    c->Serialize(out, depth + 1);
+  }
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append("</");
+  out->append(name_);
+  out->append(">\n");
+}
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Result<ElementPtr> ParseDocument() {
+    SkipProlixa();
+    if (pos_ >= in_.size() || in_[pos_] != '<') {
+      return Status::InvalidArgument("xml: expected root element");
+    }
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipProlixa();
+    if (pos_ < in_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("xml: trailing content at offset %zu", pos_));
+    }
+    return root;
+  }
+
+ private:
+  // Skips whitespace, comments and the <?xml?> prolog.
+  void SkipProlixa() {
+    while (pos_ < in_.size()) {
+      if (std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      } else if (Peek("<?")) {
+        size_t end = in_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 2;
+      } else if (Peek("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 3;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Peek(std::string_view token) const {
+    return in_.substr(pos_, token.size()) == token;
+  }
+
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrFormat("xml: expected name at offset %zu", start));
+    }
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (pos_ >= in_.size() || (in_[pos_] != '"' && in_[pos_] != '\'')) {
+      return Status::InvalidArgument(
+          StrFormat("xml: expected quoted attribute value at offset %zu",
+                    pos_));
+    }
+    char quote = in_[pos_++];
+    std::string value;
+    while (pos_ < in_.size() && in_[pos_] != quote) {
+      if (in_[pos_] == '&') {
+        DTA_RETURN_IF_ERROR(AppendEntity(&value));
+      } else {
+        value.push_back(in_[pos_++]);
+      }
+    }
+    if (pos_ >= in_.size()) {
+      return Status::InvalidArgument("xml: unterminated attribute value");
+    }
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  Status AppendEntity(std::string* out) {
+    size_t semi = in_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 8) {
+      return Status::InvalidArgument(
+          StrFormat("xml: malformed entity at offset %zu", pos_));
+    }
+    std::string_view ent = in_.substr(pos_ + 1, semi - pos_ - 1);
+    if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("xml: unknown entity '&%.*s;'",
+                    static_cast<int>(ent.size()), ent.data()));
+    }
+    pos_ = semi + 1;
+    return Status::Ok();
+  }
+
+  Result<ElementPtr> ParseElement() {
+    // Caller guarantees in_[pos_] == '<'.
+    ++pos_;
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto elem = std::make_unique<Element>(std::move(name).value());
+    // Attributes.
+    while (true) {
+      SkipSpace();
+      if (pos_ >= in_.size()) {
+        return Status::InvalidArgument("xml: unterminated start tag");
+      }
+      if (Peek("/>")) {
+        pos_ += 2;
+        return elem;
+      }
+      if (in_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      auto key = ParseName();
+      if (!key.ok()) return key.status();
+      SkipSpace();
+      if (pos_ >= in_.size() || in_[pos_] != '=') {
+        return Status::InvalidArgument(
+            StrFormat("xml: expected '=' after attribute at offset %zu",
+                      pos_));
+      }
+      ++pos_;
+      SkipSpace();
+      auto value = ParseAttrValue();
+      if (!value.ok()) return value.status();
+      elem->SetAttr(std::move(key).value(), std::move(value).value());
+    }
+    // Content.
+    std::string text;
+    while (true) {
+      if (pos_ >= in_.size()) {
+        return Status::InvalidArgument(
+            StrFormat("xml: unterminated element <%s>", elem->name().c_str()));
+      }
+      if (Peek("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("xml: unterminated comment");
+        }
+        pos_ = end + 3;
+      } else if (Peek("</")) {
+        pos_ += 2;
+        auto close = ParseName();
+        if (!close.ok()) return close.status();
+        if (close.value() != elem->name()) {
+          return Status::InvalidArgument(
+              StrFormat("xml: mismatched close tag </%s> for <%s>",
+                        close.value().c_str(), elem->name().c_str()));
+        }
+        SkipSpace();
+        if (pos_ >= in_.size() || in_[pos_] != '>') {
+          return Status::InvalidArgument("xml: malformed close tag");
+        }
+        ++pos_;
+        // Trim pure-indentation whitespace around text content.
+        std::string_view trimmed = StrTrim(text);
+        elem->set_text(std::string(trimmed));
+        return elem;
+      } else if (in_[pos_] == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        elem->AddChild(std::move(child).value());
+      } else if (in_[pos_] == '&') {
+        DTA_RETURN_IF_ERROR(AppendEntity(&text));
+      } else {
+        text.push_back(in_[pos_++]);
+      }
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ElementPtr> Parse(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+}  // namespace dta::xml

@@ -1,0 +1,88 @@
+// Minimal XML document model with a serializer and a parser.
+//
+// This is intentionally a small subset of XML sufficient for DTA's public
+// input/output schema (Section 6.1 of the paper): elements, attributes,
+// character data, comments (skipped on parse), and the standard five entity
+// escapes. No namespaces, DTDs, or processing-instruction handling beyond
+// skipping the <?xml ...?> prolog.
+
+#ifndef DTA_XMLIO_XML_H_
+#define DTA_XMLIO_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dta::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+// An XML element: name, ordered attributes, child elements and text content.
+// Mixed content is simplified: all character data inside an element is
+// concatenated into `text()` regardless of its position between children.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view more) { text_.append(more); }
+
+  // Attributes ---------------------------------------------------------
+  void SetAttr(std::string key, std::string value);
+  // Returns nullptr if absent.
+  const std::string* FindAttr(std::string_view key) const;
+  // Returns "" if absent.
+  const std::string& Attr(std::string_view key) const;
+  bool HasAttr(std::string_view key) const { return FindAttr(key) != nullptr; }
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // Children -----------------------------------------------------------
+  Element* AddChild(std::string name);
+  Element* AddChild(ElementPtr child);
+  const std::vector<ElementPtr>& children() const { return children_; }
+  // First child with the given name, or nullptr.
+  const Element* FindChild(std::string_view name) const;
+  Element* FindChild(std::string_view name);
+  // All children with the given name.
+  std::vector<const Element*> FindChildren(std::string_view name) const;
+  // Text of the first child with the given name, or "" if absent.
+  const std::string& ChildText(std::string_view name) const;
+
+  // Convenience: adds <name>text</name>.
+  Element* AddTextChild(std::string name, std::string text);
+
+  // Serialization -------------------------------------------------------
+  // Pretty-printed XML (2-space indent). With `prolog`, prepends the
+  // <?xml version="1.0"?> declaration.
+  std::string ToString(bool prolog = false) const;
+
+ private:
+  void Serialize(std::string* out, int depth) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<ElementPtr> children_;
+};
+
+// Escapes &, <, >, ", ' for use in attribute values / character data.
+std::string Escape(std::string_view raw);
+
+// Parses a single-rooted XML document. Returns the root element.
+Result<ElementPtr> Parse(std::string_view input);
+
+}  // namespace dta::xml
+
+#endif  // DTA_XMLIO_XML_H_

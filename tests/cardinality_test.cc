@@ -1,0 +1,257 @@
+// Unit tests for cardinality/selectivity estimation and the cost model's
+// qualitative properties.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "sql/parser.h"
+#include "stats/builder.h"
+#include "storage/datagen.h"
+
+namespace dta::optimizer {
+namespace {
+
+using catalog::ColumnType;
+using catalog::TableSchema;
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new Env();
+    TableSchema t("t", {{"k", ColumnType::kInt, 8},     // unique
+                        {"g", ColumnType::kInt, 8},     // 100 distinct
+                        {"d", ColumnType::kString, 10},  // dates
+                        {"x", ColumnType::kDouble, 8}});
+    t.set_row_count(100000);
+    t.SetPrimaryKey({"k"});
+    TableSchema u("u", {{"fk", ColumnType::kInt, 8},
+                        {"y", ColumnType::kDouble, 8}});
+    u.set_row_count(400000);
+    catalog::Database db("db");
+    ASSERT_TRUE(db.AddTable(t).ok());
+    ASSERT_TRUE(db.AddTable(u).ok());
+    ASSERT_TRUE(env_->catalog.AddDatabase(std::move(db)).ok());
+
+    storage::TableGenSpec tspec;
+    tspec.schema = t;
+    tspec.column_specs = {storage::ColumnSpec::Sequential(),
+                          storage::ColumnSpec::UniformInt(1, 100),
+                          storage::ColumnSpec::Date("2000-01-01", 1000),
+                          storage::ColumnSpec::UniformReal(0, 1)};
+    tspec.rows = 100000;
+    Random rng(17);
+    auto tdata = storage::GenerateTable(tspec, &rng);
+    ASSERT_TRUE(tdata.ok());
+    for (auto cols : {std::vector<std::string>{"k"},
+                      std::vector<std::string>{"g"},
+                      std::vector<std::string>{"d"},
+                      std::vector<std::string>{"g", "d"}}) {
+      auto s = stats::BuildFromData("db", t, *tdata, cols);
+      ASSERT_TRUE(s.ok());
+      env_->stats.Put(std::move(s).value());
+    }
+    storage::TableGenSpec uspec;
+    uspec.schema = u;
+    uspec.column_specs = {storage::ColumnSpec::UniformInt(1, 100000),
+                          storage::ColumnSpec::UniformReal(0, 1)};
+    uspec.rows = 400000;
+    auto udata = storage::GenerateTable(uspec, &rng);
+    ASSERT_TRUE(udata.ok());
+    auto s = stats::BuildFromData("db", u, *udata, {"fk"});
+    ASSERT_TRUE(s.ok());
+    env_->stats.Put(std::move(s).value());
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    env_ = nullptr;
+  }
+
+  struct Env {
+    catalog::Catalog catalog;
+    stats::StatsManager stats;
+  };
+  static Env* env_;
+
+  // Binds a query and returns estimator machinery bound to it. The
+  // statement is kept alive via the returned holder.
+  struct Holder {
+    sql::Statement stmt;
+    BoundQuery bound;
+    std::unique_ptr<StatsProvider> provider;
+    std::unique_ptr<CardinalityEstimator> est;
+  };
+  static Holder Make(const char* text) {
+    Holder h{.stmt = std::move(sql::ParseStatement(text)).value()};
+    auto bound = BindSelect(h.stmt.select(), env_->catalog);
+    EXPECT_TRUE(bound.ok()) << text;
+    h.bound = std::move(bound).value();
+    h.provider = std::make_unique<StatsProvider>(&env_->stats);
+    h.est = std::make_unique<CardinalityEstimator>(h.bound, *h.provider);
+    return h;
+  }
+};
+
+CardinalityTest::Env* CardinalityTest::env_ = nullptr;
+
+TEST_F(CardinalityTest, EqualityOnUniqueKeyIsOneRow) {
+  auto h = Make("SELECT x FROM t WHERE k = 500");
+  EXPECT_NEAR(h.est->AtomSelectivity(0) * 100000, 1.0, 3.0);
+}
+
+TEST_F(CardinalityTest, EqualityOnLowCardinalityColumn) {
+  auto h = Make("SELECT x FROM t WHERE g = 50");
+  EXPECT_NEAR(h.est->AtomSelectivity(0), 0.01, 0.005);
+}
+
+TEST_F(CardinalityTest, RangeSelectivityTracksFraction) {
+  // ~30% of dates fall in the first 300 of 1000 days.
+  auto h = Make("SELECT x FROM t WHERE d < '2000-10-27'");
+  EXPECT_NEAR(h.est->AtomSelectivity(0), 0.3, 0.08);
+}
+
+TEST_F(CardinalityTest, InListSumsEqualities) {
+  auto h1 = Make("SELECT x FROM t WHERE g IN (1, 2, 3)");
+  auto h2 = Make("SELECT x FROM t WHERE g = 1");
+  EXPECT_NEAR(h1.est->AtomSelectivity(0),
+              3 * h2.est->AtomSelectivity(0), 0.01);
+}
+
+TEST_F(CardinalityTest, NotEqualIsComplement) {
+  auto eq = Make("SELECT x FROM t WHERE g = 7");
+  auto ne = Make("SELECT x FROM t WHERE g <> 7");
+  EXPECT_NEAR(eq.est->AtomSelectivity(0) + ne.est->AtomSelectivity(0), 1.0,
+              0.01);
+}
+
+TEST_F(CardinalityTest, ConjunctionBackoffBetweenBounds) {
+  auto h = Make("SELECT x FROM t WHERE g = 5 AND d < '2000-06-01'");
+  double s_and = h.est->FilterSelectivity({0, 1});
+  double s0 = h.est->AtomSelectivity(0);
+  double s1 = h.est->AtomSelectivity(1);
+  // Between full independence and the most selective atom alone.
+  EXPECT_GE(s_and, s0 * s1 - 1e-9);
+  EXPECT_LE(s_and, std::min(s0, s1) + 1e-9);
+}
+
+TEST_F(CardinalityTest, JoinSelectivityFromDistinct) {
+  auto h = Make("SELECT x FROM t, u WHERE k = fk");
+  ASSERT_EQ(h.bound.join_atoms.size(), 1u);
+  // 1/max(d_k, d_fk) with d_k = 100000.
+  EXPECT_NEAR(h.est->JoinSelectivity(h.bound.join_atoms[0]), 1.0 / 100000,
+              0.3 / 100000);
+}
+
+TEST_F(CardinalityTest, GroupCardinalityUsesMultiColumnDensity) {
+  auto h = Make("SELECT g, d, COUNT(*) FROM t GROUP BY g, d");
+  double groups = h.est->GroupCardinality(h.bound.group_by, 100000);
+  // (g, d) statistics exist: ~100 * 1000 combos capped by observed density.
+  EXPECT_GT(groups, 10000);
+  EXPECT_LE(groups, 100000);
+}
+
+TEST_F(CardinalityTest, GroupCardinalityCappedByInputRows) {
+  auto h = Make("SELECT g, COUNT(*) FROM t GROUP BY g");
+  EXPECT_LE(h.est->GroupCardinality(h.bound.group_by, 40.0), 40.0);
+}
+
+TEST_F(CardinalityTest, PartitionFractionCounts) {
+  catalog::PartitionScheme scheme;
+  scheme.column = "g";
+  scheme.boundaries = {sql::Value::Int(25), sql::Value::Int(50),
+                       sql::Value::Int(75)};  // 4 partitions
+  {
+    auto h = Make("SELECT x FROM t WHERE g = 30");
+    int touched = 0;
+    double f = h.est->PartitionFraction(
+        0, scheme, h.bound.filters_by_table[0], &touched);
+    EXPECT_EQ(touched, 1);
+    EXPECT_DOUBLE_EQ(f, 0.25);
+  }
+  {
+    auto h = Make("SELECT x FROM t WHERE g BETWEEN 30 AND 60");
+    int touched = 0;
+    h.est->PartitionFraction(0, scheme, h.bound.filters_by_table[0],
+                             &touched);
+    EXPECT_EQ(touched, 2);  // [25,50) and [50,75)
+  }
+  {
+    auto h = Make("SELECT x FROM t WHERE g < 20");
+    int touched = 0;
+    h.est->PartitionFraction(0, scheme, h.bound.filters_by_table[0],
+                             &touched);
+    EXPECT_EQ(touched, 1);
+  }
+  {
+    auto h = Make("SELECT x FROM t WHERE g IN (10, 60)");
+    int touched = 0;
+    h.est->PartitionFraction(0, scheme, h.bound.filters_by_table[0],
+                             &touched);
+    EXPECT_EQ(touched, 2);
+  }
+  {
+    auto h = Make("SELECT x FROM t WHERE x < 0.5");  // not the scheme column
+    int touched = 0;
+    double f = h.est->PartitionFraction(
+        0, scheme, h.bound.filters_by_table[0], &touched);
+    EXPECT_EQ(touched, 4);
+    EXPECT_DOUBLE_EQ(f, 1.0);
+  }
+}
+
+// ------------------------------------------------------------- cost model
+
+TEST(CostModelTest, ScanGrowsWithPages) {
+  CostModel cm{HardwareParams()};
+  EXPECT_LT(cm.ScanCost(100, 1000, 1e6), cm.ScanCost(1000, 10000, 1e7));
+}
+
+TEST(CostModelTest, CachedIoIsCheaper) {
+  HardwareParams small;
+  small.memory_mb = 64;
+  HardwareParams big;
+  big.memory_mb = 65536;
+  double bytes = 8e9;  // 8 GB object
+  EXPECT_GT(CostModel(small).ScanCost(1e6, 1e7, bytes),
+            CostModel(big).ScanCost(1e6, 1e7, bytes));
+}
+
+TEST(CostModelTest, ParallelismHelpsLargeInputsOnly) {
+  HardwareParams one;
+  one.cpu_count = 1;
+  HardwareParams many;
+  many.cpu_count = 32;
+  // Small input: below the parallelism threshold, same cost.
+  EXPECT_DOUBLE_EQ(CostModel(one).HashAggCost(1000, 10),
+                   CostModel(many).HashAggCost(1000, 10));
+  // Large input: many cores win.
+  EXPECT_GT(CostModel(one).HashAggCost(5e6, 1000),
+            CostModel(many).HashAggCost(5e6, 1000));
+}
+
+TEST(CostModelTest, SeekCheaperThanScanForSelectiveAccess) {
+  CostModel cm{HardwareParams()};
+  double pages = 10000, bytes = pages * 8192;
+  double seek = cm.SeekCost(/*leaf=*/10, /*matched=*/100, /*lookups=*/100,
+                            bytes, bytes);
+  double scan = cm.ScanCost(pages, 1e6, bytes);
+  EXPECT_LT(seek, scan);
+}
+
+TEST(CostModelTest, SortSpillsBeyondMemory) {
+  HardwareParams hw;
+  hw.memory_mb = 16;
+  CostModel cm(hw);
+  double in_memory = cm.SortCost(10000, 100);
+  double spilled = cm.SortCost(10000000, 100);
+  EXPECT_GT(spilled, in_memory * 100);
+}
+
+TEST(CostModelTest, ViewMaintenanceGrowsWithJoinedTables) {
+  CostModel cm{HardwareParams()};
+  EXPECT_GT(cm.ViewMaintenanceCost(10, 1000, 4),
+            cm.ViewMaintenanceCost(10, 1000, 1));
+}
+
+}  // namespace
+}  // namespace dta::optimizer

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+
+namespace dta::catalog {
+namespace {
+
+TableSchema MakeOrders() {
+  TableSchema t("Orders", {{"o_orderkey", ColumnType::kInt, 8},
+                           {"o_custkey", ColumnType::kInt, 8},
+                           {"o_orderdate", ColumnType::kString, 10},
+                           {"o_totalprice", ColumnType::kDouble, 8}});
+  t.set_row_count(150000);
+  t.SetPrimaryKey({"o_orderkey"});
+  return t;
+}
+
+TEST(TableSchemaTest, NormalizesNames) {
+  TableSchema t = MakeOrders();
+  EXPECT_EQ(t.name(), "orders");
+  EXPECT_EQ(t.column(0).name, "o_orderkey");
+}
+
+TEST(TableSchemaTest, ColumnIndexCaseInsensitive) {
+  TableSchema t = MakeOrders();
+  EXPECT_EQ(t.ColumnIndex("O_CUSTKEY"), 1);
+  EXPECT_EQ(t.ColumnIndex("o_orderdate"), 2);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+  EXPECT_TRUE(t.HasColumn("o_totalprice"));
+}
+
+TEST(TableSchemaTest, PrimaryKey) {
+  TableSchema t = MakeOrders();
+  ASSERT_EQ(t.primary_key().size(), 1u);
+  EXPECT_EQ(t.primary_key()[0], 0);
+}
+
+TEST(TableSchemaTest, SizeEstimates) {
+  TableSchema t = MakeOrders();
+  EXPECT_EQ(t.RowBytes(), 9 + 8 + 8 + 10 + 8);
+  EXPECT_EQ(t.DataBytes(), 150000ull * t.RowBytes());
+  EXPECT_GT(t.DataPages(), 0u);
+  EXPECT_EQ(t.DataPages(),
+            (t.DataBytes() + TableSchema::kPageBytes - 1) /
+                TableSchema::kPageBytes);
+}
+
+TEST(DatabaseTest, AddAndFind) {
+  Database db("TPCH");
+  EXPECT_EQ(db.name(), "tpch");
+  ASSERT_TRUE(db.AddTable(MakeOrders()).ok());
+  EXPECT_FALSE(db.AddTable(MakeOrders()).ok());  // duplicate
+  EXPECT_NE(db.FindTable("ORDERS"), nullptr);
+  EXPECT_EQ(db.FindTable("missing"), nullptr);
+  EXPECT_GT(db.TotalDataBytes(), 0u);
+}
+
+TEST(CatalogTest, ResolveQualifiedAndUnqualified) {
+  Catalog cat;
+  Database db1("db1"), db2("db2");
+  ASSERT_TRUE(db1.AddTable(MakeOrders()).ok());
+  TableSchema other("customer", {{"c_custkey", ColumnType::kInt, 8}});
+  ASSERT_TRUE(db2.AddTable(other).ok());
+  ASSERT_TRUE(cat.AddDatabase(std::move(db1)).ok());
+  ASSERT_TRUE(cat.AddDatabase(std::move(db2)).ok());
+
+  auto r = cat.ResolveTable("", "orders");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->database->name(), "db1");
+
+  auto r2 = cat.ResolveTable("db2", "customer");
+  ASSERT_TRUE(r2.ok());
+
+  EXPECT_FALSE(cat.ResolveTable("db2", "orders").ok());
+  EXPECT_FALSE(cat.ResolveTable("", "missing").ok());
+  EXPECT_FALSE(cat.ResolveTable("nodb", "orders").ok());
+}
+
+TEST(CatalogTest, AmbiguousUnqualifiedFails) {
+  Catalog cat;
+  Database db1("db1"), db2("db2");
+  ASSERT_TRUE(db1.AddTable(MakeOrders()).ok());
+  ASSERT_TRUE(db2.AddTable(MakeOrders()).ok());
+  ASSERT_TRUE(cat.AddDatabase(std::move(db1)).ok());
+  ASSERT_TRUE(cat.AddDatabase(std::move(db2)).ok());
+  EXPECT_FALSE(cat.ResolveTable("", "orders").ok());
+  EXPECT_TRUE(cat.ResolveTable("db1", "orders").ok());
+}
+
+TEST(ColumnTypeTest, Names) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt), "int");
+  auto r = ColumnTypeFromName("STRING");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ColumnType::kString);
+  EXPECT_FALSE(ColumnTypeFromName("blob").ok());
+}
+
+}  // namespace
+}  // namespace dta::catalog

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace dta {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("non-positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  DTA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseAssignOrReturn(-1, &out).ok());
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrSplit) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StringsTest, StrTrim) {
+  EXPECT_EQ(StrTrim("  hi \t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("LineItem", "lineitem"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("lineitem", "line"));
+  EXPECT_FALSE(StartsWith("line", "lineitem"));
+  EXPECT_TRUE(EndsWith("lineitem", "item"));
+  EXPECT_FALSE(EndsWith("item", "lineitem"));
+}
+
+TEST(StringsTest, StrJoin) {
+  std::vector<std::string> v = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(v, ", "), "a, b, c");
+  std::vector<int> ints = {1, 2};
+  EXPECT_EQ(StrJoin(ints, "-"), "1-2");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+}
+
+TEST(StringsTest, CompactDouble) {
+  EXPECT_EQ(CompactDouble(12.0), "12");
+  EXPECT_EQ(CompactDouble(12.5), "12.5");
+}
+
+TEST(RandomTest, UniformBounds) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RandomTest, ZipfBoundsAndSkew) {
+  Random rng(7);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.Zipf(100, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    counts[v]++;
+  }
+  // Rank 1 must dominate rank 50 under strong skew.
+  EXPECT_GT(counts[1], counts[50] * 3);
+}
+
+TEST(RandomTest, ZipfThetaZeroIsUniformish) {
+  Random rng(9);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) counts[rng.Zipf(10, 0.0)]++;
+  for (int64_t k = 1; k <= 10; ++k) {
+    EXPECT_GT(counts[k], 1500) << "value " << k;
+  }
+}
+
+TEST(RandomTest, Weighted) {
+  Random rng(11);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Weighted(w), 1u);
+  }
+}
+
+TEST(RandomTest, AlphaString) {
+  Random rng(3);
+  std::string s = rng.AlphaString(12);
+  EXPECT_EQ(s.size(), 12u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(HashTest, BytesStable) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(HashBytes("a"), HashBytes("b")),
+            HashCombine(HashBytes("b"), HashBytes("a")));
+}
+
+}  // namespace
+}  // namespace dta

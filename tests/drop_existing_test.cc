@@ -1,0 +1,140 @@
+// Tests for re-justification of existing structures: DTA's default
+// behaviour treats the current design's non-constraint structures as
+// ordinary candidates, so harmful structures are implicitly dropped, while
+// keep_existing_structures pins them.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "dta/tuning_session.h"
+#include "server/server.h"
+#include "storage/datagen.h"
+
+namespace dta::tuner {
+namespace {
+
+using catalog::ColumnType;
+using catalog::Configuration;
+using catalog::IndexDef;
+using catalog::TableSchema;
+
+std::unique_ptr<server::Server> MakeServer() {
+  auto s = std::make_unique<server::Server>("prod",
+                                            optimizer::HardwareParams());
+  TableSchema t("t", {{"id", ColumnType::kInt, 8},
+                      {"k", ColumnType::kInt, 8},
+                      {"junk", ColumnType::kString, 14},
+                      {"v", ColumnType::kDouble, 8}});
+  t.set_row_count(50000);
+  t.SetPrimaryKey({"id"});
+  catalog::Database db("d");
+  EXPECT_TRUE(db.AddTable(t).ok());
+  EXPECT_TRUE(s->AttachDatabase(std::move(db)).ok());
+  Random rng(5);
+  storage::TableGenSpec spec;
+  spec.schema = t;
+  spec.column_specs = {storage::ColumnSpec::Sequential(),
+                       storage::ColumnSpec::UniformInt(1, 500),
+                       storage::ColumnSpec::StringPool("j", 1000),
+                       storage::ColumnSpec::UniformReal(0, 100)};
+  spec.rows = 50000;
+  auto data = storage::GenerateTable(spec, &rng);
+  EXPECT_TRUE(data.ok());
+  EXPECT_TRUE(s->AttachTableData("d", std::move(data).value()).ok());
+  return s;
+}
+
+// Current design: PK index (constraint) + a useful index on k + a harmful
+// wide index on a never-queried column of an update-hot table.
+Configuration CurrentDesign() {
+  Configuration c;
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "t",
+                                  .key_columns = {"id"},
+                                  .constraint_enforcing = true})
+                  .ok());
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "t",
+                                  .key_columns = {"k"},
+                                  .included_columns = {"v"}})
+                  .ok());
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "t",
+                                  .key_columns = {"junk"},
+                                  .included_columns = {"v", "k"}})
+                  .ok());
+  return c;
+}
+
+workload::Workload MakeWorkload() {
+  std::string script;
+  for (int i = 0; i < 12; ++i) {
+    script += StrFormat("SELECT v FROM t WHERE k = %d;", i * 37 + 1);
+    script += StrFormat("UPDATE t SET v = %d WHERE id = %d;", i, i * 991);
+  }
+  auto w = workload::Workload::FromScript(script);
+  EXPECT_TRUE(w.ok());
+  return std::move(w).value();
+}
+
+std::string JunkIndexName() {
+  return IndexDef{.table = "t",
+                  .key_columns = {"junk"},
+                  .included_columns = {"v", "k"}}
+      .CanonicalName();
+}
+std::string UsefulIndexName() {
+  return IndexDef{.table = "t",
+                  .key_columns = {"k"},
+                  .included_columns = {"v"}}
+      .CanonicalName();
+}
+
+TEST(DropExistingTest, HarmfulStructureIsDropped) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->ImplementConfiguration(CurrentDesign()).ok());
+  TuningOptions opts;  // default: re-justify existing structures
+  TuningSession session(server.get(), opts);
+  auto r = session.Tune(MakeWorkload());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The junk index never helps a query and costs every update: dropped.
+  EXPECT_FALSE(r->recommendation.ContainsStructure(JunkIndexName()))
+      << r->recommendation.Fingerprint();
+  // The useful index pays for itself: retained (possibly in merged form —
+  // require at least that SOME index leads on k).
+  bool has_k_index = false;
+  for (const auto& ix : r->recommendation.indexes()) {
+    if (!ix.key_columns.empty() && ix.key_columns[0] == "k") {
+      has_k_index = true;
+    }
+  }
+  EXPECT_TRUE(has_k_index) << r->recommendation.Fingerprint();
+  // Dropping the junk index means the recommendation beats the current
+  // design, not just the raw one.
+  EXPECT_GT(r->ImprovementPercent(), 0);
+}
+
+TEST(DropExistingTest, KeepExistingPinsEverything) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->ImplementConfiguration(CurrentDesign()).ok());
+  TuningOptions opts;
+  opts.keep_existing_structures = true;
+  TuningSession session(server.get(), opts);
+  auto r = session.Tune(MakeWorkload());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->recommendation.ContainsStructure(JunkIndexName()));
+  EXPECT_TRUE(r->recommendation.ContainsStructure(UsefulIndexName()));
+}
+
+TEST(DropExistingTest, ConstraintIndexesNeverDropped) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->ImplementConfiguration(CurrentDesign()).ok());
+  TuningSession session(server.get(), TuningOptions());
+  auto r = session.Tune(MakeWorkload());
+  ASSERT_TRUE(r.ok());
+  bool has_pk = false;
+  for (const auto& ix : r->recommendation.indexes()) {
+    if (ix.constraint_enforcing) has_pk = true;
+  }
+  EXPECT_TRUE(has_pk);
+}
+
+}  // namespace
+}  // namespace dta::tuner

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "catalog/physical_design.h"
+#include "common/strings.h"
+#include "engine/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "stats/builder.h"
+#include "storage/datagen.h"
+
+namespace dta::engine {
+namespace {
+
+using catalog::ColumnType;
+using catalog::Configuration;
+using catalog::IndexDef;
+using catalog::PartitionScheme;
+using catalog::TableSchema;
+using catalog::ViewDef;
+
+class MapDataSource : public DataSource {
+ public:
+  void Add(const std::string& db, storage::TableData data) {
+    std::string key = db + "." + data.table_name();
+    tables_[key] = std::make_unique<storage::TableData>(std::move(data));
+  }
+  const storage::TableData* Table(const std::string& database,
+                                  const std::string& table) const override {
+    auto it = tables_.find(database + "." + table);
+    return it != tables_.end() ? it->second.get() : nullptr;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<storage::TableData>> tables_;
+};
+
+// Environment with small hand-checkable tables plus larger generated ones.
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new Env();
+
+    // Small deterministic table.
+    TableSchema emp("emp", {{"id", ColumnType::kInt, 8},
+                            {"dept", ColumnType::kString, 8},
+                            {"salary", ColumnType::kDouble, 8}});
+    emp.set_row_count(6);
+    storage::TableData emp_data(emp);
+    auto add = [&](int64_t id, const char* dept, double salary) {
+      ASSERT_TRUE(emp_data
+                      .AppendRow({sql::Value::Int(id),
+                                  sql::Value::String(dept),
+                                  sql::Value::Double(salary)})
+                      .ok());
+    };
+    add(1, "eng", 100);
+    add(2, "eng", 200);
+    add(3, "sales", 50);
+    add(4, "sales", 70);
+    add(5, "hr", 90);
+    add(6, "eng", 150);
+
+    // Generated pair of joinable tables.
+    Random rng(7);
+    TableSchema orders("orders", {{"o_id", ColumnType::kInt, 8},
+                                  {"o_cust", ColumnType::kInt, 8},
+                                  {"o_date", ColumnType::kString, 10}});
+    orders.set_row_count(2000);
+    orders.SetPrimaryKey({"o_id"});
+    storage::TableGenSpec ospec;
+    ospec.schema = orders;
+    ospec.column_specs = {storage::ColumnSpec::Sequential(),
+                          storage::ColumnSpec::UniformInt(1, 100),
+                          storage::ColumnSpec::Date("1994-01-01", 700)};
+    ospec.rows = 2000;
+    auto odata = storage::GenerateTable(ospec, &rng);
+    ASSERT_TRUE(odata.ok());
+
+    TableSchema items("items", {{"i_oid", ColumnType::kInt, 8},
+                                {"i_part", ColumnType::kInt, 8},
+                                {"i_qty", ColumnType::kDouble, 8}});
+    items.set_row_count(8000);
+    storage::TableGenSpec ispec;
+    ispec.schema = items;
+    ispec.column_specs = {storage::ColumnSpec::UniformInt(1, 2000),
+                          storage::ColumnSpec::UniformInt(1, 300),
+                          storage::ColumnSpec::UniformReal(1, 100)};
+    ispec.rows = 8000;
+    auto idata = storage::GenerateTable(ispec, &rng);
+    ASSERT_TRUE(idata.ok());
+
+    catalog::Database db("db");
+    ASSERT_TRUE(db.AddTable(emp).ok());
+    ASSERT_TRUE(db.AddTable(orders).ok());
+    ASSERT_TRUE(db.AddTable(items).ok());
+    ASSERT_TRUE(env_->catalog.AddDatabase(std::move(db)).ok());
+
+    auto add_stats = [&](const TableSchema& schema,
+                         const storage::TableData& data,
+                         std::vector<std::string> cols) {
+      auto s = stats::BuildFromData("db", schema, data, cols);
+      ASSERT_TRUE(s.ok());
+      env_->stats.Put(std::move(s).value());
+    };
+    add_stats(orders, *odata, {"o_id"});
+    add_stats(orders, *odata, {"o_cust"});
+    add_stats(orders, *odata, {"o_date"});
+    add_stats(items, *idata, {"i_oid"});
+    add_stats(items, *idata, {"i_part"});
+
+    env_->data.Add("db", std::move(emp_data));
+    env_->data.Add("db", std::move(odata).value());
+    env_->data.Add("db", std::move(idata).value());
+
+    env_->provider = std::make_unique<optimizer::StatsProvider>(&env_->stats);
+    env_->opt = std::make_unique<optimizer::Optimizer>(
+        env_->catalog, *env_->provider, optimizer::HardwareParams());
+  }
+
+  static void TearDownTestSuite() {
+    delete env_;
+    env_ = nullptr;
+  }
+
+  struct Env {
+    catalog::Catalog catalog;
+    stats::StatsManager stats;
+    MapDataSource data;
+    std::unique_ptr<optimizer::StatsProvider> provider;
+    std::unique_ptr<optimizer::Optimizer> opt;
+  };
+  static Env* env_;
+
+  static QueryResult Run(const std::string& text,
+                         const Configuration& config) {
+    auto stmt = sql::ParseStatement(text);
+    EXPECT_TRUE(stmt.ok()) << text;
+    Executor exec(env_->catalog, &env_->data);
+    auto r = exec.ExecuteSelect(stmt->select(), config, *env_->opt);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  // Canonical sorted text rendering for result comparison.
+  static std::vector<std::string> Canon(const QueryResult& r,
+                                        bool sort = true) {
+    std::vector<std::string> rows;
+    for (const auto& row : r.rows) {
+      std::string s;
+      for (const auto& v : row) {
+        // Round doubles so SUM order differences don't flake.
+        if (v.type() == sql::ValueType::kDouble) {
+          s += StrFormat("%.4f|", v.AsDoubleStrict());
+        } else {
+          s += v.ToSqlLiteral() + "|";
+        }
+      }
+      rows.push_back(std::move(s));
+    }
+    if (sort) std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+};
+
+EngineTest::Env* EngineTest::env_ = nullptr;
+
+TEST_F(EngineTest, ScanWithFilter) {
+  auto r = Run("SELECT id FROM emp WHERE salary > 90", Configuration());
+  auto rows = Canon(r);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], "1|");
+  EXPECT_EQ(rows[1], "2|");
+  EXPECT_EQ(rows[2], "6|");
+}
+
+TEST_F(EngineTest, GroupByAggregates) {
+  auto r = Run(
+      "SELECT dept, COUNT(*), SUM(salary), MIN(salary), MAX(salary), "
+      "AVG(salary) FROM emp GROUP BY dept ORDER BY dept",
+      Configuration());
+  ASSERT_EQ(r.rows.size(), 3u);
+  // eng: 3 rows, sum=450, min=100, max=200, avg=150
+  EXPECT_EQ(r.rows[0][0].AsString(), "eng");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].ToDouble(), 450);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].ToDouble(), 100);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].ToDouble(), 200);
+  EXPECT_DOUBLE_EQ(r.rows[0][5].ToDouble(), 150);
+  EXPECT_EQ(r.rows[1][0].AsString(), "hr");
+  EXPECT_EQ(r.rows[2][0].AsString(), "sales");
+}
+
+TEST_F(EngineTest, ScalarAggregateOnEmptyInput) {
+  auto r = Run("SELECT COUNT(*) FROM emp WHERE salary > 10000",
+               Configuration());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(EngineTest, OrderByDescAndTop) {
+  auto r = Run("SELECT TOP 2 id FROM emp ORDER BY salary DESC",
+               Configuration());
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);   // salary 200
+  EXPECT_EQ(r.rows[1][0].AsInt(), 6);   // salary 150
+}
+
+TEST_F(EngineTest, Distinct) {
+  auto r = Run("SELECT DISTINCT dept FROM emp", Configuration());
+  EXPECT_EQ(Canon(r).size(), 3u);
+}
+
+TEST_F(EngineTest, InAndLikePredicates) {
+  auto r = Run("SELECT id FROM emp WHERE dept IN ('hr', 'sales')",
+               Configuration());
+  EXPECT_EQ(Canon(r).size(), 3u);
+  auto r2 = Run("SELECT id FROM emp WHERE dept LIKE 's%'", Configuration());
+  EXPECT_EQ(Canon(r2).size(), 2u);
+  auto r3 = Run("SELECT id FROM emp WHERE dept LIKE '_r'", Configuration());
+  auto rows3 = Canon(r3);
+  ASSERT_EQ(rows3.size(), 1u);
+  EXPECT_EQ(rows3[0], "5|");
+}
+
+TEST_F(EngineTest, ArithmeticExpressions) {
+  auto r = Run("SELECT SUM(salary * (1 + 0.1)) FROM emp WHERE dept = 'eng'",
+               Configuration());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NEAR(r.rows[0][0].ToDouble(), 450 * 1.1, 1e-6);
+}
+
+TEST_F(EngineTest, JoinMatchesHandComputation) {
+  auto r = Run(
+      "SELECT e.id, i.i_qty FROM emp e, items i WHERE e.id = i.i_oid AND "
+      "e.dept = 'hr'",
+      Configuration());
+  // Every matching item row has i_oid == 5.
+  for (const auto& row : r.rows) {
+    EXPECT_EQ(row[0].AsInt(), 5);
+  }
+}
+
+// ---- Configuration invariance: every physical design must return exactly
+// the same logical results.
+
+Configuration IndexedConfig() {
+  Configuration c;
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "orders",
+                                  .key_columns = {"o_id"}})
+                  .ok());
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "orders",
+                                  .key_columns = {"o_cust"},
+                                  .included_columns = {"o_date"}})
+                  .ok());
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "items",
+                                  .key_columns = {"i_oid"},
+                                  .included_columns = {"i_qty"}})
+                  .ok());
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "items",
+                                  .key_columns = {"i_part", "i_qty"}})
+                  .ok());
+  return c;
+}
+
+Configuration ClusteredConfig() {
+  Configuration c;
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "orders",
+                                  .key_columns = {"o_cust"},
+                                  .clustered = true})
+                  .ok());
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "items",
+                                  .key_columns = {"i_oid"},
+                                  .clustered = true})
+                  .ok());
+  return c;
+}
+
+Configuration PartitionedConfig() {
+  Configuration c;
+  PartitionScheme scheme;
+  scheme.column = "o_date";
+  scheme.boundaries = {sql::Value::String("1994-07-01"),
+                       sql::Value::String("1995-01-01"),
+                       sql::Value::String("1995-07-01")};
+  c.SetTablePartitioning("orders", scheme);
+  EXPECT_TRUE(c.AddIndex(IndexDef{.table = "orders",
+                                  .key_columns = {"o_date"},
+                                  .partitioning = scheme})
+                  .ok());
+  return c;
+}
+
+Configuration ViewConfig() {
+  Configuration c;
+  auto def = sql::ParseStatement(
+      "SELECT o_cust, COUNT(*) AS cnt, SUM(i_qty) AS qty FROM orders, items "
+      "WHERE o_id = i_oid GROUP BY o_cust");
+  EXPECT_TRUE(def.ok());
+  ViewDef v;
+  v.definition =
+      std::make_shared<sql::SelectStatement>(def->select().Clone());
+  v.referenced_tables = {"orders", "items"};
+  v.estimated_rows = 100;
+  v.estimated_row_bytes = 24;
+  EXPECT_TRUE(c.AddView(v).ok());
+  return c;
+}
+
+class InvarianceTest
+    : public EngineTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(InvarianceTest, AllConfigurationsAgree) {
+  const char* query = GetParam();
+  auto baseline = Canon(Run(query, Configuration()));
+  EXPECT_FALSE(baseline.empty()) << "degenerate test: no rows";
+  const Configuration configs[] = {IndexedConfig(), ClusteredConfig(),
+                                   PartitionedConfig(), ViewConfig()};
+  for (const auto& config : configs) {
+    auto got = Canon(Run(query, config));
+    EXPECT_EQ(got, baseline)
+        << query << "\nfingerprint: " << config.Fingerprint();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, InvarianceTest,
+    ::testing::Values(
+        "SELECT o_id, o_date FROM orders WHERE o_id = 42",
+        "SELECT o_id FROM orders WHERE o_id BETWEEN 100 AND 120",
+        "SELECT o_date FROM orders WHERE o_cust = 7",
+        "SELECT o_id FROM orders WHERE o_date < '1994-03-01'",
+        "SELECT o_id FROM orders WHERE o_date BETWEEN '1994-06-01' AND "
+        "'1994-09-01' ORDER BY o_id",
+        "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust",
+        "SELECT i_part, SUM(i_qty), COUNT(*) FROM items GROUP BY i_part",
+        "SELECT o_cust, COUNT(*), SUM(i_qty) FROM orders, items WHERE "
+        "o_id = i_oid GROUP BY o_cust",
+        "SELECT o_cust, AVG(i_qty) FROM orders, items WHERE o_id = i_oid "
+        "GROUP BY o_cust",
+        "SELECT i_qty FROM orders, items WHERE o_id = i_oid AND o_cust = 31",
+        "SELECT TOP 5 o_id FROM orders WHERE o_cust = 11 ORDER BY o_id",
+        "SELECT o_id FROM orders WHERE o_cust IN (3, 5, 8)",
+        "SELECT COUNT(*) FROM orders, items WHERE o_id = i_oid AND "
+        "o_date >= '1995-01-01' AND i_qty < 50"));
+
+TEST_F(EngineTest, IndexSeekReturnsSortedOrder) {
+  Configuration c;
+  ASSERT_TRUE(c.AddIndex(IndexDef{.table = "orders",
+                                  .key_columns = {"o_cust", "o_id"}})
+                  .ok());
+  // Seek on o_cust returns rows ordered by (o_cust, o_id): verify ORDER BY
+  // is satisfiable without an explicit sort and results are right.
+  auto r = Run("SELECT o_id FROM orders WHERE o_cust = 9 ORDER BY o_id", c);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_LE(r.rows[i - 1][0].AsInt(), r.rows[i][0].AsInt());
+  }
+}
+
+TEST_F(EngineTest, ViewMaterializationIsCached) {
+  Configuration c = ViewConfig();
+  auto stmt = sql::ParseStatement(
+      "SELECT o_cust, COUNT(*), SUM(i_qty) FROM orders, items WHERE o_id = "
+      "i_oid GROUP BY o_cust");
+  ASSERT_TRUE(stmt.ok());
+  Executor exec(env_->catalog, &env_->data);
+  auto r1 = exec.ExecuteSelect(stmt->select(), c, *env_->opt);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = exec.ExecuteSelect(stmt->select(), c, *env_->opt);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(Canon(*r1), Canon(*r2));
+  exec.ClearStructureCache();
+  auto r3 = exec.ExecuteSelect(stmt->select(), c, *env_->opt);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(Canon(*r1), Canon(*r3));
+}
+
+TEST_F(EngineTest, MetadataOnlyTableFailsExecution) {
+  // A catalog with no backing data: optimization works, execution refuses.
+  auto stmt = sql::ParseStatement("SELECT id FROM emp");
+  ASSERT_TRUE(stmt.ok());
+  Executor exec(env_->catalog, nullptr);
+  auto r = exec.ExecuteSelect(stmt->select(), Configuration(), *env_->opt);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineTest, ColumnNamesFollowAliases) {
+  auto r = Run("SELECT dept AS d, COUNT(*) AS n FROM emp GROUP BY dept",
+               Configuration());
+  ASSERT_EQ(r.column_names.size(), 2u);
+  EXPECT_EQ(r.column_names[0], "d");
+  EXPECT_EQ(r.column_names[1], "n");
+}
+
+
+TEST_F(EngineTest, SameTableColumnComparison) {
+  // emp: salary > id * nothing... use items: i_qty vs i_part as doubles?
+  // Simplest: same-table compare on orders via o_id <> o_cust.
+  auto r = Run("SELECT COUNT(*) FROM orders WHERE o_id = o_cust",
+               Configuration());
+  ASSERT_EQ(r.rows.size(), 1u);
+  // Verify against a manual count through a different query shape.
+  auto all = Run("SELECT o_id, o_cust FROM orders WHERE o_id < 101",
+                 Configuration());
+  int64_t expect = 0;
+  for (const auto& row : all.rows) {
+    if (row[0].AsInt() == row[1].AsInt()) ++expect;
+  }
+  // o_cust ranges to 100, so all matches have o_id <= 100: the manual count
+  // over o_id < 101 is complete.
+  EXPECT_EQ(r.rows[0][0].AsInt(), expect);
+}
+
+TEST_F(EngineTest, CrossTableNonEqualityComparison) {
+  // Post-join filter: i_qty (per item) < o_cust (order attribute).
+  auto joined = Run(
+      "SELECT o_cust, i_qty FROM orders, items WHERE o_id = i_oid",
+      Configuration());
+  int64_t expect = 0;
+  for (const auto& row : joined.rows) {
+    if (row[1].ToDouble() < static_cast<double>(row[0].AsInt())) ++expect;
+  }
+  auto filtered = Run(
+      "SELECT COUNT(*) FROM orders, items WHERE o_id = i_oid AND i_qty < "
+      "o_cust",
+      Configuration());
+  ASSERT_EQ(filtered.rows.size(), 1u);
+  EXPECT_EQ(filtered.rows[0][0].AsInt(), expect);
+}
+
+}  // namespace
+}  // namespace dta::engine

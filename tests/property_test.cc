@@ -1,0 +1,345 @@
+// Property-based sweeps (parameterized over seeds):
+//   * SQL print/parse/signature stability for randomly generated statements;
+//   * configuration XML round trips preserve identity;
+//   * selectivity estimates stay within [0, 1] and cardinalities within
+//     table bounds for random predicates;
+//   * execution results are invariant under randomly generated physical
+//     designs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "catalog/physical_design.h"
+#include "common/strings.h"
+#include "dta/xml_schema.h"
+#include "engine/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/signature.h"
+#include "stats/builder.h"
+#include "storage/datagen.h"
+
+namespace dta {
+namespace {
+
+using catalog::ColumnType;
+using catalog::Configuration;
+using catalog::IndexDef;
+using catalog::PartitionScheme;
+using catalog::TableSchema;
+
+// ---------------------------------------------------------------- helpers
+
+// Random statement generator over a fixed two-table schema.
+std::string RandomStatement(Random* rng) {
+  auto lit = [&]() -> std::string {
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        return StrFormat("%lld", static_cast<long long>(
+                                     rng->Uniform(-1000, 100000)));
+      case 1:
+        return StrFormat("%.3f", rng->UniformReal(0, 500));
+      default:
+        return "'" + rng->AlphaString(6) + "'";
+    }
+  };
+  const char* t_cols[] = {"a", "b", "c"};
+  auto col = [&]() { return t_cols[rng->Uniform(0, 2)]; };
+  auto pred = [&]() -> std::string {
+    switch (rng->Uniform(0, 3)) {
+      case 0:
+        return StrFormat("%s = %s", col(), lit().c_str());
+      case 1:
+        return StrFormat("%s < %s", col(), lit().c_str());
+      case 2:
+        return StrFormat("%s BETWEEN %lld AND %lld", col(),
+                         static_cast<long long>(rng->Uniform(0, 100)),
+                         static_cast<long long>(rng->Uniform(101, 1000)));
+      default:
+        return StrFormat("%s IN (%s, %s)", col(), lit().c_str(),
+                         lit().c_str());
+    }
+  };
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      return StrFormat("SELECT %s, COUNT(*) FROM t WHERE %s GROUP BY %s",
+                       col(), pred().c_str(), col());
+    case 1:
+      return StrFormat("SELECT %s FROM t WHERE %s AND %s ORDER BY %s DESC",
+                       col(), pred().c_str(), pred().c_str(), col());
+    case 2:
+      return StrFormat("UPDATE t SET a = %lld WHERE %s",
+                       static_cast<long long>(rng->Uniform(0, 9)),
+                       pred().c_str());
+    default:
+      return StrFormat("DELETE FROM t WHERE %s", pred().c_str());
+  }
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// print(parse(x)) is a fixpoint and signatures are stable across the trip.
+TEST_P(SeededProperty, PrintParseFixpointAndSignatureStability) {
+  Random rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    std::string text = RandomStatement(&rng);
+    auto s1 = sql::ParseStatement(text);
+    ASSERT_TRUE(s1.ok()) << text;
+    std::string printed = sql::ToSql(*s1);
+    auto s2 = sql::ParseStatement(printed);
+    ASSERT_TRUE(s2.ok()) << printed;
+    EXPECT_EQ(printed, sql::ToSql(*s2)) << text;
+    EXPECT_EQ(sql::SignatureHash(*s1), sql::SignatureHash(*s2)) << text;
+    EXPECT_EQ(sql::SignatureText(*s1), sql::SignatureText(*s2)) << text;
+  }
+}
+
+// Random configurations survive the XML round trip with identity intact.
+TEST_P(SeededProperty, ConfigurationXmlRoundTrip) {
+  Random rng(GetParam() * 31 + 7);
+  Configuration config;
+  const char* tables[] = {"t", "u", "v"};
+  const char* cols[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 6; ++i) {
+    IndexDef ix;
+    ix.table = tables[rng.Uniform(0, 2)];
+    size_t nkeys = static_cast<size_t>(rng.Uniform(1, 3));
+    std::vector<const char*> pool(cols, cols + 4);
+    rng.Shuffle(&pool);
+    for (size_t k = 0; k < nkeys; ++k) ix.key_columns.push_back(pool[k]);
+    for (size_t k = nkeys; k < nkeys + rng.Uniform(0, 2) && k < 4; ++k) {
+      ix.included_columns.push_back(pool[k]);
+    }
+    ix.clustered = rng.Bernoulli(0.2);
+    if (rng.Bernoulli(0.3)) {
+      PartitionScheme scheme;
+      scheme.column = cols[rng.Uniform(0, 3)];
+      int64_t b = rng.Uniform(0, 50);
+      for (int j = 0; j < 3; ++j) {
+        scheme.boundaries.push_back(sql::Value::Int(b));
+        b += rng.Uniform(1, 100);
+      }
+      ix.partitioning = scheme;
+    }
+    Status s = config.AddIndex(std::move(ix));
+    (void)s;  // duplicates / clustered conflicts are fine to skip
+  }
+  if (rng.Bernoulli(0.5)) {
+    PartitionScheme scheme;
+    scheme.column = "a";
+    scheme.boundaries = {sql::Value::Int(10), sql::Value::Int(20)};
+    config.SetTablePartitioning("t", scheme);
+  }
+  auto xml_elem = tuner::ConfigurationToXml(config);
+  auto parsed = tuner::ConfigurationFromXml(*xml_elem);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Fingerprint(), config.Fingerprint());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------ estimation sanity sweep
+
+class EstimationProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new Env();
+    TableSchema t("t", {{"a", ColumnType::kInt, 8},
+                        {"b", ColumnType::kInt, 8},
+                        {"c", ColumnType::kDouble, 8}});
+    t.set_row_count(40000);
+    storage::TableGenSpec spec;
+    spec.schema = t;
+    spec.column_specs = {storage::ColumnSpec::Sequential(),
+                         storage::ColumnSpec::ZipfInt(1, 200, 0.9),
+                         storage::ColumnSpec::UniformReal(0, 1000)};
+    spec.rows = 40000;
+    Random rng(99);
+    auto data = storage::GenerateTable(spec, &rng);
+    ASSERT_TRUE(data.ok());
+    catalog::Database db("db");
+    ASSERT_TRUE(db.AddTable(t).ok());
+    ASSERT_TRUE(env_->catalog.AddDatabase(std::move(db)).ok());
+    for (const char* col : {"a", "b", "c"}) {
+      auto s = stats::BuildFromData("db", t, *data, {col});
+      ASSERT_TRUE(s.ok());
+      env_->stats.Put(std::move(s).value());
+    }
+    env_->provider =
+        std::make_unique<optimizer::StatsProvider>(&env_->stats);
+    env_->opt = std::make_unique<optimizer::Optimizer>(
+        env_->catalog, *env_->provider, optimizer::HardwareParams());
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    env_ = nullptr;
+  }
+  struct Env {
+    catalog::Catalog catalog;
+    stats::StatsManager stats;
+    std::unique_ptr<optimizer::StatsProvider> provider;
+    std::unique_ptr<optimizer::Optimizer> opt;
+  };
+  static Env* env_;
+};
+
+EstimationProperty::Env* EstimationProperty::env_ = nullptr;
+
+TEST_P(EstimationProperty, CardinalitiesWithinBounds) {
+  Random rng(GetParam() * 101 + 3);
+  for (int i = 0; i < 40; ++i) {
+    const char* cols[] = {"a", "b", "c"};
+    const char* col = cols[rng.Uniform(0, 2)];
+    std::string q;
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        q = StrFormat("SELECT a FROM t WHERE %s = %lld", col,
+                      static_cast<long long>(rng.Uniform(-10, 50000)));
+        break;
+      case 1:
+        q = StrFormat("SELECT a FROM t WHERE %s > %lld AND %s < %lld", col,
+                      static_cast<long long>(rng.Uniform(-10, 20000)), col,
+                      static_cast<long long>(rng.Uniform(20001, 60000)));
+        break;
+      default:
+        q = StrFormat("SELECT b, COUNT(*) FROM t WHERE c < %.2f GROUP BY b",
+                      rng.UniformReal(0, 1200));
+        break;
+    }
+    auto stmt = sql::ParseStatement(q);
+    ASSERT_TRUE(stmt.ok()) << q;
+    auto plan = env_->opt->OptimizeSelect(stmt->select(), Configuration());
+    ASSERT_TRUE(plan.ok()) << q;
+    EXPECT_GE(plan->cost, 0) << q;
+    // Output cardinality can never exceed the table size.
+    EXPECT_LE(plan->root->est_rows, 40000 * 1.01) << q;
+    EXPECT_GE(plan->root->est_rows, 0) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimationProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ----------------------------------------- execution invariance under
+// randomly generated physical designs (stronger version of the fixed-config
+// invariance test in engine_test.cc).
+
+class RandomDesignProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDesignProperty, RandomConfigurationsPreserveResults) {
+  Random rng(GetParam() * 7 + 1);
+  // Small schema + data.
+  TableSchema t("t", {{"a", ColumnType::kInt, 8},
+                      {"b", ColumnType::kInt, 8},
+                      {"c", ColumnType::kDouble, 8}});
+  t.set_row_count(3000);
+  storage::TableGenSpec spec;
+  spec.schema = t;
+  spec.column_specs = {storage::ColumnSpec::Sequential(),
+                       storage::ColumnSpec::UniformInt(1, 40),
+                       storage::ColumnSpec::UniformReal(0, 100)};
+  spec.rows = 3000;
+  auto data = storage::GenerateTable(spec, &rng);
+  ASSERT_TRUE(data.ok());
+
+  catalog::Catalog cat;
+  catalog::Database db("db");
+  ASSERT_TRUE(db.AddTable(t).ok());
+  ASSERT_TRUE(cat.AddDatabase(std::move(db)).ok());
+  stats::StatsManager sm;
+  optimizer::StatsProvider provider(&sm);
+  optimizer::Optimizer opt(cat, provider, optimizer::HardwareParams());
+
+  class OneTable : public engine::DataSource {
+   public:
+    explicit OneTable(const storage::TableData* d) : d_(d) {}
+    const storage::TableData* Table(const std::string&,
+                                    const std::string& name) const override {
+      return name == "t" ? d_ : nullptr;
+    }
+    const storage::TableData* d_;
+  };
+  OneTable source(&*data);
+  engine::Executor exec(cat, &source);
+
+  const char* queries[] = {
+      "SELECT a FROM t WHERE b = 7",
+      "SELECT b, COUNT(*), SUM(c) FROM t GROUP BY b",
+      "SELECT a, c FROM t WHERE a BETWEEN 100 AND 200 ORDER BY a",
+      "SELECT COUNT(*) FROM t WHERE c < 50 AND b > 20",
+  };
+  // Baseline results under the raw design.
+  std::vector<std::string> baselines;
+  auto canon = [](const engine::QueryResult& r) {
+    std::vector<std::string> rows;
+    for (const auto& row : r.rows) {
+      std::string s;
+      for (const auto& v : row) {
+        if (v.type() == sql::ValueType::kDouble) {
+          s += StrFormat("%.4f|", v.AsDoubleStrict());
+        } else {
+          s += v.ToSqlLiteral() + "|";
+        }
+      }
+      rows.push_back(std::move(s));
+    }
+    std::sort(rows.begin(), rows.end());
+    return StrJoin(rows, "\n");
+  };
+  for (const char* q : queries) {
+    auto stmt = sql::ParseStatement(q);
+    ASSERT_TRUE(stmt.ok());
+    auto r = exec.ExecuteSelect(stmt->select(), Configuration(), opt);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    baselines.push_back(canon(*r));
+  }
+
+  // 5 random designs per seed.
+  const char* cols[] = {"a", "b", "c"};
+  for (int design = 0; design < 5; ++design) {
+    Configuration config;
+    int n_indexes = static_cast<int>(rng.Uniform(1, 3));
+    for (int i = 0; i < n_indexes; ++i) {
+      IndexDef ix;
+      ix.table = "t";
+      std::vector<const char*> pool(cols, cols + 3);
+      rng.Shuffle(&pool);
+      size_t nkeys = static_cast<size_t>(rng.Uniform(1, 2));
+      for (size_t k = 0; k < nkeys; ++k) ix.key_columns.push_back(pool[k]);
+      if (rng.Bernoulli(0.5)) {
+        for (size_t k = nkeys; k < 3; ++k) {
+          ix.included_columns.push_back(pool[k]);
+        }
+      }
+      ix.clustered = config.FindClusteredIndex("t") == nullptr &&
+                     rng.Bernoulli(0.3);
+      Status s = config.AddIndex(std::move(ix));
+      (void)s;
+    }
+    if (rng.Bernoulli(0.4)) {
+      PartitionScheme scheme;
+      scheme.column = "a";
+      scheme.boundaries = {sql::Value::Int(rng.Uniform(100, 1000)),
+                           sql::Value::Int(rng.Uniform(1001, 2500))};
+      config.SetTablePartitioning("t", scheme);
+    }
+    for (size_t qi = 0; qi < 4; ++qi) {
+      auto stmt = sql::ParseStatement(queries[qi]);
+      ASSERT_TRUE(stmt.ok());
+      auto r = exec.ExecuteSelect(stmt->select(), config, opt);
+      ASSERT_TRUE(r.ok()) << queries[qi];
+      EXPECT_EQ(canon(*r), baselines[qi])
+          << queries[qi] << "\nconfig: " << config.Fingerprint();
+    }
+    exec.ClearStructureCache();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDesignProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace dta

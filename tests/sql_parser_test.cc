@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/token.h"
+
+namespace dta::sql {
+namespace {
+
+TEST(TokenizerTest, BasicTokens) {
+  auto toks = Tokenize("SELECT a, b2 FROM t WHERE x <= 10.5");
+  ASSERT_TRUE(toks.ok());
+  const auto& v = *toks;
+  EXPECT_TRUE(v[0].IsKeyword("SELECT"));
+  EXPECT_EQ(v[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE(v[2].IsOp(","));
+  EXPECT_EQ(v[3].text, "b2");
+  EXPECT_TRUE(v[4].IsKeyword("FROM"));
+  EXPECT_TRUE(v[6].IsKeyword("WHERE"));
+  EXPECT_TRUE(v[8].IsOp("<="));
+  EXPECT_EQ(v[9].type, TokenType::kDouble);
+  EXPECT_EQ(v.back().type, TokenType::kEnd);
+}
+
+TEST(TokenizerTest, KeywordsCaseInsensitive) {
+  auto toks = Tokenize("select FrOm");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*toks)[1].IsKeyword("FROM"));
+}
+
+TEST(TokenizerTest, StringWithEscapedQuote) {
+  auto toks = Tokenize("'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "it's");
+}
+
+TEST(TokenizerTest, LineComments) {
+  auto toks = Tokenize("a -- comment\n b");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "a");
+  EXPECT_EQ((*toks)[1].text, "b");
+}
+
+TEST(TokenizerTest, BracketedIdentifier) {
+  auto toks = Tokenize("[Order Details]");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[0].text, "Order Details");
+}
+
+TEST(TokenizerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("[unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto r = ParseStatement("SELECT a, COUNT(*) FROM T WHERE X < 10 GROUP BY a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->is_select());
+  const SelectStatement& s = r->select();
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].expr->kind, Expr::Kind::kColumn);
+  EXPECT_EQ(s.items[1].expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(s.items[1].expr->agg, AggFunc::kCount);
+  EXPECT_EQ(s.items[1].expr->left, nullptr);  // COUNT(*)
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "T");
+  ASSERT_EQ(s.where.size(), 1u);
+  EXPECT_EQ(s.where[0].op, CompareOp::kLt);
+  EXPECT_EQ(s.where[0].value.AsInt(), 10);
+  ASSERT_EQ(s.group_by.size(), 1u);
+  EXPECT_EQ(s.group_by[0].column, "a");
+}
+
+TEST(ParserTest, JoinsViaCommaAndWhere) {
+  auto r = ParseStatement(
+      "SELECT o.o_orderkey FROM orders o, lineitem l "
+      "WHERE o.o_orderkey = l.l_orderkey AND l.l_quantity > 30");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStatement& s = r->select();
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "o");
+  ASSERT_EQ(s.where.size(), 2u);
+  EXPECT_TRUE(s.where[0].IsJoin());
+  EXPECT_EQ(s.where[0].rhs_column.table, "l");
+  EXPECT_TRUE(s.where[1].IsRange());
+}
+
+TEST(ParserTest, JoinOnSugar) {
+  auto r = ParseStatement(
+      "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z = 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStatement& s = r->select();
+  EXPECT_TRUE(s.select_star);
+  ASSERT_EQ(s.from.size(), 2u);
+  ASSERT_EQ(s.where.size(), 2u);
+  EXPECT_TRUE(s.where[0].IsJoin());
+}
+
+TEST(ParserTest, BetweenInLike) {
+  auto r = ParseStatement(
+      "SELECT a FROM t WHERE d BETWEEN DATE '1994-01-01' AND DATE "
+      "'1994-12-31' AND k IN (1, 2, 3) AND s LIKE 'pro%'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& w = r->select().where;
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].kind, Predicate::Kind::kBetween);
+  EXPECT_EQ(w[0].low.AsString(), "1994-01-01");
+  EXPECT_EQ(w[1].kind, Predicate::Kind::kIn);
+  EXPECT_EQ(w[1].in_list.size(), 3u);
+  EXPECT_EQ(w[2].kind, Predicate::Kind::kLike);
+  EXPECT_EQ(w[2].like_pattern, "pro%");
+}
+
+TEST(ParserTest, ArithmeticInAggregates) {
+  auto r = ParseStatement(
+      "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM "
+      "lineitem");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& item = r->select().items[0];
+  EXPECT_EQ(item.alias, "revenue");
+  ASSERT_EQ(item.expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(item.expr->agg, AggFunc::kSum);
+  ASSERT_EQ(item.expr->left->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(item.expr->left->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, TopDistinctOrderBy) {
+  auto r = ParseStatement(
+      "SELECT DISTINCT TOP 10 a FROM t ORDER BY a DESC, b ASC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStatement& s = r->select();
+  EXPECT_TRUE(s.distinct);
+  EXPECT_EQ(s.top, 10);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+}
+
+TEST(ParserTest, NegativeLiterals) {
+  auto r = ParseStatement("SELECT a FROM t WHERE x > -5 AND y < -2.5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->select().where[0].value.AsInt(), -5);
+  EXPECT_DOUBLE_EQ(r->select().where[1].value.AsDoubleStrict(), -2.5);
+}
+
+TEST(ParserTest, Insert) {
+  auto r = ParseStatement(
+      "INSERT INTO t (a, b, c) VALUES (1, 'x', 2.5), (2, 'y', 3.5)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const InsertStatement& ins = r->insert();
+  EXPECT_EQ(ins.table, "t");
+  ASSERT_EQ(ins.columns.size(), 3u);
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[1][1].AsString(), "y");
+}
+
+TEST(ParserTest, Update) {
+  auto r = ParseStatement("UPDATE t SET a = 1, b = 'z' WHERE k = 7");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const UpdateStatement& u = r->update();
+  EXPECT_EQ(u.table, "t");
+  ASSERT_EQ(u.assignments.size(), 2u);
+  EXPECT_EQ(u.assignments[1].second.AsString(), "z");
+  ASSERT_EQ(u.where.size(), 1u);
+}
+
+TEST(ParserTest, Delete) {
+  auto r = ParseStatement("DELETE FROM t WHERE d < DATE '1993-01-01'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->del().table, "t");
+  ASSERT_EQ(r->del().where.size(), 1u);
+}
+
+TEST(ParserTest, Script) {
+  auto r = ParseScript("SELECT a FROM t; ; DELETE FROM t WHERE a = 1;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE t SET").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t extra garbage !").ok());
+  EXPECT_FALSE(ParseStatement("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(PrinterTest, RoundTripSelect) {
+  const char* q =
+      "SELECT l_returnflag, SUM(l_quantity) AS sum_qty FROM lineitem WHERE "
+      "l_shipdate <= '1998-09-02' GROUP BY l_returnflag ORDER BY "
+      "l_returnflag";
+  auto r = ParseStatement(q);
+  ASSERT_TRUE(r.ok());
+  std::string printed = ToSql(*r);
+  auto r2 = ParseStatement(printed);
+  ASSERT_TRUE(r2.ok()) << printed;
+  EXPECT_EQ(printed, ToSql(*r2));
+}
+
+TEST(PrinterTest, RoundTripDml) {
+  for (const char* q :
+       {"INSERT INTO t VALUES (1, 2)", "UPDATE t SET a = 5 WHERE b = 'x'",
+        "DELETE FROM t WHERE a BETWEEN 1 AND 10"}) {
+    auto r = ParseStatement(q);
+    ASSERT_TRUE(r.ok()) << q;
+    auto r2 = ParseStatement(ToSql(*r));
+    ASSERT_TRUE(r2.ok()) << ToSql(*r);
+    EXPECT_EQ(ToSql(*r), ToSql(*r2));
+  }
+}
+
+TEST(PrinterTest, StringEscaping) {
+  auto r = ParseStatement("SELECT a FROM t WHERE s = 'it''s'");
+  ASSERT_TRUE(r.ok());
+  std::string printed = ToSql(*r);
+  EXPECT_NE(printed.find("'it''s'"), std::string::npos);
+  auto r2 = ParseStatement(printed);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->select().where[0].value.AsString(), "it's");
+}
+
+TEST(CloneTest, StatementCloneIsDeep) {
+  auto r = ParseStatement("SELECT a, SUM(b * 2) FROM t WHERE c = 1 GROUP BY a");
+  ASSERT_TRUE(r.ok());
+  Statement copy = r->Clone();
+  EXPECT_EQ(ToSql(*r), ToSql(copy));
+}
+
+}  // namespace
+}  // namespace dta::sql

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/signature.h"
+#include "sql/value.h"
+
+namespace dta::sql {
+namespace {
+
+Statement Parse(const char* q) {
+  auto r = ParseStatement(q);
+  EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(SignatureTest, SameTemplateDifferentConstants) {
+  Statement a = Parse("SELECT x FROM t WHERE a = 5 AND b < 100");
+  Statement b = Parse("SELECT x FROM t WHERE a = 99 AND b < 3");
+  EXPECT_EQ(SignatureText(a), SignatureText(b));
+  EXPECT_EQ(SignatureHash(a), SignatureHash(b));
+}
+
+TEST(SignatureTest, CaseInsensitiveIdentifiers) {
+  Statement a = Parse("SELECT X FROM T WHERE A = 1");
+  Statement b = Parse("select x from t where a = 2");
+  EXPECT_EQ(SignatureText(a), SignatureText(b));
+}
+
+TEST(SignatureTest, DifferentColumnsDiffer) {
+  Statement a = Parse("SELECT x FROM t WHERE a = 5");
+  Statement b = Parse("SELECT x FROM t WHERE b = 5");
+  EXPECT_NE(SignatureText(a), SignatureText(b));
+}
+
+TEST(SignatureTest, DifferentOperatorsDiffer) {
+  Statement a = Parse("SELECT x FROM t WHERE a = 5");
+  Statement b = Parse("SELECT x FROM t WHERE a < 5");
+  EXPECT_NE(SignatureText(a), SignatureText(b));
+}
+
+TEST(SignatureTest, UpdatesTemplatizeToo) {
+  Statement a = Parse("UPDATE t SET v = 10 WHERE k = 1");
+  Statement b = Parse("UPDATE t SET v = 20 WHERE k = 999");
+  EXPECT_EQ(SignatureText(a), SignatureText(b));
+}
+
+TEST(SignatureTest, InListLengthMatters) {
+  // IN lists of different lengths are different shapes (templates).
+  Statement a = Parse("SELECT x FROM t WHERE a IN (1, 2)");
+  Statement b = Parse("SELECT x FROM t WHERE a IN (1, 2, 3)");
+  EXPECT_NE(SignatureText(a), SignatureText(b));
+}
+
+TEST(SignatureTest, TextContainsPlaceholders) {
+  Statement a = Parse("SELECT x FROM t WHERE a = 5 AND s LIKE 'pre%'");
+  std::string sig = SignatureText(a);
+  EXPECT_EQ(sig.find('5'), std::string::npos);
+  EXPECT_EQ(sig.find("pre%"), std::string::npos);
+  EXPECT_NE(sig.find('?'), std::string::npos);
+}
+
+TEST(ValueTest, CompareAndPromotion) {
+  EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_LT(Value::Int(4).Compare(Value::Double(4.5)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(ValueTest, Literals) {
+  EXPECT_EQ(Value::Int(-3).ToSqlLiteral(), "-3");
+  EXPECT_EQ(Value::String("a'b").ToSqlLiteral(), "'a''b'");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Double(2.5).ToSqlLiteral(), "2.5");
+}
+
+TEST(ValueTest, IsoDateOrderingMatchesChronology) {
+  Value a = Value::String("1994-01-31");
+  Value b = Value::String("1994-02-01");
+  Value c = Value::String("1995-01-01");
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_LT(b.Compare(c), 0);
+}
+
+}  // namespace
+}  // namespace dta::sql

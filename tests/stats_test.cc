@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/builder.h"
+#include "stats/histogram.h"
+#include "stats/statistics.h"
+#include "storage/datagen.h"
+
+namespace dta::stats {
+namespace {
+
+std::vector<sql::Value> IntValues(const std::vector<int64_t>& v) {
+  std::vector<sql::Value> out;
+  out.reserve(v.size());
+  for (int64_t x : v) out.push_back(sql::Value::Int(x));
+  return out;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  Histogram h = Histogram::Build({}, 1.0);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.EstimateEquals(sql::Value::Int(1)), 0);
+}
+
+TEST(HistogramTest, TotalAndDistinct) {
+  Histogram h = Histogram::Build(IntValues({1, 1, 2, 3, 3, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_rows(), 6.0);
+  EXPECT_DOUBLE_EQ(h.distinct_count(), 3.0);
+  EXPECT_EQ(h.MinValue().AsInt(), 1);
+  EXPECT_EQ(h.MaxValue().AsInt(), 3);
+}
+
+TEST(HistogramTest, ScaleMultipliesCounts) {
+  Histogram h = Histogram::Build(IntValues({1, 2, 3, 4}), 100.0);
+  EXPECT_DOUBLE_EQ(h.total_rows(), 400.0);
+}
+
+TEST(HistogramTest, EqualityEstimates) {
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.push_back(i % 10);  // 10 each of 0..9
+  Histogram h = Histogram::Build(IntValues(vals), 1.0, 200);
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_NEAR(h.EstimateEquals(sql::Value::Int(v)), 10.0, 4.0) << v;
+  }
+  EXPECT_EQ(h.EstimateEquals(sql::Value::Int(99)), 0);
+  EXPECT_EQ(h.EstimateEquals(sql::Value::Int(-1)), 0);
+}
+
+TEST(HistogramTest, RangeEstimates) {
+  std::vector<int64_t> vals;
+  for (int i = 1; i <= 1000; ++i) vals.push_back(i);
+  Histogram h = Histogram::Build(IntValues(vals), 1.0, 100);
+  // Half-open and closed ranges.
+  double half = h.EstimateRange(sql::Value::Int(1), true,
+                                sql::Value::Int(500), true);
+  EXPECT_NEAR(half, 500, 30);
+  double unbounded_hi =
+      h.EstimateRange(sql::Value::Int(901), true, std::nullopt, false);
+  EXPECT_NEAR(unbounded_hi, 100, 30);
+  double all = h.EstimateRange(std::nullopt, false, std::nullopt, false);
+  EXPECT_DOUBLE_EQ(all, 1000);
+  double empty = h.EstimateRange(sql::Value::Int(2000), true,
+                                 std::nullopt, false);
+  EXPECT_NEAR(empty, 0, 1e-6);
+}
+
+TEST(HistogramTest, RangeInterpolatesWithinStep) {
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 10000; ++i) vals.push_back(i);
+  Histogram h = Histogram::Build(IntValues(vals), 1.0, 10);  // coarse steps
+  double q = h.EstimateRange(std::nullopt, false, sql::Value::Int(2500), true);
+  EXPECT_NEAR(q, 2500, 600);
+}
+
+TEST(HistogramTest, LikePrefix) {
+  std::vector<sql::Value> vals;
+  for (int i = 0; i < 50; ++i) vals.push_back(sql::Value::String("apple"));
+  for (int i = 0; i < 50; ++i) vals.push_back(sql::Value::String("banana"));
+  Histogram h = Histogram::Build(std::move(vals), 1.0);
+  EXPECT_NEAR(h.EstimateLikePrefix("app"), 50, 10);
+  EXPECT_NEAR(h.EstimateLikePrefix("zzz"), 0, 1);
+  EXPECT_DOUBLE_EQ(h.EstimateLikePrefix(""), 100);
+}
+
+TEST(HistogramTest, ValueAtFraction) {
+  std::vector<int64_t> vals;
+  for (int i = 1; i <= 1000; ++i) vals.push_back(i);
+  Histogram h = Histogram::Build(IntValues(vals), 1.0, 100);
+  EXPECT_NEAR(static_cast<double>(
+                  h.ValueAtFraction(0.5).AsInt()),
+              500, 30);
+  EXPECT_EQ(h.ValueAtFraction(1.0).AsInt(), 1000);
+  EXPECT_LE(h.ValueAtFraction(0.0).AsInt(), 20);
+}
+
+TEST(HistogramTest, MaxStepsRespected) {
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 100000; ++i) vals.push_back(i);
+  Histogram h = Histogram::Build(IntValues(vals), 1.0, 200);
+  EXPECT_LE(h.steps().size(), 210u);
+  EXPECT_GE(h.steps().size(), 150u);
+}
+
+TEST(StatsKeyTest, Canonical) {
+  StatsKey k("TPCH", "LineItem", {"L_ShipDate", "L_OrderKey"});
+  EXPECT_EQ(k.CanonicalString(), "tpch.lineitem(l_shipdate,l_orderkey)");
+  StatsKey k2("tpch", "lineitem", {"l_shipdate", "l_orderkey"});
+  EXPECT_TRUE(k == k2);
+  StatsKey k3("tpch", "lineitem", {"l_orderkey", "l_shipdate"});
+  EXPECT_FALSE(k == k3);  // order is part of identity
+}
+
+Statistics MakeStat(const std::string& table,
+                    std::vector<std::string> columns,
+                    std::vector<double> distinct) {
+  Statistics s;
+  s.key = StatsKey("db", table, std::move(columns));
+  s.prefix_distinct = std::move(distinct);
+  s.row_count = 1000;
+  s.histogram = Histogram::Build(IntValues({1, 2, 3, 4, 5}), 200.0);
+  return s;
+}
+
+TEST(StatsManagerTest, PutFindContains) {
+  StatsManager m;
+  m.Put(MakeStat("t", {"a", "b"}, {10, 100}));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Contains(StatsKey("db", "t", {"a", "b"})));
+  EXPECT_FALSE(m.Contains(StatsKey("db", "t", {"b", "a"})));
+  EXPECT_NE(m.Find(StatsKey("db", "t", {"a", "b"})), nullptr);
+}
+
+TEST(StatsManagerTest, FindHistogramPrefersNarrowest) {
+  StatsManager m;
+  m.Put(MakeStat("t", {"a", "b", "c"}, {10, 100, 1000}));
+  m.Put(MakeStat("t", {"a"}, {10}));
+  const Statistics* s = m.FindHistogram("db", "t", "a");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->key.columns.size(), 1u);
+  EXPECT_EQ(m.FindHistogram("db", "t", "b"), nullptr);  // b not leading
+}
+
+TEST(StatsManagerTest, DensityIsOrderInsensitive) {
+  StatsManager m;
+  m.Put(MakeStat("t", {"a", "b", "c"}, {10, 100, 1000}));
+  auto d_ab = m.DistinctCount("db", "t", {"a", "b"});
+  ASSERT_TRUE(d_ab.has_value());
+  EXPECT_DOUBLE_EQ(*d_ab, 100);
+  auto d_ba = m.DistinctCount("db", "t", {"b", "a"});
+  ASSERT_TRUE(d_ba.has_value());
+  EXPECT_DOUBLE_EQ(*d_ba, 100);  // Density(A,B) == Density(B,A)
+  EXPECT_FALSE(m.DistinctCount("db", "t", {"b"}).has_value());  // not prefix
+  EXPECT_FALSE(m.DistinctCount("db", "t", {"a", "c"}).has_value());
+  auto d_abc = m.DistinctCount("db", "t", {"c", "a", "b"});
+  ASSERT_TRUE(d_abc.has_value());
+  EXPECT_DOUBLE_EQ(*d_abc, 1000);
+}
+
+TEST(StatsManagerTest, PrefixDensity) {
+  Statistics s = MakeStat("t", {"a", "b"}, {10, 100});
+  EXPECT_DOUBLE_EQ(s.PrefixDensity(1), 0.1);
+  EXPECT_DOUBLE_EQ(s.PrefixDensity(2), 0.01);
+  EXPECT_DOUBLE_EQ(s.PrefixDensity(0), 1.0);
+}
+
+TEST(BuilderTest, BuildFromDataBasics) {
+  catalog::TableSchema schema(
+      "t", {{"k", catalog::ColumnType::kInt, 8},
+            {"g", catalog::ColumnType::kInt, 8}});
+  schema.set_row_count(10000);
+  storage::TableGenSpec spec;
+  spec.schema = schema;
+  spec.column_specs = {storage::ColumnSpec::Sequential(),
+                       storage::ColumnSpec::UniformInt(1, 50)};
+  spec.rows = 10000;
+  Random rng(1);
+  auto data = storage::GenerateTable(spec, &rng);
+  ASSERT_TRUE(data.ok());
+
+  auto stats = BuildFromData("db", schema, *data, {"k", "g"});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_DOUBLE_EQ(stats->row_count, 10000);
+  EXPECT_NEAR(stats->prefix_distinct[0], 10000, 500);   // key column
+  EXPECT_NEAR(stats->prefix_distinct[1], 10000, 500);   // (k,g) still unique
+  EXPECT_GT(stats->build_duration_ms, 0);
+
+  auto gstats = BuildFromData("db", schema, *data, {"g"});
+  ASSERT_TRUE(gstats.ok());
+  EXPECT_NEAR(gstats->prefix_distinct[0], 50, 5);
+  EXPECT_NEAR(gstats->histogram.EstimateEquals(sql::Value::Int(25)),
+              200.0, 80.0);
+}
+
+TEST(BuilderTest, BuildErrors) {
+  catalog::TableSchema schema("t", {{"k", catalog::ColumnType::kInt, 8}});
+  storage::TableData data(schema);
+  EXPECT_FALSE(BuildFromData("db", schema, data, {}).ok());
+  EXPECT_FALSE(BuildFromData("db", schema, data, {"missing"}).ok());
+}
+
+TEST(BuilderTest, SynthesizeFromSpecs) {
+  catalog::TableSchema schema(
+      "t", {{"k", catalog::ColumnType::kInt, 8},
+            {"d", catalog::ColumnType::kString, 10}});
+  schema.set_row_count(1000000);
+  std::vector<storage::ColumnSpec> specs = {
+      storage::ColumnSpec::Sequential(),
+      storage::ColumnSpec::Date("1994-01-01", 1000)};
+  Random rng(5);
+  auto stats = SynthesizeFromSpecs("db", schema, specs, {"d", "k"}, &rng);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_DOUBLE_EQ(stats->row_count, 1000000);
+  EXPECT_NEAR(stats->prefix_distinct[0], 1000, 100);     // ~1000 dates
+  EXPECT_DOUBLE_EQ(stats->prefix_distinct[1], 1000000);  // capped at rows
+  // Histogram covers the date domain.
+  EXPECT_GE(stats->histogram.MinValue().AsString(), std::string("1994-01-01"));
+}
+
+TEST(BuilderTest, DurationNearlyIndependentOfColumnCount) {
+  double one = SimulatedCreateDurationMs(1000000, 100, 1);
+  double five = SimulatedCreateDurationMs(1000000, 100, 5);
+  EXPECT_GT(five, one);
+  // Paper §5.2: the I/O term dominates; extra columns change cost little.
+  EXPECT_LT(five / one, 1.5);
+}
+
+TEST(BuilderTest, DurationGrowsWithTableSize) {
+  EXPECT_GT(SimulatedCreateDurationMs(10000000, 100, 1),
+            SimulatedCreateDurationMs(10000, 100, 1));
+}
+
+}  // namespace
+}  // namespace dta::stats

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/datagen.h"
+#include "storage/table_data.h"
+
+namespace dta::storage {
+namespace {
+
+catalog::TableSchema MakeSchema() {
+  return catalog::TableSchema(
+      "t", {{"id", catalog::ColumnType::kInt, 8},
+            {"price", catalog::ColumnType::kDouble, 8},
+            {"name", catalog::ColumnType::kString, 12}});
+}
+
+TEST(TableDataTest, AppendAndGet) {
+  TableData d(MakeSchema());
+  ASSERT_TRUE(d.AppendRow({sql::Value::Int(1), sql::Value::Double(9.5),
+                           sql::Value::String("alpha")})
+                  .ok());
+  ASSERT_TRUE(d.AppendRow({sql::Value::Int(2), sql::Value::Int(3),
+                           sql::Value::String("beta")})
+                  .ok());  // int into double column OK
+  EXPECT_EQ(d.row_count(), 2u);
+  EXPECT_EQ(d.GetValue(0, 0).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(d.GetValue(1, 1).ToDouble(), 3.0);
+  EXPECT_EQ(d.GetValue(1, 2).AsString(), "beta");
+}
+
+TEST(TableDataTest, AppendTypeErrors) {
+  TableData d(MakeSchema());
+  EXPECT_FALSE(d.AppendRow({sql::Value::String("x"), sql::Value::Double(1),
+                            sql::Value::String("y")})
+                   .ok());
+  EXPECT_FALSE(d.AppendRow({sql::Value::Int(1)}).ok());  // arity
+}
+
+TEST(TableDataTest, CompareRows) {
+  TableData d(MakeSchema());
+  ASSERT_TRUE(d.AppendRow({sql::Value::Int(1), sql::Value::Double(2.0),
+                           sql::Value::String("a")})
+                  .ok());
+  ASSERT_TRUE(d.AppendRow({sql::Value::Int(1), sql::Value::Double(1.0),
+                           sql::Value::String("b")})
+                  .ok());
+  EXPECT_EQ(d.CompareRows(0, 1, {0}), 0);
+  EXPECT_GT(d.CompareRows(0, 1, {0, 1}), 0);
+  EXPECT_LT(d.CompareRows(0, 1, {2}), 0);
+}
+
+TEST(TableDataTest, CompareRowToKey) {
+  TableData d(MakeSchema());
+  ASSERT_TRUE(d.AppendRow({sql::Value::Int(5), sql::Value::Double(2.0),
+                           sql::Value::String("a")})
+                  .ok());
+  EXPECT_EQ(d.CompareRowToKey(0, {0}, {sql::Value::Int(5)}), 0);
+  EXPECT_GT(d.CompareRowToKey(0, {0}, {sql::Value::Int(4)}), 0);
+  EXPECT_LT(d.CompareRowToKey(0, {0}, {sql::Value::Int(6)}), 0);
+}
+
+TEST(DateStringTest, Arithmetic) {
+  EXPECT_EQ(DateString("1992-01-01", 0), "1992-01-01");
+  EXPECT_EQ(DateString("1992-01-01", 31), "1992-02-01");
+  EXPECT_EQ(DateString("1992-02-28", 1), "1992-02-29");  // leap year
+  EXPECT_EQ(DateString("1993-02-28", 1), "1993-03-01");  // non-leap
+  EXPECT_EQ(DateString("1992-12-31", 1), "1993-01-01");
+  EXPECT_EQ(DateString("1998-12-01", -30), "1998-11-01");
+}
+
+TEST(ColumnSpecTest, SampleBounds) {
+  Random rng(1);
+  ColumnSpec u = ColumnSpec::UniformInt(10, 20);
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = u.Sample(0, &rng).AsInt();
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+  ColumnSpec z = ColumnSpec::ZipfInt(100, 50, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = z.Sample(0, &rng).AsInt();
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 149);
+  }
+  ColumnSpec seq = ColumnSpec::Sequential();
+  EXPECT_EQ(seq.Sample(41, &rng).AsInt(), 42);  // lo defaults to 1
+}
+
+TEST(ColumnSpecTest, DateSamplesWithinRange) {
+  Random rng(2);
+  ColumnSpec d = ColumnSpec::Date("1994-01-01", 365);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = d.Sample(0, &rng).AsString();
+    EXPECT_GE(s, std::string("1994-01-01"));
+    EXPECT_LT(s, std::string("1995-01-01"));
+  }
+}
+
+TEST(ColumnSpecTest, StringPoolDistinct) {
+  Random rng(3);
+  ColumnSpec s = ColumnSpec::StringPool("nation", 5);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(s.Sample(0, &rng).AsString());
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.begin()->substr(0, 6), "nation");
+}
+
+TEST(ColumnSpecTest, ExpectedDistinct) {
+  EXPECT_DOUBLE_EQ(ColumnSpec::Sequential().ExpectedDistinct(1000), 1000.0);
+  double d = ColumnSpec::UniformInt(1, 100).ExpectedDistinct(10000);
+  EXPECT_GT(d, 95.0);
+  EXPECT_LE(d, 100.0);
+  double small = ColumnSpec::UniformInt(1, 1000000).ExpectedDistinct(100);
+  EXPECT_GT(small, 90.0);
+  EXPECT_LE(small, 100.0);
+}
+
+TEST(GenerateTableTest, GeneratesAllColumns) {
+  TableGenSpec spec;
+  spec.schema = MakeSchema();
+  spec.schema.set_row_count(1000);
+  spec.column_specs = {ColumnSpec::Sequential(),
+                       ColumnSpec::UniformReal(0.0, 100.0),
+                       ColumnSpec::StringPool("n", 10)};
+  spec.rows = 1000;
+  Random rng(7);
+  auto data = GenerateTable(spec, &rng);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->row_count(), 1000u);
+  EXPECT_EQ(data->GetValue(0, 0).AsInt(), 1);
+  EXPECT_EQ(data->GetValue(999, 0).AsInt(), 1000);
+}
+
+TEST(GenerateTableTest, SpecSchemaMismatch) {
+  TableGenSpec spec;
+  spec.schema = MakeSchema();
+  spec.column_specs = {ColumnSpec::Sequential()};  // wrong count
+  spec.rows = 10;
+  Random rng(1);
+  EXPECT_FALSE(GenerateTable(spec, &rng).ok());
+
+  spec.column_specs = {ColumnSpec::Sequential(), ColumnSpec::Sequential(),
+                       ColumnSpec::Sequential()};  // wrong type for col 1
+  EXPECT_FALSE(GenerateTable(spec, &rng).ok());
+}
+
+TEST(SampleColumnTest, Sizes) {
+  Random rng(1);
+  auto vals = SampleColumn(ColumnSpec::UniformInt(1, 5), 50, &rng);
+  EXPECT_EQ(vals.size(), 50u);
+}
+
+}  // namespace
+}  // namespace dta::storage

@@ -1,0 +1,209 @@
+// Unit tests for materialized-view matching (optimizer/view_matching.h):
+// compensation (residual predicates, re-aggregation), fold rules, and the
+// conservative rejection cases.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "optimizer/view_matching.h"
+#include "sql/parser.h"
+
+namespace dta::optimizer {
+namespace {
+
+using catalog::ColumnType;
+using catalog::TableSchema;
+
+class ViewMatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new catalog::Catalog();
+    TableSchema orders("orders", {{"o_id", ColumnType::kInt, 8},
+                                  {"o_cust", ColumnType::kInt, 8},
+                                  {"o_date", ColumnType::kString, 10},
+                                  {"o_amount", ColumnType::kDouble, 8}});
+    orders.set_row_count(10000);
+    TableSchema items("items", {{"i_oid", ColumnType::kInt, 8},
+                                {"i_part", ColumnType::kInt, 8},
+                                {"i_qty", ColumnType::kDouble, 8}});
+    items.set_row_count(50000);
+    catalog::Database db("db");
+    ASSERT_TRUE(db.AddTable(orders).ok());
+    ASSERT_TRUE(db.AddTable(items).ok());
+    ASSERT_TRUE(catalog_->AddDatabase(std::move(db)).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  struct Parsed {
+    std::shared_ptr<sql::SelectStatement> stmt;
+    BoundQuery bound;
+  };
+
+  static Parsed Bind(const char* text) {
+    auto parsed = sql::ParseStatement(text);
+    EXPECT_TRUE(parsed.ok()) << text;
+    Parsed out;
+    out.stmt =
+        std::make_shared<sql::SelectStatement>(parsed->select().Clone());
+    auto bound = BindSelect(*out.stmt, *catalog_);
+    EXPECT_TRUE(bound.ok()) << text << ": " << bound.status().ToString();
+    out.bound = std::move(bound).value();
+    return out;
+  }
+
+  static std::optional<ViewMatchInfo> Match(const char* query,
+                                            const char* view_def) {
+    Parsed q = Bind(query);
+    Parsed v = Bind(view_def);
+    view_.definition = v.stmt;
+    view_.referenced_tables.clear();
+    for (const auto& tr : v.stmt->from) {
+      view_.referenced_tables.push_back(tr.table);
+    }
+    return MatchView(q.bound, v.bound, view_);
+  }
+
+  static catalog::Catalog* catalog_;
+  static catalog::ViewDef view_;
+};
+
+catalog::Catalog* ViewMatchTest::catalog_ = nullptr;
+catalog::ViewDef ViewMatchTest::view_;
+
+TEST_F(ViewMatchTest, ExactMatchNoResiduals) {
+  auto m = Match("SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust",
+                 "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->residual_atoms.empty());
+  EXPECT_TRUE(m->view_has_groupby);
+  EXPECT_TRUE(m->reaggregate);  // re-aggregation is always safe
+  ASSERT_EQ(m->item_sources.size(), 2u);
+  EXPECT_TRUE(m->item_sources[0].compute_from_columns);
+  EXPECT_EQ(m->item_sources[1].fold, sql::AggFunc::kSum);  // COUNT -> SUM
+}
+
+TEST_F(ViewMatchTest, CoarserGroupingFoldsAggregates) {
+  auto m = Match(
+      "SELECT o_cust, SUM(o_amount), MIN(o_amount) FROM orders GROUP BY "
+      "o_cust",
+      "SELECT o_cust, o_date, SUM(o_amount), MIN(o_amount), COUNT(*) FROM "
+      "orders GROUP BY o_cust, o_date");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->item_sources[1].fold, sql::AggFunc::kSum);
+  EXPECT_EQ(m->item_sources[2].fold, sql::AggFunc::kMin);
+}
+
+TEST_F(ViewMatchTest, ResidualRangeContainment) {
+  // Query range strictly inside the view's range: match with residual.
+  auto m = Match(
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date >= '2001-01-01' "
+      "AND o_date < '2001-06-01' GROUP BY o_cust",
+      "SELECT o_cust, o_date, COUNT(*) FROM orders WHERE o_date >= "
+      "'2000-01-01' GROUP BY o_cust, o_date");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->residual_atoms.size(), 2u);
+}
+
+TEST_F(ViewMatchTest, RejectWhenViewStricter) {
+  // View keeps only 2002+; the query needs everything.
+  auto m = Match(
+      "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust",
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date >= '2002-01-01' "
+      "GROUP BY o_cust");
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST_F(ViewMatchTest, RejectResidualColumnNotExposed) {
+  // The query filters on o_date but the view does not expose it.
+  auto m = Match(
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date >= '2002-01-01' "
+      "GROUP BY o_cust",
+      "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust");
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST_F(ViewMatchTest, RejectFinerGrouping) {
+  auto m = Match(
+      "SELECT o_cust, o_date, COUNT(*) FROM orders GROUP BY o_cust, o_date",
+      "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust");
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST_F(ViewMatchTest, RejectJoinGraphMismatch) {
+  auto m = Match(
+      "SELECT o_cust, COUNT(*) FROM orders, items WHERE o_id = i_oid GROUP "
+      "BY o_cust",
+      "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust");
+  EXPECT_FALSE(m.has_value());
+  auto m2 = Match(
+      "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust",
+      "SELECT o_cust, COUNT(*) FROM orders, items WHERE o_id = i_oid GROUP "
+      "BY o_cust");
+  EXPECT_FALSE(m2.has_value());
+}
+
+TEST_F(ViewMatchTest, JoinViewMatchesJoinQuery) {
+  auto m = Match(
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust",
+      "SELECT o_cust, SUM(i_qty) AS q, COUNT(*) AS c FROM orders, items "
+      "WHERE o_id = i_oid GROUP BY o_cust");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->item_sources[1].fold, sql::AggFunc::kSum);
+}
+
+TEST_F(ViewMatchTest, AvgNeedsSumAndCount) {
+  auto ok = Match(
+      "SELECT o_cust, AVG(o_amount) FROM orders GROUP BY o_cust",
+      "SELECT o_cust, SUM(o_amount) AS s, COUNT(*) AS c FROM orders GROUP "
+      "BY o_cust");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_GE(ok->item_sources[1].avg_sum_col, 0);
+  EXPECT_GE(ok->item_sources[1].avg_cnt_col, 0);
+
+  auto missing_count = Match(
+      "SELECT o_cust, AVG(o_amount) FROM orders GROUP BY o_cust",
+      "SELECT o_cust, SUM(o_amount) AS s FROM orders GROUP BY o_cust");
+  EXPECT_FALSE(missing_count.has_value());
+}
+
+TEST_F(ViewMatchTest, RejectCountDistinct) {
+  auto m = Match(
+      "SELECT o_cust, COUNT(DISTINCT o_date) FROM orders GROUP BY o_cust",
+      "SELECT o_cust, o_date, COUNT(*) FROM orders GROUP BY o_cust, o_date");
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST_F(ViewMatchTest, RejectAggViewForPlainQuery) {
+  auto m = Match("SELECT o_cust, o_amount FROM orders",
+                 "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust");
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST_F(ViewMatchTest, SpjViewServesAggregateQuery) {
+  auto m = Match(
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust",
+      "SELECT o_cust, i_qty FROM orders, items WHERE o_id = i_oid");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(m->view_has_groupby);
+  EXPECT_TRUE(m->reaggregate);
+  EXPECT_TRUE(m->item_sources[1].compute_from_columns);
+}
+
+TEST_F(ViewMatchTest, ExactPredicateIsAbsorbed) {
+  auto m = Match(
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date >= '2002-01-01' "
+      "GROUP BY o_cust",
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date >= '2002-01-01' "
+      "GROUP BY o_cust");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->residual_atoms.empty());  // applied inside the view
+}
+
+}  // namespace
+}  // namespace dta::optimizer

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "workload/compression.h"
+#include "workload/workload.h"
+
+namespace dta::workload {
+namespace {
+
+TEST(WorkloadTest, FromScript) {
+  auto w = Workload::FromScript(
+      "SELECT a FROM t WHERE b = 1; UPDATE t SET a = 2 WHERE b = 3; "
+      "DELETE FROM t WHERE b = 9;");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->size(), 3u);
+  EXPECT_DOUBLE_EQ(w->TotalWeight(), 3.0);
+  EXPECT_NEAR(w->UpdateFraction(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(w->DistinctTemplates(), 3u);
+}
+
+TEST(WorkloadTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(Workload::FromScript("SELECT FROM nothing").ok());
+}
+
+TEST(WorkloadTest, TemplatesShareSignatures) {
+  auto w = Workload::FromScript(
+      "SELECT a FROM t WHERE b = 1; SELECT a FROM t WHERE b = 2; "
+      "SELECT a FROM t WHERE c = 1;");
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->DistinctTemplates(), 2u);
+  EXPECT_EQ(w->statements()[0].signature, w->statements()[1].signature);
+  EXPECT_NE(w->statements()[0].signature, w->statements()[2].signature);
+}
+
+Workload TemplatizedWorkload(size_t per_template, int templates,
+                             uint64_t seed) {
+  Random rng(seed);
+  Workload w;
+  for (int t = 0; t < templates; ++t) {
+    for (size_t i = 0; i < per_template; ++i) {
+      std::string q = StrFormat(
+          "SELECT c%d FROM t WHERE k%d = %lld AND v < %lld", t, t,
+          static_cast<long long>(rng.Uniform(1, 1000)),
+          static_cast<long long>(rng.Uniform(1, 100)));
+      auto s = Workload::FromScript(q);
+      EXPECT_TRUE(s.ok());
+      w.Add(s->statements()[0].stmt.Clone());
+    }
+  }
+  return w;
+}
+
+TEST(CompressionTest, SmallWorkloadsPassThrough) {
+  Workload w = TemplatizedWorkload(4, 5, 1);  // 20 statements < min size
+  CompressionStats stats;
+  Workload c = CompressWorkload(w, {}, &stats);
+  EXPECT_EQ(c.size(), w.size());
+  EXPECT_DOUBLE_EQ(stats.CompressionRatio(), 1.0);
+}
+
+TEST(CompressionTest, TemplatizedWorkloadCompressesHard) {
+  Workload w = TemplatizedWorkload(100, 10, 2);  // 1000 statements
+  CompressionStats stats;
+  Workload c = CompressWorkload(w, {}, &stats);
+  EXPECT_EQ(stats.original_statements, 1000u);
+  EXPECT_EQ(stats.templates, 10u);
+  EXPECT_LE(c.size(), 10u * 8u);  // at most the per-template cap
+  EXPECT_GE(stats.CompressionRatio(), 10.0);
+  // Weight is conserved.
+  EXPECT_NEAR(c.TotalWeight(), 1000.0, 1e-6);
+}
+
+TEST(CompressionTest, DistinctTemplatesDoNotCompress) {
+  // Every statement its own template (like TPCH22): nothing to merge.
+  Workload w;
+  for (int i = 0; i < 50; ++i) {
+    auto s = Workload::FromScript(
+        StrFormat("SELECT a%d FROM t%d WHERE b%d = 1", i, i, i));
+    ASSERT_TRUE(s.ok());
+    w.Add(s->statements()[0].stmt.Clone());
+  }
+  CompressionStats stats;
+  Workload c = CompressWorkload(w, {}, &stats);
+  EXPECT_EQ(c.size(), 50u);
+  EXPECT_DOUBLE_EQ(stats.CompressionRatio(), 1.0);
+}
+
+TEST(CompressionTest, RepresentativesCoverConstantSpread) {
+  // Two clearly separated constant clusters must yield >= 2 representatives.
+  Workload w;
+  for (int i = 0; i < 40; ++i) {
+    long long v = i < 20 ? 10 + i % 3 : 100000 + i % 3;
+    auto s = Workload::FromScript(
+        StrFormat("SELECT a FROM t WHERE b = %lld", v));
+    ASSERT_TRUE(s.ok());
+    w.Add(s->statements()[0].stmt.Clone());
+  }
+  CompressionStats stats;
+  Workload c = CompressWorkload(w, {}, &stats);
+  EXPECT_GE(c.size(), 2u);
+  EXPECT_LE(c.size(), 8u);
+  EXPECT_NEAR(c.TotalWeight(), 40.0, 1e-6);
+}
+
+TEST(CompressionTest, UpdatesCompressToo) {
+  Random rng(5);
+  Workload w;
+  for (int i = 0; i < 200; ++i) {
+    auto s = Workload::FromScript(
+        StrFormat("UPDATE t SET v = %lld WHERE k = %lld",
+                  static_cast<long long>(rng.Uniform(1, 50)),
+                  static_cast<long long>(rng.Uniform(1, 10000))));
+    ASSERT_TRUE(s.ok());
+    w.Add(s->statements()[0].stmt.Clone());
+  }
+  CompressionStats stats;
+  Workload c = CompressWorkload(w, {}, &stats);
+  EXPECT_LE(c.size(), 8u);
+  EXPECT_NEAR(c.TotalWeight(), 200.0, 1e-6);
+  EXPECT_FALSE(c.statements()[0].stmt.is_select());
+}
+
+TEST(CompressionTest, ThresholdControlsGranularity) {
+  Workload w = TemplatizedWorkload(100, 4, 9);
+  CompressionOptions fine;
+  fine.distance_threshold = 0.05;
+  CompressionOptions coarse;
+  coarse.distance_threshold = 0.9;
+  Workload cf = CompressWorkload(w, fine);
+  Workload cc = CompressWorkload(w, coarse);
+  EXPECT_GE(cf.size(), cc.size());
+  EXPECT_LE(cc.size(), 4u * 2u);
+}
+
+}  // namespace
+}  // namespace dta::workload

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "xmlio/xml.h"
+
+namespace dta::xml {
+namespace {
+
+TEST(XmlElementTest, AttributesSetAndGet) {
+  Element e("Server");
+  e.SetAttr("Name", "prod01");
+  e.SetAttr("Name", "prod02");  // overwrite
+  e.SetAttr("Port", "1433");
+  EXPECT_EQ(e.Attr("Name"), "prod02");
+  EXPECT_EQ(e.Attr("Port"), "1433");
+  EXPECT_EQ(e.Attr("missing"), "");
+  EXPECT_TRUE(e.HasAttr("Port"));
+  EXPECT_FALSE(e.HasAttr("port"));  // case-sensitive attrs
+  EXPECT_EQ(e.attrs().size(), 2u);
+}
+
+TEST(XmlElementTest, ChildNavigation) {
+  Element root("DTAXML");
+  root.AddChild("Input");
+  Element* out = root.AddChild("Output");
+  out->AddTextChild("Cost", "123.5");
+  out->AddTextChild("Cost", "99");
+  EXPECT_NE(root.FindChild("Input"), nullptr);
+  EXPECT_EQ(root.FindChild("nope"), nullptr);
+  EXPECT_EQ(root.FindChildren("Output").size(), 1u);
+  EXPECT_EQ(out->FindChildren("Cost").size(), 2u);
+  EXPECT_EQ(out->ChildText("Cost"), "123.5");
+  EXPECT_EQ(out->ChildText("none"), "");
+}
+
+TEST(XmlEscapeTest, AllFiveEntities) {
+  EXPECT_EQ(Escape("a&b<c>d\"e'f"), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+}
+
+TEST(XmlRoundTripTest, SerializeThenParse) {
+  Element root("Workload");
+  root.SetAttr("events", "3");
+  Element* s = root.AddChild("Statement");
+  s->SetAttr("weight", "2.5");
+  s->set_text("SELECT * FROM t WHERE a < 10 AND b = 'x&y'");
+  root.AddTextChild("Note", "hand-tuned <design>");
+
+  std::string text = root.ToString(/*prolog=*/true);
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Element& r = **parsed;
+  EXPECT_EQ(r.name(), "Workload");
+  EXPECT_EQ(r.Attr("events"), "3");
+  ASSERT_NE(r.FindChild("Statement"), nullptr);
+  EXPECT_EQ(r.FindChild("Statement")->Attr("weight"), "2.5");
+  EXPECT_EQ(r.FindChild("Statement")->text(),
+            "SELECT * FROM t WHERE a < 10 AND b = 'x&y'");
+  EXPECT_EQ(r.ChildText("Note"), "hand-tuned <design>");
+}
+
+TEST(XmlParseTest, SelfClosingAndNesting) {
+  auto r = Parse("<a><b x='1'/><b x=\"2\"><c/></b></a>");
+  ASSERT_TRUE(r.ok());
+  auto bs = (*r)->FindChildren("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->Attr("x"), "1");
+  EXPECT_EQ(bs[1]->Attr("x"), "2");
+  EXPECT_NE(bs[1]->FindChild("c"), nullptr);
+}
+
+TEST(XmlParseTest, SkipsPrologAndComments) {
+  auto r = Parse(
+      "<?xml version=\"1.0\"?>\n<!-- header comment -->\n"
+      "<root><!-- inner --><x/></root>\n<!-- trailing -->");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE((*r)->FindChild("x"), nullptr);
+}
+
+TEST(XmlParseTest, EntityDecoding) {
+  auto r = Parse("<t a='&lt;&amp;&gt;'>x &quot;y&quot; &apos;z&apos;</t>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->Attr("a"), "<&>");
+  EXPECT_EQ((*r)->text(), "x \"y\" 'z'");
+}
+
+TEST(XmlParseTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("plain text").ok());
+  EXPECT_FALSE(Parse("<a>").ok());
+  EXPECT_FALSE(Parse("<a></b>").ok());
+  EXPECT_FALSE(Parse("<a x=1/>").ok());            // unquoted attr
+  EXPECT_FALSE(Parse("<a>&unknown;</a>").ok());    // bad entity
+  EXPECT_FALSE(Parse("<a/><b/>").ok());            // two roots
+}
+
+TEST(XmlParseTest, WhitespaceAroundTextIsTrimmed) {
+  auto r = Parse("<t>\n   hello world   \n</t>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->text(), "hello world");
+}
+
+}  // namespace
+}  // namespace dta::xml

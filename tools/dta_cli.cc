@@ -1,0 +1,170 @@
+// dta_cli — command-line front end, mirroring DTA's command-line executable
+// (paper §2.1: "It can be run either from a graphical user interface or
+// using a command-line executable").
+//
+// Usage:
+//   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
+//           [--evaluate] [--quiet]
+//
+//   --metadata  ServerMetadata XML (produced by Server::ScriptMetadata or
+//               written by hand): databases, tables, columns, row counts.
+//   --input     DTAXML input document: workload + tuning options
+//               (+ optional user-specified configuration).
+//   --output    Where to write the DTAXML output document (default stdout).
+//   --evaluate  Do not tune: evaluate the input's user-specified
+//               configuration against the workload (paper §6.3).
+//   --quiet     Suppress the human-readable report on stdout.
+//
+// The server built from metadata alone has no table data or generator
+// specs; statistics fall back to optimizer heuristics. This is DTA's
+// exploratory mode — point it at a real Server in-process for full
+// fidelity.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dta/tuning_session.h"
+#include "dta/xml_schema.h"
+#include "server/server.h"
+
+namespace {
+
+dta::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return dta::Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+dta::Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return dta::Status::Internal("cannot write file: " + path);
+  }
+  out << content;
+  return dta::Status::Ok();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --metadata server.xml --input tuning.xml "
+               "[--output out.xml] [--evaluate] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metadata_path, input_path, output_path;
+  bool evaluate = false, quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--metadata") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metadata_path = v;
+    } else if (arg == "--input") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      input_path = v;
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      output_path = v;
+    } else if (arg == "--evaluate") {
+      evaluate = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (metadata_path.empty() || input_path.empty()) return Usage(argv[0]);
+
+  auto metadata = ReadFile(metadata_path);
+  if (!metadata.ok()) {
+    std::fprintf(stderr, "%s\n", metadata.status().ToString().c_str());
+    return 1;
+  }
+  auto input_text = ReadFile(input_path);
+  if (!input_text.ok()) {
+    std::fprintf(stderr, "%s\n", input_text.status().ToString().c_str());
+    return 1;
+  }
+
+  auto input = dta::tuner::TuningInputFromXml(*input_text);
+  if (!input.ok()) {
+    std::fprintf(stderr, "bad DTAXML input: %s\n",
+                 input.status().ToString().c_str());
+    return 1;
+  }
+  auto server = dta::server::Server::FromMetadataScript(
+      *metadata,
+      input->server_name.empty() ? "server" : input->server_name,
+      dta::optimizer::HardwareParams());
+  if (!server.ok()) {
+    std::fprintf(stderr, "bad server metadata: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  dta::tuner::TuningSession session(server->get(), input->options);
+  std::string output_doc;
+  if (evaluate) {
+    auto result = session.EvaluateConfiguration(
+        input->workload, input->options.user_specified);
+    if (!result.ok()) {
+      std::fprintf(stderr, "evaluation failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("Configuration change vs current: %.1f%%\n%s",
+                  result->ChangePercent(), result->report.ToText().c_str());
+    }
+    output_doc = dta::tuner::TuningOutputToXml(
+        *input, input->options.user_specified, result->report);
+  } else {
+    auto result = session.Tune(input->workload);
+    if (!result.ok()) {
+      std::fprintf(stderr, "tuning failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf(
+          "Tuned %zu events in %.2fs (%zu what-if calls); expected "
+          "improvement %.1f%%\n%s",
+          result->events_tuned, result->tuning_time_ms / 1000.0,
+          result->whatif_calls, result->ImprovementPercent(),
+          result->report.ToText().c_str());
+    }
+    output_doc = dta::tuner::TuningOutputToXml(
+        *input, result->recommendation, result->report);
+  }
+
+  if (output_path.empty()) {
+    if (quiet) std::printf("%s", output_doc.c_str());
+  } else {
+    if (dta::Status s = WriteFile(output_path, output_doc); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("wrote %s (%zu bytes)\n", output_path.c_str(),
+                  output_doc.size());
+    }
+  }
+  return 0;
+}
