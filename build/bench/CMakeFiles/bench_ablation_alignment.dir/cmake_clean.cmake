@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alignment.dir/bench_ablation_alignment.cc.o"
+  "CMakeFiles/bench_ablation_alignment.dir/bench_ablation_alignment.cc.o.d"
+  "bench_ablation_alignment"
+  "bench_ablation_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_staged.dir/bench_ablation_staged.cc.o"
+  "CMakeFiles/bench_ablation_staged.dir/bench_ablation_staged.cc.o.d"
+  "bench_ablation_staged"
+  "bench_ablation_staged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_staged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

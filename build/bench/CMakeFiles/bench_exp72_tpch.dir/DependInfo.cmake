@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_exp72_tpch.cc" "bench/CMakeFiles/bench_exp72_tpch.dir/bench_exp72_tpch.cc.o" "gcc" "bench/CMakeFiles/bench_exp72_tpch.dir/bench_exp72_tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dta/CMakeFiles/dta_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dta_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dta_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dta_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/dta_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dta_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dta_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dta_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dta_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlio/CMakeFiles/dta_xmlio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp72_tpch.dir/bench_exp72_tpch.cc.o"
+  "CMakeFiles/bench_exp72_tpch.dir/bench_exp72_tpch.cc.o.d"
+  "bench_exp72_tpch"
+  "bench_exp72_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp72_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

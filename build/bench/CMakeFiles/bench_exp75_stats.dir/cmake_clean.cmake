@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp75_stats.dir/bench_exp75_stats.cc.o"
+  "CMakeFiles/bench_exp75_stats.dir/bench_exp75_stats.cc.o.d"
+  "bench_exp75_stats"
+  "bench_exp75_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp75_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_testserver.dir/bench_fig3_testserver.cc.o"
+  "CMakeFiles/bench_fig3_testserver.dir/bench_fig3_testserver.cc.o.d"
+  "bench_fig3_testserver"
+  "bench_fig3_testserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_testserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45_itw.dir/bench_fig45_itw.cc.o"
+  "CMakeFiles/bench_fig45_itw.dir/bench_fig45_itw.cc.o.d"
+  "bench_fig45_itw"
+  "bench_fig45_itw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_itw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

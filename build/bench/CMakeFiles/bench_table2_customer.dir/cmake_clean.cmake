@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_customer.dir/bench_table2_customer.cc.o"
+  "CMakeFiles/bench_table2_customer.dir/bench_table2_customer.cc.o.d"
+  "bench_table2_customer"
+  "bench_table2_customer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_customer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testserver_tuning.dir/testserver_tuning.cpp.o"
+  "CMakeFiles/testserver_tuning.dir/testserver_tuning.cpp.o.d"
+  "testserver_tuning"
+  "testserver_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testserver_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_exploration.dir/whatif_exploration.cpp.o"
+  "CMakeFiles/whatif_exploration.dir/whatif_exploration.cpp.o.d"
+  "whatif_exploration"
+  "whatif_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_scripting.dir/xml_scripting.cpp.o"
+  "CMakeFiles/xml_scripting.dir/xml_scripting.cpp.o.d"
+  "xml_scripting"
+  "xml_scripting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_scripting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

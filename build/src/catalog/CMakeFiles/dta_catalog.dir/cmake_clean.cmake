@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_catalog.dir/physical_design.cc.o"
+  "CMakeFiles/dta_catalog.dir/physical_design.cc.o.d"
+  "CMakeFiles/dta_catalog.dir/schema.cc.o"
+  "CMakeFiles/dta_catalog.dir/schema.cc.o.d"
+  "libdta_catalog.a"
+  "libdta_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

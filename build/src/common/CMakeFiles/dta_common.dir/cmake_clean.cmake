@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_common.dir/logging.cc.o"
+  "CMakeFiles/dta_common.dir/logging.cc.o.d"
+  "CMakeFiles/dta_common.dir/random.cc.o"
+  "CMakeFiles/dta_common.dir/random.cc.o.d"
+  "CMakeFiles/dta_common.dir/status.cc.o"
+  "CMakeFiles/dta_common.dir/status.cc.o.d"
+  "CMakeFiles/dta_common.dir/strings.cc.o"
+  "CMakeFiles/dta_common.dir/strings.cc.o.d"
+  "libdta_common.a"
+  "libdta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

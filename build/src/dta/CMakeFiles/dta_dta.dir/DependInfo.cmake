@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dta/candidates.cc" "src/dta/CMakeFiles/dta_dta.dir/candidates.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/candidates.cc.o.d"
+  "/root/repo/src/dta/column_groups.cc" "src/dta/CMakeFiles/dta_dta.dir/column_groups.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/column_groups.cc.o.d"
+  "/root/repo/src/dta/cost_service.cc" "src/dta/CMakeFiles/dta_dta.dir/cost_service.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/cost_service.cc.o.d"
+  "/root/repo/src/dta/enumeration.cc" "src/dta/CMakeFiles/dta_dta.dir/enumeration.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/enumeration.cc.o.d"
+  "/root/repo/src/dta/greedy.cc" "src/dta/CMakeFiles/dta_dta.dir/greedy.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/greedy.cc.o.d"
+  "/root/repo/src/dta/itw_baseline.cc" "src/dta/CMakeFiles/dta_dta.dir/itw_baseline.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/itw_baseline.cc.o.d"
+  "/root/repo/src/dta/merging.cc" "src/dta/CMakeFiles/dta_dta.dir/merging.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/merging.cc.o.d"
+  "/root/repo/src/dta/reduced_stats.cc" "src/dta/CMakeFiles/dta_dta.dir/reduced_stats.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/reduced_stats.cc.o.d"
+  "/root/repo/src/dta/report.cc" "src/dta/CMakeFiles/dta_dta.dir/report.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/report.cc.o.d"
+  "/root/repo/src/dta/staged_baseline.cc" "src/dta/CMakeFiles/dta_dta.dir/staged_baseline.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/staged_baseline.cc.o.d"
+  "/root/repo/src/dta/tuning_session.cc" "src/dta/CMakeFiles/dta_dta.dir/tuning_session.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/tuning_session.cc.o.d"
+  "/root/repo/src/dta/xml_schema.cc" "src/dta/CMakeFiles/dta_dta.dir/xml_schema.cc.o" "gcc" "src/dta/CMakeFiles/dta_dta.dir/xml_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dta_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlio/CMakeFiles/dta_xmlio.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dta_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dta_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/dta_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dta_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dta_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dta_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_dta.dir/candidates.cc.o"
+  "CMakeFiles/dta_dta.dir/candidates.cc.o.d"
+  "CMakeFiles/dta_dta.dir/column_groups.cc.o"
+  "CMakeFiles/dta_dta.dir/column_groups.cc.o.d"
+  "CMakeFiles/dta_dta.dir/cost_service.cc.o"
+  "CMakeFiles/dta_dta.dir/cost_service.cc.o.d"
+  "CMakeFiles/dta_dta.dir/enumeration.cc.o"
+  "CMakeFiles/dta_dta.dir/enumeration.cc.o.d"
+  "CMakeFiles/dta_dta.dir/greedy.cc.o"
+  "CMakeFiles/dta_dta.dir/greedy.cc.o.d"
+  "CMakeFiles/dta_dta.dir/itw_baseline.cc.o"
+  "CMakeFiles/dta_dta.dir/itw_baseline.cc.o.d"
+  "CMakeFiles/dta_dta.dir/merging.cc.o"
+  "CMakeFiles/dta_dta.dir/merging.cc.o.d"
+  "CMakeFiles/dta_dta.dir/reduced_stats.cc.o"
+  "CMakeFiles/dta_dta.dir/reduced_stats.cc.o.d"
+  "CMakeFiles/dta_dta.dir/report.cc.o"
+  "CMakeFiles/dta_dta.dir/report.cc.o.d"
+  "CMakeFiles/dta_dta.dir/staged_baseline.cc.o"
+  "CMakeFiles/dta_dta.dir/staged_baseline.cc.o.d"
+  "CMakeFiles/dta_dta.dir/tuning_session.cc.o"
+  "CMakeFiles/dta_dta.dir/tuning_session.cc.o.d"
+  "CMakeFiles/dta_dta.dir/xml_schema.cc.o"
+  "CMakeFiles/dta_dta.dir/xml_schema.cc.o.d"
+  "libdta_dta.a"
+  "libdta_dta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_dta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

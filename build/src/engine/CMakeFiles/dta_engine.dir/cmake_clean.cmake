@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_engine.dir/executor.cc.o"
+  "CMakeFiles/dta_engine.dir/executor.cc.o.d"
+  "libdta_engine.a"
+  "libdta_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

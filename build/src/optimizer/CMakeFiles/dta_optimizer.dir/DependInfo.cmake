@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/bound_query.cc" "src/optimizer/CMakeFiles/dta_optimizer.dir/bound_query.cc.o" "gcc" "src/optimizer/CMakeFiles/dta_optimizer.dir/bound_query.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/optimizer/CMakeFiles/dta_optimizer.dir/cardinality.cc.o" "gcc" "src/optimizer/CMakeFiles/dta_optimizer.dir/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/dta_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/dta_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/dta_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/dta_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/optimizer/CMakeFiles/dta_optimizer.dir/plan.cc.o" "gcc" "src/optimizer/CMakeFiles/dta_optimizer.dir/plan.cc.o.d"
+  "/root/repo/src/optimizer/view_matching.cc" "src/optimizer/CMakeFiles/dta_optimizer.dir/view_matching.cc.o" "gcc" "src/optimizer/CMakeFiles/dta_optimizer.dir/view_matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dta_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dta_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dta_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

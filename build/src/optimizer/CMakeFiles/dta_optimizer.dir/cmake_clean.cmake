@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_optimizer.dir/bound_query.cc.o"
+  "CMakeFiles/dta_optimizer.dir/bound_query.cc.o.d"
+  "CMakeFiles/dta_optimizer.dir/cardinality.cc.o"
+  "CMakeFiles/dta_optimizer.dir/cardinality.cc.o.d"
+  "CMakeFiles/dta_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/dta_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/dta_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/dta_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/dta_optimizer.dir/plan.cc.o"
+  "CMakeFiles/dta_optimizer.dir/plan.cc.o.d"
+  "CMakeFiles/dta_optimizer.dir/view_matching.cc.o"
+  "CMakeFiles/dta_optimizer.dir/view_matching.cc.o.d"
+  "libdta_optimizer.a"
+  "libdta_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdta_optimizer.a"
+)

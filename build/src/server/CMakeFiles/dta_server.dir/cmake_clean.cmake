@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_server.dir/server.cc.o"
+  "CMakeFiles/dta_server.dir/server.cc.o.d"
+  "libdta_server.a"
+  "libdta_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/dta_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/dta_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/dta_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/dta_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/printer.cc" "src/sql/CMakeFiles/dta_sql.dir/printer.cc.o" "gcc" "src/sql/CMakeFiles/dta_sql.dir/printer.cc.o.d"
+  "/root/repo/src/sql/signature.cc" "src/sql/CMakeFiles/dta_sql.dir/signature.cc.o" "gcc" "src/sql/CMakeFiles/dta_sql.dir/signature.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/sql/CMakeFiles/dta_sql.dir/token.cc.o" "gcc" "src/sql/CMakeFiles/dta_sql.dir/token.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/sql/CMakeFiles/dta_sql.dir/value.cc.o" "gcc" "src/sql/CMakeFiles/dta_sql.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

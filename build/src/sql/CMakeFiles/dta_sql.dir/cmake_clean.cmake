@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_sql.dir/ast.cc.o"
+  "CMakeFiles/dta_sql.dir/ast.cc.o.d"
+  "CMakeFiles/dta_sql.dir/parser.cc.o"
+  "CMakeFiles/dta_sql.dir/parser.cc.o.d"
+  "CMakeFiles/dta_sql.dir/printer.cc.o"
+  "CMakeFiles/dta_sql.dir/printer.cc.o.d"
+  "CMakeFiles/dta_sql.dir/signature.cc.o"
+  "CMakeFiles/dta_sql.dir/signature.cc.o.d"
+  "CMakeFiles/dta_sql.dir/token.cc.o"
+  "CMakeFiles/dta_sql.dir/token.cc.o.d"
+  "CMakeFiles/dta_sql.dir/value.cc.o"
+  "CMakeFiles/dta_sql.dir/value.cc.o.d"
+  "libdta_sql.a"
+  "libdta_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/builder.cc" "src/stats/CMakeFiles/dta_stats.dir/builder.cc.o" "gcc" "src/stats/CMakeFiles/dta_stats.dir/builder.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/dta_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/dta_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/statistics.cc" "src/stats/CMakeFiles/dta_stats.dir/statistics.cc.o" "gcc" "src/stats/CMakeFiles/dta_stats.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dta_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dta_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dta_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_stats.dir/builder.cc.o"
+  "CMakeFiles/dta_stats.dir/builder.cc.o.d"
+  "CMakeFiles/dta_stats.dir/histogram.cc.o"
+  "CMakeFiles/dta_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dta_stats.dir/statistics.cc.o"
+  "CMakeFiles/dta_stats.dir/statistics.cc.o.d"
+  "libdta_stats.a"
+  "libdta_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/datagen.cc" "src/storage/CMakeFiles/dta_storage.dir/datagen.cc.o" "gcc" "src/storage/CMakeFiles/dta_storage.dir/datagen.cc.o.d"
+  "/root/repo/src/storage/table_data.cc" "src/storage/CMakeFiles/dta_storage.dir/table_data.cc.o" "gcc" "src/storage/CMakeFiles/dta_storage.dir/table_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dta_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dta_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_storage.dir/datagen.cc.o"
+  "CMakeFiles/dta_storage.dir/datagen.cc.o.d"
+  "CMakeFiles/dta_storage.dir/table_data.cc.o"
+  "CMakeFiles/dta_storage.dir/table_data.cc.o.d"
+  "libdta_storage.a"
+  "libdta_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

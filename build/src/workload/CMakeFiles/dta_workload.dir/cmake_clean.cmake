@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_workload.dir/compression.cc.o"
+  "CMakeFiles/dta_workload.dir/compression.cc.o.d"
+  "CMakeFiles/dta_workload.dir/workload.cc.o"
+  "CMakeFiles/dta_workload.dir/workload.cc.o.d"
+  "libdta_workload.a"
+  "libdta_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

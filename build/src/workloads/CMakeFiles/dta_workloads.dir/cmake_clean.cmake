@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_workloads.dir/customer.cc.o"
+  "CMakeFiles/dta_workloads.dir/customer.cc.o.d"
+  "CMakeFiles/dta_workloads.dir/psoft.cc.o"
+  "CMakeFiles/dta_workloads.dir/psoft.cc.o.d"
+  "CMakeFiles/dta_workloads.dir/synt1.cc.o"
+  "CMakeFiles/dta_workloads.dir/synt1.cc.o.d"
+  "CMakeFiles/dta_workloads.dir/tpch.cc.o"
+  "CMakeFiles/dta_workloads.dir/tpch.cc.o.d"
+  "libdta_workloads.a"
+  "libdta_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

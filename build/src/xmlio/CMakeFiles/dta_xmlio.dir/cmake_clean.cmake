@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_xmlio.dir/xml.cc.o"
+  "CMakeFiles/dta_xmlio.dir/xml.cc.o.d"
+  "libdta_xmlio.a"
+  "libdta_xmlio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_xmlio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

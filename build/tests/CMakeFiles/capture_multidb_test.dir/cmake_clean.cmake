@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_multidb_test.dir/capture_multidb_test.cc.o"
+  "CMakeFiles/capture_multidb_test.dir/capture_multidb_test.cc.o.d"
+  "capture_multidb_test"
+  "capture_multidb_test.pdb"
+  "capture_multidb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_multidb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

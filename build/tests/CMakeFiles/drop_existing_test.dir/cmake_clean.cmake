@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_existing_test.dir/drop_existing_test.cc.o"
+  "CMakeFiles/drop_existing_test.dir/drop_existing_test.cc.o.d"
+  "drop_existing_test"
+  "drop_existing_test.pdb"
+  "drop_existing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_existing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_core_test.dir/dta_core_test.cc.o"
+  "CMakeFiles/dta_core_test.dir/dta_core_test.cc.o.d"
+  "dta_core_test"
+  "dta_core_test.pdb"
+  "dta_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_session_test.dir/dta_session_test.cc.o"
+  "CMakeFiles/dta_session_test.dir/dta_session_test.cc.o.d"
+  "dta_session_test"
+  "dta_session_test.pdb"
+  "dta_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_signature_test.dir/sql_signature_test.cc.o"
+  "CMakeFiles/sql_signature_test.dir/sql_signature_test.cc.o.d"
+  "sql_signature_test"
+  "sql_signature_test.pdb"
+  "sql_signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_matching_test.dir/view_matching_test.cc.o"
+  "CMakeFiles/view_matching_test.dir/view_matching_test.cc.o.d"
+  "view_matching_test"
+  "view_matching_test.pdb"
+  "view_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

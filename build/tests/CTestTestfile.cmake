@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_signature_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/physical_design_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/dta_core_test[1]_include.cmake")
+include("/root/repo/build/tests/dta_session_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/view_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/drop_existing_test[1]_include.cmake")
+include("/root/repo/build/tests/cardinality_test[1]_include.cmake")
+include("/root/repo/build/tests/capture_multidb_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_cli.dir/dta_cli.cc.o"
+  "CMakeFiles/dta_cli.dir/dta_cli.cc.o.d"
+  "dta_cli"
+  "dta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
