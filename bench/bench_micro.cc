@@ -1,6 +1,7 @@
 // Component micro-benchmarks (google-benchmark): parser, signatures,
 // histogram construction and estimation, what-if optimizer calls, workload
-// compression, Greedy(m,k), and XML round trips.
+// compression, Greedy(m,k), XML round trips, and the serial-vs-parallel
+// tuning pipeline.
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +9,7 @@
 
 #include "common/strings.h"
 #include "dta/greedy.h"
+#include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
 #include "sql/parser.h"
 #include "sql/signature.h"
@@ -133,6 +135,63 @@ void BM_GreedySearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedySearch)->Arg(32)->Arg(128);
+
+// End-to-end tuning pipeline on the TPC-H workload, serial vs parallel
+// what-if costing. Wall-clock (real time) is the quantity of interest: on a
+// 4-core runner Threads:4 should be >= 2x faster than Threads:1, with an
+// identical recommendation. The server is shared across runs, so statistics
+// creation happens once and iterations measure the costing-dominated
+// pipeline.
+class TuneTpchFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    // Fresh server per run: tuning creates statistics on the server, so a
+    // shared instance would hand later runs a different starting state and
+    // make the serial/parallel improvement numbers incomparable.
+    server_ = std::make_unique<server::Server>(
+        "prod", optimizer::HardwareParams());
+    Status st = workloads::AttachTpch(server_.get(), 0.05,
+                                      /*with_data=*/false, 7);
+    (void)st;
+    Status s2 = server_->ImplementConfiguration(
+        workloads::TpchRawConfiguration());
+    (void)s2;
+    workload_ = std::make_unique<workload::Workload>(
+        workloads::TpchQueriesPrefix(12, 42));
+    // Untimed warm-up tune so every timed iteration starts from the same
+    // statistics-warm server.
+    tuner::TuningSession warmup(server_.get(), tuner::TuningOptions{});
+    (void)warmup.Tune(*workload_);
+  }
+  void TearDown(const benchmark::State&) override {
+    workload_.reset();
+    server_.reset();
+  }
+  std::unique_ptr<server::Server> server_;
+  std::unique_ptr<workload::Workload> workload_;
+};
+
+BENCHMARK_DEFINE_F(TuneTpchFixture, TunePipeline)(benchmark::State& state) {
+  tuner::TuningOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  double improvement = 0;
+  for (auto _ : state) {
+    tuner::TuningSession session(server_.get(), opts);
+    auto r = session.Tune(*workload_);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    improvement = r->ImprovementPercent();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["improvement_pct"] = improvement;
+}
+BENCHMARK_REGISTER_F(TuneTpchFixture, TunePipeline)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_XmlConfigurationRoundTrip(benchmark::State& state) {
   catalog::Configuration config = workloads::TpchRawConfiguration();

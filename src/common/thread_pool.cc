@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dta {
+
+void WaitGroup::Add(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--count_ <= 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ <= 0; });
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(0, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers =
+      pool == nullptr ? 0 : static_cast<size_t>(pool->num_workers());
+  if (workers == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  auto run = [&next, &fn, n] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+
+  // The caller takes one claim loop itself, so only n - 1 helpers are ever
+  // useful. Helpers reference stack state; Wait() below keeps it alive.
+  const size_t helpers = std::min(workers, n - 1);
+  WaitGroup wg;
+  wg.Add(static_cast<int>(helpers));
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([&run, &wg] {
+      run();
+      wg.Done();
+    });
+  }
+  run();
+  wg.Wait();
+}
+
+}  // namespace dta

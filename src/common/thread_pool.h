@@ -1,0 +1,81 @@
+// A small fixed-size worker pool with submit/wait-group semantics and a
+// ParallelFor helper.
+//
+// DTA's hot path is what-if costing, and most of it is embarrassingly
+// parallel: the current-cost pass, per-statement candidate selection and the
+// per-candidate evaluations of a greedy round are all independent. The pool
+// fans that work out across threads.
+//
+// Design notes:
+//   * Tasks must not throw; Status-style error handling is expected (store
+//     a Status per work item and check after the join).
+//   * ParallelFor lets the calling thread participate, so a pool with N
+//     workers applies N + 1 threads to a loop, and a null pool (or an empty
+//     loop) degrades to the plain serial loop — bit-for-bit identical to
+//     single-threaded execution.
+//   * The pool is agnostic to iteration order; callers that need
+//     deterministic results must make their per-item work order-independent
+//     (write to slot i, reduce serially afterwards).
+
+#ifndef DTA_COMMON_THREAD_POOL_H_
+#define DTA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dta {
+
+// Counts outstanding work items; Wait blocks until the count drops to zero.
+class WaitGroup {
+ public:
+  void Add(int n);
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+class ThreadPool {
+ public:
+  // Spawns up to `num_threads` workers (negative values clamp to zero; a
+  // pool with zero workers is legal and makes ParallelFor run serially).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0) ... fn(n - 1) across the pool's workers plus the calling
+// thread and blocks until every call has finished. Iterations are claimed
+// dynamically (atomic counter), so uneven work still balances. With a null
+// or worker-less pool this is exactly the serial loop.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace dta
+
+#endif  // DTA_COMMON_THREAD_POOL_H_

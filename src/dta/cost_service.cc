@@ -41,7 +41,10 @@ CostService::CostService(server::Server* server,
   for (const auto& ws : workload->statements()) {
     statement_tables_.push_back(TablesOf(ws.stmt));
   }
-  cache_.resize(workload->size());
+  shards_.reserve(workload->size());
+  for (size_t i = 0; i < workload->size(); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 std::string CostService::RelevantFingerprint(
@@ -73,34 +76,70 @@ std::string CostService::RelevantFingerprint(
 Result<double> CostService::StatementCost(
     size_t index, const catalog::Configuration& config) {
   std::string fp = RelevantFingerprint(index, config);
-  auto& cache = cache_[index];
-  auto it = cache.find(fp);
-  if (it != cache.end()) {
-    ++hits_;
-    return it->second;
+  Shard& shard = *shards_[index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.cache.find(fp);
+    if (it != shard.cache.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  // Cache miss: price outside the lock (the what-if call dominates; holding
+  // the shard lock across it would serialize enumeration).
   auto r = server_->WhatIfCost(workload_->statements()[index].stmt, config,
                                simulate_hardware_);
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   if (!r.ok()) return r.status();
-  for (const auto& key : r->missing_stats) missing_.insert(key);
-  cache.emplace(std::move(fp), r->cost);
+  if (!r->missing_stats.empty()) {
+    std::lock_guard<std::mutex> lock(missing_mu_);
+    for (const auto& key : r->missing_stats) missing_.insert(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache.emplace(std::move(fp), r->cost);
+  }
   return r->cost;
 }
 
-Result<double> CostService::WorkloadCost(
-    const catalog::Configuration& config) {
-  double total = 0;
-  for (size_t i = 0; i < workload_->size(); ++i) {
+Result<double> CostService::WorkloadCost(const catalog::Configuration& config,
+                                         ThreadPool* pool) {
+  const size_t n = workload_->size();
+  std::vector<double> costs(n, 0.0);
+  std::vector<Status> statuses(n);
+  ParallelFor(pool, n, [&](size_t i) {
     auto c = StatementCost(i, config);
-    if (!c.ok()) return c.status();
-    total += *c * workload_->statements()[i].weight;
+    if (!c.ok()) {
+      statuses[i] = c.status();
+      return;
+    }
+    costs[i] = *c;
+  });
+  // Serial reduction in statement order: the total is bit-identical no
+  // matter how many threads priced the statements.
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    total += costs[i] * workload_->statements()[i].weight;
   }
   return total;
 }
 
+std::set<stats::StatsKey> CostService::missing_stats() const {
+  std::lock_guard<std::mutex> lock(missing_mu_);
+  return missing_;
+}
+
+void CostService::ClearMissingStats() {
+  std::lock_guard<std::mutex> lock(missing_mu_);
+  missing_.clear();
+}
+
 void CostService::ClearCache() {
-  for (auto& c : cache_) c.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache.clear();
+  }
 }
 
 }  // namespace dta::tuner

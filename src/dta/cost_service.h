@@ -6,17 +6,30 @@
 // the fingerprint of the *relevant* subset of the configuration (structures
 // touching the statement's tables), so adding a candidate re-prices only
 // affected statements.
+//
+// The service is thread-safe: the cache is sharded per statement with a
+// per-shard mutex, counters are atomic, and the missing-statistics set is
+// mutex-guarded, so the tuner's worker pool can hammer StatementCost
+// concurrently. What-if calls run outside any lock; two threads racing on
+// the same cold (statement, fingerprint) pair may both price it — the
+// optimizer is deterministic, so both compute the same cost and one insert
+// wins (whatif_calls() can exceed the serial count, cached values cannot
+// diverge).
 
 #ifndef DTA_DTA_COST_SERVICE_H_
 #define DTA_DTA_COST_SERVICE_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "catalog/physical_design.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "optimizer/hardware.h"
 #include "server/server.h"
 #include "stats/statistics.h"
@@ -35,29 +48,44 @@ class CostService {
               const workload::Workload* workload);
 
   // Optimizer-estimated cost of statement i under the configuration
-  // (cached; weight NOT applied).
+  // (cached; weight NOT applied). Safe to call from many threads.
   Result<double> StatementCost(size_t index,
                                const catalog::Configuration& config);
 
-  // Sum over statements of weight * cost.
-  Result<double> WorkloadCost(const catalog::Configuration& config);
+  // Sum over statements of weight * cost. When `pool` is given, statements
+  // are priced in parallel; the reduction is performed serially in
+  // statement order, so the total is bit-identical to the serial sum.
+  Result<double> WorkloadCost(const catalog::Configuration& config,
+                              ThreadPool* pool = nullptr);
 
   // Statistics the optimizer wanted but could not find, accumulated across
   // all calls (drives reduced statistics creation and test-server import).
-  const std::set<stats::StatsKey>& missing_stats() const { return missing_; }
-  void ClearMissingStats() { missing_.clear(); }
+  // Returns a snapshot; safe to call concurrently with StatementCost.
+  std::set<stats::StatsKey> missing_stats() const;
+  void ClearMissingStats();
 
   // Number of actual what-if optimizer invocations (cache misses).
-  size_t whatif_calls() const { return calls_; }
-  size_t cache_hits() const { return hits_; }
+  size_t whatif_calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  size_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
 
-  // Invalidate everything (e.g. after statistics changed).
+  // Invalidate everything (e.g. after statistics changed). Must not run
+  // concurrently with StatementCost.
   void ClearCache();
 
   const workload::Workload& workload() const { return *workload_; }
   server::Server* server() { return server_; }
 
  private:
+  // One cache shard per statement: selection work for a statement stays on
+  // one thread, so shards keep lock contention confined to enumeration,
+  // where different subsets price the same statement concurrently.
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, double> cache;
+  };
+
   std::string RelevantFingerprint(size_t index,
                                   const catalog::Configuration& config) const;
 
@@ -67,10 +95,11 @@ class CostService {
 
   // Lower-cased table names referenced by each statement.
   std::vector<std::set<std::string>> statement_tables_;
-  std::vector<std::map<std::string, double>> cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex missing_mu_;
   std::set<stats::StatsKey> missing_;
-  size_t calls_ = 0;
-  size_t hits_ = 0;
+  std::atomic<size_t> calls_{0};
+  std::atomic<size_t> hits_{0};
 };
 
 }  // namespace dta::tuner

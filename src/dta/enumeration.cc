@@ -1,6 +1,8 @@
 #include "dta/enumeration.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "common/strings.h"
 #include "dta/greedy.h"
@@ -60,7 +62,7 @@ Result<catalog::Configuration> BuildConfiguration(
 Result<EnumerationResult> EnumerateConfiguration(
     CostService* costs, const std::vector<Candidate>& candidates,
     const catalog::Configuration& base, const TuningOptions& options,
-    const std::function<bool()>& should_stop) {
+    const std::function<bool()>& should_stop, ThreadPool* thread_pool) {
   // Eager alignment ablation (§4): pre-expand every index candidate with
   // every proposed partitioning of its table. Lazy mode introduces aligned
   // variants only as partitionings are chosen, keeping the pool small.
@@ -85,7 +87,11 @@ Result<EnumerationResult> EnumerateConfiguration(
   if (!base_cost.ok()) return base_cost.status();
 
   const catalog::Catalog& catalog = costs->server()->catalog();
+  // Summed wall time of the individual evaluations; with a worker pool this
+  // exceeds the phase's elapsed time by roughly the parallel speedup.
+  std::atomic<double> eval_work_ms{0};
   auto eval = [&](const std::vector<size_t>& subset) -> Result<double> {
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<const Candidate*> chosen;
     chosen.reserve(subset.size());
     for (size_t i : subset) chosen.push_back(&pool[i]);
@@ -96,15 +102,20 @@ Result<EnumerationResult> EnumerateConfiguration(
         config->EstimateBytes(catalog) > *options.storage_bytes) {
       return Status::OutOfRange("storage bound exceeded");
     }
-    return costs->WorkloadCost(*config);
+    auto cost = costs->WorkloadCost(*config);
+    eval_work_ms.fetch_add(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+    return cost;
   };
 
   GreedyResult greedy =
       GreedySearch(pool.size(), options.enumeration_m, options.enumeration_k,
                    *base_cost, eval, should_stop,
-                   options.min_improvement_fraction);
+                   options.min_improvement_fraction, thread_pool);
 
   EnumerationResult out;
+  out.eval_work_ms = eval_work_ms.load();
   out.evaluations = greedy.evaluations;
   out.candidates_considered = pool.size();
   out.cost = greedy.cost;

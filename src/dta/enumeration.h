@@ -26,14 +26,20 @@ struct EnumerationResult {
   std::vector<std::string> chosen;       // candidate names, selection order
   size_t evaluations = 0;                // configurations priced
   size_t candidates_considered = 0;      // after any eager expansion
+  double eval_work_ms = 0;               // summed per-evaluation wall time
 };
 
 // `base` contains structures that are always present (constraint-enforcing
 // indexes and the user-specified configuration).
+//
+// When `pool` is given, the per-candidate evaluations inside each greedy
+// round are priced in parallel; the chosen configuration and cost are
+// identical to the serial search (see GreedySearch).
 Result<EnumerationResult> EnumerateConfiguration(
     CostService* costs, const std::vector<Candidate>& candidates,
     const catalog::Configuration& base, const TuningOptions& options,
-    const std::function<bool()>& should_stop = nullptr);
+    const std::function<bool()>& should_stop = nullptr,
+    ThreadPool* thread_pool = nullptr);
 
 // Builds base + subset into a full configuration, applying alignment
 // rewrites when required. Fails on conflicts (duplicate clustered index,

@@ -4,38 +4,66 @@
 
 namespace dta::tuner {
 
+namespace {
+
+// Outcome of evaluating one subset in a fanned-out batch.
+struct Evaluation {
+  bool ran = false;  // false when should_stop() preempted the evaluation
+  bool ok = false;
+  double cost = 0;
+};
+
+// Evaluates every subset of a batch, in parallel when a pool is given. The
+// caller consumes the outcomes with a serial scan in batch order, which
+// reproduces the single-threaded search's decisions exactly.
+std::vector<Evaluation> EvaluateBatch(
+    const std::vector<std::vector<size_t>>& subsets,
+    const std::function<Result<double>(const std::vector<size_t>&)>& eval,
+    const std::function<bool()>& should_stop, ThreadPool* pool) {
+  std::vector<Evaluation> out(subsets.size());
+  ParallelFor(pool, subsets.size(), [&](size_t i) {
+    if (should_stop != nullptr && should_stop()) return;
+    auto c = eval(subsets[i]);
+    out[i].ran = true;
+    out[i].ok = c.ok();
+    if (c.ok()) out[i].cost = *c;
+  });
+  return out;
+}
+
+}  // namespace
+
 GreedyResult GreedySearch(
     size_t candidate_count, int m, int k, double empty_cost,
     const std::function<Result<double>(const std::vector<size_t>&)>& eval,
     const std::function<bool()>& should_stop,
-    double min_relative_improvement) {
+    double min_relative_improvement, ThreadPool* pool) {
   GreedyResult best;
   best.cost = empty_cost;
 
   auto stopped = [&]() { return should_stop != nullptr && should_stop(); };
 
   // Phase 1: exhaustive over subsets of size <= m (m is small: 1 or 2).
-  if (m >= 1) {
-    for (size_t i = 0; i < candidate_count && !stopped(); ++i) {
-      std::vector<size_t> subset = {i};
-      auto c = eval(subset);
-      ++best.evaluations;
-      if (c.ok() && *c < best.cost) {
-        best.cost = *c;
-        best.chosen = subset;
+  {
+    std::vector<std::vector<size_t>> subsets;
+    if (m >= 1) {
+      for (size_t i = 0; i < candidate_count; ++i) subsets.push_back({i});
+    }
+    if (m >= 2) {
+      for (size_t i = 0; i < candidate_count; ++i) {
+        for (size_t j = i + 1; j < candidate_count; ++j) {
+          subsets.push_back({i, j});
+        }
       }
     }
-  }
-  if (m >= 2) {
-    for (size_t i = 0; i < candidate_count && !stopped(); ++i) {
-      for (size_t j = i + 1; j < candidate_count && !stopped(); ++j) {
-        std::vector<size_t> subset = {i, j};
-        auto c = eval(subset);
-        ++best.evaluations;
-        if (c.ok() && *c < best.cost) {
-          best.cost = *c;
-          best.chosen = subset;
-        }
+    std::vector<Evaluation> evals =
+        EvaluateBatch(subsets, eval, should_stop, pool);
+    for (size_t s = 0; s < subsets.size(); ++s) {
+      if (!evals[s].ran) continue;
+      ++best.evaluations;
+      if (evals[s].ok && evals[s].cost < best.cost) {
+        best.cost = evals[s].cost;
+        best.chosen = subsets[s];
       }
     }
   }
@@ -47,32 +75,41 @@ GreedyResult GreedySearch(
   // wastes what-if calls.
   std::vector<int> strikes(candidate_count, 0);
   while (static_cast<int>(best.chosen.size()) < k && !stopped()) {
-    double round_best_cost = best.cost;
-    size_t round_best_candidate = candidate_count;
+    std::vector<size_t> contenders;
+    std::vector<std::vector<size_t>> subsets;
     for (size_t i = 0; i < candidate_count; ++i) {
       if (strikes[i] >= 2) continue;
       if (std::find(best.chosen.begin(), best.chosen.end(), i) !=
           best.chosen.end()) {
         continue;
       }
-      if (stopped()) break;
+      contenders.push_back(i);
       std::vector<size_t> subset = best.chosen;
       subset.push_back(i);
-      auto c = eval(subset);
+      subsets.push_back(std::move(subset));
+    }
+    std::vector<Evaluation> evals =
+        EvaluateBatch(subsets, eval, should_stop, pool);
+
+    double round_best_cost = best.cost;
+    size_t round_best_candidate = candidate_count;
+    for (size_t s = 0; s < contenders.size(); ++s) {
+      const size_t i = contenders[s];
+      if (!evals[s].ran) continue;
       ++best.evaluations;
-      if (!c.ok()) {
+      if (!evals[s].ok) {
         ++strikes[i];
         continue;
       }
       double improvement =
-          (best.cost - *c) / std::max(1e-12, best.cost);
+          (best.cost - evals[s].cost) / std::max(1e-12, best.cost);
       if (improvement < min_relative_improvement) {
         ++strikes[i];
       } else {
         strikes[i] = 0;
       }
-      if (*c < round_best_cost) {
-        round_best_cost = *c;
+      if (evals[s].cost < round_best_cost) {
+        round_best_cost = evals[s].cost;
         round_best_candidate = i;
       }
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace dta::tuner {
 
@@ -30,11 +31,20 @@ struct GreedyResult {
 // best addition improves the objective by less than this fraction —
 // structures with negligible benefit are not worth their storage and
 // maintenance (and each round costs a sweep of what-if calls).
+//
+// When `pool` is provided, the independent evaluations of each phase — the
+// size-<=m exhaustive sweep and every greedy round — are fanned out across
+// the pool; `eval` must then be thread-safe. Winners are still picked by a
+// serial scan in candidate order with the serial tie-breaking (first
+// strictly better subset wins), so the chosen subsets and costs are
+// identical to the single-threaded search (time-bounded runs excepted:
+// threads poll `should_stop` independently, exactly as the serial loop
+// polls it between evaluations).
 GreedyResult GreedySearch(
     size_t candidate_count, int m, int k, double empty_cost,
     const std::function<Result<double>(const std::vector<size_t>&)>& eval,
     const std::function<bool()>& should_stop = nullptr,
-    double min_relative_improvement = 1e-9);
+    double min_relative_improvement = 1e-9, ThreadPool* pool = nullptr);
 
 }  // namespace dta::tuner
 

@@ -8,6 +8,10 @@ std::string Report::ToText() const {
   std::string out;
   out += StrFormat("Workload cost: current=%.2f recommended=%.2f (%.1f%%)\n",
                    current_total, recommended_total, ImprovementPercent());
+  if (threads > 1) {
+    out += StrFormat("Parallel costing: %d threads, %.2fx speedup\n",
+                     threads, parallel_speedup);
+  }
   out += "Statements:\n";
   for (const auto& s : statements) {
     std::string sql = s.sql.size() > 72 ? s.sql.substr(0, 69) + "..." : s.sql;
@@ -30,6 +34,10 @@ xml::ElementPtr Report::ToXml() const {
   root->SetAttr("RecommendedCost", StrFormat("%.4f", recommended_total));
   root->SetAttr("ExpectedImprovementPercent",
                 StrFormat("%.2f", ImprovementPercent()));
+  if (threads > 1) {
+    root->SetAttr("Threads", StrFormat("%d", threads));
+    root->SetAttr("ParallelSpeedup", StrFormat("%.2f", parallel_speedup));
+  }
   for (const auto& s : statements) {
     xml::Element* e = root->AddChild("Statement");
     e->SetAttr("Weight", StrFormat("%.2f", s.weight));

@@ -33,6 +33,11 @@ struct Report {
   double current_total = 0;
   double recommended_total = 0;
 
+  // Parallel costing: worker threads applied and the achieved speedup of
+  // the fanned-out costing phases (1 when tuning ran serially).
+  int threads = 1;
+  double parallel_speedup = 1;
+
   double ImprovementPercent() const {
     if (current_total <= 0) return 0;
     return 100.0 * (current_total - recommended_total) / current_total;

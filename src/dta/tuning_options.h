@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <thread>
 
 #include "catalog/physical_design.h"
 
@@ -42,6 +43,18 @@ struct TuningOptions {
   // ---- Scalability features.
   bool workload_compression = true;
   bool reduced_statistics = true;
+  // Worker threads for what-if costing fan-out (current-cost pass,
+  // per-statement candidate selection, greedy-round evaluations). 0 means
+  // "auto" (std::thread::hardware_concurrency()); 1 restores fully serial
+  // tuning, bit-for-bit. Recommendations and costs are identical at any
+  // thread count — only wall-clock time (and the what-if call counter,
+  // which may see benign duplicated misses) varies.
+  int num_threads = 0;
+  int ResolvedNumThreads() const {
+    if (num_threads > 0) return num_threads;
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }
 
   // ---- Search parameters.
   // Greedy(m,k) for per-query candidate selection.

@@ -1,11 +1,14 @@
 #include "dta/tuning_session.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "dta/candidates.h"
 #include "dta/column_groups.h"
 #include "dta/cost_service.h"
@@ -111,6 +114,26 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   TuningResult result;
   result.events_total = input.size();
 
+  // ---- Worker pool for what-if costing fan-out. The pool holds one thread
+  // fewer than requested because ParallelFor lets the calling thread
+  // participate; num_threads == 1 therefore means no pool at all and every
+  // loop below degenerates to the exact serial code path.
+  const int num_threads = std::max(1, options_.ResolvedNumThreads());
+  std::unique_ptr<ThreadPool> workers_storage;
+  ThreadPool* workers = nullptr;
+  if (num_threads > 1) {
+    workers_storage = std::make_unique<ThreadPool>(num_threads - 1);
+    workers = workers_storage.get();
+  }
+  result.threads_used = num_threads;
+  // Summed per-task time of the parallel phases vs. their elapsed time.
+  std::atomic<double> parallel_work_ms{0};
+  auto timed = [&parallel_work_ms](const std::function<void()>& fn) {
+    const double t0 = NowMs();
+    fn();
+    parallel_work_ms.fetch_add(NowMs() - t0);
+  };
+
   auto deadline_reached = [&]() {
     return options_.time_limit_ms.has_value() &&
            NowMs() - t_start > *options_.time_limit_ms;
@@ -146,12 +169,27 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   // ---- Current-cost pass. Missing statistics are recorded but NOT created
   // yet: they join the candidate-key statistics in one unified request, so
   // reduced statistics creation (§5.2) can cover a requested singleton with
-  // a wider candidate statistic instead of creating both.
+  // a wider candidate statistic instead of creating both. Statements are
+  // priced independently, so the pass fans out across the pool; results
+  // land in their own slots and errors are surfaced in statement order.
   std::vector<double> current_costs(tuned.size(), 0.0);
-  for (size_t i = 0; i < tuned.size(); ++i) {
-    auto c = costs.StatementCost(i, current);
-    if (!c.ok()) return c.status();
-    current_costs[i] = *c;
+  {
+    const double t_phase = NowMs();
+    std::vector<Status> statuses(tuned.size());
+    ParallelFor(workers, tuned.size(), [&](size_t i) {
+      timed([&] {
+        auto c = costs.StatementCost(i, current);
+        if (!c.ok()) {
+          statuses[i] = c.status();
+          return;
+        }
+        current_costs[i] = *c;
+      });
+    });
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    result.parallel_wall_ms += NowMs() - t_phase;
   }
 
   // ---- Column-group restriction (§2.2).
@@ -242,34 +280,66 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     if (!plan.to_create.empty()) costs.ClearCache();
   }
 
-  // ---- Candidate selection: per-statement Greedy(m,k) (§2.2).
+  // ---- Candidate selection: per-statement Greedy(m,k) (§2.2). Each
+  // statement's search is independent (it only prices that statement), so
+  // statements fan out across the pool; the pool/benefit merge below runs
+  // serially in statement order, keeping the outcome identical to the
+  // serial loop.
   std::map<std::string, double> candidate_benefit;  // weighted cost savings
-  for (size_t i = 0; i < tuned.size(); ++i) {
-    if (per_statement[i].empty()) continue;
-    if (deadline_reached()) {
-      result.hit_time_limit = true;
-      break;
-    }
-    const std::vector<Candidate>& cands = per_statement[i];
-    result.candidates_generated += cands.size();
-    auto eval = [&](const std::vector<size_t>& subset) -> Result<double> {
-      std::vector<const Candidate*> chosen;
-      for (size_t ci : subset) chosen.push_back(&cands[ci]);
-      auto config = BuildConfiguration(*base, chosen, false);
-      if (!config.ok()) return config.status();
-      return costs.StatementCost(i, *config);
+  {
+    struct Selection {
+      Status status;
+      GreedyResult picked;
+      double empty_cost = 0;
+      bool ran = false;
     };
-    auto empty_cost = costs.StatementCost(i, *base);
-    if (!empty_cost.ok()) return empty_cost.status();
-    GreedyResult picked = GreedySearch(
-        cands.size(), options_.candidate_selection_m,
-        options_.candidate_selection_k, *empty_cost, eval, deadline_reached);
-    double weight = tuned.statements()[i].weight;
-    double saved = std::max(0.0, *empty_cost - picked.cost) * weight;
-    for (size_t ci : picked.chosen) {
-      pool_by_name.emplace(cands[ci].name, cands[ci]);
-      candidate_benefit[cands[ci].name] +=
-          saved / static_cast<double>(picked.chosen.size());
+    const double t_phase = NowMs();
+    std::vector<Selection> selections(tuned.size());
+    ParallelFor(workers, tuned.size(), [&](size_t i) {
+      if (per_statement[i].empty()) return;
+      if (deadline_reached()) return;
+      timed([&] {
+        const std::vector<Candidate>& cands = per_statement[i];
+        auto eval =
+            [&, i](const std::vector<size_t>& subset) -> Result<double> {
+          std::vector<const Candidate*> chosen;
+          for (size_t ci : subset) chosen.push_back(&cands[ci]);
+          auto config = BuildConfiguration(*base, chosen, false);
+          if (!config.ok()) return config.status();
+          return costs.StatementCost(i, *config);
+        };
+        auto empty_cost = costs.StatementCost(i, *base);
+        if (!empty_cost.ok()) {
+          selections[i].status = empty_cost.status();
+          return;
+        }
+        selections[i].picked = GreedySearch(
+            cands.size(), options_.candidate_selection_m,
+            options_.candidate_selection_k, *empty_cost, eval,
+            deadline_reached);
+        selections[i].empty_cost = *empty_cost;
+        selections[i].ran = true;
+      });
+    });
+    result.parallel_wall_ms += NowMs() - t_phase;
+    for (size_t i = 0; i < tuned.size(); ++i) {
+      if (per_statement[i].empty()) continue;
+      if (!selections[i].status.ok()) return selections[i].status;
+      if (!selections[i].ran) {
+        result.hit_time_limit = true;
+        continue;
+      }
+      const std::vector<Candidate>& cands = per_statement[i];
+      result.candidates_generated += cands.size();
+      const GreedyResult& picked = selections[i].picked;
+      double weight = tuned.statements()[i].weight;
+      double saved =
+          std::max(0.0, selections[i].empty_cost - picked.cost) * weight;
+      for (size_t ci : picked.chosen) {
+        pool_by_name.emplace(cands[ci].name, cands[ci]);
+        candidate_benefit[cands[ci].name] +=
+            saved / static_cast<double>(picked.chosen.size());
+      }
     }
   }
 
@@ -352,10 +422,14 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     }
   }
 
-  // ---- Enumeration (§2.2, §4).
+  // ---- Enumeration (§2.2, §4). The greedy rounds inside fan their
+  // per-candidate evaluations out across the pool.
+  const double t_enum = NowMs();
   auto enum_result = EnumerateConfiguration(&costs, pool, *base, options_,
-                                            deadline_reached);
+                                            deadline_reached, workers);
   if (!enum_result.ok()) return enum_result.status();
+  result.parallel_wall_ms += NowMs() - t_enum;
+  parallel_work_ms.fetch_add(enum_result->eval_work_ms);
   if (deadline_reached()) result.hit_time_limit = true;
   result.enumeration_evaluations = enum_result->evaluations;
   result.recommendation = std::move(enum_result->configuration);
@@ -368,9 +442,12 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   result.current_cost = *cur_total;
   result.recommended_cost = *rec_total;
   result.whatif_calls = costs.whatif_calls();
+  result.parallel_work_ms = parallel_work_ms.load();
 
   result.report.current_total = *cur_total;
   result.report.recommended_total = *rec_total;
+  result.report.threads = num_threads;
+  result.report.parallel_speedup = result.ParallelSpeedup();
   for (size_t i = 0; i < tuned.size(); ++i) {
     StatementReport sr;
     sr.sql = tuned.statements()[i].text;
@@ -412,19 +489,43 @@ Result<EvaluationResult> TuningSession::EvaluateConfiguration(
   EvaluationResult out;
   const catalog::Configuration& current =
       production_->current_configuration();
-  for (size_t i = 0; i < workload.size(); ++i) {
+
+  // Statements are priced independently; fan out, then reduce serially in
+  // statement order (identical totals at any thread count).
+  const int num_threads = std::max(1, options_.ResolvedNumThreads());
+  std::unique_ptr<ThreadPool> workers_storage;
+  ThreadPool* workers = nullptr;
+  if (num_threads > 1) {
+    workers_storage = std::make_unique<ThreadPool>(num_threads - 1);
+    workers = workers_storage.get();
+  }
+  std::vector<double> current_costs(workload.size(), 0.0);
+  std::vector<double> evaluated_costs(workload.size(), 0.0);
+  std::vector<Status> statuses(workload.size());
+  ParallelFor(workers, workload.size(), [&](size_t i) {
     auto cc = costs.StatementCost(i, current);
-    if (!cc.ok()) return cc.status();
+    if (!cc.ok()) {
+      statuses[i] = cc.status();
+      return;
+    }
     auto ec = costs.StatementCost(i, config);
-    if (!ec.ok()) return ec.status();
+    if (!ec.ok()) {
+      statuses[i] = ec.status();
+      return;
+    }
+    current_costs[i] = *cc;
+    evaluated_costs[i] = *ec;
+  });
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
     double w = workload.statements()[i].weight;
-    out.current_cost += *cc * w;
-    out.evaluated_cost += *ec * w;
+    out.current_cost += current_costs[i] * w;
+    out.evaluated_cost += evaluated_costs[i] * w;
     StatementReport sr;
     sr.sql = workload.statements()[i].text;
     sr.weight = w;
-    sr.current_cost = *cc;
-    sr.recommended_cost = *ec;
+    sr.current_cost = current_costs[i];
+    sr.recommended_cost = evaluated_costs[i];
     out.report.statements.push_back(std::move(sr));
   }
   out.report.current_total = out.current_cost;

@@ -49,6 +49,16 @@ struct TuningResult {
   size_t enumeration_evaluations = 0;
   size_t candidates_generated = 0;
 
+  // Parallel costing accounting: threads applied to the fan-out phases,
+  // their combined wall-clock, and the work they retired (summed per-task
+  // time). work / wall ~ achieved parallel speedup of the costing phases.
+  int threads_used = 1;
+  double parallel_wall_ms = 0;
+  double parallel_work_ms = 0;
+  double ParallelSpeedup() const {
+    return parallel_wall_ms > 0 ? parallel_work_ms / parallel_wall_ms : 1.0;
+  }
+
   // Statistics creation accounting (experiment 7.5).
   size_t stats_requested = 0;  // what the naive strategy would create
   size_t stats_created = 0;

@@ -178,6 +178,9 @@ xml::ElementPtr TuningOptionsToXml(const TuningOptions& o) {
   e->SetAttr("Alignment", BoolStr(o.require_alignment));
   e->SetAttr("WorkloadCompression", BoolStr(o.workload_compression));
   e->SetAttr("ReducedStatistics", BoolStr(o.reduced_statistics));
+  if (o.num_threads != 0) {
+    e->SetAttr("Threads", StrFormat("%d", o.num_threads));
+  }
   if (o.storage_bytes.has_value()) {
     e->SetAttr("StorageBytes",
                StrFormat("%llu",
@@ -204,6 +207,9 @@ Result<TuningOptions> TuningOptionsFromXml(const xml::Element& e) {
   o.require_alignment = ParseBool(e.Attr("Alignment"), false);
   o.workload_compression = ParseBool(e.Attr("WorkloadCompression"), true);
   o.reduced_statistics = ParseBool(e.Attr("ReducedStatistics"), true);
+  if (e.HasAttr("Threads")) {
+    o.num_threads = atoi(e.Attr("Threads").c_str());
+  }
   if (e.HasAttr("StorageBytes")) {
     o.storage_bytes = strtoull(e.Attr("StorageBytes").c_str(), nullptr, 10);
   }

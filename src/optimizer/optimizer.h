@@ -23,6 +23,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "catalog/physical_design.h"
@@ -106,6 +107,10 @@ class Optimizer {
   const StatsProvider& stats_;
   CostModel cm_;
 
+  // Guarded by view_bind_mu_: costing is const and runs concurrently from
+  // the tuner's worker pool; map values are unique_ptrs, so pointers handed
+  // out remain stable after the lock is released.
+  mutable std::mutex view_bind_mu_;
   mutable std::map<std::string, std::unique_ptr<BoundQuery>> view_bind_cache_;
 };
 

@@ -25,9 +25,12 @@ class StatsProvider {
       : manager_(manager) {}
 
   // When set, every lookup that had to fall back to a heuristic records the
-  // statistic it wanted.
+  // statistic it wanted. The recorder is thread-local: each thread sets its
+  // own recorder around an optimization and observes only its own misses,
+  // so concurrent what-if calls through a shared provider do not race or
+  // cross-contaminate.
   void set_missing_recorder(std::set<stats::StatsKey>* recorder) {
-    missing_ = recorder;
+    tls_missing_ = recorder;
   }
 
   // Histogram describing `column` (leading column of some statistic), or
@@ -77,13 +80,14 @@ class StatsProvider {
  private:
   void RecordMissing(const std::string& database, const std::string& table,
                      const std::vector<std::string>& columns) const {
-    if (missing_ != nullptr) {
-      missing_->insert(stats::StatsKey(database, table, columns));
+    if (tls_missing_ != nullptr) {
+      tls_missing_->insert(stats::StatsKey(database, table, columns));
     }
   }
 
   const stats::StatsManager* manager_;
-  mutable std::set<stats::StatsKey>* missing_ = nullptr;
+  inline static thread_local std::set<stats::StatsKey>* tls_missing_ =
+      nullptr;
 };
 
 }  // namespace dta::optimizer

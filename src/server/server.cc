@@ -102,7 +102,7 @@ Result<double> Server::CreateStatistics(const stats::StatsKey& key) {
   if (!built.ok()) return built.status();
   double duration = built->build_duration_ms;
   stats_.Put(std::move(built).value());
-  overhead_ms_ += duration;
+  AccrueOverhead(duration);
   return duration;
 }
 
@@ -149,6 +149,7 @@ Result<Server::WhatIfResult> Server::WhatIfCost(
         "%d/%.0f/%.3f/%.3f", simulate_hardware->cpu_count,
         simulate_hardware->memory_mb, simulate_hardware->seq_page_ms,
         simulate_hardware->rand_page_ms);
+    std::lock_guard<std::mutex> lock(simulated_mu_);
     auto it = simulated_.find(key);
     if (it == simulated_.end()) {
       it = simulated_
@@ -159,11 +160,13 @@ Result<Server::WhatIfResult> Server::WhatIfCost(
     opt = it->second.get();
   }
   WhatIfResult out;
+  // The recorder is thread-local: concurrent callers each collect their own
+  // missing-statistics set.
   provider_->set_missing_recorder(&out.missing_stats);
   auto cost = opt->CostStatement(stmt, config);
   provider_->set_missing_recorder(nullptr);
-  overhead_ms_ += SimulatedOptimizeDurationMs(stmt, config);
-  ++whatif_calls_;
+  AccrueOverhead(SimulatedOptimizeDurationMs(stmt, config));
+  whatif_calls_.fetch_add(1, std::memory_order_relaxed);
   if (!cost.ok()) return cost.status();
   out.cost = *cost;
   return out;
@@ -175,8 +178,8 @@ Result<optimizer::Optimizer::QueryPlan> Server::WhatIfPlan(
   (void)simulate_hardware;  // plan shape is hardware-sensitive only via cost
   sql::Statement wrapper;
   wrapper.node = stmt.Clone();
-  overhead_ms_ += SimulatedOptimizeDurationMs(wrapper, config);
-  ++whatif_calls_;
+  AccrueOverhead(SimulatedOptimizeDurationMs(wrapper, config));
+  whatif_calls_.fetch_add(1, std::memory_order_relaxed);
   return optimizer_->OptimizeSelect(stmt, config);
 }
 
@@ -193,7 +196,7 @@ Result<engine::QueryResult> Server::ExecuteSelect(
   auto end = std::chrono::steady_clock::now();
   double ms = std::chrono::duration<double, std::milli>(end - start).count();
   if (elapsed_ms != nullptr) *elapsed_ms = ms;
-  overhead_ms_ += ms;
+  AccrueOverhead(ms);
   if (capturing_ && result.ok()) {
     sql::Statement wrapper;
     wrapper.node = stmt.Clone();
@@ -224,7 +227,7 @@ Result<double> Server::ExecuteStatement(const sql::Statement& stmt) {
   // DML: modeled, not applied — the estimated cost stands in for execution.
   auto cost = optimizer_->CostStatement(stmt, current_config_);
   if (!cost.ok()) return cost.status();
-  overhead_ms_ += *cost;
+  AccrueOverhead(*cost);
   if (capturing_) {
     captured_.Add(stmt.Clone());
   }

@@ -19,8 +19,10 @@
 #ifndef DTA_SERVER_SERVER_H_
 #define DTA_SERVER_SERVER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -93,6 +95,11 @@ class Server : public engine::DataSource {
   // `simulate_hardware` is provided, the optimizer models that hardware
   // instead of this server's own (test server simulating production).
   // Accrues a simulated optimization duration on this server.
+  //
+  // Thread-safe against concurrent WhatIfCost calls (the tuner's worker
+  // pool fans costing out); setup mutations (AttachDatabase, statistics
+  // creation/import, ImplementConfiguration) must still be serialized
+  // against costing, which the tuning pipeline's phase structure does.
   Result<WhatIfResult> WhatIfCost(
       const sql::Statement& stmt, const catalog::Configuration& config,
       const optimizer::HardwareParams* simulate_hardware = nullptr);
@@ -102,7 +109,9 @@ class Server : public engine::DataSource {
       const sql::SelectStatement& stmt, const catalog::Configuration& config,
       const optimizer::HardwareParams* simulate_hardware = nullptr);
 
-  size_t whatif_call_count() const { return whatif_calls_; }
+  size_t whatif_call_count() const {
+    return whatif_calls_.load(std::memory_order_relaxed);
+  }
 
   // ---- Implemented configuration and execution --------------------------
   // Makes `config` the server's actual physical design (drops previously
@@ -141,10 +150,14 @@ class Server : public engine::DataSource {
   Result<double> ExecuteStatement(const sql::Statement& stmt);
 
   // ---- Overhead metering -------------------------------------------------
-  double overhead_ms() const { return overhead_ms_; }
+  double overhead_ms() const {
+    std::lock_guard<std::mutex> lock(meter_mu_);
+    return overhead_ms_;
+  }
   void ResetOverhead() {
+    std::lock_guard<std::mutex> lock(meter_mu_);
     overhead_ms_ = 0;
-    whatif_calls_ = 0;
+    whatif_calls_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -161,16 +174,26 @@ class Server : public engine::DataSource {
   std::map<std::string, storage::TableData> data_;  // "db.table"
   std::map<std::string, std::vector<storage::ColumnSpec>> specs_;
 
+  // Accrues simulated elapsed time from concurrent what-if calls.
+  void AccrueOverhead(double ms) {
+    std::lock_guard<std::mutex> lock(meter_mu_);
+    overhead_ms_ += ms;
+  }
+
   std::unique_ptr<optimizer::StatsProvider> provider_;
   std::unique_ptr<optimizer::Optimizer> optimizer_;
-  // Optimizers for simulated hardware are built per distinct parameter set.
+  // Optimizers for simulated hardware are built per distinct parameter set,
+  // lazily and possibly from concurrent what-if calls (guarded by
+  // simulated_mu_; unique_ptr values keep handed-out pointers stable).
+  std::mutex simulated_mu_;
   std::map<std::string, std::unique_ptr<optimizer::Optimizer>> simulated_;
 
   catalog::Configuration current_config_;
   std::unique_ptr<engine::Executor> executor_;
 
+  mutable std::mutex meter_mu_;
   double overhead_ms_ = 0;
-  size_t whatif_calls_ = 0;
+  std::atomic<size_t> whatif_calls_{0};
 
   bool capturing_ = false;
   workload::Workload captured_;

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace dta {
 namespace {
@@ -188,6 +191,71 @@ TEST(HashTest, BytesStable) {
 TEST(HashTest, CombineOrderMatters) {
   EXPECT_NE(HashCombine(HashBytes("a"), HashBytes("b")),
             HashCombine(HashBytes("b"), HashBytes("a")));
+}
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  std::atomic<int> sum{0};
+  WaitGroup wg;
+  wg.Add(100);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&sum, &wg, i] {
+      sum.fetch_add(i);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  ParallelFor(&pool, visits.size(),
+              [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolRunsSerially) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&](size_t i) {
+    // No pool: the loop runs on the caller, in order, so this unlocked
+    // mutation is safe and the order is deterministic.
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the caller.
+  ParallelFor(&pool, 1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossLoops) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    ParallelFor(&pool, 64, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i) + round);
+    });
+    EXPECT_EQ(sum.load(), 63 * 64 / 2 + 64 * round);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolDegradesToSerial) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  int calls = 0;
+  ParallelFor(&pool, 10, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 10);
 }
 
 }  // namespace

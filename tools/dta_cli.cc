@@ -4,7 +4,7 @@
 //
 // Usage:
 //   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
-//           [--evaluate] [--quiet]
+//           [--evaluate] [--quiet] [--threads N]
 //
 //   --metadata  ServerMetadata XML (produced by Server::ScriptMetadata or
 //               written by hand): databases, tables, columns, row counts.
@@ -14,6 +14,9 @@
 //   --evaluate  Do not tune: evaluate the input's user-specified
 //               configuration against the workload (paper §6.3).
 //   --quiet     Suppress the human-readable report on stdout.
+//   --threads   Worker threads for what-if costing (0 = all hardware
+//               threads, 1 = serial). The recommendation is identical at
+//               any thread count; only tuning wall-clock changes.
 //
 // The server built from metadata alone has no table data or generator
 // specs; statistics fall back to optimizer heuristics. This is DTA's
@@ -21,6 +24,7 @@
 // fidelity.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -54,7 +58,7 @@ dta::Status WriteFile(const std::string& path, const std::string& content) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --metadata server.xml --input tuning.xml "
-               "[--output out.xml] [--evaluate] [--quiet]\n",
+               "[--output out.xml] [--evaluate] [--quiet] [--threads N]\n",
                argv0);
   return 2;
 }
@@ -64,6 +68,7 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string metadata_path, input_path, output_path;
   bool evaluate = false, quiet = false;
+  int threads = -1;  // -1: keep the input document's (or default) setting
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -85,6 +90,15 @@ int main(int argc, char** argv) {
       evaluate = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "--threads expects a non-negative integer\n");
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -118,6 +132,8 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
+
+  if (threads >= 0) input->options.num_threads = threads;
 
   dta::tuner::TuningSession session(server->get(), input->options);
   std::string output_doc;
