@@ -1,0 +1,118 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace dta {
+
+namespace {
+
+// Uniform double in [0, 1) from a 64-bit hash (53 mantissa bits).
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Mix(uint64_t seed, uint64_t key, uint64_t salt) {
+  uint64_t h = HashCombine(seed, key);
+  h = HashCombine(h, salt);
+  // Final avalanche (splitmix64) so low-entropy keys still spread.
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& part : StrSplit(text, ',')) {
+    if (part.empty()) continue;
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec entry missing '=': " + part);
+    }
+    std::string key = part.substr(0, eq);
+    std::string value = part.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "seed") {
+      spec.seed = strtoull(value.c_str(), &end, 10);
+    } else if (key == "transient") {
+      spec.transient_probability = std::strtod(value.c_str(), &end);
+    } else if (key == "permanent") {
+      spec.permanent_probability = std::strtod(value.c_str(), &end);
+    } else if (key == "latency_ms") {
+      spec.latency_ms = std::strtod(value.c_str(), &end);
+    } else {
+      return Status::InvalidArgument("unknown fault spec key: " + key);
+    }
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad fault spec value: " + part);
+    }
+  }
+  if (spec.transient_probability < 0 || spec.transient_probability > 1 ||
+      spec.permanent_probability < 0 || spec.permanent_probability > 1) {
+    return Status::InvalidArgument("fault probabilities must lie in [0, 1]");
+  }
+  if (spec.latency_ms < 0) {
+    return Status::InvalidArgument("latency_ms must be >= 0");
+  }
+  return spec;
+}
+
+std::string FaultSpec::ToString() const {
+  return StrFormat("seed=%llu,transient=%g,permanent=%g,latency_ms=%g",
+                   static_cast<unsigned long long>(seed),
+                   transient_probability, permanent_probability, latency_ms);
+}
+
+FaultInjector::Outcome FaultInjector::Decide(uint64_t key) {
+  int attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[key]++;
+    ++calls_;
+  }
+  Outcome out;
+  out.latency_ms = spec_.latency_ms;
+  // Permanent failures are a property of the call key alone: every attempt
+  // fails, so retrying is futile and the caller must degrade.
+  if (spec_.permanent_probability > 0 &&
+      HashToUnit(Mix(spec_.seed, key, /*salt=*/0x7065726dull)) <
+          spec_.permanent_probability) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++permanent_;
+    out.status = Status::Internal("injected permanent optimizer failure");
+    return out;
+  }
+  // Transient failures draw fresh per attempt, so a retry of the same call
+  // deterministically succeeds once the attempt's hash clears the threshold.
+  if (spec_.transient_probability > 0 &&
+      HashToUnit(Mix(spec_.seed, key, 0x7472616eull + attempt)) <
+          spec_.transient_probability) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++transient_;
+    out.status = Status::Unavailable("injected transient optimizer failure");
+    return out;
+  }
+  return out;
+}
+
+size_t FaultInjector::calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_;
+}
+
+size_t FaultInjector::transient_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transient_;
+}
+
+size_t FaultInjector::permanent_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return permanent_;
+}
+
+}  // namespace dta

@@ -1,0 +1,80 @@
+// Deterministic fault injection for what-if optimizer calls.
+//
+// Production tuning runs for hours against a live (or test) server; optimizer
+// calls time out, fail transiently under load, or fail permanently for
+// individual statements. The simulated server consults a FaultInjector before
+// each what-if call so tests, benches, and CI can script those failure
+// scenarios and exercise the tuner's retry/degradation paths.
+//
+// Determinism: every decision is a pure hash of (seed, call key, attempt
+// number) — not a draw from a shared RNG stream — so the outcome of a given
+// call is identical no matter how many threads interleave, and a transient
+// failure deterministically clears after the same number of retries on every
+// run. Per-key attempt counters are the only mutable state (mutex-guarded).
+
+#ifndef DTA_COMMON_FAULT_INJECTOR_H_
+#define DTA_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace dta {
+
+// Parsed form of the "--fault-spec" / TuningOptions::fault_spec string:
+// comma-separated key=value pairs, e.g.
+//   "seed=42,transient=0.1,permanent=0.01,latency_ms=0.5"
+// Unknown keys are rejected; probabilities must lie in [0, 1].
+struct FaultSpec {
+  uint64_t seed = 1;
+  double transient_probability = 0;  // per-attempt Unavailable failure
+  double permanent_probability = 0;  // per-call-key Internal failure
+  double latency_ms = 0;             // extra latency added to every call
+
+  bool Enabled() const {
+    return transient_probability > 0 || permanent_probability > 0 ||
+           latency_ms > 0;
+  }
+
+  static Result<FaultSpec> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // Outcome of one injected call. `latency_ms` applies whether or not the
+  // call fails (a slow failure is the common production case).
+  struct Outcome {
+    Status status;  // OK, Unavailable (transient), or Internal (permanent)
+    double latency_ms = 0;
+  };
+
+  // Decides the fate of the next attempt of the call identified by `key`.
+  // Keys must be stable across runs (hash of statement + relevant
+  // configuration); attempts of the same key are numbered internally.
+  Outcome Decide(uint64_t key);
+
+  // Counters, for tests and reports.
+  size_t calls() const;
+  size_t transient_failures() const;
+  size_t permanent_failures() const;
+
+ private:
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, int> attempts_;
+  size_t calls_ = 0;
+  size_t transient_ = 0;
+  size_t permanent_ = 0;
+};
+
+}  // namespace dta
+
+#endif  // DTA_COMMON_FAULT_INJECTOR_H_

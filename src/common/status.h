@@ -22,7 +22,21 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  // Transient failure of a dependency (e.g. a what-if optimizer call on a
+  // loaded server); retrying the same operation may succeed.
+  kUnavailable,
+  // The operation ran out of its time budget.
+  kDeadlineExceeded,
+  // The operation was deliberately interrupted (e.g. a tuning session killed
+  // after writing a checkpoint); resumable, not an internal error.
+  kAborted,
 };
+
+// True for codes that describe transient conditions worth retrying.
+inline bool IsTransientCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
 const char* StatusCodeName(StatusCode code);
@@ -56,6 +70,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

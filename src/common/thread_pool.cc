@@ -60,19 +60,25 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn,
+                 const std::function<bool()>& cancel) {
   if (n == 0) return;
+  auto cancelled = [&cancel] { return cancel != nullptr && cancel(); };
   const size_t workers =
       pool == nullptr ? 0 : static_cast<size_t>(pool->num_workers());
   if (workers == 0 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancelled()) return;
+      fn(i);
+    }
     return;
   }
 
   std::atomic<size_t> next{0};
-  auto run = [&next, &fn, n] {
-    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
+  auto run = [&next, &fn, &cancelled, n] {
+    while (!cancelled()) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
       fn(i);
     }
   };

@@ -73,8 +73,15 @@ class ThreadPool {
 // thread and blocks until every call has finished. Iterations are claimed
 // dynamically (atomic counter), so uneven work still balances. With a null
 // or worker-less pool this is exactly the serial loop.
+//
+// When `cancel` is provided, every worker polls it before claiming the next
+// iteration and stops claiming once it returns true (iterations already
+// started run to completion). This is how time-bounded tuning stops a
+// fanned-out phase mid-flight instead of only at phase boundaries; callers
+// must treat unclaimed slots as "not run". The serial path polls identically.
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn,
+                 const std::function<bool()>& cancel = nullptr);
 
 }  // namespace dta
 

@@ -1,0 +1,298 @@
+#include "dta/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "dta/xml_schema.h"
+#include "xmlio/xml.h"
+
+namespace dta::tuner {
+
+namespace {
+
+// Costs must survive serialization bit-exactly (resume promises the
+// identical recommendation); C99 hex-float notation round-trips doubles
+// without rounding and strtod parses it back.
+std::string HexDouble(double v) { return StrFormat("%a", v); }
+double ParseDouble(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+const char* BoolStr(bool b) { return b ? "true" : "false"; }
+bool ParseBool(const std::string& s) {
+  return EqualsIgnoreCase(s, "true") || s == "1";
+}
+
+uint64_t ParseU64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+void StatsKeyToXml(const stats::StatsKey& key, xml::Element* parent) {
+  xml::Element* e = parent->AddChild("Stats");
+  e->SetAttr("Database", key.database);
+  e->SetAttr("Table", key.table);
+  for (const auto& c : key.columns) e->AddTextChild("Column", c);
+}
+
+stats::StatsKey StatsKeyFromXml(const xml::Element& e) {
+  std::vector<std::string> columns;
+  for (const xml::Element* c : e.FindChildren("Column")) {
+    columns.push_back(c->text());
+  }
+  return stats::StatsKey(e.Attr("Database"), e.Attr("Table"),
+                         std::move(columns));
+}
+
+void CandidateToXml(const Candidate& cand, xml::Element* parent) {
+  xml::Element* e = parent->AddChild("Candidate");
+  catalog::Configuration one;
+  switch (cand.kind) {
+    case Candidate::Kind::kIndex:
+      (void)one.AddIndex(cand.index);
+      break;
+    case Candidate::Kind::kView:
+      (void)one.AddView(cand.view);
+      // The public configuration schema rounds EstimatedRows for
+      // readability; the checkpoint needs the exact value (it feeds cost
+      // estimates).
+      e->SetAttr("ViewEstimatedRows", HexDouble(cand.view.estimated_rows));
+      break;
+    case Candidate::Kind::kTablePartitioning:
+      // SetTablePartitioning keys by table only; carry the database here.
+      e->SetAttr("Database", cand.database);
+      one.SetTablePartitioning(cand.table, cand.scheme);
+      break;
+  }
+  e->AddChild(ConfigurationToXml(one));
+}
+
+Result<Candidate> CandidateFromXml(const xml::Element& e,
+                                   const catalog::Catalog& catalog) {
+  const xml::Element* cfg_elem = e.FindChild("Configuration");
+  if (cfg_elem == nullptr) {
+    return Status::InvalidArgument("Candidate missing <Configuration>");
+  }
+  auto cfg = ConfigurationFromXml(*cfg_elem);
+  if (!cfg.ok()) return cfg.status();
+  if (!cfg->indexes().empty()) {
+    return Candidate::MakeIndex(cfg->indexes()[0], catalog);
+  }
+  if (!cfg->views().empty()) {
+    catalog::ViewDef view = cfg->views()[0];
+    if (e.HasAttr("ViewEstimatedRows")) {
+      view.estimated_rows = ParseDouble(e.Attr("ViewEstimatedRows"));
+    }
+    return Candidate::MakeView(std::move(view));
+  }
+  if (!cfg->table_partitioning().empty()) {
+    const auto& [table, scheme] = *cfg->table_partitioning().begin();
+    return Candidate::MakePartitioning(e.Attr("Database"), table, scheme);
+  }
+  return Status::InvalidArgument("Candidate carries no structure");
+}
+
+}  // namespace
+
+uint64_t WorkloadFingerprint(const workload::Workload& workload) {
+  uint64_t h = HashBytes("dta-workload");
+  for (const auto& ws : workload.statements()) {
+    h = HashCombine(h, HashBytes(ws.text));
+    h = HashCombine(h, HashBytes(StrFormat("%a", ws.weight)));
+  }
+  return h;
+}
+
+uint64_t OptionsFingerprint(const TuningOptions& o) {
+  // Every option that can change the recommendation, in a fixed order.
+  // num_threads and the checkpoint paths are excluded on purpose: results
+  // are thread-count invariant, and where a snapshot lives does not change
+  // what it resumes to.
+  std::ostringstream out;
+  out << o.tune_indexes << '|' << o.tune_materialized_views << '|'
+      << o.tune_partitioning << '|' << o.require_alignment << '|'
+      << (o.storage_bytes.has_value() ? StrFormat("%llu",
+                                                  static_cast<unsigned long long>(
+                                                      *o.storage_bytes))
+                                      : "-")
+      << '|'
+      << (o.time_limit_ms.has_value() ? StrFormat("%a", *o.time_limit_ms)
+                                      : "-")
+      << '|' << o.keep_existing_structures << '|' << o.workload_compression
+      << '|' << o.reduced_statistics << '|' << o.fault_spec << '|'
+      << o.retry.max_attempts << '|' << StrFormat("%a", o.retry.initial_backoff_ms)
+      << '|' << StrFormat("%a", o.retry.backoff_multiplier) << '|'
+      << StrFormat("%a", o.retry.max_backoff_ms) << '|'
+      << StrFormat("%a", o.retry.jitter_fraction) << '|'
+      << o.degrade_on_failure << '|' << o.candidate_selection_m << '|'
+      << o.candidate_selection_k << '|' << o.max_candidates_per_statement
+      << '|' << o.enumeration_m << '|' << o.enumeration_k << '|'
+      << StrFormat("%a", o.min_improvement_fraction) << '|'
+      << o.max_enumeration_candidates << '|'
+      << StrFormat("%a", o.column_group_cost_fraction) << '|'
+      << o.max_column_group_size << '|' << o.enable_merging << '|'
+      << o.lazy_alignment << '|' << o.max_partition_boundaries << '|'
+      << ConfigurationToXml(o.user_specified)->ToString();
+  return HashBytes(out.str());
+}
+
+std::string CheckpointToXml(const SessionCheckpoint& ckpt) {
+  xml::Element root("DTACheckpoint");
+  root.SetAttr("Version", "1");
+  root.SetAttr("WorkloadFingerprint",
+               StrFormat("%llu", static_cast<unsigned long long>(
+                                     ckpt.workload_fingerprint)));
+  root.SetAttr("OptionsFingerprint",
+               StrFormat("%llu", static_cast<unsigned long long>(
+                                     ckpt.options_fingerprint)));
+  root.SetAttr("Phase", StrFormat("%d", ckpt.phase));
+  root.SetAttr("StatsRequested", StrFormat("%zu", ckpt.stats_requested));
+  root.SetAttr("StatsCreated", StrFormat("%zu", ckpt.stats_created));
+  root.SetAttr("StatsCreationMs", HexDouble(ckpt.stats_creation_ms));
+  root.SetAttr("CandidatesGenerated",
+               StrFormat("%zu", ckpt.candidates_generated));
+
+  xml::Element* costs = root.AddChild("CurrentCosts");
+  for (double c : ckpt.current_costs) costs->AddTextChild("Cost", HexDouble(c));
+
+  xml::Element* missing = root.AddChild("MissingStats");
+  for (const auto& key : ckpt.missing_stats) StatsKeyToXml(key, missing);
+  xml::Element* created = root.AddChild("CreatedStats");
+  for (const auto& key : ckpt.created_stats) StatsKeyToXml(key, created);
+
+  xml::Element* cache = root.AddChild("CostCache");
+  for (const auto& entry : ckpt.cache) {
+    xml::Element* e = cache->AddChild("Entry");
+    e->SetAttr("Statement", StrFormat("%zu", entry.statement));
+    e->SetAttr("Cost", HexDouble(entry.cost));
+    if (entry.degraded) e->SetAttr("Degraded", "true");
+    e->AddTextChild("Fingerprint", entry.fingerprint);
+  }
+
+  if (ckpt.phase >= kCheckpointPoolReady) {
+    xml::Element* pool = root.AddChild("CandidatePool");
+    for (const auto& cand : ckpt.pool) CandidateToXml(cand, pool);
+  }
+
+  if (ckpt.phase >= kCheckpointEnumeration) {
+    xml::Element* en = root.AddChild("Enumeration");
+    en->SetAttr("Phase1Done", BoolStr(ckpt.enumeration.phase1_done));
+    en->SetAttr("Cost", HexDouble(ckpt.enumeration.cost));
+    for (const auto& name : ckpt.enumeration.chosen) {
+      en->AddTextChild("Chosen", name);
+    }
+    for (int s : ckpt.enumeration.strikes) {
+      en->AddTextChild("Strike", StrFormat("%d", s));
+    }
+  }
+  return root.ToString(/*prolog=*/true);
+}
+
+Result<SessionCheckpoint> CheckpointFromXml(const std::string& xml_text,
+                                            const catalog::Catalog& catalog) {
+  auto parsed = xml::Parse(xml_text);
+  if (!parsed.ok()) return parsed.status();
+  const xml::Element& root = **parsed;
+  if (root.name() != "DTACheckpoint") {
+    return Status::InvalidArgument("not a DTACheckpoint document");
+  }
+  SessionCheckpoint ckpt;
+  ckpt.workload_fingerprint = ParseU64(root.Attr("WorkloadFingerprint"));
+  ckpt.options_fingerprint = ParseU64(root.Attr("OptionsFingerprint"));
+  ckpt.phase = std::atoi(root.Attr("Phase").c_str());
+  if (ckpt.phase < kCheckpointCurrentCosts ||
+      ckpt.phase > kCheckpointEnumeration) {
+    return Status::InvalidArgument("DTACheckpoint has an unknown phase");
+  }
+  ckpt.stats_requested =
+      static_cast<size_t>(ParseU64(root.Attr("StatsRequested")));
+  ckpt.stats_created =
+      static_cast<size_t>(ParseU64(root.Attr("StatsCreated")));
+  ckpt.stats_creation_ms = ParseDouble(root.Attr("StatsCreationMs"));
+  ckpt.candidates_generated =
+      static_cast<size_t>(ParseU64(root.Attr("CandidatesGenerated")));
+
+  if (const xml::Element* costs = root.FindChild("CurrentCosts")) {
+    for (const xml::Element* c : costs->FindChildren("Cost")) {
+      ckpt.current_costs.push_back(ParseDouble(c->text()));
+    }
+  }
+  if (const xml::Element* missing = root.FindChild("MissingStats")) {
+    for (const xml::Element* s : missing->FindChildren("Stats")) {
+      ckpt.missing_stats.insert(StatsKeyFromXml(*s));
+    }
+  }
+  if (const xml::Element* created = root.FindChild("CreatedStats")) {
+    for (const xml::Element* s : created->FindChildren("Stats")) {
+      ckpt.created_stats.push_back(StatsKeyFromXml(*s));
+    }
+  }
+  if (const xml::Element* cache = root.FindChild("CostCache")) {
+    for (const xml::Element* e : cache->FindChildren("Entry")) {
+      CostService::CacheEntry entry;
+      entry.statement = static_cast<size_t>(ParseU64(e->Attr("Statement")));
+      entry.cost = ParseDouble(e->Attr("Cost"));
+      entry.degraded = ParseBool(e->Attr("Degraded"));
+      entry.fingerprint = e->ChildText("Fingerprint");
+      ckpt.cache.push_back(std::move(entry));
+    }
+  }
+  if (const xml::Element* pool = root.FindChild("CandidatePool")) {
+    for (const xml::Element* c : pool->FindChildren("Candidate")) {
+      auto cand = CandidateFromXml(*c, catalog);
+      if (!cand.ok()) return cand.status();
+      ckpt.pool.push_back(std::move(cand).value());
+    }
+  }
+  if (const xml::Element* en = root.FindChild("Enumeration")) {
+    ckpt.enumeration.phase1_done = ParseBool(en->Attr("Phase1Done"));
+    ckpt.enumeration.cost = ParseDouble(en->Attr("Cost"));
+    for (const xml::Element* c : en->FindChildren("Chosen")) {
+      ckpt.enumeration.chosen.push_back(c->text());
+    }
+    for (const xml::Element* s : en->FindChildren("Strike")) {
+      ckpt.enumeration.strikes.push_back(std::atoi(s->text().c_str()));
+    }
+  }
+  return ckpt;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const SessionCheckpoint& checkpoint) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot write checkpoint file: " + tmp);
+    }
+    out << CheckpointToXml(checkpoint);
+    out.flush();
+    if (!out) {
+      return Status::Internal("short write to checkpoint file: " + tmp);
+    }
+  }
+  // Atomic replace: a crash between write and rename leaves the previous
+  // checkpoint intact; a crash mid-write only corrupts the .tmp file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename checkpoint into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<SessionCheckpoint> LoadCheckpoint(const std::string& path,
+                                         const catalog::Catalog& catalog) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CheckpointFromXml(buffer.str(), catalog);
+}
+
+}  // namespace dta::tuner

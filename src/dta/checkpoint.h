@@ -1,0 +1,96 @@
+// Crash-safe session checkpoints (robustness layer).
+//
+// A tuning session writes a resumable snapshot of its progress after every
+// expensive phase — the current-cost pass, candidate pool finalization, the
+// enumeration exhaustive phase, and each completed greedy round — so an
+// interrupted session (crash, eviction, kill) restarts from the last
+// checkpoint instead of from scratch and produces the *identical*
+// recommendation an uninterrupted run would have produced.
+//
+// What makes resume bit-identical:
+//   * the snapshot carries the full what-if cost cache, so re-driven search
+//     steps hit the cache instead of re-pricing (and degraded entries stay
+//     degraded);
+//   * the keys of every statistic the interrupted run created are recorded;
+//     resume re-creates them (statistics builds are deterministic in the
+//     data) *before* importing the cache, so cached costs remain valid and
+//     the stats-creation phases become no-ops that never clear the cache;
+//   * the enumeration greedy state (chosen candidate names, objective,
+//     two-strike elimination counters) restarts the search mid-stream.
+//
+// Checkpoints serialize to the project's XML vocabulary (xmlio). Costs are
+// rendered as C99 hex floats so they round-trip bit-exactly. Files are
+// written atomically: serialize to "<path>.tmp", then rename over <path> —
+// a crash mid-write never corrupts the previous checkpoint.
+
+#ifndef DTA_DTA_CHECKPOINT_H_
+#define DTA_DTA_CHECKPOINT_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "dta/candidates.h"
+#include "dta/cost_service.h"
+#include "dta/enumeration.h"
+#include "dta/tuning_options.h"
+#include "stats/statistics.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+
+// Phase markers, ordered by pipeline progress.
+inline constexpr int kCheckpointCurrentCosts = 1;  // current-cost pass done
+inline constexpr int kCheckpointPoolReady = 2;     // candidate pool final
+inline constexpr int kCheckpointEnumeration = 3;   // greedy state present
+
+struct SessionCheckpoint {
+  // Guard against resuming with a different workload or different options:
+  // either would silently produce a recommendation that matches neither run.
+  uint64_t workload_fingerprint = 0;
+  uint64_t options_fingerprint = 0;
+  int phase = kCheckpointCurrentCosts;
+
+  std::vector<double> current_costs;  // per tuned statement, in order
+  std::set<stats::StatsKey> missing_stats;
+  std::vector<stats::StatsKey> created_stats;  // creation order
+  std::vector<CostService::CacheEntry> cache;
+
+  std::vector<Candidate> pool;  // phase >= kCheckpointPoolReady
+
+  EnumerationResume enumeration;  // phase == kCheckpointEnumeration
+
+  // Report counters accumulated before the snapshot; restored verbatim so a
+  // resumed session's report matches the uninterrupted one.
+  size_t stats_requested = 0;
+  size_t stats_created = 0;
+  double stats_creation_ms = 0;
+  size_t candidates_generated = 0;
+};
+
+// Fingerprint of the (compressed) workload actually tuned: statement texts
+// and weights, order-sensitive.
+uint64_t WorkloadFingerprint(const workload::Workload& workload);
+// Fingerprint of every result-affecting tuning option. Deliberately excludes
+// num_threads (recommendations are thread-count invariant) and the
+// checkpoint/resume paths themselves.
+uint64_t OptionsFingerprint(const TuningOptions& options);
+
+std::string CheckpointToXml(const SessionCheckpoint& checkpoint);
+// `catalog` rebuilds candidate identities (canonical names, storage
+// estimates) for the restored pool.
+Result<SessionCheckpoint> CheckpointFromXml(const std::string& xml_text,
+                                            const catalog::Catalog& catalog);
+
+// Atomic write: "<path>.tmp" + rename.
+Status SaveCheckpoint(const std::string& path,
+                      const SessionCheckpoint& checkpoint);
+Result<SessionCheckpoint> LoadCheckpoint(const std::string& path,
+                                         const catalog::Catalog& catalog);
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_CHECKPOINT_H_

@@ -1,8 +1,13 @@
 #include "dta/cost_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
 
+#include "common/hash.h"
 #include "common/strings.h"
+#include "optimizer/heuristic_cost.h"
 
 namespace dta::tuner {
 
@@ -29,14 +34,24 @@ std::set<std::string> TablesOf(const sql::Statement& stmt) {
   return out;
 }
 
+// [-1, 1) from a 64-bit hash, for deterministic backoff jitter.
+double HashToSignedUnit(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+}
+
 }  // namespace
 
 CostService::CostService(server::Server* server,
                          const optimizer::HardwareParams* simulate_hardware,
-                         const workload::Workload* workload)
+                         const workload::Workload* workload, Config config)
     : server_(server),
       simulate_hardware_(simulate_hardware),
-      workload_(workload) {
+      workload_(workload),
+      config_(std::move(config)) {
   statement_tables_.reserve(workload->size());
   for (const auto& ws : workload->statements()) {
     statement_tables_.push_back(TablesOf(ws.stmt));
@@ -73,33 +88,120 @@ std::string CostService::RelevantFingerprint(
   return StrJoin(parts, "|");
 }
 
+void CostService::RecordAttempts(int attempts) {
+  size_t bucket = std::min<size_t>(static_cast<size_t>(attempts),
+                                   kRetryHistogramBuckets) -
+                  1;
+  attempt_histogram_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<CostService::Entry> CostService::PriceWithRetries(
+    size_t index, const catalog::Configuration& config,
+    const std::string& fingerprint) {
+  const sql::Statement& stmt = workload_->statements()[index].stmt;
+  // The fault key identifies the *logical* call — statement plus relevant
+  // fingerprint — so injected outcomes are independent of which full
+  // configuration races a given shard entry first and of the thread count.
+  uint64_t fault_key = HashCombine(
+      HashBytes(workload_->statements()[index].text), HashBytes(fingerprint));
+  if (fault_key == 0) fault_key = 1;
+
+  const RetryPolicy& retry = config_.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    auto r = server_->WhatIfCost(stmt, config, simulate_hardware_, fault_key);
+    if (r.ok()) {
+      RecordAttempts(attempt);
+      if (!r->missing_stats.empty()) {
+        std::lock_guard<std::mutex> lock(missing_mu_);
+        for (const auto& key : r->missing_stats) missing_.insert(key);
+      }
+      return Entry{r->cost, false};
+    }
+    last = r.status();
+    if (!IsTransientCode(last.code())) {
+      // Permanent: retrying is futile.
+      RecordAttempts(attempt);
+      break;
+    }
+    if (attempt == max_attempts) {
+      RecordAttempts(attempt);
+      break;
+    }
+    double backoff =
+        std::min(retry.max_backoff_ms,
+                 retry.initial_backoff_ms *
+                     std::pow(retry.backoff_multiplier, attempt - 1));
+    backoff *= 1.0 + retry.jitter_fraction *
+                         HashToSignedUnit(HashCombine(
+                             fault_key, static_cast<uint64_t>(attempt)));
+    backoff = std::max(0.0, backoff);
+    if (config_.remaining_ms != nullptr) {
+      // Deadline-capped retries: never sleep past the session budget — a
+      // retry we cannot afford is treated as exhausted.
+      double remaining = config_.remaining_ms();
+      if (remaining <= backoff) {
+        RecordAttempts(attempt);
+        last = Status::DeadlineExceeded(
+            "session time budget exhausted while retrying what-if call");
+        break;
+      }
+    }
+    if (backoff > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff));
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (!config_.degrade_on_failure) return last;
+  // Graceful degradation: a configuration-independent heuristic estimate
+  // stands in, and the statement is flagged for the report.
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    degraded_statements_.insert(index);
+  }
+  const optimizer::HardwareParams& hw =
+      simulate_hardware_ != nullptr ? *simulate_hardware_
+                                    : server_->hardware();
+  double cost = optimizer::HeuristicStatementCost(
+      stmt, server_->catalog(), optimizer::CostModel(hw));
+  return Entry{cost, true};
+}
+
 Result<double> CostService::StatementCost(
     size_t index, const catalog::Configuration& config) {
   std::string fp = RelevantFingerprint(index, config);
   Shard& shard = *shards_[index];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.cache.find(fp);
-    if (it != shard.cache.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      auto it = shard.cache.find(fp);
+      if (it != shard.cache.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.cost;
+      }
+      // First thread to miss claims the pricing; later arrivals wait for
+      // the result instead of duplicating the what-if call, which keeps
+      // whatif_calls() exact at any thread count.
+      if (shard.inflight.insert(fp).second) break;
+      shard.cv.wait(lock);
     }
   }
-  // Cache miss: price outside the lock (the what-if call dominates; holding
-  // the shard lock across it would serialize enumeration).
-  auto r = server_->WhatIfCost(workload_->statements()[index].stmt, config,
-                               simulate_hardware_);
-  calls_.fetch_add(1, std::memory_order_relaxed);
-  if (!r.ok()) return r.status();
-  if (!r->missing_stats.empty()) {
-    std::lock_guard<std::mutex> lock(missing_mu_);
-    for (const auto& key : r->missing_stats) missing_.insert(key);
-  }
+  // Price outside the lock (the what-if call dominates; holding the shard
+  // lock across it would serialize enumeration).
+  auto priced = PriceWithRetries(index, config, fp);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.cache.emplace(std::move(fp), r->cost);
+    shard.inflight.erase(fp);
+    if (priced.ok()) shard.cache.emplace(std::move(fp), *priced);
+    shard.cv.notify_all();
   }
-  return r->cost;
+  if (!priced.ok()) return priced.status();
+  return priced->cost;
 }
 
 Result<double> CostService::WorkloadCost(const catalog::Configuration& config,
@@ -133,6 +235,50 @@ std::set<stats::StatsKey> CostService::missing_stats() const {
 void CostService::ClearMissingStats() {
   std::lock_guard<std::mutex> lock(missing_mu_);
   missing_.clear();
+}
+
+void CostService::SeedMissingStats(const std::set<stats::StatsKey>& keys) {
+  std::lock_guard<std::mutex> lock(missing_mu_);
+  for (const auto& key : keys) missing_.insert(key);
+}
+
+std::set<size_t> CostService::degraded_statements() const {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  return degraded_statements_;
+}
+
+std::array<size_t, kRetryHistogramBuckets> CostService::retry_histogram()
+    const {
+  std::array<size_t, kRetryHistogramBuckets> out{};
+  for (size_t i = 0; i < kRetryHistogramBuckets; ++i) {
+    out[i] = attempt_histogram_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<CostService::CacheEntry> CostService::ExportCache() const {
+  std::vector<CacheEntry> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    for (const auto& [fp, entry] : shards_[i]->cache) {
+      out.push_back(CacheEntry{i, fp, entry.cost, entry.degraded});
+    }
+  }
+  return out;
+}
+
+void CostService::ImportCache(const std::vector<CacheEntry>& entries) {
+  for (const auto& e : entries) {
+    if (e.statement >= shards_.size()) continue;
+    Shard& shard = *shards_[e.statement];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache.insert_or_assign(e.fingerprint,
+                                 Entry{e.cost, e.degraded});
+    if (e.degraded) {
+      std::lock_guard<std::mutex> dlock(degraded_mu_);
+      degraded_statements_.insert(e.statement);
+    }
+  }
 }
 
 void CostService::ClearCache() {

@@ -1,4 +1,5 @@
-// Cached what-if costing of a workload against a tuning server.
+// Cached, fault-tolerant what-if costing of a workload against a tuning
+// server.
 //
 // DTA makes thousands of what-if calls during search; most configurations
 // differ from previously priced ones only in structures irrelevant to a
@@ -10,16 +11,28 @@
 // The service is thread-safe: the cache is sharded per statement with a
 // per-shard mutex, counters are atomic, and the missing-statistics set is
 // mutex-guarded, so the tuner's worker pool can hammer StatementCost
-// concurrently. What-if calls run outside any lock; two threads racing on
-// the same cold (statement, fingerprint) pair may both price it — the
-// optimizer is deterministic, so both compute the same cost and one insert
-// wins (whatif_calls() can exceed the serial count, cached values cannot
-// diverge).
+// concurrently. What-if calls run outside any lock; a cold (statement,
+// fingerprint) pair is priced exactly once — the first thread to miss marks
+// the pair in-flight and later arrivals block on the shard's condition
+// variable until the price lands, so whatif_calls() is identical at any
+// thread count.
+//
+// Robustness (production servers fail): each what-if call runs under a
+// retry policy — transient failures (Unavailable/DeadlineExceeded) retry
+// with exponential backoff and deterministic jitter, bounded by the policy's
+// attempt cap and the remaining session time budget. Permanent failures, or
+// exhausted retries, degrade gracefully: the statement's cost falls back to
+// the catalog-only heuristic estimate, the cache entry is marked degraded,
+// and counters (retry histogram, degraded calls/statements) feed the report
+// instead of the whole session aborting.
 
 #ifndef DTA_DTA_COST_SERVICE_H_
 #define DTA_DTA_COST_SERVICE_H_
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +43,7 @@
 #include "catalog/physical_design.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "dta/tuning_options.h"
 #include "optimizer/hardware.h"
 #include "server/server.h"
 #include "stats/statistics.h"
@@ -37,15 +51,33 @@
 
 namespace dta::tuner {
 
+// Calls that took N attempts land in bucket N - 1; the last bucket also
+// absorbs anything beyond the histogram size.
+inline constexpr size_t kRetryHistogramBuckets = 8;
+
 class CostService {
  public:
+  // Fault-tolerance knobs; the default is retry-with-degradation and no
+  // session deadline.
+  struct Config {
+    RetryPolicy retry;
+    bool degrade_on_failure = true;
+    // Remaining session time budget (ms); bounds per-call retry backoff.
+    // Null means unbounded.
+    std::function<double()> remaining_ms;
+  };
+
   // `server` performs the what-if calls (the test server in §5.3 mode).
   // When `simulate_hardware` is set, its parameters are simulated in every
   // call (the production server's hardware). The workload must outlive the
   // service.
   CostService(server::Server* server,
               const optimizer::HardwareParams* simulate_hardware,
-              const workload::Workload* workload);
+              const workload::Workload* workload, Config config);
+  CostService(server::Server* server,
+              const optimizer::HardwareParams* simulate_hardware,
+              const workload::Workload* workload)
+      : CostService(server, simulate_hardware, workload, Config()) {}
 
   // Optimizer-estimated cost of statement i under the configuration
   // (cached; weight NOT applied). Safe to call from many threads.
@@ -63,12 +95,42 @@ class CostService {
   // Returns a snapshot; safe to call concurrently with StatementCost.
   std::set<stats::StatsKey> missing_stats() const;
   void ClearMissingStats();
+  // Pre-populates the missing-statistics set (checkpoint resume).
+  void SeedMissingStats(const std::set<stats::StatsKey>& keys);
 
-  // Number of actual what-if optimizer invocations (cache misses).
+  // Number of logical what-if pricings (cache misses). Exact at any thread
+  // count: racing threads on a cold pair block instead of double-pricing.
   size_t whatif_calls() const {
     return calls_.load(std::memory_order_relaxed);
   }
   size_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  // ---- Fault-tolerance accounting ---------------------------------------
+  // Failed attempts that were retried.
+  size_t whatif_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  // Pricings that fell back to the heuristic estimate.
+  size_t degraded_calls() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  // Statement indexes with at least one degraded pricing (snapshot).
+  std::set<size_t> degraded_statements() const;
+  // retry_histogram()[n] = pricings that needed n + 1 attempts.
+  std::array<size_t, kRetryHistogramBuckets> retry_histogram() const;
+
+  // ---- Checkpointing ----------------------------------------------------
+  // Snapshot/restore of the cache for crash-safe session checkpoints. Must
+  // not run concurrently with StatementCost. Entries are keyed by statement
+  // index + fingerprint; callers guarantee the workload matches.
+  struct CacheEntry {
+    size_t statement = 0;
+    std::string fingerprint;
+    double cost = 0;
+    bool degraded = false;
+  };
+  std::vector<CacheEntry> ExportCache() const;
+  void ImportCache(const std::vector<CacheEntry>& entries);
 
   // Invalidate everything (e.g. after statistics changed). Must not run
   // concurrently with StatementCost.
@@ -78,28 +140,48 @@ class CostService {
   server::Server* server() { return server_; }
 
  private:
+  struct Entry {
+    double cost = 0;
+    bool degraded = false;
+  };
   // One cache shard per statement: selection work for a statement stays on
   // one thread, so shards keep lock contention confined to enumeration,
-  // where different subsets price the same statement concurrently.
+  // where different subsets price the same statement concurrently. The
+  // in-flight set + condition variable deduplicate racing cold misses.
   struct Shard {
     std::mutex mu;
-    std::map<std::string, double> cache;
+    std::condition_variable cv;
+    std::map<std::string, Entry> cache;
+    std::set<std::string> inflight;
   };
 
   std::string RelevantFingerprint(size_t index,
                                   const catalog::Configuration& config) const;
+  // Prices one cold (statement, fingerprint) pair: what-if call with
+  // retry/backoff/deadline, falling back to the heuristic estimate when the
+  // failure is persistent and degradation is enabled.
+  Result<Entry> PriceWithRetries(size_t index,
+                                 const catalog::Configuration& config,
+                                 const std::string& fingerprint);
+  void RecordAttempts(int attempts);
 
   server::Server* server_;
   const optimizer::HardwareParams* simulate_hardware_;
   const workload::Workload* workload_;
+  Config config_;
 
   // Lower-cased table names referenced by each statement.
   std::vector<std::set<std::string>> statement_tables_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex missing_mu_;
   std::set<stats::StatsKey> missing_;
+  mutable std::mutex degraded_mu_;
+  std::set<size_t> degraded_statements_;
   std::atomic<size_t> calls_{0};
   std::atomic<size_t> hits_{0};
+  std::atomic<size_t> retries_{0};
+  std::atomic<size_t> degraded_{0};
+  std::array<std::atomic<size_t>, kRetryHistogramBuckets> attempt_histogram_{};
 };
 
 }  // namespace dta::tuner

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 
 #include "common/strings.h"
 #include "dta/greedy.h"
@@ -62,7 +63,9 @@ Result<catalog::Configuration> BuildConfiguration(
 Result<EnumerationResult> EnumerateConfiguration(
     CostService* costs, const std::vector<Candidate>& candidates,
     const catalog::Configuration& base, const TuningOptions& options,
-    const std::function<bool()>& should_stop, ThreadPool* thread_pool) {
+    const std::function<bool()>& should_stop, ThreadPool* thread_pool,
+    const EnumerationResume* resume,
+    const std::function<void(const EnumerationResume&)>& on_progress) {
   // Eager alignment ablation (§4): pre-expand every index candidate with
   // every proposed partitioning of its table. Lazy mode introduces aligned
   // variants only as partitionings are chosen, keeping the pool small.
@@ -109,10 +112,47 @@ Result<EnumerationResult> EnumerateConfiguration(
     return cost;
   };
 
+  // Checkpoint snapshots name candidates rather than indexing them; the
+  // pool expansion above is deterministic, so names resolve back to stable
+  // indexes on resume.
+  GreedyState seed;
+  const GreedyState* seed_ptr = nullptr;
+  if (resume != nullptr && resume->phase1_done) {
+    std::map<std::string, size_t> index_by_name;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      index_by_name.emplace(pool[i].name, i);
+    }
+    seed.phase1_done = true;
+    seed.cost = resume->cost;
+    seed.strikes = resume->strikes;
+    for (const auto& name : resume->chosen) {
+      auto it = index_by_name.find(name);
+      if (it == index_by_name.end()) {
+        return Status::FailedPrecondition(
+            StrFormat("checkpoint names unknown candidate '%s'",
+                      name.c_str()));
+      }
+      seed.chosen.push_back(it->second);
+    }
+    seed_ptr = &seed;
+  }
+  std::function<void(const GreedyState&)> progress;
+  if (on_progress != nullptr) {
+    progress = [&](const GreedyState& state) {
+      EnumerationResume snapshot;
+      snapshot.phase1_done = state.phase1_done;
+      snapshot.cost = state.cost;
+      snapshot.strikes = state.strikes;
+      for (size_t i : state.chosen) snapshot.chosen.push_back(pool[i].name);
+      on_progress(snapshot);
+    };
+  }
+
   GreedyResult greedy =
       GreedySearch(pool.size(), options.enumeration_m, options.enumeration_k,
                    *base_cost, eval, should_stop,
-                   options.min_improvement_fraction, thread_pool);
+                   options.min_improvement_fraction, thread_pool, seed_ptr,
+                   progress);
 
   EnumerationResult out;
   out.eval_work_ms = eval_work_ms.load();

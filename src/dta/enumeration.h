@@ -29,17 +29,37 @@ struct EnumerationResult {
   double eval_work_ms = 0;               // summed per-evaluation wall time
 };
 
+// Resumable greedy state, expressed in candidate *names* so it can be
+// serialized into a session checkpoint: chosen structures in selection
+// order, the cost of that subset, and the two-strike elimination state over
+// the (deterministically expanded) candidate pool.
+struct EnumerationResume {
+  bool phase1_done = false;
+  std::vector<std::string> chosen;  // candidate names, selection order
+  double cost = 0;
+  std::vector<int> strikes;  // per expanded-pool candidate
+};
+
 // `base` contains structures that are always present (constraint-enforcing
 // indexes and the user-specified configuration).
 //
 // When `pool` is given, the per-candidate evaluations inside each greedy
 // round are priced in parallel; the chosen configuration and cost are
 // identical to the serial search (see GreedySearch).
+//
+// `resume`, when provided with phase1_done set, continues an interrupted
+// search (the greedy rounds pick up exactly where the snapshot left off);
+// `on_progress`, when provided, receives a resumable snapshot after the
+// exhaustive phase and after every completed greedy round — the tuning
+// session persists these as crash-safe checkpoints.
 Result<EnumerationResult> EnumerateConfiguration(
     CostService* costs, const std::vector<Candidate>& candidates,
     const catalog::Configuration& base, const TuningOptions& options,
     const std::function<bool()>& should_stop = nullptr,
-    ThreadPool* thread_pool = nullptr);
+    ThreadPool* thread_pool = nullptr,
+    const EnumerationResume* resume = nullptr,
+    const std::function<void(const EnumerationResume&)>& on_progress =
+        nullptr);
 
 // Builds base + subset into a full configuration, applying alignment
 // rewrites when required. Fails on conflicts (duplicate clustered index,

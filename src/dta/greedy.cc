@@ -21,13 +21,19 @@ std::vector<Evaluation> EvaluateBatch(
     const std::function<Result<double>(const std::vector<size_t>&)>& eval,
     const std::function<bool()>& should_stop, ThreadPool* pool) {
   std::vector<Evaluation> out(subsets.size());
-  ParallelFor(pool, subsets.size(), [&](size_t i) {
-    if (should_stop != nullptr && should_stop()) return;
-    auto c = eval(subsets[i]);
-    out[i].ran = true;
-    out[i].ok = c.ok();
-    if (c.ok()) out[i].cost = *c;
-  });
+  // `should_stop` doubles as ParallelFor's cancel predicate: workers stop
+  // claiming new subsets once the deadline passes, instead of starting every
+  // remaining evaluation just to bail inside it.
+  ParallelFor(
+      pool, subsets.size(),
+      [&](size_t i) {
+        if (should_stop != nullptr && should_stop()) return;
+        auto c = eval(subsets[i]);
+        out[i].ran = true;
+        out[i].ok = c.ok();
+        if (c.ok()) out[i].cost = *c;
+      },
+      should_stop);
   return out;
 }
 
@@ -37,14 +43,36 @@ GreedyResult GreedySearch(
     size_t candidate_count, int m, int k, double empty_cost,
     const std::function<Result<double>(const std::vector<size_t>&)>& eval,
     const std::function<bool()>& should_stop,
-    double min_relative_improvement, ThreadPool* pool) {
+    double min_relative_improvement, ThreadPool* pool,
+    const GreedyState* resume,
+    const std::function<void(const GreedyState&)>& on_progress) {
   GreedyResult best;
   best.cost = empty_cost;
 
   auto stopped = [&]() { return should_stop != nullptr && should_stop(); };
 
+  std::vector<int> strikes(candidate_count, 0);
+  const bool resuming = resume != nullptr && resume->phase1_done;
+  if (resuming) {
+    best.chosen = resume->chosen;
+    best.cost = resume->cost;
+    for (size_t i = 0; i < resume->strikes.size() && i < candidate_count;
+         ++i) {
+      strikes[i] = resume->strikes[i];
+    }
+  }
+  auto report_progress = [&]() {
+    if (on_progress == nullptr) return;
+    GreedyState state;
+    state.phase1_done = true;
+    state.chosen = best.chosen;
+    state.cost = best.cost;
+    state.strikes = strikes;
+    on_progress(state);
+  };
+
   // Phase 1: exhaustive over subsets of size <= m (m is small: 1 or 2).
-  {
+  if (!resuming) {
     std::vector<std::vector<size_t>> subsets;
     if (m >= 1) {
       for (size_t i = 0; i < candidate_count; ++i) subsets.push_back({i});
@@ -66,6 +94,7 @@ GreedyResult GreedySearch(
         best.chosen = subsets[s];
       }
     }
+    report_progress();
   }
 
   // Phase 2: greedy extension up to k structures. Candidates whose marginal
@@ -73,7 +102,6 @@ GreedyResult GreedySearch(
   // rounds are dropped from further consideration — marginal benefits only
   // shrink as the configuration grows, so re-evaluating them every round
   // wastes what-if calls.
-  std::vector<int> strikes(candidate_count, 0);
   while (static_cast<int>(best.chosen.size()) < k && !stopped()) {
     std::vector<size_t> contenders;
     std::vector<std::vector<size_t>> subsets;
@@ -119,6 +147,7 @@ GreedyResult GreedySearch(
     if (improvement < min_relative_improvement) break;
     best.chosen.push_back(round_best_candidate);
     best.cost = round_best_cost;
+    report_progress();
   }
   return best;
 }

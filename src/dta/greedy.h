@@ -21,6 +21,18 @@ struct GreedyResult {
   size_t evaluations = 0;      // number of objective evaluations
 };
 
+// Resumable search state, snapshotted after the exhaustive phase and after
+// every completed greedy round (crash-safe checkpointing). Restarting a
+// search from a snapshot continues it exactly where it left off: `strikes`
+// carries the two-strike elimination state, so the resumed rounds evaluate
+// precisely the subsets the uninterrupted search would have evaluated.
+struct GreedyState {
+  bool phase1_done = false;
+  std::vector<size_t> chosen;  // candidate indexes, in selection order
+  double cost = 0;
+  std::vector<int> strikes;  // per-candidate elimination strikes
+};
+
 // `eval` returns the objective (lower is better) for a subset of candidate
 // indexes, or an error when the subset is infeasible (e.g. conflicting
 // clustered indexes, storage bound exceeded) — infeasible subsets are
@@ -40,11 +52,18 @@ struct GreedyResult {
 // identical to the single-threaded search (time-bounded runs excepted:
 // threads poll `should_stop` independently, exactly as the serial loop
 // polls it between evaluations).
+//
+// `resume`, when provided with phase1_done set, skips the exhaustive phase
+// and continues the greedy rounds from the snapshot. `on_progress`, when
+// provided, is invoked with a resumable snapshot after the exhaustive phase
+// and after every round that extends the chosen subset.
 GreedyResult GreedySearch(
     size_t candidate_count, int m, int k, double empty_cost,
     const std::function<Result<double>(const std::vector<size_t>&)>& eval,
     const std::function<bool()>& should_stop = nullptr,
-    double min_relative_improvement = 1e-9, ThreadPool* pool = nullptr);
+    double min_relative_improvement = 1e-9, ThreadPool* pool = nullptr,
+    const GreedyState* resume = nullptr,
+    const std::function<void(const GreedyState&)>& on_progress = nullptr);
 
 }  // namespace dta::tuner
 

@@ -12,12 +12,23 @@ std::string Report::ToText() const {
     out += StrFormat("Parallel costing: %d threads, %.2fx speedup\n",
                      threads, parallel_speedup);
   }
+  if (whatif_retries > 0 || degraded_calls > 0) {
+    out += StrFormat(
+        "Fault tolerance: %zu what-if retries, %zu degraded pricings\n",
+        whatif_retries, degraded_calls);
+    for (size_t n = 1; n < retry_histogram.size(); ++n) {
+      if (retry_histogram[n] == 0) continue;
+      out += StrFormat("  %zu pricings needed %zu attempts\n",
+                       retry_histogram[n], n + 1);
+    }
+  }
   out += "Statements:\n";
   for (const auto& s : statements) {
     std::string sql = s.sql.size() > 72 ? s.sql.substr(0, 69) + "..." : s.sql;
-    out += StrFormat("  [w=%.0f] %8.2f -> %8.2f  %5.1f%%  %s\n", s.weight,
+    out += StrFormat("  [w=%.0f] %8.2f -> %8.2f  %5.1f%%%s  %s\n", s.weight,
                      s.current_cost, s.recommended_cost,
-                     s.ImprovementPercent(), sql.c_str());
+                     s.ImprovementPercent(), s.degraded ? " (degraded)" : "",
+                     sql.c_str());
   }
   if (!structure_usage.empty()) {
     out += "Structure usage (statements):\n";
@@ -38,11 +49,23 @@ xml::ElementPtr Report::ToXml() const {
     root->SetAttr("Threads", StrFormat("%d", threads));
     root->SetAttr("ParallelSpeedup", StrFormat("%.2f", parallel_speedup));
   }
+  if (whatif_retries > 0 || degraded_calls > 0) {
+    root->SetAttr("WhatIfRetries", StrFormat("%zu", whatif_retries));
+    root->SetAttr("DegradedCalls", StrFormat("%zu", degraded_calls));
+    xml::Element* hist = root->AddChild("RetryHistogram");
+    for (size_t n = 0; n < retry_histogram.size(); ++n) {
+      if (retry_histogram[n] == 0) continue;
+      xml::Element* b = hist->AddChild("Bucket");
+      b->SetAttr("Attempts", StrFormat("%zu", n + 1));
+      b->SetAttr("Pricings", StrFormat("%zu", retry_histogram[n]));
+    }
+  }
   for (const auto& s : statements) {
     xml::Element* e = root->AddChild("Statement");
     e->SetAttr("Weight", StrFormat("%.2f", s.weight));
     e->SetAttr("CurrentCost", StrFormat("%.4f", s.current_cost));
     e->SetAttr("RecommendedCost", StrFormat("%.4f", s.recommended_cost));
+    if (s.degraded) e->SetAttr("Degraded", "true");
     e->set_text(s.sql);
   }
   for (const auto& [name, count] : structure_usage) {

@@ -17,6 +17,10 @@ struct StatementReport {
   double weight = 1;
   double current_cost = 0;
   double recommended_cost = 0;
+  // True when at least one of this statement's what-if pricings fell back
+  // to the heuristic estimate (persistent optimizer failures): its cost
+  // columns are approximations.
+  bool degraded = false;
 
   double ImprovementPercent() const {
     if (current_cost <= 0) return 0;
@@ -37,6 +41,14 @@ struct Report {
   // the fanned-out costing phases (1 when tuning ran serially).
   int threads = 1;
   double parallel_speedup = 1;
+
+  // Fault tolerance: retried what-if attempts, pricings that degraded to
+  // the heuristic estimate, and the attempts-per-pricing distribution
+  // (retry_histogram[n] = pricings that needed n + 1 attempts; empty when
+  // no pricing ran).
+  size_t whatif_retries = 0;
+  size_t degraded_calls = 0;
+  std::vector<size_t> retry_histogram;
 
   double ImprovementPercent() const {
     if (current_total <= 0) return 0;

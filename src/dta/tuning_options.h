@@ -8,11 +8,26 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <thread>
 
 #include "catalog/physical_design.h"
 
 namespace dta::tuner {
+
+// Retry policy for what-if optimizer calls (robustness layer). A transient
+// failure (Unavailable/DeadlineExceeded) is retried with exponential backoff
+// and deterministic jitter, capped by `max_attempts` and by the remaining
+// session time budget; any other failure — or exhausting the retries — makes
+// the cost service degrade to the heuristic estimate instead of aborting the
+// session.
+struct RetryPolicy {
+  int max_attempts = 4;           // total attempts, including the first
+  double initial_backoff_ms = 1;  // sleep before the second attempt
+  double backoff_multiplier = 2;
+  double max_backoff_ms = 64;
+  double jitter_fraction = 0.5;  // +/- fraction of the backoff, hash-derived
+};
 
 struct TuningOptions {
   // ---- Feature set (paper §3: DBAs may restrict tuning to a subset).
@@ -46,15 +61,39 @@ struct TuningOptions {
   // Worker threads for what-if costing fan-out (current-cost pass,
   // per-statement candidate selection, greedy-round evaluations). 0 means
   // "auto" (std::thread::hardware_concurrency()); 1 restores fully serial
-  // tuning, bit-for-bit. Recommendations and costs are identical at any
-  // thread count — only wall-clock time (and the what-if call counter,
-  // which may see benign duplicated misses) varies.
+  // tuning, bit-for-bit. Recommendations, costs, and the what-if call
+  // counter are identical at any thread count (cold misses are deduplicated
+  // in-flight, so a (statement, fingerprint) pair is priced exactly once);
+  // only wall-clock time varies.
   int num_threads = 0;
   int ResolvedNumThreads() const {
     if (num_threads > 0) return num_threads;
     unsigned hc = std::thread::hardware_concurrency();
     return hc == 0 ? 1 : static_cast<int>(hc);
   }
+
+  // ---- Robustness (fault tolerance of the what-if costing path).
+  // Fault injection scenario for the tuning server's what-if interface, as a
+  // FaultSpec string ("seed=42,transient=0.1,permanent=0.01,latency_ms=0.5");
+  // empty disables injection. Used by tests, benches, and the CI fault
+  // profile to script optimizer-call failures.
+  std::string fault_spec;
+  // Retry/backoff/deadline policy for transient what-if failures.
+  RetryPolicy retry;
+  // When true (default), statements whose what-if calls fail persistently
+  // fall back to the catalog-only heuristic estimate and are marked degraded
+  // in the report; when false, the first persistent failure aborts tuning.
+  bool degrade_on_failure = true;
+
+  // ---- Crash safety (checkpoint/resume).
+  // When set, the session serializes its progress (cost cache, phase
+  // outputs, greedy round state) to this path after every phase and every
+  // enumeration round, via an atomic tmp-file + rename.
+  std::string checkpoint_path;
+  // When set, the session restores the checkpoint at this path before
+  // tuning and skips completed work; the final recommendation is
+  // bit-identical to an uninterrupted run.
+  std::string resume_path;
 
   // ---- Search parameters.
   // Greedy(m,k) for per-query candidate selection.

@@ -6,10 +6,12 @@
 #include <map>
 #include <memory>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "dta/candidates.h"
+#include "dta/checkpoint.h"
 #include "dta/column_groups.h"
 #include "dta/cost_service.h"
 #include "dta/enumeration.h"
@@ -26,6 +28,16 @@ double NowMs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// Detaches a fault injector from the tuning server on every exit path of
+// Tune (there are many early returns; a dangling injector pointer on the
+// server would outlive the session).
+struct FaultInjectorGuard {
+  server::Server* server = nullptr;
+  ~FaultInjectorGuard() {
+    if (server != nullptr) server->set_fault_injector(nullptr);
+  }
+};
 
 }  // namespace
 
@@ -55,7 +67,8 @@ Status TuningSession::UseTestServer(server::Server* test) {
 }
 
 Status TuningSession::CreateAndImportStats(
-    const std::vector<stats::StatsKey>& keys, TuningResult* result) {
+    const std::vector<stats::StatsKey>& keys, TuningResult* result,
+    std::vector<stats::StatsKey>* created_log) {
   for (const auto& key : keys) {
     if (production_->HasStatistics(key)) {
       // Already on production: only import (free) when in test mode.
@@ -68,6 +81,23 @@ Status TuningSession::CreateAndImportStats(
       }
       result->stats_created += 1;
       result->stats_creation_ms += *duration;
+      if (created_log != nullptr) created_log->push_back(key);
+    }
+    if (test_ != nullptr && !test_->HasStatistics(key)) {
+      const stats::Statistics* s = production_->stats_manager().Find(key);
+      if (s != nullptr) test_->ImportStatistics(*s);
+    }
+  }
+  return Status::Ok();
+}
+
+Status TuningSession::RestoreStats(const std::vector<stats::StatsKey>& keys) {
+  for (const auto& key : keys) {
+    if (!production_->HasStatistics(key)) {
+      auto duration = production_->CreateStatistics(key);
+      // Same tolerance as the original run: a table that cannot produce
+      // statistics is skipped there too.
+      if (!duration.ok()) continue;
     }
     if (test_ != nullptr && !test_->HasStatistics(key)) {
       const stats::Statistics* s = production_->stats_manager().Find(key);
@@ -159,12 +189,105 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   server::Server* tuning_server = TuningServer();
   const optimizer::HardwareParams* simulate =
       test_ != nullptr ? &production_->hardware() : nullptr;
-  CostService costs(tuning_server, simulate, &tuned);
+
+  // ---- Robustness wiring. A fault injector (tests, benches, CI fault
+  // profile) attaches to the tuning server for the duration of the session;
+  // the cost service retries transient what-if failures under the session's
+  // remaining time budget and degrades persistent ones.
+  std::unique_ptr<FaultInjector> injector;
+  FaultInjectorGuard injector_guard;
+  if (!options_.fault_spec.empty()) {
+    auto spec = FaultSpec::Parse(options_.fault_spec);
+    if (!spec.ok()) return spec.status();
+    if (spec->Enabled()) {
+      injector = std::make_unique<FaultInjector>(*spec);
+      tuning_server->set_fault_injector(injector.get());
+      injector_guard.server = tuning_server;
+    }
+  }
+  CostService::Config cost_config;
+  cost_config.retry = options_.retry;
+  cost_config.degrade_on_failure = options_.degrade_on_failure;
+  if (options_.time_limit_ms.has_value()) {
+    const double limit = *options_.time_limit_ms;
+    cost_config.remaining_ms = [limit, t_start]() {
+      return limit - (NowMs() - t_start);
+    };
+  }
+  CostService costs(tuning_server, simulate, &tuned, std::move(cost_config));
+
+  // ---- Crash safety: resume a checkpointed session and/or write
+  // checkpoints as phases complete.
+  const uint64_t workload_fp = WorkloadFingerprint(tuned);
+  const uint64_t options_fp = OptionsFingerprint(options_);
+  SessionCheckpoint resume_ckpt;
+  bool resumed = false;
+  if (!options_.resume_path.empty()) {
+    auto loaded =
+        LoadCheckpoint(options_.resume_path, tuning_server->catalog());
+    if (!loaded.ok()) return loaded.status();
+    if (loaded->workload_fingerprint != workload_fp ||
+        loaded->options_fingerprint != options_fp) {
+      return Status::FailedPrecondition(
+          "checkpoint was written for a different workload or different "
+          "tuning options; refusing to resume");
+    }
+    resume_ckpt = std::move(loaded).value();
+    resumed = true;
+    result.resumed = true;
+  }
+
+  // Keys of every statistic this session creates, in creation order. Seeded
+  // from the checkpoint on resume so later checkpoints carry the full list.
+  std::vector<stats::StatsKey> created_stats_log;
+  if (resumed) {
+    created_stats_log = resume_ckpt.created_stats;
+    // Rebuild the interrupted run's statistics BEFORE importing its cost
+    // cache: the cached costs were priced under them, and with the
+    // statistics already present the stats-creation phases below become
+    // no-ops that never clear the imported cache.
+    DTA_RETURN_IF_ERROR(RestoreStats(resume_ckpt.created_stats));
+    costs.ImportCache(resume_ckpt.cache);
+    costs.SeedMissingStats(resume_ckpt.missing_stats);
+    result.stats_requested = resume_ckpt.stats_requested;
+    result.stats_created = resume_ckpt.stats_created;
+    result.stats_creation_ms = resume_ckpt.stats_creation_ms;
+    result.candidates_generated = resume_ckpt.candidates_generated;
+  }
 
   auto base = BaseConfiguration();
   if (!base.ok()) return base.status();
   const catalog::Configuration& current =
       production_->current_configuration();
+
+  // Serializes the session's progress to options_.checkpoint_path (atomic
+  // tmp + rename). `pool`/`enum_state` are null until the matching phase.
+  int checkpoint_ordinal = 0;
+  std::vector<double> current_costs(tuned.size(), 0.0);
+  auto write_checkpoint = [&](int phase, const std::vector<Candidate>* pool,
+                              const EnumerationResume* enum_state) -> Status {
+    if (options_.checkpoint_path.empty()) return Status::Ok();
+    SessionCheckpoint ckpt;
+    ckpt.workload_fingerprint = workload_fp;
+    ckpt.options_fingerprint = options_fp;
+    ckpt.phase = phase;
+    ckpt.current_costs = current_costs;
+    ckpt.missing_stats = costs.missing_stats();
+    ckpt.created_stats = created_stats_log;
+    ckpt.cache = costs.ExportCache();
+    if (pool != nullptr) ckpt.pool = *pool;
+    if (enum_state != nullptr) ckpt.enumeration = *enum_state;
+    ckpt.stats_requested = result.stats_requested;
+    ckpt.stats_created = result.stats_created;
+    ckpt.stats_creation_ms = result.stats_creation_ms;
+    ckpt.candidates_generated = result.candidates_generated;
+    DTA_RETURN_IF_ERROR(SaveCheckpoint(options_.checkpoint_path, ckpt));
+    ++checkpoint_ordinal;
+    if (checkpoint_probe_ != nullptr) {
+      return checkpoint_probe_(checkpoint_ordinal);
+    }
+    return Status::Ok();
+  };
 
   // ---- Current-cost pass. Missing statistics are recorded but NOT created
   // yet: they join the candidate-key statistics in one unified request, so
@@ -172,262 +295,324 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   // a wider candidate statistic instead of creating both. Statements are
   // priced independently, so the pass fans out across the pool; results
   // land in their own slots and errors are surfaced in statement order.
-  std::vector<double> current_costs(tuned.size(), 0.0);
-  {
+  // A resumed session restores the pass's outputs instead of re-pricing.
+  if (resumed) {
+    if (resume_ckpt.current_costs.size() != tuned.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint current-cost vector does not match the workload");
+    }
+    current_costs = resume_ckpt.current_costs;
+  } else {
     const double t_phase = NowMs();
     std::vector<Status> statuses(tuned.size());
-    ParallelFor(workers, tuned.size(), [&](size_t i) {
-      timed([&] {
-        auto c = costs.StatementCost(i, current);
-        if (!c.ok()) {
-          statuses[i] = c.status();
-          return;
-        }
-        current_costs[i] = *c;
-      });
-    });
+    // deadline_reached doubles as the cancel predicate: workers stop
+    // claiming statements once the time budget is spent.
+    ParallelFor(
+        workers, tuned.size(),
+        [&](size_t i) {
+          timed([&] {
+            auto c = costs.StatementCost(i, current);
+            if (!c.ok()) {
+              statuses[i] = c.status();
+              return;
+            }
+            current_costs[i] = *c;
+          });
+        },
+        deadline_reached);
     for (const Status& s : statuses) {
       if (!s.ok()) return s;
     }
+    if (deadline_reached()) result.hit_time_limit = true;
     result.parallel_wall_ms += NowMs() - t_phase;
+    DTA_RETURN_IF_ERROR(
+        write_checkpoint(kCheckpointCurrentCosts, nullptr, nullptr));
   }
 
-  // ---- Column-group restriction (§2.2).
-  auto groups = ComputeInterestingColumnGroups(
-      tuned, current_costs, tuning_server->catalog(),
-      options_.column_group_cost_fraction, options_.max_column_group_size);
-  if (!groups.ok()) return groups.status();
-
-  // ---- Candidate generation.
-  StatsFetcher fetcher = [this, &result](const stats::StatsKey& key)
-      -> Result<const stats::Statistics*> {
-    server::Server* ts = TuningServer();
-    if (const stats::Statistics* s = ts->stats_manager().Find(key);
-        s != nullptr) {
-      return s;
-    }
-    if (!production_->HasStatistics(key)) {
-      auto duration = production_->CreateStatistics(key);
-      if (!duration.ok()) return duration.status();
-      result.stats_created += 1;
-      result.stats_creation_ms += *duration;
-      result.stats_requested += 1;
-    }
-    const stats::Statistics* created = production_->stats_manager().Find(key);
-    if (created == nullptr) return Status::Internal("statistics vanished");
-    if (test_ != nullptr) {
-      test_->ImportStatistics(*created);
-      return test_->stats_manager().Find(key);
-    }
-    return created;
-  };
-
-  std::vector<std::vector<Candidate>> per_statement(tuned.size());
-  std::map<std::string, Candidate> pool_by_name;
-  std::set<stats::StatsKey> requested_stats;
-  for (size_t i = 0; i < tuned.size(); ++i) {
-    if (deadline_reached()) {
-      result.hit_time_limit = true;
-      break;
-    }
-    auto cands = GenerateCandidatesForStatement(
-        tuned.statements()[i].stmt, tuning_server, *groups, options_,
-        fetcher, tuned.statements()[i].weight);
-    if (!cands.ok()) return cands.status();
-    for (const Candidate& c : *cands) {
-      if (c.kind == Candidate::Kind::kIndex && !c.index.key_columns.empty()) {
-        requested_stats.insert(stats::StatsKey(
-            c.index.database, c.index.table, c.index.key_columns));
-      }
-    }
-    per_statement[i] = std::move(cands).value();
-  }
-
-  // ---- Reduced statistics creation (§5.2): one unified request covering
-  // the optimizer's missing statistics and the candidate index keys.
-  {
-    for (const auto& key : costs.missing_stats()) {
-      requested_stats.insert(key);
-    }
-    costs.ClearMissingStats();
-    // Fill database qualifiers by resolving against the catalog.
-    std::set<stats::StatsKey> resolved;
-    for (const auto& key : requested_stats) {
-      if (!key.database.empty()) {
-        resolved.insert(key);
-        continue;
-      }
-      auto r = tuning_server->catalog().ResolveTable("", key.table);
-      if (r.ok()) {
-        resolved.insert(stats::StatsKey(r->database->name(), key.table,
-                                        key.columns));
-      }
-    }
-    StatsCreationPlan plan;
-    if (options_.reduced_statistics) {
-      plan = PlanReducedStatistics(resolved,
-                                   production_->ExportStatistics());
-    } else {
-      for (const auto& key : resolved) {
-        if (!production_->HasStatistics(key)) {
-          plan.to_create.push_back(key);
-        }
-      }
-      plan.naive_count = resolved.size();
-    }
-    result.stats_requested += plan.naive_count;
-    DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result));
-    if (!plan.to_create.empty()) costs.ClearCache();
-  }
-
-  // ---- Candidate selection: per-statement Greedy(m,k) (§2.2). Each
-  // statement's search is independent (it only prices that statement), so
-  // statements fan out across the pool; the pool/benefit merge below runs
-  // serially in statement order, keeping the outcome identical to the
-  // serial loop.
-  std::map<std::string, double> candidate_benefit;  // weighted cost savings
-  {
-    struct Selection {
-      Status status;
-      GreedyResult picked;
-      double empty_cost = 0;
-      bool ran = false;
-    };
-    const double t_phase = NowMs();
-    std::vector<Selection> selections(tuned.size());
-    ParallelFor(workers, tuned.size(), [&](size_t i) {
-      if (per_statement[i].empty()) return;
-      if (deadline_reached()) return;
-      timed([&] {
-        const std::vector<Candidate>& cands = per_statement[i];
-        auto eval =
-            [&, i](const std::vector<size_t>& subset) -> Result<double> {
-          std::vector<const Candidate*> chosen;
-          for (size_t ci : subset) chosen.push_back(&cands[ci]);
-          auto config = BuildConfiguration(*base, chosen, false);
-          if (!config.ok()) return config.status();
-          return costs.StatementCost(i, *config);
-        };
-        auto empty_cost = costs.StatementCost(i, *base);
-        if (!empty_cost.ok()) {
-          selections[i].status = empty_cost.status();
-          return;
-        }
-        selections[i].picked = GreedySearch(
-            cands.size(), options_.candidate_selection_m,
-            options_.candidate_selection_k, *empty_cost, eval,
-            deadline_reached);
-        selections[i].empty_cost = *empty_cost;
-        selections[i].ran = true;
-      });
-    });
-    result.parallel_wall_ms += NowMs() - t_phase;
-    for (size_t i = 0; i < tuned.size(); ++i) {
-      if (per_statement[i].empty()) continue;
-      if (!selections[i].status.ok()) return selections[i].status;
-      if (!selections[i].ran) {
-        result.hit_time_limit = true;
-        continue;
-      }
-      const std::vector<Candidate>& cands = per_statement[i];
-      result.candidates_generated += cands.size();
-      const GreedyResult& picked = selections[i].picked;
-      double weight = tuned.statements()[i].weight;
-      double saved =
-          std::max(0.0, selections[i].empty_cost - picked.cost) * weight;
-      for (size_t ci : picked.chosen) {
-        pool_by_name.emplace(cands[ci].name, cands[ci]);
-        candidate_benefit[cands[ci].name] +=
-            saved / static_cast<double>(picked.chosen.size());
-      }
-    }
-  }
-
+  // ---- Candidate pipeline: column groups -> generation -> reduced stats
+  // -> per-statement selection -> existing structures -> merging. A session
+  // resumed at (or past) the pool-ready checkpoint restores the finished
+  // pool instead of re-running any of it.
   std::vector<Candidate> pool;
-  pool.reserve(pool_by_name.size());
-  for (auto& [name, cand] : pool_by_name) pool.push_back(cand);
-  // Bound the pool entering enumeration: keep the best candidates by
-  // accumulated per-query benefit.
-  if (pool.size() >
-      static_cast<size_t>(options_.max_enumeration_candidates)) {
-    std::sort(pool.begin(), pool.end(),
-              [&](const Candidate& a, const Candidate& b) {
-                return candidate_benefit[a.name] > candidate_benefit[b.name];
-              });
-    pool.resize(static_cast<size_t>(options_.max_enumeration_candidates));
-  }
+  const bool pool_restored =
+      resumed && resume_ckpt.phase >= kCheckpointPoolReady;
+  if (pool_restored) {
+    pool = resume_ckpt.pool;
+  } else {
+    // ---- Column-group restriction (§2.2).
+    auto groups = ComputeInterestingColumnGroups(
+        tuned, current_costs, tuning_server->catalog(),
+        options_.column_group_cost_fraction, options_.max_column_group_size);
+    if (!groups.ok()) return groups.status();
 
-  // ---- Existing non-constraint structures re-justify themselves: they
-  // enter the pool as ordinary candidates (past the benefit cap, so they
-  // are always considered). Whatever enumeration does not pick is an
-  // implicit DROP recommendation.
-  if (!options_.keep_existing_structures) {
-    const catalog::Configuration& cur = production_->current_configuration();
-    for (const auto& ix : cur.indexes()) {
-      if (ix.constraint_enforcing) continue;
-      Candidate cand =
-          Candidate::MakeIndex(ix, tuning_server->catalog());
-      if (pool_by_name.emplace(cand.name, cand).second) {
-        pool.push_back(std::move(cand));
+    // ---- Candidate generation.
+    StatsFetcher fetcher =
+        [this, &result, &created_stats_log](const stats::StatsKey& key)
+        -> Result<const stats::Statistics*> {
+      server::Server* ts = TuningServer();
+      if (const stats::Statistics* s = ts->stats_manager().Find(key);
+          s != nullptr) {
+        return s;
       }
-    }
-    for (const auto& v : cur.views()) {
-      Candidate cand = Candidate::MakeView(v);
-      if (pool_by_name.emplace(cand.name, cand).second) {
-        pool.push_back(std::move(cand));
+      if (!production_->HasStatistics(key)) {
+        auto duration = production_->CreateStatistics(key);
+        if (!duration.ok()) return duration.status();
+        result.stats_created += 1;
+        result.stats_creation_ms += *duration;
+        result.stats_requested += 1;
+        created_stats_log.push_back(key);
       }
-    }
-    for (const auto& [table, scheme] : cur.table_partitioning()) {
-      auto resolved = tuning_server->catalog().ResolveTable("", table);
-      Candidate cand = Candidate::MakePartitioning(
-          resolved.ok() ? resolved->database->name() : "", table, scheme);
-      if (pool_by_name.emplace(cand.name, cand).second) {
-        pool.push_back(std::move(cand));
+      const stats::Statistics* created =
+          production_->stats_manager().Find(key);
+      if (created == nullptr) return Status::Internal("statistics vanished");
+      if (test_ != nullptr) {
+        test_->ImportStatistics(*created);
+        return test_->stats_manager().Find(key);
       }
-    }
-  }
+      return created;
+    };
 
-  // ---- Merging (§2.2).
-  if (options_.enable_merging && !deadline_reached()) {
-    std::vector<Candidate> merged =
-        MergeCandidatePool(pool, tuning_server);
-    std::set<stats::StatsKey> merged_stats;
-    for (const Candidate& c : merged) {
-      if (c.kind == Candidate::Kind::kIndex) {
-        auto r = tuning_server->catalog().ResolveTable(c.index.database,
-                                                       c.index.table);
-        if (r.ok()) {
-          merged_stats.insert(stats::StatsKey(
-              r->database->name(), c.index.table, c.index.key_columns));
+    std::vector<std::vector<Candidate>> per_statement(tuned.size());
+    std::map<std::string, Candidate> pool_by_name;
+    std::set<stats::StatsKey> requested_stats;
+    for (size_t i = 0; i < tuned.size(); ++i) {
+      if (deadline_reached()) {
+        result.hit_time_limit = true;
+        break;
+      }
+      auto cands = GenerateCandidatesForStatement(
+          tuned.statements()[i].stmt, tuning_server, *groups, options_,
+          fetcher, tuned.statements()[i].weight);
+      if (!cands.ok()) return cands.status();
+      for (const Candidate& c : *cands) {
+        if (c.kind == Candidate::Kind::kIndex &&
+            !c.index.key_columns.empty()) {
+          requested_stats.insert(stats::StatsKey(
+              c.index.database, c.index.table, c.index.key_columns));
         }
       }
-      pool.push_back(c);
+      per_statement[i] = std::move(cands).value();
     }
-    if (!merged_stats.empty()) {
+
+    // ---- Reduced statistics creation (§5.2): one unified request covering
+    // the optimizer's missing statistics and the candidate index keys.
+    {
+      for (const auto& key : costs.missing_stats()) {
+        requested_stats.insert(key);
+      }
+      costs.ClearMissingStats();
+      // Fill database qualifiers by resolving against the catalog.
+      std::set<stats::StatsKey> resolved;
+      for (const auto& key : requested_stats) {
+        if (!key.database.empty()) {
+          resolved.insert(key);
+          continue;
+        }
+        auto r = tuning_server->catalog().ResolveTable("", key.table);
+        if (r.ok()) {
+          resolved.insert(stats::StatsKey(r->database->name(), key.table,
+                                          key.columns));
+        }
+      }
       StatsCreationPlan plan;
       if (options_.reduced_statistics) {
-        plan = PlanReducedStatistics(merged_stats,
+        plan = PlanReducedStatistics(resolved,
                                      production_->ExportStatistics());
       } else {
-        for (const auto& key : merged_stats) {
+        for (const auto& key : resolved) {
           if (!production_->HasStatistics(key)) {
             plan.to_create.push_back(key);
           }
         }
-        plan.naive_count = merged_stats.size();
+        plan.naive_count = resolved.size();
       }
       result.stats_requested += plan.naive_count;
-      DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result));
+      DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result,
+                                               &created_stats_log));
       if (!plan.to_create.empty()) costs.ClearCache();
     }
+
+    // ---- Candidate selection: per-statement Greedy(m,k) (§2.2). Each
+    // statement's search is independent (it only prices that statement), so
+    // statements fan out across the pool; the pool/benefit merge below runs
+    // serially in statement order, keeping the outcome identical to the
+    // serial loop.
+    std::map<std::string, double> candidate_benefit;  // weighted savings
+    {
+      struct Selection {
+        Status status;
+        GreedyResult picked;
+        double empty_cost = 0;
+        bool ran = false;
+      };
+      const double t_phase = NowMs();
+      std::vector<Selection> selections(tuned.size());
+      ParallelFor(
+          workers, tuned.size(),
+          [&](size_t i) {
+            if (per_statement[i].empty()) return;
+            if (deadline_reached()) return;
+            timed([&] {
+              const std::vector<Candidate>& cands = per_statement[i];
+              auto eval = [&, i](const std::vector<size_t>& subset)
+                  -> Result<double> {
+                std::vector<const Candidate*> chosen;
+                for (size_t ci : subset) chosen.push_back(&cands[ci]);
+                auto config = BuildConfiguration(*base, chosen, false);
+                if (!config.ok()) return config.status();
+                return costs.StatementCost(i, *config);
+              };
+              auto empty_cost = costs.StatementCost(i, *base);
+              if (!empty_cost.ok()) {
+                selections[i].status = empty_cost.status();
+                return;
+              }
+              selections[i].picked = GreedySearch(
+                  cands.size(), options_.candidate_selection_m,
+                  options_.candidate_selection_k, *empty_cost, eval,
+                  deadline_reached);
+              selections[i].empty_cost = *empty_cost;
+              selections[i].ran = true;
+            });
+          },
+          deadline_reached);
+      result.parallel_wall_ms += NowMs() - t_phase;
+      for (size_t i = 0; i < tuned.size(); ++i) {
+        if (per_statement[i].empty()) continue;
+        if (!selections[i].status.ok()) return selections[i].status;
+        if (!selections[i].ran) {
+          result.hit_time_limit = true;
+          continue;
+        }
+        const std::vector<Candidate>& cands = per_statement[i];
+        result.candidates_generated += cands.size();
+        const GreedyResult& picked = selections[i].picked;
+        double weight = tuned.statements()[i].weight;
+        double saved =
+            std::max(0.0, selections[i].empty_cost - picked.cost) * weight;
+        for (size_t ci : picked.chosen) {
+          pool_by_name.emplace(cands[ci].name, cands[ci]);
+          candidate_benefit[cands[ci].name] +=
+              saved / static_cast<double>(picked.chosen.size());
+        }
+      }
+    }
+
+    pool.reserve(pool_by_name.size());
+    for (auto& [name, cand] : pool_by_name) pool.push_back(cand);
+    // Bound the pool entering enumeration: keep the best candidates by
+    // accumulated per-query benefit.
+    if (pool.size() >
+        static_cast<size_t>(options_.max_enumeration_candidates)) {
+      std::sort(pool.begin(), pool.end(),
+                [&](const Candidate& a, const Candidate& b) {
+                  return candidate_benefit[a.name] >
+                         candidate_benefit[b.name];
+                });
+      pool.resize(static_cast<size_t>(options_.max_enumeration_candidates));
+    }
+
+    // ---- Existing non-constraint structures re-justify themselves: they
+    // enter the pool as ordinary candidates (past the benefit cap, so they
+    // are always considered). Whatever enumeration does not pick is an
+    // implicit DROP recommendation.
+    if (!options_.keep_existing_structures) {
+      const catalog::Configuration& cur =
+          production_->current_configuration();
+      for (const auto& ix : cur.indexes()) {
+        if (ix.constraint_enforcing) continue;
+        Candidate cand = Candidate::MakeIndex(ix, tuning_server->catalog());
+        if (pool_by_name.emplace(cand.name, cand).second) {
+          pool.push_back(std::move(cand));
+        }
+      }
+      for (const auto& v : cur.views()) {
+        Candidate cand = Candidate::MakeView(v);
+        if (pool_by_name.emplace(cand.name, cand).second) {
+          pool.push_back(std::move(cand));
+        }
+      }
+      for (const auto& [table, scheme] : cur.table_partitioning()) {
+        auto resolved = tuning_server->catalog().ResolveTable("", table);
+        Candidate cand = Candidate::MakePartitioning(
+            resolved.ok() ? resolved->database->name() : "", table, scheme);
+        if (pool_by_name.emplace(cand.name, cand).second) {
+          pool.push_back(std::move(cand));
+        }
+      }
+    }
+
+    // ---- Merging (§2.2).
+    if (options_.enable_merging && !deadline_reached()) {
+      std::vector<Candidate> merged = MergeCandidatePool(pool, tuning_server);
+      std::set<stats::StatsKey> merged_stats;
+      for (const Candidate& c : merged) {
+        if (c.kind == Candidate::Kind::kIndex) {
+          auto r = tuning_server->catalog().ResolveTable(c.index.database,
+                                                         c.index.table);
+          if (r.ok()) {
+            merged_stats.insert(stats::StatsKey(
+                r->database->name(), c.index.table, c.index.key_columns));
+          }
+        }
+        pool.push_back(c);
+      }
+      if (!merged_stats.empty()) {
+        StatsCreationPlan plan;
+        if (options_.reduced_statistics) {
+          plan = PlanReducedStatistics(merged_stats,
+                                       production_->ExportStatistics());
+        } else {
+          for (const auto& key : merged_stats) {
+            if (!production_->HasStatistics(key)) {
+              plan.to_create.push_back(key);
+            }
+          }
+          plan.naive_count = merged_stats.size();
+        }
+        result.stats_requested += plan.naive_count;
+        DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result,
+                                                 &created_stats_log));
+        if (!plan.to_create.empty()) costs.ClearCache();
+      }
+    }
+
+    DTA_RETURN_IF_ERROR(
+        write_checkpoint(kCheckpointPoolReady, &pool, nullptr));
   }
 
   // ---- Enumeration (§2.2, §4). The greedy rounds inside fan their
-  // per-candidate evaluations out across the pool.
+  // per-candidate evaluations out across the pool. The search checkpoints
+  // itself after the exhaustive phase and every completed round; a resumed
+  // session re-enters the greedy rounds exactly where the snapshot stopped.
+  EnumerationResume enum_resume;
+  const EnumerationResume* enum_resume_ptr = nullptr;
+  if (resumed && resume_ckpt.phase >= kCheckpointEnumeration &&
+      resume_ckpt.enumeration.phase1_done) {
+    enum_resume = resume_ckpt.enumeration;
+    enum_resume_ptr = &enum_resume;
+  }
+  // Checkpoint writes from inside the search report failures (and probe
+  // aborts) through this sticky status; the search is stopped via its
+  // should_stop predicate and the status surfaces after it returns.
+  Status checkpoint_status;
+  std::function<void(const EnumerationResume&)> enum_progress;
+  if (!options_.checkpoint_path.empty()) {
+    enum_progress = [&](const EnumerationResume& snapshot) {
+      Status s = write_checkpoint(kCheckpointEnumeration, &pool, &snapshot);
+      if (!s.ok() && checkpoint_status.ok()) checkpoint_status = s;
+    };
+  }
+  auto stop_enumeration = [&]() {
+    return !checkpoint_status.ok() || deadline_reached();
+  };
+
   const double t_enum = NowMs();
-  auto enum_result = EnumerateConfiguration(&costs, pool, *base, options_,
-                                            deadline_reached, workers);
+  auto enum_result =
+      EnumerateConfiguration(&costs, pool, *base, options_, stop_enumeration,
+                             workers, enum_resume_ptr, enum_progress);
   if (!enum_result.ok()) return enum_result.status();
+  if (!checkpoint_status.ok()) return checkpoint_status;
   result.parallel_wall_ms += NowMs() - t_enum;
   parallel_work_ms.fetch_add(enum_result->eval_work_ms);
   if (deadline_reached()) result.hit_time_limit = true;
@@ -444,10 +629,24 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   result.whatif_calls = costs.whatif_calls();
   result.parallel_work_ms = parallel_work_ms.load();
 
+  // Fault-tolerance accounting.
+  result.whatif_retries = costs.whatif_retries();
+  result.degraded_calls = costs.degraded_calls();
+  if (injector != nullptr) {
+    result.injected_transient_faults = injector->transient_failures();
+    result.injected_permanent_faults = injector->permanent_failures();
+  }
+
   result.report.current_total = *cur_total;
   result.report.recommended_total = *rec_total;
   result.report.threads = num_threads;
   result.report.parallel_speedup = result.ParallelSpeedup();
+  result.report.whatif_retries = result.whatif_retries;
+  result.report.degraded_calls = result.degraded_calls;
+  {
+    auto histogram = costs.retry_histogram();
+    result.report.retry_histogram.assign(histogram.begin(), histogram.end());
+  }
   for (size_t i = 0; i < tuned.size(); ++i) {
     StatementReport sr;
     sr.sql = tuned.statements()[i].text;
@@ -473,6 +672,13 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
       }
     }
   }
+  // Statements whose pricing degraded to the heuristic estimate are flagged
+  // in the report: their cost columns are estimates of estimates.
+  for (size_t i : costs.degraded_statements()) {
+    if (i < result.report.statements.size()) {
+      result.report.statements[i].degraded = true;
+    }
+  }
 
   result.tuning_time_ms = NowMs() - t_start;
   return result;
@@ -484,7 +690,24 @@ Result<EvaluationResult> TuningSession::EvaluateConfiguration(
   server::Server* tuning_server = TuningServer();
   const optimizer::HardwareParams* simulate =
       test_ != nullptr ? &production_->hardware() : nullptr;
-  CostService costs(tuning_server, simulate, &workload);
+  // Evaluation shares the tuning path's fault tolerance: injected faults
+  // (if scripted), retries, and heuristic degradation.
+  std::unique_ptr<FaultInjector> injector;
+  FaultInjectorGuard injector_guard;
+  if (!options_.fault_spec.empty()) {
+    auto spec = FaultSpec::Parse(options_.fault_spec);
+    if (!spec.ok()) return spec.status();
+    if (spec->Enabled()) {
+      injector = std::make_unique<FaultInjector>(*spec);
+      tuning_server->set_fault_injector(injector.get());
+      injector_guard.server = tuning_server;
+    }
+  }
+  CostService::Config cost_config;
+  cost_config.retry = options_.retry;
+  cost_config.degrade_on_failure = options_.degrade_on_failure;
+  CostService costs(tuning_server, simulate, &workload,
+                    std::move(cost_config));
 
   EvaluationResult out;
   const catalog::Configuration& current =

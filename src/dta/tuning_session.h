@@ -15,6 +15,7 @@
 #ifndef DTA_DTA_TUNING_SESSION_H_
 #define DTA_DTA_TUNING_SESSION_H_
 
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -48,6 +49,16 @@ struct TuningResult {
   size_t whatif_calls = 0;
   size_t enumeration_evaluations = 0;
   size_t candidates_generated = 0;
+
+  // Fault-tolerance accounting (robustness layer): retried what-if
+  // attempts, pricings degraded to the heuristic estimate, and — when a
+  // fault injector was active — the faults it injected.
+  size_t whatif_retries = 0;
+  size_t degraded_calls = 0;
+  size_t injected_transient_faults = 0;
+  size_t injected_permanent_faults = 0;
+  // True when this run restored a checkpoint and skipped completed phases.
+  bool resumed = false;
 
   // Parallel costing accounting: threads applied to the fan-out phases,
   // their combined wall-clock, and the work they retired (summed per-task
@@ -98,14 +109,30 @@ class TuningSession {
 
   const TuningOptions& options() const { return options_; }
 
+  // Test hook: invoked after every successful checkpoint write with the
+  // write's 1-based ordinal. A non-ok return aborts tuning with that status,
+  // simulating a crash immediately after the checkpoint landed on disk —
+  // the kill-at-every-checkpoint resume tests are built on this.
+  using CheckpointProbe = std::function<Status(int ordinal)>;
+  void SetCheckpointProbe(CheckpointProbe probe) {
+    checkpoint_probe_ = std::move(probe);
+  }
+
  private:
   server::Server* TuningServer() {
     return test_ != nullptr ? test_ : production_;
   }
   // Creates statistics on the production server and, in test-server mode,
-  // imports them into the test server. Accumulates counters.
+  // imports them into the test server. Accumulates counters and logs each
+  // key it created to `created_log` (checkpointing) when non-null.
   Status CreateAndImportStats(const std::vector<stats::StatsKey>& keys,
-                              TuningResult* result);
+                              TuningResult* result,
+                              std::vector<stats::StatsKey>* created_log);
+  // Re-creates the statistics a checkpointed run had created (statistics
+  // builds are deterministic in the data, so the rebuilt statistics match
+  // the originals and the restored cost cache stays valid). Counts nothing:
+  // the checkpoint carries the original run's counters.
+  Status RestoreStats(const std::vector<stats::StatsKey>& keys);
   // Base configuration: constraint-enforcing indexes of the current design
   // plus the user-specified configuration.
   Result<catalog::Configuration> BaseConfiguration() const;
@@ -113,6 +140,7 @@ class TuningSession {
   server::Server* production_;
   server::Server* test_ = nullptr;
   TuningOptions options_;
+  CheckpointProbe checkpoint_probe_;
 };
 
 }  // namespace dta::tuner

@@ -189,6 +189,7 @@ xml::ElementPtr TuningOptionsToXml(const TuningOptions& o) {
   if (o.time_limit_ms.has_value()) {
     e->SetAttr("TimeLimitMs", StrFormat("%.0f", *o.time_limit_ms));
   }
+  if (!o.fault_spec.empty()) e->SetAttr("FaultSpec", o.fault_spec);
   if (o.user_specified.StructureCount() > 0 ||
       !o.user_specified.table_partitioning().empty()) {
     xml::Element* u = e->AddChild("UserSpecifiedConfiguration");
@@ -216,6 +217,7 @@ Result<TuningOptions> TuningOptionsFromXml(const xml::Element& e) {
   if (e.HasAttr("TimeLimitMs")) {
     o.time_limit_ms = std::strtod(e.Attr("TimeLimitMs").c_str(), nullptr);
   }
+  if (e.HasAttr("FaultSpec")) o.fault_spec = e.Attr("FaultSpec");
   const xml::Element* u = e.FindChild("UserSpecifiedConfiguration");
   if (u != nullptr) {
     const xml::Element* cfg = u->FindChild("Configuration");

@@ -1,0 +1,78 @@
+#include "optimizer/heuristic_cost.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace dta::optimizer {
+
+namespace {
+
+constexpr double kPageBytes = 8192.0;
+// Nominal cost of touching a table the catalog cannot resolve.
+constexpr double kUnknownTableCost = 10.0;
+
+double TableScanCost(const catalog::Catalog& catalog,
+                     const std::string& table, const CostModel& cm) {
+  auto resolved = catalog.ResolveTable("", table);
+  if (!resolved.ok()) return kUnknownTableCost;
+  const catalog::TableSchema& schema = *resolved->table;
+  double rows = static_cast<double>(schema.row_count());
+  double bytes = static_cast<double>(schema.DataBytes());
+  return cm.ScanCost(bytes / kPageBytes, rows, bytes);
+}
+
+}  // namespace
+
+double HeuristicStatementCost(const sql::Statement& stmt,
+                              const catalog::Catalog& catalog,
+                              const CostModel& cost_model) {
+  double cost = 0;
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect: {
+      const sql::SelectStatement& sel = stmt.select();
+      double total_rows = 0;
+      for (const auto& tr : sel.from) {
+        cost += TableScanCost(catalog, tr.table, cost_model);
+        auto resolved = catalog.ResolveTable("", tr.table);
+        if (resolved.ok()) {
+          total_rows += static_cast<double>(resolved->table->row_count());
+        }
+      }
+      // Joins pay one hash pass over the combined inputs; aggregation and
+      // ordering pay coarse per-row surcharges. All monotone in table sizes,
+      // which is the only signal available without the optimizer.
+      if (sel.from.size() > 1) {
+        cost += cost_model.HashJoinCost(total_rows / 2, total_rows / 2, 32);
+      }
+      if (!sel.group_by.empty() || sel.HasAggregates()) {
+        cost += cost_model.HashAggCost(total_rows,
+                                       std::max(1.0, total_rows / 100.0));
+      }
+      if (!sel.order_by.empty()) {
+        cost += cost_model.SortCost(total_rows, 32);
+      }
+      break;
+    }
+    case sql::StatementKind::kInsert: {
+      const auto& ins = stmt.insert();
+      auto resolved = catalog.ResolveTable("", ins.table);
+      double table_bytes =
+          resolved.ok()
+              ? static_cast<double>(resolved->table->DataBytes())
+              : kPageBytes;
+      double rows = static_cast<double>(std::max<size_t>(1, ins.rows.size()));
+      cost = rows * cost_model.IndexInsertCost(table_bytes);
+      break;
+    }
+    case sql::StatementKind::kUpdate:
+      cost = TableScanCost(catalog, stmt.update().table, cost_model);
+      break;
+    case sql::StatementKind::kDelete:
+      cost = TableScanCost(catalog, stmt.del().table, cost_model);
+      break;
+  }
+  return std::max(cost, 1e-3);
+}
+
+}  // namespace dta::optimizer

@@ -1,0 +1,30 @@
+// Catalog-only fallback cost estimate for graceful degradation.
+//
+// When a statement's what-if optimizer calls fail persistently (server
+// outage, injected permanent fault), the tuner falls back to this estimate
+// instead of aborting the session. It models the configuration-independent
+// floor — a full scan of every referenced table plus coarse aggregation and
+// DML surcharges — from catalog metadata alone, so it needs no statistics,
+// no data, and cannot fail. Because the estimate ignores the hypothetical
+// configuration, a degraded statement contributes the same cost to every
+// candidate design: it stops steering the search (honest, given we know
+// nothing) without poisoning the comparison between configurations.
+
+#ifndef DTA_OPTIMIZER_HEURISTIC_COST_H_
+#define DTA_OPTIMIZER_HEURISTIC_COST_H_
+
+#include "catalog/schema.h"
+#include "optimizer/cost_model.h"
+#include "sql/ast.h"
+
+namespace dta::optimizer {
+
+// Deterministic, total (never fails). Tables missing from the catalog
+// contribute a fixed nominal cost.
+double HeuristicStatementCost(const sql::Statement& stmt,
+                              const catalog::Catalog& catalog,
+                              const CostModel& cost_model);
+
+}  // namespace dta::optimizer
+
+#endif  // DTA_OPTIMIZER_HEURISTIC_COST_H_

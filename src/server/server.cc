@@ -1,9 +1,11 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <thread>
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "sql/printer.h"
 #include "xmlio/xml.h"
 
 namespace dta::server {
@@ -142,7 +144,34 @@ double Server::SimulatedOptimizeDurationMs(
 
 Result<Server::WhatIfResult> Server::WhatIfCost(
     const sql::Statement& stmt, const catalog::Configuration& config,
-    const optimizer::HardwareParams* simulate_hardware) {
+    const optimizer::HardwareParams* simulate_hardware, uint64_t fault_key) {
+  if (fault_injector_ != nullptr) {
+    if (fault_key == 0) {
+      uint64_t h = HashBytes(sql::ToSql(stmt));
+      for (const auto& ix : config.indexes()) {
+        h = HashCombine(h, HashBytes(ix.CanonicalName()));
+      }
+      for (const auto& v : config.views()) {
+        h = HashCombine(h, HashBytes(v.CanonicalName()));
+      }
+      for (const auto& [table, scheme] : config.table_partitioning()) {
+        h = HashCombine(h, HashBytes(table + scheme.CanonicalString()));
+      }
+      fault_key = h == 0 ? 1 : h;
+    }
+    FaultInjector::Outcome outcome = fault_injector_->Decide(fault_key);
+    if (outcome.latency_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(outcome.latency_ms));
+      AccrueOverhead(outcome.latency_ms);
+    }
+    if (!outcome.status.ok()) {
+      // The server burned a (failed) optimization: meter it like a real one.
+      AccrueOverhead(SimulatedOptimizeDurationMs(stmt, config));
+      whatif_calls_.fetch_add(1, std::memory_order_relaxed);
+      return outcome.status;
+    }
+  }
   const optimizer::Optimizer* opt = optimizer_.get();
   if (simulate_hardware != nullptr) {
     std::string key = StrFormat(

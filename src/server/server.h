@@ -30,6 +30,7 @@
 
 #include "catalog/physical_design.h"
 #include "catalog/schema.h"
+#include "common/fault_injector.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "engine/executor.h"
@@ -100,9 +101,27 @@ class Server : public engine::DataSource {
   // pool fans costing out); setup mutations (AttachDatabase, statistics
   // creation/import, ImplementConfiguration) must still be serialized
   // against costing, which the tuning pipeline's phase structure does.
+  //
+  // When a fault injector is attached, each call first consults it: injected
+  // latency accrues on the overhead meter (and really elapses), and injected
+  // failures return Unavailable (transient) or Internal (permanent) without
+  // producing a cost. `fault_key` identifies the logical call for the
+  // injector's deterministic per-key decisions; 0 derives a key from the
+  // statement and configuration. Failed attempts still count as what-if
+  // calls and accrue the optimization duration — a failing server is not a
+  // free server.
   Result<WhatIfResult> WhatIfCost(
       const sql::Statement& stmt, const catalog::Configuration& config,
-      const optimizer::HardwareParams* simulate_hardware = nullptr);
+      const optimizer::HardwareParams* simulate_hardware = nullptr,
+      uint64_t fault_key = 0);
+
+  // Attaches (or clears, with nullptr) a fault injector consulted by every
+  // WhatIfCost call. The injector must outlive the server or be cleared
+  // first; WhatIfPlan and statistics calls are not injected.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
 
   // Full plan variant (same accounting).
   Result<optimizer::Optimizer::QueryPlan> WhatIfPlan(
@@ -190,6 +209,7 @@ class Server : public engine::DataSource {
 
   catalog::Configuration current_config_;
   std::unique_ptr<engine::Executor> executor_;
+  FaultInjector* fault_injector_ = nullptr;
 
   mutable std::mutex meter_mu_;
   double overhead_ms_ = 0;

@@ -1,0 +1,308 @@
+// Crash-safety tests: kill the tuning session immediately after every
+// checkpoint it writes (via TuningSession::SetCheckpointProbe), resume on a
+// fresh server, and require the resumed run to produce the bit-identical
+// recommendation, costs, and report of an uninterrupted run — including
+// under injected faults. Also covers checkpoint XML round-trip stability and
+// the workload/options fingerprint guards.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dta/checkpoint.h"
+#include "dta/tuning_session.h"
+#include "dta/xml_schema.h"
+#include "sql/parser.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+namespace {
+
+using catalog::ColumnType;
+using catalog::Configuration;
+using catalog::IndexDef;
+using catalog::TableSchema;
+
+// Same production fixture as parallel_tuning_test: two joinable tables with
+// real data. Every run gets a fresh server, as a restarted process would.
+std::unique_ptr<server::Server> MakeProduction(uint64_t seed = 11) {
+  auto s = std::make_unique<server::Server>(
+      "prod", optimizer::HardwareParams());
+  Random rng(seed);
+
+  TableSchema orders("orders", {{"o_id", ColumnType::kInt, 8},
+                                {"o_cust", ColumnType::kInt, 8},
+                                {"o_date", ColumnType::kString, 10},
+                                {"o_price", ColumnType::kDouble, 8}});
+  orders.set_row_count(30000);
+  orders.SetPrimaryKey({"o_id"});
+  TableSchema items("items", {{"i_oid", ColumnType::kInt, 8},
+                              {"i_part", ColumnType::kInt, 8},
+                              {"i_qty", ColumnType::kDouble, 8}});
+  items.set_row_count(120000);
+
+  catalog::Database db("shop");
+  EXPECT_TRUE(db.AddTable(orders).ok());
+  EXPECT_TRUE(db.AddTable(items).ok());
+  EXPECT_TRUE(s->AttachDatabase(std::move(db)).ok());
+
+  storage::TableGenSpec ospec;
+  ospec.schema = orders;
+  ospec.column_specs = {storage::ColumnSpec::Sequential(),
+                        storage::ColumnSpec::UniformInt(1, 3000),
+                        storage::ColumnSpec::Date("1994-01-01", 1500),
+                        storage::ColumnSpec::UniformReal(10, 10000)};
+  ospec.rows = 30000;
+  auto odata = storage::GenerateTable(ospec, &rng);
+  EXPECT_TRUE(odata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(odata).value()).ok());
+
+  storage::TableGenSpec ispec;
+  ispec.schema = items;
+  ispec.column_specs = {storage::ColumnSpec::UniformInt(1, 30000),
+                        storage::ColumnSpec::UniformInt(1, 2000),
+                        storage::ColumnSpec::UniformReal(1, 100)};
+  ispec.rows = 120000;
+  auto idata = storage::GenerateTable(ispec, &rng);
+  EXPECT_TRUE(idata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(idata).value()).ok());
+
+  Configuration raw;
+  EXPECT_TRUE(raw.AddIndex(IndexDef{.table = "orders",
+                                    .key_columns = {"o_id"},
+                                    .constraint_enforcing = true})
+                  .ok());
+  EXPECT_TRUE(s->ImplementConfiguration(raw).ok());
+  return s;
+}
+
+workload::Workload SeedWorkload() {
+  const char* script =
+      "SELECT o_price FROM orders WHERE o_id = 55;"
+      "SELECT o_price FROM orders WHERE o_id = 120;"
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date < '1995-01-01' "
+      "GROUP BY o_cust;"
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust;"
+      "SELECT i_qty FROM items WHERE i_part = 77;"
+      "INSERT INTO orders (o_id, o_cust, o_date, o_price) VALUES "
+      "(31000, 5, '1996-01-01', 10.5);"
+      "UPDATE items SET i_qty = 3 WHERE i_part = 9";
+  auto w = workload::Workload::FromScript(script);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+std::string CheckpointPath(const std::string& name) {
+  return ::testing::TempDir() + "dta_" + name + ".ckpt.xml";
+}
+
+// The recommendation serialized exactly as the output document renders it;
+// string equality here is the "bit-identical recommendation" bar.
+std::string RecommendationXml(const TuningResult& r) {
+  return ConfigurationToXml(r.recommendation)->ToString();
+}
+
+void ExpectIdenticalOutcome(const TuningResult& expected,
+                            const TuningResult& actual,
+                            const std::string& label) {
+  EXPECT_EQ(expected.current_cost, actual.current_cost) << label;
+  EXPECT_EQ(expected.recommended_cost, actual.recommended_cost) << label;
+  EXPECT_EQ(RecommendationXml(expected), RecommendationXml(actual)) << label;
+  ASSERT_EQ(expected.report.statements.size(),
+            actual.report.statements.size())
+      << label;
+  for (size_t i = 0; i < expected.report.statements.size(); ++i) {
+    EXPECT_EQ(expected.report.statements[i].current_cost,
+              actual.report.statements[i].current_cost)
+        << label << " statement " << i;
+    EXPECT_EQ(expected.report.statements[i].recommended_cost,
+              actual.report.statements[i].recommended_cost)
+        << label << " statement " << i;
+    EXPECT_EQ(expected.report.statements[i].degraded,
+              actual.report.statements[i].degraded)
+        << label << " statement " << i;
+  }
+}
+
+Result<TuningResult> RunTune(const TuningOptions& opts,
+                             TuningSession::CheckpointProbe probe = nullptr) {
+  auto prod = MakeProduction();
+  TuningSession session(prod.get(), opts);
+  if (probe) session.SetCheckpointProbe(std::move(probe));
+  return session.Tune(SeedWorkload());
+}
+
+TuningOptions BaseOptions() {
+  TuningOptions opts;
+  opts.num_threads = 2;
+  return opts;
+}
+
+// ------------------------------------------------- kill at every checkpoint
+
+TEST(CheckpointResumeTest, KillAtEveryCheckpointResumesBitIdentically) {
+  const std::string path = CheckpointPath("kill_everywhere");
+
+  // Uninterrupted reference, no checkpointing involved.
+  auto baseline = RunTune(BaseOptions());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Checkpointing alone must not perturb the outcome; count the writes.
+  TuningOptions writing = BaseOptions();
+  writing.checkpoint_path = path;
+  int total_checkpoints = 0;
+  auto counting = RunTune(writing, [&total_checkpoints](int ordinal) {
+    total_checkpoints = std::max(total_checkpoints, ordinal);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(counting.ok()) << counting.status().ToString();
+  ExpectIdenticalOutcome(*baseline, *counting, "checkpointing run");
+  // At minimum: current costs, pool, enumeration phase 1, one greedy pick.
+  ASSERT_GE(total_checkpoints, 3);
+
+  TuningOptions resuming = writing;
+  resuming.resume_path = path;
+  for (int kill_at = 1; kill_at <= total_checkpoints; ++kill_at) {
+    // Crash immediately after checkpoint `kill_at` lands on disk.
+    auto killed = RunTune(writing, [kill_at](int ordinal) {
+      return ordinal == kill_at ? Status::Aborted("simulated crash")
+                                : Status::Ok();
+    });
+    ASSERT_FALSE(killed.ok()) << "kill_at " << kill_at;
+    EXPECT_EQ(killed.status().code(), StatusCode::kAborted)
+        << killed.status().ToString();
+
+    // Restart: fresh server (fresh process), restore, finish.
+    auto resumed = RunTune(resuming);
+    ASSERT_TRUE(resumed.ok())
+        << "kill_at " << kill_at << ": " << resumed.status().ToString();
+    EXPECT_TRUE(resumed->resumed) << "kill_at " << kill_at;
+    ExpectIdenticalOutcome(
+        *baseline, *resumed,
+        "resume after kill at checkpoint " + std::to_string(kill_at));
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeUnderInjectedFaultsKeepsDegradedState) {
+  const std::string path = CheckpointPath("faulty");
+
+  TuningOptions opts = BaseOptions();
+  opts.fault_spec = "seed=17,permanent=0.3";
+  opts.retry.initial_backoff_ms = 0.01;
+
+  // Uninterrupted faulty reference (deterministic: injected faults are a
+  // pure hash of seed + call key).
+  auto baseline = RunTune(opts);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_GT(baseline->degraded_calls, 0u);
+
+  TuningOptions writing = opts;
+  writing.checkpoint_path = path;
+  int total_checkpoints = 0;
+  auto counting = RunTune(writing, [&total_checkpoints](int ordinal) {
+    total_checkpoints = std::max(total_checkpoints, ordinal);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(counting.ok()) << counting.status().ToString();
+  ASSERT_GE(total_checkpoints, 2);
+
+  // Kill mid-pipeline; the checkpoint carries degraded cache entries.
+  const int kill_at = (total_checkpoints + 1) / 2;
+  auto killed = RunTune(writing, [kill_at](int ordinal) {
+    return ordinal == kill_at ? Status::Aborted("simulated crash")
+                              : Status::Ok();
+  });
+  ASSERT_FALSE(killed.ok());
+
+  TuningOptions resuming = writing;
+  resuming.resume_path = path;
+  auto resumed = RunTune(resuming);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  ExpectIdenticalOutcome(*baseline, *resumed, "faulty resume");
+}
+
+// ------------------------------------------------------------- guard rails
+
+TEST(CheckpointResumeTest, ResumeRejectsMismatchedWorkloadOrOptions) {
+  const std::string path = CheckpointPath("mismatch");
+
+  TuningOptions writing = BaseOptions();
+  writing.checkpoint_path = path;
+  auto killed = RunTune(writing, [](int ordinal) {
+    return ordinal == 1 ? Status::Aborted("simulated crash") : Status::Ok();
+  });
+  ASSERT_FALSE(killed.ok());
+
+  // Different search options: the checkpointed state would be meaningless.
+  TuningOptions other_options = writing;
+  other_options.resume_path = path;
+  other_options.enumeration_k = writing.enumeration_k + 1;
+  auto bad_options = RunTune(other_options);
+  ASSERT_FALSE(bad_options.ok());
+  EXPECT_EQ(bad_options.status().code(), StatusCode::kFailedPrecondition)
+      << bad_options.status().ToString();
+
+  // Different workload under matching options.
+  TuningOptions resuming = writing;
+  resuming.resume_path = path;
+  auto prod = MakeProduction();
+  TuningSession session(prod.get(), resuming);
+  auto other = workload::Workload::FromScript(
+      "SELECT i_qty FROM items WHERE i_part = 3");
+  ASSERT_TRUE(other.ok());
+  auto bad_workload = session.Tune(*other);
+  ASSERT_FALSE(bad_workload.ok());
+  EXPECT_EQ(bad_workload.status().code(), StatusCode::kFailedPrecondition)
+      << bad_workload.status().ToString();
+
+  // The matching pair still resumes fine.
+  auto good = RunTune(resuming);
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+}
+
+TEST(CheckpointResumeTest, MissingResumeFileFails) {
+  TuningOptions opts = BaseOptions();
+  opts.resume_path = CheckpointPath("never_written");
+  auto r = RunTune(opts);
+  EXPECT_FALSE(r.ok());
+}
+
+// ------------------------------------------------------------- round trip
+
+TEST(CheckpointResumeTest, CheckpointXmlRoundTripsExactly) {
+  const std::string path = CheckpointPath("roundtrip");
+
+  // Capture a late checkpoint so every section (cache, pool, enumeration
+  // state) is populated.
+  TuningOptions writing = BaseOptions();
+  writing.checkpoint_path = path;
+  auto run = RunTune(writing);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  auto prod = MakeProduction();
+  auto loaded = LoadCheckpoint(path, prod->catalog());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->phase, kCheckpointEnumeration);
+  EXPECT_FALSE(loaded->cache.empty());
+  EXPECT_FALSE(loaded->pool.empty());
+  EXPECT_TRUE(loaded->enumeration.phase1_done);
+
+  // Serialize -> parse -> serialize is a fixed point: doubles are hex
+  // floats, so nothing drifts.
+  const std::string xml_text = CheckpointToXml(*loaded);
+  auto reparsed = CheckpointFromXml(xml_text, prod->catalog());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(CheckpointToXml(*reparsed), xml_text);
+  EXPECT_EQ(reparsed->workload_fingerprint, loaded->workload_fingerprint);
+  EXPECT_EQ(reparsed->options_fingerprint, loaded->options_fingerprint);
+  EXPECT_EQ(reparsed->current_costs, loaded->current_costs);
+  EXPECT_EQ(reparsed->pool.size(), loaded->pool.size());
+}
+
+}  // namespace
+}  // namespace dta::tuner

@@ -4,19 +4,30 @@
 //
 // Usage:
 //   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
-//           [--evaluate] [--quiet] [--threads N]
+//           [--evaluate] [--quiet] [--threads N] [--fault-spec SPEC]
+//           [--checkpoint FILE] [--resume FILE]
 //
-//   --metadata  ServerMetadata XML (produced by Server::ScriptMetadata or
-//               written by hand): databases, tables, columns, row counts.
-//   --input     DTAXML input document: workload + tuning options
-//               (+ optional user-specified configuration).
-//   --output    Where to write the DTAXML output document (default stdout).
-//   --evaluate  Do not tune: evaluate the input's user-specified
-//               configuration against the workload (paper §6.3).
-//   --quiet     Suppress the human-readable report on stdout.
-//   --threads   Worker threads for what-if costing (0 = all hardware
-//               threads, 1 = serial). The recommendation is identical at
-//               any thread count; only tuning wall-clock changes.
+//   --metadata    ServerMetadata XML (produced by Server::ScriptMetadata or
+//                 written by hand): databases, tables, columns, row counts.
+//   --input       DTAXML input document: workload + tuning options
+//                 (+ optional user-specified configuration).
+//   --output      Where to write the DTAXML output document (default
+//                 stdout).
+//   --evaluate    Do not tune: evaluate the input's user-specified
+//                 configuration against the workload (paper §6.3).
+//   --quiet       Suppress the human-readable report on stdout.
+//   --threads     Worker threads for what-if costing (0 = all hardware
+//                 threads, 1 = serial). The recommendation is identical at
+//                 any thread count; only tuning wall-clock changes.
+//   --fault-spec  Inject scripted what-if optimizer faults, e.g.
+//                 "seed=42,transient=0.1,permanent=0.01,latency_ms=0.5".
+//                 Transient failures are retried with backoff; persistent
+//                 ones degrade to a heuristic cost estimate (reported).
+//   --checkpoint  Write a crash-safe session checkpoint to FILE after every
+//                 phase and enumeration round (atomic tmp + rename).
+//   --resume      Restore the checkpoint at FILE and skip completed work;
+//                 the recommendation is identical to an uninterrupted run.
+//                 Typically pointed at the same FILE as --checkpoint.
 //
 // The server built from metadata alone has no table data or generator
 // specs; statistics fall back to optimizer heuristics. This is DTA's
@@ -30,6 +41,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
 #include "server/server.h"
@@ -58,7 +70,8 @@ dta::Status WriteFile(const std::string& path, const std::string& content) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --metadata server.xml --input tuning.xml "
-               "[--output out.xml] [--evaluate] [--quiet] [--threads N]\n",
+               "[--output out.xml] [--evaluate] [--quiet] [--threads N] "
+               "[--fault-spec SPEC] [--checkpoint FILE] [--resume FILE]\n",
                argv0);
   return 2;
 }
@@ -67,6 +80,7 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string metadata_path, input_path, output_path;
+  std::string fault_spec, checkpoint_path, resume_path;
   bool evaluate = false, quiet = false;
   int threads = -1;  // -1: keep the input document's (or default) setting
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +113,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads expects a non-negative integer\n");
         return Usage(argv[0]);
       }
+    } else if (arg == "--fault-spec") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      fault_spec = v;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      checkpoint_path = v;
+    } else if (arg == "--resume") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      resume_path = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -134,6 +160,20 @@ int main(int argc, char** argv) {
   }
 
   if (threads >= 0) input->options.num_threads = threads;
+  if (!fault_spec.empty()) {
+    // Validate up front so a typo fails before tuning starts.
+    auto parsed_spec = dta::FaultSpec::Parse(fault_spec);
+    if (!parsed_spec.ok()) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n",
+                   parsed_spec.status().ToString().c_str());
+      return 1;
+    }
+    input->options.fault_spec = fault_spec;
+  }
+  if (!checkpoint_path.empty()) {
+    input->options.checkpoint_path = checkpoint_path;
+  }
+  if (!resume_path.empty()) input->options.resume_path = resume_path;
 
   dta::tuner::TuningSession session(server->get(), input->options);
   std::string output_doc;
