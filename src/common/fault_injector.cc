@@ -71,7 +71,7 @@ std::string FaultSpec::ToString() const {
 FaultInjector::Outcome FaultInjector::Decide(uint64_t key) {
   int attempt;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     attempt = attempts_[key]++;
     ++calls_;
   }
@@ -82,7 +82,7 @@ FaultInjector::Outcome FaultInjector::Decide(uint64_t key) {
   if (spec_.permanent_probability > 0 &&
       HashToUnit(Mix(spec_.seed, key, /*salt=*/0x7065726dull)) <
           spec_.permanent_probability) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++permanent_;
     out.status = Status::Internal("injected permanent optimizer failure");
     return out;
@@ -92,7 +92,7 @@ FaultInjector::Outcome FaultInjector::Decide(uint64_t key) {
   if (spec_.transient_probability > 0 &&
       HashToUnit(Mix(spec_.seed, key, 0x7472616eull + attempt)) <
           spec_.transient_probability) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++transient_;
     out.status = Status::Unavailable("injected transient optimizer failure");
     return out;
@@ -101,17 +101,17 @@ FaultInjector::Outcome FaultInjector::Decide(uint64_t key) {
 }
 
 size_t FaultInjector::calls() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return calls_;
 }
 
 size_t FaultInjector::transient_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return transient_;
 }
 
 size_t FaultInjector::permanent_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return permanent_;
 }
 

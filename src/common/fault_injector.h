@@ -17,10 +17,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dta {
 
@@ -59,20 +60,20 @@ class FaultInjector {
   // Decides the fate of the next attempt of the call identified by `key`.
   // Keys must be stable across runs (hash of statement + relevant
   // configuration); attempts of the same key are numbered internally.
-  Outcome Decide(uint64_t key);
+  Outcome Decide(uint64_t key) EXCLUDES(mu_);
 
   // Counters, for tests and reports.
-  size_t calls() const;
-  size_t transient_failures() const;
-  size_t permanent_failures() const;
+  size_t calls() const EXCLUDES(mu_);
+  size_t transient_failures() const EXCLUDES(mu_);
+  size_t permanent_failures() const EXCLUDES(mu_);
 
  private:
   FaultSpec spec_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, int> attempts_;
-  size_t calls_ = 0;
-  size_t transient_ = 0;
-  size_t permanent_ = 0;
+  mutable Mutex mu_;
+  std::map<uint64_t, int> attempts_ GUARDED_BY(mu_);
+  size_t calls_ GUARDED_BY(mu_) = 0;
+  size_t transient_ GUARDED_BY(mu_) = 0;
+  size_t permanent_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dta

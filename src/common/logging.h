@@ -4,6 +4,7 @@
 #ifndef DTA_COMMON_LOGGING_H_
 #define DTA_COMMON_LOGGING_H_
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -65,5 +66,17 @@ class LogMessage {
   ::dta::internal_logging::LogMessage(::dta::LogLevel::k##level, __FILE__, \
                                       __LINE__)                         \
       .stream()
+
+// Invariant check that stays on in release builds (tier-1 runs
+// RelWithDebInfo, where assert() is compiled out). Guards cheap invariants
+// whose violation means a concurrency-discipline bug, e.g. a ParallelFor
+// cancel predicate invoked under the pool queue lock.
+#define DTA_CHECK(cond, msg)                              \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      DTA_LOG(Error) << "CHECK failed: " #cond ": " << (msg); \
+      std::abort();                                       \
+    }                                                     \
+  } while (0)
 
 #endif  // DTA_COMMON_LOGGING_H_

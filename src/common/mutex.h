@@ -1,0 +1,111 @@
+// Annotated mutex, scoped lock, and condition variable wrappers.
+//
+// std::mutex / std::lock_guard / std::condition_variable are invisible to
+// Clang Thread Safety Analysis (libstdc++ carries no capability
+// annotations), so code using them gets no compile-time lock checking. The
+// wrappers here are thin, allocation-free shims over the standard types
+// that carry the annotations from common/thread_annotations.h:
+//
+//   Mutex mu;                      // a CAPABILITY the analysis tracks
+//   int shared GUARDED_BY(mu);    // compile error if touched without mu
+//   { MutexLock lock(mu); ... }   // SCOPED_CAPABILITY guard
+//   cv.Wait(mu);                  // REQUIRES(mu); atomically releases and
+//                                 // re-acquires around the sleep
+//
+// dta_lint's raw-mutex rule forbids the unannotated std types outside this
+// header, so every lock in src/ is visible to `clang++ -Wthread-safety`.
+//
+// Mutex additionally tracks its owning thread (two relaxed atomic stores
+// per lock/unlock), which powers runtime assertions that complement the
+// static analysis where it cannot reach — e.g. ThreadPool asserts that
+// ParallelFor cancel predicates never run under the pool queue lock.
+
+#ifndef DTA_COMMON_MUTEX_H_
+#define DTA_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+
+namespace dta {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // BasicLockable interface (std names, so std::condition_variable_any and
+  // std::unique_lock<Mutex> both work), annotated for the analysis.
+  void lock() ACQUIRE() {
+    mu_.lock();
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  void unlock() RELEASE() {
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+    mu_.unlock();
+  }
+
+  // True iff the calling thread currently holds this mutex. Exact for the
+  // calling thread: only it can have stored its own id (under the lock),
+  // and it clears the id before unlocking.
+  bool HeldByCurrentThread() const {
+    return owner_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+  // Runtime complement of REQUIRES(this): aborts if the caller does not
+  // hold the mutex, and informs the static analysis that it is held.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+    DTA_CHECK(HeldByCurrentThread(),
+              "mutex required to be held by the calling thread");
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint: raw-mutex, unguarded-mutex (the wrapper itself)
+  std::atomic<std::thread::id> owner_{};
+};
+
+// RAII guard; the only sanctioned way to lock a Mutex. Guard variables must
+// be named with a `lock` suffix (dta_lint lock-naming rule).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to Mutex. Wait takes the Mutex itself (which the
+// caller must hold — REQUIRES makes that a compile-time obligation under
+// Clang) rather than a std::unique_lock, so waiting call sites stay fully
+// visible to the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu` and blocks until notified; `mu` is re-held on
+  // return. Subject to spurious wakeups: always call in a predicate loop.
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;  // lint: raw-mutex (the wrapper itself)
+};
+
+}  // namespace dta
+
+#endif  // DTA_COMMON_MUTEX_H_

@@ -1,0 +1,82 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to Clang's thread-safety attributes when the compiler
+// supports them and to nothing everywhere else (GCC, MSVC), so annotated
+// code builds unchanged on every toolchain while `clang++ -Wthread-safety
+// -Werror` turns lock-discipline violations into compile errors.
+//
+// Conventions in this repo (see DESIGN.md "Static analysis"):
+//   * Every mutex-protected member is annotated GUARDED_BY(its mutex).
+//   * Functions that must be called with a lock held are REQUIRES(mu);
+//     functions that acquire a lock internally are EXCLUDES(mu) so callers
+//     cannot re-enter while holding it.
+//   * Raw std::mutex / std::lock_guard are invisible to the analysis; use
+//     dta::Mutex / dta::MutexLock / dta::CondVar from common/mutex.h
+//     (enforced by the raw-mutex rule in tools/dta_lint.cc).
+
+#ifndef DTA_COMMON_THREAD_ANNOTATIONS_H_
+#define DTA_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DTA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DTA_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// Type attributes ----------------------------------------------------------
+
+// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define CAPABILITY(x) DTA_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (e.g. a scoped lock guard).
+#define SCOPED_CAPABILITY DTA_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes ---------------------------------------------------
+
+// The member may only be accessed while holding the given capability.
+#define GUARDED_BY(x) DTA_THREAD_ANNOTATION(guarded_by(x))
+
+// The pointee may only be accessed while holding the given capability.
+#define PT_GUARDED_BY(x) DTA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) DTA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DTA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function attributes ------------------------------------------------------
+
+// The function must be called with the given capabilities held.
+#define REQUIRES(...) \
+  DTA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DTA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires/releases the given capabilities.
+#define ACQUIRE(...) DTA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DTA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DTA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DTA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability iff it returns `val`.
+#define TRY_ACQUIRE(val, ...) \
+  DTA_THREAD_ANNOTATION(try_acquire_capability(val, __VA_ARGS__))
+
+// The function must NOT be called with the given capabilities held (it
+// acquires them itself; re-entry would self-deadlock).
+#define EXCLUDES(...) DTA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Asserts at runtime that the capability is held, and tells the analysis so.
+#define ASSERT_CAPABILITY(x) DTA_THREAD_ANNOTATION(assert_capability(x))
+
+// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) DTA_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Use only for code
+// whose locking pattern the analysis cannot express, and say why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DTA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DTA_COMMON_THREAD_ANNOTATIONS_H_

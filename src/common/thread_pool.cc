@@ -1,23 +1,26 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace dta {
 
 void WaitGroup::Add(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   count_ += n;
 }
 
 void WaitGroup::Done() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (--count_ <= 0) cv_.notify_all();
+  MutexLock lock(mu_);
+  if (--count_ <= 0) cv_.NotifyAll();
 }
 
 void WaitGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return count_ <= 0; });
+  MutexLock lock(mu_);
+  while (count_ > 0) cv_.Wait(mu_);
 }
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -30,27 +33,27 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and drained
       fn = std::move(queue_.front());
       queue_.pop_front();
@@ -63,7 +66,16 @@ void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn,
                  const std::function<bool()>& cancel) {
   if (n == 0) return;
-  auto cancelled = [&cancel] { return cancel != nullptr && cancel(); };
+  auto cancelled = [&cancel, pool] {
+    if (cancel == nullptr) return false;
+    // The predicate may block or take locks of its own; invoking it under
+    // the pool queue lock would be a latent self-deadlock. Checked at
+    // every poll so the violation is deterministic, not interleaving-luck.
+    DTA_CHECK(pool == nullptr || !pool->QueueLockHeldByCurrentThread(),
+              "ParallelFor cancel predicate invoked under the pool queue "
+              "lock");
+    return cancel();
+  };
   const size_t workers =
       pool == nullptr ? 0 : static_cast<size_t>(pool->num_workers());
   if (workers == 0 || n == 1) {

@@ -16,32 +16,35 @@
 //   * The pool is agnostic to iteration order; callers that need
 //     deterministic results must make their per-item work order-independent
 //     (write to slot i, reduce serially afterwards).
+//   * Locking is annotated for Clang Thread Safety Analysis (see
+//     common/thread_annotations.h); `clang++ -Wthread-safety -Werror`
+//     rejects any access to the queue or stop flag without the queue lock.
 
 #ifndef DTA_COMMON_THREAD_POOL_H_
 #define DTA_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dta {
 
 // Counts outstanding work items; Wait blocks until the count drops to zero.
 class WaitGroup {
  public:
-  void Add(int n);
-  void Done();
-  void Wait();
+  void Add(int n) EXCLUDES(mu_);
+  void Done() EXCLUDES(mu_);
+  void Wait() EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ GUARDED_BY(mu_) = 0;
 };
 
 class ThreadPool {
@@ -56,16 +59,25 @@ class ThreadPool {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
-  // Enqueues a task for execution on some worker thread.
-  void Submit(std::function<void()> fn);
+  // Enqueues a task for execution on some worker thread. Acquires the queue
+  // lock; must not be called while holding it (EXCLUDES), so a task that
+  // submits follow-up work cannot self-deadlock.
+  void Submit(std::function<void()> fn) EXCLUDES(mu_);
+
+  // True iff the calling thread holds the pool's queue lock. The pool never
+  // runs caller code (tasks, cancel predicates) under that lock; ParallelFor
+  // enforces this with a DTA_CHECK before every cancel-predicate call.
+  bool QueueLockHeldByCurrentThread() const {
+    return mu_.HeldByCurrentThread();
+  }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -79,6 +91,13 @@ class ThreadPool {
 // started run to completion). This is how time-bounded tuning stops a
 // fanned-out phase mid-flight instead of only at phase boundaries; callers
 // must treat unclaimed slots as "not run". The serial path polls identically.
+//
+// The cancel predicate runs on pool worker threads and on the calling
+// thread, always *outside* the pool's queue lock — a predicate is free to
+// block, take its own locks, or inspect the pool without self-deadlocking.
+// ParallelFor checks this invariant (DTA_CHECK) on every poll, so a future
+// scheduler refactor that moves the poll under the queue lock fails fast
+// and deterministically rather than deadlocking under load.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn,
                  const std::function<bool()>& cancel = nullptr);

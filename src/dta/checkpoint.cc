@@ -164,6 +164,12 @@ std::string CheckpointToXml(const SessionCheckpoint& ckpt) {
   xml::Element* created = root.AddChild("CreatedStats");
   for (const auto& key : ckpt.created_stats) StatsKeyToXml(key, created);
 
+  // Entries arrive from CostService::ExportCache already in deterministic
+  // (statement index, fingerprint) order — per-shard std::map iteration,
+  // shards walked in statement order — so the checkpoint document is
+  // byte-identical across runs and thread counts. Keep that contract if the
+  // cache container ever changes (dta_lint's unordered-output rule guards
+  // this file against unordered-container iteration).
   xml::Element* cache = root.AddChild("CostCache");
   for (const auto& entry : ckpt.cache) {
     xml::Element* e = cache->AddChild("Entry");

@@ -115,7 +115,7 @@ Result<CostService::Entry> CostService::PriceWithRetries(
     if (r.ok()) {
       RecordAttempts(attempt);
       if (!r->missing_stats.empty()) {
-        std::lock_guard<std::mutex> lock(missing_mu_);
+        MutexLock lock(missing_mu_);
         for (const auto& key : r->missing_stats) missing_.insert(key);
       }
       return Entry{r->cost, false};
@@ -161,7 +161,7 @@ Result<CostService::Entry> CostService::PriceWithRetries(
   // stands in, and the statement is flagged for the report.
   degraded_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(degraded_mu_);
+    MutexLock lock(degraded_mu_);
     degraded_statements_.insert(index);
   }
   const optimizer::HardwareParams& hw =
@@ -177,7 +177,7 @@ Result<double> CostService::StatementCost(
   std::string fp = RelevantFingerprint(index, config);
   Shard& shard = *shards_[index];
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (;;) {
       auto it = shard.cache.find(fp);
       if (it != shard.cache.end()) {
@@ -188,17 +188,17 @@ Result<double> CostService::StatementCost(
       // the result instead of duplicating the what-if call, which keeps
       // whatif_calls() exact at any thread count.
       if (shard.inflight.insert(fp).second) break;
-      shard.cv.wait(lock);
+      shard.cv.Wait(shard.mu);
     }
   }
   // Price outside the lock (the what-if call dominates; holding the shard
   // lock across it would serialize enumeration).
   auto priced = PriceWithRetries(index, config, fp);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.inflight.erase(fp);
     if (priced.ok()) shard.cache.emplace(std::move(fp), *priced);
-    shard.cv.notify_all();
+    shard.cv.NotifyAll();
   }
   if (!priced.ok()) return priced.status();
   return priced->cost;
@@ -228,22 +228,22 @@ Result<double> CostService::WorkloadCost(const catalog::Configuration& config,
 }
 
 std::set<stats::StatsKey> CostService::missing_stats() const {
-  std::lock_guard<std::mutex> lock(missing_mu_);
+  MutexLock lock(missing_mu_);
   return missing_;
 }
 
 void CostService::ClearMissingStats() {
-  std::lock_guard<std::mutex> lock(missing_mu_);
+  MutexLock lock(missing_mu_);
   missing_.clear();
 }
 
 void CostService::SeedMissingStats(const std::set<stats::StatsKey>& keys) {
-  std::lock_guard<std::mutex> lock(missing_mu_);
+  MutexLock lock(missing_mu_);
   for (const auto& key : keys) missing_.insert(key);
 }
 
 std::set<size_t> CostService::degraded_statements() const {
-  std::lock_guard<std::mutex> lock(degraded_mu_);
+  MutexLock lock(degraded_mu_);
   return degraded_statements_;
 }
 
@@ -258,9 +258,13 @@ std::array<size_t, kRetryHistogramBuckets> CostService::retry_histogram()
 
 std::vector<CostService::CacheEntry> CostService::ExportCache() const {
   std::vector<CacheEntry> out;
+  // Deterministic export order — shards in statement order, entries in the
+  // shard map's (ordered) fingerprint order — so a checkpoint written from
+  // the same cache state is byte-identical at any thread count.
   for (size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i]->mu);
-    for (const auto& [fp, entry] : shards_[i]->cache) {
+    Shard& shard = *shards_[i];
+    MutexLock lock(shard.mu);
+    for (const auto& [fp, entry] : shard.cache) {
       out.push_back(CacheEntry{i, fp, entry.cost, entry.degraded});
     }
   }
@@ -271,20 +275,21 @@ void CostService::ImportCache(const std::vector<CacheEntry>& entries) {
   for (const auto& e : entries) {
     if (e.statement >= shards_.size()) continue;
     Shard& shard = *shards_[e.statement];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.cache.insert_or_assign(e.fingerprint,
                                  Entry{e.cost, e.degraded});
     if (e.degraded) {
-      std::lock_guard<std::mutex> dlock(degraded_mu_);
+      MutexLock dlock(degraded_mu_);
       degraded_statements_.insert(e.statement);
     }
   }
 }
 
 void CostService::ClearCache() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->cache.clear();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(shard.mu);
+    shard.cache.clear();
   }
 }
 

@@ -31,17 +31,17 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "catalog/physical_design.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "dta/tuning_options.h"
 #include "optimizer/hardware.h"
@@ -93,10 +93,11 @@ class CostService {
   // Statistics the optimizer wanted but could not find, accumulated across
   // all calls (drives reduced statistics creation and test-server import).
   // Returns a snapshot; safe to call concurrently with StatementCost.
-  std::set<stats::StatsKey> missing_stats() const;
-  void ClearMissingStats();
+  std::set<stats::StatsKey> missing_stats() const EXCLUDES(missing_mu_);
+  void ClearMissingStats() EXCLUDES(missing_mu_);
   // Pre-populates the missing-statistics set (checkpoint resume).
-  void SeedMissingStats(const std::set<stats::StatsKey>& keys);
+  void SeedMissingStats(const std::set<stats::StatsKey>& keys)
+      EXCLUDES(missing_mu_);
 
   // Number of logical what-if pricings (cache misses). Exact at any thread
   // count: racing threads on a cold pair block instead of double-pricing.
@@ -115,7 +116,7 @@ class CostService {
     return degraded_.load(std::memory_order_relaxed);
   }
   // Statement indexes with at least one degraded pricing (snapshot).
-  std::set<size_t> degraded_statements() const;
+  std::set<size_t> degraded_statements() const EXCLUDES(degraded_mu_);
   // retry_histogram()[n] = pricings that needed n + 1 attempts.
   std::array<size_t, kRetryHistogramBuckets> retry_histogram() const;
 
@@ -148,21 +149,30 @@ class CostService {
   // one thread, so shards keep lock contention confined to enumeration,
   // where different subsets price the same statement concurrently. The
   // in-flight set + condition variable deduplicate racing cold misses.
+  //
+  // Protocol (statically checked under clang -Wthread-safety): `cache` and
+  // `inflight` are only touched under `mu`; the first thread to miss a
+  // (statement, fingerprint) pair inserts it into `inflight`, prices it
+  // *outside* the lock, then re-locks to publish the entry, clear the
+  // in-flight mark, and NotifyAll the waiters parked on `cv`.
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<std::string, Entry> cache;
-    std::set<std::string> inflight;
+    Mutex mu;
+    CondVar cv;
+    std::map<std::string, Entry> cache GUARDED_BY(mu);
+    std::set<std::string> inflight GUARDED_BY(mu);
   };
 
   std::string RelevantFingerprint(size_t index,
                                   const catalog::Configuration& config) const;
   // Prices one cold (statement, fingerprint) pair: what-if call with
   // retry/backoff/deadline, falling back to the heuristic estimate when the
-  // failure is persistent and degradation is enabled.
+  // failure is persistent and degradation is enabled. Runs outside any
+  // shard lock (the what-if call dominates; holding a shard lock across it
+  // would serialize enumeration and deadlock the in-flight protocol).
   Result<Entry> PriceWithRetries(size_t index,
                                  const catalog::Configuration& config,
-                                 const std::string& fingerprint);
+                                 const std::string& fingerprint)
+      EXCLUDES(missing_mu_, degraded_mu_);
   void RecordAttempts(int attempts);
 
   server::Server* server_;
@@ -173,10 +183,10 @@ class CostService {
   // Lower-cased table names referenced by each statement.
   std::vector<std::set<std::string>> statement_tables_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::mutex missing_mu_;
-  std::set<stats::StatsKey> missing_;
-  mutable std::mutex degraded_mu_;
-  std::set<size_t> degraded_statements_;
+  mutable Mutex missing_mu_;
+  std::set<stats::StatsKey> missing_ GUARDED_BY(missing_mu_);
+  mutable Mutex degraded_mu_;
+  std::set<size_t> degraded_statements_ GUARDED_BY(degraded_mu_);
   std::atomic<size_t> calls_{0};
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> retries_{0};

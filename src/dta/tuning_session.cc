@@ -262,6 +262,11 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
 
   // Serializes the session's progress to options_.checkpoint_path (atomic
   // tmp + rename). `pool`/`enum_state` are null until the matching phase.
+  // Runs only from the session thread at phase boundaries, never
+  // concurrently with a fanned-out costing pass: costs.ExportCache() /
+  // missing_stats() take the CostService's internal locks and snapshot in a
+  // deterministic (statement, fingerprint) order, so the checkpoint bytes
+  // are thread-count invariant.
   int checkpoint_ordinal = 0;
   std::vector<double> current_costs(tuned.size(), 0.0);
   auto write_checkpoint = [&](int phase, const std::vector<Candidate>* pool,

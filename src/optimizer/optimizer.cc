@@ -389,7 +389,7 @@ std::optional<Optimizer::AccessPath> Optimizer::InnerSeekPath(
 
 const BoundQuery* Optimizer::BoundView(const catalog::ViewDef& view) const {
   std::string key = view.CanonicalName();
-  std::lock_guard<std::mutex> lock(view_bind_mu_);
+  MutexLock lock(view_bind_mu_);
   auto it = view_bind_cache_.find(key);
   if (it != view_bind_cache_.end()) return it->second.get();
   if (view.definition == nullptr) return nullptr;

@@ -23,11 +23,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "catalog/physical_design.h"
 #include "catalog/schema.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "optimizer/bound_query.h"
 #include "optimizer/cardinality.h"
@@ -101,7 +102,8 @@ class Optimizer {
       const catalog::Configuration& config) const;
 
   // Binds a view definition (cached by canonical name).
-  const BoundQuery* BoundView(const catalog::ViewDef& view) const;
+  const BoundQuery* BoundView(const catalog::ViewDef& view) const
+      EXCLUDES(view_bind_mu_);
 
   const catalog::Catalog& catalog_;
   const StatsProvider& stats_;
@@ -110,8 +112,9 @@ class Optimizer {
   // Guarded by view_bind_mu_: costing is const and runs concurrently from
   // the tuner's worker pool; map values are unique_ptrs, so pointers handed
   // out remain stable after the lock is released.
-  mutable std::mutex view_bind_mu_;
-  mutable std::map<std::string, std::unique_ptr<BoundQuery>> view_bind_cache_;
+  mutable Mutex view_bind_mu_;
+  mutable std::map<std::string, std::unique_ptr<BoundQuery>> view_bind_cache_
+      GUARDED_BY(view_bind_mu_);
 };
 
 }  // namespace dta::optimizer

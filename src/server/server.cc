@@ -178,7 +178,7 @@ Result<Server::WhatIfResult> Server::WhatIfCost(
         "%d/%.0f/%.3f/%.3f", simulate_hardware->cpu_count,
         simulate_hardware->memory_mb, simulate_hardware->seq_page_ms,
         simulate_hardware->rand_page_ms);
-    std::lock_guard<std::mutex> lock(simulated_mu_);
+    MutexLock lock(simulated_mu_);
     auto it = simulated_.find(key);
     if (it == simulated_.end()) {
       it = simulated_

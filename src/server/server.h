@@ -22,7 +22,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -31,8 +30,10 @@
 #include "catalog/physical_design.h"
 #include "catalog/schema.h"
 #include "common/fault_injector.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/executor.h"
 #include "optimizer/hardware.h"
 #include "optimizer/optimizer.h"
@@ -169,12 +170,12 @@ class Server : public engine::DataSource {
   Result<double> ExecuteStatement(const sql::Statement& stmt);
 
   // ---- Overhead metering -------------------------------------------------
-  double overhead_ms() const {
-    std::lock_guard<std::mutex> lock(meter_mu_);
+  double overhead_ms() const EXCLUDES(meter_mu_) {
+    MutexLock lock(meter_mu_);
     return overhead_ms_;
   }
-  void ResetOverhead() {
-    std::lock_guard<std::mutex> lock(meter_mu_);
+  void ResetOverhead() EXCLUDES(meter_mu_) {
+    MutexLock lock(meter_mu_);
     overhead_ms_ = 0;
     whatif_calls_.store(0, std::memory_order_relaxed);
   }
@@ -194,8 +195,8 @@ class Server : public engine::DataSource {
   std::map<std::string, std::vector<storage::ColumnSpec>> specs_;
 
   // Accrues simulated elapsed time from concurrent what-if calls.
-  void AccrueOverhead(double ms) {
-    std::lock_guard<std::mutex> lock(meter_mu_);
+  void AccrueOverhead(double ms) EXCLUDES(meter_mu_) {
+    MutexLock lock(meter_mu_);
     overhead_ms_ += ms;
   }
 
@@ -204,15 +205,16 @@ class Server : public engine::DataSource {
   // Optimizers for simulated hardware are built per distinct parameter set,
   // lazily and possibly from concurrent what-if calls (guarded by
   // simulated_mu_; unique_ptr values keep handed-out pointers stable).
-  std::mutex simulated_mu_;
-  std::map<std::string, std::unique_ptr<optimizer::Optimizer>> simulated_;
+  Mutex simulated_mu_;
+  std::map<std::string, std::unique_ptr<optimizer::Optimizer>> simulated_
+      GUARDED_BY(simulated_mu_);
 
   catalog::Configuration current_config_;
   std::unique_ptr<engine::Executor> executor_;
   FaultInjector* fault_injector_ = nullptr;
 
-  mutable std::mutex meter_mu_;
-  double overhead_ms_ = 0;
+  mutable Mutex meter_mu_;
+  double overhead_ms_ GUARDED_BY(meter_mu_) = 0;
   std::atomic<size_t> whatif_calls_{0};
 
   bool capturing_ = false;

@@ -1,0 +1,20 @@
+// Clean fixture: nothing in this file fires any dta_lint rule, including
+// near-miss identifiers and comment/string mentions of banned constructs.
+
+#include <map>
+#include <memory>
+
+struct Entry {
+  int value = 0;
+};
+
+// Comments may mention std::mutex, rand(), or new Widget() freely.
+std::unique_ptr<Entry> MakeEntry() { return std::make_unique<Entry>(); }
+
+int Sum(const std::map<int, int>& m) {
+  int total = 0;
+  for (const auto& [key, value] : m) total += value;
+  const char* text = "calling rand() via std::unordered_map<new>";
+  (void)text;
+  return total;
+}

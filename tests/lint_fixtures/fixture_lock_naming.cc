@@ -1,0 +1,16 @@
+// Fixtures for the lock-naming rule: scoped-guard variables must end in
+// "lock" so guards are greppable and never silently temporary.
+
+void FireOnBadGuardNames() {
+  MutexLock guard(mu_);              // expect: lock-naming
+  std::lock_guard<std::mutex> g(m);  // expect: lock-naming, raw-mutex
+}
+
+void SuppressedLegacyName() {
+  MutexLock holder(mu_);  // lint: lock-naming
+}
+
+void CleanGuardNames() {
+  MutexLock lock(mu_);
+  MutexLock shard_lock(shard.mu);
+}

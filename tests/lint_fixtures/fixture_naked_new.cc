@@ -1,0 +1,25 @@
+// Fixtures for the naked-new rule: no naked new/delete; deleted special
+// members are exempt.
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;  // '= delete' is not a deallocation
+};
+
+void FireOnNakedNewAndDelete() {
+  Widget* w = new Widget();  // expect: naked-new
+  delete w;                  // expect: naked-new
+  int* arr = new int[8];     // expect: naked-new
+  delete[] arr;              // expect: naked-new
+}
+
+Widget* SuppressedArenaHandoff() {
+  Widget* w = new Widget();  // lint: naked-new (ownership handed to an arena)
+  return w;
+}
+
+int CleanIdentifiersContainingNew() {
+  int max_new = 64;
+  int newly = max_new;
+  return newly;
+}

@@ -1,0 +1,19 @@
+// Fixtures for the raw-mutex rule: unannotated standard synchronization
+// types are invisible to -Wthread-safety and banned outside common/mutex.h.
+
+#include <mutex>
+
+class FireRawTypes {
+  std::condition_variable cv_;  // expect: raw-mutex
+  std::mutex mu2_;              // expect: raw-mutex, unguarded-mutex
+};
+
+void FireRawGuards() {
+  std::unique_lock<std::mutex> lock(m);  // expect: raw-mutex
+  std::scoped_lock all_lock(a, b);       // expect: raw-mutex
+}
+
+void SuppressedThirdPartyInterop() {
+  // Third-party API hands back a std::unique_lock.
+  std::unique_lock<std::mutex> lock(m);  // lint: raw-mutex
+}

@@ -1,0 +1,23 @@
+// Fixtures for the unordered-output rule. The file name contains "report",
+// so dta_lint treats it as an ordered-output file. Never compiled; scanned
+// by the DtaLintFixtures ctest via --check-expectations.
+
+#include <unordered_map>  // expect: unordered-output
+#include <map>
+
+void FireOnUnorderedContainers() {
+  std::unordered_map<int, int> counts;  // expect: unordered-output
+  std::unordered_set<int> seen;         // expect: unordered-output
+}
+
+void SuppressedSortedElsewhere() {
+  std::unordered_map<int, int> counts;  // lint: ordered (exported via a sorted copy)
+}
+
+// lint: ordered (suppression from the preceding line also works)
+std::unordered_set<int> suppressed_by_previous_line;
+
+void CleanOrderedContainers() {
+  std::map<int, int> ordered;
+  (void)ordered;
+}

@@ -1,0 +1,18 @@
+// Fixtures for the unguarded-mutex rule: every mutex member needs at least
+// one GUARDED_BY(that mutex) user in the same file.
+
+class FireUnguarded {
+  std::mutex bad_mu_;  // expect: unguarded-mutex, raw-mutex
+  Mutex lonely_mu_;    // expect: unguarded-mutex
+  int data_ = 0;
+};
+
+class CleanGuarded {
+  Mutex mu_;
+  int data_ GUARDED_BY(mu_) = 0;
+};
+
+class SuppressedPhaseSerialized {
+  // Touched only from the session thread between phases.
+  Mutex phase_mu_;  // lint: unguarded-mutex
+};

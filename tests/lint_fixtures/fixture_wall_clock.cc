@@ -1,0 +1,30 @@
+// Fixtures for the wall-clock rule: nondeterministic time and randomness
+// sources are banned outside src/common/random.* and sanctioned sites.
+
+#include <chrono>
+#include <random>
+
+void FireOnSystemClock() {
+  auto now = std::chrono::system_clock::now();  // expect: wall-clock
+  (void)now;
+}
+
+int FireOnLibcAndDeviceRandomness() {
+  srand(42);              // expect: wall-clock
+  int a = rand();         // expect: wall-clock
+  std::random_device rd;  // expect: wall-clock
+  return a + static_cast<int>(rd());
+}
+
+void SuppressedTimerSite() {
+  // Sanctioned wall-clock read, e.g. stamping a report header.
+  auto stamp = std::chrono::system_clock::now();  // lint: wall-clock
+  (void)stamp;
+}
+
+double CleanSteadyClockAndIdentifiers() {
+  auto t0 = std::chrono::steady_clock::now();  // monotonic: allowed
+  int randomized = 3;
+  (void)t0;
+  return randomized;
+}

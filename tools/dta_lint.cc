@@ -1,0 +1,560 @@
+// dta_lint: repo-specific determinism and concurrency-discipline checks.
+//
+// DTA promises bit-identical recommendations at any thread count and
+// byte-identical checkpoints across runs; those guarantees rest on source
+// conventions no general-purpose tool knows about. This linter enforces
+// them as a build step (ctest `DtaLintTree`), complementing clang's
+// -Wthread-safety analysis and clang-tidy:
+//
+//   unordered-output   Files that serialize ordered output (report,
+//                      checkpoint, xml_schema) must not use
+//                      std::unordered_map/set — iteration order would leak
+//                      into the bytes. Sort first; suppress an intentional
+//                      use with `// lint: ordered`.
+//   wall-clock         std::chrono::system_clock, rand()/srand(), and
+//                      std::random_device are nondeterministic; all
+//                      randomness flows through src/common/random.* with
+//                      explicit seeds. (steady_clock is fine: it is
+//                      monotonic and only feeds durations.)
+//   naked-new          No naked `new`/`delete`; use std::make_unique &
+//                      friends. `= delete` (deleted functions) is exempt.
+//   unguarded-mutex    Every mutex member must have at least one
+//                      GUARDED_BY(that mutex) user in the same file, so a
+//                      lock cannot exist that the thread-safety analysis
+//                      does not check.
+//   lock-naming        Scoped-guard variables must end in `lock`
+//                      (MutexLock lock(mu); MutexLock shard_lock(...);) so
+//                      guards are greppable and never silently temporary.
+//   raw-mutex          std::mutex/lock_guard/unique_lock/condition_variable
+//                      are invisible to -Wthread-safety; use the annotated
+//                      dta::Mutex/MutexLock/CondVar (common/mutex.h) instead.
+//
+// Mechanics: line-oriented over comment- and string-stripped source, which
+// keeps the tool dependency-free and fast enough to run on every build.
+// Each rule is individually suppressible at a site with
+// `// lint: <rule>[, <rule>...]` on the offending line or the line above,
+// and disableable globally with --disable=<rule>,<rule>.
+//
+// Fixture self-test: with --check-expectations, findings are compared
+// against `// expect: <rule>[, <rule>...]` markers in the linted files and
+// the run fails on any difference in either direction. tests/lint_fixtures/
+// exercises every rule's fire, suppress, and clean cases this way (ctest
+// `DtaLintFixtures`).
+//
+// Usage:
+//   dta_lint [--root=DIR] [--disable=r1,r2] [--check-expectations] PATH...
+// PATHs (files or directories, *.h/*.cc/*.cpp) are resolved against --root.
+// Exit codes: 0 clean, 1 findings or expectation mismatch, 2 usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<std::string> kAllRules = {
+    "unordered-output", "wall-clock",  "naked-new",
+    "unguarded-mutex",  "lock-naming", "raw-mutex",
+};
+
+struct Finding {
+  std::string file;  // repo-relative path
+  size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    return std::tie(file, line, rule) < std::tie(o.file, o.line, o.rule);
+  }
+};
+
+// One source line after preprocessing.
+struct Line {
+  std::string code;       // comments and literal contents blanked
+  std::string comment;    // text of the trailing // comment, if any
+  std::set<std::string> suppressed;  // rules suppressed at this line
+  std::set<std::string> expected;    // rules expected to fire (fixtures)
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True if `word` occurs in `code` with non-identifier characters (or the
+// line boundary) on both sides.
+bool ContainsWord(const std::string& code, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// Finds `word` as an identifier immediately followed (after whitespace) by
+// '(' — i.e. a call like rand().
+bool ContainsCall(const std::string& code, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t end = pos + word.size();
+    if (left_ok && (end >= code.size() || !IsIdentChar(code[end]))) {
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end])) != 0) {
+        ++end;
+      }
+      if (end < code.size() && code[end] == '(') return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+// Splits a marker payload ("a, b c") into rule names; the alias "ordered"
+// names the unordered-output rule (matches the suppression comment the
+// DESIGN doc prescribes for intentional sorted-elsewhere uses).
+std::set<std::string> ParseRuleList(const std::string& text) {
+  std::set<std::string> out;
+  std::string token;
+  auto flush = [&] {
+    if (token.empty()) return;
+    if (token == "ordered") token = "unordered-output";
+    out.insert(token);
+    token.clear();
+  };
+  for (char c : text) {
+    if (IsIdentChar(c) || c == '-') {
+      token.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+// Strips comments and the contents of string/char literals, tracking block
+// comments across lines. Returns preprocessed lines with suppression and
+// expectation markers extracted from // comments.
+std::vector<Line> Preprocess(const std::vector<std::string>& raw) {
+  std::vector<Line> lines;
+  lines.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& text : raw) {
+    Line line;
+    std::string& code = line.code;
+    code.reserve(text.size());
+    for (size_t i = 0; i < text.size();) {
+      if (in_block_comment) {
+        if (text.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      const char c = text[i];
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+        line.comment = text.substr(i + 2);
+        break;  // rest of the line is comment
+      }
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code.push_back(quote);
+        ++i;
+        while (i < text.size()) {
+          if (text[i] == '\\' && i + 1 < text.size()) {
+            i += 2;
+            continue;
+          }
+          if (text[i] == quote) {
+            code.push_back(quote);
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code.push_back(c);
+      ++i;
+    }
+    const std::string kLintMarker = std::string("lint") + ":";
+    const std::string kExpectMarker = std::string("expect") + ":";
+    size_t mark = line.comment.find(kLintMarker);
+    if (mark != std::string::npos) {
+      line.suppressed = ParseRuleList(line.comment.substr(mark + 5));
+    }
+    mark = line.comment.find(kExpectMarker);
+    if (mark != std::string::npos) {
+      line.expected = ParseRuleList(line.comment.substr(mark + 7));
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+// ---- Rules ---------------------------------------------------------------
+
+// Basename-sensitive activation for the ordered-output rule: these files
+// turn internal state into user- or resume-visible bytes.
+bool IsOrderedOutputFile(const std::string& rel_path) {
+  const std::string base = fs::path(rel_path).filename().string();
+  return base.find("report") != std::string::npos ||
+         base.find("checkpoint") != std::string::npos ||
+         base.find("xml_schema") != std::string::npos;
+}
+
+bool IsRandomInfraFile(const std::string& rel_path) {
+  const std::string base = fs::path(rel_path).filename().string();
+  return base == "random.h" || base == "random.cc";
+}
+
+bool IsMutexInfraFile(const std::string& rel_path) {
+  return fs::path(rel_path).filename().string() == "mutex.h";
+}
+
+void LintFile(const std::string& rel_path, const std::vector<std::string>& raw,
+              const std::set<std::string>& disabled,
+              std::vector<Finding>* findings,
+              std::vector<Finding>* expectations) {
+  const std::vector<Line> lines = Preprocess(raw);
+
+  // Whole-file text (code only) for the unguarded-mutex user search.
+  std::string all_code;
+  for (const Line& line : lines) {
+    all_code += line.code;
+    all_code += '\n';
+  }
+
+  auto suppressed_at = [&lines](size_t idx, const std::string& rule) {
+    if (lines[idx].suppressed.count(rule) > 0) return true;
+    return idx > 0 && lines[idx - 1].suppressed.count(rule) > 0;
+  };
+  auto emit = [&](size_t idx, const std::string& rule,
+                  const std::string& message) {
+    if (disabled.count(rule) > 0) return;
+    if (suppressed_at(idx, rule)) return;
+    findings->push_back(Finding{rel_path, idx + 1, rule, message});
+  };
+
+  const bool ordered_output = IsOrderedOutputFile(rel_path);
+  const bool random_infra = IsRandomInfraFile(rel_path);
+  const bool mutex_infra = IsMutexInfraFile(rel_path);
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (expectations != nullptr) {
+      for (const std::string& rule : lines[i].expected) {
+        expectations->push_back(Finding{rel_path, i + 1, rule, ""});
+      }
+    }
+    if (code.empty()) continue;
+
+    // unordered-output
+    if (ordered_output && (code.find("unordered_map") != std::string::npos ||
+                           code.find("unordered_set") != std::string::npos)) {
+      emit(i, "unordered-output",
+           "unordered container in an ordered-output file; iteration order "
+           "leaks into serialized bytes — sort first (suppress with "
+           "'lint: ordered')");
+    }
+
+    // wall-clock
+    if (!random_infra) {
+      if (code.find("system_clock") != std::string::npos) {
+        emit(i, "wall-clock",
+             "std::chrono::system_clock is nondeterministic; use "
+             "steady_clock for durations or seeded dta::Random");
+      }
+      if (code.find("random_device") != std::string::npos) {
+        emit(i, "wall-clock",
+             "std::random_device is nondeterministic; seed dta::Random "
+             "explicitly");
+      }
+      if (ContainsCall(code, "rand") || ContainsCall(code, "srand")) {
+        emit(i, "wall-clock",
+             "rand()/srand() draw from hidden global state; use seeded "
+             "dta::Random");
+      }
+    }
+
+    // naked-new
+    if (ContainsWord(code, "new")) {
+      emit(i, "naked-new",
+           "naked 'new'; use std::make_unique/std::make_shared or a "
+           "container");
+    }
+    if (ContainsWord(code, "delete")) {
+      // `= delete` (deleted special member) is not a deallocation.
+      size_t pos = code.find("delete");
+      size_t before = code.find_last_not_of(" \t", pos == 0 ? 0 : pos - 1);
+      const bool deleted_fn =
+          pos > 0 && before != std::string::npos && code[before] == '=';
+      if (!deleted_fn) {
+        emit(i, "naked-new",
+             "naked 'delete'; owning pointers must be std::unique_ptr/"
+             "std::shared_ptr");
+      }
+    }
+
+    // unguarded-mutex: a mutex member declaration must have a GUARDED_BY
+    // user in the same file.
+    {
+      size_t p = 0;
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p])) != 0) {
+        ++p;
+      }
+      std::string rest = code.substr(p);
+      if (rest.rfind("mutable ", 0) == 0) rest = rest.substr(8);
+      size_t after_type = std::string::npos;
+      for (const char* type : {"std::mutex ", "Mutex "}) {
+        if (rest.rfind(type, 0) == 0) after_type = std::string(type).size();
+      }
+      if (after_type != std::string::npos) {
+        size_t q = after_type;
+        while (q < rest.size() &&
+               std::isspace(static_cast<unsigned char>(rest[q])) != 0) {
+          ++q;
+        }
+        size_t name_start = q;
+        while (q < rest.size() && IsIdentChar(rest[q])) ++q;
+        std::string name = rest.substr(name_start, q - name_start);
+        while (q < rest.size() &&
+               std::isspace(static_cast<unsigned char>(rest[q])) != 0) {
+          ++q;
+        }
+        if (!name.empty() && q < rest.size() && rest[q] == ';' &&
+            all_code.find("GUARDED_BY(" + name + ")") == std::string::npos) {
+          emit(i, "unguarded-mutex",
+               "mutex member '" + name +
+                   "' has no GUARDED_BY(" + name +
+                   ") user in this file; a lock nothing is annotated "
+                   "against is a lock the analysis cannot check");
+        }
+      }
+    }
+
+    // lock-naming: guard variables must end in "lock".
+    {
+      static const std::vector<std::string> kGuardTypes = {
+          "MutexLock", "std::lock_guard", "std::unique_lock",
+          "std::scoped_lock"};
+      for (const std::string& type : kGuardTypes) {
+        size_t pos = 0;
+        while ((pos = code.find(type, pos)) != std::string::npos) {
+          const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+          size_t q = pos + type.size();
+          pos += 1;
+          if (!left_ok) continue;
+          // Skip a template argument list, then expect: identifier '('.
+          if (q < code.size() && code[q] == '<') {
+            int depth = 0;
+            while (q < code.size()) {
+              if (code[q] == '<') ++depth;
+              if (code[q] == '>' && --depth == 0) {
+                ++q;
+                break;
+              }
+              ++q;
+            }
+          }
+          while (q < code.size() &&
+                 std::isspace(static_cast<unsigned char>(code[q])) != 0) {
+            ++q;
+          }
+          size_t name_start = q;
+          while (q < code.size() && IsIdentChar(code[q])) ++q;
+          std::string name = code.substr(name_start, q - name_start);
+          if (name.empty() || (q < code.size() && code[q] != '(')) continue;
+          const bool ends_in_lock =
+              name.size() >= 4 &&
+              name.compare(name.size() - 4, 4, "lock") == 0;
+          if (!ends_in_lock) {
+            emit(i, "lock-naming",
+                 "guard variable '" + name +
+                     "' must end in 'lock' (e.g. 'lock', 'shard_lock')");
+          }
+        }
+      }
+    }
+
+    // raw-mutex
+    if (!mutex_infra) {
+      static const std::vector<std::string> kRawTypes = {
+          "std::mutex",       "std::recursive_mutex", "std::timed_mutex",
+          "std::shared_mutex", "std::condition_variable",
+          "std::lock_guard",  "std::unique_lock",     "std::scoped_lock"};
+      for (const std::string& type : kRawTypes) {
+        if (code.find(type) != std::string::npos) {
+          emit(i, "raw-mutex",
+               type +
+                   " is invisible to -Wthread-safety; use dta::Mutex/"
+                   "MutexLock/CondVar from common/mutex.h");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---- Driver --------------------------------------------------------------
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+int Usage() {
+  std::cerr
+      << "usage: dta_lint [--root=DIR] [--disable=rule1,rule2]\n"
+         "                [--check-expectations] PATH...\n"
+         "rules:";
+  for (const std::string& r : kAllRules) std::cerr << " " << r;
+  std::cerr << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::set<std::string> disabled;
+  bool check_expectations = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      for (const std::string& r : ParseRuleList(arg.substr(10))) {
+        if (std::find(kAllRules.begin(), kAllRules.end(), r) ==
+            kAllRules.end()) {
+          std::cerr << "dta_lint: unknown rule '" << r << "'\n";
+          return Usage();
+        }
+        disabled.insert(r);
+      }
+    } else if (arg == "--check-expectations") {
+      check_expectations = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dta_lint: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  // Expand inputs to a sorted, de-duplicated file list (deterministic
+  // output regardless of directory iteration order).
+  std::set<fs::path> files;
+  for (const std::string& input : inputs) {
+    fs::path p = fs::path(input).is_absolute() ? fs::path(input)
+                                               : root / input;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path())) {
+          files.insert(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.insert(p);
+    } else {
+      std::cerr << "dta_lint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Finding> findings;
+  std::vector<Finding> expectations;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "dta_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::vector<std::string> raw;
+    std::string text;
+    while (std::getline(in, text)) raw.push_back(text);
+
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    const std::string rel_path =
+        ec || rel.empty() ? file.string() : rel.string();
+    LintFile(rel_path, raw, disabled,
+             &findings, check_expectations ? &expectations : nullptr);
+  }
+
+  if (check_expectations) {
+    // Exact two-way match between findings and `expect:` markers: a rule
+    // that fails to fire is as much a bug as a spurious finding.
+    std::sort(findings.begin(), findings.end());
+    std::sort(expectations.begin(), expectations.end());
+    std::vector<Finding> unexpected;
+    std::vector<Finding> missing;
+    auto key_equal = [](const Finding& a, const Finding& b) {
+      return a.file == b.file && a.line == b.line && a.rule == b.rule;
+    };
+    size_t fi = 0;
+    size_t ei = 0;
+    while (fi < findings.size() || ei < expectations.size()) {
+      if (fi == findings.size()) {
+        missing.push_back(expectations[ei++]);
+      } else if (ei == expectations.size()) {
+        unexpected.push_back(findings[fi++]);
+      } else if (key_equal(findings[fi], expectations[ei])) {
+        ++fi;
+        ++ei;
+      } else if (findings[fi] < expectations[ei]) {
+        unexpected.push_back(findings[fi++]);
+      } else {
+        missing.push_back(expectations[ei++]);
+      }
+    }
+    for (const Finding& f : unexpected) {
+      std::cout << f.file << ":" << f.line << ": unexpected [" << f.rule
+                << "] " << f.message << "\n";
+    }
+    for (const Finding& f : missing) {
+      std::cout << f.file << ":" << f.line << ": expected [" << f.rule
+                << "] but the rule did not fire\n";
+    }
+    if (!unexpected.empty() || !missing.empty()) return 1;
+    std::cout << "dta_lint: expectations match (" << expectations.size()
+              << " findings across " << files.size() << " files)\n";
+    return 0;
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "dta_lint: " << findings.size() << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}

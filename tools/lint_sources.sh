@@ -1,0 +1,31 @@
+#!/bin/sh
+# The one source-file glob shared by every style/static-analysis gate. The
+# clang-format CI job and the clang-tidy CI job both call this script, so a
+# new directory cannot silently escape one job but not the other — change
+# the scope here and every gate follows.
+#
+#   lint_sources.sh          every C++ source/header (clang-format scope)
+#   lint_sources.sh --tidy   translation units under src/ and tools/
+#                            (clang-tidy scope; headers are analyzed through
+#                            the TUs that include them, filtered by
+#                            HeaderFilterRegex in .clang-tidy)
+#
+# tests/lint_fixtures/ is excluded everywhere: those files are dta_lint test
+# data — deliberately rule-violating, never compiled, checked only by the
+# DtaLintFixtures ctest.
+set -eu
+cd "$(dirname "$0")/.."
+case "${1:-}" in
+  --tidy)
+    find src tools -name '*.cc'
+    ;;
+  "")
+    find src tests bench tools \
+      \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
+      -not -path 'tests/lint_fixtures/*'
+    ;;
+  *)
+    echo "usage: $0 [--tidy]" >&2
+    exit 2
+    ;;
+esac
