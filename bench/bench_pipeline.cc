@@ -1,0 +1,162 @@
+// bench_pipeline — the CI bench-regression workload.
+//
+// Runs the TPC-H tuning pipeline under four scenarios (serial, parallel,
+// checkpointed, faulty) and emits one observability document
+// (dta-observability-v1, the same schema dta_cli --metrics-json writes)
+// with, per scenario:
+//   counters  bench.<scenario>.whatif_calls   — deterministic call counts
+//   gauges    bench.<scenario>.wall_ms        — tuning wall-clock
+// plus
+//   gauges    bench.checkpoint_overhead_pct   — checkpoint I/O time as a
+//             percentage of the checkpointed run's wall-clock (span-based,
+//             not run-vs-run, so it is robust to machine noise)
+//             bench.fault_overhead_pct        — same for the faulty run's
+//             extra wall-clock over the serial run
+//
+// tools/bench_compare.py diffs this document against bench/baseline.json:
+// locally (ctest) with --ignore-wall-clock so only the deterministic call
+// counts gate; in CI's bench-regression job with wall-clock enforced at 10%.
+//
+// Usage: bench_pipeline [output.json]   (default stdout)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "dta/tuning_session.h"
+#include "server/server.h"
+#include "workload/workload.h"
+#include "workloads/tpch.h"
+
+namespace dta {
+namespace {
+
+constexpr double kScaleFactor = 0.25;
+constexpr size_t kQueries = 22;
+constexpr uint64_t kSeed = 42;
+
+// One pipeline run on a fresh, statistics-warm server (the warm-up tune
+// creates the statistics so the timed run measures the costing-dominated
+// pipeline, exactly like the TunePipeline micro-benchmark).
+Result<tuner::TuningResult> RunScenario(const tuner::TuningOptions& opts,
+                                        const workload::Workload& wl) {
+  auto server = std::make_unique<server::Server>(
+      "prod", optimizer::HardwareParams());
+  DTA_RETURN_IF_ERROR(workloads::AttachTpch(server.get(), kScaleFactor,
+                                            /*with_data=*/false, 7));
+  DTA_RETURN_IF_ERROR(
+      server->ImplementConfiguration(workloads::TpchRawConfiguration()));
+  {
+    tuner::TuningSession warmup(server.get(), tuner::TuningOptions{});
+    auto w = warmup.Tune(wl);
+    if (!w.ok()) return w.status();
+  }
+  tuner::TuningSession session(server.get(), opts);
+  return session.Tune(wl);
+}
+
+void Record(MetricsRegistry* metrics, const std::string& scenario,
+            const tuner::TuningResult& r) {
+  metrics->GetCounter("bench." + scenario + ".whatif_calls")
+      ->Increment(r.whatif_calls);
+  metrics->GetGauge("bench." + scenario + ".wall_ms")->Set(r.tuning_time_ms);
+}
+
+int Run(int argc, char** argv) {
+  workload::Workload wl = workloads::TpchQueriesPrefix(kQueries, kSeed);
+  MetricsRegistry metrics;
+
+  tuner::TuningOptions serial_opts;
+  serial_opts.num_threads = 1;
+  auto serial = RunScenario(serial_opts, wl);
+  if (!serial.ok()) {
+    std::fprintf(stderr, "serial: %s\n", serial.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "serial", *serial);
+
+  tuner::TuningOptions parallel_opts;
+  parallel_opts.num_threads = 4;
+  auto parallel = RunScenario(parallel_opts, wl);
+  if (!parallel.ok()) {
+    std::fprintf(stderr, "parallel: %s\n",
+                 parallel.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "parallel", *parallel);
+
+  const std::string ckpt_path = "bench_pipeline_ckpt.tmp";
+  tuner::TuningOptions ckpt_opts;
+  ckpt_opts.num_threads = 1;
+  ckpt_opts.checkpoint_path = ckpt_path;
+  // The production checkpoint configuration: round snapshots amortized to
+  // 0.5% of wall-clock so the total — including the constant per-session
+  // phase-boundary snapshots, which this short run cannot amortize the way
+  // an hours-long tuning would — stays under the 1% ROADMAP target.
+  ckpt_opts.checkpoint_budget_pct = 0.5;
+  auto checkpointed = RunScenario(ckpt_opts, wl);
+  std::remove(ckpt_path.c_str());
+  if (!checkpointed.ok()) {
+    std::fprintf(stderr, "checkpointed: %s\n",
+                 checkpointed.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "checkpointed", *checkpointed);
+
+  tuner::TuningOptions fault_opts;
+  fault_opts.num_threads = 1;
+  fault_opts.fault_spec = "seed=42,transient=0.02,latency_ms=0.05";
+  auto faulty = RunScenario(fault_opts, wl);
+  if (!faulty.ok()) {
+    std::fprintf(stderr, "faulty: %s\n", faulty.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "faulty", *faulty);
+
+  // Robustness overheads (ROADMAP: < 1% checkpoint overhead target). The
+  // checkpoint number divides the time actually spent inside checkpoint
+  // writes by the same run's wall-clock — immune to run-to-run noise; the
+  // fault number is a run-vs-run delta and is reported, not gated.
+  const double ckpt_pct =
+      checkpointed->tuning_time_ms > 0
+          ? 100.0 * checkpointed->checkpoint_ms / checkpointed->tuning_time_ms
+          : 0.0;
+  metrics.GetGauge("bench.checkpoint_overhead_pct")->Set(ckpt_pct);
+  const double fault_pct =
+      serial->tuning_time_ms > 0
+          ? 100.0 * (faulty->tuning_time_ms - serial->tuning_time_ms) /
+                serial->tuning_time_ms
+          : 0.0;
+  metrics.GetGauge("bench.fault_overhead_pct")->Set(fault_pct);
+
+  std::string doc = ObservabilityJson(metrics, nullptr);
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    out << doc;
+    std::fprintf(stderr,
+                 "serial=%.0fms parallel=%.0fms checkpointed=%.0fms "
+                 "faulty=%.0fms checkpoint_overhead=%.3f%% "
+                 "(%zu writes, %.1fms)\n",
+                 serial->tuning_time_ms, parallel->tuning_time_ms,
+                 checkpointed->tuning_time_ms, faulty->tuning_time_ms,
+                 ckpt_pct, checkpointed->checkpoint_writes,
+                 checkpointed->checkpoint_ms);
+  } else {
+    std::printf("%s", doc.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dta
+
+int main(int argc, char** argv) { return dta::Run(argc, argv); }

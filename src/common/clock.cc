@@ -1,0 +1,20 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace dta {
+
+double MonotonicClock::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+MonotonicClock* MonotonicClock::Instance() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+double MonotonicNowMs() { return MonotonicClock::Instance()->NowMs(); }
+
+}  // namespace dta

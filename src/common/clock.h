@@ -1,0 +1,70 @@
+// Injectable monotonic clocks.
+//
+// Every duration the tuner measures (phase spans, what-if latency, tuning
+// wall-clock, retry deadlines) flows through a dta::Clock so tests and the
+// golden-file observability checks can substitute a deterministic clock and
+// get byte-identical metric exports at any thread count. The dta_lint
+// wall-clock rule forbids std::chrono::steady_clock outside this module:
+// these two files are the only sanctioned call sites.
+//
+//   Clock* clock = MonotonicClock::Instance();   // real time (default)
+//   FakeClock fake(100.0);                        // tests: fixed / scripted
+//   double t0 = clock->NowMs(); ...; double dt = clock->NowMs() - t0;
+//
+// NowMs() is milliseconds on an arbitrary monotonic epoch — only differences
+// are meaningful. All clocks are safe to read from any thread.
+
+#ifndef DTA_COMMON_CLOCK_H_
+#define DTA_COMMON_CLOCK_H_
+
+#include <atomic>
+
+namespace dta {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic milliseconds since an arbitrary epoch. Thread-safe.
+  virtual double NowMs() const = 0;
+};
+
+// The real monotonic clock (std::chrono::steady_clock). Stateless; use the
+// shared instance rather than constructing one per caller.
+class MonotonicClock : public Clock {
+ public:
+  double NowMs() const override;
+  static MonotonicClock* Instance();
+};
+
+// Convenience for call sites that only ever want real time (benches, the
+// executor's measured elapsed time).
+double MonotonicNowMs();
+
+// A manually advanced clock. Time stands still unless AdvanceMs is called,
+// so durations measured against it are exact functions of the advances a
+// test scripts — independent of scheduling, thread count, or machine speed.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double start_ms = 0) : now_ms_(start_ms) {}
+
+  double NowMs() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMs(double delta_ms) {
+    // fetch_add on atomic<double> needs C++20; a CAS loop keeps this C++17.
+    double cur = now_ms_.load(std::memory_order_relaxed);
+    while (!now_ms_.compare_exchange_weak(cur, cur + delta_ms,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+  void SetMs(double now_ms) {
+    now_ms_.store(now_ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> now_ms_;
+};
+
+}  // namespace dta
+
+#endif  // DTA_COMMON_CLOCK_H_

@@ -1,0 +1,198 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dta {
+
+namespace {
+
+size_t BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives, zero, NaN, sub-millisecond
+  // ilogb(v) = floor(log2(v)) exactly for finite v >= 1.
+  const int l = std::ilogb(value);
+  const size_t idx = static_cast<size_t>(l) + 1;
+  return idx < Histogram::kBuckets ? idx : Histogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Accrue in integer microseconds: integer addition is associative, so the
+  // sum is independent of observation interleaving.
+  double micros = value * 1000.0;
+  if (micros > 0) {
+    sum_micros_.fetch_add(static_cast<uint64_t>(std::llround(micros)),
+                          std::memory_order_relaxed);
+  }
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    DTA_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+              "metric name already registered with a different kind");
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    DTA_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0,
+              "metric name already registered with a different kind");
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    DTA_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0,
+              "metric name already registered with a different kind");
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  MutexLock lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  MutexLock lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramValues()
+    const {
+  MutexLock lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.count = h->count();
+    snap.sum_micros = h->sum_micros();
+    snap.buckets.reserve(Histogram::kBuckets);
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      snap.buckets.push_back(h->bucket_count(i));
+    }
+    out.emplace(name, std::move(snap));
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::AppendJsonBody(std::string* out,
+                                     const std::string& indent) const {
+  const auto counters = CounterValues();
+  const auto gauges = GaugeValues();
+  const auto histograms = HistogramValues();
+
+  auto object = [&](const char* key, size_t size, auto&& emit_entries) {
+    *out += indent + "\"" + key + "\": {";
+    if (size == 0) {
+      *out += "},\n";
+      return;
+    }
+    *out += "\n";
+    emit_entries();
+    *out += indent + "},\n";
+  };
+
+  object("counters", counters.size(), [&] {
+    size_t i = 0;
+    for (const auto& [name, value] : counters) {
+      *out += indent + "  \"" + JsonEscape(name) + "\": " +
+              StrFormat("%llu", static_cast<unsigned long long>(value)) +
+              (++i < counters.size() ? ",\n" : "\n");
+    }
+  });
+  object("gauges", gauges.size(), [&] {
+    size_t i = 0;
+    for (const auto& [name, value] : gauges) {
+      *out += indent + "  \"" + JsonEscape(name) +
+              "\": " + StrFormat("%.3f", value) +
+              (++i < gauges.size() ? ",\n" : "\n");
+    }
+  });
+  // Histograms close without a trailing comma: callers append "spans" next.
+  *out += indent + "\"histograms\": {";
+  if (histograms.empty()) {
+    *out += "}";
+  } else {
+    *out += "\n";
+    size_t i = 0;
+    for (const auto& [name, snap] : histograms) {
+      *out += indent + "  \"" + JsonEscape(name) + "\": {\"count\": " +
+              StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+              ", \"sum_ms\": " +
+              StrFormat("%.3f", static_cast<double>(snap.sum_micros) / 1000.0) +
+              ", \"buckets\": [";
+      bool first = true;
+      for (size_t b = 0; b < snap.buckets.size(); ++b) {
+        if (snap.buckets[b] == 0) continue;  // sparse: empty buckets elided
+        if (!first) *out += ", ";
+        first = false;
+        const double ub = Histogram::BucketUpperBound(b);
+        *out += "{\"le\": ";
+        *out += std::isinf(ub) ? std::string("\"+inf\"")
+                               : StrFormat("%.0f", ub);
+        *out += StrFormat(
+            ", \"count\": %llu}",
+            static_cast<unsigned long long>(snap.buckets[b]));
+      }
+      *out += "]}";
+      *out += (++i < histograms.size() ? ",\n" : "\n");
+    }
+    *out += indent + "}";
+  }
+}
+
+}  // namespace dta

@@ -1,0 +1,132 @@
+// Thread-safe metrics: counters, gauges, and fixed log-scale histograms,
+// collected in a MetricsRegistry and exported as deterministic sorted JSON.
+//
+// DTA's scalability story is told in counted quantities — what-if optimizer
+// invocations, cache hits, retries, per-phase latencies (paper §6 reports
+// call counts and tuning wall-clock) — so they are first-class measured
+// values here rather than ad-hoc struct fields. Every pipeline layer
+// (CostService, Optimizer, TuningSession, benches) reports through one
+// registry, and CI diffs the exported JSON run-over-run.
+//
+// Determinism contract: all state is integral (counters, bucket counts) or
+// fixed-point (histogram sums accrue in integer microseconds), so any
+// interleaving of the same logical updates yields byte-identical exports —
+// the registry never makes a thread-count-invariant pipeline observable as
+// thread-count-variant. Export order is sorted by metric name.
+//
+// Handles returned by GetCounter/GetGauge/GetHistogram are stable for the
+// registry's lifetime and safe to update from any thread without locks.
+
+#ifndef DTA_COMMON_METRICS_H_
+#define DTA_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dta {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins scalar (phase durations, derived ratios). Writers are
+// expected to be single-owner (the session/bench thread); reads are safe
+// from anywhere.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Histogram with fixed log2-scale buckets, tuned for millisecond latencies:
+//   bucket 0            value < 1
+//   bucket i (1..N-2)   2^(i-1) <= value < 2^i
+//   bucket N-1          value >= 2^(N-2)  (overflow absorber)
+// The sum accrues in integer microseconds so concurrent observers cannot
+// introduce order-dependent floating-point rounding.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 24;  // last finite bound: 2^22 ms ≈ 70 min
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Exclusive upper bound of bucket i; +infinity for the last bucket.
+  static double BucketUpperBound(size_t i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  std::vector<uint64_t> buckets;  // kBuckets entries
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. A name registers exactly one metric kind;
+  // requesting it as another kind aborts (metric names are compile-time
+  // constants, so a collision is a programming error, not input).
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
+
+  // Sorted snapshots (std::map order == export order).
+  std::map<std::string, uint64_t> CounterValues() const EXCLUDES(mu_);
+  std::map<std::string, double> GaugeValues() const EXCLUDES(mu_);
+  std::map<std::string, HistogramSnapshot> HistogramValues() const
+      EXCLUDES(mu_);
+
+  // Appends `"counters":{...},"gauges":{...},"histograms":{...}` (no outer
+  // braces) to `out`, names sorted, values formatted with fixed precision —
+  // byte-identical for identical logical contents. See ObservabilityJson
+  // (common/trace.h) for the full document.
+  void AppendJsonBody(std::string* out, const std::string& indent) const;
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+};
+
+// Minimal JSON string escaping for metric/span names.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace dta
+
+#endif  // DTA_COMMON_METRICS_H_

@@ -1,0 +1,127 @@
+#include "common/trace.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dta {
+
+int Tracer::BeginSpan(const std::string& name) {
+  const double now = clock_->NowMs();
+  MutexLock lock(mu_);
+  const int id = static_cast<int>(spans_.size());
+  Span span;
+  span.name = name;
+  span.start_ms = now;
+  if (!stack_.empty()) {
+    span.parent = stack_.back();
+    spans_[static_cast<size_t>(span.parent)].children.push_back(id);
+  }
+  spans_.push_back(std::move(span));
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::EndSpan(int id) {
+  const double now = clock_->NowMs();
+  MutexLock lock(mu_);
+  DTA_CHECK(!stack_.empty() && stack_.back() == id,
+            "EndSpan out of order: spans close strictly LIFO");
+  Span& span = spans_[static_cast<size_t>(id)];
+  span.duration_ms = now - span.start_ms;
+  stack_.pop_back();
+}
+
+std::vector<Tracer::SpanView> Tracer::Spans() const {
+  MutexLock lock(mu_);
+  std::vector<SpanView> out;
+  out.reserve(spans_.size());
+  const double origin = spans_.empty() ? 0 : spans_[0].start_ms;
+  // Pre-order walk over the roots in creation order.
+  struct Item {
+    int id;
+    int depth;
+  };
+  std::vector<Item> pending;
+  for (size_t i = spans_.size(); i > 0; --i) {
+    if (spans_[i - 1].parent == -1) {
+      pending.push_back(Item{static_cast<int>(i - 1), 0});
+    }
+  }
+  while (!pending.empty()) {
+    Item item = pending.back();
+    pending.pop_back();
+    const Span& span = spans_[static_cast<size_t>(item.id)];
+    out.push_back(SpanView{span.name, item.depth, span.start_ms - origin,
+                           span.duration_ms});
+    for (size_t c = span.children.size(); c > 0; --c) {
+      pending.push_back(Item{span.children[c - 1], item.depth + 1});
+    }
+  }
+  return out;
+}
+
+double Tracer::TotalDurationMs(const std::string& name) const {
+  MutexLock lock(mu_);
+  double total = 0;
+  for (const Span& span : spans_) {
+    if (span.name == name && span.duration_ms >= 0) {
+      total += span.duration_ms;
+    }
+  }
+  return total;
+}
+
+void Tracer::AppendSpanJson(const std::vector<Span>& spans, int id,
+                            double origin, std::string* out,
+                            const std::string& indent) const {
+  const Span& span = spans[static_cast<size_t>(id)];
+  *out += indent + "{\"name\": \"" + JsonEscape(span.name) + "\"" +
+          StrFormat(", \"start_ms\": %.3f", span.start_ms - origin) +
+          StrFormat(", \"duration_ms\": %.3f",
+                    span.duration_ms < 0 ? 0.0 : span.duration_ms);
+  if (!span.children.empty()) {
+    *out += ", \"children\": [\n";
+    for (size_t c = 0; c < span.children.size(); ++c) {
+      AppendSpanJson(spans, span.children[c], origin, out, indent + "  ");
+      *out += (c + 1 < span.children.size() ? ",\n" : "\n");
+    }
+    *out += indent + "]";
+  }
+  *out += "}";
+}
+
+void Tracer::AppendJson(std::string* out, const std::string& indent) const {
+  std::vector<Span> spans;
+  {
+    MutexLock lock(mu_);
+    spans = spans_;
+  }
+  const double origin = spans.empty() ? 0 : spans[0].start_ms;
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == -1) roots.push_back(static_cast<int>(i));
+  }
+  *out += indent + "\"spans\": [";
+  for (size_t r = 0; r < roots.size(); ++r) {
+    *out += r == 0 ? "\n" : ",\n";
+    AppendSpanJson(spans, roots[r], origin, out, indent + "  ");
+  }
+  if (!roots.empty()) *out += "\n" + indent;
+  *out += "]";
+}
+
+std::string ObservabilityJson(const MetricsRegistry& metrics,
+                              const Tracer* tracer) {
+  std::string out = "{\n  \"schema\": \"dta-observability-v1\",\n";
+  metrics.AppendJsonBody(&out, "  ");
+  out += ",\n";
+  if (tracer != nullptr) {
+    tracer->AppendJson(&out, "  ");
+  } else {
+    out += "  \"spans\": []";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace dta

@@ -1,0 +1,120 @@
+// Phase-scoped tracing: a parent/child span tree with monotonic timings.
+//
+// The tuning pipeline is a fixed sequence of phases (current-cost pass,
+// candidate generation/selection, merging, enumeration) with checkpoint
+// writes interleaved; the tracer records that structure as nested spans so
+// a tuning run's time budget is attributable — which phase spent it, and
+// how much of it was robustness overhead (checkpoint spans vs the root
+// span). Usage:
+//
+//   Tracer tracer(clock);                 // clock injectable for tests
+//   {
+//     DTA_TRACE_PHASE(&tracer, "enumeration");   // RAII span
+//     ...
+//   }
+//
+// Spans are opened and closed by one logical thread of control (the session
+// thread): Begin/End are strictly LIFO, checked at runtime. Fan-out inside
+// a phase is reported through histograms/counters (MetricsRegistry), not
+// per-worker spans, which keeps the span tree deterministic at any thread
+// count. Timings come from the injected Clock; under a FakeClock the whole
+// tree (structure and durations) is byte-identical run-to-run, which the
+// golden observability test pins down.
+
+#ifndef DTA_COMMON_TRACE_H_
+#define DTA_COMMON_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dta {
+
+class Tracer {
+ public:
+  // Null clock means the real monotonic clock.
+  explicit Tracer(const Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : MonotonicClock::Instance()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Opens a span as a child of the innermost open span (or a root). Returns
+  // the span id to pass to EndSpan. Prefer DTA_TRACE_PHASE.
+  int BeginSpan(const std::string& name) EXCLUDES(mu_);
+  // Closes the span; must be the innermost open one (LIFO, checked).
+  void EndSpan(int id) EXCLUDES(mu_);
+
+  // Pre-order flattened view for tests and report summaries. Start times
+  // are relative to the first span ever begun; still-open spans report a
+  // negative duration.
+  struct SpanView {
+    std::string name;
+    int depth = 0;  // 0 = root
+    double start_ms = 0;
+    double duration_ms = 0;
+  };
+  std::vector<SpanView> Spans() const EXCLUDES(mu_);
+
+  // Total duration of closed spans with this exact name (e.g. summed
+  // "checkpoint" spans = robustness overhead).
+  double TotalDurationMs(const std::string& name) const EXCLUDES(mu_);
+
+  // Appends the span forest as a JSON array (deterministic: creation order,
+  // fixed precision, start times relative to the first span).
+  void AppendJson(std::string* out, const std::string& indent) const
+      EXCLUDES(mu_);
+
+ private:
+  struct Span {
+    std::string name;
+    double start_ms = 0;
+    double duration_ms = -1;  // -1 while open
+    int parent = -1;
+    std::vector<int> children;
+  };
+
+  void AppendSpanJson(const std::vector<Span>& spans, int id, double origin,
+                      std::string* out, const std::string& indent) const;
+
+  const Clock* clock_;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ GUARDED_BY(mu_);
+  std::vector<int> stack_ GUARDED_BY(mu_);
+};
+
+// RAII span scope; tolerates a null tracer (the whole layer is opt-in).
+class TraceScope {
+ public:
+  TraceScope(Tracer* tracer, const char* name) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name);
+  }
+  ~TraceScope() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  int id_ = -1;
+};
+
+#define DTA_TRACE_CONCAT_INNER(a, b) a##b
+#define DTA_TRACE_CONCAT(a, b) DTA_TRACE_CONCAT_INNER(a, b)
+#define DTA_TRACE_PHASE(tracer, name) \
+  ::dta::TraceScope DTA_TRACE_CONCAT(trace_scope_, __LINE__)((tracer), (name))
+
+// The full observability document: metrics body + span forest, stable
+// schema ("dta-observability-v1"), sorted and fixed-precision throughout.
+// `tracer` may be null (empty span array). This is the format dta_cli
+// --metrics-json writes and bench/baseline.json compares against.
+std::string ObservabilityJson(const MetricsRegistry& metrics,
+                              const Tracer* tracer);
+
+}  // namespace dta
+
+#endif  // DTA_COMMON_TRACE_H_

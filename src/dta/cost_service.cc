@@ -52,6 +52,19 @@ CostService::CostService(server::Server* server,
       simulate_hardware_(simulate_hardware),
       workload_(workload),
       config_(std::move(config)) {
+  clock_ = config_.clock != nullptr ? config_.clock
+                                    : MonotonicClock::Instance();
+  if (config_.metrics != nullptr) {
+    MetricsRegistry* m = config_.metrics;
+    m_lookups_ = m->GetCounter("whatif.lookups");
+    m_hits_ = m->GetCounter("whatif.cache_hits");
+    m_calls_ = m->GetCounter("whatif.calls");
+    m_retries_ = m->GetCounter("whatif.retries");
+    m_degraded_ = m->GetCounter("whatif.degraded_calls");
+    m_latency_ = m->GetHistogram("whatif.latency_ms");
+    m_simulated_ = m->GetHistogram("whatif.simulated_ms");
+    m_attempts_ = m->GetHistogram("whatif.attempts");
+  }
   statement_tables_.reserve(workload->size());
   for (const auto& ws : workload->statements()) {
     statement_tables_.push_back(TablesOf(ws.stmt));
@@ -93,6 +106,9 @@ void CostService::RecordAttempts(int attempts) {
                                    kRetryHistogramBuckets) -
                   1;
   attempt_histogram_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (m_attempts_ != nullptr) {
+    m_attempts_->Observe(static_cast<double>(attempts));
+  }
 }
 
 Result<CostService::Entry> CostService::PriceWithRetries(
@@ -109,11 +125,16 @@ Result<CostService::Entry> CostService::PriceWithRetries(
   const RetryPolicy& retry = config_.retry;
   const int max_attempts = std::max(1, retry.max_attempts);
   calls_.fetch_add(1, std::memory_order_relaxed);
+  if (m_calls_ != nullptr) m_calls_->Increment();
   Status last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     auto r = server_->WhatIfCost(stmt, config, simulate_hardware_, fault_key);
     if (r.ok()) {
       RecordAttempts(attempt);
+      // The server's simulated optimization duration is deterministic in
+      // the statement and configuration, so this histogram is identical
+      // run-to-run even under a real wall clock.
+      if (m_simulated_ != nullptr) m_simulated_->Observe(r->simulated_ms);
       if (!r->missing_stats.empty()) {
         MutexLock lock(missing_mu_);
         for (const auto& key : r->missing_stats) missing_.insert(key);
@@ -154,12 +175,14 @@ Result<CostService::Entry> CostService::PriceWithRetries(
           std::chrono::duration<double, std::milli>(backoff));
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
+    if (m_retries_ != nullptr) m_retries_->Increment();
   }
 
   if (!config_.degrade_on_failure) return last;
   // Graceful degradation: a configuration-independent heuristic estimate
   // stands in, and the statement is flagged for the report.
   degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (m_degraded_ != nullptr) m_degraded_->Increment();
   {
     MutexLock lock(degraded_mu_);
     degraded_statements_.insert(index);
@@ -174,26 +197,33 @@ Result<CostService::Entry> CostService::PriceWithRetries(
 
 Result<double> CostService::StatementCost(
     size_t index, const catalog::Configuration& config) {
+  if (m_lookups_ != nullptr) m_lookups_->Increment();
   std::string fp = RelevantFingerprint(index, config);
   Shard& shard = *shards_[index];
   {
     MutexLock lock(shard.mu);
+    bool waited = false;
     for (;;) {
       auto it = shard.cache.find(fp);
       if (it != shard.cache.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        if (m_hits_ != nullptr) m_hits_->Increment();
+        if (waited) dedup_waits_.fetch_add(1, std::memory_order_relaxed);
         return it->second.cost;
       }
       // First thread to miss claims the pricing; later arrivals wait for
       // the result instead of duplicating the what-if call, which keeps
       // whatif_calls() exact at any thread count.
       if (shard.inflight.insert(fp).second) break;
+      waited = true;
       shard.cv.Wait(shard.mu);
     }
   }
   // Price outside the lock (the what-if call dominates; holding the shard
   // lock across it would serialize enumeration).
+  const double t0 = clock_->NowMs();
   auto priced = PriceWithRetries(index, config, fp);
+  if (m_latency_ != nullptr) m_latency_->Observe(clock_->NowMs() - t0);
   {
     MutexLock lock(shard.mu);
     shard.inflight.erase(fp);

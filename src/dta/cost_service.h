@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "catalog/physical_design.h"
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -65,6 +67,14 @@ class CostService {
     // Remaining session time budget (ms); bounds per-call retry backoff.
     // Null means unbounded.
     std::function<double()> remaining_ms;
+    // Observability (optional). When `metrics` is set, every pricing feeds
+    // the what-if latency/attempt histograms and the lookup/hit/call
+    // counters; all registered quantities are thread-count invariant, so a
+    // metrics export is byte-identical at any concurrency. `clock` times
+    // the pricings (null means the real monotonic clock) — tests inject a
+    // FakeClock for deterministic latency output.
+    MetricsRegistry* metrics = nullptr;
+    const Clock* clock = nullptr;
   };
 
   // `server` performs the what-if calls (the test server in §5.3 mode).
@@ -105,6 +115,20 @@ class CostService {
     return calls_.load(std::memory_order_relaxed);
   }
   size_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  // Lookups that found the (statement, fingerprint) pair already being
+  // priced by another thread and blocked for its result. Scheduling
+  // dependent (always 0 when serial), so it is surfaced here and in
+  // TuningResult but deliberately NOT registered as a metric — the metrics
+  // export stays identical at any thread count.
+  size_t dedup_waits() const {
+    return dedup_waits_.load(std::memory_order_relaxed);
+  }
+
+  // Clock used for pricing latency (the injected one, or the real
+  // monotonic clock). Phase code shares it so all timings in one session
+  // come from one source.
+  const Clock* clock() const { return clock_; }
 
   // ---- Fault-tolerance accounting ---------------------------------------
   // Failed attempts that were retried.
@@ -189,9 +213,22 @@ class CostService {
   std::set<size_t> degraded_statements_ GUARDED_BY(degraded_mu_);
   std::atomic<size_t> calls_{0};
   std::atomic<size_t> hits_{0};
+  std::atomic<size_t> dedup_waits_{0};
   std::atomic<size_t> retries_{0};
   std::atomic<size_t> degraded_{0};
   std::array<std::atomic<size_t>, kRetryHistogramBuckets> attempt_histogram_{};
+
+  // Metrics handles (null when Config::metrics is unset); resolved once in
+  // the constructor so the hot path never locks the registry.
+  const Clock* clock_;
+  Counter* m_lookups_ = nullptr;
+  Counter* m_hits_ = nullptr;
+  Counter* m_calls_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_degraded_ = nullptr;
+  Histogram* m_latency_ = nullptr;
+  Histogram* m_simulated_ = nullptr;
+  Histogram* m_attempts_ = nullptr;
 };
 
 }  // namespace dta::tuner

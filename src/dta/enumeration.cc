@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <map>
 
 #include "common/strings.h"
@@ -91,10 +90,12 @@ Result<EnumerationResult> EnumerateConfiguration(
 
   const catalog::Catalog& catalog = costs->server()->catalog();
   // Summed wall time of the individual evaluations; with a worker pool this
-  // exceeds the phase's elapsed time by roughly the parallel speedup.
+  // exceeds the phase's elapsed time by roughly the parallel speedup. Timed
+  // by the cost service's clock so an injected FakeClock zeroes it.
+  const Clock* clock = costs->clock();
   std::atomic<double> eval_work_ms{0};
   auto eval = [&](const std::vector<size_t>& subset) -> Result<double> {
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = clock->NowMs();
     std::vector<const Candidate*> chosen;
     chosen.reserve(subset.size());
     for (size_t i : subset) chosen.push_back(&pool[i]);
@@ -106,9 +107,7 @@ Result<EnumerationResult> EnumerateConfiguration(
       return Status::OutOfRange("storage bound exceeded");
     }
     auto cost = costs->WorkloadCost(*config);
-    eval_work_ms.fetch_add(std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count());
+    eval_work_ms.fetch_add(clock->NowMs() - t0);
     return cost;
   };
 

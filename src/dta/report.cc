@@ -22,6 +22,23 @@ std::string Report::ToText() const {
                        retry_histogram[n], n + 1);
     }
   }
+  if (whatif_calls > 0) {
+    out += StrFormat(
+        "What-if costing: %zu calls, %zu cache hits (%.1f%% hit rate)\n",
+        whatif_calls, whatif_cache_hits,
+        100.0 * static_cast<double>(whatif_cache_hits) /
+            static_cast<double>(whatif_calls + whatif_cache_hits));
+  }
+  if (checkpoint_writes > 0) {
+    out += StrFormat("Checkpoints: %zu writes, %.2f ms total\n",
+                     checkpoint_writes, checkpoint_ms);
+  }
+  if (!phase_times.empty()) {
+    out += "Phase times:\n";
+    for (const auto& [name, ms] : phase_times) {
+      out += StrFormat("  %10.2f ms  %s\n", ms, name.c_str());
+    }
+  }
   out += "Statements:\n";
   for (const auto& s : statements) {
     std::string sql = s.sql.size() > 72 ? s.sql.substr(0, 69) + "..." : s.sql;
@@ -58,6 +75,20 @@ xml::ElementPtr Report::ToXml() const {
       xml::Element* b = hist->AddChild("Bucket");
       b->SetAttr("Attempts", StrFormat("%zu", n + 1));
       b->SetAttr("Pricings", StrFormat("%zu", retry_histogram[n]));
+    }
+  }
+  if (whatif_calls > 0) {
+    xml::Element* o = root->AddChild("Observability");
+    o->SetAttr("WhatIfCalls", StrFormat("%zu", whatif_calls));
+    o->SetAttr("WhatIfCacheHits", StrFormat("%zu", whatif_cache_hits));
+    if (checkpoint_writes > 0) {
+      o->SetAttr("CheckpointWrites", StrFormat("%zu", checkpoint_writes));
+      o->SetAttr("CheckpointMs", StrFormat("%.2f", checkpoint_ms));
+    }
+    for (const auto& [name, ms] : phase_times) {
+      xml::Element* p = o->AddChild("Phase");
+      p->SetAttr("Ms", StrFormat("%.2f", ms));
+      p->set_text(name);
     }
   }
   for (const auto& s : statements) {

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "xmlio/xml.h"
@@ -49,6 +50,15 @@ struct Report {
   size_t whatif_retries = 0;
   size_t degraded_calls = 0;
   std::vector<size_t> retry_histogram;
+
+  // Observability summary: what-if cost service efficacy, checkpoint I/O
+  // cost, and per-phase wall-clock (name, ms) in pipeline order — filled
+  // from the session's tracer when one was attached.
+  size_t whatif_calls = 0;
+  size_t whatif_cache_hits = 0;
+  size_t checkpoint_writes = 0;
+  double checkpoint_ms = 0;
+  std::vector<std::pair<std::string, double>> phase_times;
 
   double ImprovementPercent() const {
     if (current_total <= 0) return 0;

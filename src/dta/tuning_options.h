@@ -94,6 +94,16 @@ struct TuningOptions {
   // tuning and skips completed work; the final recommendation is
   // bit-identical to an uninterrupted run.
   std::string resume_path;
+  // Caps the wall-clock fraction spent writing enumeration-round progress
+  // checkpoints: a round snapshot is only written once enough time has
+  // passed since the previous write to amortize that write's cost under
+  // this percentage (elapsed * pct/100 >= previous write's duration), so
+  // total progress-checkpoint time stays below pct% of tuning wall-clock
+  // by construction. Phase-boundary checkpoints always write — resume
+  // correctness never depends on round snapshots, they only shrink the
+  // redo window after a crash. 0 disables throttling and checkpoints every
+  // round (maximal crash granularity; what the resume tests exercise).
+  double checkpoint_budget_pct = 0;
 
   // ---- Search parameters.
   // Greedy(m,k) for per-query candidate selection.

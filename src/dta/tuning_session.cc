@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <map>
 #include <memory>
 
@@ -23,12 +22,6 @@ namespace dta::tuner {
 
 namespace {
 
-double NowMs() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 // Detaches a fault injector from the tuning server on every exit path of
 // Tune (there are many early returns; a dangling injector pointer on the
 // server would outlive the session).
@@ -36,6 +29,15 @@ struct FaultInjectorGuard {
   server::Server* server = nullptr;
   ~FaultInjectorGuard() {
     if (server != nullptr) server->set_fault_injector(nullptr);
+  }
+};
+
+// Same discipline for the metrics registry: the server must not keep
+// profiling into a registry that dies with the session.
+struct ServerMetricsGuard {
+  server::Server* server = nullptr;
+  ~ServerMetricsGuard() {
+    if (server != nullptr) server->SetMetrics(nullptr);
   }
 };
 
@@ -140,7 +142,15 @@ Result<catalog::Configuration> TuningSession::BaseConfiguration() const {
 }
 
 Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
-  const double t_start = NowMs();
+  // One clock for every duration in the session (phase timings, pricing
+  // latency, deadline checks): the injected one, or the real monotonic
+  // clock. Using a single source keeps all exported timings comparable —
+  // and exactly zero under a test's FakeClock.
+  const Clock* clock =
+      obs_.clock != nullptr ? obs_.clock : MonotonicClock::Instance();
+  auto now_ms = [clock] { return clock->NowMs(); };
+  DTA_TRACE_PHASE(obs_.tracer, "tune");
+  const double t_start = now_ms();
   TuningResult result;
   result.events_total = input.size();
 
@@ -158,28 +168,31 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   result.threads_used = num_threads;
   // Summed per-task time of the parallel phases vs. their elapsed time.
   std::atomic<double> parallel_work_ms{0};
-  auto timed = [&parallel_work_ms](const std::function<void()>& fn) {
-    const double t0 = NowMs();
+  auto timed = [&parallel_work_ms, &now_ms](const std::function<void()>& fn) {
+    const double t0 = now_ms();
     fn();
-    parallel_work_ms.fetch_add(NowMs() - t0);
+    parallel_work_ms.fetch_add(now_ms() - t0);
   };
 
   auto deadline_reached = [&]() {
     return options_.time_limit_ms.has_value() &&
-           NowMs() - t_start > *options_.time_limit_ms;
+           now_ms() - t_start > *options_.time_limit_ms;
   };
 
   // ---- Workload compression (§5.1).
   workload::Workload tuned;
-  if (options_.workload_compression) {
-    tuned = workload::CompressWorkload(input, {}, &result.compression);
-  } else {
-    for (const auto& ws : input.statements()) {
-      tuned.Add(ws.stmt.Clone(), ws.weight);
+  {
+    DTA_TRACE_PHASE(obs_.tracer, "compression");
+    if (options_.workload_compression) {
+      tuned = workload::CompressWorkload(input, {}, &result.compression);
+    } else {
+      for (const auto& ws : input.statements()) {
+        tuned.Add(ws.stmt.Clone(), ws.weight);
+      }
+      result.compression.original_statements = input.size();
+      result.compression.compressed_statements = input.size();
+      result.compression.templates = input.DistinctTemplates();
     }
-    result.compression.original_statements = input.size();
-    result.compression.compressed_statements = input.size();
-    result.compression.templates = input.DistinctTemplates();
   }
   result.events_tuned = tuned.size();
   if (tuned.empty()) {
@@ -189,6 +202,15 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   server::Server* tuning_server = TuningServer();
   const optimizer::HardwareParams* simulate =
       test_ != nullptr ? &production_->hardware() : nullptr;
+
+  // ---- Observability wiring: the server (and through it the optimizer)
+  // profiles per-call counters into the session's registry; detached on
+  // every exit path.
+  ServerMetricsGuard metrics_guard;
+  if (obs_.metrics != nullptr) {
+    tuning_server->SetMetrics(obs_.metrics);
+    metrics_guard.server = tuning_server;
+  }
 
   // ---- Robustness wiring. A fault injector (tests, benches, CI fault
   // profile) attaches to the tuning server for the duration of the session;
@@ -208,10 +230,12 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   CostService::Config cost_config;
   cost_config.retry = options_.retry;
   cost_config.degrade_on_failure = options_.degrade_on_failure;
+  cost_config.metrics = obs_.metrics;
+  cost_config.clock = clock;
   if (options_.time_limit_ms.has_value()) {
     const double limit = *options_.time_limit_ms;
-    cost_config.remaining_ms = [limit, t_start]() {
-      return limit - (NowMs() - t_start);
+    cost_config.remaining_ms = [limit, t_start, clock]() {
+      return limit - (clock->NowMs() - t_start);
     };
   }
   CostService costs(tuning_server, simulate, &tuned, std::move(cost_config));
@@ -269,9 +293,23 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   // are thread-count invariant.
   int checkpoint_ordinal = 0;
   std::vector<double> current_costs(tuned.size(), 0.0);
+  // Amortized throttle state (checkpoint_budget_pct): an enumeration-round
+  // snapshot is skipped until the time elapsed since the last write covers
+  // that write's cost under the budget. Under a FakeClock both sides are 0
+  // and every round is written — the throttle never perturbs the
+  // deterministic metrics exports.
+  double last_ckpt_done_ms = 0;
+  double last_ckpt_cost_ms = 0;
   auto write_checkpoint = [&](int phase, const std::vector<Candidate>* pool,
                               const EnumerationResume* enum_state) -> Status {
     if (options_.checkpoint_path.empty()) return Status::Ok();
+    if (enum_state != nullptr && options_.checkpoint_budget_pct > 0) {
+      const double elapsed = now_ms() - last_ckpt_done_ms;
+      const double budget = elapsed * options_.checkpoint_budget_pct / 100.0;
+      if (budget < last_ckpt_cost_ms) return Status::Ok();
+    }
+    DTA_TRACE_PHASE(obs_.tracer, "checkpoint");
+    const double t_ckpt = now_ms();
     SessionCheckpoint ckpt;
     ckpt.workload_fingerprint = workload_fp;
     ckpt.options_fingerprint = options_fp;
@@ -288,6 +326,9 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     ckpt.candidates_generated = result.candidates_generated;
     DTA_RETURN_IF_ERROR(SaveCheckpoint(options_.checkpoint_path, ckpt));
     ++checkpoint_ordinal;
+    last_ckpt_done_ms = now_ms();
+    last_ckpt_cost_ms = last_ckpt_done_ms - t_ckpt;
+    result.checkpoint_ms += last_ckpt_cost_ms;
     if (checkpoint_probe_ != nullptr) {
       return checkpoint_probe_(checkpoint_ordinal);
     }
@@ -308,7 +349,8 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     }
     current_costs = resume_ckpt.current_costs;
   } else {
-    const double t_phase = NowMs();
+    DTA_TRACE_PHASE(obs_.tracer, "current_cost");
+    const double t_phase = now_ms();
     std::vector<Status> statuses(tuned.size());
     // deadline_reached doubles as the cancel predicate: workers stop
     // claiming statements once the time budget is spent.
@@ -329,7 +371,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
       if (!s.ok()) return s;
     }
     if (deadline_reached()) result.hit_time_limit = true;
-    result.parallel_wall_ms += NowMs() - t_phase;
+    result.parallel_wall_ms += now_ms() - t_phase;
     DTA_RETURN_IF_ERROR(
         write_checkpoint(kCheckpointCurrentCosts, nullptr, nullptr));
   }
@@ -345,9 +387,12 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     pool = resume_ckpt.pool;
   } else {
     // ---- Column-group restriction (§2.2).
-    auto groups = ComputeInterestingColumnGroups(
-        tuned, current_costs, tuning_server->catalog(),
-        options_.column_group_cost_fraction, options_.max_column_group_size);
+    auto groups = [&] {
+      DTA_TRACE_PHASE(obs_.tracer, "column_groups");
+      return ComputeInterestingColumnGroups(
+          tuned, current_costs, tuning_server->catalog(),
+          options_.column_group_cost_fraction, options_.max_column_group_size);
+    }();
     if (!groups.ok()) return groups.status();
 
     // ---- Candidate generation.
@@ -380,28 +425,32 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     std::vector<std::vector<Candidate>> per_statement(tuned.size());
     std::map<std::string, Candidate> pool_by_name;
     std::set<stats::StatsKey> requested_stats;
-    for (size_t i = 0; i < tuned.size(); ++i) {
-      if (deadline_reached()) {
-        result.hit_time_limit = true;
-        break;
-      }
-      auto cands = GenerateCandidatesForStatement(
-          tuned.statements()[i].stmt, tuning_server, *groups, options_,
-          fetcher, tuned.statements()[i].weight);
-      if (!cands.ok()) return cands.status();
-      for (const Candidate& c : *cands) {
-        if (c.kind == Candidate::Kind::kIndex &&
-            !c.index.key_columns.empty()) {
-          requested_stats.insert(stats::StatsKey(
-              c.index.database, c.index.table, c.index.key_columns));
+    {
+      DTA_TRACE_PHASE(obs_.tracer, "candidate_generation");
+      for (size_t i = 0; i < tuned.size(); ++i) {
+        if (deadline_reached()) {
+          result.hit_time_limit = true;
+          break;
         }
+        auto cands = GenerateCandidatesForStatement(
+            tuned.statements()[i].stmt, tuning_server, *groups, options_,
+            fetcher, tuned.statements()[i].weight);
+        if (!cands.ok()) return cands.status();
+        for (const Candidate& c : *cands) {
+          if (c.kind == Candidate::Kind::kIndex &&
+              !c.index.key_columns.empty()) {
+            requested_stats.insert(stats::StatsKey(
+                c.index.database, c.index.table, c.index.key_columns));
+          }
+        }
+        per_statement[i] = std::move(cands).value();
       }
-      per_statement[i] = std::move(cands).value();
     }
 
     // ---- Reduced statistics creation (§5.2): one unified request covering
     // the optimizer's missing statistics and the candidate index keys.
     {
+      DTA_TRACE_PHASE(obs_.tracer, "reduced_stats");
       for (const auto& key : costs.missing_stats()) {
         requested_stats.insert(key);
       }
@@ -444,13 +493,14 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     // serial loop.
     std::map<std::string, double> candidate_benefit;  // weighted savings
     {
+      DTA_TRACE_PHASE(obs_.tracer, "candidate_selection");
       struct Selection {
         Status status;
         GreedyResult picked;
         double empty_cost = 0;
         bool ran = false;
       };
-      const double t_phase = NowMs();
+      const double t_phase = now_ms();
       std::vector<Selection> selections(tuned.size());
       ParallelFor(
           workers, tuned.size(),
@@ -481,7 +531,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
             });
           },
           deadline_reached);
-      result.parallel_wall_ms += NowMs() - t_phase;
+      result.parallel_wall_ms += now_ms() - t_phase;
       for (size_t i = 0; i < tuned.size(); ++i) {
         if (per_statement[i].empty()) continue;
         if (!selections[i].status.ok()) return selections[i].status;
@@ -549,6 +599,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
 
     // ---- Merging (§2.2).
     if (options_.enable_merging && !deadline_reached()) {
+      DTA_TRACE_PHASE(obs_.tracer, "merging");
       std::vector<Candidate> merged = MergeCandidatePool(pool, tuning_server);
       std::set<stats::StatsKey> merged_stats;
       for (const Candidate& c : merged) {
@@ -612,19 +663,23 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     return !checkpoint_status.ok() || deadline_reached();
   };
 
-  const double t_enum = NowMs();
-  auto enum_result =
-      EnumerateConfiguration(&costs, pool, *base, options_, stop_enumeration,
-                             workers, enum_resume_ptr, enum_progress);
+  const double t_enum = now_ms();
+  auto enum_result = [&] {
+    DTA_TRACE_PHASE(obs_.tracer, "enumeration");
+    return EnumerateConfiguration(&costs, pool, *base, options_,
+                                  stop_enumeration, workers, enum_resume_ptr,
+                                  enum_progress);
+  }();
   if (!enum_result.ok()) return enum_result.status();
   if (!checkpoint_status.ok()) return checkpoint_status;
-  result.parallel_wall_ms += NowMs() - t_enum;
+  result.parallel_wall_ms += now_ms() - t_enum;
   parallel_work_ms.fetch_add(enum_result->eval_work_ms);
   if (deadline_reached()) result.hit_time_limit = true;
   result.enumeration_evaluations = enum_result->evaluations;
   result.recommendation = std::move(enum_result->configuration);
 
   // ---- Final numbers and report.
+  DTA_TRACE_PHASE(obs_.tracer, "report");
   auto cur_total = costs.WorkloadCost(current);
   if (!cur_total.ok()) return cur_total.status();
   auto rec_total = costs.WorkloadCost(result.recommendation);
@@ -632,6 +687,9 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   result.current_cost = *cur_total;
   result.recommended_cost = *rec_total;
   result.whatif_calls = costs.whatif_calls();
+  result.whatif_cache_hits = costs.cache_hits();
+  result.whatif_dedup_waits = costs.dedup_waits();
+  result.checkpoint_writes = static_cast<size_t>(checkpoint_ordinal);
   result.parallel_work_ms = parallel_work_ms.load();
 
   // Fault-tolerance accounting.
@@ -651,6 +709,19 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   {
     auto histogram = costs.retry_histogram();
     result.report.retry_histogram.assign(histogram.begin(), histogram.end());
+  }
+  result.report.whatif_calls = result.whatif_calls;
+  result.report.whatif_cache_hits = result.whatif_cache_hits;
+  result.report.checkpoint_writes = result.checkpoint_writes;
+  result.report.checkpoint_ms = result.checkpoint_ms;
+  if (obs_.tracer != nullptr) {
+    // Completed direct children of the session's "tune" span, in pipeline
+    // order ("tune" itself and the in-flight "report" span are still open).
+    for (const auto& sv : obs_.tracer->Spans()) {
+      if (sv.depth == 1 && sv.duration_ms >= 0) {
+        result.report.phase_times.emplace_back(sv.name, sv.duration_ms);
+      }
+    }
   }
   for (size_t i = 0; i < tuned.size(); ++i) {
     StatementReport sr;
@@ -685,16 +756,38 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     }
   }
 
-  result.tuning_time_ms = NowMs() - t_start;
+  result.tuning_time_ms = now_ms() - t_start;
+
+  // Session-level metrics. Counters here are thread-count invariant (the
+  // searches they count are deterministic); the gauges are wall-clock
+  // derived, hence zero — and byte-stable — under an injected FakeClock.
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->GetCounter("enumeration.evaluations")
+        ->Increment(result.enumeration_evaluations);
+    obs_.metrics->GetCounter("candidates.generated")
+        ->Increment(result.candidates_generated);
+    obs_.metrics->GetCounter("checkpoint.writes")
+        ->Increment(result.checkpoint_writes);
+    obs_.metrics->GetGauge("session.checkpoint_ms")
+        ->Set(result.checkpoint_ms);
+    obs_.metrics->GetGauge("session.tuning_time_ms")
+        ->Set(result.tuning_time_ms);
+  }
   return result;
 }
 
 Result<EvaluationResult> TuningSession::EvaluateConfiguration(
     const workload::Workload& workload,
     const catalog::Configuration& config) {
+  DTA_TRACE_PHASE(obs_.tracer, "evaluate");
   server::Server* tuning_server = TuningServer();
   const optimizer::HardwareParams* simulate =
       test_ != nullptr ? &production_->hardware() : nullptr;
+  ServerMetricsGuard metrics_guard;
+  if (obs_.metrics != nullptr) {
+    tuning_server->SetMetrics(obs_.metrics);
+    metrics_guard.server = tuning_server;
+  }
   // Evaluation shares the tuning path's fault tolerance: injected faults
   // (if scripted), retries, and heuristic degradation.
   std::unique_ptr<FaultInjector> injector;
@@ -711,6 +804,8 @@ Result<EvaluationResult> TuningSession::EvaluateConfiguration(
   CostService::Config cost_config;
   cost_config.retry = options_.retry;
   cost_config.degrade_on_failure = options_.degrade_on_failure;
+  cost_config.metrics = obs_.metrics;
+  cost_config.clock = obs_.clock;
   CostService costs(tuning_server, simulate, &workload,
                     std::move(cost_config));
 

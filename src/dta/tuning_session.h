@@ -21,7 +21,10 @@
 #include <vector>
 
 #include "catalog/physical_design.h"
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "dta/report.h"
 #include "dta/tuning_options.h"
 #include "server/server.h"
@@ -59,6 +62,14 @@ struct TuningResult {
   size_t injected_permanent_faults = 0;
   // True when this run restored a checkpoint and skipped completed phases.
   bool resumed = false;
+
+  // Observability accounting: cache efficacy of the what-if cost service,
+  // cross-thread pricing deduplication (scheduling dependent — surfaced
+  // here, never exported as a metric), and checkpoint I/O cost.
+  size_t whatif_cache_hits = 0;
+  size_t whatif_dedup_waits = 0;
+  size_t checkpoint_writes = 0;
+  double checkpoint_ms = 0;
 
   // Parallel costing accounting: threads applied to the fan-out phases,
   // their combined wall-clock, and the work they retired (summed per-task
@@ -109,6 +120,22 @@ class TuningSession {
 
   const TuningOptions& options() const { return options_; }
 
+  // Observability hookup (all optional, all nullable). When `metrics` is
+  // set, the session registers pipeline counters there, attaches it to the
+  // tuning server/optimizer/cost service for per-call profiling, and
+  // detaches it from the server on every exit path. When `tracer` is set,
+  // each pipeline phase runs under a DTA_TRACE_PHASE span (opened and
+  // closed only from the session thread, so the span tree is deterministic
+  // at any thread count). `clock` times phases and pricings; null means the
+  // real monotonic clock — tests inject a FakeClock so every exported
+  // duration is exactly zero and the observability JSON is byte-stable.
+  struct Observability {
+    MetricsRegistry* metrics = nullptr;
+    Tracer* tracer = nullptr;
+    const Clock* clock = nullptr;
+  };
+  void SetObservability(Observability obs) { obs_ = obs; }
+
   // Test hook: invoked after every successful checkpoint write with the
   // write's 1-based ordinal. A non-ok return aborts tuning with that status,
   // simulating a crash immediately after the checkpoint landed on disk —
@@ -141,6 +168,7 @@ class TuningSession {
   server::Server* test_ = nullptr;
   TuningOptions options_;
   CheckpointProbe checkpoint_probe_;
+  Observability obs_;
 };
 
 }  // namespace dta::tuner

@@ -321,6 +321,7 @@ std::vector<Optimizer::AccessPath> Optimizer::BuildAccessPaths(
     }
   }
 
+  if (m_access_paths_ != nullptr) m_access_paths_->Increment(paths.size());
   return paths;
 }
 
@@ -1096,6 +1097,7 @@ Result<double> Optimizer::CostDml(const sql::Statement& stmt,
 
 Result<double> Optimizer::CostStatement(
     const sql::Statement& stmt, const catalog::Configuration& config) const {
+  if (m_statements_ != nullptr) m_statements_->Increment();
   if (stmt.is_select()) {
     auto plan = OptimizeSelect(stmt.select(), config);
     if (!plan.ok()) return plan.status();

@@ -27,6 +27,7 @@
 
 #include "catalog/physical_design.h"
 #include "catalog/schema.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/status.h"
@@ -69,6 +70,19 @@ class Optimizer {
 
   const CostModel& cost_model() const { return cm_; }
   const catalog::Catalog& catalog() const { return catalog_; }
+
+  // Attaches (or clears, with nullptr) profiling counters: statements
+  // costed and access paths considered. Counts only — never timings — so
+  // they are deterministic at any thread count. Must not race concurrent
+  // costing; the server attaches metrics before the tuner fans out.
+  void set_metrics(MetricsRegistry* metrics) {
+    m_statements_ = metrics != nullptr
+                        ? metrics->GetCounter("optimizer.statements_costed")
+                        : nullptr;
+    m_access_paths_ = metrics != nullptr
+                          ? metrics->GetCounter("optimizer.access_paths")
+                          : nullptr;
+  }
 
  private:
   struct AccessPath {
@@ -115,6 +129,12 @@ class Optimizer {
   mutable Mutex view_bind_mu_;
   mutable std::map<std::string, std::unique_ptr<BoundQuery>> view_bind_cache_
       GUARDED_BY(view_bind_mu_);
+
+  // Profiling counters (null when no registry is attached). The Counter
+  // objects are atomic, so const costing paths may increment through them
+  // concurrently.
+  Counter* m_statements_ = nullptr;
+  Counter* m_access_paths_ = nullptr;
 };
 
 }  // namespace dta::optimizer

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/hash.h"
 #include "common/strings.h"
 #include "sql/printer.h"
@@ -26,7 +27,11 @@ Status Server::AttachDatabase(catalog::Database db) {
   // avoid any staleness after catalog changes.
   optimizer_ =
       std::make_unique<optimizer::Optimizer>(catalog_, *provider_, hardware_);
-  simulated_.clear();
+  optimizer_->set_metrics(metrics_);
+  {
+    MutexLock lock(simulated_mu_);
+    simulated_.clear();
+  }
   executor_ = std::make_unique<engine::Executor>(catalog_, this);
   return Status::Ok();
 }
@@ -105,6 +110,7 @@ Result<double> Server::CreateStatistics(const stats::StatsKey& key) {
   double duration = built->build_duration_ms;
   stats_.Put(std::move(built).value());
   AccrueOverhead(duration);
+  if (m_stats_created_ != nullptr) m_stats_created_->Increment();
   return duration;
 }
 
@@ -185,6 +191,7 @@ Result<Server::WhatIfResult> Server::WhatIfCost(
                .emplace(key, std::make_unique<optimizer::Optimizer>(
                                  catalog_, *provider_, *simulate_hardware))
                .first;
+      it->second->set_metrics(metrics_);
     }
     opt = it->second.get();
   }
@@ -194,11 +201,22 @@ Result<Server::WhatIfResult> Server::WhatIfCost(
   provider_->set_missing_recorder(&out.missing_stats);
   auto cost = opt->CostStatement(stmt, config);
   provider_->set_missing_recorder(nullptr);
-  AccrueOverhead(SimulatedOptimizeDurationMs(stmt, config));
+  out.simulated_ms = SimulatedOptimizeDurationMs(stmt, config);
+  AccrueOverhead(out.simulated_ms);
   whatif_calls_.fetch_add(1, std::memory_order_relaxed);
   if (!cost.ok()) return cost.status();
   out.cost = *cost;
   return out;
+}
+
+void Server::SetMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  m_stats_created_ =
+      metrics != nullptr ? metrics->GetCounter("server.stats_created")
+                         : nullptr;
+  optimizer_->set_metrics(metrics);
+  MutexLock lock(simulated_mu_);
+  for (auto& [key, opt] : simulated_) opt->set_metrics(metrics);
 }
 
 Result<optimizer::Optimizer::QueryPlan> Server::WhatIfPlan(
@@ -220,10 +238,9 @@ Status Server::ImplementConfiguration(catalog::Configuration config) {
 
 Result<engine::QueryResult> Server::ExecuteSelect(
     const sql::SelectStatement& stmt, double* elapsed_ms) {
-  auto start = std::chrono::steady_clock::now();
+  const double start_ms = MonotonicNowMs();
   auto result = executor_->ExecuteSelect(stmt, current_config_, *optimizer_);
-  auto end = std::chrono::steady_clock::now();
-  double ms = std::chrono::duration<double, std::milli>(end - start).count();
+  double ms = MonotonicNowMs() - start_ms;
   if (elapsed_ms != nullptr) *elapsed_ms = ms;
   AccrueOverhead(ms);
   if (capturing_ && result.ok()) {

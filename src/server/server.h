@@ -30,6 +30,7 @@
 #include "catalog/physical_design.h"
 #include "catalog/schema.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -91,6 +92,10 @@ class Server : public engine::DataSource {
   // ---- What-if optimizer interface (paper [9], extended per §5.3) -------
   struct WhatIfResult {
     double cost = 0;
+    // Simulated optimizer time for this call (what the overhead meter
+    // accrued). Deterministic in the statement and configuration, so the
+    // profiling layer can histogram it reproducibly.
+    double simulated_ms = 0;
     std::set<stats::StatsKey> missing_stats;  // wanted but absent
   };
   // Costs `stmt` under hypothetical configuration `config`. When
@@ -123,6 +128,12 @@ class Server : public engine::DataSource {
     fault_injector_ = injector;
   }
   FaultInjector* fault_injector() const { return fault_injector_; }
+
+  // Attaches (or clears, with nullptr) a metrics registry: the optimizer's
+  // per-call profiling counters and the server's statistics accounting
+  // report into it. Like set_fault_injector, must not race active costing —
+  // the tuning session attaches it before any fan-out starts.
+  void SetMetrics(MetricsRegistry* metrics) EXCLUDES(simulated_mu_);
 
   // Full plan variant (same accounting).
   Result<optimizer::Optimizer::QueryPlan> WhatIfPlan(
@@ -212,6 +223,8 @@ class Server : public engine::DataSource {
   catalog::Configuration current_config_;
   std::unique_ptr<engine::Executor> executor_;
   FaultInjector* fault_injector_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* m_stats_created_ = nullptr;
 
   mutable Mutex meter_mu_;
   double overhead_ms_ GUARDED_BY(meter_mu_) = 0;

@@ -90,7 +90,7 @@ void Element::Serialize(std::string* out, int depth) const {
     out->push_back(' ');
     out->append(k);
     out->append("=\"");
-    out->append(Escape(v));
+    AppendEscaped(out, v);
     out->push_back('"');
   }
   if (children_.empty() && text_.empty()) {
@@ -99,7 +99,7 @@ void Element::Serialize(std::string* out, int depth) const {
   }
   out->push_back('>');
   if (children_.empty()) {
-    out->append(Escape(text_));
+    AppendEscaped(out, text_);
     out->append("</");
     out->append(name_);
     out->append(">\n");
@@ -108,7 +108,7 @@ void Element::Serialize(std::string* out, int depth) const {
   out->push_back('\n');
   if (!text_.empty()) {
     out->append(static_cast<size_t>(depth + 1) * 2, ' ');
-    out->append(Escape(text_));
+    AppendEscaped(out, text_);
     out->push_back('\n');
   }
   for (const auto& c : children_) {
@@ -123,28 +123,35 @@ void Element::Serialize(std::string* out, int depth) const {
 std::string Escape(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());
-  for (char c : raw) {
-    switch (c) {
+  AppendEscaped(&out, raw);
+  return out;
+}
+
+void AppendEscaped(std::string* out, std::string_view raw) {
+  size_t plain = raw.find_first_of("&<>\"'");
+  while (plain != std::string_view::npos) {
+    out->append(raw.substr(0, plain));
+    switch (raw[plain]) {
       case '&':
-        out += "&amp;";
+        out->append("&amp;");
         break;
       case '<':
-        out += "&lt;";
+        out->append("&lt;");
         break;
       case '>':
-        out += "&gt;";
+        out->append("&gt;");
         break;
       case '"':
-        out += "&quot;";
-        break;
-      case '\'':
-        out += "&apos;";
+        out->append("&quot;");
         break;
       default:
-        out.push_back(c);
+        out->append("&apos;");
+        break;
     }
+    raw.remove_prefix(plain + 1);
+    plain = raw.find_first_of("&<>\"'");
   }
-  return out;
+  out->append(raw);
 }
 
 namespace {

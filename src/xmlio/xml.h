@@ -79,6 +79,10 @@ class Element {
 
 // Escapes &, <, >, ", ' for use in attribute values / character data.
 std::string Escape(std::string_view raw);
+// Same, appending to `out` without materializing a temporary — the
+// serializer's path for large character-data blobs (bulk checkpoint
+// sections); text with nothing to escape is appended in one memcpy.
+void AppendEscaped(std::string* out, std::string_view raw);
 
 // Parses a single-rooted XML document. Returns the root element.
 Result<ElementPtr> Parse(std::string_view input);

@@ -22,9 +22,20 @@ void SuppressedTimerSite() {
   (void)stamp;
 }
 
-double CleanSteadyClockAndIdentifiers() {
-  auto t0 = std::chrono::steady_clock::now();  // monotonic: allowed
-  int randomized = 3;
+double FireOnSteadyClockOutsideClockModule() {
+  // Monotonic, but unmockable: durations must come from dta::Clock so a
+  // FakeClock can zero them in golden metrics exports.
+  auto t0 = std::chrono::steady_clock::now();  // expect: wall-clock
   (void)t0;
+  return 0;
+}
+
+void SuppressedSteadyClockSite() {
+  auto t0 = std::chrono::steady_clock::now();  // lint: wall-clock
+  (void)t0;
+}
+
+double CleanIdentifiers() {
+  int randomized = 3;
   return randomized;
 }

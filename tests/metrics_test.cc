@@ -1,0 +1,292 @@
+// Unit tests for the observability primitives: MetricsRegistry (counters,
+// gauges, log-scale histograms, deterministic JSON body) and Tracer
+// (LIFO-checked span tree under an injected FakeClock).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace dta {
+namespace {
+
+// ------------------------------------------------------------ counters
+
+TEST(MetricsTest, CounterAccumulatesAndHandleIsStable) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("whatif.calls");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Find-or-create returns the same object, not a fresh zeroed one.
+  EXPECT_EQ(reg.GetCounter("whatif.calls"), c);
+  EXPECT_EQ(reg.CounterValues().at("whatif.calls"), 42u);
+}
+
+TEST(MetricsTest, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("session.tuning_time_ms");
+  g->Set(12.5);
+  g->Set(7.25);
+  EXPECT_EQ(reg.GaugeValues().at("session.tuning_time_ms"), 7.25);
+}
+
+// A metric name registers exactly one kind; re-requesting it as another
+// kind is a programming error and aborts.
+TEST(MetricsDeathTest, CrossKindNameCollisionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry reg;
+  reg.GetCounter("dual.use");
+  EXPECT_DEATH(reg.GetGauge("dual.use"), "different kind");
+  EXPECT_DEATH(reg.GetHistogram("dual.use"), "different kind");
+}
+
+// ------------------------------------------------------------ histograms
+
+TEST(MetricsTest, HistogramBucketLayout) {
+  // bucket 0: v < 1 (including zero, negatives, NaN); bucket i: 2^(i-1) <=
+  // v < 2^i; last bucket absorbs everything >= 2^(kBuckets-2).
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(0.999);
+  h.Observe(-5.0);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.bucket_count(0), 4u);
+
+  h.Observe(1.0);     // [1, 2) -> bucket 1
+  h.Observe(1.999);   // bucket 1
+  h.Observe(2.0);     // [2, 4) -> bucket 2
+  h.Observe(1023.0);  // [512, 1024) -> bucket 10
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+
+  // The last finite boundary is 2^(kBuckets-2); anything at or above it,
+  // including +inf, lands in the overflow bucket.
+  const double last_finite = std::ldexp(1.0, Histogram::kBuckets - 2);
+  h.Observe(last_finite);
+  h.Observe(1e300);
+  h.Observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 3u);
+  // Just below the boundary stays in the last finite bucket.
+  h.Observe(std::nextafter(last_finite, 0.0));
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 2), 1u);
+
+  EXPECT_EQ(h.count(), 12u);
+}
+
+TEST(MetricsTest, HistogramBucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 2),
+            std::ldexp(1.0, Histogram::kBuckets - 2));
+  EXPECT_TRUE(std::isinf(Histogram::BucketUpperBound(Histogram::kBuckets - 1)));
+}
+
+TEST(MetricsTest, HistogramSumAccruesInMicroseconds) {
+  Histogram h;
+  h.Observe(1.5);
+  h.Observe(1.5);
+  h.Observe(0.0004);  // rounds to 0 micros at fixed point
+  EXPECT_EQ(h.sum_micros(), 3000u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+// The determinism contract: N threads issuing the same logical updates in
+// any interleaving must leave the registry byte-identical to a serial run —
+// counts are atomic integers and histogram sums accrue in integer micros.
+TEST(MetricsTest, ConcurrentUpdatesMatchSerialExportByteForByte) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 500;
+  const std::vector<double> kLatencies = {0.25, 1.5, 3.0, 700.0};
+
+  MetricsRegistry serial;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int r = 0; r < kRounds; ++r) {
+      serial.GetCounter("whatif.calls")->Increment();
+      for (double v : kLatencies) {
+        serial.GetHistogram("whatif.latency_ms")->Observe(v);
+      }
+    }
+  }
+  serial.GetGauge("session.tuning_time_ms")->Set(0.0);
+
+  MetricsRegistry hammered;
+  // Resolve handles up front on some threads, lazily on others, so the
+  // find-or-create path races too.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hammered, &kLatencies, t] {
+      Counter* calls =
+          t % 2 == 0 ? hammered.GetCounter("whatif.calls") : nullptr;
+      for (int r = 0; r < kRounds; ++r) {
+        (calls != nullptr ? calls : hammered.GetCounter("whatif.calls"))
+            ->Increment();
+        Histogram* lat = hammered.GetHistogram("whatif.latency_ms");
+        for (double v : kLatencies) lat->Observe(v);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  hammered.GetGauge("session.tuning_time_ms")->Set(0.0);
+
+  std::string serial_json;
+  serial.AppendJsonBody(&serial_json, "  ");
+  std::string hammered_json;
+  hammered.AppendJsonBody(&hammered_json, "  ");
+  EXPECT_EQ(serial_json, hammered_json);
+  EXPECT_EQ(hammered.CounterValues().at("whatif.calls"),
+            static_cast<uint64_t>(kThreads) * kRounds);
+}
+
+TEST(MetricsTest, JsonBodySortsNamesAndElidesEmptyBuckets) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta")->Increment(2);
+  reg.GetCounter("alpha")->Increment();
+  Histogram* h = reg.GetHistogram("lat");
+  h->Observe(0.5);
+  h->Observe(1e300);
+
+  std::string out;
+  reg.AppendJsonBody(&out, "");
+  // Sorted counters.
+  EXPECT_LT(out.find("\"alpha\": 1"), out.find("\"zeta\": 2"));
+  // Sparse buckets: exactly the sub-millisecond bucket and the +inf
+  // overflow bucket appear.
+  EXPECT_NE(out.find("{\"le\": 1, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(out.find("{\"le\": \"+inf\", \"count\": 1}"), std::string::npos);
+  EXPECT_EQ(out.find("\"le\": 2"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonEscapeHandlesSpecialsAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain.name"), "plain.name");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ------------------------------------------------------------ tracer
+
+TEST(TracerTest, SpanTreeTracksNestingAndFakeClockDurations) {
+  FakeClock clock(100.0);
+  Tracer tracer(&clock);
+  {
+    TraceScope tune(&tracer, "tune");
+    clock.AdvanceMs(5);
+    {
+      TraceScope phase(&tracer, "current_cost");
+      clock.AdvanceMs(10);
+    }
+    {
+      TraceScope phase(&tracer, "enumeration");
+      clock.AdvanceMs(20);
+      {
+        TraceScope ckpt(&tracer, "checkpoint");
+        clock.AdvanceMs(2);
+      }
+    }
+  }
+
+  const auto spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Pre-order: tune > current_cost, enumeration > checkpoint; start times
+  // relative to the first span.
+  EXPECT_EQ(spans[0].name, "tune");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].start_ms, 0.0);
+  EXPECT_EQ(spans[0].duration_ms, 37.0);
+  EXPECT_EQ(spans[1].name, "current_cost");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].start_ms, 5.0);
+  EXPECT_EQ(spans[1].duration_ms, 10.0);
+  EXPECT_EQ(spans[2].name, "enumeration");
+  EXPECT_EQ(spans[2].duration_ms, 22.0);
+  EXPECT_EQ(spans[3].name, "checkpoint");
+  EXPECT_EQ(spans[3].depth, 2);
+  EXPECT_EQ(spans[3].start_ms, 35.0);
+  EXPECT_EQ(spans[3].duration_ms, 2.0);
+}
+
+TEST(TracerTest, TotalDurationSumsOnlyClosedSpansOfThatName) {
+  FakeClock clock;
+  Tracer tracer(&clock);
+  for (double advance : {3.0, 4.0}) {
+    TraceScope s(&tracer, "checkpoint");
+    clock.AdvanceMs(advance);
+  }
+  const int open = tracer.BeginSpan("checkpoint");
+  clock.AdvanceMs(100);
+  EXPECT_EQ(tracer.TotalDurationMs("checkpoint"), 7.0);
+  EXPECT_EQ(tracer.TotalDurationMs("no_such_phase"), 0.0);
+  // Still-open spans surface as negative durations in the flattened view.
+  EXPECT_LT(tracer.Spans().back().duration_ms, 0.0);
+  tracer.EndSpan(open);
+  EXPECT_EQ(tracer.TotalDurationMs("checkpoint"), 107.0);
+}
+
+TEST(TracerDeathTest, NonLifoEndSpanAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FakeClock clock;
+  Tracer tracer(&clock);
+  const int outer = tracer.BeginSpan("outer");
+  tracer.BeginSpan("inner");
+  EXPECT_DEATH(tracer.EndSpan(outer), "LIFO");
+}
+
+TEST(TracerTest, NullTracerScopesAreNoOps) {
+  // The whole layer is opt-in; phase code never checks for a tracer.
+  TraceScope scope(nullptr, "tune");
+}
+
+// ------------------------------------------------------------ document
+
+TEST(ObservabilityJsonTest, EmptyDocumentIsStable) {
+  MetricsRegistry reg;
+  EXPECT_EQ(ObservabilityJson(reg, nullptr),
+            "{\n"
+            "  \"schema\": \"dta-observability-v1\",\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {},\n"
+            "  \"spans\": []\n"
+            "}\n");
+}
+
+TEST(ObservabilityJsonTest, FakeClockDocumentIsByteReproducible) {
+  auto build = [] {
+    MetricsRegistry reg;
+    FakeClock clock(50.0);
+    Tracer tracer(&clock);
+    {
+      TraceScope tune(&tracer, "tune");
+      clock.AdvanceMs(8);
+      {
+        TraceScope phase(&tracer, "merging");
+        clock.AdvanceMs(4);
+        reg.GetCounter("whatif.calls")->Increment(17);
+        reg.GetHistogram("whatif.latency_ms")->Observe(1.25);
+      }
+    }
+    return ObservabilityJson(reg, &tracer);
+  };
+  const std::string first = build();
+  EXPECT_EQ(first, build());
+  EXPECT_NE(first.find("\"schema\": \"dta-observability-v1\""),
+            std::string::npos);
+  EXPECT_NE(first.find("\"name\": \"merging\", \"start_ms\": 8.000, "
+                       "\"duration_ms\": 4.000"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dta

@@ -5,7 +5,8 @@
 // Usage:
 //   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
 //           [--evaluate] [--quiet] [--threads N] [--fault-spec SPEC]
-//           [--checkpoint FILE] [--resume FILE]
+//           [--checkpoint FILE] [--checkpoint-budget PCT] [--resume FILE]
+//           [--metrics-json FILE] [--fake-clock]
 //
 //   --metadata    ServerMetadata XML (produced by Server::ScriptMetadata or
 //                 written by hand): databases, tables, columns, row counts.
@@ -25,9 +26,22 @@
 //                 ones degrade to a heuristic cost estimate (reported).
 //   --checkpoint  Write a crash-safe session checkpoint to FILE after every
 //                 phase and enumeration round (atomic tmp + rename).
+//   --checkpoint-budget
+//                 Cap enumeration-round checkpoint writes at PCT percent of
+//                 tuning wall-clock (amortized; phase-boundary checkpoints
+//                 always write). 0 (default) checkpoints every round.
 //   --resume      Restore the checkpoint at FILE and skip completed work;
 //                 the recommendation is identical to an uninterrupted run.
 //                 Typically pointed at the same FILE as --checkpoint.
+//   --metrics-json
+//                 Write the session's observability document
+//                 (dta-observability-v1: counters/gauges/histograms sorted
+//                 by name, plus the phase span tree) to FILE. All counted
+//                 quantities are thread-count invariant.
+//   --fake-clock  Time the session with a clock frozen at zero instead of
+//                 the real monotonic clock: every exported duration becomes
+//                 0.000, making --metrics-json output byte-reproducible
+//                 across runs and thread counts (golden tests, CI diffs).
 //
 // The server built from metadata alone has no table data or generator
 // specs; statistics fall back to optimizer heuristics. This is DTA's
@@ -41,7 +55,10 @@
 #include <sstream>
 #include <string>
 
+#include "common/clock.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
 #include "server/server.h"
@@ -71,7 +88,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --metadata server.xml --input tuning.xml "
                "[--output out.xml] [--evaluate] [--quiet] [--threads N] "
-               "[--fault-spec SPEC] [--checkpoint FILE] [--resume FILE]\n",
+               "[--fault-spec SPEC] [--checkpoint FILE] "
+               "[--checkpoint-budget PCT] [--resume FILE] "
+               "[--metrics-json FILE] [--fake-clock]\n",
                argv0);
   return 2;
 }
@@ -80,8 +99,9 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string metadata_path, input_path, output_path;
-  std::string fault_spec, checkpoint_path, resume_path;
-  bool evaluate = false, quiet = false;
+  std::string fault_spec, checkpoint_path, resume_path, metrics_path;
+  bool evaluate = false, quiet = false, fake_clock = false;
+  double checkpoint_budget = 0;
   int threads = -1;  // -1: keep the input document's (or default) setting
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -121,10 +141,26 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       checkpoint_path = v;
+    } else if (arg == "--checkpoint-budget") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      checkpoint_budget = std::strtod(v, &end);
+      if (end == v || *end != '\0' || checkpoint_budget < 0) {
+        std::fprintf(stderr,
+                     "--checkpoint-budget expects a non-negative percent\n");
+        return Usage(argv[0]);
+      }
     } else if (arg == "--resume") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       resume_path = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metrics_path = v;
+    } else if (arg == "--fake-clock") {
+      fake_clock = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -173,9 +209,24 @@ int main(int argc, char** argv) {
   if (!checkpoint_path.empty()) {
     input->options.checkpoint_path = checkpoint_path;
   }
+  if (checkpoint_budget > 0) {
+    input->options.checkpoint_budget_pct = checkpoint_budget;
+  }
   if (!resume_path.empty()) input->options.resume_path = resume_path;
 
   dta::tuner::TuningSession session(server->get(), input->options);
+
+  // Observability: always collect when an export was requested; the frozen
+  // clock zeroes every duration so the export is byte-reproducible.
+  dta::MetricsRegistry metrics;
+  dta::FakeClock frozen_clock;
+  const dta::Clock* clock =
+      fake_clock ? static_cast<const dta::Clock*>(&frozen_clock) : nullptr;
+  dta::Tracer tracer(clock);
+  if (!metrics_path.empty()) {
+    session.SetObservability({&metrics, &tracer, clock});
+  }
+
   std::string output_doc;
   if (evaluate) {
     auto result = session.EvaluateConfiguration(
@@ -208,6 +259,17 @@ int main(int argc, char** argv) {
     }
     output_doc = dta::tuner::TuningOutputToXml(
         *input, result->recommendation, result->report);
+  }
+
+  if (!metrics_path.empty()) {
+    std::string doc = dta::ObservabilityJson(metrics, &tracer);
+    if (dta::Status s = WriteFile(metrics_path, doc); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("wrote %s (%zu bytes)\n", metrics_path.c_str(), doc.size());
+    }
   }
 
   if (output_path.empty()) {

@@ -14,8 +14,11 @@
 //   wall-clock         std::chrono::system_clock, rand()/srand(), and
 //                      std::random_device are nondeterministic; all
 //                      randomness flows through src/common/random.* with
-//                      explicit seeds. (steady_clock is fine: it is
-//                      monotonic and only feeds durations.)
+//                      explicit seeds. std::chrono::steady_clock is
+//                      likewise banned outside src/common/clock.*: every
+//                      duration must flow through dta::Clock so tests and
+//                      metrics exports can inject a FakeClock and stay
+//                      byte-reproducible.
 //   naked-new          No naked `new`/`delete`; use std::make_unique &
 //                      friends. `= delete` (deleted functions) is exempt.
 //   unguarded-mutex    Every mutex member must have at least one
@@ -228,6 +231,13 @@ bool IsRandomInfraFile(const std::string& rel_path) {
   return base == "random.h" || base == "random.cc";
 }
 
+// The one place allowed to read std::chrono::steady_clock: the dta::Clock
+// implementation everything else injects or calls through.
+bool IsClockInfraFile(const std::string& rel_path) {
+  const std::string base = fs::path(rel_path).filename().string();
+  return base == "clock.h" || base == "clock.cc";
+}
+
 bool IsMutexInfraFile(const std::string& rel_path) {
   return fs::path(rel_path).filename().string() == "mutex.h";
 }
@@ -258,6 +268,7 @@ void LintFile(const std::string& rel_path, const std::vector<std::string>& raw,
 
   const bool ordered_output = IsOrderedOutputFile(rel_path);
   const bool random_infra = IsRandomInfraFile(rel_path);
+  const bool clock_infra = IsClockInfraFile(rel_path);
   const bool mutex_infra = IsMutexInfraFile(rel_path);
 
   for (size_t i = 0; i < lines.size(); ++i) {
@@ -295,6 +306,12 @@ void LintFile(const std::string& rel_path, const std::vector<std::string>& raw,
              "rand()/srand() draw from hidden global state; use seeded "
              "dta::Random");
       }
+    }
+    if (!clock_infra && code.find("steady_clock") != std::string::npos) {
+      emit(i, "wall-clock",
+           "std::chrono::steady_clock read outside common/clock; time code "
+           "through dta::Clock (MonotonicNowMs or an injected FakeClock) so "
+           "tests and metrics exports stay byte-reproducible");
     }
 
     // naked-new
