@@ -1,9 +1,9 @@
 // bench_pipeline — the CI bench-regression workload.
 //
-// Runs the TPC-H tuning pipeline under four scenarios (serial, parallel,
-// checkpointed, faulty) and emits one observability document
-// (dta-observability-v1, the same schema dta_cli --metrics-json writes)
-// with, per scenario:
+// Runs the TPC-H tuning pipeline under six scenarios (serial, parallel,
+// checkpointed, faulty, sharded, sharded_faulty) and emits one
+// observability document (dta-observability-v1, the same schema dta_cli
+// --metrics-json writes) with, per scenario:
 //   counters  bench.<scenario>.whatif_calls   — deterministic call counts
 //   gauges    bench.<scenario>.wall_ms        — tuning wall-clock
 // plus
@@ -12,6 +12,9 @@
 //             not run-vs-run, so it is robust to machine noise)
 //             bench.fault_overhead_pct        — same for the faulty run's
 //             extra wall-clock over the serial run
+//             bench.shard_failover_overhead_pct — extra wall-clock of the
+//             sharded run with one shard fault-killed mid-run over the
+//             healthy sharded run (gated at an absolute ceiling)
 //
 // tools/bench_compare.py diffs this document against bench/baseline.json:
 // locally (ctest) with --ignore-wall-clock so only the deterministic call
@@ -118,6 +121,33 @@ int Run(int argc, char** argv) {
   }
   Record(&metrics, "faulty", *faulty);
 
+  // Sharded costing: the whatif_calls counters must equal the serial
+  // scenario's exactly (the router only moves calls; dedup prices each
+  // logical call once), so this scenario gates topology-invariance in CI.
+  tuner::TuningOptions sharded_opts;
+  sharded_opts.num_threads = 4;
+  sharded_opts.shards = 4;
+  auto sharded = RunScenario(sharded_opts, wl);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "sharded: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "sharded", *sharded);
+
+  // Same fleet with shard 2 fault-killed at its 40th call: failover must
+  // keep the call count identical; the extra wall-clock is the failover
+  // overhead gauge below.
+  tuner::TuningOptions sharded_fault_opts = sharded_opts;
+  sharded_fault_opts.shard_fault_spec = "2:down_after=40";
+  auto sharded_faulty = RunScenario(sharded_fault_opts, wl);
+  if (!sharded_faulty.ok()) {
+    std::fprintf(stderr, "sharded_faulty: %s\n",
+                 sharded_faulty.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "sharded_faulty", *sharded_faulty);
+
   // Robustness overheads (ROADMAP: < 1% checkpoint overhead target). The
   // checkpoint number divides the time actually spent inside checkpoint
   // writes by the same run's wall-clock — immune to run-to-run noise; the
@@ -133,6 +163,14 @@ int Run(int argc, char** argv) {
                 serial->tuning_time_ms
           : 0.0;
   metrics.GetGauge("bench.fault_overhead_pct")->Set(fault_pct);
+  const double shard_failover_pct =
+      sharded->tuning_time_ms > 0
+          ? 100.0 *
+                (sharded_faulty->tuning_time_ms - sharded->tuning_time_ms) /
+                sharded->tuning_time_ms
+          : 0.0;
+  metrics.GetGauge("bench.shard_failover_overhead_pct")
+      ->Set(shard_failover_pct);
 
   std::string doc = ObservabilityJson(metrics, nullptr);
   if (argc > 1) {
@@ -144,12 +182,15 @@ int Run(int argc, char** argv) {
     out << doc;
     std::fprintf(stderr,
                  "serial=%.0fms parallel=%.0fms checkpointed=%.0fms "
-                 "faulty=%.0fms checkpoint_overhead=%.3f%% "
-                 "(%zu writes, %.1fms)\n",
+                 "faulty=%.0fms sharded=%.0fms sharded_faulty=%.0fms "
+                 "checkpoint_overhead=%.3f%% (%zu writes, %.1fms) "
+                 "shard_failover_overhead=%.3f%% (%zu failovers)\n",
                  serial->tuning_time_ms, parallel->tuning_time_ms,
                  checkpointed->tuning_time_ms, faulty->tuning_time_ms,
+                 sharded->tuning_time_ms, sharded_faulty->tuning_time_ms,
                  ckpt_pct, checkpointed->checkpoint_writes,
-                 checkpointed->checkpoint_ms);
+                 checkpointed->checkpoint_ms, shard_failover_pct,
+                 sharded_faulty->shard_failovers);
   } else {
     std::printf("%s", doc.c_str());
   }

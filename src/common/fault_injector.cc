@@ -45,6 +45,12 @@ Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
       spec.permanent_probability = std::strtod(value.c_str(), &end);
     } else if (key == "latency_ms") {
       spec.latency_ms = std::strtod(value.c_str(), &end);
+    } else if (key == "down_after") {
+      spec.down_after = strtoll(value.c_str(), &end, 10);
+    } else if (key == "burst_start") {
+      spec.burst_start = strtoull(value.c_str(), &end, 10);
+    } else if (key == "burst_len") {
+      spec.burst_len = strtoull(value.c_str(), &end, 10);
     } else {
       return Status::InvalidArgument("unknown fault spec key: " + key);
     }
@@ -59,24 +65,53 @@ Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
   if (spec.latency_ms < 0) {
     return Status::InvalidArgument("latency_ms must be >= 0");
   }
+  if (spec.down_after < -1) {
+    return Status::InvalidArgument("down_after must be >= 0 (or -1 = off)");
+  }
   return spec;
 }
 
 std::string FaultSpec::ToString() const {
-  return StrFormat("seed=%llu,transient=%g,permanent=%g,latency_ms=%g",
-                   static_cast<unsigned long long>(seed),
-                   transient_probability, permanent_probability, latency_ms);
+  std::string out =
+      StrFormat("seed=%llu,transient=%g,permanent=%g,latency_ms=%g",
+                static_cast<unsigned long long>(seed), transient_probability,
+                permanent_probability, latency_ms);
+  if (down_after >= 0) {
+    out += StrFormat(",down_after=%lld", static_cast<long long>(down_after));
+  }
+  if (burst_len > 0) {
+    out += StrFormat(",burst_start=%llu,burst_len=%llu",
+                     static_cast<unsigned long long>(burst_start),
+                     static_cast<unsigned long long>(burst_len));
+  }
+  return out;
 }
 
 FaultInjector::Outcome FaultInjector::Decide(uint64_t key) {
   int attempt;
+  uint64_t ordinal;
   {
     MutexLock lock(mu_);
     attempt = attempts_[key]++;
-    ++calls_;
+    ordinal = calls_++;
   }
   Outcome out;
   out.latency_ms = spec_.latency_ms;
+  // Outage shapes come first: an unreachable server fails every call in the
+  // window regardless of the per-key draws below.
+  const bool node_down =
+      spec_.down_after >= 0 &&
+      ordinal >= static_cast<uint64_t>(spec_.down_after);
+  const bool in_burst = spec_.burst_len > 0 && ordinal >= spec_.burst_start &&
+                        ordinal < spec_.burst_start + spec_.burst_len;
+  if (node_down || in_burst) {
+    MutexLock lock(mu_);
+    ++outage_;
+    out.status = Status::Unavailable(
+        node_down ? "injected node death: server unreachable"
+                  : "injected burst outage: server unreachable");
+    return out;
+  }
   // Permanent failures are a property of the call key alone: every attempt
   // fails, so retrying is futile and the caller must degrade.
   if (spec_.permanent_probability > 0 &&
@@ -113,6 +148,11 @@ size_t FaultInjector::transient_failures() const {
 size_t FaultInjector::permanent_failures() const {
   MutexLock lock(mu_);
   return permanent_;
+}
+
+size_t FaultInjector::outage_failures() const {
+  MutexLock lock(mu_);
+  return outage_;
 }
 
 }  // namespace dta

@@ -27,7 +27,7 @@ namespace dta {
 
 // Parsed form of the "--fault-spec" / TuningOptions::fault_spec string:
 // comma-separated key=value pairs, e.g.
-//   "seed=42,transient=0.1,permanent=0.01,latency_ms=0.5"
+//   "seed=42,transient=0.1,permanent=0.01,latency_ms=0.5,down_after=100"
 // Unknown keys are rejected; probabilities must lie in [0, 1].
 struct FaultSpec {
   uint64_t seed = 1;
@@ -35,9 +35,24 @@ struct FaultSpec {
   double permanent_probability = 0;  // per-call-key Internal failure
   double latency_ms = 0;             // extra latency added to every call
 
+  // Richer incident shapes, modeled on the injector's global call ordinal
+  // (0-based, counted across all keys). Exact ordinals are only meaningful
+  // on a serially driven injector; under concurrency the *set* of affected
+  // calls depends on scheduling, and callers rely on retry/failover to make
+  // results independent of which calls land in the window.
+  //
+  // Node death: every call from ordinal `down_after` onward fails
+  // Unavailable (the server became unreachable); -1 disables, 0 means the
+  // server is down from its first call.
+  int64_t down_after = -1;
+  // Burst outage: calls with ordinals in [burst_start, burst_start +
+  // burst_len) fail Unavailable; burst_len == 0 disables.
+  uint64_t burst_start = 0;
+  uint64_t burst_len = 0;
+
   bool Enabled() const {
     return transient_probability > 0 || permanent_probability > 0 ||
-           latency_ms > 0;
+           latency_ms > 0 || down_after >= 0 || burst_len > 0;
   }
 
   static Result<FaultSpec> Parse(const std::string& text);
@@ -66,6 +81,10 @@ class FaultInjector {
   size_t calls() const EXCLUDES(mu_);
   size_t transient_failures() const EXCLUDES(mu_);
   size_t permanent_failures() const EXCLUDES(mu_);
+  // Failures injected by the down_after / burst window shapes (a subset of
+  // neither counter above: outages model unreachability, not optimizer
+  // errors, though they surface as Unavailable just the same).
+  size_t outage_failures() const EXCLUDES(mu_);
 
  private:
   FaultSpec spec_;
@@ -74,6 +93,7 @@ class FaultInjector {
   size_t calls_ GUARDED_BY(mu_) = 0;
   size_t transient_ GUARDED_BY(mu_) = 0;
   size_t permanent_ GUARDED_BY(mu_) = 0;
+  size_t outage_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dta

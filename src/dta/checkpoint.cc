@@ -163,10 +163,13 @@ uint64_t WorkloadFingerprint(const workload::Workload& workload) {
 
 uint64_t OptionsFingerprint(const TuningOptions& o) {
   // Every option that can change the recommendation, in a fixed order.
-  // num_threads, the checkpoint paths, and checkpoint_budget_pct are
-  // excluded on purpose: results are thread-count invariant, and where a
-  // snapshot lives — or how often round snapshots are written — does not
-  // change what it resumes to.
+  // num_threads, shards, shard_max_inflight, the checkpoint paths, and
+  // checkpoint_budget_pct are excluded on purpose: results are invariant to
+  // thread count and shard topology (a 4-shard checkpoint legitimately
+  // resumes on 2 shards), and where a snapshot lives — or how often round
+  // snapshots are written — does not change what it resumes to.
+  // shard_fault_spec IS included: per-shard faults can degrade pricings and
+  // so can change the recommendation, exactly like fault_spec.
   std::ostringstream out;
   out << o.tune_indexes << '|' << o.tune_materialized_views << '|'
       << o.tune_partitioning << '|' << o.require_alignment << '|'
@@ -179,7 +182,8 @@ uint64_t OptionsFingerprint(const TuningOptions& o) {
                                       : "-")
       << '|' << o.keep_existing_structures << '|' << o.workload_compression
       << '|' << o.reduced_statistics << '|' << o.fault_spec << '|'
-      << o.retry.max_attempts << '|' << StrFormat("%a", o.retry.initial_backoff_ms)
+      << o.shard_fault_spec << '|' << o.retry.max_attempts << '|'
+      << StrFormat("%a", o.retry.initial_backoff_ms)
       << '|' << StrFormat("%a", o.retry.backoff_multiplier) << '|'
       << StrFormat("%a", o.retry.max_backoff_ms) << '|'
       << StrFormat("%a", o.retry.jitter_fraction) << '|'
@@ -205,6 +209,7 @@ std::string CheckpointToXml(const SessionCheckpoint& ckpt) {
                StrFormat("%llu", static_cast<unsigned long long>(
                                      ckpt.options_fingerprint)));
   root.SetAttr("Phase", StrFormat("%d", ckpt.phase));
+  root.SetAttr("Shards", StrFormat("%d", ckpt.shards));
   root.SetAttr("StatsRequested", StrFormat("%zu", ckpt.stats_requested));
   root.SetAttr("StatsCreated", StrFormat("%zu", ckpt.stats_created));
   root.SetAttr("StatsCreationMs", HexDouble(ckpt.stats_creation_ms));
@@ -303,6 +308,15 @@ Result<SessionCheckpoint> CheckpointFromXml(const std::string& xml_text,
   if (ckpt.phase < kCheckpointCurrentCosts ||
       ckpt.phase > kCheckpointEnumeration) {
     return Status::InvalidArgument("DTACheckpoint has an unknown phase");
+  }
+  // Absent on documents written before shard topologies existed: those were
+  // single-server sessions.
+  const std::string shards_attr = root.Attr("Shards");
+  ckpt.shards = shards_attr.empty() ? 1 : std::atoi(shards_attr.c_str());
+  if (ckpt.shards < 1) {
+    return Status::InvalidArgument(
+        "DTACheckpoint records an invalid shard topology (Shards='" +
+        shards_attr + "'); refusing to resume");
   }
   ckpt.stats_requested =
       static_cast<size_t>(ParseU64(root.Attr("StatsRequested")));

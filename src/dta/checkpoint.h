@@ -53,6 +53,12 @@ struct SessionCheckpoint {
   uint64_t workload_fingerprint = 0;
   uint64_t options_fingerprint = 0;
   int phase = kCheckpointCurrentCosts;
+  // Shard topology of the writing session (informational guard). Cache
+  // entries are keyed by (statement, fingerprint) — shard-agnostic — so a
+  // resumed session deterministically remaps them onto its own topology;
+  // a corrupt topology (< 1) is rejected with a clear status instead of
+  // silently mis-routing entries.
+  int shards = 1;
 
   std::vector<double> current_costs;  // per tuned statement, in order
   std::set<stats::StatsKey> missing_stats;

@@ -48,10 +48,25 @@ double HashToSignedUnit(uint64_t h) {
 CostService::CostService(server::Server* server,
                          const optimizer::HardwareParams* simulate_hardware,
                          const workload::Workload* workload, Config config)
-    : server_(server),
+    : owned_backend_(std::make_unique<SingleServerBackend>(server)),
+      backend_(owned_backend_.get()),
       simulate_hardware_(simulate_hardware),
       workload_(workload),
       config_(std::move(config)) {
+  Init();
+}
+
+CostService::CostService(CostBackend* backend,
+                         const optimizer::HardwareParams* simulate_hardware,
+                         const workload::Workload* workload, Config config)
+    : backend_(backend),
+      simulate_hardware_(simulate_hardware),
+      workload_(workload),
+      config_(std::move(config)) {
+  Init();
+}
+
+void CostService::Init() {
   clock_ = config_.clock != nullptr ? config_.clock
                                     : MonotonicClock::Instance();
   if (config_.metrics != nullptr) {
@@ -65,12 +80,12 @@ CostService::CostService(server::Server* server,
     m_simulated_ = m->GetHistogram("whatif.simulated_ms");
     m_attempts_ = m->GetHistogram("whatif.attempts");
   }
-  statement_tables_.reserve(workload->size());
-  for (const auto& ws : workload->statements()) {
+  statement_tables_.reserve(workload_->size());
+  for (const auto& ws : workload_->statements()) {
     statement_tables_.push_back(TablesOf(ws.stmt));
   }
-  shards_.reserve(workload->size());
-  for (size_t i = 0; i < workload->size(); ++i) {
+  shards_.reserve(workload_->size());
+  for (size_t i = 0; i < workload_->size(); ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
 }
@@ -128,7 +143,8 @@ Result<CostService::Entry> CostService::PriceWithRetries(
   if (m_calls_ != nullptr) m_calls_->Increment();
   Status last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    auto r = server_->WhatIfCost(stmt, config, simulate_hardware_, fault_key);
+    auto r = backend_->WhatIfCost(stmt, config, simulate_hardware_,
+                                  fault_key);
     if (r.ok()) {
       RecordAttempts(attempt);
       // The server's simulated optimization duration is deterministic in
@@ -189,9 +205,9 @@ Result<CostService::Entry> CostService::PriceWithRetries(
   }
   const optimizer::HardwareParams& hw =
       simulate_hardware_ != nullptr ? *simulate_hardware_
-                                    : server_->hardware();
+                                    : backend_->primary()->hardware();
   double cost = optimizer::HeuristicStatementCost(
-      stmt, server_->catalog(), optimizer::CostModel(hw));
+      stmt, backend_->primary()->catalog(), optimizer::CostModel(hw));
   return Entry{cost, true};
 }
 

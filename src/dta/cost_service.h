@@ -57,6 +57,50 @@ namespace dta::tuner {
 // absorbs anything beyond the histogram size.
 inline constexpr size_t kRetryHistogramBuckets = 8;
 
+// Where what-if calls physically execute. CostService is written against
+// this seam, so pricing can run on one server (SingleServerBackend below)
+// or fan out across a fleet of test-server replicas (ShardRouter,
+// dta/shard_router.h) without the caching, dedup, or retry layers knowing
+// the difference. Backends must be deterministic — the same (statement,
+// configuration) call returns the same cost wherever it executes — which is
+// what keeps recommendations bit-identical across backend topologies.
+class CostBackend {
+ public:
+  virtual ~CostBackend() = default;
+
+  // Mirrors server::Server::WhatIfCost. `call_key` identifies the logical
+  // call (hash of statement text + relevant fingerprint, never 0): fault
+  // injectors key their deterministic decisions on it and routers hash it
+  // for shard placement. Must be safe for concurrent calls.
+  virtual Result<server::Server::WhatIfResult> WhatIfCost(
+      const sql::Statement& stmt, const catalog::Configuration& config,
+      const optimizer::HardwareParams* simulate_hardware,
+      uint64_t call_key) = 0;
+
+  // The server whose catalog and hardware stand in for the backend's shared
+  // state: heuristic degradation, plan reports, and catalog resolution all
+  // read from it. Every replica behind a backend is a clone of it.
+  virtual server::Server* primary() const = 0;
+};
+
+// Default backend: every call prices on one server.
+class SingleServerBackend : public CostBackend {
+ public:
+  explicit SingleServerBackend(server::Server* server) : server_(server) {}
+
+  Result<server::Server::WhatIfResult> WhatIfCost(
+      const sql::Statement& stmt, const catalog::Configuration& config,
+      const optimizer::HardwareParams* simulate_hardware,
+      uint64_t call_key) override {
+    return server_->WhatIfCost(stmt, config, simulate_hardware, call_key);
+  }
+
+  server::Server* primary() const override { return server_; }
+
+ private:
+  server::Server* server_;
+};
+
 class CostService {
  public:
   // Fault-tolerance knobs; the default is retry-with-degradation and no
@@ -88,6 +132,11 @@ class CostService {
               const optimizer::HardwareParams* simulate_hardware,
               const workload::Workload* workload)
       : CostService(server, simulate_hardware, workload, Config()) {}
+  // Pluggable-backend form: what-if calls go wherever `backend` routes them
+  // (e.g. a ShardRouter fleet). The backend must outlive the service.
+  CostService(CostBackend* backend,
+              const optimizer::HardwareParams* simulate_hardware,
+              const workload::Workload* workload, Config config);
 
   // Optimizer-estimated cost of statement i under the configuration
   // (cached; weight NOT applied). Safe to call from many threads.
@@ -162,7 +211,8 @@ class CostService {
   void ClearCache();
 
   const workload::Workload& workload() const { return *workload_; }
-  server::Server* server() { return server_; }
+  server::Server* server() { return backend_->primary(); }
+  CostBackend* backend() { return backend_; }
 
  private:
   struct Entry {
@@ -198,8 +248,12 @@ class CostService {
                                  const std::string& fingerprint)
       EXCLUDES(missing_mu_, degraded_mu_);
   void RecordAttempts(int attempts);
+  void Init();
 
-  server::Server* server_;
+  // Declared before backend_ so the Server* constructors can point backend_
+  // at the owned wrapper in the member-init list.
+  std::unique_ptr<SingleServerBackend> owned_backend_;
+  CostBackend* backend_;
   const optimizer::HardwareParams* simulate_hardware_;
   const workload::Workload* workload_;
   Config config_;

@@ -12,6 +12,10 @@ std::string Report::ToText() const {
     out += StrFormat("Parallel costing: %d threads, %.2fx speedup\n",
                      threads, parallel_speedup);
   }
+  if (shards > 1) {
+    out += StrFormat("Sharded costing: %d shards, %zu failovers\n", shards,
+                     shard_failovers);
+  }
   if (whatif_retries > 0 || degraded_calls > 0) {
     out += StrFormat(
         "Fault tolerance: %zu what-if retries, %zu degraded pricings\n",
@@ -65,6 +69,10 @@ xml::ElementPtr Report::ToXml() const {
   if (threads > 1) {
     root->SetAttr("Threads", StrFormat("%d", threads));
     root->SetAttr("ParallelSpeedup", StrFormat("%.2f", parallel_speedup));
+  }
+  if (shards > 1) {
+    root->SetAttr("Shards", StrFormat("%d", shards));
+    root->SetAttr("ShardFailovers", StrFormat("%zu", shard_failovers));
   }
   if (whatif_retries > 0 || degraded_calls > 0) {
     root->SetAttr("WhatIfRetries", StrFormat("%zu", whatif_retries));

@@ -43,6 +43,12 @@ struct Report {
   int threads = 1;
   double parallel_speedup = 1;
 
+  // Distributed costing: shard fan-out of the what-if backend (1 = single
+  // server) and the failed attempts that were rescued by failing over to
+  // another shard.
+  int shards = 1;
+  size_t shard_failovers = 0;
+
   // Fault tolerance: retried what-if attempts, pricings that degraded to
   // the heuristic estimate, and the attempts-per-pricing distribution
   // (retry_histogram[n] = pricings that needed n + 1 attempts; empty when

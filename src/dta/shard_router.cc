@@ -1,0 +1,250 @@
+#include "dta/shard_router.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dta::tuner {
+
+namespace {
+
+// splitmix64 avalanche: rendezvous scores must differ across shards even
+// for call keys that differ in few bits.
+uint64_t AvalancheMix(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+uint64_t RendezvousScore(uint64_t key, size_t shard) {
+  return AvalancheMix(
+      HashCombine(key, 0x7368617264ull + static_cast<uint64_t>(shard)));
+}
+
+}  // namespace
+
+bool ShardFaultSpec::Enabled() const {
+  for (const auto& [index, spec] : per_shard) {
+    if (spec.Enabled()) return true;
+  }
+  return false;
+}
+
+Result<ShardFaultSpec> ShardFaultSpec::Parse(const std::string& text) {
+  ShardFaultSpec out;
+  for (const std::string& part : StrSplit(text, ';')) {
+    if (part.empty()) continue;
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "shard fault spec entry missing ':' (want <shard>:<spec>): " +
+          part);
+    }
+    char* end = nullptr;
+    const std::string index_text = part.substr(0, colon);
+    const long index = std::strtol(index_text.c_str(), &end, 10);
+    if (end == index_text.c_str() || *end != '\0' || index < 0) {
+      return Status::InvalidArgument(
+          "shard fault spec has a bad shard index: " + part);
+    }
+    auto spec = FaultSpec::Parse(part.substr(colon + 1));
+    if (!spec.ok()) return spec.status();
+    if (!out.per_shard.emplace(static_cast<int>(index), *spec).second) {
+      return Status::InvalidArgument(StrFormat(
+          "shard fault spec targets shard %ld twice", index));
+    }
+  }
+  return out;
+}
+
+std::string ShardFaultSpec::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [index, spec] : per_shard) {
+    parts.push_back(StrFormat("%d:", index) + spec.ToString());
+  }
+  return StrJoin(parts, ";");
+}
+
+ShardRouter::ShardRouter(std::vector<server::Server*> servers,
+                         ShardRouterOptions options)
+    : options_(options) {
+  DTA_CHECK(!servers.empty(), "ShardRouter needs at least one server");
+  DTA_CHECK(options_.max_inflight_per_shard >= 1,
+            "max_inflight_per_shard must be >= 1");
+  shards_.reserve(servers.size());
+  for (size_t i = 0; i < servers.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->server = servers[i];
+    if (options_.metrics != nullptr) {
+      shard->m_calls =
+          options_.metrics->GetCounter(StrFormat("shard.%zu.calls", i));
+      shard->m_failures =
+          options_.metrics->GetCounter(StrFormat("shard.%zu.failures", i));
+      shard->m_queue_peak =
+          options_.metrics->GetGauge(StrFormat("shard.%zu.queue_peak", i));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (options_.metrics != nullptr) {
+    m_failovers_ = options_.metrics->GetCounter("shard.router.failovers");
+    m_exhausted_ = options_.metrics->GetCounter("shard.router.exhausted");
+  }
+}
+
+std::vector<size_t> ShardRouter::RankShards(uint64_t key) const {
+  std::vector<std::pair<uint64_t, size_t>> scored;
+  scored.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    scored.emplace_back(RendezvousScore(key, i), i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const std::pair<uint64_t, size_t>& a,
+               const std::pair<uint64_t, size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<size_t> order;
+  order.reserve(scored.size());
+  for (const auto& [score, index] : scored) order.push_back(index);
+  return order;
+}
+
+bool ShardRouter::AdmitForPass(Shard& shard) {
+  MutexLock shard_lock(shard.mu);
+  if (shard.healthy) return true;
+  if (++shard.skipped_since_down >= options_.probe_interval) {
+    shard.skipped_since_down = 0;
+    return true;  // recovery probe
+  }
+  return false;
+}
+
+void ShardRouter::AcquireSlot(Shard& shard) {
+  MutexLock shard_lock(shard.mu);
+  ++shard.waiting;
+  shard.queue_peak = std::max(
+      shard.queue_peak, static_cast<size_t>(shard.inflight + shard.waiting));
+  if (shard.m_queue_peak != nullptr) {
+    shard.m_queue_peak->Set(static_cast<double>(shard.queue_peak));
+  }
+  while (shard.inflight >= options_.max_inflight_per_shard) {
+    shard.cv.Wait(shard.mu);
+  }
+  --shard.waiting;
+  ++shard.inflight;
+  shard.inflight_peak =
+      std::max(shard.inflight_peak, static_cast<size_t>(shard.inflight));
+}
+
+void ShardRouter::ReleaseSlot(Shard& shard) {
+  MutexLock shard_lock(shard.mu);
+  --shard.inflight;
+  shard.cv.NotifyOne();  // exactly one slot freed
+}
+
+void ShardRouter::RecordOutcome(Shard& shard, bool ok) {
+  MutexLock shard_lock(shard.mu);
+  ++shard.calls;
+  if (shard.m_calls != nullptr) shard.m_calls->Increment();
+  if (ok) {
+    shard.consecutive_failures = 0;
+    shard.healthy = true;
+    return;
+  }
+  ++shard.failures;
+  if (shard.m_failures != nullptr) shard.m_failures->Increment();
+  if (++shard.consecutive_failures >= options_.unhealthy_after &&
+      shard.healthy) {
+    shard.healthy = false;
+    shard.skipped_since_down = 0;
+  }
+}
+
+Result<server::Server::WhatIfResult> ShardRouter::TryShard(
+    Shard& shard, const sql::Statement& stmt,
+    const catalog::Configuration& config,
+    const optimizer::HardwareParams* simulate_hardware, uint64_t call_key) {
+  AcquireSlot(shard);
+  auto r = shard.server->WhatIfCost(stmt, config, simulate_hardware,
+                                    call_key);
+  ReleaseSlot(shard);
+  RecordOutcome(shard, r.ok());
+  return r;
+}
+
+Result<server::Server::WhatIfResult> ShardRouter::WhatIfCost(
+    const sql::Statement& stmt, const catalog::Configuration& config,
+    const optimizer::HardwareParams* simulate_hardware, uint64_t call_key) {
+  const std::vector<size_t> order = RankShards(call_key);
+  std::vector<bool> tried(shards_.size(), false);
+  Status last = Status::Unavailable("no shard available");
+  size_t failed_attempts = 0;
+  // Pass 0 walks the rendezvous order over healthy shards (plus due
+  // probes); pass 1 retries the shards pass 0 routed around — one extra
+  // attempt at a sick shard is cheaper than failing the call up into the
+  // retry/degradation machinery.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t index : order) {
+      Shard& shard = *shards_[index];
+      if (pass == 0 && !AdmitForPass(shard)) continue;
+      if (tried[index]) continue;
+      tried[index] = true;
+      auto r = TryShard(shard, stmt, config, simulate_hardware, call_key);
+      if (r.ok()) {
+        successes_.fetch_add(1, std::memory_order_relaxed);
+        if (failed_attempts > 0) {
+          failovers_.fetch_add(failed_attempts, std::memory_order_relaxed);
+          if (m_failovers_ != nullptr) {
+            m_failovers_->Increment(failed_attempts);
+          }
+        }
+        return r;
+      }
+      last = r.status();
+      ++failed_attempts;
+    }
+  }
+  // Every shard failed this call. Surface the last failure; the counters
+  // record failovers that never found a live shard separately.
+  if (failed_attempts > 0) {
+    failovers_.fetch_add(failed_attempts - 1, std::memory_order_relaxed);
+    if (m_failovers_ != nullptr && failed_attempts > 1) {
+      m_failovers_->Increment(failed_attempts - 1);
+    }
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  if (m_exhausted_ != nullptr) m_exhausted_->Increment();
+  return last;
+}
+
+size_t ShardRouter::calls(size_t shard) const {
+  MutexLock shard_lock(shards_[shard]->mu);
+  return shards_[shard]->calls;
+}
+
+size_t ShardRouter::failures(size_t shard) const {
+  MutexLock shard_lock(shards_[shard]->mu);
+  return shards_[shard]->failures;
+}
+
+size_t ShardRouter::queue_peak(size_t shard) const {
+  MutexLock shard_lock(shards_[shard]->mu);
+  return shards_[shard]->queue_peak;
+}
+
+size_t ShardRouter::inflight_peak(size_t shard) const {
+  MutexLock shard_lock(shards_[shard]->mu);
+  return shards_[shard]->inflight_peak;
+}
+
+bool ShardRouter::healthy(size_t shard) const {
+  MutexLock shard_lock(shards_[shard]->mu);
+  return shards_[shard]->healthy;
+}
+
+}  // namespace dta::tuner

@@ -1,0 +1,176 @@
+// Sharded what-if costing backend (distributed costing).
+//
+// The paper (§6) runs tuning against a *test server* so the what-if load
+// never hits production; this router scales that mode out: what-if calls
+// fan across N server instances — the tuning server plus N - 1 deep
+// replicas (Server::Clone) — while the layers above (CostService caching,
+// in-flight dedup, retry/degradation) stay unchanged behind the CostBackend
+// seam.
+//
+// Routing: rendezvous (highest-random-weight) hashing on the logical call
+// key. Every shard scores each key with a pure hash; a call routes to its
+// highest-scoring live shard. Scores are independent of the shard count, so
+// routing is deterministic across runs and thread counts, and losing one
+// shard re-homes only the keys that shard owned — no global reshuffle.
+//
+// Health and failover: a failed call immediately fails over to the next
+// shard in the key's rendezvous order (each such hop is counted, so tests
+// can assert no call is lost or double-priced). A shard that fails
+// `unhealthy_after` consecutive calls is marked unhealthy and routed
+// around; it still receives a probe call every `probe_interval` skips, so a
+// node that recovers (burst outage over) rejoins the rotation. When every
+// candidate shard has been routed around, the router tries the full
+// ranking anyway — a dead fleet behaves like a dead single server, and the
+// CostService retry/degradation policy above this layer decides what
+// happens next.
+//
+// Back-pressure: a bounded in-flight window per shard; callers block on the
+// shard's condition variable until a slot frees. This caps the concurrent
+// load any one shard absorbs (and any one slow shard can hold hostage).
+//
+// Determinism argument: every shard is a bit-exact replica, so a call
+// returns the same cost on any shard — routing and failover only choose
+// *where* a call runs, never *what* it returns. CostService's in-flight
+// dedup prices each logical call exactly once regardless of backend, so
+// recommendations, costs, and whatif_calls are byte-identical at any
+// (threads × shards) combination; only wall-clock and per-shard load vary.
+
+#ifndef DTA_DTA_SHARD_ROUTER_H_
+#define DTA_DTA_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "dta/cost_service.h"
+#include "server/server.h"
+
+namespace dta::tuner {
+
+// Parsed form of "--shard-fault-spec" / TuningOptions::shard_fault_spec:
+// ";"-separated "<shard index>:<FaultSpec>" entries, e.g.
+//   "1:down_after=30;2:transient=0.2,seed=9"
+// Shard 0 is the tuning server itself. Duplicate or negative indexes are
+// rejected; whether an index fits the session's shard count is validated by
+// the session (the spec alone does not know the topology).
+struct ShardFaultSpec {
+  std::map<int, FaultSpec> per_shard;
+
+  bool Enabled() const;
+
+  static Result<ShardFaultSpec> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+struct ShardRouterOptions {
+  // Concurrent what-if calls admitted per shard; further callers block.
+  int max_inflight_per_shard = 8;
+  // Consecutive failures before a shard is marked unhealthy.
+  int unhealthy_after = 3;
+  // An unhealthy shard receives a probe call after this many skips.
+  int probe_interval = 16;
+  // Observability (optional): per-shard call/failure counters and
+  // queue-depth gauges, plus router-level failover counters. Per-shard load
+  // is scheduling dependent, so these land under "shard." names that the
+  // determinism-gated exports never include.
+  MetricsRegistry* metrics = nullptr;
+};
+
+class ShardRouter : public CostBackend {
+ public:
+  // `servers[0]` is the primary (the tuning server); the rest are its
+  // replicas. All must outlive the router.
+  ShardRouter(std::vector<server::Server*> servers,
+              ShardRouterOptions options);
+
+  Result<server::Server::WhatIfResult> WhatIfCost(
+      const sql::Statement& stmt, const catalog::Configuration& config,
+      const optimizer::HardwareParams* simulate_hardware,
+      uint64_t call_key) override;
+
+  server::Server* primary() const override { return shards_[0]->server; }
+
+  // Rendezvous ranking of all shards for `key`, best first. Pure function
+  // of (key, shard index) — exposed for tests and deterministic by design.
+  std::vector<size_t> RankShards(uint64_t key) const;
+
+  // ---- Accounting (tests assert the no-lost/no-double-count invariants).
+  size_t shard_count() const { return shards_.size(); }
+  // Calls that returned OK from some shard. Exactly one success per logical
+  // pricing: CostService dedups upstream and the router stops at the first
+  // shard that answers.
+  size_t successes() const {
+    return successes_.load(std::memory_order_relaxed);
+  }
+  // Failed attempts that were retried on another shard.
+  size_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  // Calls that failed on every shard in their ranking.
+  size_t exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  size_t calls(size_t shard) const;
+  size_t failures(size_t shard) const;
+  // Deepest (in-flight + waiting) queue observed on the shard.
+  size_t queue_peak(size_t shard) const;
+  // Peak concurrently executing calls (never exceeds max_inflight_per_shard).
+  size_t inflight_peak(size_t shard) const;
+  bool healthy(size_t shard) const;
+
+ private:
+  struct Shard {
+    server::Server* server = nullptr;
+    Mutex mu;
+    CondVar cv;
+    int inflight GUARDED_BY(mu) = 0;
+    int waiting GUARDED_BY(mu) = 0;
+    size_t queue_peak GUARDED_BY(mu) = 0;
+    size_t inflight_peak GUARDED_BY(mu) = 0;
+    size_t calls GUARDED_BY(mu) = 0;
+    size_t failures GUARDED_BY(mu) = 0;
+    int consecutive_failures GUARDED_BY(mu) = 0;
+    bool healthy GUARDED_BY(mu) = true;
+    int skipped_since_down GUARDED_BY(mu) = 0;
+    // Metrics handles (null without a registry); resolved once at
+    // construction so the hot path never locks the registry.
+    Counter* m_calls = nullptr;
+    Counter* m_failures = nullptr;
+    Gauge* m_queue_peak = nullptr;
+  };
+
+  // Whether to try this shard in the healthy-first pass: true when healthy,
+  // or when an unhealthy shard is due a recovery probe.
+  bool AdmitForPass(Shard& shard) EXCLUDES(shard.mu);
+  // Blocks until the shard has a free in-flight slot, then claims it.
+  void AcquireSlot(Shard& shard) EXCLUDES(shard.mu);
+  void ReleaseSlot(Shard& shard) EXCLUDES(shard.mu);
+  // Records the attempt's outcome and updates health state.
+  void RecordOutcome(Shard& shard, bool ok) EXCLUDES(shard.mu);
+  // One attempt on one shard: slot acquisition, the what-if call, outcome
+  // accounting.
+  Result<server::Server::WhatIfResult> TryShard(
+      Shard& shard, const sql::Statement& stmt,
+      const catalog::Configuration& config,
+      const optimizer::HardwareParams* simulate_hardware, uint64_t call_key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardRouterOptions options_;
+  std::atomic<size_t> successes_{0};
+  std::atomic<size_t> failovers_{0};
+  std::atomic<size_t> exhausted_{0};
+  Counter* m_failovers_ = nullptr;
+  Counter* m_exhausted_ = nullptr;
+};
+
+}  // namespace dta::tuner
+
+#endif  // DTA_DTA_SHARD_ROUTER_H_

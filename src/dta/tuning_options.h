@@ -72,6 +72,26 @@ struct TuningOptions {
     return hc == 0 ? 1 : static_cast<int>(hc);
   }
 
+  // ---- Distributed costing (sharded what-if backend).
+  // Number of costing shards. 1 prices every what-if call on the tuning
+  // server alone; N > 1 clones the tuning server into N - 1 deep replicas
+  // and fans calls across all N via rendezvous hashing on the call key
+  // (dta/shard_router.h), with failover between shards on node failure.
+  // Recommendations, costs, and whatif_calls are byte-identical at any
+  // shard count — only wall-clock and per-shard load vary — so `shards` is
+  // excluded from the checkpoint options fingerprint and a checkpoint
+  // written under one topology resumes under another.
+  int shards = 1;
+  // Per-shard fault injection: ";"-separated "<shard>:<FaultSpec>" entries,
+  // e.g. "1:down_after=30;2:transient=0.2,seed=9". Shard 0 is the tuning
+  // server itself (targeting it here conflicts with `fault_spec` below).
+  // Empty disables per-shard injection.
+  std::string shard_fault_spec;
+  // Bound on concurrent what-if calls admitted per shard (back-pressure;
+  // callers past the bound block). 0 means "auto": twice the resolved
+  // thread count, at least 4.
+  int shard_max_inflight = 0;
+
   // ---- Robustness (fault tolerance of the what-if costing path).
   // Fault injection scenario for the tuning server's what-if interface, as a
   // FaultSpec string ("seed=42,transient=0.1,permanent=0.01,latency_ms=0.5");

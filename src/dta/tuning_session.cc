@@ -17,6 +17,7 @@
 #include "dta/greedy.h"
 #include "dta/merging.h"
 #include "dta/reduced_stats.h"
+#include "dta/shard_router.h"
 
 namespace dta::tuner {
 
@@ -69,7 +70,8 @@ Status TuningSession::UseTestServer(server::Server* test) {
 }
 
 Status TuningSession::CreateAndImportStats(
-    const std::vector<stats::StatsKey>& keys, TuningResult* result,
+    const std::vector<stats::StatsKey>& keys,
+    const std::vector<server::Server*>& replicas, TuningResult* result,
     std::vector<stats::StatsKey>* created_log) {
   for (const auto& key : keys) {
     if (production_->HasStatistics(key)) {
@@ -85,15 +87,24 @@ Status TuningSession::CreateAndImportStats(
       result->stats_creation_ms += *duration;
       if (created_log != nullptr) created_log->push_back(key);
     }
+    const stats::Statistics* s = production_->stats_manager().Find(key);
+    if (s == nullptr) continue;
     if (test_ != nullptr && !test_->HasStatistics(key)) {
-      const stats::Statistics* s = production_->stats_manager().Find(key);
-      if (s != nullptr) test_->ImportStatistics(*s);
+      test_->ImportStatistics(*s);
+    }
+    // Shard replicas mirror the tuning server's statistics: every shard
+    // must price with identical information or the backend's bit-identity
+    // contract breaks.
+    for (server::Server* replica : replicas) {
+      if (!replica->HasStatistics(key)) replica->ImportStatistics(*s);
     }
   }
   return Status::Ok();
 }
 
-Status TuningSession::RestoreStats(const std::vector<stats::StatsKey>& keys) {
+Status TuningSession::RestoreStats(
+    const std::vector<stats::StatsKey>& keys,
+    const std::vector<server::Server*>& replicas) {
   for (const auto& key : keys) {
     if (!production_->HasStatistics(key)) {
       auto duration = production_->CreateStatistics(key);
@@ -101,9 +112,13 @@ Status TuningSession::RestoreStats(const std::vector<stats::StatsKey>& keys) {
       // statistics is skipped there too.
       if (!duration.ok()) continue;
     }
+    const stats::Statistics* s = production_->stats_manager().Find(key);
+    if (s == nullptr) continue;
     if (test_ != nullptr && !test_->HasStatistics(key)) {
-      const stats::Statistics* s = production_->stats_manager().Find(key);
-      if (s != nullptr) test_->ImportStatistics(*s);
+      test_->ImportStatistics(*s);
+    }
+    for (server::Server* replica : replicas) {
+      if (!replica->HasStatistics(key)) replica->ImportStatistics(*s);
     }
   }
   return Status::Ok();
@@ -227,6 +242,76 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
       injector_guard.server = tuning_server;
     }
   }
+  // ---- Distributed costing backend (sharded what-if, ISSUE 5). Shard 0
+  // is the tuning server itself; shards 1..N-1 are bit-exact clones of it.
+  // Every statistic created below is fanned out to the clones, so any shard
+  // answers any what-if call with the same cost — the router only decides
+  // *where* a call runs, never *what* it returns, which keeps
+  // recommendations byte-identical at every (threads x shards) combination.
+  const int shard_count = std::max(1, options_.shards);
+  ShardFaultSpec shard_faults;
+  if (!options_.shard_fault_spec.empty()) {
+    auto parsed = ShardFaultSpec::Parse(options_.shard_fault_spec);
+    if (!parsed.ok()) return parsed.status();
+    shard_faults = std::move(parsed).value();
+  }
+  for (const auto& [shard_index, spec] : shard_faults.per_shard) {
+    if (shard_index >= shard_count) {
+      return Status::InvalidArgument(StrFormat(
+          "shard fault spec targets shard %d but only %d shard(s) exist",
+          shard_index, shard_count));
+    }
+  }
+  // Injectors are declared before the replicas they attach to: the replicas
+  // go out of scope (and stop consulting their injectors) first.
+  std::vector<std::unique_ptr<FaultInjector>> shard_injectors;
+  std::vector<std::unique_ptr<server::Server>> shard_replicas;
+  std::vector<server::Server*> replica_servers;  // clones only (stats fan-out)
+  std::vector<server::Server*> shard_servers;    // shard 0 + clones (router)
+  shard_servers.push_back(tuning_server);
+  if (shard_count > 1) {
+    for (int i = 1; i < shard_count; ++i) {
+      auto replica = tuning_server->Clone(
+          StrFormat("%s-shard%d", tuning_server->name().c_str(), i));
+      if (!replica.ok()) return replica.status();
+      // Clones profile into the same registry as shard 0: each logical call
+      // is priced on exactly one shard, so counter totals stay equal to the
+      // single-server run. (The clones die inside this frame, so no detach
+      // guard is needed.)
+      if (obs_.metrics != nullptr) (*replica)->SetMetrics(obs_.metrics);
+      replica_servers.push_back(replica->get());
+      shard_servers.push_back(replica->get());
+      shard_replicas.push_back(std::move(replica).value());
+    }
+  }
+  for (const auto& [shard_index, spec] : shard_faults.per_shard) {
+    if (!spec.Enabled()) continue;
+    if (shard_index == 0 && injector != nullptr) {
+      return Status::InvalidArgument(
+          "shard fault spec targets shard 0 but a fault spec already "
+          "attaches an injector to the tuning server; use one or the other");
+    }
+    auto shard_injector = std::make_unique<FaultInjector>(spec);
+    shard_servers[static_cast<size_t>(shard_index)]->set_fault_injector(
+        shard_injector.get());
+    // Shard 0 is the long-lived tuning server: detach on every exit path.
+    if (shard_index == 0) injector_guard.server = tuning_server;
+    shard_injectors.push_back(std::move(shard_injector));
+  }
+  SingleServerBackend single_backend(tuning_server);
+  std::unique_ptr<ShardRouter> router;
+  if (shard_count > 1) {
+    ShardRouterOptions router_options;
+    router_options.max_inflight_per_shard =
+        options_.shard_max_inflight > 0 ? options_.shard_max_inflight
+                                        : std::max(4, 2 * num_threads);
+    router_options.metrics = obs_.metrics;
+    router = std::make_unique<ShardRouter>(shard_servers, router_options);
+  }
+  CostBackend* cost_backend =
+      router != nullptr ? static_cast<CostBackend*>(router.get())
+                        : &single_backend;
+
   CostService::Config cost_config;
   cost_config.retry = options_.retry;
   cost_config.degrade_on_failure = options_.degrade_on_failure;
@@ -238,7 +323,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
       return limit - (clock->NowMs() - t_start);
     };
   }
-  CostService costs(tuning_server, simulate, &tuned, std::move(cost_config));
+  CostService costs(cost_backend, simulate, &tuned, std::move(cost_config));
 
   // ---- Crash safety: resume a checkpointed session and/or write
   // checkpoints as phases complete.
@@ -270,7 +355,8 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     // cache: the cached costs were priced under them, and with the
     // statistics already present the stats-creation phases below become
     // no-ops that never clear the imported cache.
-    DTA_RETURN_IF_ERROR(RestoreStats(resume_ckpt.created_stats));
+    DTA_RETURN_IF_ERROR(
+        RestoreStats(resume_ckpt.created_stats, replica_servers));
     costs.ImportCache(resume_ckpt.cache);
     costs.SeedMissingStats(resume_ckpt.missing_stats);
     result.stats_requested = resume_ckpt.stats_requested;
@@ -314,6 +400,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     ckpt.workload_fingerprint = workload_fp;
     ckpt.options_fingerprint = options_fp;
     ckpt.phase = phase;
+    ckpt.shards = shard_count;
     ckpt.current_costs = current_costs;
     ckpt.missing_stats = costs.missing_stats();
     ckpt.created_stats = created_stats_log;
@@ -397,8 +484,8 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
 
     // ---- Candidate generation.
     StatsFetcher fetcher =
-        [this, &result, &created_stats_log](const stats::StatsKey& key)
-        -> Result<const stats::Statistics*> {
+        [this, &result, &created_stats_log, &replica_servers](
+            const stats::StatsKey& key) -> Result<const stats::Statistics*> {
       server::Server* ts = TuningServer();
       if (const stats::Statistics* s = ts->stats_manager().Find(key);
           s != nullptr) {
@@ -415,6 +502,11 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
       const stats::Statistics* created =
           production_->stats_manager().Find(key);
       if (created == nullptr) return Status::Internal("statistics vanished");
+      // Mirror into the shard replicas: every shard prices with the same
+      // statistics or the backend's bit-identity contract breaks.
+      for (server::Server* replica : replica_servers) {
+        if (!replica->HasStatistics(key)) replica->ImportStatistics(*created);
+      }
       if (test_ != nullptr) {
         test_->ImportStatistics(*created);
         return test_->stats_manager().Find(key);
@@ -481,8 +573,8 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
         plan.naive_count = resolved.size();
       }
       result.stats_requested += plan.naive_count;
-      DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result,
-                                               &created_stats_log));
+      DTA_RETURN_IF_ERROR(CreateAndImportStats(
+          plan.to_create, replica_servers, &result, &created_stats_log));
       if (!plan.to_create.empty()) costs.ClearCache();
     }
 
@@ -627,8 +719,8 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
           plan.naive_count = merged_stats.size();
         }
         result.stats_requested += plan.naive_count;
-        DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create, &result,
-                                                 &created_stats_log));
+        DTA_RETURN_IF_ERROR(CreateAndImportStats(
+            plan.to_create, replica_servers, &result, &created_stats_log));
         if (!plan.to_create.empty()) costs.ClearCache();
       }
     }
@@ -698,12 +790,33 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   if (injector != nullptr) {
     result.injected_transient_faults = injector->transient_failures();
     result.injected_permanent_faults = injector->permanent_failures();
+    result.injected_outage_faults = injector->outage_failures();
+  }
+  for (const auto& shard_injector : shard_injectors) {
+    result.injected_transient_faults += shard_injector->transient_failures();
+    result.injected_permanent_faults += shard_injector->permanent_failures();
+    result.injected_outage_faults += shard_injector->outage_failures();
+  }
+
+  // Distributed costing accounting.
+  result.shards_used = shard_count;
+  if (router != nullptr) {
+    result.shard_successes = router->successes();
+    result.shard_failovers = router->failovers();
+    result.shard_exhausted = router->exhausted();
+    for (size_t i = 0; i < router->shard_count(); ++i) {
+      result.shard_calls.push_back(router->calls(i));
+      result.shard_queue_peak =
+          std::max(result.shard_queue_peak, router->queue_peak(i));
+    }
   }
 
   result.report.current_total = *cur_total;
   result.report.recommended_total = *rec_total;
   result.report.threads = num_threads;
   result.report.parallel_speedup = result.ParallelSpeedup();
+  result.report.shards = shard_count;
+  result.report.shard_failovers = result.shard_failovers;
   result.report.whatif_retries = result.whatif_retries;
   result.report.degraded_calls = result.degraded_calls;
   {

@@ -60,6 +60,9 @@ struct TuningResult {
   size_t degraded_calls = 0;
   size_t injected_transient_faults = 0;
   size_t injected_permanent_faults = 0;
+  // Outage faults (node death / burst windows) across every attached
+  // injector, shard injectors included.
+  size_t injected_outage_faults = 0;
   // True when this run restored a checkpoint and skipped completed phases.
   bool resumed = false;
 
@@ -70,6 +73,18 @@ struct TuningResult {
   size_t whatif_dedup_waits = 0;
   size_t checkpoint_writes = 0;
   double checkpoint_ms = 0;
+
+  // Distributed costing accounting (shards > 1): the router's view of the
+  // session. shard_successes equals whatif_calls minus degraded pricings —
+  // every logical pricing is answered by exactly one shard or degrades; no
+  // call is lost or double-priced. shard_calls[i] counts the attempts
+  // routed to shard i (failed attempts included).
+  int shards_used = 1;
+  size_t shard_successes = 0;
+  size_t shard_failovers = 0;   // failed attempts rescued by another shard
+  size_t shard_exhausted = 0;   // calls that failed on every shard
+  size_t shard_queue_peak = 0;  // deepest per-shard (in-flight + waiting)
+  std::vector<size_t> shard_calls;
 
   // Parallel costing accounting: threads applied to the fan-out phases,
   // their combined wall-clock, and the work they retired (summed per-task
@@ -150,16 +165,20 @@ class TuningSession {
     return test_ != nullptr ? test_ : production_;
   }
   // Creates statistics on the production server and, in test-server mode,
-  // imports them into the test server. Accumulates counters and logs each
-  // key it created to `created_log` (checkpointing) when non-null.
+  // imports them into the test server. `replicas` (the sharded backend's
+  // clone fleet, possibly empty) receive the same imports so every shard
+  // keeps pricing with identical information. Accumulates counters and logs
+  // each key it created to `created_log` (checkpointing) when non-null.
   Status CreateAndImportStats(const std::vector<stats::StatsKey>& keys,
+                              const std::vector<server::Server*>& replicas,
                               TuningResult* result,
                               std::vector<stats::StatsKey>* created_log);
   // Re-creates the statistics a checkpointed run had created (statistics
   // builds are deterministic in the data, so the rebuilt statistics match
   // the originals and the restored cost cache stays valid). Counts nothing:
   // the checkpoint carries the original run's counters.
-  Status RestoreStats(const std::vector<stats::StatsKey>& keys);
+  Status RestoreStats(const std::vector<stats::StatsKey>& keys,
+                      const std::vector<server::Server*>& replicas);
   // Base configuration: constraint-enforcing indexes of the current design
   // plus the user-specified configuration.
   Result<catalog::Configuration> BaseConfiguration() const;

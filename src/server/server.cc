@@ -350,4 +350,28 @@ Result<std::unique_ptr<Server>> Server::FromMetadataScript(
   return server;
 }
 
+Result<std::unique_ptr<Server>> Server::Clone(std::string name) const {
+  auto replica = std::make_unique<Server>(std::move(name), hardware_);
+  for (const auto& [db_name, db] : catalog_.databases()) {
+    DTA_RETURN_IF_ERROR(replica->AttachDatabase(db));
+  }
+  // data_/specs_ keys are "<resolved db>.<table>"; re-attaching through the
+  // public setters revalidates against the replica's catalog and rebuilds
+  // the exact same keys.
+  for (const auto& [key, data] : data_) {
+    DTA_RETURN_IF_ERROR(
+        replica->AttachTableData(key.substr(0, key.find('.')), data));
+  }
+  for (const auto& [key, specs] : specs_) {
+    const size_t dot = key.find('.');
+    DTA_RETURN_IF_ERROR(replica->RegisterColumnSpecs(
+        key.substr(0, dot), key.substr(dot + 1), specs));
+  }
+  for (const stats::Statistics* s : ExportStatistics()) {
+    replica->ImportStatistics(*s);
+  }
+  DTA_RETURN_IF_ERROR(replica->ImplementConfiguration(current_config_));
+  return replica;
+}
+
 }  // namespace dta::server

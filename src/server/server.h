@@ -167,6 +167,14 @@ class Server : public engine::DataSource {
       const std::string& xml_text, std::string name,
       optimizer::HardwareParams hardware);
 
+  // ---- Multi-instance lifecycle (sharded costing) -----------------------
+  // Deep replica of this server: same hardware, catalog, attached data,
+  // generator specs, statistics, and implemented configuration — everything
+  // the optimizer reads — so the clone prices any what-if call bit-identically
+  // to the original. Runtime state (overhead meter, fault injector, metrics,
+  // capture) starts fresh. The ShardRouter builds its shard fleet from these.
+  Result<std::unique_ptr<Server>> Clone(std::string name) const;
+
   // ---- Workload capture (the paper's SQL Server Profiler, §2.1) ---------
   // While capture is active, every statement executed through
   // ExecuteSelect/ExecuteStatement is recorded. StopWorkloadCapture returns

@@ -226,6 +226,70 @@ TEST(CheckpointResumeTest, ResumeUnderInjectedFaultsKeepsDegradedState) {
   ExpectIdenticalOutcome(*baseline, *resumed, "faulty resume");
 }
 
+// ------------------------------------------------- shard topology remap
+
+// A checkpoint written by a 4-shard run resumes on a 2-shard topology.
+// Cache entries are keyed by (statement, fingerprint) — never by shard —
+// so resume remaps deterministically: the outcome is bit-identical to an
+// uninterrupted, unsharded baseline.
+TEST(CheckpointResumeTest, FourShardCheckpointResumesOnTwoShards) {
+  const std::string path = CheckpointPath("shard_remap");
+
+  auto baseline = RunTune(BaseOptions());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  TuningOptions writing = BaseOptions();
+  writing.shards = 4;
+  writing.checkpoint_path = path;
+  int total_checkpoints = 0;
+  auto counting = RunTune(writing, [&total_checkpoints](int ordinal) {
+    total_checkpoints = std::max(total_checkpoints, ordinal);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(counting.ok()) << counting.status().ToString();
+  ASSERT_GE(total_checkpoints, 2);
+
+  // Crash the 4-shard run mid-pipeline.
+  const int kill_at = (total_checkpoints + 1) / 2;
+  auto killed = RunTune(writing, [kill_at](int ordinal) {
+    return ordinal == kill_at ? Status::Aborted("simulated crash")
+                              : Status::Ok();
+  });
+  ASSERT_FALSE(killed.ok());
+
+  // The file records the writer's topology; a corrupted topology is
+  // refused with a clear status instead of resuming into undefined
+  // behavior. (Inspect before resuming — the resumed run checkpoints too,
+  // overwriting the file with its own topology.)
+  {
+    auto prod = MakeProduction();
+    auto loaded = LoadCheckpoint(path, prod->catalog());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->shards, 4);
+    std::string xml_text = CheckpointToXml(*loaded);
+    const std::string good = "Shards=\"4\"";
+    const std::string bad = "Shards=\"0\"";
+    const size_t at = xml_text.find(good);
+    ASSERT_NE(at, std::string::npos);
+    xml_text.replace(at, good.size(), bad);
+    auto corrupt = CheckpointFromXml(xml_text, prod->catalog());
+    ASSERT_FALSE(corrupt.ok());
+    EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument)
+        << corrupt.status().ToString();
+  }
+
+  // Restart on a smaller fleet (shards is excluded from the options
+  // fingerprint precisely so topology can change across restarts).
+  TuningOptions resuming = writing;
+  resuming.shards = 2;
+  resuming.resume_path = path;
+  auto resumed = RunTune(resuming);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->shards_used, 2);
+  ExpectIdenticalOutcome(*baseline, *resumed, "4-shard -> 2-shard resume");
+}
+
 // ------------------------------------------------------------- guard rails
 
 TEST(CheckpointResumeTest, ResumeRejectsMismatchedWorkloadOrOptions) {

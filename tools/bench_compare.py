@@ -15,6 +15,9 @@ writes and dta_cli --metrics-json exports). The comparison gates:
              bench.checkpoint_overhead_pct is gated against the absolute
              ceiling --max-checkpoint-overhead-pct (the ROADMAP target is
              < 1%; the default ceiling leaves headroom for runner noise).
+             bench.shard_failover_overhead_pct (extra wall-clock of the
+             sharded run with a fault-killed shard over the healthy sharded
+             run) is gated against --max-shard-failover-overhead-pct.
              Other gauges (e.g. bench.fault_overhead_pct) are informational.
 
 A baseline key missing from the current document fails (a scenario was
@@ -30,6 +33,7 @@ import sys
 
 WALL_SUFFIX = ".wall_ms"
 CHECKPOINT_GAUGE = "bench.checkpoint_overhead_pct"
+SHARD_FAILOVER_GAUGE = "bench.shard_failover_overhead_pct"
 
 
 def load(path):
@@ -65,6 +69,10 @@ def main():
                         default=2.0,
                         help=f"absolute ceiling for {CHECKPOINT_GAUGE} "
                              "(default 2.0; target < 1)")
+    parser.add_argument("--max-shard-failover-overhead-pct", type=float,
+                        default=25.0,
+                        help=f"absolute ceiling for {SHARD_FAILOVER_GAUGE} "
+                             "(default 25.0)")
     parser.add_argument("--ignore-wall-clock", action="store_true",
                         help="skip every time-derived gate; only the "
                              "deterministic counters gate (for debug or "
@@ -121,6 +129,16 @@ def main():
             else:
                 print(f"ok       {line} (ceiling "
                       f"{args.max_checkpoint_overhead_pct:.1f})")
+        elif name == SHARD_FAILOVER_GAUGE:
+            value = cur_gauges[name]
+            line = f"gauge {name}: {value:.3f}"
+            if value > args.max_shard_failover_overhead_pct:
+                failures.append(
+                    f"{line} exceeds the absolute ceiling "
+                    f"{args.max_shard_failover_overhead_pct:.1f}")
+            else:
+                print(f"ok       {line} (ceiling "
+                      f"{args.max_shard_failover_overhead_pct:.1f})")
         else:
             print(f"info     gauge {name}: {cur_gauges[name]:.3f}")
 

@@ -4,7 +4,8 @@
 //
 // Usage:
 //   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
-//           [--evaluate] [--quiet] [--threads N] [--fault-spec SPEC]
+//           [--evaluate] [--quiet] [--threads N] [--shards N]
+//           [--fault-spec SPEC] [--shard-fault-spec SPEC]
 //           [--checkpoint FILE] [--checkpoint-budget PCT] [--resume FILE]
 //           [--metrics-json FILE] [--fake-clock]
 //
@@ -20,10 +21,22 @@
 //   --threads     Worker threads for what-if costing (0 = all hardware
 //                 threads, 1 = serial). The recommendation is identical at
 //                 any thread count; only tuning wall-clock changes.
+//   --shards      Shard what-if costing across N server instances (shard 0
+//                 is the tuning server, shards 1..N-1 bit-exact clones;
+//                 calls are routed by rendezvous hashing with failover).
+//                 The recommendation is identical at any shard count.
 //   --fault-spec  Inject scripted what-if optimizer faults, e.g.
 //                 "seed=42,transient=0.1,permanent=0.01,latency_ms=0.5".
 //                 Transient failures are retried with backoff; persistent
 //                 ones degrade to a heuristic cost estimate (reported).
+//                 Also supports outage profiles: "down_after=N" (the node
+//                 dies at its N-th call) and "burst_start=S,burst_len=L"
+//                 (a windowed burst outage).
+//   --shard-fault-spec
+//                 Per-shard fault injection: "<shard>:<SPEC>[;...]", e.g.
+//                 "2:down_after=40;3:transient=0.2,seed=7". Calls routed to
+//                 a faulted shard fail over to the next shard in rendezvous
+//                 order; recommendations stay identical to a healthy run.
 //   --checkpoint  Write a crash-safe session checkpoint to FILE after every
 //                 phase and enumeration round (atomic tmp + rename).
 //   --checkpoint-budget
@@ -59,6 +72,7 @@
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "dta/shard_router.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
 #include "server/server.h"
@@ -88,7 +102,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --metadata server.xml --input tuning.xml "
                "[--output out.xml] [--evaluate] [--quiet] [--threads N] "
-               "[--fault-spec SPEC] [--checkpoint FILE] "
+               "[--shards N] [--fault-spec SPEC] [--shard-fault-spec SPEC] "
+               "[--checkpoint FILE] "
                "[--checkpoint-budget PCT] [--resume FILE] "
                "[--metrics-json FILE] [--fake-clock]\n",
                argv0);
@@ -99,10 +114,12 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string metadata_path, input_path, output_path;
-  std::string fault_spec, checkpoint_path, resume_path, metrics_path;
+  std::string fault_spec, shard_fault_spec;
+  std::string checkpoint_path, resume_path, metrics_path;
   bool evaluate = false, quiet = false, fake_clock = false;
   double checkpoint_budget = 0;
   int threads = -1;  // -1: keep the input document's (or default) setting
+  int shards = -1;   // -1: keep the input document's (or default) setting
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -133,10 +150,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads expects a non-negative integer\n");
         return Usage(argv[0]);
       }
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      shards = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || shards < 1) {
+        std::fprintf(stderr, "--shards expects a positive integer\n");
+        return Usage(argv[0]);
+      }
     } else if (arg == "--fault-spec") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       fault_spec = v;
+    } else if (arg == "--shard-fault-spec") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      shard_fault_spec = v;
     } else if (arg == "--checkpoint") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -196,6 +226,7 @@ int main(int argc, char** argv) {
   }
 
   if (threads >= 0) input->options.num_threads = threads;
+  if (shards >= 1) input->options.shards = shards;
   if (!fault_spec.empty()) {
     // Validate up front so a typo fails before tuning starts.
     auto parsed_spec = dta::FaultSpec::Parse(fault_spec);
@@ -205,6 +236,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     input->options.fault_spec = fault_spec;
+  }
+  if (!shard_fault_spec.empty()) {
+    auto parsed_spec = dta::tuner::ShardFaultSpec::Parse(shard_fault_spec);
+    if (!parsed_spec.ok()) {
+      std::fprintf(stderr, "bad --shard-fault-spec: %s\n",
+                   parsed_spec.status().ToString().c_str());
+      return 1;
+    }
+    input->options.shard_fault_spec = shard_fault_spec;
   }
   if (!checkpoint_path.empty()) {
     input->options.checkpoint_path = checkpoint_path;
