@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate the derived-costing CI job on the two runs' metrics exports.
+
+Usage: check_derived_metrics.py derived_metrics.json exact_metrics.json
+
+Both inputs are dta-observability-v1 documents (dta_cli --metrics-json).
+The recommendations are byte-compared by the workflow before this runs;
+this script checks the counters:
+
+  - The derived run must have saved real what-if calls (whatif.calls_saved
+    > 0): a zero means the derivation layer silently stopped deriving, the
+    end-to-end twin of the bench baseline's calls-saved floor.
+  - The exact run must have saved nothing (--exact-costing prices every
+    derivable miss for real) while still auditing derivations
+    (whatif.derived_answers > 0), with every audited error recorded in the
+    derivation.error_pct histogram.
+  - Both runs must derive the same answers: the derive-or-not decision is a
+    pure function of (statement, configuration fingerprint), so a
+    divergence is a determinism bug, not noise.
+
+Exit codes: 0 ok, 1 gate failure, 2 bad input.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"check_derived_metrics: cannot read {path}: {e}\n")
+        sys.exit(2)
+    if doc.get("schema") != "dta-observability-v1":
+        sys.stderr.write(
+            f"check_derived_metrics: {path} is not a dta-observability-v1 "
+            "document\n")
+        sys.exit(2)
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(
+            "usage: check_derived_metrics.py DERIVED.json EXACT.json\n")
+        return 2
+    derived = load(sys.argv[1])
+    exact = load(sys.argv[2])
+    dc = derived.get("counters", {})
+    ec = exact.get("counters", {})
+    failures = []
+
+    saved = dc.get("whatif.calls_saved", 0)
+    calls = dc.get("whatif.calls", 0)
+    pct = 100.0 * saved / (saved + calls) if saved + calls else 0.0
+    print(f"derived run: {calls} real what-if calls, {saved} saved "
+          f"({pct:.1f}%)")
+    if saved == 0:
+        failures.append("the derived run saved no real what-if calls")
+
+    if ec.get("whatif.calls_saved", 0) != 0:
+        failures.append("--exact-costing must price every miss for real, "
+                        f"but saved {ec['whatif.calls_saved']} calls")
+    audited = ec.get("whatif.derived_answers", 0)
+    print(f"exact run: {ec.get('whatif.calls', 0)} real what-if calls, "
+          f"{audited} derivations audited")
+    if audited == 0:
+        failures.append("the exact run audited no derivations")
+    errors = exact.get("histograms", {}).get("derivation.error_pct", {})
+    if errors.get("count", 0) != audited:
+        failures.append(
+            f"derivation.error_pct recorded {errors.get('count', 0)} "
+            f"errors for {audited} audited derivations")
+
+    if dc.get("whatif.derived_answers", 0) != audited:
+        failures.append(
+            f"derive decisions diverged between modes: "
+            f"{dc.get('whatif.derived_answers', 0)} derived answers vs "
+            f"{audited} audited")
+
+    if failures:
+        for f in failures:
+            sys.stderr.write(f"FAIL {f}\n")
+        return 1
+    print("check_derived_metrics: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

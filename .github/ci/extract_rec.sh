@@ -1,0 +1,5 @@
+#!/bin/sh
+# Extracts the recommended <Configuration> block from a dta_cli output
+# document, so scenario runs can be byte-compared with cmp(1).
+set -eu
+sed -n '/<Output>/,$p' "$1" | sed -n '/<Configuration/,/<\/Configuration>/p'

@@ -1,7 +1,7 @@
 // bench_pipeline — the CI bench-regression workload.
 //
-// Runs the TPC-H tuning pipeline under six scenarios (serial, parallel,
-// checkpointed, faulty, sharded, sharded_faulty) and emits one
+// Runs the TPC-H tuning pipeline under seven scenarios (serial, underived,
+// parallel, checkpointed, faulty, sharded, sharded_faulty) and emits one
 // observability document (dta-observability-v1, the same schema dta_cli
 // --metrics-json writes) with, per scenario:
 //   counters  bench.<scenario>.whatif_calls   — deterministic call counts
@@ -15,6 +15,12 @@
 //             bench.shard_failover_overhead_pct — extra wall-clock of the
 //             sharded run with one shard fault-killed mid-run over the
 //             healthy sharded run (gated at an absolute ceiling)
+//             bench.whatif_calls_saved_pct    — real what-if calls the
+//             derived-costing layer avoided, as a percentage of the
+//             underived (derivation-off) run's calls; counter-derived and
+//             deterministic, gated at a floor. The recommendations of the
+//             two runs are required to be byte-identical — a divergence
+//             fails the benchmark itself.
 //
 // tools/bench_compare.py diffs this document against bench/baseline.json:
 // locally (ctest) with --ignore-wall-clock so only the deterministic call
@@ -32,6 +38,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "dta/tuning_session.h"
+#include "dta/xml_schema.h"
 #include "server/server.h"
 #include "workload/workload.h"
 #include "workloads/tpch.h"
@@ -82,6 +89,31 @@ int Run(int argc, char** argv) {
     return 1;
   }
   Record(&metrics, "serial", *serial);
+
+  // Derivation switched off: every cache miss makes a real what-if call.
+  // The delta against the (derived) serial run is the calls-saved gauge,
+  // and the two recommendations must match byte-for-byte.
+  tuner::TuningOptions underived_opts;
+  underived_opts.num_threads = 1;
+  underived_opts.derived_costing = false;
+  auto underived = RunScenario(underived_opts, wl);
+  if (!underived.ok()) {
+    std::fprintf(stderr, "underived: %s\n",
+                 underived.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "underived", *underived);
+  const std::string serial_rec =
+      tuner::ConfigurationToXml(serial->recommendation)->ToString();
+  const std::string underived_rec =
+      tuner::ConfigurationToXml(underived->recommendation)->ToString();
+  if (serial_rec != underived_rec) {
+    std::fprintf(stderr,
+                 "derived costing changed the recommendation:\n"
+                 "--- derived ---\n%s\n--- underived ---\n%s\n",
+                 serial_rec.c_str(), underived_rec.c_str());
+    return 1;
+  }
 
   tuner::TuningOptions parallel_opts;
   parallel_opts.num_threads = 4;
@@ -171,6 +203,16 @@ int Run(int argc, char** argv) {
           : 0.0;
   metrics.GetGauge("bench.shard_failover_overhead_pct")
       ->Set(shard_failover_pct);
+  // Counter-derived (wall-clock free): identical on every machine, so CI
+  // gates it at a floor even where timings are ignored.
+  const double saved_pct =
+      underived->whatif_calls > 0
+          ? 100.0 *
+                (static_cast<double>(underived->whatif_calls) -
+                 static_cast<double>(serial->whatif_calls)) /
+                static_cast<double>(underived->whatif_calls)
+          : 0.0;
+  metrics.GetGauge("bench.whatif_calls_saved_pct")->Set(saved_pct);
 
   std::string doc = ObservabilityJson(metrics, nullptr);
   if (argc > 1) {
@@ -181,16 +223,19 @@ int Run(int argc, char** argv) {
     }
     out << doc;
     std::fprintf(stderr,
-                 "serial=%.0fms parallel=%.0fms checkpointed=%.0fms "
-                 "faulty=%.0fms sharded=%.0fms sharded_faulty=%.0fms "
+                 "serial=%.0fms underived=%.0fms parallel=%.0fms "
+                 "checkpointed=%.0fms faulty=%.0fms sharded=%.0fms "
+                 "sharded_faulty=%.0fms "
                  "checkpoint_overhead=%.3f%% (%zu writes, %.1fms) "
-                 "shard_failover_overhead=%.3f%% (%zu failovers)\n",
-                 serial->tuning_time_ms, parallel->tuning_time_ms,
-                 checkpointed->tuning_time_ms, faulty->tuning_time_ms,
-                 sharded->tuning_time_ms, sharded_faulty->tuning_time_ms,
-                 ckpt_pct, checkpointed->checkpoint_writes,
-                 checkpointed->checkpoint_ms, shard_failover_pct,
-                 sharded_faulty->shard_failovers);
+                 "shard_failover_overhead=%.3f%% (%zu failovers) "
+                 "whatif_calls_saved=%.1f%% (%zu -> %zu calls)\n",
+                 serial->tuning_time_ms, underived->tuning_time_ms,
+                 parallel->tuning_time_ms, checkpointed->tuning_time_ms,
+                 faulty->tuning_time_ms, sharded->tuning_time_ms,
+                 sharded_faulty->tuning_time_ms, ckpt_pct,
+                 checkpointed->checkpoint_writes, checkpointed->checkpoint_ms,
+                 shard_failover_pct, sharded_faulty->shard_failovers,
+                 saved_pct, underived->whatif_calls, serial->whatif_calls);
   } else {
     std::printf("%s", doc.c_str());
   }

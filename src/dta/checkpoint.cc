@@ -170,6 +170,9 @@ uint64_t OptionsFingerprint(const TuningOptions& o) {
   // snapshots are written — does not change what it resumes to.
   // shard_fault_spec IS included: per-shard faults can degrade pricings and
   // so can change the recommendation, exactly like fault_spec.
+  // derived_costing and derivation_error_bound_pct are included (they decide
+  // which cache entries hold derived costs); exact_costing is not — exact
+  // mode publishes real costs, which any mode can safely resume from.
   std::ostringstream out;
   out << o.tune_indexes << '|' << o.tune_materialized_views << '|'
       << o.tune_partitioning << '|' << o.require_alignment << '|'
@@ -187,7 +190,9 @@ uint64_t OptionsFingerprint(const TuningOptions& o) {
       << '|' << StrFormat("%a", o.retry.backoff_multiplier) << '|'
       << StrFormat("%a", o.retry.max_backoff_ms) << '|'
       << StrFormat("%a", o.retry.jitter_fraction) << '|'
-      << o.degrade_on_failure << '|' << o.candidate_selection_m << '|'
+      << o.degrade_on_failure << '|' << o.derived_costing << '|'
+      << StrFormat("%a", o.derivation_error_bound_pct) << '|'
+      << o.candidate_selection_m << '|'
       << o.candidate_selection_k << '|' << o.max_candidates_per_statement
       << '|' << o.enumeration_m << '|' << o.enumeration_k << '|'
       << StrFormat("%a", o.min_improvement_fraction) << '|'
@@ -234,8 +239,11 @@ std::string CheckpointToXml(const SessionCheckpoint& ckpt) {
   // The cache dominates the document (thousands of entries; everything else
   // is tens of elements) and a checkpoint lands after every phase and
   // enumeration round, so this section is bulk-encoded as one text blob —
-  // one "statement cost degraded shared suffix" line per entry — instead of
-  // an element per entry (format version 2). Fingerprints are front-coded:
+  // one "statement cost flags shared suffix" line per entry — instead of
+  // an element per entry (format version 2). `flags` is bit 0 = degraded,
+  // bit 1 = derived (documents written before derived costing carry plain
+  // 0/1 degraded values, which decode identically). Fingerprints are
+  // front-coded:
   // `shared` is the prefix length reused from the previous line's decoded
   // fingerprint, and `suffix` is the remainder. Consecutive fingerprints
   // sort together and share long configuration prefixes, so this shrinks
@@ -259,7 +267,10 @@ std::string CheckpointToXml(const SessionCheckpoint& ckpt) {
     AppendU64(&cache_blob, entry.statement);
     cache_blob.push_back(' ');
     AppendHexDouble(&cache_blob, entry.cost);
-    cache_blob.append(entry.degraded ? " 1 " : " 0 ");
+    cache_blob.push_back(' ');
+    AppendU64(&cache_blob, (entry.degraded ? 1u : 0u) |
+                               (entry.derived ? 2u : 0u));
+    cache_blob.push_back(' ');
     AppendU64(&cache_blob, shared);
     cache_blob.push_back(' ');
     cache_blob.append(fp.data() + shared, fp.size() - shared);
@@ -268,6 +279,16 @@ std::string CheckpointToXml(const SessionCheckpoint& ckpt) {
   }
   if (!cache_blob.empty()) cache_blob.pop_back();
   root.AddTextChild("CostCache", std::move(cache_blob));
+
+  if (!ckpt.degraded_statements.empty()) {
+    // std::set iteration order makes this deterministic.
+    std::string degraded;
+    for (size_t i : ckpt.degraded_statements) {
+      if (!degraded.empty()) degraded.push_back(' ');
+      AppendU64(&degraded, i);
+    }
+    root.AddTextChild("DegradedStatements", std::move(degraded));
+  }
 
   if (ckpt.phase >= kCheckpointPoolReady) {
     xml::Element* pool = root.AddChild("CandidatePool");
@@ -355,7 +376,9 @@ Result<SessionCheckpoint> CheckpointFromXml(const std::string& xml_text,
       CostService::CacheEntry entry;
       entry.statement = static_cast<size_t>(std::strtoull(p, &q, 10));
       entry.cost = std::strtod(q, &q);
-      entry.degraded = std::strtol(q, &q, 10) != 0;
+      const long flags = std::strtol(q, &q, 10);
+      entry.degraded = (flags & 1) != 0;
+      entry.derived = (flags & 2) != 0;
       const size_t shared =
           static_cast<size_t>(std::strtoull(q, &q, 10));
       if (q < end && *q == ' ') ++q;
@@ -371,6 +394,17 @@ Result<SessionCheckpoint> CheckpointFromXml(const std::string& xml_text,
       prev_fp = entry.fingerprint;
       ckpt.cache.push_back(std::move(entry));
       p = nl + 1;
+    }
+  }
+  // Absent on documents written before degraded-statement carry-over (and
+  // on fault-free sessions).
+  if (const xml::Element* degraded = root.FindChild("DegradedStatements")) {
+    const char* p = degraded->text().c_str();
+    char* q = nullptr;
+    for (size_t i = std::strtoull(p, &q, 10); p != q;
+         i = std::strtoull(p, &q, 10)) {
+      ckpt.degraded_statements.insert(i);
+      p = q;
     }
   }
   if (const xml::Element* pool = root.FindChild("CandidatePool")) {

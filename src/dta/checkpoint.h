@@ -64,6 +64,13 @@ struct SessionCheckpoint {
   std::set<stats::StatsKey> missing_stats;
   std::vector<stats::StatsKey> created_stats;  // creation order
   std::vector<CostService::CacheEntry> cache;
+  // Statements whose pricing degraded to the heuristic estimate at any point
+  // before the snapshot. Carried explicitly because the cost cache is
+  // cleared when candidate structures are materialized: a degraded entry
+  // from an earlier phase may no longer be in `cache`, and with derived
+  // costing the resumed run may answer the same miss from atoms instead of
+  // re-firing the fault — so the flag cannot be reconstructed from pricing.
+  std::set<size_t> degraded_statements;
 
   std::vector<Candidate> pool;  // phase >= kCheckpointPoolReady
 

@@ -79,6 +79,14 @@ void CostService::Init() {
     m_latency_ = m->GetHistogram("whatif.latency_ms");
     m_simulated_ = m->GetHistogram("whatif.simulated_ms");
     m_attempts_ = m->GetHistogram("whatif.attempts");
+    if (config_.derived.enabled) {
+      m_derived_ = m->GetCounter("whatif.derived_answers");
+      m_fallbacks_ = m->GetCounter("whatif.derivation_fallbacks");
+      m_saved_ = m->GetCounter("whatif.calls_saved");
+      if (config_.derived.exact) {
+        m_derivation_error_ = m->GetHistogram("derivation.error_pct");
+      }
+    }
   }
   statement_tables_.reserve(workload_->size());
   for (const auto& ws : workload_->statements()) {
@@ -90,6 +98,11 @@ void CostService::Init() {
   }
 }
 
+// Allocation-light twin of CollectRelevant + FingerprintOf
+// (dta/derived_cost.cc): lookups (cache hits included) run this on every
+// call, so it builds part strings without copying structure definitions.
+// The relevance conditions must stay identical to CollectRelevant's — the
+// derived path decomposes exactly the structures fingerprinted here.
 std::string CostService::RelevantFingerprint(
     size_t index, const catalog::Configuration& config) const {
   const std::set<std::string>& tables = statement_tables_[index];
@@ -213,6 +226,13 @@ Result<CostService::Entry> CostService::PriceWithRetries(
 
 Result<double> CostService::StatementCost(
     size_t index, const catalog::Configuration& config) {
+  auto entry = CachedEntry(index, config, /*allow_derive=*/true);
+  if (!entry.ok()) return entry.status();
+  return entry->cost;
+}
+
+Result<CostService::Entry> CostService::CachedEntry(
+    size_t index, const catalog::Configuration& config, bool allow_derive) {
   if (m_lookups_ != nullptr) m_lookups_->Increment();
   std::string fp = RelevantFingerprint(index, config);
   Shard& shard = *shards_[index];
@@ -225,7 +245,7 @@ Result<double> CostService::StatementCost(
         hits_.fetch_add(1, std::memory_order_relaxed);
         if (m_hits_ != nullptr) m_hits_->Increment();
         if (waited) dedup_waits_.fetch_add(1, std::memory_order_relaxed);
-        return it->second.cost;
+        return it->second;
       }
       // First thread to miss claims the pricing; later arrivals wait for
       // the result instead of duplicating the what-if call, which keeps
@@ -236,9 +256,10 @@ Result<double> CostService::StatementCost(
     }
   }
   // Price outside the lock (the what-if call dominates; holding the shard
-  // lock across it would serialize enumeration).
+  // lock across it would serialize enumeration — and the derived path
+  // re-enters CachedEntry for its atoms).
   const double t0 = clock_->NowMs();
-  auto priced = PriceWithRetries(index, config, fp);
+  auto priced = PriceOrDerive(index, config, fp, allow_derive);
   if (m_latency_ != nullptr) m_latency_->Observe(clock_->NowMs() - t0);
   {
     MutexLock lock(shard.mu);
@@ -246,8 +267,82 @@ Result<double> CostService::StatementCost(
     if (priced.ok()) shard.cache.emplace(std::move(fp), *priced);
     shard.cv.NotifyAll();
   }
-  if (!priced.ok()) return priced.status();
-  return priced->cost;
+  return priced;
+}
+
+Result<CostService::Entry> CostService::PriceOrDerive(
+    size_t index, const catalog::Configuration& config,
+    const std::string& fingerprint, bool allow_derive) {
+  if (allow_derive && config_.derived.enabled) {
+    const sql::Statement& stmt = workload_->statements()[index].stmt;
+    RelevantSet relevant = CollectRelevant(statement_tables_[index], config);
+    Decomposition decomp = DecomposeConfiguration(
+        stmt.kind(), relevant, config_.derived.max_atoms);
+    // The bounded singleton approximation is only worth pricing atoms for
+    // when a nonzero error bound can admit its answer.
+    const bool derivable =
+        decomp.outcome == Decomposition::Outcome::kDerivable ||
+        (decomp.outcome == Decomposition::Outcome::kTooManyAtoms &&
+         config_.derived.error_bound_pct > 0);
+    if (derivable) {
+      // Price the atoms through the normal cached path (allow_derive off:
+      // atoms decompose trivially, so this recursion is one level deep and
+      // every atom lands in the cache priced exactly once per session).
+      std::vector<double> atom_costs;
+      atom_costs.reserve(decomp.atoms.size());
+      bool degraded_atom = false;
+      for (const auto& atom : decomp.atoms) {
+        auto atom_entry = CachedEntry(index, atom, /*allow_derive=*/false);
+        if (!atom_entry.ok()) return atom_entry.status();
+        degraded_atom |= atom_entry->degraded;
+        atom_costs.push_back(atom_entry->cost);
+      }
+      bool usable = !degraded_atom;
+      if (usable && decomp.outcome == Decomposition::Outcome::kTooManyAtoms) {
+        // Bounded singleton approximation: only admitted when its a-priori
+        // error estimate fits under the configured bound.
+        const double estimate = BoundedErrorEstimatePct(decomp, atom_costs);
+        usable = estimate <= config_.derived.error_bound_pct;
+      }
+      if (usable) {
+        const double derived_cost = CombineAtomCosts(atom_costs);
+        derived_answers_.fetch_add(1, std::memory_order_relaxed);
+        if (m_derived_ != nullptr) m_derived_->Increment();
+        if (!config_.derived.exact) {
+          calls_saved_.fetch_add(1, std::memory_order_relaxed);
+          if (m_saved_ != nullptr) m_saved_->Increment();
+          return Entry{derived_cost, false, true};
+        }
+        // Exact mode: make the real call anyway, record the derivation
+        // error, and publish the real cost (the derivation is the thing
+        // under test, not the answer).
+        auto real = PriceWithRetries(index, config, fingerprint);
+        if (!real.ok()) return real.status();
+        double error_pct = 0;
+        if (real->cost > 0) {
+          error_pct = 100.0 * std::abs(derived_cost - real->cost) / real->cost;
+        } else if (derived_cost != real->cost) {
+          error_pct = 100.0;
+        }
+        if (m_derivation_error_ != nullptr) {
+          m_derivation_error_->Observe(error_pct);
+        }
+        if (error_pct > config_.derived.error_bound_pct) {
+          errors_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return *real;
+      }
+    }
+    if (derivable ||
+        decomp.outcome == Decomposition::Outcome::kTooManyAtoms ||
+        decomp.outcome == Decomposition::Outcome::kUnsupportedStatement) {
+      // A non-trivial variable set that derivation could not serve: the
+      // real call below is a derivation fallback.
+      derivation_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      if (m_fallbacks_ != nullptr) m_fallbacks_->Increment();
+    }
+  }
+  return PriceWithRetries(index, config, fingerprint);
 }
 
 Result<double> CostService::WorkloadCost(const catalog::Configuration& config,
@@ -293,6 +388,11 @@ std::set<size_t> CostService::degraded_statements() const {
   return degraded_statements_;
 }
 
+void CostService::SeedDegradedStatements(const std::set<size_t>& statements) {
+  MutexLock lock(degraded_mu_);
+  degraded_statements_.insert(statements.begin(), statements.end());
+}
+
 std::array<size_t, kRetryHistogramBuckets> CostService::retry_histogram()
     const {
   std::array<size_t, kRetryHistogramBuckets> out{};
@@ -311,7 +411,8 @@ std::vector<CostService::CacheEntry> CostService::ExportCache() const {
     Shard& shard = *shards_[i];
     MutexLock lock(shard.mu);
     for (const auto& [fp, entry] : shard.cache) {
-      out.push_back(CacheEntry{i, fp, entry.cost, entry.degraded});
+      out.push_back(
+          CacheEntry{i, fp, entry.cost, entry.degraded, entry.derived});
     }
   }
   return out;
@@ -323,7 +424,7 @@ void CostService::ImportCache(const std::vector<CacheEntry>& entries) {
     Shard& shard = *shards_[e.statement];
     MutexLock lock(shard.mu);
     shard.cache.insert_or_assign(e.fingerprint,
-                                 Entry{e.cost, e.degraded});
+                                 Entry{e.cost, e.degraded, e.derived});
     if (e.degraded) {
       MutexLock dlock(degraded_mu_);
       degraded_statements_.insert(e.statement);

@@ -40,6 +40,7 @@
 
 #include "catalog/physical_design.h"
 #include "common/clock.h"
+#include "dta/derived_cost.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
@@ -119,6 +120,14 @@ class CostService {
     // FakeClock for deterministic latency output.
     MetricsRegistry* metrics = nullptr;
     const Clock* clock = nullptr;
+    // Derived costing (dta/derived_cost.h): answer cache misses from
+    // memoized atomic-configuration costs via the CoPhy combine rule when
+    // the decomposition is valid, falling back to a real what-if call
+    // otherwise. Derivation decisions are a pure function of the
+    // (statement, fingerprint) pair — atoms are priced through the normal
+    // cached/deduplicated path — so enabling it preserves the bit-identical
+    // recommendation contract at any (threads × shards) combination.
+    DerivedCostOptions derived;
   };
 
   // `server` performs the what-if calls (the test server in §5.3 mode).
@@ -174,6 +183,31 @@ class CostService {
     return dedup_waits_.load(std::memory_order_relaxed);
   }
 
+  // ---- Derived-costing accounting ----------------------------------------
+  // Cache misses answered by the CoPhy combine rule (exact mode included,
+  // where the derivation is checked against a real call). Like
+  // whatif_calls(), a pure function of the lookup set: identical at any
+  // thread or shard count.
+  size_t derived_answers() const {
+    return derived_answers_.load(std::memory_order_relaxed);
+  }
+  // Misses whose decomposition was non-trivial but could not be used (DML
+  // maintenance costs, too many atoms, error bound exceeded, or a degraded
+  // atom): they were priced by a real what-if call instead.
+  size_t derivation_fallbacks() const {
+    return derivation_fallbacks_.load(std::memory_order_relaxed);
+  }
+  // Real what-if calls avoided: one per derived answer outside exact mode
+  // (in exact mode the real call is made anyway, so nothing is saved).
+  size_t whatif_calls_saved() const {
+    return calls_saved_.load(std::memory_order_relaxed);
+  }
+  // Exact mode only: derivations whose measured error exceeded
+  // Config::derived.error_bound_pct.
+  size_t derivation_errors_exceeded() const {
+    return errors_exceeded_.load(std::memory_order_relaxed);
+  }
+
   // Clock used for pricing latency (the injected one, or the real
   // monotonic clock). Phase code shares it so all timings in one session
   // come from one source.
@@ -190,6 +224,12 @@ class CostService {
   }
   // Statement indexes with at least one degraded pricing (snapshot).
   std::set<size_t> degraded_statements() const EXCLUDES(degraded_mu_);
+  // Pre-populates the degraded-statement set (checkpoint resume). Needed
+  // because the flag outlives the cache entries that caused it: ClearCache
+  // drops degraded entries from earlier phases, and a resumed session may
+  // answer the same misses by derivation without re-firing the fault.
+  void SeedDegradedStatements(const std::set<size_t>& statements)
+      EXCLUDES(degraded_mu_);
   // retry_histogram()[n] = pricings that needed n + 1 attempts.
   std::array<size_t, kRetryHistogramBuckets> retry_histogram() const;
 
@@ -202,6 +242,9 @@ class CostService {
     std::string fingerprint;
     double cost = 0;
     bool degraded = false;
+    // Cost was derived from atomic-configuration results instead of a real
+    // what-if call (the atoms themselves are ordinary entries).
+    bool derived = false;
   };
   std::vector<CacheEntry> ExportCache() const;
   void ImportCache(const std::vector<CacheEntry>& entries);
@@ -218,6 +261,7 @@ class CostService {
   struct Entry {
     double cost = 0;
     bool degraded = false;
+    bool derived = false;
   };
   // One cache shard per statement: selection work for a statement stays on
   // one thread, so shards keep lock contention confined to enumeration,
@@ -238,6 +282,21 @@ class CostService {
 
   std::string RelevantFingerprint(size_t index,
                                   const catalog::Configuration& config) const;
+  // The cached-entry protocol behind StatementCost: look up / claim
+  // in-flight / price / publish, returning the full entry. Atom pricings
+  // recurse through here with `allow_derive` false, which terminates the
+  // recursion (atoms decompose trivially) and lands every atom in the
+  // ordinary cache, memoized and checkpointed like any entry.
+  Result<Entry> CachedEntry(size_t index, const catalog::Configuration& config,
+                            bool allow_derive)
+      EXCLUDES(missing_mu_, degraded_mu_);
+  // Prices one claimed (statement, fingerprint) pair: by derivation when
+  // enabled, eligible, and valid; by a real what-if call otherwise.
+  Result<Entry> PriceOrDerive(size_t index,
+                              const catalog::Configuration& config,
+                              const std::string& fingerprint,
+                              bool allow_derive)
+      EXCLUDES(missing_mu_, degraded_mu_);
   // Prices one cold (statement, fingerprint) pair: what-if call with
   // retry/backoff/deadline, falling back to the heuristic estimate when the
   // failure is persistent and degradation is enabled. Runs outside any
@@ -270,6 +329,10 @@ class CostService {
   std::atomic<size_t> dedup_waits_{0};
   std::atomic<size_t> retries_{0};
   std::atomic<size_t> degraded_{0};
+  std::atomic<size_t> derived_answers_{0};
+  std::atomic<size_t> derivation_fallbacks_{0};
+  std::atomic<size_t> calls_saved_{0};
+  std::atomic<size_t> errors_exceeded_{0};
   std::array<std::atomic<size_t>, kRetryHistogramBuckets> attempt_histogram_{};
 
   // Metrics handles (null when Config::metrics is unset); resolved once in
@@ -280,9 +343,13 @@ class CostService {
   Counter* m_calls_ = nullptr;
   Counter* m_retries_ = nullptr;
   Counter* m_degraded_ = nullptr;
+  Counter* m_derived_ = nullptr;
+  Counter* m_fallbacks_ = nullptr;
+  Counter* m_saved_ = nullptr;
   Histogram* m_latency_ = nullptr;
   Histogram* m_simulated_ = nullptr;
   Histogram* m_attempts_ = nullptr;
+  Histogram* m_derivation_error_ = nullptr;
 };
 
 }  // namespace dta::tuner

@@ -1,0 +1,217 @@
+#include "dta/derived_cost.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace dta::tuner {
+
+namespace {
+
+// Fixed context: structures that describe the table organization itself and
+// therefore belong in every atom. A clustered index (constraint-enforcing
+// or not) decides heap-vs-clustered access for all paths of its table, and
+// constraint-enforcing indexes are part of the raw configuration that every
+// candidate configuration contains anyway.
+bool IsContextIndex(const catalog::IndexDef& ix) {
+  return ix.clustered || ix.constraint_enforcing;
+}
+
+catalog::Configuration MakeAtom(
+    const RelevantSet& relevant,
+    const std::vector<const catalog::IndexDef*>& variable_indexes,
+    const catalog::ViewDef* view) {
+  catalog::Configuration atom;
+  for (const auto& ix : relevant.indexes) {
+    if (IsContextIndex(ix)) (void)atom.AddIndex(ix);
+  }
+  for (const catalog::IndexDef* ix : variable_indexes) {
+    (void)atom.AddIndex(*ix);
+  }
+  if (view != nullptr) (void)atom.AddView(*view);
+  for (const auto& [table, scheme] : relevant.partitioning) {
+    atom.SetTablePartitioning(table, scheme);
+  }
+  return atom;
+}
+
+}  // namespace
+
+RelevantSet CollectRelevant(const std::set<std::string>& statement_tables,
+                            const catalog::Configuration& config) {
+  RelevantSet out;
+  for (const auto& ix : config.indexes()) {
+    if (statement_tables.count(ToLower(ix.table)) > 0) {
+      out.indexes.push_back(ix);
+    }
+  }
+  for (const auto& v : config.views()) {
+    for (const auto& t : v.referenced_tables) {
+      if (statement_tables.count(ToLower(t)) > 0) {
+        out.views.push_back(v);
+        break;
+      }
+    }
+  }
+  for (const auto& [table, scheme] : config.table_partitioning()) {
+    if (statement_tables.count(table) > 0) {
+      out.partitioning.emplace_back(table, scheme);
+    }
+  }
+  std::sort(out.indexes.begin(), out.indexes.end(),
+            [](const catalog::IndexDef& a, const catalog::IndexDef& b) {
+              return a.CanonicalName() < b.CanonicalName();
+            });
+  std::sort(out.views.begin(), out.views.end(),
+            [](const catalog::ViewDef& a, const catalog::ViewDef& b) {
+              return a.CanonicalName() < b.CanonicalName();
+            });
+  // partitioning arrives from a std::map, already in table order.
+  return out;
+}
+
+std::string FingerprintOf(const RelevantSet& relevant) {
+  std::vector<std::string> parts;
+  parts.reserve(relevant.indexes.size() + relevant.views.size() +
+                relevant.partitioning.size());
+  for (const auto& ix : relevant.indexes) parts.push_back(ix.CanonicalName());
+  for (const auto& v : relevant.views) parts.push_back(v.CanonicalName());
+  for (const auto& [table, scheme] : relevant.partitioning) {
+    parts.push_back("tp:" + table + ":" + scheme.CanonicalString());
+  }
+  std::sort(parts.begin(), parts.end());
+  return StrJoin(parts, "|");
+}
+
+Decomposition DecomposeConfiguration(sql::StatementKind statement_kind,
+                                     const RelevantSet& relevant,
+                                     size_t max_atoms) {
+  Decomposition out;
+
+  // Per-table groups of variable indexes. relevant.indexes is sorted by
+  // canonical name, so group membership order — and with it the atom order
+  // below — is a pure function of the relevant set.
+  std::map<std::string, std::vector<const catalog::IndexDef*>> groups;
+  for (const auto& ix : relevant.indexes) {
+    if (!IsContextIndex(ix)) groups[ToLower(ix.table)].push_back(&ix);
+  }
+
+  size_t largest_group = 0;
+  size_t variable_indexes = 0;
+  for (const auto& [table, members] : groups) {
+    largest_group = std::max(largest_group, members.size());
+    variable_indexes += members.size();
+  }
+
+  // The configuration is its own atom when no table offers a choice between
+  // variable indexes and views do not mix with anything: pricing it IS the
+  // atomic what-if call.
+  const bool trivial =
+      largest_group <= 1 &&
+      (relevant.views.empty() ||
+       (relevant.views.size() == 1 && variable_indexes == 0));
+  if (trivial) {
+    out.outcome = Decomposition::Outcome::kTrivial;
+    return out;
+  }
+
+  if (statement_kind != sql::StatementKind::kSelect) {
+    out.outcome = Decomposition::Outcome::kUnsupportedStatement;
+    return out;
+  }
+
+  // One-per-table combination count (the "+1" is "no index on this table").
+  size_t combos = 1;
+  bool overflow = false;
+  for (const auto& [table, members] : groups) {
+    if (combos > max_atoms) {
+      overflow = true;
+      break;
+    }
+    combos *= members.size() + 1;
+  }
+  if (overflow || combos + relevant.views.size() > max_atoms) {
+    // Bounded form: the context atom plus one singleton atom per variable
+    // structure, with the group ranges recorded for the error estimate.
+    out.outcome = Decomposition::Outcome::kTooManyAtoms;
+    out.atoms.push_back(MakeAtom(relevant, {}, nullptr));
+    for (const auto& [table, members] : groups) {
+      std::vector<size_t>& atom_ids = out.variable_group_atoms.emplace_back();
+      for (const catalog::IndexDef* ix : members) {
+        atom_ids.push_back(out.atoms.size());
+        out.atoms.push_back(MakeAtom(relevant, {ix}, nullptr));
+      }
+    }
+    for (const auto& v : relevant.views) {
+      out.variable_group_atoms.push_back({out.atoms.size()});
+      out.atoms.push_back(MakeAtom(relevant, {}, &v));
+    }
+    return out;
+  }
+
+  // Full decomposition: every one-index-per-table combination (mixed-radix
+  // enumeration over the groups; digit 0 means "no index on this table"),
+  // then each view as a whole-query alternative over the bare context.
+  out.outcome = Decomposition::Outcome::kDerivable;
+  std::vector<const std::vector<const catalog::IndexDef*>*> group_members;
+  group_members.reserve(groups.size());
+  for (const auto& [table, members] : groups) {
+    group_members.push_back(&members);
+  }
+  std::vector<size_t> digits(group_members.size(), 0);
+  for (bool done = false; !done;) {
+    std::vector<const catalog::IndexDef*> chosen;
+    for (size_t g = 0; g < digits.size(); ++g) {
+      if (digits[g] > 0) chosen.push_back((*group_members[g])[digits[g] - 1]);
+    }
+    out.atoms.push_back(MakeAtom(relevant, chosen, nullptr));
+    size_t g = 0;
+    for (; g < digits.size(); ++g) {
+      if (++digits[g] <= group_members[g]->size()) break;
+      digits[g] = 0;  // carry into the next group
+    }
+    done = g == digits.size();
+  }
+  for (const auto& v : relevant.views) {
+    out.atoms.push_back(MakeAtom(relevant, {}, &v));
+  }
+  return out;
+}
+
+double CombineAtomCosts(const std::vector<double>& atom_costs) {
+  double best = 0;
+  bool first = true;
+  for (double c : atom_costs) {
+    if (first || c < best) {
+      best = c;
+      first = false;
+    }
+  }
+  return best;
+}
+
+double BoundedErrorEstimatePct(const Decomposition& decomposition,
+                               const std::vector<double>& atom_costs) {
+  if (atom_costs.empty()) return 0;
+  const double upper = CombineAtomCosts(atom_costs);
+  if (upper <= 0) return 0;
+  // Additive lower bound: every group can at best contribute its own best
+  // single-structure saving over the bare context.
+  const double context_cost = atom_costs[0];
+  double lower = context_cost;
+  for (const auto& atom_ids : decomposition.variable_group_atoms) {
+    double best_in_group = context_cost;
+    for (size_t id : atom_ids) {
+      if (id < atom_costs.size()) {
+        best_in_group = std::min(best_in_group, atom_costs[id]);
+      }
+    }
+    lower -= context_cost - best_in_group;
+  }
+  lower = std::max(lower, 0.0);
+  if (lower >= upper) return 0;
+  return 100.0 * (upper - lower) / upper;
+}
+
+}  // namespace dta::tuner

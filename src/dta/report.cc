@@ -33,6 +33,12 @@ std::string Report::ToText() const {
         100.0 * static_cast<double>(whatif_cache_hits) /
             static_cast<double>(whatif_calls + whatif_cache_hits));
   }
+  if (derived_answers > 0 || derivation_fallbacks > 0) {
+    out += StrFormat(
+        "Derived costing: %zu derived answers, %zu calls saved, "
+        "%zu fallbacks\n",
+        derived_answers, whatif_calls_saved, derivation_fallbacks);
+  }
   if (checkpoint_writes > 0) {
     out += StrFormat("Checkpoints: %zu writes, %.2f ms total\n",
                      checkpoint_writes, checkpoint_ms);
@@ -89,6 +95,12 @@ xml::ElementPtr Report::ToXml() const {
     xml::Element* o = root->AddChild("Observability");
     o->SetAttr("WhatIfCalls", StrFormat("%zu", whatif_calls));
     o->SetAttr("WhatIfCacheHits", StrFormat("%zu", whatif_cache_hits));
+    if (derived_answers > 0 || derivation_fallbacks > 0) {
+      o->SetAttr("DerivedAnswers", StrFormat("%zu", derived_answers));
+      o->SetAttr("DerivationFallbacks",
+                 StrFormat("%zu", derivation_fallbacks));
+      o->SetAttr("WhatIfCallsSaved", StrFormat("%zu", whatif_calls_saved));
+    }
     if (checkpoint_writes > 0) {
       o->SetAttr("CheckpointWrites", StrFormat("%zu", checkpoint_writes));
       o->SetAttr("CheckpointMs", StrFormat("%.2f", checkpoint_ms));

@@ -62,6 +62,12 @@ struct Report {
   // from the session's tracer when one was attached.
   size_t whatif_calls = 0;
   size_t whatif_cache_hits = 0;
+  // Derived costing (CoPhy combine rule): misses answered by derivation,
+  // misses that fell back to a real call despite a non-trivial
+  // decomposition, and real what-if calls avoided.
+  size_t derived_answers = 0;
+  size_t derivation_fallbacks = 0;
+  size_t whatif_calls_saved = 0;
   size_t checkpoint_writes = 0;
   double checkpoint_ms = 0;
   std::vector<std::pair<std::string, double>> phase_times;

@@ -92,6 +92,25 @@ struct TuningOptions {
   // thread count, at least 4.
   int shard_max_inflight = 0;
 
+  // ---- Derived costing (CoPhy-style atomic-configuration derivation).
+  // When true (default), cache misses whose configuration decomposes into
+  // per-access-path atomic configurations are answered by the combine rule
+  // over memoized atom costs instead of a real what-if call
+  // (dta/derived_cost.h). Derivation decisions are a pure function of the
+  // (statement, fingerprint) pair, so recommendations and all derived
+  // counters stay byte-identical at any (threads × shards) combination.
+  bool derived_costing = true;
+  // Exactness gate: price every derivable miss both ways, record the
+  // derivation error distribution (derivation.error_pct histogram), and use
+  // the real cost. Verifies the combine rule; saves nothing.
+  bool exact_costing = false;
+  // Maximum tolerated derivation error, percent. 0 (default) demands exact
+  // derivations: only full decompositions are used and, in exact mode, any
+  // measured error counts as exceeded. A nonzero bound additionally admits
+  // the bounded singleton approximation for decompositions with too many
+  // atoms when its a-priori error estimate fits under the bound.
+  double derivation_error_bound_pct = 0;
+
   // ---- Robustness (fault tolerance of the what-if costing path).
   // Fault injection scenario for the tuning server's what-if interface, as a
   // FaultSpec string ("seed=42,transient=0.1,permanent=0.01,latency_ms=0.5");

@@ -317,6 +317,9 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   cost_config.degrade_on_failure = options_.degrade_on_failure;
   cost_config.metrics = obs_.metrics;
   cost_config.clock = clock;
+  cost_config.derived.enabled = options_.derived_costing;
+  cost_config.derived.exact = options_.exact_costing;
+  cost_config.derived.error_bound_pct = options_.derivation_error_bound_pct;
   if (options_.time_limit_ms.has_value()) {
     const double limit = *options_.time_limit_ms;
     cost_config.remaining_ms = [limit, t_start, clock]() {
@@ -359,6 +362,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
         RestoreStats(resume_ckpt.created_stats, replica_servers));
     costs.ImportCache(resume_ckpt.cache);
     costs.SeedMissingStats(resume_ckpt.missing_stats);
+    costs.SeedDegradedStatements(resume_ckpt.degraded_statements);
     result.stats_requested = resume_ckpt.stats_requested;
     result.stats_created = resume_ckpt.stats_created;
     result.stats_creation_ms = resume_ckpt.stats_creation_ms;
@@ -405,6 +409,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     ckpt.missing_stats = costs.missing_stats();
     ckpt.created_stats = created_stats_log;
     ckpt.cache = costs.ExportCache();
+    ckpt.degraded_statements = costs.degraded_statements();
     if (pool != nullptr) ckpt.pool = *pool;
     if (enum_state != nullptr) ckpt.enumeration = *enum_state;
     ckpt.stats_requested = result.stats_requested;
@@ -781,6 +786,10 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   result.whatif_calls = costs.whatif_calls();
   result.whatif_cache_hits = costs.cache_hits();
   result.whatif_dedup_waits = costs.dedup_waits();
+  result.derived_answers = costs.derived_answers();
+  result.derivation_fallbacks = costs.derivation_fallbacks();
+  result.whatif_calls_saved = costs.whatif_calls_saved();
+  result.derivation_errors_exceeded = costs.derivation_errors_exceeded();
   result.checkpoint_writes = static_cast<size_t>(checkpoint_ordinal);
   result.parallel_work_ms = parallel_work_ms.load();
 
@@ -825,6 +834,9 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   }
   result.report.whatif_calls = result.whatif_calls;
   result.report.whatif_cache_hits = result.whatif_cache_hits;
+  result.report.derived_answers = result.derived_answers;
+  result.report.derivation_fallbacks = result.derivation_fallbacks;
+  result.report.whatif_calls_saved = result.whatif_calls_saved;
   result.report.checkpoint_writes = result.checkpoint_writes;
   result.report.checkpoint_ms = result.checkpoint_ms;
   if (obs_.tracer != nullptr) {
@@ -919,6 +931,9 @@ Result<EvaluationResult> TuningSession::EvaluateConfiguration(
   cost_config.degrade_on_failure = options_.degrade_on_failure;
   cost_config.metrics = obs_.metrics;
   cost_config.clock = obs_.clock;
+  cost_config.derived.enabled = options_.derived_costing;
+  cost_config.derived.exact = options_.exact_costing;
+  cost_config.derived.error_bound_pct = options_.derivation_error_bound_pct;
   CostService costs(tuning_server, simulate, &workload,
                     std::move(cost_config));
 

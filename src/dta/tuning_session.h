@@ -74,6 +74,18 @@ struct TuningResult {
   size_t checkpoint_writes = 0;
   double checkpoint_ms = 0;
 
+  // Derived costing accounting (CoPhy combine rule, dta/derived_cost.h):
+  // misses answered by derivation, misses that fell back to a real call
+  // despite a non-trivial decomposition, real calls avoided (0 in exact
+  // mode, where the real call is made to measure the derivation error), and
+  // exact-mode derivations whose error exceeded the configured bound. All
+  // pure functions of the lookup set: byte-identical at any thread or shard
+  // count.
+  size_t derived_answers = 0;
+  size_t derivation_fallbacks = 0;
+  size_t whatif_calls_saved = 0;
+  size_t derivation_errors_exceeded = 0;
+
   // Distributed costing accounting (shards > 1): the router's view of the
   // session. shard_successes equals whatif_calls minus degraded pricings —
   // every logical pricing is answered by exactly one shard or degrades; no

@@ -190,6 +190,12 @@ xml::ElementPtr TuningOptionsToXml(const TuningOptions& o) {
     e->SetAttr("TimeLimitMs", StrFormat("%.0f", *o.time_limit_ms));
   }
   if (!o.fault_spec.empty()) e->SetAttr("FaultSpec", o.fault_spec);
+  if (!o.derived_costing) e->SetAttr("DerivedCosting", BoolStr(false));
+  if (o.exact_costing) e->SetAttr("ExactCosting", BoolStr(true));
+  if (o.derivation_error_bound_pct != 0) {
+    e->SetAttr("DerivationErrorBoundPct",
+               StrFormat("%.4f", o.derivation_error_bound_pct));
+  }
   if (o.user_specified.StructureCount() > 0 ||
       !o.user_specified.table_partitioning().empty()) {
     xml::Element* u = e->AddChild("UserSpecifiedConfiguration");
@@ -218,6 +224,12 @@ Result<TuningOptions> TuningOptionsFromXml(const xml::Element& e) {
     o.time_limit_ms = std::strtod(e.Attr("TimeLimitMs").c_str(), nullptr);
   }
   if (e.HasAttr("FaultSpec")) o.fault_spec = e.Attr("FaultSpec");
+  o.derived_costing = ParseBool(e.Attr("DerivedCosting"), true);
+  o.exact_costing = ParseBool(e.Attr("ExactCosting"), false);
+  if (e.HasAttr("DerivationErrorBoundPct")) {
+    o.derivation_error_bound_pct =
+        std::strtod(e.Attr("DerivationErrorBoundPct").c_str(), nullptr);
+  }
   const xml::Element* u = e.FindChild("UserSpecifiedConfiguration");
   if (u != nullptr) {
     const xml::Element* cfg = u->FindChild("Configuration");

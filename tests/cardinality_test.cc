@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "sql/parser.h"
@@ -18,7 +20,7 @@ using catalog::TableSchema;
 class CardinalityTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    env_ = new Env();
+    env_ = std::make_unique<Env>();
     TableSchema t("t", {{"k", ColumnType::kInt, 8},     // unique
                         {"g", ColumnType::kInt, 8},     // 100 distinct
                         {"d", ColumnType::kString, 10},  // dates
@@ -63,15 +65,14 @@ class CardinalityTest : public ::testing::Test {
     env_->stats.Put(std::move(s).value());
   }
   static void TearDownTestSuite() {
-    delete env_;
-    env_ = nullptr;
+    env_.reset();
   }
 
   struct Env {
     catalog::Catalog catalog;
     stats::StatsManager stats;
   };
-  static Env* env_;
+  static std::unique_ptr<Env> env_;
 
   // Binds a query and returns estimator machinery bound to it. The
   // statement is kept alive via the returned holder.
@@ -92,7 +93,7 @@ class CardinalityTest : public ::testing::Test {
   }
 };
 
-CardinalityTest::Env* CardinalityTest::env_ = nullptr;
+std::unique_ptr<CardinalityTest::Env> CardinalityTest::env_;
 
 TEST_F(CardinalityTest, EqualityOnUniqueKeyIsOneRow) {
   auto h = Make("SELECT x FROM t WHERE k = 500");

@@ -1,0 +1,496 @@
+// Derived what-if costing tests: decomposition shape (per-table combination
+// atoms, DML exclusion, the bounded singleton form), the combine rule against
+// brute-force what-if pricing, fallback when an atom degraded, checkpoint
+// round-tripping of memoized atoms, and session-level invariance of the
+// recommendation and of the derived counters across threads, shards, and
+// exact mode.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dta/checkpoint.h"
+#include "dta/cost_service.h"
+#include "dta/derived_cost.h"
+#include "dta/tuning_session.h"
+#include "dta/xml_schema.h"
+#include "sql/parser.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+namespace {
+
+using catalog::ColumnType;
+using catalog::Configuration;
+using catalog::IndexDef;
+using catalog::PartitionScheme;
+using catalog::TableSchema;
+
+// Same production fixture as dta_session_test: two joinable tables with
+// real data and a constraint-enforcing PK index.
+std::unique_ptr<server::Server> MakeProduction(uint64_t seed = 11) {
+  auto s = std::make_unique<server::Server>(
+      "prod", optimizer::HardwareParams());
+  Random rng(seed);
+
+  TableSchema orders("orders", {{"o_id", ColumnType::kInt, 8},
+                                {"o_cust", ColumnType::kInt, 8},
+                                {"o_date", ColumnType::kString, 10},
+                                {"o_price", ColumnType::kDouble, 8}});
+  orders.set_row_count(30000);
+  orders.SetPrimaryKey({"o_id"});
+  TableSchema items("items", {{"i_oid", ColumnType::kInt, 8},
+                              {"i_part", ColumnType::kInt, 8},
+                              {"i_qty", ColumnType::kDouble, 8}});
+  items.set_row_count(120000);
+
+  catalog::Database db("shop");
+  EXPECT_TRUE(db.AddTable(orders).ok());
+  EXPECT_TRUE(db.AddTable(items).ok());
+  EXPECT_TRUE(s->AttachDatabase(std::move(db)).ok());
+
+  storage::TableGenSpec ospec;
+  ospec.schema = orders;
+  ospec.column_specs = {storage::ColumnSpec::Sequential(),
+                        storage::ColumnSpec::UniformInt(1, 3000),
+                        storage::ColumnSpec::Date("1994-01-01", 1500),
+                        storage::ColumnSpec::UniformReal(10, 10000)};
+  ospec.rows = 30000;
+  auto odata = storage::GenerateTable(ospec, &rng);
+  EXPECT_TRUE(odata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(odata).value()).ok());
+
+  storage::TableGenSpec ispec;
+  ispec.schema = items;
+  ispec.column_specs = {storage::ColumnSpec::UniformInt(1, 30000),
+                        storage::ColumnSpec::UniformInt(1, 2000),
+                        storage::ColumnSpec::UniformReal(1, 100)};
+  ispec.rows = 120000;
+  auto idata = storage::GenerateTable(ispec, &rng);
+  EXPECT_TRUE(idata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(idata).value()).ok());
+
+  Configuration raw;
+  EXPECT_TRUE(raw.AddIndex(IndexDef{.table = "orders",
+                                    .key_columns = {"o_id"},
+                                    .constraint_enforcing = true})
+                  .ok());
+  EXPECT_TRUE(s->ImplementConfiguration(raw).ok());
+  return s;
+}
+
+workload::Workload SelectWorkload() {
+  const char* script =
+      "SELECT o_price FROM orders WHERE o_id = 55;"
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date < '1995-01-01' "
+      "GROUP BY o_cust;"
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust;"
+      "SELECT i_qty FROM items WHERE i_part = 77;";
+  auto w = workload::Workload::FromScript(script);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+workload::Workload MixedWorkload() {
+  const char* script =
+      "SELECT o_price FROM orders WHERE o_id = 55;"
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust;"
+      "UPDATE items SET i_qty = 3 WHERE i_part = 9";
+  auto w = workload::Workload::FromScript(script);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+IndexDef Ix(const std::string& table, std::vector<std::string> keys,
+            std::vector<std::string> included = {}) {
+  return IndexDef{.table = table,
+                  .key_columns = std::move(keys),
+                  .included_columns = std::move(included)};
+}
+
+// The candidate index pool the brute-force tests enumerate subsets of:
+// two orders indexes and two items indexes.
+std::vector<IndexDef> TestPool() {
+  return {Ix("orders", {"o_id"}, {"o_price"}),
+          Ix("orders", {"o_date"}, {"o_cust"}),
+          Ix("items", {"i_part"}, {"i_qty"}),
+          Ix("items", {"i_oid"}, {"i_qty"})};
+}
+
+// ---------------------------------------------------------- decomposition
+
+TEST(DerivedCostDecompositionTest, SingletonConfigurationsAreTrivial) {
+  Configuration config;
+  ASSERT_TRUE(config.AddIndex(Ix("orders", {"o_cust"})).ok());
+  RelevantSet relevant = CollectRelevant({"orders"}, config);
+  Decomposition d = DecomposeConfiguration(sql::StatementKind::kSelect,
+                                           relevant, 64);
+  EXPECT_EQ(d.outcome, Decomposition::Outcome::kTrivial);
+
+  // The empty configuration is trivially its own atom too.
+  Decomposition empty = DecomposeConfiguration(
+      sql::StatementKind::kSelect, CollectRelevant({"orders"}, Configuration()),
+      64);
+  EXPECT_EQ(empty.outcome, Decomposition::Outcome::kTrivial);
+}
+
+TEST(DerivedCostDecompositionTest, EnumeratesOneIndexPerTableCombinations) {
+  // Two variable orders indexes, one variable items index, plus context
+  // structures: a constraint-enforcing index and table partitioning.
+  Configuration config;
+  ASSERT_TRUE(config.AddIndex(Ix("orders", {"o_cust"})).ok());
+  ASSERT_TRUE(config.AddIndex(Ix("orders", {"o_date"})).ok());
+  ASSERT_TRUE(config.AddIndex(Ix("items", {"i_part"})).ok());
+  ASSERT_TRUE(config
+                  .AddIndex(IndexDef{.table = "orders",
+                                     .key_columns = {"o_id"},
+                                     .constraint_enforcing = true})
+                  .ok());
+  PartitionScheme scheme;
+  scheme.column = "o_date";
+  scheme.boundaries = {sql::Value::String("1995-01-01")};
+  config.SetTablePartitioning("orders", scheme);
+
+  RelevantSet relevant = CollectRelevant({"orders", "items"}, config);
+  Decomposition d = DecomposeConfiguration(sql::StatementKind::kSelect,
+                                           relevant, 64);
+  ASSERT_EQ(d.outcome, Decomposition::Outcome::kDerivable);
+  // (2 + 1) orders choices x (1 + 1) items choices.
+  ASSERT_EQ(d.atoms.size(), 6u);
+  for (const auto& atom : d.atoms) {
+    // Every atom carries the full context: the constraint index and the
+    // partitioning, plus at most one variable index per table.
+    EXPECT_TRUE(atom.table_partitioning().count("orders"));
+    size_t constraint = 0, orders_vars = 0, items_vars = 0;
+    for (const auto& ix : atom.indexes()) {
+      if (ix.constraint_enforcing) {
+        ++constraint;
+      } else if (ix.table == "orders") {
+        ++orders_vars;
+      } else {
+        ++items_vars;
+      }
+    }
+    EXPECT_EQ(constraint, 1u);
+    EXPECT_LE(orders_vars, 1u);
+    EXPECT_LE(items_vars, 1u);
+  }
+  // The first atom is the bare context.
+  EXPECT_EQ(d.atoms[0].indexes().size(), 1u);
+  EXPECT_TRUE(d.atoms[0].indexes()[0].constraint_enforcing);
+}
+
+TEST(DerivedCostDecompositionTest, DmlWithVariableIndexesIsUnsupported) {
+  Configuration config;
+  ASSERT_TRUE(config.AddIndex(Ix("items", {"i_part"})).ok());
+  ASSERT_TRUE(config.AddIndex(Ix("items", {"i_oid"})).ok());
+  RelevantSet relevant = CollectRelevant({"items"}, config);
+  Decomposition d = DecomposeConfiguration(sql::StatementKind::kUpdate,
+                                           relevant, 64);
+  EXPECT_EQ(d.outcome, Decomposition::Outcome::kUnsupportedStatement);
+  EXPECT_TRUE(d.atoms.empty());
+}
+
+TEST(DerivedCostDecompositionTest, AtomBudgetYieldsBoundedSingletonForm) {
+  Configuration config;
+  ASSERT_TRUE(config.AddIndex(Ix("orders", {"o_cust"})).ok());
+  ASSERT_TRUE(config.AddIndex(Ix("orders", {"o_date"})).ok());
+  ASSERT_TRUE(config.AddIndex(Ix("items", {"i_part"})).ok());
+  ASSERT_TRUE(config.AddIndex(Ix("items", {"i_oid"})).ok());
+  RelevantSet relevant = CollectRelevant({"orders", "items"}, config);
+
+  // 3 x 3 = 9 combination atoms exceed a budget of 8: the decomposition
+  // degrades to the singleton form — context plus one atom per variable.
+  Decomposition d = DecomposeConfiguration(sql::StatementKind::kSelect,
+                                           relevant, 8);
+  ASSERT_EQ(d.outcome, Decomposition::Outcome::kTooManyAtoms);
+  ASSERT_EQ(d.atoms.size(), 5u);  // context + 4 singletons
+  ASSERT_EQ(d.variable_group_atoms.size(), 2u);  // one group per table
+  for (const auto& group : d.variable_group_atoms) {
+    EXPECT_EQ(group.size(), 2u);
+  }
+}
+
+TEST(DerivedCostCombineTest, CombineIsMinOverAtoms) {
+  EXPECT_EQ(CombineAtomCosts({4.0, 2.5, 9.0}), 2.5);
+  EXPECT_EQ(CombineAtomCosts({7.0}), 7.0);
+}
+
+// ---------------------------------------------------- brute-force equality
+
+// Prices every subset of the 4-index pool (and a partitioning variant) with
+// a derived-enabled service and a plain one: the derived answers must equal
+// the real what-if costs exactly, while making strictly fewer real calls.
+TEST(DerivedCostServiceTest, DerivedCostsMatchBruteForceOnSelects) {
+  auto prod = MakeProduction();
+  workload::Workload w = SelectWorkload();
+
+  CostService::Config derived_config;
+  derived_config.derived.enabled = true;
+  CostService derived(prod.get(), nullptr, &w, derived_config);
+  CostService plain(prod.get(), nullptr, &w);
+
+  const std::vector<IndexDef> pool = TestPool();
+  PartitionScheme scheme;
+  scheme.column = "o_date";
+  scheme.boundaries = {sql::Value::String("1995-01-01")};
+
+  for (unsigned mask = 0; mask < (1u << pool.size()); ++mask) {
+    for (bool partitioned : {false, true}) {
+      Configuration config;
+      for (size_t b = 0; b < pool.size(); ++b) {
+        if (mask & (1u << b)) ASSERT_TRUE(config.AddIndex(pool[b]).ok());
+      }
+      if (partitioned) config.SetTablePartitioning("orders", scheme);
+      for (size_t i = 0; i < w.size(); ++i) {
+        auto got = derived.StatementCost(i, config);
+        auto want = plain.StatementCost(i, config);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_TRUE(want.ok()) << want.status().ToString();
+        EXPECT_EQ(*got, *want)
+            << "statement " << i << " mask " << mask
+            << (partitioned ? " partitioned" : "");
+      }
+    }
+  }
+  EXPECT_GT(derived.derived_answers(), 0u);
+  EXPECT_EQ(derived.whatif_calls_saved(), derived.derived_answers());
+  EXPECT_LT(derived.whatif_calls(), plain.whatif_calls());
+}
+
+TEST(DerivedCostServiceTest, DmlFallsBackToRealCalls) {
+  auto prod = MakeProduction();
+  workload::Workload w = MixedWorkload();
+
+  CostService::Config config;
+  config.derived.enabled = true;
+  CostService derived(prod.get(), nullptr, &w, config);
+  CostService plain(prod.get(), nullptr, &w);
+
+  Configuration two_indexes;
+  ASSERT_TRUE(two_indexes.AddIndex(Ix("items", {"i_part"})).ok());
+  ASSERT_TRUE(two_indexes.AddIndex(Ix("items", {"i_oid"})).ok());
+
+  const size_t update_stmt = 2;
+  auto got = derived.StatementCost(update_stmt, two_indexes);
+  auto want = plain.StatementCost(update_stmt, two_indexes);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*got, *want);
+  EXPECT_EQ(derived.derived_answers(), 0u);
+  EXPECT_EQ(derived.derivation_fallbacks(), 1u);
+}
+
+// A backend that fails permanently whenever the priced configuration
+// matches a predicate — lets a test degrade exactly one atom.
+class SelectiveFaultBackend : public CostBackend {
+ public:
+  using Predicate = std::function<bool(const catalog::Configuration&)>;
+  SelectiveFaultBackend(server::Server* server, Predicate fail_when)
+      : server_(server), fail_when_(std::move(fail_when)) {}
+
+  Result<server::Server::WhatIfResult> WhatIfCost(
+      const sql::Statement& stmt, const catalog::Configuration& config,
+      const optimizer::HardwareParams* simulate_hardware,
+      uint64_t call_key) override {
+    if (fail_when_(config)) {
+      return Status::Internal("injected permanent fault");
+    }
+    return server_->WhatIfCost(stmt, config, simulate_hardware, call_key);
+  }
+
+  server::Server* primary() const override { return server_; }
+
+ private:
+  server::Server* server_;
+  Predicate fail_when_;
+};
+
+// One atom degrades (its pricing permanently fails and falls back to the
+// heuristic estimate): the derivation must not combine the poisoned value —
+// it falls back to a real what-if call for the full configuration.
+TEST(DerivedCostServiceTest, DegradedAtomForcesFallback) {
+  auto prod = MakeProduction();
+  workload::Workload w = SelectWorkload();
+
+  // Fail exactly the atom {o_cust index alone}: one variable orders index
+  // and no items index. The full two-index configuration and every other
+  // atom price normally.
+  auto only_ocust = [](const catalog::Configuration& config) {
+    bool has_ocust = false;
+    size_t variables = 0;
+    for (const auto& ix : config.indexes()) {
+      if (ix.constraint_enforcing) continue;
+      ++variables;
+      if (!ix.key_columns.empty() && ix.key_columns[0] == "o_cust") {
+        has_ocust = true;
+      }
+    }
+    return has_ocust && variables == 1;
+  };
+  SelectiveFaultBackend backend(prod.get(), only_ocust);
+
+  CostService::Config config;
+  config.derived.enabled = true;
+  config.retry.max_attempts = 1;
+  config.retry.initial_backoff_ms = 0;
+  CostService derived(&backend, nullptr, &w, config);
+  CostService plain(prod.get(), nullptr, &w);
+
+  Configuration two;
+  ASSERT_TRUE(two.AddIndex(Ix("orders", {"o_cust"})).ok());
+  ASSERT_TRUE(two.AddIndex(Ix("orders", {"o_date"})).ok());
+
+  auto got = derived.StatementCost(0, two);
+  auto want = plain.StatementCost(0, two);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  // The full configuration does not match the predicate, so the fallback
+  // call returns the true cost even though one atom degraded.
+  EXPECT_EQ(*got, *want);
+  EXPECT_EQ(derived.derived_answers(), 0u);
+  EXPECT_EQ(derived.derivation_fallbacks(), 1u);
+  EXPECT_GT(derived.degraded_calls(), 0u);
+}
+
+// ------------------------------------------------------------- checkpoints
+
+TEST(DerivedCostCheckpointTest, MemoizedAtomsRoundTripThroughCheckpoint) {
+  auto prod = MakeProduction();
+  workload::Workload w = SelectWorkload();
+
+  CostService::Config config;
+  config.derived.enabled = true;
+  CostService first(prod.get(), nullptr, &w, config);
+
+  Configuration two;
+  ASSERT_TRUE(two.AddIndex(Ix("orders", {"o_id"}, {"o_price"})).ok());
+  ASSERT_TRUE(two.AddIndex(Ix("orders", {"o_date"}, {"o_cust"})).ok());
+  for (size_t i = 0; i < w.size(); ++i) {
+    ASSERT_TRUE(first.StatementCost(i, two).ok());
+  }
+  ASSERT_GT(first.derived_answers(), 0u);
+
+  // The export carries the derived flag; the XML round trip preserves it.
+  SessionCheckpoint ckpt;
+  ckpt.cache = first.ExportCache();
+  ckpt.degraded_statements = {1, 3};
+  bool any_derived = false;
+  for (const auto& e : ckpt.cache) any_derived |= e.derived;
+  EXPECT_TRUE(any_derived);
+
+  auto parsed = CheckpointFromXml(CheckpointToXml(ckpt), prod->catalog());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->cache.size(), ckpt.cache.size());
+  for (size_t i = 0; i < ckpt.cache.size(); ++i) {
+    EXPECT_EQ(parsed->cache[i].statement, ckpt.cache[i].statement);
+    EXPECT_EQ(parsed->cache[i].fingerprint, ckpt.cache[i].fingerprint);
+    EXPECT_EQ(parsed->cache[i].cost, ckpt.cache[i].cost);
+    EXPECT_EQ(parsed->cache[i].degraded, ckpt.cache[i].degraded);
+    EXPECT_EQ(parsed->cache[i].derived, ckpt.cache[i].derived);
+  }
+  EXPECT_EQ(parsed->degraded_statements, ckpt.degraded_statements);
+
+  // A fresh service resuming from the parsed cache answers everything from
+  // memoized entries — atoms included — without a single real call.
+  CostService second(prod.get(), nullptr, &w, config);
+  second.ImportCache(parsed->cache);
+  for (size_t i = 0; i < w.size(); ++i) {
+    auto resumed = second.StatementCost(i, two);
+    auto original = first.StatementCost(i, two);
+    ASSERT_TRUE(resumed.ok());
+    ASSERT_TRUE(original.ok());
+    EXPECT_EQ(*resumed, *original);
+  }
+  EXPECT_EQ(second.whatif_calls(), 0u);
+  EXPECT_EQ(second.derived_answers(), 0u);
+}
+
+// ------------------------------------------------------------ session level
+
+std::string RecommendationXml(const TuningResult& r) {
+  return ConfigurationToXml(r.recommendation)->ToString();
+}
+
+Result<TuningResult> TuneSeeded(TuningOptions opts) {
+  auto prod = MakeProduction();
+  TuningSession session(prod.get(), opts);
+  auto w = workload::Workload::FromScript(
+      "SELECT o_price FROM orders WHERE o_id = 55;"
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date < '1995-01-01' "
+      "GROUP BY o_cust;"
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust;"
+      "SELECT i_qty FROM items WHERE i_part = 77;"
+      "UPDATE items SET i_qty = 3 WHERE i_part = 9");
+  EXPECT_TRUE(w.ok());
+  return session.Tune(*w);
+}
+
+// Derivation must not change the recommendation, and its counters must be
+// invariant across thread and shard topologies (they are pure functions of
+// the lookup set, like whatif_calls).
+TEST(DerivedCostSessionTest, RecommendationAndCountersInvariant) {
+  TuningOptions base;
+
+  TuningOptions underived = base;
+  underived.derived_costing = false;
+  auto want = TuneSeeded(underived);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_EQ(want->derived_answers, 0u);
+  EXPECT_EQ(want->whatif_calls_saved, 0u);
+
+  auto serial = TuneSeeded(base);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial->derived_answers, 0u);
+  EXPECT_GT(serial->whatif_calls_saved, 0u);
+  EXPECT_LT(serial->whatif_calls, want->whatif_calls);
+  EXPECT_EQ(RecommendationXml(*serial), RecommendationXml(*want));
+  EXPECT_EQ(serial->recommended_cost, want->recommended_cost);
+
+  for (auto [threads, shards] : {std::pair{4, 1}, {2, 2}}) {
+    TuningOptions opts = base;
+    opts.num_threads = threads;
+    opts.shards = shards;
+    auto got = TuneSeeded(opts);
+    ASSERT_TRUE(got.ok()) << threads << "x" << shards;
+    EXPECT_EQ(RecommendationXml(*got), RecommendationXml(*serial))
+        << threads << "x" << shards;
+    EXPECT_EQ(got->derived_answers, serial->derived_answers)
+        << threads << "x" << shards;
+    EXPECT_EQ(got->derivation_fallbacks, serial->derivation_fallbacks)
+        << threads << "x" << shards;
+    EXPECT_EQ(got->whatif_calls_saved, serial->whatif_calls_saved)
+        << threads << "x" << shards;
+    EXPECT_EQ(got->whatif_calls, serial->whatif_calls)
+        << threads << "x" << shards;
+  }
+}
+
+// Exact mode prices every derivable miss both ways: nothing is saved, the
+// recommendation is identical, and on this workload the combine rule is
+// exact — no derivation error exceeds the (zero) bound.
+TEST(DerivedCostSessionTest, ExactModeVerifiesDerivationsWithoutSavings) {
+  TuningOptions exact;
+  exact.exact_costing = true;
+  auto got = TuneSeeded(exact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GT(got->derived_answers, 0u);
+  EXPECT_EQ(got->whatif_calls_saved, 0u);
+  EXPECT_EQ(got->derivation_errors_exceeded, 0u);
+
+  auto plain = TuneSeeded(TuningOptions());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(RecommendationXml(*got), RecommendationXml(*plain));
+  EXPECT_EQ(got->derived_answers, plain->derived_answers);
+}
+
+}  // namespace
+}  // namespace dta::tuner

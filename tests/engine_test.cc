@@ -41,7 +41,7 @@ class MapDataSource : public DataSource {
 class EngineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    env_ = new Env();
+    env_ = std::make_unique<Env>();
 
     // Small deterministic table.
     TableSchema emp("emp", {{"id", ColumnType::kInt, 8},
@@ -121,8 +121,7 @@ class EngineTest : public ::testing::Test {
   }
 
   static void TearDownTestSuite() {
-    delete env_;
-    env_ = nullptr;
+    env_.reset();
   }
 
   struct Env {
@@ -132,7 +131,7 @@ class EngineTest : public ::testing::Test {
     std::unique_ptr<optimizer::StatsProvider> provider;
     std::unique_ptr<optimizer::Optimizer> opt;
   };
-  static Env* env_;
+  static std::unique_ptr<Env> env_;
 
   static QueryResult Run(const std::string& text,
                          const Configuration& config) {
@@ -165,7 +164,7 @@ class EngineTest : public ::testing::Test {
   }
 };
 
-EngineTest::Env* EngineTest::env_ = nullptr;
+std::unique_ptr<EngineTest::Env> EngineTest::env_;
 
 TEST_F(EngineTest, ScanWithFilter) {
   auto r = Run("SELECT id FROM emp WHERE salary > 90", Configuration());

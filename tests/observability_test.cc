@@ -204,14 +204,17 @@ TEST(ObservabilityTest, WhatIfCountersReconcileWithSessionResult) {
             run.result.enumeration_evaluations);
   EXPECT_EQ(run.counters.at("candidates.generated"),
             run.result.candidates_generated);
-  // Every cache lookup is accounted exactly once, as a hit or a pricing.
+  // Every cache lookup is accounted exactly once: a hit, a real pricing, or
+  // a miss answered by cost derivation.
   EXPECT_EQ(run.counters.at("whatif.lookups"),
             run.counters.at("whatif.cache_hits") +
-                run.counters.at("whatif.calls"));
-  // One latency observation per logical what-if pricing; frozen clock means
-  // an all-zero latency sum in the export.
+                run.counters.at("whatif.calls") +
+                run.counters.at("whatif.calls_saved"));
+  // One latency observation per claimed miss (real pricings and derived
+  // answers both); frozen clock means an all-zero latency sum in the export.
   const HistogramSnapshot& latency = run.histograms.at("whatif.latency_ms");
-  EXPECT_EQ(latency.count, run.counters.at("whatif.calls"));
+  EXPECT_EQ(latency.count, run.counters.at("whatif.calls") +
+                               run.counters.at("whatif.derived_answers"));
   EXPECT_EQ(latency.sum_micros, 0u);
   // A fault-free run retries and degrades nothing.
   EXPECT_EQ(run.counters.at("whatif.retries"), 0u);

@@ -27,7 +27,7 @@ class OptimizerTest : public ::testing::Test {
   static constexpr uint64_t kLineitemRows = 80000;
 
   static void SetUpTestSuite() {
-    env_ = new Env();
+    env_ = std::make_unique<Env>();
     Random rng(42);
 
     TableSchema orders("orders", {{"o_orderkey", ColumnType::kInt, 8},
@@ -88,15 +88,14 @@ class OptimizerTest : public ::testing::Test {
   }
 
   static void TearDownTestSuite() {
-    delete env_;
-    env_ = nullptr;
+    env_.reset();
   }
 
   struct Env {
     catalog::Catalog catalog;
     stats::StatsManager stats;
   };
-  static Env* env_;
+  static std::unique_ptr<Env> env_;
 
   Optimizer MakeOptimizer(const HardwareParams& hw = HardwareParams()) {
     provider_ = std::make_unique<StatsProvider>(&env_->stats);
@@ -120,7 +119,7 @@ class OptimizerTest : public ::testing::Test {
   std::unique_ptr<StatsProvider> provider_;
 };
 
-OptimizerTest::Env* OptimizerTest::env_ = nullptr;
+std::unique_ptr<OptimizerTest::Env> OptimizerTest::env_;
 
 TEST_F(OptimizerTest, BindResolvesTablesAndColumns) {
   Optimizer opt = MakeOptimizer();
@@ -367,7 +366,7 @@ TEST_F(OptimizerTest, OrderByAddsSortUnlessIndexProvidesOrder) {
 
 TEST_F(OptimizerTest, HardwareParametersChangeCosts) {
   Optimizer fast = MakeOptimizer(HardwareParams::ProductionClass());
-  auto p1 = provider_.release();  // keep alive for optimizer lifetime
+  auto p1 = std::move(provider_);  // keep alive for optimizer lifetime
   Optimizer slow = MakeOptimizer(HardwareParams::TestClass());
   const char* q =
       "SELECT o_custkey, COUNT(*) FROM orders o, lineitem l WHERE "
@@ -375,7 +374,6 @@ TEST_F(OptimizerTest, HardwareParametersChangeCosts) {
   double c_fast = Cost(fast, q, Configuration());
   double c_slow = Cost(slow, q, Configuration());
   EXPECT_LT(c_fast, c_slow);
-  delete p1;
 }
 
 // ---------------------------------------------------------------- views

@@ -146,7 +146,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
 class EstimationProperty : public ::testing::TestWithParam<uint64_t> {
  protected:
   static void SetUpTestSuite() {
-    env_ = new Env();
+    env_ = std::make_unique<Env>();
     TableSchema t("t", {{"a", ColumnType::kInt, 8},
                         {"b", ColumnType::kInt, 8},
                         {"c", ColumnType::kDouble, 8}});
@@ -174,8 +174,7 @@ class EstimationProperty : public ::testing::TestWithParam<uint64_t> {
         env_->catalog, *env_->provider, optimizer::HardwareParams());
   }
   static void TearDownTestSuite() {
-    delete env_;
-    env_ = nullptr;
+    env_.reset();
   }
   struct Env {
     catalog::Catalog catalog;
@@ -183,10 +182,10 @@ class EstimationProperty : public ::testing::TestWithParam<uint64_t> {
     std::unique_ptr<optimizer::StatsProvider> provider;
     std::unique_ptr<optimizer::Optimizer> opt;
   };
-  static Env* env_;
+  static std::unique_ptr<Env> env_;
 };
 
-EstimationProperty::Env* EstimationProperty::env_ = nullptr;
+std::unique_ptr<EstimationProperty::Env> EstimationProperty::env_;
 
 TEST_P(EstimationProperty, CardinalitiesWithinBounds) {
   Random rng(GetParam() * 101 + 3);

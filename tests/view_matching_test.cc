@@ -18,7 +18,7 @@ using catalog::TableSchema;
 class ViewMatchTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new catalog::Catalog();
+    catalog_ = std::make_unique<catalog::Catalog>();
     TableSchema orders("orders", {{"o_id", ColumnType::kInt, 8},
                                   {"o_cust", ColumnType::kInt, 8},
                                   {"o_date", ColumnType::kString, 10},
@@ -34,8 +34,7 @@ class ViewMatchTest : public ::testing::Test {
     ASSERT_TRUE(catalog_->AddDatabase(std::move(db)).ok());
   }
   static void TearDownTestSuite() {
-    delete catalog_;
-    catalog_ = nullptr;
+    catalog_.reset();
   }
 
   struct Parsed {
@@ -67,11 +66,11 @@ class ViewMatchTest : public ::testing::Test {
     return MatchView(q.bound, v.bound, view_);
   }
 
-  static catalog::Catalog* catalog_;
+  static std::unique_ptr<catalog::Catalog> catalog_;
   static catalog::ViewDef view_;
 };
 
-catalog::Catalog* ViewMatchTest::catalog_ = nullptr;
+std::unique_ptr<catalog::Catalog> ViewMatchTest::catalog_;
 catalog::ViewDef ViewMatchTest::view_;
 
 TEST_F(ViewMatchTest, ExactMatchNoResiduals) {

@@ -18,6 +18,11 @@ writes and dta_cli --metrics-json exports). The comparison gates:
              bench.shard_failover_overhead_pct (extra wall-clock of the
              sharded run with a fault-killed shard over the healthy sharded
              run) is gated against --max-shard-failover-overhead-pct.
+             bench.whatif_calls_saved_pct (real what-if calls the derived
+             costing layer avoided, vs the derivation-off run) is
+             counter-derived — machine invariant — and gated against the
+             floor --min-whatif-calls-saved-pct even when wall-clock gates
+             are skipped.
              Other gauges (e.g. bench.fault_overhead_pct) are informational.
 
 A baseline key missing from the current document fails (a scenario was
@@ -34,6 +39,7 @@ import sys
 WALL_SUFFIX = ".wall_ms"
 CHECKPOINT_GAUGE = "bench.checkpoint_overhead_pct"
 SHARD_FAILOVER_GAUGE = "bench.shard_failover_overhead_pct"
+CALLS_SAVED_GAUGE = "bench.whatif_calls_saved_pct"
 
 
 def load(path):
@@ -73,6 +79,10 @@ def main():
                         default=25.0,
                         help=f"absolute ceiling for {SHARD_FAILOVER_GAUGE} "
                              "(default 25.0)")
+    parser.add_argument("--min-whatif-calls-saved-pct", type=float,
+                        default=50.0,
+                        help=f"absolute floor for {CALLS_SAVED_GAUGE} "
+                             "(default 50.0)")
     parser.add_argument("--ignore-wall-clock", action="store_true",
                         help="skip every time-derived gate; only the "
                              "deterministic counters gate (for debug or "
@@ -107,6 +117,19 @@ def main():
     for name in sorted(base_gauges):
         if name not in cur_gauges:
             failures.append(f"gauge {name} missing from current run")
+            continue
+        if name == CALLS_SAVED_GAUGE:
+            # Counter-derived, not a timing: gate it before the wall-clock
+            # skip so debug/sanitizer builds still enforce the floor.
+            value = cur_gauges[name]
+            line = f"gauge {name}: {value:.3f}"
+            if value < args.min_whatif_calls_saved_pct:
+                failures.append(
+                    f"{line} is below the floor "
+                    f"{args.min_whatif_calls_saved_pct:.1f}")
+            else:
+                print(f"ok       {line} (floor "
+                      f"{args.min_whatif_calls_saved_pct:.1f})")
             continue
         if args.ignore_wall_clock:
             continue

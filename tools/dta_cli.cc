@@ -5,6 +5,8 @@
 // Usage:
 //   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
 //           [--evaluate] [--quiet] [--threads N] [--shards N]
+//           [--no-derived-costing] [--exact-costing]
+//           [--derivation-error-bound PCT]
 //           [--fault-spec SPEC] [--shard-fault-spec SPEC]
 //           [--checkpoint FILE] [--checkpoint-budget PCT] [--resume FILE]
 //           [--metrics-json FILE] [--fake-clock]
@@ -25,6 +27,23 @@
 //                 is the tuning server, shards 1..N-1 bit-exact clones;
 //                 calls are routed by rendezvous hashing with failover).
 //                 The recommendation is identical at any shard count.
+//   --no-derived-costing
+//                 Disable derived costing: every cache miss makes a real
+//                 what-if call. By default misses whose configuration
+//                 decomposes into per-access-path atomic configurations are
+//                 answered by the CoPhy combine rule over memoized atom
+//                 costs (10-100x fewer optimizer calls on index-rich
+//                 workloads; the recommendation is unchanged).
+//   --exact-costing
+//                 Price every derivable miss BOTH ways (derived and real),
+//                 record the derivation error distribution in the
+//                 derivation.error_pct histogram, and use the real cost.
+//                 Verifies the combine rule; saves nothing.
+//   --derivation-error-bound
+//                 Maximum tolerated derivation error, percent (default 0 =
+//                 exact derivations only). A nonzero bound also admits the
+//                 bounded singleton approximation for configurations whose
+//                 full decomposition is too large.
 //   --fault-spec  Inject scripted what-if optimizer faults, e.g.
 //                 "seed=42,transient=0.1,permanent=0.01,latency_ms=0.5".
 //                 Transient failures are retried with backoff; persistent
@@ -102,7 +121,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --metadata server.xml --input tuning.xml "
                "[--output out.xml] [--evaluate] [--quiet] [--threads N] "
-               "[--shards N] [--fault-spec SPEC] [--shard-fault-spec SPEC] "
+               "[--shards N] [--no-derived-costing] [--exact-costing] "
+               "[--derivation-error-bound PCT] "
+               "[--fault-spec SPEC] [--shard-fault-spec SPEC] "
                "[--checkpoint FILE] "
                "[--checkpoint-budget PCT] [--resume FILE] "
                "[--metrics-json FILE] [--fake-clock]\n",
@@ -117,6 +138,8 @@ int main(int argc, char** argv) {
   std::string fault_spec, shard_fault_spec;
   std::string checkpoint_path, resume_path, metrics_path;
   bool evaluate = false, quiet = false, fake_clock = false;
+  bool no_derived_costing = false, exact_costing = false;
+  double derivation_error_bound = -1;  // -1: keep the input's setting
   double checkpoint_budget = 0;
   int threads = -1;  // -1: keep the input document's (or default) setting
   int shards = -1;   // -1: keep the input document's (or default) setting
@@ -157,6 +180,21 @@ int main(int argc, char** argv) {
       shards = static_cast<int>(std::strtol(v, &end, 10));
       if (end == v || *end != '\0' || shards < 1) {
         std::fprintf(stderr, "--shards expects a positive integer\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--no-derived-costing") {
+      no_derived_costing = true;
+    } else if (arg == "--exact-costing") {
+      exact_costing = true;
+    } else if (arg == "--derivation-error-bound") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      derivation_error_bound = std::strtod(v, &end);
+      if (end == v || *end != '\0' || derivation_error_bound < 0) {
+        std::fprintf(
+            stderr,
+            "--derivation-error-bound expects a non-negative percent\n");
         return Usage(argv[0]);
       }
     } else if (arg == "--fault-spec") {
@@ -227,6 +265,11 @@ int main(int argc, char** argv) {
 
   if (threads >= 0) input->options.num_threads = threads;
   if (shards >= 1) input->options.shards = shards;
+  if (no_derived_costing) input->options.derived_costing = false;
+  if (exact_costing) input->options.exact_costing = true;
+  if (derivation_error_bound >= 0) {
+    input->options.derivation_error_bound_pct = derivation_error_bound;
+  }
   if (!fault_spec.empty()) {
     // Validate up front so a typo fails before tuning starts.
     auto parsed_spec = dta::FaultSpec::Parse(fault_spec);

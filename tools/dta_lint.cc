@@ -45,8 +45,12 @@
 // `DtaLintFixtures`).
 //
 // Usage:
-//   dta_lint [--root=DIR] [--disable=r1,r2] [--check-expectations] PATH...
+//   dta_lint [--root=DIR] [--disable=r1,r2] [--exclude=p1,p2]
+//            [--check-expectations] PATH...
 // PATHs (files or directories, *.h/*.cc/*.cpp) are resolved against --root.
+// --exclude drops files whose root-relative path starts with a listed
+// prefix — how the tree scan covers tests/ while skipping the deliberately
+// rule-violating tests/lint_fixtures/.
 // Exit codes: 0 clean, 1 findings or expectation mismatch, 2 usage error.
 
 #include <algorithm>
@@ -444,7 +448,8 @@ bool HasLintableExtension(const fs::path& p) {
 int Usage() {
   std::cerr
       << "usage: dta_lint [--root=DIR] [--disable=rule1,rule2]\n"
-         "                [--check-expectations] PATH...\n"
+         "                [--exclude=path1,path2] [--check-expectations]\n"
+         "                PATH...\n"
          "rules:";
   for (const std::string& r : kAllRules) std::cerr << " " << r;
   std::cerr << "\n";
@@ -456,6 +461,7 @@ int Usage() {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::set<std::string> disabled;
+  std::vector<std::string> excluded;
   bool check_expectations = false;
   std::vector<std::string> inputs;
 
@@ -463,6 +469,16 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
+    } else if (arg.rfind("--exclude=", 0) == 0) {
+      std::string list = arg.substr(10);
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) excluded.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (arg.rfind("--disable=", 0) == 0) {
       for (const std::string& r : ParseRuleList(arg.substr(10))) {
         if (std::find(kAllRules.begin(), kAllRules.end(), r) ==
@@ -483,6 +499,24 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) return Usage();
 
+  // Root-relative prefix match on path-component boundaries, so
+  // --exclude=tests/lint_fixtures skips the directory but not a sibling
+  // like tests/lint_fixtures_extra.
+  auto is_excluded = [&root, &excluded](const fs::path& p) {
+    std::error_code rel_ec;
+    const fs::path rel = fs::relative(p, root, rel_ec);
+    if (rel_ec || rel.empty()) return false;
+    const std::string rel_str = rel.generic_string();
+    for (const std::string& prefix : excluded) {
+      if (rel_str.size() < prefix.size()) continue;
+      if (rel_str.compare(0, prefix.size(), prefix) != 0) continue;
+      if (rel_str.size() == prefix.size() || rel_str[prefix.size()] == '/') {
+        return true;
+      }
+    }
+    return false;
+  };
+
   // Expand inputs to a sorted, de-duplicated file list (deterministic
   // output regardless of directory iteration order).
   std::set<fs::path> files;
@@ -492,12 +526,13 @@ int main(int argc, char** argv) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
-        if (entry.is_regular_file() && HasLintableExtension(entry.path())) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path()) &&
+            !is_excluded(entry.path())) {
           files.insert(entry.path());
         }
       }
     } else if (fs::is_regular_file(p, ec)) {
-      files.insert(p);
+      if (!is_excluded(p)) files.insert(p);
     } else {
       std::cerr << "dta_lint: no such file or directory: " << p << "\n";
       return 2;

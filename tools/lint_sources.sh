@@ -20,7 +20,7 @@ case "${1:-}" in
     find src tools -name '*.cc'
     ;;
   "")
-    find src tests bench tools \
+    find src tests bench tools examples \
       \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
       -not -path 'tests/lint_fixtures/*'
     ;;
