@@ -1,9 +1,9 @@
 // bench_pipeline — the CI bench-regression workload.
 //
-// Runs the TPC-H tuning pipeline under seven scenarios (serial, underived,
-// parallel, checkpointed, faulty, sharded, sharded_faulty) and emits one
-// observability document (dta-observability-v1, the same schema dta_cli
-// --metrics-json writes) with, per scenario:
+// Runs the TPC-H tuning pipeline under nine scenarios (serial, underived,
+// parallel, checkpointed, faulty, sharded, sharded_faulty, failslow,
+// multitenant) and emits one observability document (dta-observability-v1,
+// the same schema dta_cli --metrics-json writes) with, per scenario:
 //   counters  bench.<scenario>.whatif_calls   — deterministic call counts
 //   gauges    bench.<scenario>.wall_ms        — tuning wall-clock
 // plus
@@ -15,12 +15,21 @@
 //             bench.shard_failover_overhead_pct — extra wall-clock of the
 //             sharded run with one shard fault-killed mid-run over the
 //             healthy sharded run (gated at an absolute ceiling)
+//             bench.failslow_isolation_overhead_pct — extra wall-clock of
+//             the sharded run with one shard fail-slow (successful but
+//             latency-amplified responses) and the slowness detector
+//             isolating it, over the healthy sharded run (gated at an
+//             absolute ceiling)
 //             bench.whatif_calls_saved_pct    — real what-if calls the
 //             derived-costing layer avoided, as a percentage of the
 //             underived (derivation-off) run's calls; counter-derived and
 //             deterministic, gated at a floor. The recommendations of the
 //             two runs are required to be byte-identical — a divergence
 //             fails the benchmark itself.
+//
+// Every scenario's recommendation is also required to be byte-identical to
+// the serial run's (failslow included — the detector is routing-only — and
+// each multitenant tenant's).
 //
 // tools/bench_compare.py diffs this document against bench/baseline.json:
 // locally (ctest) with --ignore-wall-clock so only the deterministic call
@@ -33,10 +42,13 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "dta/tenant_driver.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
 #include "server/server.h"
@@ -68,6 +80,49 @@ Result<tuner::TuningResult> RunScenario(const tuner::TuningOptions& opts,
   }
   tuner::TuningSession session(server.get(), opts);
   return session.Tune(wl);
+}
+
+// Builds one statistics-warm TPC-H server (same recipe as RunScenario).
+Result<std::unique_ptr<server::Server>> MakeWarmServer(
+    const std::string& name, const workload::Workload& wl) {
+  auto server =
+      std::make_unique<server::Server>(name, optimizer::HardwareParams());
+  DTA_RETURN_IF_ERROR(workloads::AttachTpch(server.get(), kScaleFactor,
+                                            /*with_data=*/false, 7));
+  DTA_RETURN_IF_ERROR(
+      server->ImplementConfiguration(workloads::TpchRawConfiguration()));
+  tuner::TuningSession warmup(server.get(), tuner::TuningOptions{});
+  auto w = warmup.Tune(wl);
+  if (!w.ok()) return w.status();
+  return server;
+}
+
+// N tenants, each tuning its own warm server under `opts`, sharing what-if
+// capacity through the driver's admission control. Returns the outcomes;
+// `wall_ms` gets the whole fleet's wall-clock.
+Result<std::vector<tuner::TenantOutcome>> RunMultiTenant(
+    const tuner::TuningOptions& opts, const workload::Workload& wl, int n,
+    double* wall_ms) {
+  std::vector<std::unique_ptr<server::Server>> servers;
+  std::vector<server::Server*> server_ptrs;
+  std::vector<tuner::TenantSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    auto server = MakeWarmServer("prod-t" + std::to_string(i), wl);
+    if (!server.ok()) return server.status();
+    server_ptrs.push_back(server->get());
+    servers.push_back(std::move(server).value());
+    tuner::TenantSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.workload = &wl;
+    spec.options = opts;
+    spec.weight = 1;
+    specs.push_back(std::move(spec));
+  }
+  tuner::TenantDriver driver(tuner::TenantDriverOptions{});
+  const double t0 = MonotonicClock::Instance()->NowMs();
+  auto outcomes = driver.Run(specs, server_ptrs);
+  *wall_ms = MonotonicClock::Instance()->NowMs() - t0;
+  return outcomes;
 }
 
 void Record(MetricsRegistry* metrics, const std::string& scenario,
@@ -180,6 +235,65 @@ int Run(int argc, char** argv) {
   }
   Record(&metrics, "sharded_faulty", *sharded_faulty);
 
+  // Same fleet with shard 2 fail-slow: it answers every call successfully
+  // but ~200x late from its 5th call on. The latency-based detector
+  // (slow_threshold=4) demotes it to probe-only routing; the extra
+  // wall-clock over the healthy sharded run is the isolation-overhead gauge
+  // gated in CI. Fail-slow is routing-only, so the recommendation must stay
+  // byte-identical to the serial run's.
+  tuner::TuningOptions failslow_opts = sharded_opts;
+  failslow_opts.shard_fault_spec = "2:latency_ms=0.05,slow_after=5,slow_factor=200";
+  failslow_opts.shard_slow_threshold = 4;
+  auto failslow = RunScenario(failslow_opts, wl);
+  if (!failslow.ok()) {
+    std::fprintf(stderr, "failslow: %s\n",
+                 failslow.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "failslow", *failslow);
+  const std::string failslow_rec =
+      tuner::ConfigurationToXml(failslow->recommendation)->ToString();
+  if (failslow_rec != serial_rec) {
+    std::fprintf(stderr,
+                 "fail-slow isolation changed the recommendation:\n"
+                 "--- serial ---\n%s\n--- failslow ---\n%s\n",
+                 serial_rec.c_str(), failslow_rec.c_str());
+    return 1;
+  }
+
+  // Three tenants tuning concurrently under shared admission control; every
+  // tenant's recommendation must match the serial single-tenant run's.
+  tuner::TuningOptions tenant_opts;
+  tenant_opts.num_threads = 2;
+  double multitenant_wall_ms = 0;
+  auto tenants = RunMultiTenant(tenant_opts, wl, 3, &multitenant_wall_ms);
+  if (!tenants.ok()) {
+    std::fprintf(stderr, "multitenant: %s\n",
+                 tenants.status().ToString().c_str());
+    return 1;
+  }
+  size_t tenant_calls = 0;
+  for (const tuner::TenantOutcome& o : *tenants) {
+    if (!o.status.ok()) {
+      std::fprintf(stderr, "multitenant tenant %s: %s\n", o.name.c_str(),
+                   o.status.ToString().c_str());
+      return 1;
+    }
+    tenant_calls += o.result.whatif_calls;
+    const std::string rec =
+        tuner::ConfigurationToXml(o.result.recommendation)->ToString();
+    if (rec != serial_rec) {
+      std::fprintf(stderr,
+                   "multi-tenancy changed tenant %s's recommendation:\n"
+                   "--- serial ---\n%s\n--- tenant ---\n%s\n",
+                   o.name.c_str(), serial_rec.c_str(), rec.c_str());
+      return 1;
+    }
+  }
+  metrics.GetCounter("bench.multitenant.whatif_calls")
+      ->Increment(tenant_calls);
+  metrics.GetGauge("bench.multitenant.wall_ms")->Set(multitenant_wall_ms);
+
   // Robustness overheads (ROADMAP: < 1% checkpoint overhead target). The
   // checkpoint number divides the time actually spent inside checkpoint
   // writes by the same run's wall-clock — immune to run-to-run noise; the
@@ -203,6 +317,18 @@ int Run(int argc, char** argv) {
           : 0.0;
   metrics.GetGauge("bench.shard_failover_overhead_pct")
       ->Set(shard_failover_pct);
+  // Fail-slow isolation overhead: what a fleet pays to keep working while
+  // one shard answers 200x late. Without the detector this run would be
+  // latency-bound on the sick shard; with it, the cost is a handful of
+  // pre-demotion calls plus periodic probes.
+  const double failslow_pct =
+      sharded->tuning_time_ms > 0
+          ? 100.0 *
+                (failslow->tuning_time_ms - sharded->tuning_time_ms) /
+                sharded->tuning_time_ms
+          : 0.0;
+  metrics.GetGauge("bench.failslow_isolation_overhead_pct")
+      ->Set(failslow_pct);
   // Counter-derived (wall-clock free): identical on every machine, so CI
   // gates it at a floor even where timings are ignored.
   const double saved_pct =
@@ -225,16 +351,19 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "serial=%.0fms underived=%.0fms parallel=%.0fms "
                  "checkpointed=%.0fms faulty=%.0fms sharded=%.0fms "
-                 "sharded_faulty=%.0fms "
+                 "sharded_faulty=%.0fms failslow=%.0fms multitenant=%.0fms "
                  "checkpoint_overhead=%.3f%% (%zu writes, %.1fms) "
                  "shard_failover_overhead=%.3f%% (%zu failovers) "
+                 "failslow_isolation_overhead=%.3f%% (%zu slow demotions) "
                  "whatif_calls_saved=%.1f%% (%zu -> %zu calls)\n",
                  serial->tuning_time_ms, underived->tuning_time_ms,
                  parallel->tuning_time_ms, checkpointed->tuning_time_ms,
                  faulty->tuning_time_ms, sharded->tuning_time_ms,
-                 sharded_faulty->tuning_time_ms, ckpt_pct,
+                 sharded_faulty->tuning_time_ms, failslow->tuning_time_ms,
+                 multitenant_wall_ms, ckpt_pct,
                  checkpointed->checkpoint_writes, checkpointed->checkpoint_ms,
                  shard_failover_pct, sharded_faulty->shard_failovers,
+                 failslow_pct, failslow->shard_slow_demotions,
                  saved_pct, underived->whatif_calls, serial->whatif_calls);
   } else {
     std::printf("%s", doc.c_str());

@@ -1,5 +1,6 @@
 #include "common/fault_injector.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/hash.h"
@@ -24,6 +25,61 @@ uint64_t Mix(uint64_t seed, uint64_t key, uint64_t salt) {
   return h ^ (h >> 31);
 }
 
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Strict numeric parsing. The spec strings come from CLI flags and CI
+// scripts, where a mis-typed "0.3x" or "1e" must fail loudly, not run a
+// silently different chaos scenario: the strto* family alone accepts
+// leading whitespace, partially consumed values, "inf"/"nan", hex floats,
+// and (via wraparound) negative values for the unsigned parsers. Each
+// helper demands one complete, plain, in-range literal.
+bool StrictUint64(const std::string& v, uint64_t* out) {
+  if (v.empty()) return false;
+  for (char c : v) {
+    if (!IsDigit(c)) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (errno == ERANGE || end != v.c_str() + v.size()) return false;
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+bool StrictInt64(const std::string& v, int64_t* out) {
+  const size_t start = (!v.empty() && v[0] == '-') ? 1 : 0;
+  if (v.size() == start) return false;
+  for (size_t i = start; i < v.size(); ++i) {
+    if (!IsDigit(v[i])) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno == ERANGE || end != v.c_str() + v.size()) return false;
+  *out = static_cast<int64_t>(parsed);
+  return true;
+}
+
+bool StrictDouble(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  const char c0 = v[0];
+  if (c0 != '-' && c0 != '.' && !IsDigit(c0)) return false;
+  for (char c : v) {
+    // Decimal literals with an optional exponent only: no "inf"/"nan", no
+    // hex floats, no embedded whitespace.
+    if (!IsDigit(c) && c != '.' && c != 'e' && c != 'E' && c != '+' &&
+        c != '-') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (errno == ERANGE || end != v.c_str() + v.size()) return false;
+  *out = parsed;
+  return true;
+}
+
 }  // namespace
 
 Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
@@ -36,25 +92,40 @@ Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
     }
     std::string key = part.substr(0, eq);
     std::string value = part.substr(eq + 1);
-    char* end = nullptr;
+    bool ok = false;
     if (key == "seed") {
-      spec.seed = strtoull(value.c_str(), &end, 10);
+      ok = StrictUint64(value, &spec.seed);
     } else if (key == "transient") {
-      spec.transient_probability = std::strtod(value.c_str(), &end);
+      ok = StrictDouble(value, &spec.transient_probability);
     } else if (key == "permanent") {
-      spec.permanent_probability = std::strtod(value.c_str(), &end);
+      ok = StrictDouble(value, &spec.permanent_probability);
     } else if (key == "latency_ms") {
-      spec.latency_ms = std::strtod(value.c_str(), &end);
+      ok = StrictDouble(value, &spec.latency_ms);
     } else if (key == "down_after") {
-      spec.down_after = strtoll(value.c_str(), &end, 10);
+      ok = StrictInt64(value, &spec.down_after);
     } else if (key == "burst_start") {
-      spec.burst_start = strtoull(value.c_str(), &end, 10);
+      ok = StrictUint64(value, &spec.burst_start);
     } else if (key == "burst_len") {
-      spec.burst_len = strtoull(value.c_str(), &end, 10);
+      ok = StrictUint64(value, &spec.burst_len);
+    } else if (key == "slow_after") {
+      ok = StrictInt64(value, &spec.slow_after);
+    } else if (key == "slow_factor") {
+      ok = StrictDouble(value, &spec.slow_factor);
+    } else if (key == "table") {
+      // Identifier characters only — a stray ',' or ':' already split
+      // elsewhere, so this catches the rest (spaces, quotes, '=').
+      ok = !value.empty();
+      for (char c : value) {
+        if (!(IsDigit(c) || (c >= 'a' && c <= 'z') ||
+              (c >= 'A' && c <= 'Z') || c == '_')) {
+          ok = false;
+        }
+      }
+      if (ok) spec.table = ToLower(value);
     } else {
       return Status::InvalidArgument("unknown fault spec key: " + key);
     }
-    if (end == value.c_str() || *end != '\0') {
+    if (!ok) {
       return Status::InvalidArgument("bad fault spec value: " + part);
     }
   }
@@ -67,6 +138,12 @@ Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
   }
   if (spec.down_after < -1) {
     return Status::InvalidArgument("down_after must be >= 0 (or -1 = off)");
+  }
+  if (spec.slow_after < -1) {
+    return Status::InvalidArgument("slow_after must be >= 0 (or -1 = off)");
+  }
+  if (spec.slow_factor < 1) {
+    return Status::InvalidArgument("slow_factor must be >= 1");
   }
   return spec;
 }
@@ -84,20 +161,48 @@ std::string FaultSpec::ToString() const {
                      static_cast<unsigned long long>(burst_start),
                      static_cast<unsigned long long>(burst_len));
   }
+  if (slow_after >= 0) {
+    out += StrFormat(",slow_after=%lld,slow_factor=%g",
+                     static_cast<long long>(slow_after), slow_factor);
+  }
+  if (!table.empty()) {
+    out += ",table=" + table;
+  }
   return out;
 }
 
 FaultInjector::Outcome FaultInjector::Decide(uint64_t key) {
+  static const std::set<std::string> kNoTables;
+  return Decide(key, kNoTables);
+}
+
+FaultInjector::Outcome FaultInjector::Decide(
+    uint64_t key, const std::set<std::string>& tables) {
+  const bool matched =
+      spec_.table.empty() || tables.count(spec_.table) > 0;
+  Outcome out;
   int attempt;
   uint64_t ordinal;
   {
     MutexLock lock(mu_);
+    ++calls_;
+    // A filtered-out call passes through untouched: no latency, no failure,
+    // and no ordinal advance — the window shapes describe the targeted
+    // table's call stream, not the whole server's.
+    if (!matched) return out;
     attempt = attempts_[key]++;
-    ordinal = calls_++;
+    ordinal = matched_calls_++;
   }
-  Outcome out;
   out.latency_ms = spec_.latency_ms;
-  // Outage shapes come first: an unreachable server fails every call in the
+  // Fail-slow comes before the failure draws: a slow node is slow for every
+  // response it still manages to produce, successful or not.
+  if (spec_.slow_after >= 0 &&
+      ordinal >= static_cast<uint64_t>(spec_.slow_after)) {
+    out.latency_ms *= spec_.slow_factor;
+    MutexLock lock(mu_);
+    ++slow_;
+  }
+  // Outage shapes next: an unreachable server fails every call in the
   // window regardless of the per-key draws below.
   const bool node_down =
       spec_.down_after >= 0 &&
@@ -153,6 +258,16 @@ size_t FaultInjector::permanent_failures() const {
 size_t FaultInjector::outage_failures() const {
   MutexLock lock(mu_);
   return outage_;
+}
+
+size_t FaultInjector::slow_calls() const {
+  MutexLock lock(mu_);
+  return slow_;
+}
+
+size_t FaultInjector::skipped_calls() const {
+  MutexLock lock(mu_);
+  return calls_ - matched_calls_;
 }
 
 }  // namespace dta

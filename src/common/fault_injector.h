@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/mutex.h"
@@ -28,17 +29,21 @@ namespace dta {
 // Parsed form of the "--fault-spec" / TuningOptions::fault_spec string:
 // comma-separated key=value pairs, e.g.
 //   "seed=42,transient=0.1,permanent=0.01,latency_ms=0.5,down_after=100"
-// Unknown keys are rejected; probabilities must lie in [0, 1].
+//   "table=lineitem,transient=0.3"
+//   "latency_ms=0.05,slow_after=5,slow_factor=200"
+// Unknown keys, trailing garbage, leading whitespace/signs, and out-of-range
+// literals are rejected; probabilities must lie in [0, 1].
 struct FaultSpec {
   uint64_t seed = 1;
   double transient_probability = 0;  // per-attempt Unavailable failure
   double permanent_probability = 0;  // per-call-key Internal failure
   double latency_ms = 0;             // extra latency added to every call
 
-  // Richer incident shapes, modeled on the injector's global call ordinal
-  // (0-based, counted across all keys). Exact ordinals are only meaningful
-  // on a serially driven injector; under concurrency the *set* of affected
-  // calls depends on scheduling, and callers rely on retry/failover to make
+  // Richer incident shapes, modeled on the injector's matched-call ordinal
+  // (0-based; every call when no `table` filter is set, only the calls the
+  // filter targets otherwise). Exact ordinals are only meaningful on a
+  // serially driven injector; under concurrency the *set* of affected calls
+  // depends on scheduling, and callers rely on retry/failover to make
   // results independent of which calls land in the window.
   //
   // Node death: every call from ordinal `down_after` onward fails
@@ -50,9 +55,22 @@ struct FaultSpec {
   uint64_t burst_start = 0;
   uint64_t burst_len = 0;
 
+  // Fail-slow: from ordinal `slow_after` onward every call's injected
+  // latency is latency_ms * slow_factor — responses stay successful, just
+  // late (the fleet failure mode crash-stop health tracking cannot see).
+  // -1 disables; 0 makes the node slow from its first call.
+  int64_t slow_after = -1;
+  double slow_factor = 1;  // latency multiplier once slow; must be >= 1
+
+  // Per-table targeting: when non-empty, only calls whose statement
+  // references this table (lowercased) are subject to faults; other calls
+  // pass through untouched and do not advance the matched-call ordinal.
+  std::string table;
+
   bool Enabled() const {
     return transient_probability > 0 || permanent_probability > 0 ||
-           latency_ms > 0 || down_after >= 0 || burst_len > 0;
+           latency_ms > 0 || down_after >= 0 || burst_len > 0 ||
+           slow_after >= 0;
   }
 
   static Result<FaultSpec> Parse(const std::string& text);
@@ -75,7 +93,12 @@ class FaultInjector {
   // Decides the fate of the next attempt of the call identified by `key`.
   // Keys must be stable across runs (hash of statement + relevant
   // configuration); attempts of the same key are numbered internally.
+  // The two-argument form supplies the statement's referenced tables for
+  // the spec's `table` filter; the one-argument form never matches a
+  // table-filtered spec.
   Outcome Decide(uint64_t key) EXCLUDES(mu_);
+  Outcome Decide(uint64_t key, const std::set<std::string>& tables)
+      EXCLUDES(mu_);
 
   // Counters, for tests and reports.
   size_t calls() const EXCLUDES(mu_);
@@ -85,15 +108,24 @@ class FaultInjector {
   // neither counter above: outages model unreachability, not optimizer
   // errors, though they surface as Unavailable just the same).
   size_t outage_failures() const EXCLUDES(mu_);
+  // Calls whose latency was amplified by the fail-slow window (a slow node
+  // is slow for failures too, so this counts failed calls as well).
+  size_t slow_calls() const EXCLUDES(mu_);
+  // Calls the `table` filter exempted from injection.
+  size_t skipped_calls() const EXCLUDES(mu_);
 
  private:
   FaultSpec spec_;
   mutable Mutex mu_;
   std::map<uint64_t, int> attempts_ GUARDED_BY(mu_);
   size_t calls_ GUARDED_BY(mu_) = 0;
+  // Calls that passed the table filter; the ordinal stream the window
+  // shapes (down_after/burst/slow_after) are modeled on.
+  size_t matched_calls_ GUARDED_BY(mu_) = 0;
   size_t transient_ GUARDED_BY(mu_) = 0;
   size_t permanent_ GUARDED_BY(mu_) = 0;
   size_t outage_ GUARDED_BY(mu_) = 0;
+  size_t slow_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dta

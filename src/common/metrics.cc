@@ -37,6 +37,16 @@ double Histogram::BucketUpperBound(size_t i) {
   return std::ldexp(1.0, static_cast<int>(i));  // 2^i
 }
 
+void Histogram::Merge(const HistogramSnapshot& snap) {
+  for (size_t i = 0; i < kBuckets && i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] > 0) {
+      buckets_[i].fetch_add(snap.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snap.count, std::memory_order_relaxed);
+  sum_micros_.fetch_add(snap.sum_micros, std::memory_order_relaxed);
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   MutexLock lock(mu_);
   auto it = counters_.find(name);
@@ -99,6 +109,28 @@ std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramValues()
     out.emplace(name, std::move(snap));
   }
   return out;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other,
+                                const std::string& prefix) {
+  // Snapshot first: the Get* calls below take this registry's lock, and
+  // snapshots keep the two registries' locks strictly sequenced (never held
+  // together), so self-merge aside, no lock-order issue can arise.
+  const auto counters = other.CounterValues();
+  const auto gauges = other.GaugeValues();
+  const auto histograms = other.HistogramValues();
+  for (const auto& [name, value] : counters) {
+    // Zero counters merge too: the merged export must carry every name the
+    // tenant registry carried, or exports would differ by which counters
+    // happened to fire.
+    GetCounter(prefix + name)->Increment(value);
+  }
+  for (const auto& [name, value] : gauges) {
+    GetGauge(prefix + name)->Set(value);
+  }
+  for (const auto& [name, snap] : histograms) {
+    GetHistogram(prefix + name)->Merge(snap);
+  }
 }
 
 std::string JsonEscape(const std::string& s) {

@@ -79,6 +79,10 @@ class Histogram {
   // Exclusive upper bound of bucket i; +infinity for the last bucket.
   static double BucketUpperBound(size_t i);
 
+  // Folds a snapshot of another histogram into this one (bucketwise integer
+  // addition, so merging preserves the determinism contract).
+  void Merge(const struct HistogramSnapshot& snap);
+
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -115,6 +119,15 @@ class MetricsRegistry {
   // byte-identical for identical logical contents. See ObservabilityJson
   // (common/trace.h) for the full document.
   void AppendJsonBody(std::string* out, const std::string& indent) const;
+
+  // Folds a snapshot of `other` into this registry, every metric renamed to
+  // `prefix + name` (counters add, gauges last-write-win, histograms merge
+  // bucketwise). The multi-tenant driver merges each tenant's private
+  // registry under "tenant.<name>." this way — serially, after the tenant
+  // threads join, so the merged export is deterministic whenever the
+  // per-tenant registries are.
+  void MergeFrom(const MetricsRegistry& other, const std::string& prefix)
+      EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;

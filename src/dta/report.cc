@@ -15,6 +15,10 @@ std::string Report::ToText() const {
   if (shards > 1) {
     out += StrFormat("Sharded costing: %d shards, %zu failovers\n", shards,
                      shard_failovers);
+    if (shard_slow_demotions > 0) {
+      out += StrFormat("  fail-slow isolation: %zu slow demotions\n",
+                       shard_slow_demotions);
+    }
   }
   if (whatif_retries > 0 || degraded_calls > 0) {
     out += StrFormat(
@@ -79,6 +83,10 @@ xml::ElementPtr Report::ToXml() const {
   if (shards > 1) {
     root->SetAttr("Shards", StrFormat("%d", shards));
     root->SetAttr("ShardFailovers", StrFormat("%zu", shard_failovers));
+    if (shard_slow_demotions > 0) {
+      root->SetAttr("ShardSlowDemotions",
+                    StrFormat("%zu", shard_slow_demotions));
+    }
   }
   if (whatif_retries > 0 || degraded_calls > 0) {
     root->SetAttr("WhatIfRetries", StrFormat("%zu", whatif_retries));

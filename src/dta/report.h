@@ -44,10 +44,12 @@ struct Report {
   double parallel_speedup = 1;
 
   // Distributed costing: shard fan-out of the what-if backend (1 = single
-  // server) and the failed attempts that were rescued by failing over to
-  // another shard.
+  // server), the failed attempts that were rescued by failing over to
+  // another shard, and the times the latency-based slowness detector
+  // demoted a shard to probe-only routing.
   int shards = 1;
   size_t shard_failovers = 0;
+  size_t shard_slow_demotions = 0;
 
   // Fault tolerance: retried what-if attempts, pricings that degraded to
   // the heuristic estimate, and the attempts-per-pricing distribution

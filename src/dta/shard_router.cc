@@ -26,6 +26,11 @@ uint64_t RendezvousScore(uint64_t key, size_t shard) {
       HashCombine(key, 0x7368617264ull + static_cast<uint64_t>(shard)));
 }
 
+// Smoothing factor for the per-shard latency EWMA: heavy enough that a
+// latency spike registers within a few calls, light enough that one outlier
+// does not demote a healthy shard.
+constexpr double kEwmaAlpha = 0.25;
+
 }  // namespace
 
 bool ShardFaultSpec::Enabled() const {
@@ -45,10 +50,18 @@ Result<ShardFaultSpec> ShardFaultSpec::Parse(const std::string& text) {
           "shard fault spec entry missing ':' (want <shard>:<spec>): " +
           part);
     }
-    char* end = nullptr;
+    // Strict index parse: plain digits only (strtol alone would accept
+    // leading whitespace or a '+' sign and mask a typo'd spec).
     const std::string index_text = part.substr(0, colon);
-    const long index = std::strtol(index_text.c_str(), &end, 10);
-    if (end == index_text.c_str() || *end != '\0' || index < 0) {
+    bool digits = !index_text.empty();
+    for (char c : index_text) {
+      if (c < '0' || c > '9') digits = false;
+    }
+    char* end = nullptr;
+    const long index =
+        digits ? std::strtol(index_text.c_str(), &end, 10) : -1;
+    if (!digits || end != index_text.c_str() + index_text.size() ||
+        index < 0) {
       return Status::InvalidArgument(
           "shard fault spec has a bad shard index: " + part);
     }
@@ -74,8 +87,16 @@ ShardRouter::ShardRouter(std::vector<server::Server*> servers,
                          ShardRouterOptions options)
     : options_(options) {
   DTA_CHECK(!servers.empty(), "ShardRouter needs at least one server");
-  DTA_CHECK(options_.max_inflight_per_shard >= 1,
-            "max_inflight_per_shard must be >= 1");
+  // Clamp rather than abort: a zero probe_interval or window means "the
+  // most aggressive legal setting", not a crash. The clamped values are
+  // visible through options() so callers and tests see what actually runs.
+  options_.max_inflight_per_shard =
+      std::max(1, options_.max_inflight_per_shard);
+  options_.unhealthy_after = std::max(1, options_.unhealthy_after);
+  options_.probe_interval = std::max(1, options_.probe_interval);
+  options_.slow_min_samples = std::max(1, options_.slow_min_samples);
+  options_.slow_floor_ms = std::max(0.0, options_.slow_floor_ms);
+  if (options_.clock == nullptr) options_.clock = MonotonicClock::Instance();
   shards_.reserve(servers.size());
   for (size_t i = 0; i < servers.size(); ++i) {
     auto shard = std::make_unique<Shard>();
@@ -93,6 +114,8 @@ ShardRouter::ShardRouter(std::vector<server::Server*> servers,
   if (options_.metrics != nullptr) {
     m_failovers_ = options_.metrics->GetCounter("shard.router.failovers");
     m_exhausted_ = options_.metrics->GetCounter("shard.router.exhausted");
+    m_slow_demotions_ =
+        options_.metrics->GetCounter("shard.router.slow_demotions");
   }
 }
 
@@ -116,7 +139,9 @@ std::vector<size_t> ShardRouter::RankShards(uint64_t key) const {
 
 bool ShardRouter::AdmitForPass(Shard& shard) {
   MutexLock shard_lock(shard.mu);
-  if (shard.healthy) return true;
+  // A shard demoted for slowness is routed around exactly like an unhealthy
+  // one: same skip counter, same probe cadence, same recovery path.
+  if (shard.healthy && !shard.slow) return true;
   if (++shard.skipped_since_down >= options_.probe_interval) {
     shard.skipped_since_down = 0;
     return true;  // recovery probe
@@ -165,15 +190,75 @@ void ShardRouter::RecordOutcome(Shard& shard, bool ok) {
   }
 }
 
+double ShardRouter::FleetMedianEwma() {
+  std::vector<double> ewmas;
+  ewmas.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    MutexLock shard_lock(s->mu);
+    if (s->latency_samples >=
+        static_cast<size_t>(options_.slow_min_samples)) {
+      ewmas.push_back(s->latency_ewma);
+    }
+  }
+  // A fleet needs at least two measured shards before "slower than the
+  // fleet" means anything; a fleet of one is never slow.
+  if (ewmas.size() < 2) return 0;
+  std::sort(ewmas.begin(), ewmas.end());
+  // Lower middle: with half the fleet slow, the median must still reflect
+  // the fast half or the detector grades the sick shards on a curve.
+  return ewmas[(ewmas.size() - 1) / 2];
+}
+
+void ShardRouter::RecordLatency(Shard& shard, double latency_ms) {
+  if (options_.slow_threshold <= 0) return;
+  {
+    MutexLock shard_lock(shard.mu);
+    shard.latency_ewma =
+        shard.latency_samples == 0
+            ? latency_ms
+            : kEwmaAlpha * latency_ms +
+                  (1.0 - kEwmaAlpha) * shard.latency_ewma;
+    ++shard.latency_samples;
+    if (shard.latency_samples <
+        static_cast<size_t>(options_.slow_min_samples)) {
+      return;
+    }
+  }
+  // Judged against the fleet, one shard lock at a time (never two at once).
+  // The verdict can race with concurrent updates, but demotion is
+  // routing-only, so a late or spurious flip costs latency, never
+  // correctness.
+  const double median = FleetMedianEwma();
+  if (median <= 0) return;
+  const double limit =
+      std::max(options_.slow_threshold * median, options_.slow_floor_ms);
+  MutexLock shard_lock(shard.mu);
+  const bool is_slow = shard.latency_ewma > limit;
+  if (is_slow && !shard.slow) {
+    shard.slow = true;
+    shard.skipped_since_down = 0;
+    slow_demotions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_slow_demotions_ != nullptr) m_slow_demotions_->Increment();
+  } else if (!is_slow && shard.slow) {
+    shard.slow = false;  // probes brought the EWMA back under the limit
+  }
+}
+
 Result<server::Server::WhatIfResult> ShardRouter::TryShard(
     Shard& shard, const sql::Statement& stmt,
     const catalog::Configuration& config,
     const optimizer::HardwareParams* simulate_hardware, uint64_t call_key) {
+  const bool detect = options_.slow_threshold > 0;
   AcquireSlot(shard);
+  // Latency is measured around the server call alone — queue wait above is
+  // the router's own back-pressure, not the shard's slowness.
+  const double t0 = detect ? options_.clock->NowMs() : 0;
   auto r = shard.server->WhatIfCost(stmt, config, simulate_hardware,
                                     call_key);
+  const double latency_ms = detect ? options_.clock->NowMs() - t0 : 0;
   ReleaseSlot(shard);
   RecordOutcome(shard, r.ok());
+  if (detect && r.ok()) RecordLatency(shard, latency_ms);
   return r;
 }
 
@@ -245,6 +330,16 @@ size_t ShardRouter::inflight_peak(size_t shard) const {
 bool ShardRouter::healthy(size_t shard) const {
   MutexLock shard_lock(shards_[shard]->mu);
   return shards_[shard]->healthy;
+}
+
+bool ShardRouter::slow(size_t shard) const {
+  MutexLock shard_lock(shards_[shard]->mu);
+  return shards_[shard]->slow;
+}
+
+double ShardRouter::latency_ewma_ms(size_t shard) const {
+  MutexLock shard_lock(shards_[shard]->mu);
+  return shards_[shard]->latency_ewma;
 }
 
 }  // namespace dta::tuner

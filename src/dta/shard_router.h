@@ -24,16 +24,28 @@
 // CostService retry/degradation policy above this layer decides what
 // happens next.
 //
+// Fail-slow isolation: crash-stop health tracking never fires for a shard
+// that answers every call successfully, just 100x late — the failure mode
+// that actually hurts fleets. When `slow_threshold` is set, the router
+// keeps an EWMA of each shard's successful-call latency; a shard whose
+// EWMA exceeds slow_threshold x the fleet median (and an absolute floor,
+// so microsecond noise on an idle fleet demotes nobody) is demoted to
+// probe-only routing exactly like an unhealthy shard, and recovers through
+// the same probe path once its probes' EWMA decays back under the
+// threshold. Demotion is routing-only: it moves calls to faster replicas,
+// never changes what any call returns.
+//
 // Back-pressure: a bounded in-flight window per shard; callers block on the
 // shard's condition variable until a slot frees. This caps the concurrent
 // load any one shard absorbs (and any one slow shard can hold hostage).
 //
 // Determinism argument: every shard is a bit-exact replica, so a call
-// returns the same cost on any shard — routing and failover only choose
-// *where* a call runs, never *what* it returns. CostService's in-flight
-// dedup prices each logical call exactly once regardless of backend, so
-// recommendations, costs, and whatif_calls are byte-identical at any
-// (threads × shards) combination; only wall-clock and per-shard load vary.
+// returns the same cost on any shard — routing, failover, and slowness
+// demotion only choose *where* a call runs, never *what* it returns.
+// CostService's in-flight dedup prices each logical call exactly once
+// regardless of backend, so recommendations, costs, and whatif_calls are
+// byte-identical at any (threads × shards) combination; only wall-clock
+// and per-shard load vary.
 
 #ifndef DTA_DTA_SHARD_ROUTER_H_
 #define DTA_DTA_SHARD_ROUTER_H_
@@ -45,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
@@ -72,11 +85,30 @@ struct ShardFaultSpec {
 
 struct ShardRouterOptions {
   // Concurrent what-if calls admitted per shard; further callers block.
+  // Clamped to >= 1 at construction.
   int max_inflight_per_shard = 8;
-  // Consecutive failures before a shard is marked unhealthy.
+  // Consecutive failures before a shard is marked unhealthy. Clamped to
+  // >= 1 (1 = demote on the first failure).
   int unhealthy_after = 3;
-  // An unhealthy shard receives a probe call after this many skips.
+  // A demoted (unhealthy or slow) shard receives a probe call after this
+  // many skips. Clamped to >= 1 (1 = probe on every routing decision that
+  // would have skipped it).
   int probe_interval = 16;
+  // Latency-based slowness detection: a shard whose successful-call latency
+  // EWMA exceeds slow_threshold x the fleet-median EWMA is demoted to
+  // probe-only routing until its probes bring the EWMA back under. 0
+  // disables the detector.
+  double slow_threshold = 0;
+  // The detector never judges a shard before it has this many latency
+  // samples, and never calls a shard slow below this absolute latency (ms)
+  // — an idle in-process fleet jitters by microseconds, which must not
+  // demote anybody.
+  int slow_min_samples = 8;
+  double slow_floor_ms = 1.0;
+  // Clock for latency measurement; null means the real monotonic clock.
+  // Under a test's FakeClock every measured latency is 0 and the detector
+  // never fires — metric exports stay byte-stable.
+  const Clock* clock = nullptr;
   // Observability (optional): per-shard call/failure counters and
   // queue-depth gauges, plus router-level failover counters. Per-shard load
   // is scheduling dependent, so these land under "shard." names that the
@@ -102,6 +134,9 @@ class ShardRouter : public CostBackend {
   // of (key, shard index) — exposed for tests and deterministic by design.
   std::vector<size_t> RankShards(uint64_t key) const;
 
+  // The options as the constructor clamped them.
+  const ShardRouterOptions& options() const { return options_; }
+
   // ---- Accounting (tests assert the no-lost/no-double-count invariants).
   size_t shard_count() const { return shards_.size(); }
   // Calls that returned OK from some shard. Exactly one success per logical
@@ -118,6 +153,10 @@ class ShardRouter : public CostBackend {
   size_t exhausted() const {
     return exhausted_.load(std::memory_order_relaxed);
   }
+  // Times the slowness detector demoted a shard to probe-only routing.
+  size_t slow_demotions() const {
+    return slow_demotions_.load(std::memory_order_relaxed);
+  }
   size_t calls(size_t shard) const;
   size_t failures(size_t shard) const;
   // Deepest (in-flight + waiting) queue observed on the shard.
@@ -125,6 +164,17 @@ class ShardRouter : public CostBackend {
   // Peak concurrently executing calls (never exceeds max_inflight_per_shard).
   size_t inflight_peak(size_t shard) const;
   bool healthy(size_t shard) const;
+  // True while the slowness detector has the shard demoted.
+  bool slow(size_t shard) const;
+  // Current successful-call latency EWMA (ms; 0 before the first sample).
+  double latency_ewma_ms(size_t shard) const;
+
+  // Test hook: feeds one successful-call latency sample through the same
+  // EWMA/demotion path TryShard uses, without running a call. Lets tests
+  // drive the detector deterministically instead of sleeping.
+  void RecordLatencyForTest(size_t shard, double latency_ms) {
+    RecordLatency(*shards_[shard], latency_ms);
+  }
 
  private:
   struct Shard {
@@ -140,6 +190,11 @@ class ShardRouter : public CostBackend {
     int consecutive_failures GUARDED_BY(mu) = 0;
     bool healthy GUARDED_BY(mu) = true;
     int skipped_since_down GUARDED_BY(mu) = 0;
+    // Slowness detector state: EWMA of successful-call latency and the
+    // demotion flag it drives.
+    double latency_ewma GUARDED_BY(mu) = 0;
+    size_t latency_samples GUARDED_BY(mu) = 0;
+    bool slow GUARDED_BY(mu) = false;
     // Metrics handles (null without a registry); resolved once at
     // construction so the hot path never locks the registry.
     Counter* m_calls = nullptr;
@@ -147,14 +202,21 @@ class ShardRouter : public CostBackend {
     Gauge* m_queue_peak = nullptr;
   };
 
-  // Whether to try this shard in the healthy-first pass: true when healthy,
-  // or when an unhealthy shard is due a recovery probe.
+  // Whether to try this shard in the healthy-first pass: true when healthy
+  // and not slow, or when a demoted shard is due a recovery probe.
   bool AdmitForPass(Shard& shard) EXCLUDES(shard.mu);
   // Blocks until the shard has a free in-flight slot, then claims it.
   void AcquireSlot(Shard& shard) EXCLUDES(shard.mu);
   void ReleaseSlot(Shard& shard) EXCLUDES(shard.mu);
   // Records the attempt's outcome and updates health state.
   void RecordOutcome(Shard& shard, bool ok) EXCLUDES(shard.mu);
+  // Feeds a successful call's latency into the shard's EWMA and re-judges
+  // its slowness against the fleet median. Takes each shard's lock one at
+  // a time, never two at once.
+  void RecordLatency(Shard& shard, double latency_ms) EXCLUDES(shard.mu);
+  // Fleet-median latency EWMA over shards with enough samples (0 when
+  // fewer than two shards qualify — a fleet of one is never "slow").
+  double FleetMedianEwma();
   // One attempt on one shard: slot acquisition, the what-if call, outcome
   // accounting.
   Result<server::Server::WhatIfResult> TryShard(
@@ -167,8 +229,10 @@ class ShardRouter : public CostBackend {
   std::atomic<size_t> successes_{0};
   std::atomic<size_t> failovers_{0};
   std::atomic<size_t> exhausted_{0};
+  std::atomic<size_t> slow_demotions_{0};
   Counter* m_failovers_ = nullptr;
   Counter* m_exhausted_ = nullptr;
+  Counter* m_slow_demotions_ = nullptr;
 };
 
 }  // namespace dta::tuner

@@ -91,6 +91,13 @@ struct TuningOptions {
   // callers past the bound block). 0 means "auto": twice the resolved
   // thread count, at least 4.
   int shard_max_inflight = 0;
+  // Latency-based fail-slow isolation: a shard whose successful-call latency
+  // EWMA exceeds this multiple of the fleet-median EWMA is demoted to
+  // probe-only routing until it recovers (dta/shard_router.h). 0 (default)
+  // disables the detector. Demotion is routing-only — recommendations stay
+  // byte-identical with the detector on or off — so, like `shards`, this is
+  // excluded from the checkpoint options fingerprint.
+  double shard_slow_threshold = 0;
 
   // ---- Derived costing (CoPhy-style atomic-configuration derivation).
   // When true (default), cache misses whose configuration decomposes into

@@ -18,6 +18,7 @@
 #include "dta/merging.h"
 #include "dta/reduced_stats.h"
 #include "dta/shard_router.h"
+#include "dta/tenant_driver.h"
 
 namespace dta::tuner {
 
@@ -305,12 +306,25 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     router_options.max_inflight_per_shard =
         options_.shard_max_inflight > 0 ? options_.shard_max_inflight
                                         : std::max(4, 2 * num_threads);
+    // Fail-slow isolation: the detector measures shard latency on the
+    // session's observability clock, so a test's FakeClock sees every
+    // latency as 0 and the detector stays byte-silent.
+    router_options.slow_threshold = options_.shard_slow_threshold;
+    router_options.clock = clock;
     router_options.metrics = obs_.metrics;
     router = std::make_unique<ShardRouter>(shard_servers, router_options);
   }
   CostBackend* cost_backend =
       router != nullptr ? static_cast<CostBackend*>(router.get())
                         : &single_backend;
+  // Multi-tenant admission: wrap whatever backend was chosen so every real
+  // what-if call first passes the fleet's shared admission controller.
+  std::unique_ptr<AdmittedBackend> admitted_backend;
+  if (tenant_.admission != nullptr) {
+    admitted_backend = std::make_unique<AdmittedBackend>(
+        cost_backend, tenant_.admission, tenant_.tenant_id);
+    cost_backend = admitted_backend.get();
+  }
 
   CostService::Config cost_config;
   cost_config.retry = options_.retry;
@@ -813,6 +827,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     result.shard_successes = router->successes();
     result.shard_failovers = router->failovers();
     result.shard_exhausted = router->exhausted();
+    result.shard_slow_demotions = router->slow_demotions();
     for (size_t i = 0; i < router->shard_count(); ++i) {
       result.shard_calls.push_back(router->calls(i));
       result.shard_queue_peak =
@@ -826,6 +841,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   result.report.parallel_speedup = result.ParallelSpeedup();
   result.report.shards = shard_count;
   result.report.shard_failovers = result.shard_failovers;
+  result.report.shard_slow_demotions = result.shard_slow_demotions;
   result.report.whatif_retries = result.whatif_retries;
   result.report.degraded_calls = result.degraded_calls;
   {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/physical_design.h"
@@ -33,6 +34,18 @@
 #include "workload/workload.h"
 
 namespace dta::tuner {
+
+class AdmissionController;
+
+// Identity a session carries when it runs as one tenant of a multi-tenant
+// fleet (dta/tenant_driver.h): its name and the shared admission controller
+// every real what-if call must pass through. Default-constructed (null
+// admission) means single-tenant — no admission, no behavioral change.
+struct TenantContext {
+  std::string name;
+  AdmissionController* admission = nullptr;
+  int tenant_id = 0;
+};
 
 struct TuningResult {
   catalog::Configuration recommendation;
@@ -96,6 +109,10 @@ struct TuningResult {
   size_t shard_failovers = 0;   // failed attempts rescued by another shard
   size_t shard_exhausted = 0;   // calls that failed on every shard
   size_t shard_queue_peak = 0;  // deepest per-shard (in-flight + waiting)
+  // Times the fail-slow detector demoted a shard to probe-only routing
+  // (0 unless shard_slow_threshold was set). Timing dependent, like the
+  // failover counter: surfaced in the report, never in gated exports.
+  size_t shard_slow_demotions = 0;
   std::vector<size_t> shard_calls;
 
   // Parallel costing accounting: threads applied to the fan-out phases,
@@ -163,6 +180,15 @@ class TuningSession {
   };
   void SetObservability(Observability obs) { obs_ = obs; }
 
+  // Multi-tenant hookup: when a context with a non-null admission
+  // controller is set, every real what-if call this session's cost backend
+  // makes first acquires an admission slot (and releases it after).
+  // Admission only delays calls — it never changes what any call returns —
+  // so tenancy preserves the session's determinism contract.
+  void SetTenantContext(TenantContext tenant) {
+    tenant_ = std::move(tenant);
+  }
+
   // Test hook: invoked after every successful checkpoint write with the
   // write's 1-based ordinal. A non-ok return aborts tuning with that status,
   // simulating a crash immediately after the checkpoint landed on disk —
@@ -200,6 +226,7 @@ class TuningSession {
   TuningOptions options_;
   CheckpointProbe checkpoint_probe_;
   Observability obs_;
+  TenantContext tenant_;
 };
 
 }  // namespace dta::tuner

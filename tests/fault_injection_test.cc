@@ -139,6 +139,80 @@ TEST(FaultSpecTest, RejectsBadInput) {
   EXPECT_FALSE(empty->Enabled());
 }
 
+// The parser consumes values strictly: trailing garbage, embedded
+// whitespace, signs, incomplete exponents, and non-finite literals are all
+// rejected rather than silently truncated the way strtod alone would.
+TEST(FaultSpecTest, RejectsTrailingGarbageAndLooseNumbers) {
+  EXPECT_FALSE(FaultSpec::Parse("transient=0.3x").ok());
+  EXPECT_FALSE(FaultSpec::Parse("seed=42abc").ok());
+  EXPECT_FALSE(FaultSpec::Parse("seed= 42").ok());
+  EXPECT_FALSE(FaultSpec::Parse("seed=42 ").ok());
+  EXPECT_FALSE(FaultSpec::Parse("seed=+42").ok());
+  EXPECT_FALSE(FaultSpec::Parse("seed=-1").ok());
+  EXPECT_FALSE(FaultSpec::Parse("latency_ms=+0.5").ok());
+  EXPECT_FALSE(FaultSpec::Parse("latency_ms=1e").ok());
+  EXPECT_FALSE(FaultSpec::Parse("latency_ms=1e999").ok());
+  EXPECT_FALSE(FaultSpec::Parse("latency_ms=inf").ok());
+  EXPECT_FALSE(FaultSpec::Parse("latency_ms=nan").ok());
+  EXPECT_FALSE(FaultSpec::Parse("latency_ms=0x1p3").ok());
+  EXPECT_FALSE(FaultSpec::Parse("down_after=1.5").ok());
+  EXPECT_FALSE(FaultSpec::Parse("down_after=-2").ok());
+  EXPECT_FALSE(FaultSpec::Parse("transient=").ok());
+  EXPECT_FALSE(FaultSpec::Parse("=0.3").ok());
+  EXPECT_FALSE(FaultSpec::Parse("transient").ok());
+  // Unknown keys fail loudly — a typo must not silently disable the fault.
+  EXPECT_FALSE(FaultSpec::Parse("transeint=0.3").ok());
+  EXPECT_FALSE(FaultSpec::Parse("transient=0.3,extra=1").ok());
+}
+
+TEST(FaultSpecTest, RejectsBadFailSlowAndTableValues) {
+  EXPECT_FALSE(FaultSpec::Parse("slow_factor=0.5").ok());  // must be >= 1
+  EXPECT_FALSE(FaultSpec::Parse("slow_after=-2").ok());
+  EXPECT_FALSE(FaultSpec::Parse("slow_after=1.5").ok());
+  EXPECT_FALSE(FaultSpec::Parse("table=").ok());
+  EXPECT_FALSE(FaultSpec::Parse("table=line item").ok());
+  EXPECT_FALSE(FaultSpec::Parse("table='orders'").ok());
+
+  // Table names are case-folded so the filter matches the catalog's
+  // lowercased identifiers.
+  auto spec = FaultSpec::Parse("table=LineItem,transient=0.3");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->table, "lineitem");
+  EXPECT_TRUE(spec->Enabled());
+}
+
+// Every field — including the fail-slow window and the table filter —
+// survives Parse(ToString()) unchanged, so specs can be logged and replayed.
+TEST(FaultSpecTest, FullSpecRoundTrips) {
+  auto spec = FaultSpec::Parse(
+      "seed=9,transient=0.25,permanent=0.5,latency_ms=0.125,down_after=10,"
+      "burst_start=3,burst_len=4,slow_after=5,slow_factor=200,table=lineitem");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto round = FaultSpec::Parse(spec->ToString());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->seed, 9u);
+  EXPECT_DOUBLE_EQ(round->transient_probability, 0.25);
+  EXPECT_DOUBLE_EQ(round->permanent_probability, 0.5);
+  EXPECT_DOUBLE_EQ(round->latency_ms, 0.125);
+  EXPECT_EQ(round->down_after, 10);
+  EXPECT_EQ(round->burst_start, 3u);
+  EXPECT_EQ(round->burst_len, 4u);
+  EXPECT_EQ(round->slow_after, 5);
+  EXPECT_DOUBLE_EQ(round->slow_factor, 200);
+  EXPECT_EQ(round->table, "lineitem");
+  EXPECT_EQ(round->ToString(), spec->ToString());
+
+  // Disabled shapes stay out of the string form, so the default spec
+  // round-trips to the same short form.
+  auto minimal = FaultSpec::Parse("transient=0.1");
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->ToString().find("slow_after"), std::string::npos);
+  EXPECT_EQ(minimal->ToString().find("table"), std::string::npos);
+  auto again = FaultSpec::Parse(minimal->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), minimal->ToString());
+}
+
 // ------------------------------------------------------------ FaultInjector
 
 TEST(FaultInjectorTest, DecisionsAreDeterministicPerSeedAndKey) {
@@ -195,6 +269,85 @@ TEST(FaultInjectorTest, PermanentFaultsStickPerKey) {
     }
   }
   EXPECT_GT(injector.permanent_failures(), 0u);
+}
+
+// ----------------------------------------------------- table targeting
+
+TEST(FaultInjectorTest, TableFilterExemptsUnmatchedCalls) {
+  FaultSpec spec;
+  spec.seed = 4;
+  spec.transient_probability = 1;  // every matched call fails
+  spec.table = "orders";
+  FaultInjector injector(spec);
+
+  const std::set<std::string> orders = {"orders"};
+  const std::set<std::string> items = {"items"};
+  const std::set<std::string> both = {"items", "orders"};
+
+  EXPECT_TRUE(injector.Decide(1, items).status.ok());
+  EXPECT_FALSE(injector.Decide(1, orders).status.ok());
+  EXPECT_FALSE(injector.Decide(2, both).status.ok());
+  // The one-argument form carries no table set, so it can never match a
+  // table-filtered spec.
+  EXPECT_TRUE(injector.Decide(3).status.ok());
+
+  EXPECT_EQ(injector.calls(), 4u);
+  EXPECT_EQ(injector.skipped_calls(), 2u);
+  EXPECT_EQ(injector.transient_failures(), 2u);
+}
+
+// Window shapes (down_after, bursts, slow_after) are modeled on the
+// matched-call ordinal: calls the table filter exempts do not advance the
+// window, so the same fault spec describes the same incident shape no
+// matter how many other tables' calls interleave.
+TEST(FaultInjectorTest, WindowOrdinalsCountOnlyMatchedCalls) {
+  FaultSpec spec;
+  spec.table = "orders";
+  spec.down_after = 2;
+  FaultInjector injector(spec);
+
+  const std::set<std::string> orders = {"orders"};
+  const std::set<std::string> items = {"items"};
+
+  // Matched ordinals 0 and 1 precede the outage; unmatched calls in between
+  // must not consume ordinals.
+  EXPECT_TRUE(injector.Decide(1, orders).status.ok());  // ordinal 0
+  for (uint64_t k = 100; k < 110; ++k) {
+    EXPECT_TRUE(injector.Decide(k, items).status.ok());
+  }
+  EXPECT_TRUE(injector.Decide(2, orders).status.ok());   // ordinal 1
+  EXPECT_FALSE(injector.Decide(3, orders).status.ok());  // ordinal 2: down
+  EXPECT_TRUE(injector.Decide(4, items).status.ok());    // still exempt
+  EXPECT_EQ(injector.outage_failures(), 1u);
+  EXPECT_EQ(injector.skipped_calls(), 11u);
+}
+
+// -------------------------------------------------------------- fail-slow
+
+TEST(FaultInjectorTest, FailSlowAmplifiesLatencyWithoutFailing) {
+  FaultSpec spec;
+  spec.latency_ms = 0.5;
+  spec.slow_after = 3;
+  spec.slow_factor = 10;
+  EXPECT_TRUE(spec.Enabled());
+  FaultInjector injector(spec);
+
+  for (uint64_t i = 0; i < 8; ++i) {
+    auto out = injector.Decide(/*key=*/i);
+    EXPECT_TRUE(out.status.ok()) << "call " << i;
+    if (i < 3) {
+      EXPECT_DOUBLE_EQ(out.latency_ms, 0.5) << "call " << i;
+    } else {
+      // From ordinal slow_after onward the node is slow: responses arrive
+      // latency_ms * slow_factor late but still succeed — invisible to
+      // crash-stop health tracking by design.
+      EXPECT_DOUBLE_EQ(out.latency_ms, 5.0) << "call " << i;
+    }
+  }
+  EXPECT_EQ(injector.calls(), 8u);
+  EXPECT_EQ(injector.slow_calls(), 5u);
+  EXPECT_EQ(injector.transient_failures(), 0u);
+  EXPECT_EQ(injector.outage_failures(), 0u);
 }
 
 // ------------------------------------------------------------ retries
@@ -389,6 +542,34 @@ TEST(FaultTolerantTuningTest, PermanentFaultsDegradeButFinish) {
   }
   // The report's text rendering surfaces the degradation.
   EXPECT_NE(result->report.ToText().find("degraded"), std::string::npos);
+}
+
+// Table-targeted faults ride the same retry path end to end: only pricings
+// touching the targeted table can fail, retries recover them all, and the
+// recommendation stays bit-identical to the fault-free run.
+TEST(FaultTolerantTuningTest, TableTargetedFaultsDoNotChangeTheRecommendation) {
+  auto clean = MakeProduction();
+  TuningSession clean_session(clean.get(), TuningOptions());
+  auto baseline = clean_session.Tune(SeedWorkload());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto faulty = MakeProduction();
+  TuningOptions opts;
+  opts.fault_spec = "seed=42,transient=0.3,table=items";
+  opts.retry.max_attempts = 16;
+  opts.retry.initial_backoff_ms = 0.01;
+  opts.retry.max_backoff_ms = 0.05;
+  TuningSession faulty_session(faulty.get(), opts);
+  auto result = faulty_session.Tune(SeedWorkload());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->current_cost, baseline->current_cost);
+  EXPECT_EQ(result->recommended_cost, baseline->recommended_cost);
+  EXPECT_EQ(StructureNames(result->recommendation),
+            StructureNames(baseline->recommendation));
+  // The filter matched: items pricings failed and were retried to success.
+  EXPECT_GT(result->injected_transient_faults, 0u);
+  EXPECT_EQ(result->degraded_calls, 0u);
 }
 
 }  // namespace

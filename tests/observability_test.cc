@@ -18,6 +18,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "dta/cost_service.h"
+#include "dta/tenant_driver.h"
 #include "dta/tuning_session.h"
 #include "workload/workload.h"
 
@@ -228,6 +229,72 @@ TEST(ObservabilityTest, SchedulingDependentQuantitiesAreNotExported) {
   ObservedRun run = TuneObserved(8, "");
   EXPECT_EQ(run.counters.count("whatif.dedup_waits"), 0u);
   EXPECT_EQ(run.json.find("dedup"), std::string::npos);
+}
+
+// --------------------------------------------------- multi-tenant export
+
+// Runs a two-tenant fleet with a shared registry and returns the merged
+// export. Each tenant profiles into a private registry merged after the
+// joins under "tenant.<name>.", so the merged document inherits each
+// tenant's thread-invariance.
+std::string TuneTenantsObserved(int threads) {
+  workload::Workload w0 = SeedWorkload();
+  auto w1r = workload::Workload::FromScript(
+      "SELECT i_qty FROM items WHERE i_part = 5;"
+      "SELECT o_id FROM orders WHERE o_price > 500;"
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust");
+  EXPECT_TRUE(w1r.ok()) << w1r.status().ToString();
+  workload::Workload w1 = std::move(w1r).value();
+
+  auto s0 = MakeProduction();
+  auto s1 = MakeProduction();
+
+  std::vector<TenantSpec> specs(2);
+  specs[0].name = "alpha";
+  specs[0].workload = &w0;
+  specs[0].options.num_threads = threads;
+  specs[1].name = "beta";
+  specs[1].workload = &w1;
+  specs[1].options.num_threads = threads;
+
+  MetricsRegistry merged;
+  FakeClock clock(1000.0);
+  TenantDriverOptions options;
+  options.metrics = &merged;
+  options.clock = &clock;
+  options.admission.total_capacity = 4;
+  options.admission.per_tenant_capacity = 2;
+  TenantDriver driver(options);
+  auto outcomes = driver.Run(specs, {s0.get(), s1.get()});
+  EXPECT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  if (outcomes.ok()) {
+    for (const auto& o : *outcomes) {
+      EXPECT_TRUE(o.status.ok()) << o.name << ": " << o.status.ToString();
+    }
+    // Namespacing: each tenant's deterministic counters appear under its
+    // own prefix and reconcile with its session result.
+    const auto counters = merged.CounterValues();
+    EXPECT_EQ(counters.at("tenant.alpha.whatif.calls"),
+              (*outcomes)[0].result.whatif_calls);
+    EXPECT_EQ(counters.at("tenant.beta.whatif.calls"),
+              (*outcomes)[1].result.whatif_calls);
+  }
+  return ObservabilityJson(merged, nullptr);
+}
+
+// The golden property, one level up: the merged --metrics-json document of
+// a two-tenant fleet is byte-identical at any per-tenant thread count.
+// (Admission waits and peaks are scheduling-dependent and stay out of the
+// registry, same as dedup_waits.)
+TEST(ObservabilityGoldenTest, MultiTenantExportIsByteIdenticalAcrossThreads) {
+  const std::string serial = TuneTenantsObserved(1);
+  const std::string parallel = TuneTenantsObserved(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("tenant.alpha.whatif.calls"), std::string::npos);
+  EXPECT_NE(serial.find("tenant.beta.whatif.calls"), std::string::npos);
+  EXPECT_EQ(serial.find("admission"), std::string::npos);
+  EXPECT_EQ(serial.find("dedup"), std::string::npos);
 }
 
 // ------------------------------------------------------- concurrency (TSan)

@@ -100,12 +100,14 @@ std::string RecommendationXml(const TuningResult& r) {
 }
 
 Result<TuningResult> Tune(int shards, int threads,
-                          const std::string& shard_fault_spec) {
+                          const std::string& shard_fault_spec,
+                          double slow_threshold = 0) {
   auto prod = MakeProduction();
   TuningOptions opts;
   opts.shards = shards;
   opts.num_threads = threads;
   opts.shard_fault_spec = shard_fault_spec;
+  opts.shard_slow_threshold = slow_threshold;
   opts.retry.initial_backoff_ms = 0.01;
   opts.retry.max_backoff_ms = 0.05;
   TuningSession session(prod.get(), opts);
@@ -280,6 +282,74 @@ TEST(ShardFailoverTest, WholeFleetDownDegradesGracefully) {
   for (const auto& s : dead->report.statements) {
     EXPECT_TRUE(s.degraded) << s.sql;
   }
+}
+
+// ------------------------------------------------------------- fail-slow
+
+// Fail-slow chaos: one shard answers every call successfully but ~2000x
+// late from its 5th call on — the failure mode crash-stop health tracking
+// cannot see (nothing ever *fails*). The latency-EWMA detector demotes it
+// to probe-only routing; the fast shards absorb its keys; and because
+// demotion is routing-only, the recommendation stays byte-identical to the
+// healthy single-server run.
+TEST(ShardFailoverTest, FailSlowShardIsDemotedWithoutChangingTheResult) {
+  auto baseline = Tune(1, 1, "");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto faulty = Tune(4, 3, "2:latency_ms=0.05,slow_after=5,slow_factor=2000",
+                     /*slow_threshold=*/4);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_EQ(RecommendationXml(*baseline), RecommendationXml(*faulty));
+  EXPECT_EQ(baseline->current_cost, faulty->current_cost);
+  EXPECT_EQ(baseline->recommended_cost, faulty->recommended_cost);
+  EXPECT_EQ(baseline->whatif_calls, faulty->whatif_calls);
+  // Fail-slow never fails a call: no retries, no degradation, no failover
+  // hops forced by errors — the detector acted on latency alone.
+  EXPECT_EQ(faulty->degraded_calls, 0u);
+  EXPECT_EQ(faulty->injected_outage_faults, 0u);
+  EXPECT_EQ(faulty->shard_exhausted, 0u);
+  EXPECT_GT(faulty->shard_slow_demotions, 0u);
+  ExpectCallsConserved(*faulty, "fail-slow shard");
+  // The report surfaces the isolation events.
+  EXPECT_EQ(faulty->report.shard_slow_demotions,
+            faulty->shard_slow_demotions);
+  EXPECT_NE(faulty->report.ToText().find("slow demotions"),
+            std::string::npos);
+}
+
+// Combined chaos: a burst outage on one shard while another turns
+// fail-slow. Crash-stop failover bridges the outage, the slowness detector
+// sidelines the laggard, and the result is still byte-identical.
+TEST(ShardFailoverTest, BurstOutagePlusFailSlowKeepsRecommendationIdentical) {
+  auto baseline = Tune(1, 1, "");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto faulty = Tune(4, 3,
+                     "1:burst_start=10,burst_len=40;"
+                     "2:latency_ms=0.05,slow_after=5,slow_factor=2000",
+                     /*slow_threshold=*/4);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_EQ(RecommendationXml(*baseline), RecommendationXml(*faulty));
+  EXPECT_EQ(baseline->whatif_calls, faulty->whatif_calls);
+  EXPECT_EQ(faulty->degraded_calls, 0u);
+  EXPECT_GT(faulty->injected_outage_faults, 0u);
+  EXPECT_GT(faulty->shard_failovers, 0u);
+  EXPECT_GT(faulty->shard_slow_demotions, 0u);
+  ExpectCallsConserved(*faulty, "burst + fail-slow");
+}
+
+// The detector is disabled by default (slow_threshold = 0): the same
+// fail-slow shard drags the run but demotes nothing, and the result is
+// still identical — slowness never threatens correctness, only wall-clock.
+TEST(ShardFailoverTest, DetectorOffToleratesFailSlowShard) {
+  auto baseline = Tune(1, 1, "");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto faulty = Tune(3, 2, "1:latency_ms=0.05,slow_after=5,slow_factor=50");
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_EQ(RecommendationXml(*baseline), RecommendationXml(*faulty));
+  EXPECT_EQ(faulty->shard_slow_demotions, 0u);
+  ExpectCallsConserved(*faulty, "detector off");
 }
 
 // A shard-0 fault spec and a whole-session fault spec would stack two

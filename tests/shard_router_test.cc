@@ -133,11 +133,12 @@ std::string RecommendationXml(const TuningResult& r) {
 }
 
 Result<TuningResult> TuneSharded(const workload::Workload& w, int shards,
-                                 int threads) {
+                                 int threads, double slow_threshold = 0) {
   auto prod = MakeProduction();
   TuningOptions opts;
   opts.shards = shards;
   opts.num_threads = threads;
+  opts.shard_slow_threshold = slow_threshold;
   TuningSession session(prod.get(), opts);
   workload::Workload copy;
   for (const auto& ws : w.statements()) copy.Add(ws.stmt.Clone(), ws.weight);
@@ -289,6 +290,169 @@ TEST(ShardRouterTest, BoundedInflightWindowHoldsUnderHammering) {
   EXPECT_EQ(router.successes(), service.whatif_calls());
 }
 
+// --------------------------------------------------------- config clamping
+
+// Degenerate option values are clamped to their documented floors instead
+// of crashing (or worse, deadlocking a zero-slot window); the clamped
+// values are observable through options().
+TEST(ShardRouterTest, OptionsAreClampedToSaneFloors) {
+  auto prod = MakeProduction();
+  std::vector<server::Server*> servers(2, prod.get());
+  ShardRouterOptions raw;
+  raw.max_inflight_per_shard = 0;
+  raw.unhealthy_after = -3;
+  raw.probe_interval = 0;
+  raw.slow_min_samples = 0;
+  raw.slow_floor_ms = -5;
+  raw.clock = nullptr;
+  ShardRouter router(servers, raw);
+  EXPECT_EQ(router.options().max_inflight_per_shard, 1);
+  EXPECT_EQ(router.options().unhealthy_after, 1);
+  EXPECT_EQ(router.options().probe_interval, 1);
+  EXPECT_EQ(router.options().slow_min_samples, 1);
+  EXPECT_EQ(router.options().slow_floor_ms, 0.0);
+  EXPECT_NE(router.options().clock, nullptr);
+
+  // In-range values pass through untouched.
+  ShardRouterOptions fine;
+  fine.max_inflight_per_shard = 3;
+  fine.unhealthy_after = 1;
+  fine.probe_interval = 1;
+  ShardRouter router2(servers, fine);
+  EXPECT_EQ(router2.options().max_inflight_per_shard, 3);
+  EXPECT_EQ(router2.options().unhealthy_after, 1);
+  EXPECT_EQ(router2.options().probe_interval, 1);
+}
+
+// unhealthy_after=1 / probe_interval=1 are the tightest legal settings:
+// demote on the first failure, probe on every routing decision. A shard
+// down for a short burst is routed around immediately, loses no calls, and
+// rejoins on its first good probe.
+TEST(ShardRouterTest, TightestHealthSettingsStillRecover) {
+  auto prod = MakeProduction();
+  auto replica = prod->Clone("prod-shard1");
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+  workload::Workload w = RandomWorkload(33);
+
+  FaultSpec fault;
+  fault.burst_start = 0;
+  fault.burst_len = 3;
+  FaultInjector injector(fault);
+  replica->get()->set_fault_injector(&injector);
+
+  ShardRouterOptions options;
+  options.unhealthy_after = 1;
+  options.probe_interval = 1;
+  ShardRouter router({prod.get(), replica->get()}, options);
+
+  const sql::Statement& stmt = w.statements()[0].stmt;
+  for (uint64_t key = 1; key <= 40; ++key) {
+    auto r = router.WhatIfCost(stmt, Configuration(), nullptr, key);
+    ASSERT_TRUE(r.ok()) << "key " << key << ": " << r.status().ToString();
+  }
+
+  // Every burst failure failed over to the healthy shard; nothing was lost
+  // and the burst shard is healthy again by the end.
+  EXPECT_EQ(router.successes(), 40u);
+  EXPECT_EQ(router.failovers(), 3u);
+  EXPECT_EQ(router.exhausted(), 0u);
+  EXPECT_TRUE(router.healthy(1));
+  EXPECT_EQ(injector.outage_failures(), 3u);
+  EXPECT_GT(router.calls(1), 3u);  // probes + post-recovery traffic
+}
+
+// ------------------------------------------------- slowness detection
+
+// The detector demotes a shard whose latency EWMA exceeds slow_threshold x
+// the fleet median, and recovers it once probe samples decay the EWMA back
+// under the limit. Driven through the test hook so no real sleeping.
+TEST(ShardRouterTest, SlownessDetectorDemotesAndRecovers) {
+  auto prod = MakeProduction();
+  std::vector<server::Server*> servers(3, prod.get());
+  ShardRouterOptions options;
+  options.slow_threshold = 4;
+  options.slow_min_samples = 4;
+  options.slow_floor_ms = 1.0;
+  ShardRouter router(servers, options);
+
+  for (int i = 0; i < 8; ++i) {
+    router.RecordLatencyForTest(0, 10);
+    router.RecordLatencyForTest(1, 10);
+  }
+  EXPECT_FALSE(router.slow(0));
+  EXPECT_FALSE(router.slow(1));
+
+  // 20x the fleet median: demoted as soon as it has slow_min_samples.
+  for (int i = 0; i < 8; ++i) router.RecordLatencyForTest(2, 200);
+  EXPECT_TRUE(router.slow(2));
+  EXPECT_FALSE(router.slow(0));
+  EXPECT_FALSE(router.slow(1));
+  EXPECT_EQ(router.slow_demotions(), 1u);
+  EXPECT_NEAR(router.latency_ewma_ms(2), 200, 1e-9);
+
+  // Probes now measure healthy latency; the EWMA (alpha 0.25) needs a
+  // handful of samples to decay under the limit (4 x median 10 = 40).
+  int probes = 0;
+  while (router.slow(2) && probes < 64) {
+    router.RecordLatencyForTest(2, 10);
+    ++probes;
+  }
+  EXPECT_FALSE(router.slow(2));
+  EXPECT_GT(probes, 2);
+  EXPECT_LT(probes, 20);
+  // Recovery is not a demotion; the counter is monotone per incident.
+  EXPECT_EQ(router.slow_demotions(), 1u);
+}
+
+// "Slower than the fleet" is meaningless for a fleet of one: no median
+// exists, so even an extreme absolute latency never demotes the only shard.
+TEST(ShardRouterTest, FleetOfOneIsNeverSlow) {
+  auto prod = MakeProduction();
+  std::vector<server::Server*> one(1, prod.get());
+  ShardRouterOptions options;
+  options.slow_threshold = 2;
+  options.slow_min_samples = 2;
+  ShardRouter router(one, options);
+  for (int i = 0; i < 32; ++i) router.RecordLatencyForTest(0, 1000);
+  EXPECT_FALSE(router.slow(0));
+  EXPECT_EQ(router.slow_demotions(), 0u);
+}
+
+// An idle in-process fleet jitters by microseconds. Even a shard 100x over
+// the median stays under the absolute floor, so nobody is demoted on noise.
+TEST(ShardRouterTest, SlowFloorIgnoresMicrosecondJitter) {
+  auto prod = MakeProduction();
+  std::vector<server::Server*> servers(3, prod.get());
+  ShardRouterOptions options;
+  options.slow_threshold = 2;
+  options.slow_min_samples = 2;
+  options.slow_floor_ms = 1.0;
+  ShardRouter router(servers, options);
+  for (int i = 0; i < 4; ++i) {
+    router.RecordLatencyForTest(0, 0.001);
+    router.RecordLatencyForTest(1, 0.001);
+    router.RecordLatencyForTest(2, 0.1);  // 100x the median, but < 1ms
+  }
+  EXPECT_FALSE(router.slow(2));
+  EXPECT_EQ(router.slow_demotions(), 0u);
+}
+
+// No judgment before slow_min_samples: a single spike cannot demote.
+TEST(ShardRouterTest, DetectorWaitsForMinimumSamples) {
+  auto prod = MakeProduction();
+  std::vector<server::Server*> servers(2, prod.get());
+  ShardRouterOptions options;
+  options.slow_threshold = 2;
+  options.slow_min_samples = 8;
+  options.slow_floor_ms = 1.0;
+  ShardRouter router(servers, options);
+  for (int i = 0; i < 8; ++i) router.RecordLatencyForTest(0, 10);
+  for (int i = 0; i < 7; ++i) router.RecordLatencyForTest(1, 1000);
+  EXPECT_FALSE(router.slow(1));  // one sample short of a verdict
+  router.RecordLatencyForTest(1, 1000);
+  EXPECT_TRUE(router.slow(1));
+}
+
 // ------------------------------------------------------------ determinism
 
 // The headline property: for random workloads and any shard count 1–8, the
@@ -346,6 +510,21 @@ TEST(ShardRouterTest, AnyShardCountMatchesSingleServerBaseline) {
       EXPECT_EQ(attempts, sharded->shard_successes) << label;
     }
   }
+}
+
+// Enabling the slowness detector cannot change results: demotion is
+// routing-only, so whether or not it fires during the run, recommendations
+// and every deterministic counter match the single-server baseline.
+TEST(ShardRouterTest, SlownessDetectionPreservesDeterminism) {
+  workload::Workload w = RandomWorkload(77);
+  auto baseline = TuneSharded(w, 1, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto detected = TuneSharded(w, 4, 4, /*slow_threshold=*/2);
+  ASSERT_TRUE(detected.ok()) << detected.status().ToString();
+  EXPECT_EQ(RecommendationXml(*baseline), RecommendationXml(*detected));
+  EXPECT_EQ(baseline->whatif_calls, detected->whatif_calls);
+  EXPECT_EQ(baseline->current_cost, detected->current_cost);
+  EXPECT_EQ(baseline->recommended_cost, detected->recommended_cost);
 }
 
 // The report surfaces the shard topology (and XML output carries it).

@@ -1,0 +1,374 @@
+// Multi-tenant tuning driver tests: admission-control caps and
+// weighted-fair dispatch, input validation, and the fleet headline
+// property — per-tenant recommendations are byte-identical at any
+// (threads x shards x tenants) combination, with or without fail-slow
+// faults, because tenants share capacity but never state.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "dta/tenant_driver.h"
+#include "dta/tuning_session.h"
+#include "dta/xml_schema.h"
+#include "sql/parser.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+namespace {
+
+using catalog::ColumnType;
+using catalog::Configuration;
+using catalog::IndexDef;
+using catalog::TableSchema;
+
+// Same production fixture as shard_router_test: two joinable tables with
+// real data. Every tenant gets a fresh server so tenants never share state.
+std::unique_ptr<server::Server> MakeProduction(const std::string& name,
+                                               uint64_t seed = 11) {
+  auto s =
+      std::make_unique<server::Server>(name, optimizer::HardwareParams());
+  Random rng(seed);
+
+  TableSchema orders("orders", {{"o_id", ColumnType::kInt, 8},
+                                {"o_cust", ColumnType::kInt, 8},
+                                {"o_date", ColumnType::kString, 10},
+                                {"o_price", ColumnType::kDouble, 8}});
+  orders.set_row_count(30000);
+  orders.SetPrimaryKey({"o_id"});
+  TableSchema items("items", {{"i_oid", ColumnType::kInt, 8},
+                              {"i_part", ColumnType::kInt, 8},
+                              {"i_qty", ColumnType::kDouble, 8}});
+  items.set_row_count(120000);
+
+  catalog::Database db("shop");
+  EXPECT_TRUE(db.AddTable(orders).ok());
+  EXPECT_TRUE(db.AddTable(items).ok());
+  EXPECT_TRUE(s->AttachDatabase(std::move(db)).ok());
+
+  storage::TableGenSpec ospec;
+  ospec.schema = orders;
+  ospec.column_specs = {storage::ColumnSpec::Sequential(),
+                        storage::ColumnSpec::UniformInt(1, 3000),
+                        storage::ColumnSpec::Date("1994-01-01", 1500),
+                        storage::ColumnSpec::UniformReal(10, 10000)};
+  ospec.rows = 30000;
+  auto odata = storage::GenerateTable(ospec, &rng);
+  EXPECT_TRUE(odata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(odata).value()).ok());
+
+  storage::TableGenSpec ispec;
+  ispec.schema = items;
+  ispec.column_specs = {storage::ColumnSpec::UniformInt(1, 30000),
+                        storage::ColumnSpec::UniformInt(1, 2000),
+                        storage::ColumnSpec::UniformReal(1, 100)};
+  ispec.rows = 120000;
+  auto idata = storage::GenerateTable(ispec, &rng);
+  EXPECT_TRUE(idata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(idata).value()).ok());
+
+  Configuration raw;
+  EXPECT_TRUE(raw.AddIndex(IndexDef{.table = "orders",
+                                    .key_columns = {"o_id"},
+                                    .constraint_enforcing = true})
+                  .ok());
+  EXPECT_TRUE(s->ImplementConfiguration(raw).ok());
+  return s;
+}
+
+// Per-tenant workloads over the shared schema, distinct per seed so the
+// tenants genuinely tune different things.
+workload::Workload TenantWorkload(uint64_t seed) {
+  Random rng(seed);
+  const int count = static_cast<int>(rng.Uniform(4, 7));
+  std::string script;
+  for (int i = 0; i < count; ++i) {
+    if (!script.empty()) script += ";";
+    switch (rng.Uniform(0, 4)) {
+      case 0:
+        script += StrFormat("SELECT o_price FROM orders WHERE o_id = %d",
+                            static_cast<int>(rng.Uniform(1, 30000)));
+        break;
+      case 1:
+        script += StrFormat("SELECT i_qty FROM items WHERE i_part = %d",
+                            static_cast<int>(rng.Uniform(1, 2000)));
+        break;
+      case 2:
+        script +=
+            "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE "
+            "o_id = i_oid GROUP BY o_cust";
+        break;
+      default:
+        script += StrFormat("SELECT o_id FROM orders WHERE o_price > %d",
+                            static_cast<int>(rng.Uniform(100, 9000)));
+        break;
+    }
+  }
+  auto w = workload::Workload::FromScript(script);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+std::string RecommendationXml(const TuningResult& r) {
+  return ConfigurationToXml(r.recommendation)->ToString();
+}
+
+// --------------------------------------------------------- admission
+
+TEST(AdmissionControllerTest, ClampsDegenerateCapacities) {
+  AdmissionController zero({.total_capacity = 0, .per_tenant_capacity = 9});
+  EXPECT_EQ(zero.options().total_capacity, 1);
+  // The per-tenant cap can never exceed the total.
+  EXPECT_EQ(zero.options().per_tenant_capacity, 1);
+
+  AdmissionController neg({.total_capacity = 4, .per_tenant_capacity = -1});
+  EXPECT_EQ(neg.options().total_capacity, 4);
+  EXPECT_EQ(neg.options().per_tenant_capacity, 1);
+}
+
+TEST(AdmissionControllerTest, SerialAccountingAndCaps) {
+  AdmissionController admission(
+      {.total_capacity = 2, .per_tenant_capacity = 2});
+  const int a = admission.RegisterTenant("a", 1);
+  const int b = admission.RegisterTenant("b", 1);
+  ASSERT_EQ(admission.tenant_count(), 2u);
+
+  admission.Acquire(a);
+  admission.Acquire(b);
+  EXPECT_EQ(admission.peak_inflight(), 2u);
+  admission.Release(a);
+  admission.Release(b);
+  admission.Acquire(a);
+  admission.Release(a);
+
+  EXPECT_EQ(admission.admitted(a), 2u);
+  EXPECT_EQ(admission.admitted(b), 1u);
+  // Nothing contended in this serial sequence.
+  EXPECT_EQ(admission.waits(), 0u);
+  EXPECT_EQ(admission.peak_inflight(), 2u);
+}
+
+// When a slot frees with several tenants waiting, the one with the
+// smallest virtual time (admitted / weight) is admitted first: tenant b's
+// higher weight gives it a smaller vtime despite more admitted calls.
+TEST(AdmissionControllerTest, DispatchPrefersSmallestVirtualTime) {
+  AdmissionController admission(
+      {.total_capacity = 1, .per_tenant_capacity = 1});
+  const int a = admission.RegisterTenant("a", 1);
+  const int b = admission.RegisterTenant("b", 2);
+  const int hog = admission.RegisterTenant("hog", 1);
+
+  // Stage virtual times serially: a at vtime 1/1 = 1, b at 2/2 = 1... make
+  // them unequal: one more call for a. a: 2/1 = 2, b: 2/2 = 1.
+  admission.Acquire(a);
+  admission.Release(a);
+  admission.Acquire(a);
+  admission.Release(a);
+  admission.Acquire(b);
+  admission.Release(b);
+  admission.Acquire(b);
+  admission.Release(b);
+
+  // The hog holds the only slot while both a and b queue up behind it.
+  admission.Acquire(hog);
+
+  struct AdmitLog {
+    Mutex order_mu;
+    std::vector<int> order GUARDED_BY(order_mu);
+  } log;
+  std::atomic<int> started{0};
+  auto waiter = [&](int tenant) {
+    started.fetch_add(1);
+    admission.Acquire(tenant);
+    {
+      MutexLock order_lock(log.order_mu);
+      log.order.push_back(tenant);
+    }
+    admission.Release(tenant);
+  };
+  std::thread ta(waiter, a);
+  std::thread tb(waiter, b);
+  while (started.load() < 2) std::this_thread::yield();
+  // Give both threads ample time to enter the wait before the slot frees.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  admission.Release(hog);
+  ta.join();
+  tb.join();
+
+  MutexLock order_lock(log.order_mu);
+  ASSERT_EQ(log.order.size(), 2u);
+  EXPECT_EQ(log.order[0], b) << "weighted-fair dispatch must admit the "
+                            "smaller-vtime tenant first";
+  EXPECT_EQ(log.order[1], a);
+  EXPECT_GE(admission.waits(), 2u);
+  EXPECT_EQ(admission.peak_inflight(), 1u);
+}
+
+// Sustained two-tenant contention on a single slot: both loops finish (no
+// starvation) and the in-flight bound holds throughout.
+TEST(AdmissionControllerTest, NoStarvationUnderSustainedContention) {
+  AdmissionController admission(
+      {.total_capacity = 1, .per_tenant_capacity = 1});
+  const int heavy = admission.RegisterTenant("heavy", 1);
+  const int light = admission.RegisterTenant("light", 1);
+
+  std::thread th([&] {
+    for (int i = 0; i < 200; ++i) {
+      admission.Acquire(heavy);
+      admission.Release(heavy);
+    }
+  });
+  std::thread tl([&] {
+    for (int i = 0; i < 200; ++i) {
+      admission.Acquire(light);
+      admission.Release(light);
+    }
+  });
+  th.join();
+  tl.join();
+
+  EXPECT_EQ(admission.admitted(heavy), 200u);
+  EXPECT_EQ(admission.admitted(light), 200u);
+  EXPECT_EQ(admission.peak_inflight(), 1u);
+}
+
+// ------------------------------------------------------- driver validation
+
+TEST(TenantDriverTest, RejectsMalformedFleets) {
+  TenantDriver driver(TenantDriverOptions{});
+  auto prod = MakeProduction("prod");
+  workload::Workload w = TenantWorkload(5);
+
+  EXPECT_FALSE(driver.Run({}, {}).ok());
+
+  TenantSpec spec;
+  spec.name = "a";
+  spec.workload = &w;
+  EXPECT_FALSE(driver.Run({spec}, {}).ok());  // tenant/server mismatch
+  EXPECT_FALSE(driver.Run({spec}, {nullptr}).ok());
+
+  TenantSpec no_workload;
+  no_workload.name = "b";
+  EXPECT_FALSE(driver.Run({no_workload}, {prod.get()}).ok());
+
+  TenantSpec dup = spec;  // same name twice
+  auto prod2 = MakeProduction("prod2");
+  EXPECT_FALSE(driver.Run({spec, dup}, {prod.get(), prod2.get()}).ok());
+}
+
+// ------------------------------------------------------------ determinism
+
+// One tenant through the driver is exactly one TuningSession: same
+// recommendation, same costs, same call count as driving the session
+// directly.
+TEST(TenantDriverTest, SingleTenantMatchesDirectSession) {
+  workload::Workload w = TenantWorkload(42);
+
+  auto direct_server = MakeProduction("direct");
+  TuningSession direct(direct_server.get(), TuningOptions());
+  workload::Workload wcopy;
+  for (const auto& ws : w.statements()) wcopy.Add(ws.stmt.Clone(), ws.weight);
+  auto baseline = direct.Tune(wcopy);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto tenant_server = MakeProduction("tenant");
+  TenantSpec spec;
+  spec.name = "only";
+  spec.workload = &w;
+  TenantDriver driver(TenantDriverOptions{});
+  auto outcomes = driver.Run({spec}, {tenant_server.get()});
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), 1u);
+  ASSERT_TRUE((*outcomes)[0].status.ok())
+      << (*outcomes)[0].status.ToString();
+
+  const TuningResult& got = (*outcomes)[0].result;
+  EXPECT_EQ(RecommendationXml(got), RecommendationXml(*baseline));
+  EXPECT_EQ(got.current_cost, baseline->current_cost);
+  EXPECT_EQ(got.recommended_cost, baseline->recommended_cost);
+  EXPECT_EQ(got.whatif_calls, baseline->whatif_calls);
+}
+
+// The fleet headline: every tenant's recommendation is byte-identical
+// between the trivial topology (1 thread x 1 shard, tuned directly) and a
+// contended fleet (8 threads x 4 shards x 3 tenants behind a small
+// admission window) — with and without a fail-slow fault demoting one of
+// each tenant's shards. Admission delays calls and the slowness detector
+// re-routes them; neither changes what any call returns.
+TEST(TenantDriverTest, RecommendationsAreByteIdenticalAtAnyTopology) {
+  const std::vector<uint64_t> seeds = {101, 202, 303};
+  std::vector<workload::Workload> workloads;
+  for (uint64_t seed : seeds) workloads.push_back(TenantWorkload(seed));
+
+  // Serial per-tenant baselines.
+  std::vector<std::string> expected_xml;
+  std::vector<size_t> expected_calls;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    auto prod = MakeProduction(StrFormat("base%zu", i));
+    TuningSession session(prod.get(), TuningOptions());
+    workload::Workload copy;
+    for (const auto& ws : workloads[i].statements()) {
+      copy.Add(ws.stmt.Clone(), ws.weight);
+    }
+    auto r = session.Tune(copy);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected_xml.push_back(RecommendationXml(*r));
+    expected_calls.push_back(r->whatif_calls);
+  }
+
+  for (const bool failslow : {false, true}) {
+    std::vector<std::unique_ptr<server::Server>> servers;
+    std::vector<server::Server*> server_ptrs;
+    std::vector<TenantSpec> specs;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      servers.push_back(MakeProduction(StrFormat("fleet%zu", i)));
+      server_ptrs.push_back(servers.back().get());
+      TenantSpec spec;
+      spec.name = StrFormat("t%zu", i);
+      spec.workload = &workloads[i];
+      spec.options.num_threads = 8;
+      spec.options.shards = 4;
+      spec.weight = static_cast<double>(i + 1);
+      if (failslow) {
+        // One of each tenant's four shards turns fail-slow mid-run; the
+        // detector demotes it to probe-only routing.
+        spec.options.shard_slow_threshold = 4;
+        spec.options.shard_fault_spec =
+            "2:latency_ms=0.05,slow_after=5,slow_factor=200";
+      }
+      specs.push_back(spec);
+    }
+
+    TenantDriverOptions driver_options;
+    driver_options.admission.total_capacity = 4;
+    driver_options.admission.per_tenant_capacity = 2;
+    TenantDriver driver(driver_options);
+    auto outcomes = driver.Run(specs, server_ptrs);
+    ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+    ASSERT_EQ(outcomes->size(), workloads.size());
+
+    for (size_t i = 0; i < outcomes->size(); ++i) {
+      const std::string label =
+          StrFormat("tenant %zu failslow=%d", i, failslow ? 1 : 0);
+      ASSERT_TRUE((*outcomes)[i].status.ok())
+          << label << ": " << (*outcomes)[i].status.ToString();
+      EXPECT_EQ(RecommendationXml((*outcomes)[i].result), expected_xml[i])
+          << label;
+      EXPECT_EQ((*outcomes)[i].result.whatif_calls, expected_calls[i])
+          << label;
+    }
+    // The admission window held across the whole fleet.
+    EXPECT_LE(driver.admission_peak_inflight(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace dta::tuner

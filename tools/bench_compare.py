@@ -18,6 +18,10 @@ writes and dta_cli --metrics-json exports). The comparison gates:
              bench.shard_failover_overhead_pct (extra wall-clock of the
              sharded run with a fault-killed shard over the healthy sharded
              run) is gated against --max-shard-failover-overhead-pct.
+             bench.failslow_isolation_overhead_pct (extra wall-clock of the
+             sharded run with one fail-slow shard demoted by the slowness
+             detector, over the healthy sharded run) is gated against
+             --max-failslow-isolation-overhead-pct.
              bench.whatif_calls_saved_pct (real what-if calls the derived
              costing layer avoided, vs the derivation-off run) is
              counter-derived — machine invariant — and gated against the
@@ -39,6 +43,7 @@ import sys
 WALL_SUFFIX = ".wall_ms"
 CHECKPOINT_GAUGE = "bench.checkpoint_overhead_pct"
 SHARD_FAILOVER_GAUGE = "bench.shard_failover_overhead_pct"
+FAILSLOW_GAUGE = "bench.failslow_isolation_overhead_pct"
 CALLS_SAVED_GAUGE = "bench.whatif_calls_saved_pct"
 
 
@@ -79,6 +84,10 @@ def main():
                         default=25.0,
                         help=f"absolute ceiling for {SHARD_FAILOVER_GAUGE} "
                              "(default 25.0)")
+    parser.add_argument("--max-failslow-isolation-overhead-pct", type=float,
+                        default=30.0,
+                        help=f"absolute ceiling for {FAILSLOW_GAUGE} "
+                             "(default 30.0)")
     parser.add_argument("--min-whatif-calls-saved-pct", type=float,
                         default=50.0,
                         help=f"absolute floor for {CALLS_SAVED_GAUGE} "
@@ -162,6 +171,16 @@ def main():
             else:
                 print(f"ok       {line} (ceiling "
                       f"{args.max_shard_failover_overhead_pct:.1f})")
+        elif name == FAILSLOW_GAUGE:
+            value = cur_gauges[name]
+            line = f"gauge {name}: {value:.3f}"
+            if value > args.max_failslow_isolation_overhead_pct:
+                failures.append(
+                    f"{line} exceeds the absolute ceiling "
+                    f"{args.max_failslow_isolation_overhead_pct:.1f}")
+            else:
+                print(f"ok       {line} (ceiling "
+                      f"{args.max_failslow_isolation_overhead_pct:.1f})")
         else:
             print(f"info     gauge {name}: {cur_gauges[name]:.3f}")
 

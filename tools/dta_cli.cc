@@ -5,6 +5,7 @@
 // Usage:
 //   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
 //           [--evaluate] [--quiet] [--threads N] [--shards N]
+//           [--tenants N] [--tenant-budget BYTES] [--slow-threshold X]
 //           [--no-derived-costing] [--exact-costing]
 //           [--derivation-error-bound PCT]
 //           [--fault-spec SPEC] [--shard-fault-spec SPEC]
@@ -27,6 +28,25 @@
 //                 is the tuning server, shards 1..N-1 bit-exact clones;
 //                 calls are routed by rendezvous hashing with failover).
 //                 The recommendation is identical at any shard count.
+//   --tenants     Run N independent tenants ("t0".."tN-1") concurrently
+//                 through the multi-tenant driver (dta/tenant_driver.h):
+//                 each tenant tunes its own copy of the server under the
+//                 input's workload and options, sharing what-if capacity
+//                 through admission control. With --output FILE, tenant i's
+//                 DTAXML document lands in FILE.tenant<i>; each tenant's
+//                 recommendation is byte-identical to a single-tenant run.
+//                 --metrics-json merges every tenant's metrics under
+//                 "tenant.<name>.". Not combinable with --evaluate,
+//                 --checkpoint, or --resume.
+//   --tenant-budget
+//                 Per-tenant storage bound in bytes (overrides the input
+//                 document's storage constraint for every tenant).
+//   --slow-threshold
+//                 Enable fail-slow isolation for sharded costing: a shard
+//                 whose successful-call latency EWMA exceeds X times the
+//                 fleet median is demoted to probe-only routing until it
+//                 recovers (see dta/shard_router.h). 0 disables (default).
+//                 Routing-only: the recommendation is unchanged.
 //   --no-derived-costing
 //                 Disable derived costing: every cache miss makes a real
 //                 what-if call. By default misses whose configuration
@@ -84,14 +104,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "dta/shard_router.h"
+#include "dta/tenant_driver.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
 #include "server/server.h"
@@ -121,7 +145,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --metadata server.xml --input tuning.xml "
                "[--output out.xml] [--evaluate] [--quiet] [--threads N] "
-               "[--shards N] [--no-derived-costing] [--exact-costing] "
+               "[--shards N] [--tenants N] [--tenant-budget BYTES] "
+               "[--slow-threshold X] "
+               "[--no-derived-costing] [--exact-costing] "
                "[--derivation-error-bound PCT] "
                "[--fault-spec SPEC] [--shard-fault-spec SPEC] "
                "[--checkpoint FILE] "
@@ -143,6 +169,9 @@ int main(int argc, char** argv) {
   double checkpoint_budget = 0;
   int threads = -1;  // -1: keep the input document's (or default) setting
   int shards = -1;   // -1: keep the input document's (or default) setting
+  int tenants = 1;
+  long long tenant_budget = -1;  // bytes; -1: keep the input's constraint
+  double slow_threshold = -1;    // -1: keep the input's setting (off)
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -180,6 +209,35 @@ int main(int argc, char** argv) {
       shards = static_cast<int>(std::strtol(v, &end, 10));
       if (end == v || *end != '\0' || shards < 1) {
         std::fprintf(stderr, "--shards expects a positive integer\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--tenants") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      tenants = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || tenants < 1) {
+        std::fprintf(stderr, "--tenants expects a positive integer\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--tenant-budget") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      tenant_budget = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || tenant_budget < 0) {
+        std::fprintf(stderr,
+                     "--tenant-budget expects a non-negative byte count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--slow-threshold") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      slow_threshold = std::strtod(v, &end);
+      if (end == v || *end != '\0' || slow_threshold < 0) {
+        std::fprintf(stderr,
+                     "--slow-threshold expects a non-negative multiplier\n");
         return Usage(argv[0]);
       }
     } else if (arg == "--no-derived-costing") {
@@ -265,6 +323,19 @@ int main(int argc, char** argv) {
 
   if (threads >= 0) input->options.num_threads = threads;
   if (shards >= 1) input->options.shards = shards;
+  if (slow_threshold >= 0) {
+    input->options.shard_slow_threshold = slow_threshold;
+  }
+  if (tenant_budget >= 0) {
+    input->options.storage_bytes = static_cast<uint64_t>(tenant_budget);
+  }
+  if (tenants > 1 &&
+      (evaluate || !checkpoint_path.empty() || !resume_path.empty())) {
+    std::fprintf(stderr,
+                 "--tenants cannot be combined with --evaluate, "
+                 "--checkpoint, or --resume\n");
+    return Usage(argv[0]);
+  }
   if (no_derived_costing) input->options.derived_costing = false;
   if (exact_costing) input->options.exact_costing = true;
   if (derivation_error_bound >= 0) {
@@ -308,6 +379,90 @@ int main(int argc, char** argv) {
   dta::Tracer tracer(clock);
   if (!metrics_path.empty()) {
     session.SetObservability({&metrics, &tracer, clock});
+  }
+
+  // ---- Multi-tenant mode: N independent tenants, each tuning its own copy
+  // of the server under shared admission control. Tenant i's DTAXML
+  // document goes to --output FILE as FILE.tenant<i>.
+  if (tenants > 1) {
+    std::vector<std::unique_ptr<dta::server::Server>> tenant_clones;
+    std::vector<dta::server::Server*> tenant_servers;
+    std::vector<dta::tuner::TenantSpec> specs;
+    for (int t = 0; t < tenants; ++t) {
+      const std::string name = "t" + std::to_string(t);
+      if (t == 0) {
+        tenant_servers.push_back(server->get());
+      } else {
+        auto clone = (*server)->Clone((*server)->name() + "-" + name);
+        if (!clone.ok()) {
+          std::fprintf(stderr, "cannot clone server for tenant %s: %s\n",
+                       name.c_str(), clone.status().ToString().c_str());
+          return 1;
+        }
+        tenant_servers.push_back(clone->get());
+        tenant_clones.push_back(std::move(clone).value());
+      }
+      dta::tuner::TenantSpec spec;
+      spec.name = name;
+      spec.workload = &input->workload;
+      spec.options = input->options;
+      spec.weight = 1;
+      specs.push_back(std::move(spec));
+    }
+    dta::tuner::TenantDriverOptions driver_options;
+    driver_options.metrics = metrics_path.empty() ? nullptr : &metrics;
+    driver_options.clock = clock;
+    dta::tuner::TenantDriver driver(driver_options);
+    auto outcomes = driver.Run(specs, tenant_servers);
+    if (!outcomes.ok()) {
+      std::fprintf(stderr, "multi-tenant run failed: %s\n",
+                   outcomes.status().ToString().c_str());
+      return 1;
+    }
+    int rc = 0;
+    for (size_t t = 0; t < outcomes->size(); ++t) {
+      const dta::tuner::TenantOutcome& o = (*outcomes)[t];
+      if (!o.status.ok()) {
+        std::fprintf(stderr, "tenant %s failed: %s\n", o.name.c_str(),
+                     o.status.ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      if (!quiet) {
+        std::printf(
+            "[%s] tuned %zu events (%zu what-if calls); expected "
+            "improvement %.1f%%\n",
+            o.name.c_str(), o.result.events_tuned, o.result.whatif_calls,
+            o.result.ImprovementPercent());
+      }
+      std::string doc = dta::tuner::TuningOutputToXml(
+          *input, o.result.recommendation, o.result.report);
+      if (output_path.empty()) {
+        if (quiet) std::printf("%s", doc.c_str());
+      } else {
+        const std::string path =
+            output_path + ".tenant" + std::to_string(t);
+        if (dta::Status s = WriteFile(path, doc); !s.ok()) {
+          std::fprintf(stderr, "%s\n", s.ToString().c_str());
+          return 1;
+        }
+        if (!quiet) {
+          std::printf("wrote %s (%zu bytes)\n", path.c_str(), doc.size());
+        }
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::string doc = dta::ObservabilityJson(metrics, &tracer);
+      if (dta::Status s = WriteFile(metrics_path, doc); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (!quiet) {
+        std::printf("wrote %s (%zu bytes)\n", metrics_path.c_str(),
+                    doc.size());
+      }
+    }
+    return rc;
   }
 
   std::string output_doc;
