@@ -247,7 +247,8 @@ class CostService {
     bool derived = false;
   };
   std::vector<CacheEntry> ExportCache() const;
-  void ImportCache(const std::vector<CacheEntry>& entries);
+  void ImportCache(const std::vector<CacheEntry>& entries)
+      EXCLUDES(degraded_mu_);
 
   // Invalidate everything (e.g. after statistics changed). Must not run
   // concurrently with StatementCost.

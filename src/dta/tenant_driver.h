@@ -70,7 +70,7 @@ class AdmissionController {
   // `weight` must be > 0 (clamped to a small positive floor otherwise).
   // Not thread-safe against Acquire/Release — register every tenant before
   // the sessions start.
-  int RegisterTenant(const std::string& name, double weight);
+  int RegisterTenant(const std::string& name, double weight) EXCLUDES(mu_);
 
   // Blocks until the tenant may start one what-if call. Fairness is decided
   // at admission time among the tenants *currently waiting*.
@@ -78,7 +78,7 @@ class AdmissionController {
   void Release(int tenant) EXCLUDES(mu_);
 
   const Options& options() const { return options_; }
-  size_t tenant_count() const;
+  size_t tenant_count() const EXCLUDES(mu_);
   // Calls the tenant was admitted for (== its real backend calls).
   size_t admitted(int tenant) const EXCLUDES(mu_);
   // Peak combined in-flight calls (never exceeds total_capacity).

@@ -60,7 +60,7 @@ class Server : public engine::DataSource {
   const stats::StatsManager& stats_manager() const { return stats_; }
 
   // ---- Setup -----------------------------------------------------------
-  Status AttachDatabase(catalog::Database db);
+  Status AttachDatabase(catalog::Database db) EXCLUDES(simulated_mu_);
   // Attaches actual data for a table (enables execution and data-driven
   // statistics).
   Status AttachTableData(const std::string& database,
@@ -119,7 +119,7 @@ class Server : public engine::DataSource {
   Result<WhatIfResult> WhatIfCost(
       const sql::Statement& stmt, const catalog::Configuration& config,
       const optimizer::HardwareParams* simulate_hardware = nullptr,
-      uint64_t fault_key = 0);
+      uint64_t fault_key = 0) EXCLUDES(simulated_mu_);
 
   // Attaches (or clears, with nullptr) a fault injector consulted by every
   // WhatIfCost call. The injector must outlive the server or be cleared

@@ -1,0 +1,76 @@
+// dta_analyze --audit fixtures: annotation-coverage fire, suppress, clean,
+// and exemption cases. Scanned by DtaAnalyzeAuditFixtures with --audit
+// --no-manifest --check-expectations. Never compiled.
+
+class AuditGaps {
+ public:
+  void LockWithoutExcludes();
+  void LockWithExcludes() EXCLUDES(good_mu_);
+  void SuppressedGap();
+
+ private:
+  Mutex naked_mu_;  // expect: audit-guarded
+  Mutex good_mu_;
+  int value_ GUARDED_BY(good_mu_) = 0;
+};
+
+// Acquires a member mutex without declaring the contract: callers cannot
+// see that they must not already hold naked_mu_.
+void AuditGaps::LockWithoutExcludes() {
+  MutexLock lock(naked_mu_);  // expect: audit-excludes
+  ++value_;
+}
+
+void AuditGaps::LockWithExcludes() {
+  MutexLock lock(good_mu_);
+  ++value_;
+}
+
+void AuditGaps::SuppressedGap() {
+  MutexLock lock(good_mu_);  // lint: audit-excludes (fixture: acknowledged)
+  --value_;
+}
+
+// Constructors and destructors are exempt: nothing else can run
+// concurrently with them, so an EXCLUDES contract is meaningless.
+class CtorIsExempt {
+ public:
+  CtorIsExempt() {
+    MutexLock lock(mu_);
+    count_ = 1;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+struct IndexedCell {
+  Mutex mu;
+  int hits GUARDED_BY(mu) = 0;
+};
+
+// A parameter-rooted acquisition is annotatable — EXCLUDES(cell.mu) — so
+// its absence is a finding...
+void ParamRootedWithoutExcludes(IndexedCell& cell) {
+  MutexLock cell_lock(cell.mu);  // expect: audit-excludes
+  ++cell.hits;
+}
+
+// ...and its presence is clean.
+void ParamRootedWithExcludes(IndexedCell& cell) EXCLUDES(cell.mu) {
+  MutexLock cell_lock(cell.mu);
+  ++cell.hits;
+}
+
+// Container-indexed paths cannot be named in a Clang annotation; exempt.
+void ContainerIndexedIsExempt(std::vector<IndexedCell*>& cells) {
+  MutexLock cell_lock(cells[0]->mu);
+  ++cells[0]->hits;
+}
+
+// Locals are invisible outside the function; exempt.
+void LocalIsExempt() {
+  Mutex local_mu;
+  MutexLock local_lock(local_mu);
+}

@@ -1,0 +1,34 @@
+// dta_analyze lock-cycle fixture, forward half. This file establishes the
+// CallChain class and the left_ -> right_ edge — deliberately through a
+// call (Outer holds left_ and calls Inner, which acquires right_), proving
+// the inter-procedural path. fixture_cycle_inverted.cc closes the cycle
+// from another file with the direct right_ -> left_ nesting. Never
+// compiled; scanned by the DtaAnalyze fixture ctests.
+//
+// Both edges are blessed in fixtures.manifest so only the lock-cycle rule
+// fires here; drift.manifest deliberately disagrees with the computed
+// edges for the DtaAnalyzeManifestDrift test.
+
+class CallChain {
+ public:
+  void Outer();
+  void Inner();
+  void Inverted();
+
+ private:
+  Mutex left_;
+  Mutex right_;
+  int forward_steps_ GUARDED_BY(left_) = 0;
+  int backward_steps_ GUARDED_BY(right_) = 0;
+};
+
+void CallChain::Inner() {
+  MutexLock right_lock(right_);
+  ++backward_steps_;
+}
+
+void CallChain::Outer() {
+  MutexLock left_lock(left_);
+  ++forward_steps_;
+  Inner();  // expect: lock-cycle
+}

@@ -1,0 +1,10 @@
+// dta_analyze lock-cycle fixture, inverted half: acquires CallChain's two
+// mutexes in the opposite order from fixture_cycle_forward.cc, closing the
+// left_/right_ cycle across files. The finding anchors at the inner
+// acquisition — the line that completes the inversion.
+
+void CallChain::Inverted() {
+  MutexLock right_lock(right_);
+  MutexLock left_lock(left_);  // expect: lock-cycle
+  ++forward_steps_;
+}

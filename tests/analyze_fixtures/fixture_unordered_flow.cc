@@ -1,0 +1,60 @@
+// dta_analyze unordered-flow fixtures: fire, suppress, and clean cases for
+// iteration over std::unordered_map/set feeding emission or order-sensitive
+// accumulation. Never compiled; scanned with --check-expectations.
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+// Hash order straight into an output stream: the canonical leak.
+void EmissionInLoop(std::ostream& out) {
+  std::unordered_map<std::string, int> counts;
+  for (const auto& [key, value] : counts) {  // expect: unordered-flow
+    out << key << "=" << value << "\n";
+  }
+}
+
+// Accumulation into a vector with no later sort is just a slower version
+// of the same leak.
+void AccumulationWithoutSort(std::vector<std::string>* names) {
+  std::unordered_set<std::string> seen;
+  for (const auto& name : seen) {  // expect: unordered-flow
+    names->push_back(name);
+  }
+}
+
+// The blessed pattern: accumulate, then sort before the order can matter.
+void AccumulationSortedAfter(std::vector<std::string>* names) {
+  std::unordered_set<std::string> seen;
+  for (const auto& name : seen) {
+    names->push_back(name);
+  }
+  std::sort(names->begin(), names->end());
+}
+
+// Suppression at the loop for a reviewed exception.
+void SuppressedEmission(std::ostream& out) {
+  std::unordered_map<int, int> single;
+  // lint: unordered-flow (at most one element by construction)
+  for (const auto& [k, v] : single) {
+    out << k << v;
+  }
+}
+
+// Ordered containers iterate deterministically — no finding.
+void OrderedMapIsClean(std::ostream& out) {
+  std::map<int, int> by_key;
+  for (const auto& [k, v] : by_key) {
+    out << k << v;
+  }
+}
+
+// Iterating something else while only inserting into the unordered set is
+// fine: insertion is order-insensitive, and the loop's range is a vector.
+void InsertOnlyDedupIsClean(const std::vector<uint64_t>& xs,
+                            std::ostream& out) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t x : xs) {
+    if (seen.insert(x).second) out << x;
+  }
+}

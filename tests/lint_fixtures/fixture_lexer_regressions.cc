@@ -1,0 +1,51 @@
+// Lexer regression fixtures: cases the pre-cpplex line-regex linter got
+// wrong. Each section documents the old failure mode; the expect-markers
+// pin the corrected behavior. Never compiled; scanned by the
+// DtaLintFixtures ctest via --check-expectations.
+
+#include <memory>
+
+// Rule keywords inside string literals are prose, not code. The old linter
+// matched them and demanded suppressions on lines like these.
+const char* kMessage = "do not call rand() or write a naked new here";
+const char* kEscaped = "escaped quote \" then srand(1) still in-string";
+const char* kFakeMarker = "lint: naked-new";  // markers in strings are inert
+int* marker_is_no_shield = new int(1);        // expect: naked-new
+
+// Raw strings may contain quotes and span lines; everything inside is
+// literal content. The old linter saw `)" ` as ordinary code and kept
+// matching inside the body.
+const char* kRaw = R"(raw string with "quotes" and a delete inside)";
+const char* kMultiRaw = R"delim(
+  std::mutex looks_raw;
+  int* p = new int;
+  srand(42);
+)delim";
+
+/* A block comment spanning lines is invisible to every rule:
+   int* leak = new int[8];
+   srand(7);
+*/
+
+#if 0
+int* dead = new int;  // preprocessor-dead: no finding, no marker needed
+std::mutex dead_mu;
+#else
+int live_else_branch = 1;
+#endif
+
+#ifdef SOME_UNDEFINED_MACRO
+// An unknown condition stays live (conservative: lint more, not less).
+int* live_branch = new int;  // expect: naked-new
+#endif
+
+// Digit separators: the old lexer treated the ' in 1'000 as a char-literal
+// open and swallowed the rest of the line, hiding this delete entirely.
+void DigitSeparator(int* raw_ptr) {
+  int threshold = 1'000'000; delete raw_ptr;  // expect: naked-new
+  (void)threshold;
+}
+
+// A real char literal holding a quote must not open a string.
+char Quote() { return '"'; }
+int* after_quote = new int(2);  // expect: naked-new

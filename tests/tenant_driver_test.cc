@@ -203,11 +203,16 @@ TEST(AdmissionControllerTest, DispatchPrefersSmallestVirtualTime) {
   ta.join();
   tb.join();
 
-  MutexLock order_lock(log.order_mu);
-  ASSERT_EQ(log.order.size(), 2u);
-  EXPECT_EQ(log.order[0], b) << "weighted-fair dispatch must admit the "
-                            "smaller-vtime tenant first";
-  EXPECT_EQ(log.order[1], a);
+  {
+    // Scoped so the admission queries below run with no lock held — holding
+    // order_mu across them would add a needless order_mu -> mu_ edge to the
+    // lock-order graph (dta_analyze).
+    MutexLock order_lock(log.order_mu);
+    ASSERT_EQ(log.order.size(), 2u);
+    EXPECT_EQ(log.order[0], b) << "weighted-fair dispatch must admit the "
+                                  "smaller-vtime tenant first";
+    EXPECT_EQ(log.order[1], a);
+  }
   EXPECT_GE(admission.waits(), 2u);
   EXPECT_EQ(admission.peak_inflight(), 1u);
 }

@@ -1,0 +1,426 @@
+#include "cpplex.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <tuple>
+
+namespace dta::lex {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+// A '"' opens a raw string when the identifier characters immediately
+// before it end in R with at most an encoding prefix (R, LR, uR, UR, u8R).
+bool IsRawStringPrefix(const std::string& text, size_t quote_pos) {
+  size_t start = quote_pos;
+  while (start > 0 && IsIdentChar(text[start - 1])) --start;
+  const std::string prefix = text.substr(start, quote_pos - start);
+  return prefix == "R" || prefix == "LR" || prefix == "uR" || prefix == "UR" ||
+         prefix == "u8R";
+}
+
+// Trims leading/trailing whitespace.
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+// One arm of a preprocessor conditional. Only a literal `#if 0`/`#if false`
+// (or the dead arm of `#if 1`/`#if true`) disables code: any other
+// condition is unknown at lint time, so both arms stay live and get linted
+// (conservative in the "lint more" direction).
+struct CondFrame {
+  bool live_before = true;      // enclosing region was live
+  bool taken_definitely = false;  // a literal-true arm already ran
+  bool arm_live = true;         // current arm emits code
+};
+
+struct CondState {
+  std::vector<CondFrame> stack;
+
+  bool live() const {
+    for (const CondFrame& f : stack) {
+      if (!f.arm_live || !f.live_before) return false;
+    }
+    return true;
+  }
+
+  void Directive(const std::string& text) {
+    // text starts at '#'; tolerate `#  if`.
+    size_t i = 1;
+    while (i < text.size() && IsSpace(text[i])) ++i;
+    size_t j = i;
+    while (j < text.size() && IsIdentChar(text[j])) ++j;
+    const std::string kw = text.substr(i, j - i);
+    const std::string rest = Trim(text.substr(j));
+    if (kw == "if" || kw == "ifdef" || kw == "ifndef") {
+      CondFrame f;
+      f.live_before = live();
+      if (kw == "if" && (rest == "0" || rest == "false")) {
+        f.arm_live = false;
+      } else if (kw == "if" && (rest == "1" || rest == "true")) {
+        f.taken_definitely = true;
+      }
+      stack.push_back(f);
+    } else if (kw == "elif") {
+      if (stack.empty()) return;
+      CondFrame& f = stack.back();
+      if (f.taken_definitely) {
+        f.arm_live = false;
+      } else if (rest == "0" || rest == "false") {
+        f.arm_live = false;
+      } else {
+        f.arm_live = true;
+        if (rest == "1" || rest == "true") f.taken_definitely = true;
+      }
+    } else if (kw == "else") {
+      if (stack.empty()) return;
+      CondFrame& f = stack.back();
+      f.arm_live = !f.taken_definitely;
+    } else if (kw == "endif") {
+      if (!stack.empty()) stack.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::set<std::string> ParseRuleList(const std::string& text) {
+  std::set<std::string> out;
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) out.insert(token);
+    token.clear();
+  };
+  for (char c : text) {
+    if (IsIdentChar(c) || c == '-') {
+      token.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<SourceLine> PreprocessSource(const std::vector<std::string>& raw) {
+  std::vector<SourceLine> lines;
+  lines.reserve(raw.size());
+
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+  std::string raw_terminator;    // ")delim\"" that closes the raw string
+  bool in_directive_continuation = false;
+  CondState cond;
+
+  for (const std::string& text : raw) {
+    SourceLine line;
+    std::string code;
+    code.reserve(text.size());
+
+    const bool continuation = in_directive_continuation;
+    in_directive_continuation =
+        continuation && !text.empty() && text.back() == '\\';
+
+    for (size_t i = 0; i < text.size();) {
+      if (in_block_comment) {
+        if (text.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (in_raw_string) {
+        const size_t end = text.find(raw_terminator, i);
+        if (end == std::string::npos) {
+          i = text.size();  // the raw string continues on the next line
+        } else {
+          i = end + raw_terminator.size();
+          in_raw_string = false;
+          code.push_back('"');
+        }
+        continue;
+      }
+      const char c = text[i];
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+        line.comment = text.substr(i + 2);
+        break;  // rest of the line is comment
+      }
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        if (IsRawStringPrefix(text, i)) {
+          // R"delim( ... )delim" — find the open paren, remember the
+          // terminator, and scan (possibly across lines) for it.
+          const size_t open = text.find('(', i + 1);
+          const std::string delim =
+              open == std::string::npos
+                  ? std::string()
+                  : text.substr(i + 1, open - i - 1);
+          raw_terminator = ")" + delim + "\"";
+          in_raw_string = true;
+          code.push_back('"');
+          i = open == std::string::npos ? text.size() : open + 1;
+          continue;
+        }
+        code.push_back('"');
+        ++i;
+        while (i < text.size()) {
+          if (text[i] == '\\' && i + 1 < text.size()) {
+            i += 2;
+            continue;
+          }
+          if (text[i] == '"') {
+            code.push_back('"');
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      if (c == '\'') {
+        // A quote with identifier characters on both sides is a digit
+        // separator (1'000'000), not a char literal.
+        const bool separator = i > 0 && IsIdentChar(text[i - 1]) &&
+                               i + 1 < text.size() && IsIdentChar(text[i + 1]);
+        if (separator) {
+          ++i;
+          continue;
+        }
+        code.push_back('\'');
+        ++i;
+        while (i < text.size()) {
+          if (text[i] == '\\' && i + 1 < text.size()) {
+            i += 2;
+            continue;
+          }
+          if (text[i] == '\'') {
+            code.push_back('\'');
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code.push_back(c);
+      ++i;
+    }
+
+    const bool region_live = cond.live();
+
+    // Preprocessor directives: handle conditional structure, then blank the
+    // line (directives are not lintable code). Continuation lines of a
+    // directive are blanked the same way.
+    const std::string trimmed = Trim(code);
+    const bool directive = !continuation && !trimmed.empty() &&
+                           trimmed[0] == '#';
+    if (directive) {
+      cond.Directive(trimmed);
+      in_directive_continuation = !text.empty() && text.back() == '\\';
+      if (region_live) line.directive = trimmed;
+    }
+
+    if (!region_live || directive || continuation) {
+      line.code.clear();
+      // Keep markers on live directive lines (e.g. `#endif  // lint: x`);
+      // dead regions carry no markers at all.
+      if (!region_live) line.comment.clear();
+    } else {
+      line.code = std::move(code);
+    }
+
+    // The marker strings are matched inside // comments only, so a source
+    // file mentioning them in code or prose strings never trips this.
+    size_t mark = line.comment.find("lint:");
+    if (mark != std::string::npos) {
+      line.suppressed = ParseRuleList(line.comment.substr(mark + 5));
+    }
+    mark = line.comment.find("expect:");
+    if (mark != std::string::npos) {
+      line.expected = ParseRuleList(line.comment.substr(mark + 7));
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::vector<Token> Tokenize(const std::vector<SourceLine>& lines) {
+  // Longest-match first: every entry here arrives as one token.
+  static const std::vector<std::string> kMultiChar = {
+      "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+      "!=", "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=", "&=",
+      "|=", "^=",
+  };
+  std::vector<Token> tokens;
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    for (size_t i = 0; i < code.size();) {
+      const char c = code[i];
+      if (IsSpace(c)) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.line = li;
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        size_t j = i;
+        while (j < code.size() && IsIdentChar(code[j])) ++j;
+        t.kind = Token::Kind::kIdentifier;
+        t.text = code.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        size_t j = i;
+        // Good enough for scanning: idents chars, '.', and exponent signs.
+        while (j < code.size() &&
+               (IsIdentChar(code[j]) || code[j] == '.' ||
+                ((code[j] == '+' || code[j] == '-') && j > i &&
+                 (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                  code[j - 1] == 'p' || code[j - 1] == 'P')))) {
+          ++j;
+        }
+        t.kind = Token::Kind::kNumber;
+        t.text = code.substr(i, j - i);
+        i = j;
+      } else {
+        t.kind = Token::Kind::kPunct;
+        for (const std::string& op : kMultiChar) {
+          if (code.compare(i, op.size(), op) == 0) {
+            t.text = op;
+            break;
+          }
+        }
+        if (t.text.empty()) t.text = std::string(1, c);
+        i += t.text.size();
+      }
+      tokens.push_back(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+// ---- Shared driver plumbing ----------------------------------------------
+
+bool Finding::operator<(const Finding& o) const {
+  return std::tie(file, line, rule) < std::tie(o.file, o.line, o.rule);
+}
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string RelPath(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  return ec || rel.empty() ? path.string() : rel.string();
+}
+
+bool CollectFiles(const fs::path& root, const std::vector<std::string>& inputs,
+                  const std::vector<std::string>& excluded,
+                  std::set<fs::path>* files, std::string* error) {
+  // Root-relative prefix match on path-component boundaries, so an
+  // exclusion of tests/lint_fixtures skips the directory but not a sibling
+  // like tests/lint_fixtures_extra.
+  auto is_excluded = [&root, &excluded](const fs::path& p) {
+    std::error_code rel_ec;
+    const fs::path rel = fs::relative(p, root, rel_ec);
+    if (rel_ec || rel.empty()) return false;
+    const std::string rel_str = rel.generic_string();
+    for (const std::string& prefix : excluded) {
+      if (rel_str.size() < prefix.size()) continue;
+      if (rel_str.compare(0, prefix.size(), prefix) != 0) continue;
+      if (rel_str.size() == prefix.size() || rel_str[prefix.size()] == '/') {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const std::string& input : inputs) {
+    fs::path p =
+        fs::path(input).is_absolute() ? fs::path(input) : root / input;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path()) &&
+            !is_excluded(entry.path())) {
+          files->insert(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      if (!is_excluded(p)) files->insert(p);
+    } else {
+      *error = "no such file or directory: " + p.string();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReadLines(const fs::path& path, std::vector<std::string>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string text;
+  while (std::getline(in, text)) out->push_back(text);
+  return true;
+}
+
+size_t DiffExpectations(std::vector<Finding>* findings,
+                        std::vector<Finding>* expectations,
+                        std::ostream& out) {
+  // Exact two-way match: a rule that fails to fire is as much a bug as a
+  // spurious finding.
+  std::sort(findings->begin(), findings->end());
+  std::sort(expectations->begin(), expectations->end());
+  std::vector<Finding> unexpected;
+  std::vector<Finding> missing;
+  auto key_equal = [](const Finding& a, const Finding& b) {
+    return a.file == b.file && a.line == b.line && a.rule == b.rule;
+  };
+  size_t fi = 0;
+  size_t ei = 0;
+  while (fi < findings->size() || ei < expectations->size()) {
+    if (fi == findings->size()) {
+      missing.push_back((*expectations)[ei++]);
+    } else if (ei == expectations->size()) {
+      unexpected.push_back((*findings)[fi++]);
+    } else if (key_equal((*findings)[fi], (*expectations)[ei])) {
+      ++fi;
+      ++ei;
+    } else if ((*findings)[fi] < (*expectations)[ei]) {
+      unexpected.push_back((*findings)[fi++]);
+    } else {
+      missing.push_back((*expectations)[ei++]);
+    }
+  }
+  for (const Finding& f : unexpected) {
+    out << f.file << ":" << f.line << ": unexpected [" << f.rule << "] "
+        << f.message << "\n";
+  }
+  for (const Finding& f : missing) {
+    out << f.file << ":" << f.line << ": expected [" << f.rule
+        << "] but the rule did not fire\n";
+  }
+  return unexpected.size() + missing.size();
+}
+
+}  // namespace dta::lex

@@ -1,0 +1,123 @@
+// cpplex: the shared C++ lexing layer under dta_lint and dta_analyze.
+//
+// Both tools reason about source *code*, not about comments, string
+// literals, or preprocessor-dead regions — a rule keyword inside a doc
+// comment, a raw string, or an `#if 0` block is not a finding. Rather than
+// each tool carrying its own half-correct stripper, this library owns the
+// lexical phase once:
+//
+//   PreprocessSource   raw lines -> SourceLine{code, comment, markers}.
+//                      Strips line and block comments (block state carries
+//                      across lines), blanks the contents of string, char,
+//                      and raw string literals (raw strings may span lines
+//                      and contain quotes), skips digit separators
+//                      (1'000'000 is a number, not a char literal), blanks
+//                      preprocessor directive lines and their backslash
+//                      continuations, and blanks regions disabled by a
+//                      literal `#if 0` / `#if false` (or the dead branch of
+//                      `#if 1`), honoring nesting. Suppression (`lint:`)
+//                      and expectation (`expect:`) markers are parsed out
+//                      of the surviving // comments.
+//
+//   Tokenize           SourceLine code -> identifier/number/punctuation
+//                      tokens with line numbers; multi-character operators
+//                      (`::`, `->`, `<<`, `+=`, ...) arrive as one token,
+//                      which is what dta_analyze's scope and call scanning
+//                      keys on.
+//
+// Plus the small driver plumbing every lexical tool repeats: finding
+// records, input expansion (files/directories with root-relative
+// exclusions), and the two-way `expect:` fixture diff.
+//
+// The library is intentionally dependency-free (std only): the lint tools
+// must build and run before anything else in the tree is healthy.
+
+#ifndef DTA_TOOLS_CPPLEX_H_
+#define DTA_TOOLS_CPPLEX_H_
+
+#include <filesystem>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dta::lex {
+
+// One source line after lexical preprocessing.
+struct SourceLine {
+  // Code text with comments removed and literal contents blanked (the
+  // delimiting quotes remain, so "a string is here" stays visible as "").
+  // Empty for preprocessor directives, their continuations, and lines in
+  // preprocessor-disabled regions.
+  std::string code;
+  // For a live preprocessor directive line: its lexed text (comments
+  // removed, literal contents blanked), e.g. `#include <unordered_map>`.
+  // Empty elsewhere, including in disabled regions — most rules should
+  // ignore directives entirely, but e.g. dta_lint's unordered-output rule
+  // wants to flag the include itself.
+  std::string directive;
+  // Text of the trailing // comment, if any (empty in disabled regions).
+  std::string comment;
+  // Rule names from a `lint: a, b` marker in the comment.
+  std::set<std::string> suppressed;
+  // Rule names from an `expect: a, b` marker in the comment.
+  std::set<std::string> expected;
+};
+
+std::vector<SourceLine> PreprocessSource(const std::vector<std::string>& raw);
+
+// Splits a marker payload ("a, b c") into rule-name tokens (identifier
+// characters plus '-').
+std::set<std::string> ParseRuleList(const std::string& text);
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  size_t line = 0;  // 0-based index into the SourceLine vector
+
+  bool Is(const char* t) const { return text == t; }
+  bool IsIdent() const { return kind == Kind::kIdentifier; }
+};
+
+std::vector<Token> Tokenize(const std::vector<SourceLine>& lines);
+
+// ---- Shared driver plumbing ----------------------------------------------
+
+struct Finding {
+  std::string file;  // repo-relative path
+  size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const;
+};
+
+bool HasLintableExtension(const std::filesystem::path& p);
+
+// Expands files/directories (resolved against `root`) into a sorted,
+// de-duplicated file list, dropping files whose root-relative path starts
+// with an excluded prefix (matched on path-component boundaries). On a
+// missing input, stores a message in `error` and returns false.
+bool CollectFiles(const std::filesystem::path& root,
+                  const std::vector<std::string>& inputs,
+                  const std::vector<std::string>& excluded,
+                  std::set<std::filesystem::path>* files, std::string* error);
+
+// Reads a file into lines; false if it cannot be opened.
+bool ReadLines(const std::filesystem::path& path,
+               std::vector<std::string>* out);
+
+// `path` relative to `root`, or `path` itself when not under it.
+std::string RelPath(const std::filesystem::path& path,
+                    const std::filesystem::path& root);
+
+// Two-way diff between findings and `expect:` markers: prints unexpected
+// findings and expected-but-silent rules to `out`, returns the number of
+// mismatches (0 == fixtures exactly match). Sorts both vectors in place.
+size_t DiffExpectations(std::vector<Finding>* findings,
+                        std::vector<Finding>* expectations, std::ostream& out);
+
+}  // namespace dta::lex
+
+#endif  // DTA_TOOLS_CPPLEX_H_

@@ -4,7 +4,8 @@
 // byte-identical checkpoints across runs; those guarantees rest on source
 // conventions no general-purpose tool knows about. This linter enforces
 // them as a build step (ctest `DtaLintTree`), complementing clang's
-// -Wthread-safety analysis and clang-tidy:
+// -Wthread-safety analysis, clang-tidy, and the semantic whole-tree
+// analyzer dta_analyze (lock-order graph + determinism flow):
 //
 //   unordered-output   Files that serialize ordered output (report,
 //                      checkpoint, xml_schema) must not use
@@ -32,9 +33,12 @@
 //                      are invisible to -Wthread-safety; use the annotated
 //                      dta::Mutex/MutexLock/CondVar (common/mutex.h) instead.
 //
-// Mechanics: line-oriented over comment- and string-stripped source, which
-// keeps the tool dependency-free and fast enough to run on every build.
-// Each rule is individually suppressible at a site with
+// Mechanics: line-oriented over the lexically preprocessed source that
+// tools/cpplex.{h,cc} produces — comments, the contents of string/char/raw
+// string literals, preprocessor directives, and `#if 0` regions are all
+// blanked before any rule looks at a line, so a rule keyword in a doc
+// comment, a raw string, or preprocessor-dead code can never fire. Each
+// rule is individually suppressible at a site with
 // `// lint: <rule>[, <rule>...]` on the offending line or the line above,
 // and disableable globally with --disable=<rule>,<rule>.
 //
@@ -42,7 +46,8 @@
 // against `// expect: <rule>[, <rule>...]` markers in the linted files and
 // the run fails on any difference in either direction. tests/lint_fixtures/
 // exercises every rule's fire, suppress, and clean cases this way (ctest
-// `DtaLintFixtures`).
+// `DtaLintFixtures`), including the lexer regression fixtures (raw strings,
+// digit separators, `#if 0`).
 //
 // Usage:
 //   dta_lint [--root=DIR] [--disable=r1,r2] [--exclude=p1,p2]
@@ -56,40 +61,23 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "cpplex.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 
+using dta::lex::Finding;
+using dta::lex::SourceLine;
+
 const std::vector<std::string> kAllRules = {
     "unordered-output", "wall-clock",  "naked-new",
     "unguarded-mutex",  "lock-naming", "raw-mutex",
-};
-
-struct Finding {
-  std::string file;  // repo-relative path
-  size_t line = 0;   // 1-based
-  std::string rule;
-  std::string message;
-
-  bool operator<(const Finding& o) const {
-    return std::tie(file, line, rule) < std::tie(o.file, o.line, o.rule);
-  }
-};
-
-// One source line after preprocessing.
-struct Line {
-  std::string code;       // comments and literal contents blanked
-  std::string comment;    // text of the trailing // comment, if any
-  std::set<std::string> suppressed;  // rules suppressed at this line
-  std::set<std::string> expected;    // rules expected to fire (fixtures)
 };
 
 bool IsIdentChar(char c) {
@@ -129,94 +117,12 @@ bool ContainsCall(const std::string& code, const std::string& word) {
   return false;
 }
 
-// Splits a marker payload ("a, b c") into rule names; the alias "ordered"
-// names the unordered-output rule (matches the suppression comment the
-// DESIGN doc prescribes for intentional sorted-elsewhere uses).
-std::set<std::string> ParseRuleList(const std::string& text) {
-  std::set<std::string> out;
-  std::string token;
-  auto flush = [&] {
-    if (token.empty()) return;
-    if (token == "ordered") token = "unordered-output";
-    out.insert(token);
-    token.clear();
-  };
-  for (char c : text) {
-    if (IsIdentChar(c) || c == '-') {
-      token.push_back(c);
-    } else {
-      flush();
-    }
-  }
-  flush();
-  return out;
-}
-
-// Strips comments and the contents of string/char literals, tracking block
-// comments across lines. Returns preprocessed lines with suppression and
-// expectation markers extracted from // comments.
-std::vector<Line> Preprocess(const std::vector<std::string>& raw) {
-  std::vector<Line> lines;
-  lines.reserve(raw.size());
-  bool in_block_comment = false;
-  for (const std::string& text : raw) {
-    Line line;
-    std::string& code = line.code;
-    code.reserve(text.size());
-    for (size_t i = 0; i < text.size();) {
-      if (in_block_comment) {
-        if (text.compare(i, 2, "*/") == 0) {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      const char c = text[i];
-      if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
-        line.comment = text.substr(i + 2);
-        break;  // rest of the line is comment
-      }
-      if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        code.push_back(quote);
-        ++i;
-        while (i < text.size()) {
-          if (text[i] == '\\' && i + 1 < text.size()) {
-            i += 2;
-            continue;
-          }
-          if (text[i] == quote) {
-            code.push_back(quote);
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      code.push_back(c);
-      ++i;
-    }
-    const std::string kLintMarker = std::string("lint") + ":";
-    const std::string kExpectMarker = std::string("expect") + ":";
-    size_t mark = line.comment.find(kLintMarker);
-    if (mark != std::string::npos) {
-      line.suppressed = ParseRuleList(line.comment.substr(mark + 5));
-    }
-    mark = line.comment.find(kExpectMarker);
-    if (mark != std::string::npos) {
-      line.expected = ParseRuleList(line.comment.substr(mark + 7));
-    }
-    lines.push_back(std::move(line));
-  }
-  return lines;
+// The alias "ordered" names the unordered-output rule in markers (matches
+// the suppression comment the DESIGN doc prescribes for intentional
+// sorted-elsewhere uses).
+std::set<std::string> ResolveAliases(std::set<std::string> rules) {
+  if (rules.erase("ordered") > 0) rules.insert("unordered-output");
+  return rules;
 }
 
 // ---- Rules ---------------------------------------------------------------
@@ -250,11 +156,15 @@ void LintFile(const std::string& rel_path, const std::vector<std::string>& raw,
               const std::set<std::string>& disabled,
               std::vector<Finding>* findings,
               std::vector<Finding>* expectations) {
-  const std::vector<Line> lines = Preprocess(raw);
+  std::vector<SourceLine> lines = dta::lex::PreprocessSource(raw);
+  for (SourceLine& line : lines) {
+    line.suppressed = ResolveAliases(std::move(line.suppressed));
+    line.expected = ResolveAliases(std::move(line.expected));
+  }
 
   // Whole-file text (code only) for the unguarded-mutex user search.
   std::string all_code;
-  for (const Line& line : lines) {
+  for (const SourceLine& line : lines) {
     all_code += line.code;
     all_code += '\n';
   }
@@ -281,6 +191,16 @@ void LintFile(const std::string& rel_path, const std::vector<std::string>& raw,
       for (const std::string& rule : lines[i].expected) {
         expectations->push_back(Finding{rel_path, i + 1, rule, ""});
       }
+    }
+
+    // unordered-output also covers the include itself — an ordered-output
+    // file should not even pull the headers in.
+    if (ordered_output &&
+        (lines[i].directive.find("unordered_map") != std::string::npos ||
+         lines[i].directive.find("unordered_set") != std::string::npos)) {
+      emit(i, "unordered-output",
+           "unordered container header included in an ordered-output file "
+           "(suppress with 'lint: ordered')");
     }
     if (code.empty()) continue;
 
@@ -440,11 +360,6 @@ void LintFile(const std::string& rel_path, const std::vector<std::string>& raw,
 
 // ---- Driver --------------------------------------------------------------
 
-bool HasLintableExtension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".cc" || ext == ".cpp";
-}
-
 int Usage() {
   std::cerr
       << "usage: dta_lint [--root=DIR] [--disable=rule1,rule2]\n"
@@ -480,7 +395,8 @@ int main(int argc, char** argv) {
         start = comma + 1;
       }
     } else if (arg.rfind("--disable=", 0) == 0) {
-      for (const std::string& r : ParseRuleList(arg.substr(10))) {
+      for (const std::string& r :
+           ResolveAliases(dta::lex::ParseRuleList(arg.substr(10)))) {
         if (std::find(kAllRules.begin(), kAllRules.end(), r) ==
             kAllRules.end()) {
           std::cerr << "dta_lint: unknown rule '" << r << "'\n";
@@ -499,101 +415,29 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) return Usage();
 
-  // Root-relative prefix match on path-component boundaries, so
-  // --exclude=tests/lint_fixtures skips the directory but not a sibling
-  // like tests/lint_fixtures_extra.
-  auto is_excluded = [&root, &excluded](const fs::path& p) {
-    std::error_code rel_ec;
-    const fs::path rel = fs::relative(p, root, rel_ec);
-    if (rel_ec || rel.empty()) return false;
-    const std::string rel_str = rel.generic_string();
-    for (const std::string& prefix : excluded) {
-      if (rel_str.size() < prefix.size()) continue;
-      if (rel_str.compare(0, prefix.size(), prefix) != 0) continue;
-      if (rel_str.size() == prefix.size() || rel_str[prefix.size()] == '/') {
-        return true;
-      }
-    }
-    return false;
-  };
-
-  // Expand inputs to a sorted, de-duplicated file list (deterministic
-  // output regardless of directory iteration order).
   std::set<fs::path> files;
-  for (const std::string& input : inputs) {
-    fs::path p = fs::path(input).is_absolute() ? fs::path(input)
-                                               : root / input;
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
-        if (entry.is_regular_file() && HasLintableExtension(entry.path()) &&
-            !is_excluded(entry.path())) {
-          files.insert(entry.path());
-        }
-      }
-    } else if (fs::is_regular_file(p, ec)) {
-      if (!is_excluded(p)) files.insert(p);
-    } else {
-      std::cerr << "dta_lint: no such file or directory: " << p << "\n";
-      return 2;
-    }
+  std::string error;
+  if (!dta::lex::CollectFiles(root, inputs, excluded, &files, &error)) {
+    std::cerr << "dta_lint: " << error << "\n";
+    return 2;
   }
 
   std::vector<Finding> findings;
   std::vector<Finding> expectations;
   for (const fs::path& file : files) {
-    std::ifstream in(file);
-    if (!in) {
+    std::vector<std::string> raw;
+    if (!dta::lex::ReadLines(file, &raw)) {
       std::cerr << "dta_lint: cannot read " << file << "\n";
       return 2;
     }
-    std::vector<std::string> raw;
-    std::string text;
-    while (std::getline(in, text)) raw.push_back(text);
-
-    std::error_code ec;
-    fs::path rel = fs::relative(file, root, ec);
-    const std::string rel_path =
-        ec || rel.empty() ? file.string() : rel.string();
-    LintFile(rel_path, raw, disabled,
-             &findings, check_expectations ? &expectations : nullptr);
+    LintFile(dta::lex::RelPath(file, root), raw, disabled, &findings,
+             check_expectations ? &expectations : nullptr);
   }
 
   if (check_expectations) {
-    // Exact two-way match between findings and `expect:` markers: a rule
-    // that fails to fire is as much a bug as a spurious finding.
-    std::sort(findings.begin(), findings.end());
-    std::sort(expectations.begin(), expectations.end());
-    std::vector<Finding> unexpected;
-    std::vector<Finding> missing;
-    auto key_equal = [](const Finding& a, const Finding& b) {
-      return a.file == b.file && a.line == b.line && a.rule == b.rule;
-    };
-    size_t fi = 0;
-    size_t ei = 0;
-    while (fi < findings.size() || ei < expectations.size()) {
-      if (fi == findings.size()) {
-        missing.push_back(expectations[ei++]);
-      } else if (ei == expectations.size()) {
-        unexpected.push_back(findings[fi++]);
-      } else if (key_equal(findings[fi], expectations[ei])) {
-        ++fi;
-        ++ei;
-      } else if (findings[fi] < expectations[ei]) {
-        unexpected.push_back(findings[fi++]);
-      } else {
-        missing.push_back(expectations[ei++]);
-      }
-    }
-    for (const Finding& f : unexpected) {
-      std::cout << f.file << ":" << f.line << ": unexpected [" << f.rule
-                << "] " << f.message << "\n";
-    }
-    for (const Finding& f : missing) {
-      std::cout << f.file << ":" << f.line << ": expected [" << f.rule
-                << "] but the rule did not fire\n";
-    }
-    if (!unexpected.empty() || !missing.empty()) return 1;
+    const size_t mismatches =
+        dta::lex::DiffExpectations(&findings, &expectations, std::cout);
+    if (mismatches > 0) return 1;
     std::cout << "dta_lint: expectations match (" << expectations.size()
               << " findings across " << files.size() << " files)\n";
     return 0;

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # The one source-file glob shared by every style/static-analysis gate. The
 # clang-format CI job and the clang-tidy CI job both call this script, so a
 # new directory cannot silently escape one job but not the other — change
@@ -10,22 +10,37 @@
 #                            the TUs that include them, filtered by
 #                            HeaderFilterRegex in .clang-tidy)
 #
-# tests/lint_fixtures/ is excluded everywhere: those files are dta_lint test
-# data — deliberately rule-violating, never compiled, checked only by the
-# DtaLintFixtures ctest.
-set -eu
+# tests/lint_fixtures/ and tests/analyze_fixtures/ are excluded everywhere:
+# those files are dta_lint/dta_analyze test data — deliberately
+# rule-violating, never compiled, checked only by their fixture ctests.
+#
+# Exits non-zero if the glob matches nothing: an empty match means the tree
+# layout changed under us, and silently linting zero files would pass every
+# gate vacuously.
+set -euo pipefail
 cd "$(dirname "$0")/.."
-case "${1:-}" in
-  --tidy)
-    find src tools -name '*.cc'
-    ;;
-  "")
-    find src tests bench tools examples \
-      \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
-      -not -path 'tests/lint_fixtures/*'
-    ;;
-  *)
-    echo "usage: $0 [--tidy]" >&2
-    exit 2
-    ;;
-esac
+
+list_sources() {
+  case "${1:-}" in
+    --tidy)
+      find src tools -name '*.cc'
+      ;;
+    "")
+      find src tests bench tools examples \
+        \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
+        -not -path 'tests/lint_fixtures/*' \
+        -not -path 'tests/analyze_fixtures/*'
+      ;;
+    *)
+      echo "usage: $0 [--tidy]" >&2
+      exit 2
+      ;;
+  esac
+}
+
+out="$(list_sources "${1:-}")"
+if [ -z "${out}" ]; then
+  echo "$0: source glob matched no files" >&2
+  exit 1
+fi
+printf '%s\n' "${out}"
