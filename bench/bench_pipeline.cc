@@ -1,8 +1,9 @@
 // bench_pipeline — the CI bench-regression workload.
 //
-// Runs the TPC-H tuning pipeline under nine scenarios (serial, underived,
+// Runs the TPC-H tuning pipeline under eleven scenarios (serial, underived,
 // parallel, checkpointed, faulty, sharded, sharded_faulty, failslow,
-// multitenant) and emits one observability document (dta-observability-v1,
+// socket, socket_failslow, multitenant) and emits one observability
+// document (dta-observability-v1,
 // the same schema dta_cli --metrics-json writes) with, per scenario:
 //   counters  bench.<scenario>.whatif_calls   — deterministic call counts
 //   gauges    bench.<scenario>.wall_ms        — tuning wall-clock
@@ -26,6 +27,13 @@
 //             deterministic, gated at a floor. The recommendations of the
 //             two runs are required to be byte-identical — a divergence
 //             fails the benchmark itself.
+//             bench.socket_failslow.pool_utilization /
+//             bench.failslow.pool_utilization — achieved work/wall ratio of
+//             the costing pool under one latency-amplified shard, over the
+//             socket transport (completion queue, no thread ever parks on
+//             the slow worker) vs the in-process transport. The socket
+//             number is expected to hold at or above the in-process one:
+//             that comparison is what justifies the async transport.
 //
 // Every scenario's recommendation is also required to be byte-identical to
 // the serial run's (failslow included — the detector is routing-only — and
@@ -44,10 +52,15 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/strings.h"
 #include "common/trace.h"
+#include "dta/rpc/worker.h"
 #include "dta/tenant_driver.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
@@ -95,6 +108,54 @@ Result<std::unique_ptr<server::Server>> MakeWarmServer(
   auto w = warmup.Tune(wl);
   if (!w.ok()) return w.status();
   return server;
+}
+
+// Socket-transport scenario: the same TPC-H pipeline with every what-if
+// call crossing a Unix socket to an in-process CostWorker fleet serving
+// clones of the warm server (clones carry the warm statistics, so the
+// timed run measures the costing wire, not statistics builds). When
+// `victim_fault` is non-empty, worker 2 prices through a FaultInjector
+// parsed from it — the fail-slow wire scenario.
+Result<tuner::TuningResult> RunSocketScenario(
+    int shards, int threads, const std::string& victim_fault,
+    const workload::Workload& wl) {
+  auto prod = MakeWarmServer("prod", wl);
+  if (!prod.ok()) return prod.status();
+  // Workers shut down (joining their serve threads) before the clone
+  // servers they price on are destroyed.
+  std::vector<std::unique_ptr<server::Server>> clones;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::vector<std::unique_ptr<rpc::CostWorker>> workers;
+  std::vector<std::string> endpoints;
+  static int socket_serial = 0;
+  for (int i = 0; i < shards; ++i) {
+    auto clone = (*prod)->Clone("worker" + std::to_string(i));
+    if (!clone.ok()) return clone.status();
+    if (i == 2 && !victim_fault.empty()) {
+      auto spec = FaultSpec::Parse(victim_fault);
+      if (!spec.ok()) return spec.status();
+      injectors.push_back(std::make_unique<FaultInjector>(*spec));
+      (*clone)->set_fault_injector(injectors.back().get());
+    }
+    rpc::CostWorkerOptions wopts;
+    wopts.threads = 2;
+    workers.push_back(
+        std::make_unique<rpc::CostWorker>(clone->get(), wopts));
+    clones.push_back(std::move(clone).value());
+    endpoints.push_back(StrFormat("/tmp/dta_bench_%d_%d.sock",
+                                  static_cast<int>(::getpid()),
+                                  socket_serial++));
+    DTA_RETURN_IF_ERROR(workers.back()->Listen(endpoints.back()));
+  }
+  tuner::TuningOptions opts;
+  opts.num_threads = threads;
+  opts.shards = shards;
+  opts.transport = tuner::TuningOptions::Transport::kSocket;
+  opts.socket_endpoints = endpoints;
+  tuner::TuningSession session(prod->get(), opts);
+  auto r = session.Tune(wl);
+  for (const std::string& path : endpoints) std::remove(path.c_str());
+  return r;
 }
 
 // N tenants, each tuning its own warm server under `opts`, sharing what-if
@@ -261,6 +322,54 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  // Socket transport, same fleet shape as `sharded`: every pricing crosses
+  // a Unix socket to a CostWorker. The call counter must equal the serial
+  // scenario's (the transport only moves bytes) and the recommendation must
+  // stay byte-identical — this scenario gates transport-invariance in CI.
+  auto socket = RunSocketScenario(4, 4, "", wl);
+  if (!socket.ok()) {
+    std::fprintf(stderr, "socket: %s\n", socket.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "socket", *socket);
+  const std::string socket_rec =
+      tuner::ConfigurationToXml(socket->recommendation)->ToString();
+  if (socket_rec != serial_rec) {
+    std::fprintf(stderr,
+                 "socket transport changed the recommendation:\n"
+                 "--- serial ---\n%s\n--- socket ---\n%s\n",
+                 serial_rec.c_str(), socket_rec.c_str());
+    return 1;
+  }
+
+  // Socket transport with worker 2 fail-slow (the same latency spec the
+  // in-process failslow scenario injects, applied on the worker side). The
+  // completion queue keeps pool threads submitting instead of parking on
+  // the slow worker, so the pool's work/wall utilization should hold at or
+  // above the in-process fail-slow run's — that comparison is exported as
+  // the pool_utilization gauges below.
+  auto socket_failslow = RunSocketScenario(
+      4, 4, "latency_ms=0.05,slow_after=5,slow_factor=200", wl);
+  if (!socket_failslow.ok()) {
+    std::fprintf(stderr, "socket_failslow: %s\n",
+                 socket_failslow.status().ToString().c_str());
+    return 1;
+  }
+  Record(&metrics, "socket_failslow", *socket_failslow);
+  const std::string socket_failslow_rec =
+      tuner::ConfigurationToXml(socket_failslow->recommendation)->ToString();
+  if (socket_failslow_rec != serial_rec) {
+    std::fprintf(stderr,
+                 "socket fail-slow chaos changed the recommendation:\n"
+                 "--- serial ---\n%s\n--- socket_failslow ---\n%s\n",
+                 serial_rec.c_str(), socket_failslow_rec.c_str());
+    return 1;
+  }
+  metrics.GetGauge("bench.socket_failslow.pool_utilization")
+      ->Set(socket_failslow->ParallelSpeedup());
+  metrics.GetGauge("bench.failslow.pool_utilization")
+      ->Set(failslow->ParallelSpeedup());
+
   // Three tenants tuning concurrently under shared admission control; every
   // tenant's recommendation must match the serial single-tenant run's.
   tuner::TuningOptions tenant_opts;
@@ -351,20 +460,25 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "serial=%.0fms underived=%.0fms parallel=%.0fms "
                  "checkpointed=%.0fms faulty=%.0fms sharded=%.0fms "
-                 "sharded_faulty=%.0fms failslow=%.0fms multitenant=%.0fms "
+                 "sharded_faulty=%.0fms failslow=%.0fms socket=%.0fms "
+                 "socket_failslow=%.0fms multitenant=%.0fms "
                  "checkpoint_overhead=%.3f%% (%zu writes, %.1fms) "
                  "shard_failover_overhead=%.3f%% (%zu failovers) "
                  "failslow_isolation_overhead=%.3f%% (%zu slow demotions) "
-                 "whatif_calls_saved=%.1f%% (%zu -> %zu calls)\n",
+                 "whatif_calls_saved=%.1f%% (%zu -> %zu calls) "
+                 "pool_utilization: socket_failslow=%.2f failslow=%.2f\n",
                  serial->tuning_time_ms, underived->tuning_time_ms,
                  parallel->tuning_time_ms, checkpointed->tuning_time_ms,
                  faulty->tuning_time_ms, sharded->tuning_time_ms,
                  sharded_faulty->tuning_time_ms, failslow->tuning_time_ms,
+                 socket->tuning_time_ms, socket_failslow->tuning_time_ms,
                  multitenant_wall_ms, ckpt_pct,
                  checkpointed->checkpoint_writes, checkpointed->checkpoint_ms,
                  shard_failover_pct, sharded_faulty->shard_failovers,
                  failslow_pct, failslow->shard_slow_demotions,
-                 saved_pct, underived->whatif_calls, serial->whatif_calls);
+                 saved_pct, underived->whatif_calls, serial->whatif_calls,
+                 socket_failslow->ParallelSpeedup(),
+                 failslow->ParallelSpeedup());
   } else {
     std::printf("%s", doc.c_str());
   }

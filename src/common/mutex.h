@@ -24,6 +24,7 @@
 #define DTA_COMMON_MUTEX_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -98,6 +99,16 @@ class CondVar {
   // Atomically releases `mu` and blocks until notified; `mu` is re-held on
   // return. Subject to spurious wakeups: always call in a predicate loop.
   void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  // Timed wait: blocks until notified or `timeout_ms` has elapsed, whichever
+  // comes first; `mu` is re-held on return. Returns false iff the wait timed
+  // out. A relative duration, not a wall-clock read, so determinism-gated
+  // outputs must never depend on which branch returned — callers use it only
+  // to bound sleeps (RPC deadline sweeps), never to derive results.
+  bool WaitForMs(Mutex& mu, double timeout_ms) REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::duration<double, std::milli>(
+                                timeout_ms)) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

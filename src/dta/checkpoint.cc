@@ -163,10 +163,12 @@ uint64_t WorkloadFingerprint(const workload::Workload& workload) {
 
 uint64_t OptionsFingerprint(const TuningOptions& o) {
   // Every option that can change the recommendation, in a fixed order.
-  // num_threads, shards, shard_max_inflight, the checkpoint paths, and
-  // checkpoint_budget_pct are excluded on purpose: results are invariant to
-  // thread count and shard topology (a 4-shard checkpoint legitimately
-  // resumes on 2 shards), and where a snapshot lives — or how often round
+  // num_threads, shards, shard_max_inflight, the transport section
+  // (transport, socket_endpoints, rpc_attempt_timeout_ms), the checkpoint
+  // paths, and checkpoint_budget_pct are excluded on purpose: results are
+  // invariant to thread count and shard/transport topology (a 4-shard
+  // checkpoint legitimately resumes on 2 shards, and an inproc checkpoint
+  // resumes over sockets), and where a snapshot lives — or how often round
   // snapshots are written — does not change what it resumes to.
   // shard_fault_spec IS included: per-shard faults can degrade pricings and
   // so can change the recommendation, exactly like fault_spec.
@@ -215,6 +217,7 @@ std::string CheckpointToXml(const SessionCheckpoint& ckpt) {
                                      ckpt.options_fingerprint)));
   root.SetAttr("Phase", StrFormat("%d", ckpt.phase));
   root.SetAttr("Shards", StrFormat("%d", ckpt.shards));
+  root.SetAttr("Transport", ckpt.transport);
   root.SetAttr("StatsRequested", StrFormat("%zu", ckpt.stats_requested));
   root.SetAttr("StatsCreated", StrFormat("%zu", ckpt.stats_created));
   root.SetAttr("StatsCreationMs", HexDouble(ckpt.stats_creation_ms));
@@ -339,6 +342,9 @@ Result<SessionCheckpoint> CheckpointFromXml(const std::string& xml_text,
         "DTACheckpoint records an invalid shard topology (Shards='" +
         shards_attr + "'); refusing to resume");
   }
+  // Informational, absent on older documents (all of which were inproc).
+  const std::string transport_attr = root.Attr("Transport");
+  ckpt.transport = transport_attr.empty() ? "inproc" : transport_attr;
   ckpt.stats_requested =
       static_cast<size_t>(ParseU64(root.Attr("StatsRequested")));
   ckpt.stats_created =

@@ -59,6 +59,10 @@ struct SessionCheckpoint {
   // a corrupt topology (< 1) is rejected with a clear status instead of
   // silently mis-routing entries.
   int shards = 1;
+  // Costing transport of the writing session ("inproc" or "socket").
+  // Informational, like `shards`: cache entries are transport-agnostic, so
+  // a checkpoint written under one transport resumes under the other.
+  std::string transport = "inproc";
 
   std::vector<double> current_costs;  // per tuned statement, in order
   std::set<stats::StatsKey> missing_stats;

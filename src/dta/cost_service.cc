@@ -154,10 +154,15 @@ Result<CostService::Entry> CostService::PriceWithRetries(
   const int max_attempts = std::max(1, retry.max_attempts);
   calls_.fetch_add(1, std::memory_order_relaxed);
   if (m_calls_ != nullptr) m_calls_->Increment();
+  WhatIfCall call;
+  call.stmt = &stmt;
+  call.text = &workload_->statements()[index].text;
+  call.config = &config;
+  call.simulate_hardware = simulate_hardware_;
+  call.call_key = fault_key;
   Status last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    auto r = backend_->WhatIfCost(stmt, config, simulate_hardware_,
-                                  fault_key);
+    auto r = backend_->WhatIfCost(call);
     if (r.ok()) {
       RecordAttempts(attempt);
       // The server's simulated optimization duration is deterministic in

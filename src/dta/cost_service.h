@@ -58,25 +58,40 @@ namespace dta::tuner {
 // absorbs anything beyond the histogram size.
 inline constexpr size_t kRetryHistogramBuckets = 8;
 
+// One logical what-if call as it crosses the backend seam. In-process
+// backends cost `*stmt` directly; a socket transport serializes `*text`
+// (the statement's original SQL, which the worker re-parses with the same
+// parser) so the AST never needs a wire encoding. All pointers are borrowed
+// and must outlive the call.
+struct WhatIfCall {
+  const sql::Statement* stmt = nullptr;
+  // Original SQL text of the statement; null only on internal call sites
+  // that are guaranteed to stay in-process (tests driving a router
+  // directly).
+  const std::string* text = nullptr;
+  const catalog::Configuration* config = nullptr;
+  const optimizer::HardwareParams* simulate_hardware = nullptr;
+  // Identifies the logical call (hash of statement text + relevant
+  // fingerprint, never 0): fault injectors key their deterministic
+  // decisions on it and routers hash it for shard placement.
+  uint64_t call_key = 0;
+};
+
 // Where what-if calls physically execute. CostService is written against
-// this seam, so pricing can run on one server (SingleServerBackend below)
-// or fan out across a fleet of test-server replicas (ShardRouter,
-// dta/shard_router.h) without the caching, dedup, or retry layers knowing
-// the difference. Backends must be deterministic — the same (statement,
-// configuration) call returns the same cost wherever it executes — which is
-// what keeps recommendations bit-identical across backend topologies.
+// this seam, so pricing can run on one server (SingleServerBackend below),
+// fan out across a fleet of in-process test-server replicas, or cross
+// sockets to cost_server worker processes (ShardRouter, dta/shard_router.h)
+// without the caching, dedup, or retry layers knowing the difference.
+// Backends must be deterministic — the same (statement, configuration) call
+// returns the same cost wherever it executes — which is what keeps
+// recommendations bit-identical across backend topologies.
 class CostBackend {
  public:
   virtual ~CostBackend() = default;
 
-  // Mirrors server::Server::WhatIfCost. `call_key` identifies the logical
-  // call (hash of statement text + relevant fingerprint, never 0): fault
-  // injectors key their deterministic decisions on it and routers hash it
-  // for shard placement. Must be safe for concurrent calls.
+  // Mirrors server::Server::WhatIfCost. Must be safe for concurrent calls.
   virtual Result<server::Server::WhatIfResult> WhatIfCost(
-      const sql::Statement& stmt, const catalog::Configuration& config,
-      const optimizer::HardwareParams* simulate_hardware,
-      uint64_t call_key) = 0;
+      const WhatIfCall& call) = 0;
 
   // The server whose catalog and hardware stand in for the backend's shared
   // state: heuristic degradation, plan reports, and catalog resolution all
@@ -90,10 +105,9 @@ class SingleServerBackend : public CostBackend {
   explicit SingleServerBackend(server::Server* server) : server_(server) {}
 
   Result<server::Server::WhatIfResult> WhatIfCost(
-      const sql::Statement& stmt, const catalog::Configuration& config,
-      const optimizer::HardwareParams* simulate_hardware,
-      uint64_t call_key) override {
-    return server_->WhatIfCost(stmt, config, simulate_hardware, call_key);
+      const WhatIfCall& call) override {
+    return server_->WhatIfCost(*call.stmt, *call.config,
+                               call.simulate_hardware, call.call_key);
   }
 
   server::Server* primary() const override { return server_; }

@@ -1,0 +1,81 @@
+// The per-shard execution channel behind ShardRouter.
+//
+// A channel answers one shard's what-if calls. Two families exist:
+//
+//   * InprocChannel — wraps a server::Server* in this process. Synchronous:
+//     Call() runs the pricing on the caller's thread. This is the original
+//     sharded-costing mode and stays the default for tests.
+//   * SocketChannel (rpc/transport.h) — speaks DTR1 frames to a cost_server
+//     worker over a Unix socket. Asynchronous: Submit() puts the request on
+//     the wire and the channel's reader thread delivers the completion; the
+//     router drives these through its completion queue so no worker thread
+//     ever parks on a slow shard.
+//
+// A fleet is homogeneous: either every channel is synchronous or every
+// channel is asynchronous (the router checks). Channels never decide
+// routing or health — that stays in ShardRouter — they only execute.
+
+#ifndef DTA_DTA_RPC_CHANNEL_H_
+#define DTA_DTA_RPC_CHANNEL_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "dta/cost_service.h"
+#include "server/server.h"
+
+namespace dta::rpc {
+
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // True when completions are delivered asynchronously via Submit();
+  // false when Call() is the only entry point.
+  virtual bool async() const = 0;
+
+  // Synchronous execution on the caller's thread (inproc channels only).
+  virtual Result<server::Server::WhatIfResult> Call(
+      const tuner::WhatIfCall& call) = 0;
+
+  // Asynchronous execution (socket channels only). `done` is invoked
+  // exactly once, from the channel's completion thread — possibly before
+  // Submit returns when the request fails to reach the wire. The borrowed
+  // pointers inside `call` must stay valid until `done` runs.
+  using Done = std::function<void(Result<server::Server::WhatIfResult>)>;
+  virtual void Submit(const tuner::WhatIfCall& call, Done done) = 0;
+};
+
+// Synchronous channel over an in-process server replica.
+class InprocChannel : public ShardChannel {
+ public:
+  explicit InprocChannel(server::Server* server)
+      : server_(server), name_(server->name()) {}
+
+  const std::string& name() const override { return name_; }
+  bool async() const override { return false; }
+
+  Result<server::Server::WhatIfResult> Call(
+      const tuner::WhatIfCall& call) override {
+    return server_->WhatIfCost(*call.stmt, *call.config,
+                               call.simulate_hardware, call.call_key);
+  }
+
+  void Submit(const tuner::WhatIfCall& call, Done done) override {
+    done(Call(call));
+  }
+
+  server::Server* server() const { return server_; }
+
+ private:
+  server::Server* server_;
+  std::string name_;
+};
+
+}  // namespace dta::rpc
+
+#endif  // DTA_DTA_RPC_CHANNEL_H_

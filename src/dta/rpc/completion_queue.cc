@@ -1,0 +1,307 @@
+#include "dta/rpc/completion_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dta::rpc {
+
+namespace {
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// One Execute invocation. Lives on the caller's stack; registered in
+// `live_` (and therefore reachable from other threads) only between
+// registration and the caller observing `done` — every mutation happens
+// under the queue mutex.
+struct CompletionQueue::Call {
+  enum class State { kIdle, kWaitingCredit, kInflight, kFinished };
+
+  uint64_t id = 0;
+  const tuner::WhatIfCall* what_if = nullptr;
+  const std::vector<size_t>* ranking = nullptr;
+  std::vector<bool> tried;
+  int pass = 0;
+  State state = State::kIdle;
+  size_t shard = 0;         // shard of the current attempt
+  uint64_t generation = 0;  // bumped per dispatch; stale completions differ
+  double deadline_ms = 0;   // real monotonic clock
+  Status last_error;
+  bool done = false;
+  Result<server::Server::WhatIfResult> result{
+      Status::Internal("completion queue: unset result")};
+};
+
+CompletionQueue::CompletionQueue(std::vector<ShardChannel*> channels,
+                                 CompletionQueueHooks hooks,
+                                 CompletionQueueOptions options)
+    : channels_(std::move(channels)),
+      hooks_(std::move(hooks)),
+      options_(options) {
+  DTA_CHECK(!channels_.empty(), "completion queue needs at least one shard");
+  for (const ShardChannel* channel : channels_) {
+    DTA_CHECK(channel->async(),
+              "completion queue requires asynchronous channels");
+  }
+  {
+    MutexLock lock(mu_);
+    credits_.assign(channels_.size(),
+                    std::max(1, options_.max_inflight_per_shard));
+    waiting_.resize(channels_.size());
+  }
+  if (options_.metrics != nullptr) {
+    m_calls_ = options_.metrics->GetCounter("rpc.calls");
+    m_requeues_ = options_.metrics->GetCounter("rpc.requeues");
+    m_timeouts_ = options_.metrics->GetCounter("rpc.timeouts");
+    m_late_ = options_.metrics->GetCounter("rpc.late_responses");
+    m_latency_ = options_.metrics->GetHistogram("rpc.wire_latency_ms");
+  }
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+CompletionQueue::~CompletionQueue() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  timer_.join();
+}
+
+Result<server::Server::WhatIfResult> CompletionQueue::Execute(
+    const tuner::WhatIfCall& call, const std::vector<size_t>& ranking) {
+  Call state;
+  std::vector<Launch> launches;
+  {
+    MutexLock lock(mu_);
+    state.id = next_call_id_++;
+    state.what_if = &call;
+    state.ranking = &ranking;
+    state.tried.assign(channels_.size(), false);
+    state.last_error =
+        Status::Unavailable("what-if call failed on every shard");
+    live_[state.id] = &state;
+    if (m_calls_ != nullptr) m_calls_->Increment();
+    AdvanceLocked(&state, Status::Ok(), &launches);
+  }
+  RunLaunches(std::move(launches));
+  MutexLock lock(mu_);
+  while (!state.done) cv_.Wait(mu_);
+  live_.erase(state.id);
+  return state.result;
+}
+
+void CompletionQueue::AdvanceLocked(Call* call, Status failure,
+                                    std::vector<Launch>* launches) {
+  if (!failure.ok()) call->last_error = std::move(failure);
+  size_t shard = NextShardLocked(*call);
+  if (shard == channels_.size() && call->pass == 0) {
+    call->pass = 1;
+    shard = NextShardLocked(*call);
+  }
+  if (shard == channels_.size()) {
+    FinishLocked(call, call->last_error);
+    return;
+  }
+  // A non-first attempt is a requeue: the statement moved shards instead of
+  // a worker thread sleeping through a backoff.
+  if (call->generation > 0 && m_requeues_ != nullptr) {
+    m_requeues_->Increment();
+  }
+  StartAttemptLocked(call, shard, launches);
+}
+
+size_t CompletionQueue::NextShardLocked(const Call& call) {
+  for (size_t shard : *call.ranking) {
+    if (shard >= channels_.size() || call.tried[shard]) continue;
+    if (hooks_.admit && !hooks_.admit(shard, call.pass)) continue;
+    return shard;
+  }
+  return channels_.size();
+}
+
+void CompletionQueue::StartAttemptLocked(Call* call, size_t shard,
+                                         std::vector<Launch>* launches) {
+  call->tried[shard] = true;
+  call->shard = shard;
+  if (credits_[shard] > 0) {
+    DispatchLocked(call, shard, launches);
+    return;
+  }
+  // Shard window saturated: wait for a returning credit, bounded by the
+  // same attempt timeout so a hung worker strands credits, not callers.
+  call->state = Call::State::kWaitingCredit;
+  call->deadline_ms = MonotonicNowMs() + options_.attempt_timeout_ms;
+  waiting_[shard].push_back(call->id);
+  cv_.NotifyAll();  // timer: a new deadline exists
+}
+
+void CompletionQueue::DispatchLocked(Call* call, size_t shard,
+                                     std::vector<Launch>* launches) {
+  --credits_[shard];
+  call->state = Call::State::kInflight;
+  call->shard = shard;
+  ++call->generation;
+  const double now = MonotonicNowMs();
+  call->deadline_ms = now + options_.attempt_timeout_ms;
+  Launch launch;
+  launch.channel = channels_[shard];
+  launch.call = call->what_if;
+  launch.done = [this, id = call->id, generation = call->generation, shard,
+                 now](Result<server::Server::WhatIfResult> result) {
+    OnCompletion(id, generation, shard, now, std::move(result));
+  };
+  launches->push_back(std::move(launch));
+  cv_.NotifyAll();  // timer: a new deadline exists
+}
+
+void CompletionQueue::FinishLocked(
+    Call* call, Result<server::Server::WhatIfResult> result) {
+  call->result = std::move(result);
+  call->state = Call::State::kFinished;
+  call->done = true;
+  cv_.NotifyAll();
+}
+
+void CompletionQueue::OnCompletion(
+    uint64_t call_id, uint64_t generation, size_t shard,
+    double dispatched_at_ms, Result<server::Server::WhatIfResult> result) {
+  std::vector<Launch> launches;
+  {
+    MutexLock lock(mu_);
+    const double wire_ms = MonotonicNowMs() - dispatched_at_ms;
+    // Success-only latency samples, mirroring the synchronous path: a
+    // failed attempt's timing says nothing about a healthy shard's speed.
+    if (hooks_.latency && result.ok()) hooks_.latency(shard, wire_ms);
+    if (hooks_.outcome) hooks_.outcome(shard, result.ok());
+    if (m_latency_ != nullptr) m_latency_->Observe(wire_ms);
+    ReleaseCreditLocked(shard, &launches);
+    auto it = live_.find(call_id);
+    if (it == live_.end() || it->second->generation != generation ||
+        it->second->state != Call::State::kInflight) {
+      // The attempt timed out and the call moved on (or already finished
+      // elsewhere); the credit return above was this response's only job.
+      if (m_late_ != nullptr) m_late_->Increment();
+    } else if (result.ok()) {
+      FinishLocked(it->second, std::move(result));
+    } else {
+      AdvanceLocked(it->second, result.status(), &launches);
+    }
+  }
+  RunLaunches(std::move(launches));
+}
+
+void CompletionQueue::ReleaseCreditLocked(size_t shard,
+                                          std::vector<Launch>* launches) {
+  ++credits_[shard];
+  while (credits_[shard] > 0 && !waiting_[shard].empty()) {
+    const uint64_t waiter_id = waiting_[shard].front();
+    waiting_[shard].pop_front();
+    auto it = live_.find(waiter_id);
+    if (it == live_.end()) continue;
+    Call* waiter = it->second;
+    // Stale queue entries (the call timed out of the wait, or was expired
+    // and moved elsewhere) are skipped, not dispatched.
+    if (waiter->state != Call::State::kWaitingCredit ||
+        waiter->shard != shard) {
+      continue;
+    }
+    DispatchLocked(waiter, shard, launches);
+  }
+}
+
+void CompletionQueue::TimerLoop() {
+  while (true) {
+    std::vector<Launch> launches;
+    {
+      MutexLock lock(mu_);
+      if (stop_) return;
+      ExpireLocked(MonotonicNowMs(), &launches);
+      if (launches.empty()) {
+        const double next = NextDeadlineLocked();
+        if (next == kNoDeadline) {
+          cv_.Wait(mu_);
+        } else {
+          const double delay = next - MonotonicNowMs();
+          if (delay > 0) cv_.WaitForMs(mu_, delay);
+        }
+      }
+    }
+    // Requeues born from expiry go on the wire with no lock held: Submit
+    // can complete synchronously and completions take mu_.
+    RunLaunches(std::move(launches));
+  }
+}
+
+void CompletionQueue::ExpireLocked(double now_ms,
+                                   std::vector<Launch>* launches) {
+  // Credit waiters: FIFO order per shard is also deadline order (constant
+  // timeout), so only fronts can expire.
+  for (size_t shard = 0; shard < waiting_.size(); ++shard) {
+    while (!waiting_[shard].empty()) {
+      auto it = live_.find(waiting_[shard].front());
+      if (it == live_.end()) {
+        waiting_[shard].pop_front();
+        continue;
+      }
+      Call* call = it->second;
+      if (call->state != Call::State::kWaitingCredit ||
+          call->shard != shard) {
+        waiting_[shard].pop_front();  // stale entry
+        continue;
+      }
+      if (call->deadline_ms > now_ms) break;
+      waiting_[shard].pop_front();
+      call->state = Call::State::kIdle;
+      if (m_timeouts_ != nullptr) m_timeouts_->Increment();
+      if (hooks_.outcome) hooks_.outcome(shard, false);
+      AdvanceLocked(call,
+                    Status::DeadlineExceeded(StrFormat(
+                        "shard %s: no credit within %.0f ms",
+                        channels_[shard]->name().c_str(),
+                        options_.attempt_timeout_ms)),
+                    launches);
+    }
+  }
+  // In-flight attempts: abandon (credit stays with the wire; the late
+  // response or loss sweep returns it) and requeue the call.
+  for (auto& [id, call] : live_) {
+    if (call->state != Call::State::kInflight ||
+        call->deadline_ms > now_ms) {
+      continue;
+    }
+    const size_t shard = call->shard;
+    call->state = Call::State::kIdle;
+    if (m_timeouts_ != nullptr) m_timeouts_->Increment();
+    if (hooks_.outcome) hooks_.outcome(shard, false);
+    AdvanceLocked(call,
+                  Status::DeadlineExceeded(StrFormat(
+                      "shard %s: no response within %.0f ms",
+                      channels_[shard]->name().c_str(),
+                      options_.attempt_timeout_ms)),
+                  launches);
+  }
+}
+
+double CompletionQueue::NextDeadlineLocked() const {
+  double next = kNoDeadline;
+  for (const auto& [id, call] : live_) {
+    if (call->state == Call::State::kWaitingCredit ||
+        call->state == Call::State::kInflight) {
+      next = std::min(next, call->deadline_ms);
+    }
+  }
+  return next;
+}
+
+void CompletionQueue::RunLaunches(std::vector<Launch> launches) {
+  for (Launch& launch : launches) {
+    launch.channel->Submit(*launch.call, std::move(launch.done));
+  }
+}
+
+}  // namespace dta::rpc

@@ -1,0 +1,164 @@
+// Event-driven dispatch for asynchronous shard channels.
+//
+// The synchronous router prices a statement by walking its rendezvous
+// ranking and blocking the calling worker thread inside each shard attempt;
+// a slow shard therefore parks a worker for the full attempt. The
+// completion queue replaces that with a state machine per call:
+//
+//   queued ──credit──▶ in flight ──response──▶ finished
+//      │                   │
+//      └──── timeout ──────┴──failure/timeout──▶ requeued on the next
+//                                                shard in the ranking
+//
+// Each shard has `max_inflight` wire credits. A call holds a credit only
+// while its request is on the wire; when the shard is saturated the call
+// waits in that shard's FIFO — and both waits are bounded by the attempt
+// timeout, so a hung worker can strand at most `max_inflight` credits,
+// never a caller. Timeouts and transport failures requeue the call on the
+// next untried shard (two passes, mirroring the router: pass 0 admitted
+// shards only, pass 1 anything untried) without any worker thread ever
+// sleeping in a backoff. A timed-out attempt leaves its credit with the
+// wire; the late response (or the channel's connection-loss sweep) returns
+// it, and a generation counter on the call discards the stale result.
+//
+// Determinism: which shard answers never affects the cost (replicas are
+// identical — the sharded-costing invariant), so requeue order, timeouts,
+// and late-response discards affect only scheduling. All rpc.* metrics are
+// timing-dependent and excluded from determinism-gated exports.
+//
+// Deadlines use the real monotonic clock, never the session clock: under
+// FakeClock a deadline would simply never arrive.
+
+#ifndef DTA_DTA_RPC_COMPLETION_QUEUE_H_
+#define DTA_DTA_RPC_COMPLETION_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "dta/rpc/channel.h"
+
+namespace dta::rpc {
+
+struct CompletionQueueOptions {
+  // Wire credits per shard: concurrent requests one connection pipelines.
+  int max_inflight_per_shard = 4;
+  // Per-attempt budget, covering both the credit wait and the wire time.
+  // On expiry the call requeues on the next shard.
+  double attempt_timeout_ms = 30000;
+  // Optional "rpc." counters/histograms (never determinism-gated).
+  MetricsRegistry* metrics = nullptr;
+};
+
+// Health/ranking hooks supplied by ShardRouter so queue-driven attempts
+// feed the same admission, demotion, and latency bookkeeping as the
+// synchronous path.
+struct CompletionQueueHooks {
+  // May shard `i` serve an attempt in `pass` (0 = admitted only)?
+  std::function<bool(size_t, int)> admit;
+  // Attempt outcome for health accounting (timeouts count as failures).
+  std::function<void(size_t, bool)> outcome;
+  // Wire latency of a genuine successful completion, in ms.
+  std::function<void(size_t, double)> latency;
+};
+
+class CompletionQueue {
+ public:
+  // `channels` must all be async; borrowed, must outlive the queue.
+  CompletionQueue(std::vector<ShardChannel*> channels,
+                  CompletionQueueHooks hooks, CompletionQueueOptions options);
+  ~CompletionQueue();
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  // Prices `call` against the shards of `ranking` (all shard indices, best
+  // first). Blocks the caller until a shard answers or every shard has been
+  // tried in both passes; the thread parks on a condvar, never in a
+  // backoff sleep. Thread-safe; any number of concurrent callers.
+  Result<server::Server::WhatIfResult> Execute(
+      const tuner::WhatIfCall& call, const std::vector<size_t>& ranking)
+      EXCLUDES(mu_);
+
+  size_t shard_count() const { return channels_.size(); }
+
+ private:
+  struct Call;  // one Execute invocation's state machine
+
+  // A dispatch prepared under mu_ and launched lock-free: Submit may
+  // complete synchronously, and its completion path takes mu_.
+  struct Launch {
+    ShardChannel* channel = nullptr;
+    const tuner::WhatIfCall* call = nullptr;
+    ShardChannel::Done done;
+  };
+
+  // Starts the next attempt for `call`, or finishes it when the plan is
+  // exhausted. Appends any ready-to-go dispatch to `launches`.
+  void AdvanceLocked(Call* call, Status failure,
+                     std::vector<Launch>* launches) REQUIRES(mu_);
+  // Picks the next untried shard honoring the pass policy; returns
+  // channels_.size() when the current pass has nothing left.
+  size_t NextShardLocked(const Call& call) REQUIRES(mu_);
+  // Begins an attempt on `shard`: dispatches if a credit is free, else
+  // queues on the shard FIFO with a deadline.
+  void StartAttemptLocked(Call* call, size_t shard,
+                          std::vector<Launch>* launches) REQUIRES(mu_);
+  void DispatchLocked(Call* call, size_t shard,
+                      std::vector<Launch>* launches) REQUIRES(mu_);
+  void FinishLocked(Call* call, Result<server::Server::WhatIfResult> result)
+      REQUIRES(mu_);
+  // Wire completion for (call_id, generation) on `shard`. Late completions
+  // only return the credit and feed latency/health.
+  void OnCompletion(uint64_t call_id, uint64_t generation, size_t shard,
+                    double dispatched_at_ms,
+                    Result<server::Server::WhatIfResult> result)
+      EXCLUDES(mu_);
+  // Returns a freed credit to `shard` and dispatches its FIFO head.
+  void ReleaseCreditLocked(size_t shard, std::vector<Launch>* launches)
+      REQUIRES(mu_);
+  void TimerLoop() EXCLUDES(mu_);
+  // Fails every expired queued/in-flight attempt and requeues those calls.
+  void ExpireLocked(double now_ms, std::vector<Launch>* launches)
+      REQUIRES(mu_);
+  double NextDeadlineLocked() const REQUIRES(mu_);
+  void RunLaunches(std::vector<Launch> launches) EXCLUDES(mu_);
+
+  std::vector<ShardChannel*> channels_;
+  CompletionQueueHooks hooks_;
+  CompletionQueueOptions options_;
+
+  mutable Mutex mu_;
+  // Broadcast on every state change: finishing calls wake their callers,
+  // deadline changes wake the timer.
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  uint64_t next_call_id_ GUARDED_BY(mu_) = 1;
+  // Live Execute invocations by id; values point at caller stack frames,
+  // valid exactly while registered.
+  std::map<uint64_t, Call*> live_ GUARDED_BY(mu_);
+  std::vector<int> credits_ GUARDED_BY(mu_);
+  // Calls waiting for a credit, per shard, FIFO.
+  std::vector<std::deque<uint64_t>> waiting_ GUARDED_BY(mu_);
+
+  std::thread timer_;
+
+  Counter* m_calls_ = nullptr;
+  Counter* m_requeues_ = nullptr;
+  Counter* m_timeouts_ = nullptr;
+  Counter* m_late_ = nullptr;
+  Histogram* m_latency_ = nullptr;
+};
+
+}  // namespace dta::rpc
+
+#endif  // DTA_DTA_RPC_COMPLETION_QUEUE_H_

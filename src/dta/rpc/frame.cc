@@ -1,0 +1,118 @@
+#include "dta/rpc/frame.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace dta::rpc {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(bytes, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffull));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint32_t raw) {
+  return raw >= static_cast<uint32_t>(FrameType::kHello) &&
+         raw <= static_cast<uint32_t>(FrameType::kShutdown);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  PutU32(&out, kFrameMagic);
+  PutU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  PutU32(&out, static_cast<uint32_t>(frame.type));
+  PutU64(&out, frame.request_id);
+  out.append(frame.payload);
+  return out;
+}
+
+Status FrameDecoder::CheckHeaderAt(size_t at) const {
+  const char* header = buffer_.data() + at;
+  const uint32_t magic = GetU32(header);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument(
+        StrFormat("rpc frame has bad magic 0x%08x (peer is not speaking "
+                  "DTR1)",
+                  magic));
+  }
+  const uint32_t length = GetU32(header + 4);
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("rpc frame declares a %u-byte payload (limit %u); "
+                  "garbage length prefix",
+                  length, kMaxFramePayload));
+  }
+  const uint32_t type = GetU32(header + 8);
+  if (!IsKnownFrameType(type)) {
+    return Status::InvalidArgument(
+        StrFormat("rpc frame has unknown type %u", type));
+  }
+  return Status::Ok();
+}
+
+Status FrameDecoder::Feed(const char* data, size_t size) {
+  if (!error_.ok()) return error_;
+  buffer_.append(data, size);
+  // Validate every header that just became complete. Payload bytes may
+  // still be missing; the point is to reject a malformed header *now*
+  // rather than block on a payload length read from garbage.
+  size_t at = consumed_;
+  while (buffer_.size() - at >= kFrameHeaderBytes) {
+    Status header_ok = CheckHeaderAt(at);
+    if (!header_ok.ok()) {
+      error_ = header_ok;
+      return error_;
+    }
+    const size_t length = GetU32(buffer_.data() + at + 4);
+    if (buffer_.size() - at < kFrameHeaderBytes + length) break;
+    at += kFrameHeaderBytes + length;
+  }
+  return Status::Ok();
+}
+
+bool FrameDecoder::Next(Frame* frame) {
+  if (!error_.ok()) return false;
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) return false;
+  const char* header = buffer_.data() + consumed_;
+  const size_t length = GetU32(header + 4);
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes + length) return false;
+  frame->type = static_cast<FrameType>(GetU32(header + 8));
+  frame->request_id = GetU64(header + 12);
+  frame->payload.assign(buffer_, consumed_ + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace dta::rpc

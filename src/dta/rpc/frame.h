@@ -1,0 +1,98 @@
+// Length-prefixed binary framing for the costing RPC transport.
+//
+// Every message on a costing socket is one frame:
+//
+//   offset  size  field
+//   0       4     magic "DTR1" (0x31525444 little-endian)
+//   4       4     payload length (u32, little-endian; <= kMaxFramePayload)
+//   8       4     frame type (FrameType as u32)
+//   12      8     request id (u64; echoed verbatim in the response frame)
+//   20      n     payload (message-specific, see rpc/wire.h)
+//
+// The decoder is incremental and defensive: bytes arrive in arbitrary
+// chunks (short reads, torn writes), and a frame header is validated the
+// moment its 20 bytes are buffered — a garbage magic, an oversized length,
+// or an unknown type poisons the decoder with a clean InvalidArgument
+// instead of waiting forever for payload bytes that will never come. EOF
+// with a partial frame buffered is likewise a hard error (the peer died
+// mid-write), which the transport surfaces as Unavailable so the completion
+// queue requeues the in-flight calls instead of hanging.
+
+#ifndef DTA_DTA_RPC_FRAME_H_
+#define DTA_DTA_RPC_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dta::rpc {
+
+// "DTR1" as a little-endian u32: DTA RPC, wire format revision 1.
+inline constexpr uint32_t kFrameMagic = 0x31525444u;
+inline constexpr size_t kFrameHeaderBytes = 20;
+// Upper bound on one payload. Configurations on the what-if path are a few
+// KiB of XML; 16 MiB is orders of magnitude of headroom, while a garbage
+// length prefix (a peer speaking another protocol, a corrupted stream) is
+// rejected immediately instead of stalling the connection waiting to buffer
+// gigabytes.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : uint32_t {
+  kHello = 1,           // client -> worker: version handshake
+  kHelloAck = 2,        // worker -> client
+  kWhatIfRequest = 3,   // client -> worker: price one statement
+  kWhatIfResponse = 4,  // worker -> client
+  kCreateStats = 5,     // client -> worker: build one statistic by key
+  kCreateStatsAck = 6,  // worker -> client
+  kShutdown = 7,        // client -> worker: drain and exit
+};
+
+// True for the type values a conforming peer may send; anything else
+// poisons the decoder.
+bool IsKnownFrameType(uint32_t raw);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// Serializes header + payload into one contiguous buffer (a single write()
+// per frame keeps frames atomic under the OS's pipe/socket semantics for
+// our sizes and, more importantly, keeps the fast path to one syscall).
+std::string EncodeFrame(const Frame& frame);
+
+// Incremental frame decoder over an untrusted byte stream.
+class FrameDecoder {
+ public:
+  // Appends bytes to the internal buffer. Validates any newly complete
+  // header eagerly; a malformed header fails the stream permanently (every
+  // later Feed/Next returns the same error).
+  Status Feed(const char* data, size_t size);
+
+  // Moves the next complete frame into *frame. Returns true when one was
+  // available; false when more bytes are needed (or the stream is poisoned
+  // — check poisoned() to distinguish).
+  bool Next(Frame* frame);
+
+  // Bytes buffered but not yet consumed as complete frames. A transport
+  // that sees EOF while this is nonzero lost a frame mid-write.
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+  bool poisoned() const { return !error_.ok(); }
+  const Status& error() const { return error_; }
+
+ private:
+  // Validates the header starting at buffer offset `at` (requires
+  // kFrameHeaderBytes buffered there).
+  Status CheckHeaderAt(size_t at) const;
+
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already returned as frames
+  Status error_;
+};
+
+}  // namespace dta::rpc
+
+#endif  // DTA_DTA_RPC_FRAME_H_

@@ -1,0 +1,133 @@
+#include "dta/rpc/socket_util.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace dta::rpc {
+
+namespace {
+
+Result<sockaddr_un> UnixAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("unix socket path too long (%zu bytes, limit %zu): %s",
+                  path.size(), sizeof(addr.sun_path) - 1, path.c_str()));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void OwnedFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<OwnedFd> ListenUnix(const std::string& path) {
+  auto addr = UnixAddress(path);
+  if (!addr.ok()) return addr.status();
+  OwnedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::Internal(StrFormat("socket(AF_UNIX): %s",
+                                      std::strerror(errno)));
+  }
+  // A stale socket file from a dead worker blocks bind; remove it.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    return Status::Internal(StrFormat("bind(%s): %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  if (::listen(fd.get(), 16) != 0) {
+    return Status::Internal(StrFormat("listen(%s): %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  return fd;
+}
+
+Result<OwnedFd> ConnectUnix(const std::string& path, double deadline_ms) {
+  auto addr = UnixAddress(path);
+  if (!addr.ok()) return addr.status();
+  const Clock* clock = MonotonicClock::Instance();
+  const double t0 = clock->NowMs();
+  int last_errno = 0;
+  do {
+    OwnedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      return Status::Internal(StrFormat("socket(AF_UNIX): %s",
+                                        std::strerror(errno)));
+    }
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+                  sizeof(*addr)) == 0) {
+      return fd;
+    }
+    last_errno = errno;
+    // The worker may still be starting up (no socket file yet, or a bound
+    // but not yet listening endpoint): back off briefly and retry until
+    // the deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  } while (clock->NowMs() - t0 < deadline_ms);
+  return Status::Unavailable(StrFormat("connect(%s): %s", path.c_str(),
+                                       std::strerror(last_errno)));
+}
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StrFormat("send: %s",
+                                           std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> RecvSome(int fd, char* data, size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Status::Unavailable(StrFormat("recv: %s", std::strerror(errno)));
+  }
+}
+
+Status SetRecvTimeout(int fd, double timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    // Zero means "blocking" to the kernel; round a sub-millisecond
+    // timeout up instead of accidentally disabling it.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(StrFormat("setsockopt(SO_RCVTIMEO): %s",
+                                      std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace dta::rpc

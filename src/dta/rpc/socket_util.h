@@ -1,0 +1,75 @@
+// Thin POSIX wrappers for the Unix-socket costing transport: RAII fd
+// ownership, listen/connect with a readiness deadline, and a short-write-
+// safe send. Everything returns Status instead of errno so transport code
+// reads like the rest of the tree.
+
+#ifndef DTA_DTA_RPC_SOCKET_UTIL_H_
+#define DTA_DTA_RPC_SOCKET_UTIL_H_
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dta::rpc {
+
+// Owns a file descriptor; closes it on destruction. Movable, not copyable.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ~OwnedFd() { Close(); }
+
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on a Unix stream socket at `path` (unlinking any stale
+// socket file first). Fails when the path exceeds sockaddr_un limits.
+Result<OwnedFd> ListenUnix(const std::string& path);
+
+// Connects to the Unix socket at `path`, retrying until `deadline_ms` of
+// wall time has elapsed (a just-spawned worker needs a beat to bind).
+Result<OwnedFd> ConnectUnix(const std::string& path, double deadline_ms);
+
+// Writes all of `data`, looping over short writes and EINTR. SIGPIPE is
+// suppressed (MSG_NOSIGNAL); a dead peer returns Unavailable.
+Status SendAll(int fd, const char* data, size_t size);
+
+// Blocking read of up to `size` bytes. Returns 0 on orderly EOF; a negative
+// errno-style failure becomes Unavailable.
+Result<size_t> RecvSome(int fd, char* data, size_t size);
+
+// Bounds every blocking recv(2) on `fd` to `timeout_ms` of waiting
+// (timeout_ms <= 0 restores fully blocking reads). A timed-out recv
+// surfaces as Unavailable from RecvSome — this is how the handshake stays
+// finite against a peer that accepts connections but never answers.
+Status SetRecvTimeout(int fd, double timeout_ms);
+
+// Asks a blocked reader on this fd to wake up: shutdown(2) both directions.
+// Safe to call from another thread; the fd stays open (close still owns it).
+void ShutdownFd(int fd);
+
+}  // namespace dta::rpc
+
+#endif  // DTA_DTA_RPC_SOCKET_UTIL_H_

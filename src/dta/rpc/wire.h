@@ -1,0 +1,89 @@
+// Payload encodings for the costing RPC frames (rpc/frame.h).
+//
+// Fixed-width integers are little-endian; doubles travel as their IEEE-754
+// bit patterns (bit-exact round trip — costs must survive the wire
+// unchanged or the byte-identical recommendation contract dies on
+// serialization, not on costing). Strings are u32 length + bytes.
+//
+// The what-if request ships the statement as its original SQL text — the
+// worker re-parses with the same parser, so both sides cost the identical
+// AST — and the configuration as the project's DTAXML vocabulary
+// (ConfigurationToXml/FromXml, dta/xml_schema.h). Statistics never travel:
+// a CreateStats frame carries only the StatsKey and the worker rebuilds the
+// statistic from its own (identical) data, the same determinism argument
+// checkpoint resume relies on.
+
+#ifndef DTA_DTA_RPC_WIRE_H_
+#define DTA_DTA_RPC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/hardware.h"
+#include "stats/statistics.h"
+
+namespace dta::rpc {
+
+// Protocol revision carried in the HELLO handshake; bump on any payload
+// layout change so a stale worker fails fast instead of mis-decoding.
+inline constexpr uint32_t kWireVersion = 1;
+
+struct HelloMsg {
+  uint32_t version = kWireVersion;
+};
+
+struct HelloAckMsg {
+  uint32_t version = kWireVersion;
+  std::string worker_name;
+};
+
+struct WhatIfRequestMsg {
+  uint64_t call_key = 0;
+  std::string sql;         // original statement text; worker re-parses
+  std::string config_xml;  // ConfigurationToXml of the hypothetical config
+  bool has_hardware = false;
+  optimizer::HardwareParams hardware;  // simulated when has_hardware
+};
+
+struct WhatIfResponseMsg {
+  // Status of the call on the worker (kOk carries the cost fields; any
+  // other code carries only `message` and maps back to a Status).
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  double cost = 0;
+  double simulated_ms = 0;
+  std::vector<stats::StatsKey> missing_stats;
+};
+
+struct CreateStatsMsg {
+  stats::StatsKey key;
+};
+
+struct CreateStatsAckMsg {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+};
+
+std::string EncodeHello(const HelloMsg& msg);
+Result<HelloMsg> DecodeHello(const std::string& payload);
+std::string EncodeHelloAck(const HelloAckMsg& msg);
+Result<HelloAckMsg> DecodeHelloAck(const std::string& payload);
+std::string EncodeWhatIfRequest(const WhatIfRequestMsg& msg);
+Result<WhatIfRequestMsg> DecodeWhatIfRequest(const std::string& payload);
+std::string EncodeWhatIfResponse(const WhatIfResponseMsg& msg);
+Result<WhatIfResponseMsg> DecodeWhatIfResponse(const std::string& payload);
+std::string EncodeCreateStats(const CreateStatsMsg& msg);
+Result<CreateStatsMsg> DecodeCreateStats(const std::string& payload);
+std::string EncodeCreateStatsAck(const CreateStatsAckMsg& msg);
+Result<CreateStatsAckMsg> DecodeCreateStatsAck(const std::string& payload);
+
+// StatusCode <-> wire integer. Unknown integers decode to kInternal rather
+// than failing the frame: the message still describes the failure.
+uint32_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint32_t raw);
+
+}  // namespace dta::rpc
+
+#endif  // DTA_DTA_RPC_WIRE_H_

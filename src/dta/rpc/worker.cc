@@ -1,0 +1,216 @@
+#include "dta/rpc/worker.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "dta/rpc/wire.h"
+#include "dta/xml_schema.h"
+#include "sql/parser.h"
+#include "xmlio/xml.h"
+
+namespace dta::rpc {
+
+CostWorker::CostWorker(server::Server* server, CostWorkerOptions options)
+    : server_(server),
+      options_(options),
+      pool_(std::max(1, options.threads)) {}
+
+CostWorker::~CostWorker() { Shutdown(); }
+
+Status CostWorker::Listen(const std::string& socket_path) {
+  DTA_CHECK(!serve_thread_.joinable(), "CostWorker::Listen called twice");
+  auto fd = ListenUnix(socket_path);
+  if (!fd.ok()) return fd.status();
+  socket_path_ = socket_path;
+  listen_fd_ = std::move(fd).value();
+  serve_thread_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void CostWorker::WaitForShutdown() {
+  MutexLock lock(mu_);
+  while (!shutdown_) cv_.Wait(mu_);
+}
+
+void CostWorker::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (shutdown_ && !serve_thread_.joinable()) return;
+    shutdown_ = true;
+    cv_.NotifyAll();
+    // Unblock the serve thread wherever it sleeps: accept(2) on the listen
+    // socket or recv(2) on the live connection.
+    ShutdownFd(listen_fd_.get());
+    ShutdownFd(conn_fd_);
+  }
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+void CostWorker::ServeLoop() {
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      if (shutdown_) return;
+    }
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      MutexLock lock(mu_);
+      // accept fails for good once Shutdown() tears the listen socket
+      // down; anything else (EINTR, a client that vanished mid-handshake)
+      // is worth another accept.
+      if (shutdown_) return;
+      continue;
+    }
+    OwnedFd conn(fd);
+    {
+      MutexLock lock(mu_);
+      conn_fd_ = conn.get();
+    }
+    const bool keep_going = ServeConnection(conn.get());
+    // Drain pool tasks that still hold this fd before closing it.
+    {
+      MutexLock lock(mu_);
+      while (inflight_ > 0) cv_.Wait(mu_);
+      conn_fd_ = -1;
+    }
+    if (!keep_going) {
+      MutexLock lock(mu_);
+      shutdown_ = true;
+      cv_.NotifyAll();
+      return;
+    }
+  }
+}
+
+bool CostWorker::ServeConnection(int fd) {
+  FrameDecoder decoder;
+  std::vector<char> buffer(64 * 1024);
+  while (true) {
+    auto n = RecvSome(fd, buffer.data(), buffer.size());
+    if (!n.ok() || *n == 0) return true;  // client gone; accept the next one
+    if (!decoder.Feed(buffer.data(), *n).ok()) {
+      // A peer not speaking DTR1 poisons its connection, never the worker.
+      return true;
+    }
+    Frame frame;
+    while (decoder.Next(&frame)) {
+      switch (frame.type) {
+        case FrameType::kHello: {
+          HelloAckMsg ack;
+          ack.worker_name = server_->name();
+          SendFrame(fd, Frame{FrameType::kHelloAck, frame.request_id,
+                              EncodeHelloAck(ack)});
+          break;
+        }
+        case FrameType::kWhatIfRequest: {
+          {
+            MutexLock lock(mu_);
+            ++inflight_;
+          }
+          const uint64_t request_id = frame.request_id;
+          std::string payload = std::move(frame.payload);
+          pool_.Submit([this, fd, request_id,
+                        payload = std::move(payload)]() mutable {
+            HandleWhatIf(fd, request_id, std::move(payload));
+          });
+          break;
+        }
+        case FrameType::kCreateStats: {
+          // Statistics mutate state every what-if call reads: barrier on
+          // the in-flight executions before touching the store.
+          {
+            MutexLock lock(mu_);
+            while (inflight_ > 0) cv_.Wait(mu_);
+          }
+          CreateStatsAckMsg ack;
+          auto msg = DecodeCreateStats(frame.payload);
+          if (!msg.ok()) {
+            ack.code = msg.status().code();
+            ack.message = msg.status().message();
+          } else if (!server_->HasStatistics(msg->key)) {
+            auto duration = server_->CreateStatistics(msg->key);
+            if (!duration.ok()) {
+              ack.code = duration.status().code();
+              ack.message = duration.status().message();
+            }
+          }
+          SendFrame(fd, Frame{FrameType::kCreateStatsAck, frame.request_id,
+                              EncodeCreateStatsAck(ack)});
+          break;
+        }
+        case FrameType::kShutdown:
+          return false;
+        default:
+          // A conforming client never sends response-typed frames; drop
+          // the connection rather than guess.
+          return true;
+      }
+    }
+  }
+}
+
+void CostWorker::HandleWhatIf(int fd, uint64_t request_id,
+                              std::string payload) {
+  WhatIfResponseMsg response;
+  auto msg = DecodeWhatIfRequest(payload);
+  if (!msg.ok()) {
+    response.code = msg.status().code();
+    response.message = msg.status().message();
+  } else {
+    auto stmt = sql::ParseStatement(msg->sql);
+    auto config_root = xml::Parse(msg->config_xml);
+    if (!stmt.ok()) {
+      response.code = stmt.status().code();
+      response.message = stmt.status().message();
+    } else if (!config_root.ok()) {
+      response.code = config_root.status().code();
+      response.message = config_root.status().message();
+    } else {
+      auto config = tuner::ConfigurationFromXml(**config_root);
+      if (!config.ok()) {
+        response.code = config.status().code();
+        response.message = config.status().message();
+      } else {
+        auto r = server_->WhatIfCost(
+            *stmt, *config, msg->has_hardware ? &msg->hardware : nullptr,
+            msg->call_key);
+        if (!r.ok()) {
+          response.code = r.status().code();
+          response.message = r.status().message();
+        } else {
+          response.cost = r->cost;
+          response.simulated_ms = r->simulated_ms;
+          response.missing_stats.assign(r->missing_stats.begin(),
+                                        r->missing_stats.end());
+        }
+      }
+    }
+  }
+  SendFrame(fd, Frame{FrameType::kWhatIfResponse, request_id,
+                      EncodeWhatIfResponse(response)});
+  const size_t served =
+      whatif_served_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.sever_after_calls > 0 &&
+      served == options_.sever_after_calls) {
+    // Chaos: die mid-stream. The client sees the connection drop with
+    // its remaining in-flight calls unanswered and must requeue them.
+    ShutdownFd(fd);
+  }
+  MutexLock lock(mu_);
+  --inflight_;
+  cv_.NotifyAll();
+}
+
+void CostWorker::SendFrame(int fd, const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  MutexLock lock(write_mu_);
+  // A send failure means the client is gone; the read loop will observe
+  // the same condition and drop the connection.
+  (void)SendAll(fd, bytes.data(), bytes.size());
+}
+
+}  // namespace dta::rpc

@@ -87,6 +87,63 @@ ShardRouter::ShardRouter(std::vector<server::Server*> servers,
                          ShardRouterOptions options)
     : options_(options) {
   DTA_CHECK(!servers.empty(), "ShardRouter needs at least one server");
+  primary_ = servers[0];
+  std::vector<rpc::ShardChannel*> channels;
+  channels.reserve(servers.size());
+  owned_channels_.reserve(servers.size());
+  for (server::Server* server : servers) {
+    owned_channels_.push_back(std::make_unique<rpc::InprocChannel>(server));
+    channels.push_back(owned_channels_.back().get());
+  }
+  InitShards(channels);
+}
+
+ShardRouter::ShardRouter(server::Server* primary,
+                         std::vector<std::unique_ptr<rpc::ShardChannel>> channels,
+                         ShardRouterOptions options)
+    : options_(options) {
+  DTA_CHECK(!channels.empty(), "ShardRouter needs at least one channel");
+  DTA_CHECK(primary != nullptr, "async ShardRouter needs a primary server");
+  primary_ = primary;
+  owned_channels_ = std::move(channels);
+  std::vector<rpc::ShardChannel*> raw;
+  raw.reserve(owned_channels_.size());
+  for (const auto& channel : owned_channels_) {
+    // Fleets are homogeneous: the event-driven path drives every shard
+    // through Submit; a synchronous channel has no Submit worth queuing.
+    DTA_CHECK(channel->async(),
+              "async ShardRouter requires asynchronous channels");
+    raw.push_back(channel.get());
+  }
+  InitShards(raw);
+  rpc::CompletionQueueOptions queue_options;
+  queue_options.max_inflight_per_shard = options_.max_inflight_per_shard;
+  queue_options.attempt_timeout_ms = options_.attempt_timeout_ms;
+  queue_options.metrics = options_.metrics;
+  rpc::CompletionQueueHooks hooks;
+  hooks.admit = [this](size_t shard, int pass) {
+    return pass != 0 || AdmitForPass(*shards_[shard]);
+  };
+  hooks.outcome = [this](size_t shard, bool ok) {
+    RecordOutcome(*shards_[shard], ok);
+    if (!ok) {
+      // Async accounting counts every failed attempt as a failover hop
+      // (the call moved on without a worker thread waiting in it).
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      if (m_failovers_ != nullptr) m_failovers_->Increment();
+    }
+  };
+  hooks.latency = [this](size_t shard, double latency_ms) {
+    RecordLatency(*shards_[shard], latency_ms);
+  };
+  queue_ = std::make_unique<rpc::CompletionQueue>(raw, std::move(hooks),
+                                                  queue_options);
+}
+
+ShardRouter::~ShardRouter() = default;
+
+void ShardRouter::InitShards(
+    const std::vector<rpc::ShardChannel*>& channels) {
   // Clamp rather than abort: a zero probe_interval or window means "the
   // most aggressive legal setting", not a crash. The clamped values are
   // visible through options() so callers and tests see what actually runs.
@@ -97,10 +154,10 @@ ShardRouter::ShardRouter(std::vector<server::Server*> servers,
   options_.slow_min_samples = std::max(1, options_.slow_min_samples);
   options_.slow_floor_ms = std::max(0.0, options_.slow_floor_ms);
   if (options_.clock == nullptr) options_.clock = MonotonicClock::Instance();
-  shards_.reserve(servers.size());
-  for (size_t i = 0; i < servers.size(); ++i) {
+  shards_.reserve(channels.size());
+  for (size_t i = 0; i < channels.size(); ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->server = servers[i];
+    shard->channel = channels[i];
     if (options_.metrics != nullptr) {
       shard->m_calls =
           options_.metrics->GetCounter(StrFormat("shard.%zu.calls", i));
@@ -245,16 +302,13 @@ void ShardRouter::RecordLatency(Shard& shard, double latency_ms) {
 }
 
 Result<server::Server::WhatIfResult> ShardRouter::TryShard(
-    Shard& shard, const sql::Statement& stmt,
-    const catalog::Configuration& config,
-    const optimizer::HardwareParams* simulate_hardware, uint64_t call_key) {
+    Shard& shard, const WhatIfCall& call) {
   const bool detect = options_.slow_threshold > 0;
   AcquireSlot(shard);
   // Latency is measured around the server call alone — queue wait above is
   // the router's own back-pressure, not the shard's slowness.
   const double t0 = detect ? options_.clock->NowMs() : 0;
-  auto r = shard.server->WhatIfCost(stmt, config, simulate_hardware,
-                                    call_key);
+  auto r = shard.channel->Call(call);
   const double latency_ms = detect ? options_.clock->NowMs() - t0 : 0;
   ReleaseSlot(shard);
   RecordOutcome(shard, r.ok());
@@ -263,9 +317,26 @@ Result<server::Server::WhatIfResult> ShardRouter::TryShard(
 }
 
 Result<server::Server::WhatIfResult> ShardRouter::WhatIfCost(
-    const sql::Statement& stmt, const catalog::Configuration& config,
-    const optimizer::HardwareParams* simulate_hardware, uint64_t call_key) {
-  const std::vector<size_t> order = RankShards(call_key);
+    const WhatIfCall& call) {
+  if (queue_ != nullptr) {
+    // Event-driven path: the completion queue owns per-shard in-flight
+    // tracking, timeouts, and requeues; this thread parks on a condvar
+    // until its own result is ready, never inside a shard attempt.
+    auto r = queue_->Execute(call, RankShards(call.call_key));
+    if (r.ok()) {
+      successes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      if (m_exhausted_ != nullptr) m_exhausted_->Increment();
+    }
+    return r;
+  }
+  return WhatIfCostSync(call);
+}
+
+Result<server::Server::WhatIfResult> ShardRouter::WhatIfCostSync(
+    const WhatIfCall& call) {
+  const std::vector<size_t> order = RankShards(call.call_key);
   std::vector<bool> tried(shards_.size(), false);
   Status last = Status::Unavailable("no shard available");
   size_t failed_attempts = 0;
@@ -279,7 +350,7 @@ Result<server::Server::WhatIfResult> ShardRouter::WhatIfCost(
       if (pass == 0 && !AdmitForPass(shard)) continue;
       if (tried[index]) continue;
       tried[index] = true;
-      auto r = TryShard(shard, stmt, config, simulate_hardware, call_key);
+      auto r = TryShard(shard, call);
       if (r.ok()) {
         successes_.fetch_add(1, std::memory_order_relaxed);
         if (failed_attempts > 0) {

@@ -39,6 +39,16 @@
 // shard's condition variable until a slot frees. This caps the concurrent
 // load any one shard absorbs (and any one slow shard can hold hostage).
 //
+// Transports: shards are rpc::ShardChannel instances. The original
+// in-process fleet (one server::Server* per shard) wraps each server in a
+// synchronous InprocChannel and keeps the exact blocking two-pass walk
+// above — bit-for-bit the original behavior. A socket fleet (cost_server
+// workers over rpc::SocketChannel) is asynchronous: calls run through an
+// rpc::CompletionQueue that tracks in-flight requests per shard and
+// requeues timeouts/failures onto the next shard in the rendezvous order,
+// so no worker thread ever parks inside a slow shard's attempt. Both paths
+// feed the same health, slowness, and admission bookkeeping.
+//
 // Determinism argument: every shard is a bit-exact replica, so a call
 // returns the same cost on any shard — routing, failover, and slowness
 // demotion only choose *where* a call runs, never *what* it returns.
@@ -64,6 +74,8 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "dta/cost_service.h"
+#include "dta/rpc/channel.h"
+#include "dta/rpc/completion_queue.h"
 #include "server/server.h"
 
 namespace dta::tuner {
@@ -109,6 +121,11 @@ struct ShardRouterOptions {
   // Under a test's FakeClock every measured latency is 0 and the detector
   // never fires — metric exports stay byte-stable.
   const Clock* clock = nullptr;
+  // Asynchronous fleets only: per-attempt budget before the completion
+  // queue abandons the in-flight request (credit stays with the wire) and
+  // requeues the call on the next shard. Always measured on the real
+  // monotonic clock — a FakeClock deadline would never arrive.
+  double attempt_timeout_ms = 30000;
   // Observability (optional): per-shard call/failure counters and
   // queue-depth gauges, plus router-level failover counters. Per-shard load
   // is scheduling dependent, so these land under "shard." names that the
@@ -118,17 +135,29 @@ struct ShardRouterOptions {
 
 class ShardRouter : public CostBackend {
  public:
-  // `servers[0]` is the primary (the tuning server); the rest are its
-  // replicas. All must outlive the router.
+  // In-process fleet: `servers[0]` is the primary (the tuning server), the
+  // rest are its replicas. Each is wrapped in a synchronous InprocChannel;
+  // all must outlive the router.
   ShardRouter(std::vector<server::Server*> servers,
               ShardRouterOptions options);
 
-  Result<server::Server::WhatIfResult> WhatIfCost(
-      const sql::Statement& stmt, const catalog::Configuration& config,
-      const optimizer::HardwareParams* simulate_hardware,
-      uint64_t call_key) override;
+  // Asynchronous fleet (socket transport): every shard is a remote worker
+  // behind an async channel, driven through a completion queue. `primary`
+  // is the local tuning server — it serves catalog access, heuristic
+  // degradation, and reports, never what-if routing.
+  ShardRouter(server::Server* primary,
+              std::vector<std::unique_ptr<rpc::ShardChannel>> channels,
+              ShardRouterOptions options);
 
-  server::Server* primary() const override { return shards_[0]->server; }
+  ~ShardRouter() override;
+
+  Result<server::Server::WhatIfResult> WhatIfCost(
+      const WhatIfCall& call) override;
+
+  server::Server* primary() const override { return primary_; }
+
+  // True when calls run through the completion queue (async channels).
+  bool event_driven() const { return queue_ != nullptr; }
 
   // Rendezvous ranking of all shards for `key`, best first. Pure function
   // of (key, shard index) — exposed for tests and deterministic by design.
@@ -178,7 +207,7 @@ class ShardRouter : public CostBackend {
 
  private:
   struct Shard {
-    server::Server* server = nullptr;
+    rpc::ShardChannel* channel = nullptr;
     Mutex mu;
     CondVar cv;
     int inflight GUARDED_BY(mu) = 0;
@@ -218,13 +247,22 @@ class ShardRouter : public CostBackend {
   // fewer than two shards qualify — a fleet of one is never "slow").
   double FleetMedianEwma();
   // One attempt on one shard: slot acquisition, the what-if call, outcome
-  // accounting.
-  Result<server::Server::WhatIfResult> TryShard(
-      Shard& shard, const sql::Statement& stmt,
-      const catalog::Configuration& config,
-      const optimizer::HardwareParams* simulate_hardware, uint64_t call_key);
+  // accounting. Synchronous path only.
+  Result<server::Server::WhatIfResult> TryShard(Shard& shard,
+                                                const WhatIfCall& call);
+  // Shared constructor tail: clamps options, builds Shard records and
+  // metrics handles for `channels`.
+  void InitShards(const std::vector<rpc::ShardChannel*>& channels);
+  // Synchronous two-pass walk over the rendezvous ranking (inproc fleets).
+  Result<server::Server::WhatIfResult> WhatIfCostSync(const WhatIfCall& call);
 
+  server::Server* primary_ = nullptr;
+  // Inproc mode: the router owns the channel wrappers (callers hand it raw
+  // server pointers). Socket mode: ownership arrives via the constructor.
+  std::vector<std::unique_ptr<rpc::ShardChannel>> owned_channels_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Event-driven dispatch for async fleets; null for inproc fleets.
+  std::unique_ptr<rpc::CompletionQueue> queue_;
   ShardRouterOptions options_;
   std::atomic<size_t> successes_{0};
   std::atomic<size_t> failovers_{0};

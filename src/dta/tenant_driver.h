@@ -124,11 +124,9 @@ class AdmittedBackend : public CostBackend {
       : inner_(inner), admission_(admission), tenant_(tenant) {}
 
   Result<server::Server::WhatIfResult> WhatIfCost(
-      const sql::Statement& stmt, const catalog::Configuration& config,
-      const optimizer::HardwareParams* simulate_hardware,
-      uint64_t call_key) override {
+      const WhatIfCall& call) override {
     admission_->Acquire(tenant_);
-    auto r = inner_->WhatIfCost(stmt, config, simulate_hardware, call_key);
+    auto r = inner_->WhatIfCost(call);
     admission_->Release(tenant_);
     return r;
   }

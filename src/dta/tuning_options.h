@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "catalog/physical_design.h"
 
@@ -98,6 +99,27 @@ struct TuningOptions {
   // byte-identical with the detector on or off — so, like `shards`, this is
   // excluded from the checkpoint options fingerprint.
   double shard_slow_threshold = 0;
+
+  // ---- Costing transport.
+  // kInproc routes what-if calls to in-process server replicas through
+  // synchronous channels (the original sharded-costing mode). kSocket
+  // connects every shard to a cost_server worker process over a Unix
+  // socket (dta/rpc/transport.h) and drives calls through the event-driven
+  // completion queue — timeouts and worker failures requeue the statement
+  // on another shard instead of parking a worker thread in backoff.
+  // Transport is pure topology: recommendations are byte-identical under
+  // either value (and across transport switches on resume), so, like
+  // `shards`, everything in this section is excluded from the checkpoint
+  // options fingerprint.
+  enum class Transport { kInproc, kSocket };
+  Transport transport = Transport::kInproc;
+  // Socket transport only: one worker socket path per shard. Size must
+  // equal `shards`; validated by the session.
+  std::vector<std::string> socket_endpoints;
+  // Socket transport only: per-attempt budget (ms) before the completion
+  // queue abandons an in-flight request and requeues the call elsewhere.
+  // 0 means the router default.
+  double rpc_attempt_timeout_ms = 0;
 
   // ---- Derived costing (CoPhy-style atomic-configuration derivation).
   // When true (default), cache misses whose configuration decomposes into

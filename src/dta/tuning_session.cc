@@ -17,6 +17,7 @@
 #include "dta/greedy.h"
 #include "dta/merging.h"
 #include "dta/reduced_stats.h"
+#include "dta/rpc/transport.h"
 #include "dta/shard_router.h"
 #include "dta/tenant_driver.h"
 
@@ -42,6 +43,26 @@ struct ServerMetricsGuard {
     if (server != nullptr) server->SetMetrics(nullptr);
   }
 };
+
+// Builds one statistic on every socket worker (a no-op on workers that
+// already hold it). A failed RPC is retried: the channel reconnects on the
+// next request, so a severed connection heals here instead of leaving one
+// worker pricing with less information than the fleet — which would break
+// the bit-identity contract. A worker that stays unreachable is fatal for
+// the same reason.
+Status MirrorStatToWorkers(const std::vector<rpc::SocketChannel*>& channels,
+                           const stats::StatsKey& key) {
+  constexpr int kAttempts = 3;
+  for (rpc::SocketChannel* channel : channels) {
+    Status s;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      s = channel->CreateStatistics(key);
+      if (s.ok()) break;
+    }
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -72,7 +93,8 @@ Status TuningSession::UseTestServer(server::Server* test) {
 
 Status TuningSession::CreateAndImportStats(
     const std::vector<stats::StatsKey>& keys,
-    const std::vector<server::Server*>& replicas, TuningResult* result,
+    const std::vector<server::Server*>& replicas,
+    const std::vector<rpc::SocketChannel*>& channels, TuningResult* result,
     std::vector<stats::StatsKey>* created_log) {
   for (const auto& key : keys) {
     if (production_->HasStatistics(key)) {
@@ -81,7 +103,9 @@ Status TuningSession::CreateAndImportStats(
       auto duration = production_->CreateStatistics(key);
       if (!duration.ok()) {
         // Tables without data/specs cannot produce statistics; skip — the
-        // optimizer falls back to heuristics for them.
+        // optimizer falls back to heuristics for them. Socket workers run
+        // on the same data, so their builds fail identically and the fleet
+        // stays in lockstep without a mirror call.
         continue;
       }
       result->stats_created += 1;
@@ -99,13 +123,15 @@ Status TuningSession::CreateAndImportStats(
     for (server::Server* replica : replicas) {
       if (!replica->HasStatistics(key)) replica->ImportStatistics(*s);
     }
+    DTA_RETURN_IF_ERROR(MirrorStatToWorkers(channels, key));
   }
   return Status::Ok();
 }
 
 Status TuningSession::RestoreStats(
     const std::vector<stats::StatsKey>& keys,
-    const std::vector<server::Server*>& replicas) {
+    const std::vector<server::Server*>& replicas,
+    const std::vector<rpc::SocketChannel*>& channels) {
   for (const auto& key : keys) {
     if (!production_->HasStatistics(key)) {
       auto duration = production_->CreateStatistics(key);
@@ -121,6 +147,7 @@ Status TuningSession::RestoreStats(
     for (server::Server* replica : replicas) {
       if (!replica->HasStatistics(key)) replica->ImportStatistics(*s);
     }
+    DTA_RETURN_IF_ERROR(MirrorStatToWorkers(channels, key));
   }
   return Status::Ok();
 }
@@ -250,6 +277,33 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   // *where* a call runs, never *what* it returns, which keeps
   // recommendations byte-identical at every (threads x shards) combination.
   const int shard_count = std::max(1, options_.shards);
+  const bool socket_transport =
+      options_.transport == TuningOptions::Transport::kSocket;
+  if (socket_transport) {
+    // Everything the session would inject into an in-process fleet lives in
+    // the worker processes now: fault injectors attach there (cost_server
+    // --fault-spec), admission would have to gate there. Reject the knobs
+    // that would otherwise silently do nothing.
+    if (tenant_.admission != nullptr) {
+      return Status::InvalidArgument(
+          "socket transport cannot run under multi-tenant admission; "
+          "admission gates the in-process what-if path, which socket "
+          "workers bypass");
+    }
+    if (!options_.fault_spec.empty() || !options_.shard_fault_spec.empty()) {
+      return Status::InvalidArgument(
+          "fault specs attach in-process injectors, which the socket "
+          "transport bypasses; pass --fault-spec to the cost_server "
+          "worker processes instead");
+    }
+    if (options_.socket_endpoints.size() !=
+        static_cast<size_t>(shard_count)) {
+      return Status::InvalidArgument(StrFormat(
+          "socket transport needs one endpoint per shard: %d shard(s) but "
+          "%d endpoint(s)",
+          shard_count, static_cast<int>(options_.socket_endpoints.size())));
+    }
+  }
   ShardFaultSpec shard_faults;
   if (!options_.shard_fault_spec.empty()) {
     auto parsed = ShardFaultSpec::Parse(options_.shard_fault_spec);
@@ -270,7 +324,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   std::vector<server::Server*> replica_servers;  // clones only (stats fan-out)
   std::vector<server::Server*> shard_servers;    // shard 0 + clones (router)
   shard_servers.push_back(tuning_server);
-  if (shard_count > 1) {
+  if (shard_count > 1 && !socket_transport) {
     for (int i = 1; i < shard_count; ++i) {
       auto replica = tuning_server->Clone(
           StrFormat("%s-shard%d", tuning_server->name().c_str(), i));
@@ -301,17 +355,41 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
   }
   SingleServerBackend single_backend(tuning_server);
   std::unique_ptr<ShardRouter> router;
-  if (shard_count > 1) {
-    ShardRouterOptions router_options;
-    router_options.max_inflight_per_shard =
-        options_.shard_max_inflight > 0 ? options_.shard_max_inflight
-                                        : std::max(4, 2 * num_threads);
-    // Fail-slow isolation: the detector measures shard latency on the
-    // session's observability clock, so a test's FakeClock sees every
-    // latency as 0 and the detector stays byte-silent.
-    router_options.slow_threshold = options_.shard_slow_threshold;
-    router_options.clock = clock;
-    router_options.metrics = obs_.metrics;
+  std::vector<rpc::SocketChannel*> socket_channels;  // stats fan-out
+  ShardRouterOptions router_options;
+  router_options.max_inflight_per_shard =
+      options_.shard_max_inflight > 0 ? options_.shard_max_inflight
+                                      : std::max(4, 2 * num_threads);
+  // Fail-slow isolation: the detector measures shard latency on the
+  // session's observability clock, so a test's FakeClock sees every
+  // latency as 0 and the detector stays byte-silent.
+  router_options.slow_threshold = options_.shard_slow_threshold;
+  router_options.clock = clock;
+  router_options.metrics = obs_.metrics;
+  if (socket_transport) {
+    // Every shard — including shard 0 — is a cost_server worker process;
+    // the local tuning server keeps serving catalog access, degradation
+    // estimates, and reports, but never prices a what-if call. The async
+    // router drives all calls through the completion queue, so the
+    // transport swap is also the swap from blocking retry walks to
+    // event-driven requeues.
+    if (options_.rpc_attempt_timeout_ms > 0) {
+      router_options.attempt_timeout_ms = options_.rpc_attempt_timeout_ms;
+    }
+    rpc::SocketChannelOptions channel_options;
+    channel_options.metrics = obs_.metrics;
+    std::vector<std::unique_ptr<rpc::ShardChannel>> channels;
+    for (int i = 0; i < shard_count; ++i) {
+      auto channel = rpc::SocketChannel::Connect(
+          StrFormat("worker%d", i), options_.socket_endpoints[i],
+          channel_options);
+      if (!channel.ok()) return channel.status();
+      socket_channels.push_back(channel->get());
+      channels.push_back(std::move(channel).value());
+    }
+    router = std::make_unique<ShardRouter>(tuning_server, std::move(channels),
+                                           router_options);
+  } else if (shard_count > 1) {
     router = std::make_unique<ShardRouter>(shard_servers, router_options);
   }
   CostBackend* cost_backend =
@@ -373,7 +451,8 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     // statistics already present the stats-creation phases below become
     // no-ops that never clear the imported cache.
     DTA_RETURN_IF_ERROR(
-        RestoreStats(resume_ckpt.created_stats, replica_servers));
+        RestoreStats(resume_ckpt.created_stats, replica_servers,
+                     socket_channels));
     costs.ImportCache(resume_ckpt.cache);
     costs.SeedMissingStats(resume_ckpt.missing_stats);
     costs.SeedDegradedStatements(resume_ckpt.degraded_statements);
@@ -419,6 +498,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     ckpt.options_fingerprint = options_fp;
     ckpt.phase = phase;
     ckpt.shards = shard_count;
+    ckpt.transport = socket_transport ? "socket" : "inproc";
     ckpt.current_costs = current_costs;
     ckpt.missing_stats = costs.missing_stats();
     ckpt.created_stats = created_stats_log;
@@ -503,7 +583,8 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
 
     // ---- Candidate generation.
     StatsFetcher fetcher =
-        [this, &result, &created_stats_log, &replica_servers](
+        [this, &result, &created_stats_log, &replica_servers,
+         &socket_channels](
             const stats::StatsKey& key) -> Result<const stats::Statistics*> {
       server::Server* ts = TuningServer();
       if (const stats::Statistics* s = ts->stats_manager().Find(key);
@@ -526,6 +607,7 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
       for (server::Server* replica : replica_servers) {
         if (!replica->HasStatistics(key)) replica->ImportStatistics(*created);
       }
+      DTA_RETURN_IF_ERROR(MirrorStatToWorkers(socket_channels, key));
       if (test_ != nullptr) {
         test_->ImportStatistics(*created);
         return test_->stats_manager().Find(key);
@@ -592,8 +674,10 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
         plan.naive_count = resolved.size();
       }
       result.stats_requested += plan.naive_count;
-      DTA_RETURN_IF_ERROR(CreateAndImportStats(
-          plan.to_create, replica_servers, &result, &created_stats_log));
+      DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create,
+                                               replica_servers,
+                                               socket_channels, &result,
+                                               &created_stats_log));
       if (!plan.to_create.empty()) costs.ClearCache();
     }
 
@@ -738,8 +822,10 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
           plan.naive_count = merged_stats.size();
         }
         result.stats_requested += plan.naive_count;
-        DTA_RETURN_IF_ERROR(CreateAndImportStats(
-            plan.to_create, replica_servers, &result, &created_stats_log));
+        DTA_RETURN_IF_ERROR(CreateAndImportStats(plan.to_create,
+                                                 replica_servers,
+                                                 socket_channels, &result,
+                                                 &created_stats_log));
         if (!plan.to_create.empty()) costs.ClearCache();
       }
     }

@@ -33,6 +33,10 @@
 #include "workload/compression.h"
 #include "workload/workload.h"
 
+namespace dta::rpc {
+class SocketChannel;
+}  // namespace dta::rpc
+
 namespace dta::tuner {
 
 class AdmissionController;
@@ -205,10 +209,15 @@ class TuningSession {
   // Creates statistics on the production server and, in test-server mode,
   // imports them into the test server. `replicas` (the sharded backend's
   // clone fleet, possibly empty) receive the same imports so every shard
-  // keeps pricing with identical information. Accumulates counters and logs
-  // each key it created to `created_log` (checkpointing) when non-null.
+  // keeps pricing with identical information; `channels` (the socket
+  // transport's worker fleet, possibly empty) receive the equivalent
+  // CreateStatistics RPC — statistics builds are deterministic in the data,
+  // so the worker-built statistic matches the local one. Accumulates
+  // counters and logs each key it created to `created_log` (checkpointing)
+  // when non-null.
   Status CreateAndImportStats(const std::vector<stats::StatsKey>& keys,
                               const std::vector<server::Server*>& replicas,
+                              const std::vector<rpc::SocketChannel*>& channels,
                               TuningResult* result,
                               std::vector<stats::StatsKey>* created_log);
   // Re-creates the statistics a checkpointed run had created (statistics
@@ -216,7 +225,8 @@ class TuningSession {
   // the originals and the restored cost cache stays valid). Counts nothing:
   // the checkpoint carries the original run's counters.
   Status RestoreStats(const std::vector<stats::StatsKey>& keys,
-                      const std::vector<server::Server*>& replicas);
+                      const std::vector<server::Server*>& replicas,
+                      const std::vector<rpc::SocketChannel*>& channels);
   // Base configuration: constraint-enforcing indexes of the current design
   // plus the user-specified configuration.
   Result<catalog::Configuration> BaseConfiguration() const;

@@ -1,5 +1,7 @@
 #include "dta/xml_schema.h"
 
+#include <bit>
+#include <cstdint>
 #include <cstdlib>
 
 #include "common/strings.h"
@@ -9,6 +11,25 @@
 namespace dta::tuner {
 
 namespace {
+
+// Doubles render with human-friendly (lossy) formats in the display
+// attributes; a bit-pattern companion attribute carries the exact value.
+// Readers prefer the companion when present, so a configuration survives an
+// XML round trip bit-exactly — the socket costing transport ships
+// configurations this way, and a worker pricing a rounded EstimatedRows
+// would return a subtly different cost than the in-process backend.
+// Documents without the companion (hand-written, or from older versions)
+// fall back to the display value.
+std::string DoubleBits(double v) {
+  return StrFormat("%llu",
+                   static_cast<unsigned long long>(
+                       std::bit_cast<uint64_t>(v)));
+}
+double DoubleFromBits(const std::string& bits, double fallback) {
+  if (bits.empty()) return fallback;
+  return std::bit_cast<double>(
+      static_cast<uint64_t>(std::strtoull(bits.c_str(), nullptr, 10)));
+}
 
 void PartitioningToXml(const catalog::PartitionScheme& scheme,
                        xml::Element* parent) {
@@ -22,6 +43,7 @@ void PartitioningToXml(const catalog::PartitionScheme& scheme,
         break;
       case sql::ValueType::kDouble:
         be->SetAttr("Type", "double");
+        be->SetAttr("Bits", DoubleBits(b.AsDoubleStrict()));
         break;
       default:
         be->SetAttr("Type", "string");
@@ -43,8 +65,8 @@ Result<catalog::PartitionScheme> PartitioningFromXml(const xml::Element& p) {
       scheme.boundaries.push_back(
           sql::Value::Int(std::strtoll(be->text().c_str(), nullptr, 10)));
     } else if (type == "double") {
-      scheme.boundaries.push_back(
-          sql::Value::Double(std::strtod(be->text().c_str(), nullptr)));
+      scheme.boundaries.push_back(sql::Value::Double(DoubleFromBits(
+          be->Attr("Bits"), std::strtod(be->text().c_str(), nullptr))));
     } else {
       scheme.boundaries.push_back(sql::Value::String(be->text()));
     }
@@ -77,6 +99,7 @@ xml::ElementPtr ConfigurationToXml(const catalog::Configuration& config) {
   for (const auto& v : config.views()) {
     xml::Element* e = root->AddChild("View");
     e->SetAttr("EstimatedRows", StrFormat("%.2f", v.estimated_rows));
+    e->SetAttr("EstimatedRowsBits", DoubleBits(v.estimated_rows));
     e->SetAttr("EstimatedRowBytes", StrFormat("%d", v.estimated_row_bytes));
     if (v.definition != nullptr) {
       e->AddTextChild("Definition", sql::ToSql(*v.definition));
@@ -140,7 +163,9 @@ Result<catalog::Configuration> ConfigurationFromXml(
     for (const auto& tr : v.definition->from) {
       v.referenced_tables.push_back(ToLower(tr.table));
     }
-    v.estimated_rows = std::strtod(e->Attr("EstimatedRows").c_str(), nullptr);
+    v.estimated_rows =
+        DoubleFromBits(e->Attr("EstimatedRowsBits"),
+                       std::strtod(e->Attr("EstimatedRows").c_str(), nullptr));
     int row_bytes = atoi(e->Attr("EstimatedRowBytes").c_str());
     if (row_bytes > 0) v.estimated_row_bytes = row_bytes;
     for (const xml::Element* ck : e->FindChildren("ClusteredKeyColumn")) {

@@ -297,13 +297,12 @@ class SelectiveFaultBackend : public CostBackend {
       : server_(server), fail_when_(std::move(fail_when)) {}
 
   Result<server::Server::WhatIfResult> WhatIfCost(
-      const sql::Statement& stmt, const catalog::Configuration& config,
-      const optimizer::HardwareParams* simulate_hardware,
-      uint64_t call_key) override {
-    if (fail_when_(config)) {
+      const WhatIfCall& call) override {
+    if (fail_when_(*call.config)) {
       return Status::Internal("injected permanent fault");
     }
-    return server_->WhatIfCost(stmt, config, simulate_hardware, call_key);
+    return server_->WhatIfCost(*call.stmt, *call.config,
+                               call.simulate_hardware, call.call_key);
   }
 
   server::Server* primary() const override { return server_; }

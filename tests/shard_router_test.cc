@@ -346,8 +346,13 @@ TEST(ShardRouterTest, TightestHealthSettingsStillRecover) {
   ShardRouter router({prod.get(), replica->get()}, options);
 
   const sql::Statement& stmt = w.statements()[0].stmt;
+  const Configuration base_config;
   for (uint64_t key = 1; key <= 40; ++key) {
-    auto r = router.WhatIfCost(stmt, Configuration(), nullptr, key);
+    WhatIfCall call;
+    call.stmt = &stmt;
+    call.config = &base_config;
+    call.call_key = key;
+    auto r = router.WhatIfCost(call);
     ASSERT_TRUE(r.ok()) << "key " << key << ": " << r.status().ToString();
   }
 

@@ -1,0 +1,344 @@
+// End-to-end determinism tests for the socket costing transport: tuning
+// sessions whose every what-if call crosses a Unix socket to a CostWorker
+// must produce recommendations byte-identical to the in-process backend —
+// at any (threads x shards) combination, and under chaos (a worker severing
+// its connection mid-stream, a worker answering with transient faults).
+//
+// The workers here are in-process CostWorker instances serving clones of
+// the production server, so the test exercises the full wire path (DTR1
+// frames, completion queue, requeues, reconnect probes) without fork/exec;
+// the separate-process path is covered by the cost_server CLI smoke test
+// and the socket-transport CI job.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "dta/rpc/worker.h"
+#include "dta/tuning_session.h"
+#include "dta/xml_schema.h"
+#include "workload/workload.h"
+
+namespace dta::tuner {
+namespace {
+
+using catalog::ColumnType;
+using catalog::Configuration;
+using catalog::IndexDef;
+using catalog::TableSchema;
+
+// Same production fixture as shard_failover_test.
+std::unique_ptr<server::Server> MakeProduction(uint64_t seed = 11) {
+  auto s = std::make_unique<server::Server>(
+      "prod", optimizer::HardwareParams());
+  Random rng(seed);
+
+  TableSchema orders("orders", {{"o_id", ColumnType::kInt, 8},
+                                {"o_cust", ColumnType::kInt, 8},
+                                {"o_date", ColumnType::kString, 10},
+                                {"o_price", ColumnType::kDouble, 8}});
+  orders.set_row_count(30000);
+  orders.SetPrimaryKey({"o_id"});
+  TableSchema items("items", {{"i_oid", ColumnType::kInt, 8},
+                              {"i_part", ColumnType::kInt, 8},
+                              {"i_qty", ColumnType::kDouble, 8}});
+  items.set_row_count(120000);
+
+  catalog::Database db("shop");
+  EXPECT_TRUE(db.AddTable(orders).ok());
+  EXPECT_TRUE(db.AddTable(items).ok());
+  EXPECT_TRUE(s->AttachDatabase(std::move(db)).ok());
+
+  storage::TableGenSpec ospec;
+  ospec.schema = orders;
+  ospec.column_specs = {storage::ColumnSpec::Sequential(),
+                        storage::ColumnSpec::UniformInt(1, 3000),
+                        storage::ColumnSpec::Date("1994-01-01", 1500),
+                        storage::ColumnSpec::UniformReal(10, 10000)};
+  ospec.rows = 30000;
+  auto odata = storage::GenerateTable(ospec, &rng);
+  EXPECT_TRUE(odata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(odata).value()).ok());
+
+  storage::TableGenSpec ispec;
+  ispec.schema = items;
+  ispec.column_specs = {storage::ColumnSpec::UniformInt(1, 30000),
+                        storage::ColumnSpec::UniformInt(1, 2000),
+                        storage::ColumnSpec::UniformReal(1, 100)};
+  ispec.rows = 120000;
+  auto idata = storage::GenerateTable(ispec, &rng);
+  EXPECT_TRUE(idata.ok());
+  EXPECT_TRUE(s->AttachTableData("shop", std::move(idata).value()).ok());
+
+  Configuration raw;
+  EXPECT_TRUE(raw.AddIndex(IndexDef{.table = "orders",
+                                    .key_columns = {"o_id"},
+                                    .constraint_enforcing = true})
+                  .ok());
+  EXPECT_TRUE(s->ImplementConfiguration(raw).ok());
+  return s;
+}
+
+workload::Workload SeedWorkload() {
+  const char* script =
+      "SELECT o_price FROM orders WHERE o_id = 55;"
+      "SELECT o_price FROM orders WHERE o_id = 120;"
+      "SELECT o_cust, COUNT(*) FROM orders WHERE o_date < '1995-01-01' "
+      "GROUP BY o_cust;"
+      "SELECT o_cust, SUM(i_qty) FROM orders, items WHERE o_id = i_oid "
+      "GROUP BY o_cust;"
+      "SELECT i_qty FROM items WHERE i_part = 77;"
+      "INSERT INTO orders (o_id, o_cust, o_date, o_price) VALUES "
+      "(31000, 5, '1996-01-01', 10.5);"
+      "UPDATE items SET i_qty = 3 WHERE i_part = 9";
+  auto w = workload::Workload::FromScript(script);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+std::string RecommendationXml(const TuningResult& r) {
+  return ConfigurationToXml(r.recommendation)->ToString();
+}
+
+// No lost and no double-counted calls, same conservation law the inproc
+// sharded backend obeys.
+void ExpectCallsConserved(const TuningResult& r, const std::string& label) {
+  EXPECT_EQ(r.shard_successes, r.whatif_calls - r.degraded_calls) << label;
+  size_t attempts = 0;
+  for (size_t c : r.shard_calls) attempts += c;
+  EXPECT_EQ(attempts,
+            r.shard_successes + r.shard_failovers + r.shard_exhausted)
+      << label;
+}
+
+std::string UniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  return StrFormat("/tmp/dta_stt_%d_%d.sock",
+                   static_cast<int>(::getpid()), counter.fetch_add(1));
+}
+
+// One tuning run over the socket transport. Chaos knobs: `sever_victim`
+// severs its connection after `sever_after_calls` what-if responses;
+// `fault_victim` prices through a FaultInjector parsed from `fault_spec`.
+struct SocketRun {
+  int shards = 1;
+  int threads = 1;
+  int sever_victim = -1;
+  size_t sever_after_calls = 0;
+  int fault_victim = -1;
+  std::string fault_spec;
+  MetricsRegistry* metrics = nullptr;
+};
+
+Result<TuningResult> TuneSocket(const SocketRun& run) {
+  auto prod = MakeProduction();
+
+  // Declaration order matters: workers shut down (joining their serve
+  // threads) before the clone servers they price on are destroyed.
+  std::vector<std::unique_ptr<server::Server>> clones;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::vector<std::unique_ptr<rpc::CostWorker>> workers;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < run.shards; ++i) {
+    auto clone = prod->Clone(StrFormat("worker%d", i));
+    if (!clone.ok()) return clone.status();
+    if (i == run.fault_victim) {
+      auto spec = FaultSpec::Parse(run.fault_spec);
+      if (!spec.ok()) return spec.status();
+      injectors.push_back(std::make_unique<FaultInjector>(*spec));
+      (*clone)->set_fault_injector(injectors.back().get());
+    }
+    rpc::CostWorkerOptions wopts;
+    wopts.threads = 2;
+    if (i == run.sever_victim) {
+      wopts.sever_after_calls = run.sever_after_calls;
+    }
+    workers.push_back(std::make_unique<rpc::CostWorker>(
+        clone->get(), wopts));
+    clones.push_back(std::move(clone).value());
+    endpoints.push_back(UniqueSocketPath());
+    auto s = workers.back()->Listen(endpoints.back());
+    if (!s.ok()) return s;
+  }
+
+  TuningOptions opts;
+  opts.shards = run.shards;
+  opts.num_threads = run.threads;
+  opts.transport = TuningOptions::Transport::kSocket;
+  opts.socket_endpoints = endpoints;
+  TuningSession session(prod.get(), opts);
+  if (run.metrics != nullptr) {
+    session.SetObservability({run.metrics, nullptr, nullptr});
+  }
+  auto r = session.Tune(SeedWorkload());
+  for (const std::string& path : endpoints) ::unlink(path.c_str());
+  return r;
+}
+
+Result<TuningResult> TuneInproc(int shards, int threads) {
+  auto prod = MakeProduction();
+  TuningOptions opts;
+  opts.shards = shards;
+  opts.num_threads = threads;
+  TuningSession session(prod.get(), opts);
+  return session.Tune(SeedWorkload());
+}
+
+// ----------------------------------------------------- transport parity
+
+// The acceptance gate: recommendations byte-identical between transports
+// at two different (threads x shards) shapes.
+TEST(SocketTransportTest, ByteIdenticalToInprocAcrossTopologies) {
+  auto baseline = TuneInproc(1, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string expected_xml = RecommendationXml(*baseline);
+
+  struct Shape {
+    int shards;
+    int threads;
+  };
+  for (const Shape& shape : {Shape{1, 1}, Shape{3, 4}}) {
+    const std::string label =
+        StrFormat("%d shards x %d threads", shape.shards, shape.threads);
+    auto socket = TuneSocket({.shards = shape.shards,
+                              .threads = shape.threads});
+    ASSERT_TRUE(socket.ok()) << label << ": "
+                             << socket.status().ToString();
+    EXPECT_EQ(expected_xml, RecommendationXml(*socket)) << label;
+    EXPECT_EQ(baseline->current_cost, socket->current_cost) << label;
+    EXPECT_EQ(baseline->recommended_cost, socket->recommended_cost)
+        << label;
+    EXPECT_EQ(baseline->whatif_calls, socket->whatif_calls) << label;
+    EXPECT_EQ(socket->degraded_calls, 0u) << label;
+    EXPECT_EQ(socket->shards_used, shape.shards) << label;
+    ExpectCallsConserved(*socket, label);
+  }
+}
+
+// The transport exports its rpc.* counters: every pricing crossed the wire.
+TEST(SocketTransportTest, RpcMetricsCountTheWire) {
+  MetricsRegistry metrics;
+  auto socket = TuneSocket({.shards = 2, .threads = 2,
+                            .metrics = &metrics});
+  ASSERT_TRUE(socket.ok()) << socket.status().ToString();
+  const auto counters = metrics.CounterValues();
+  ASSERT_TRUE(counters.count("rpc.calls"));
+  EXPECT_GE(counters.at("rpc.calls"), socket->shard_successes);
+  ASSERT_TRUE(counters.count("rpc.connects"));
+  EXPECT_GE(counters.at("rpc.connects"), 2u);
+}
+
+// ------------------------------------------------------------------ chaos
+
+// A worker severs its connection mid-stream (its in-flight calls die
+// unanswered). The completion queue requeues them on the surviving
+// workers; the severed worker is rediscovered by a probe after the worker
+// loops back to accept. Result: byte-identical, nothing degraded.
+TEST(SocketTransportTest, WorkerSeverMidStreamKeepsRecommendationIdentical) {
+  auto baseline = TuneInproc(1, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto chaos = TuneSocket({.shards = 3,
+                           .threads = 4,
+                           .sever_victim = 1,
+                           .sever_after_calls = 5});
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  EXPECT_EQ(RecommendationXml(*baseline), RecommendationXml(*chaos));
+  EXPECT_EQ(baseline->recommended_cost, chaos->recommended_cost);
+  EXPECT_EQ(baseline->whatif_calls, chaos->whatif_calls);
+  EXPECT_EQ(chaos->degraded_calls, 0u);
+  ExpectCallsConserved(*chaos, "severed worker");
+}
+
+// A worker whose server answers with random transient faults: the error
+// travels back as a clean WhatIfResponse status, the queue requeues the
+// statement on another shard, and the result is unchanged.
+TEST(SocketTransportTest, FlakyWorkerKeepsRecommendationIdentical) {
+  auto baseline = TuneInproc(1, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto chaos = TuneSocket({.shards = 3,
+                           .threads = 4,
+                           .fault_victim = 2,
+                           .fault_spec = "seed=13,transient=0.5"});
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  EXPECT_EQ(RecommendationXml(*baseline), RecommendationXml(*chaos));
+  EXPECT_EQ(baseline->whatif_calls, chaos->whatif_calls);
+  EXPECT_EQ(chaos->degraded_calls, 0u);
+  EXPECT_GT(chaos->shard_failovers, 0u);
+  ExpectCallsConserved(*chaos, "flaky worker");
+}
+
+// Sever and transient faults at once, on different workers.
+TEST(SocketTransportTest, CombinedChaosKeepsRecommendationIdentical) {
+  auto baseline = TuneInproc(1, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto chaos = TuneSocket({.shards = 3,
+                           .threads = 4,
+                           .sever_victim = 0,
+                           .sever_after_calls = 8,
+                           .fault_victim = 2,
+                           .fault_spec = "seed=9,transient=0.2"});
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  EXPECT_EQ(RecommendationXml(*baseline), RecommendationXml(*chaos));
+  EXPECT_EQ(baseline->whatif_calls, chaos->whatif_calls);
+  EXPECT_EQ(chaos->degraded_calls, 0u);
+  ExpectCallsConserved(*chaos, "combined chaos");
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(SocketTransportTest, SessionRejectsIncompatibleOptions) {
+  auto prod = MakeProduction();
+  const workload::Workload w = SeedWorkload();
+
+  {
+    // Endpoint count must match the shard count.
+    TuningOptions opts;
+    opts.shards = 2;
+    opts.transport = TuningOptions::Transport::kSocket;
+    opts.socket_endpoints = {"/tmp/only_one.sock"};
+    TuningSession session(prod.get(), opts);
+    auto r = session.Tune(w);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+  {
+    // In-process fault injection cannot reach out-of-process pricing; the
+    // session refuses rather than silently tuning without chaos.
+    TuningOptions opts;
+    opts.transport = TuningOptions::Transport::kSocket;
+    opts.socket_endpoints = {"/tmp/one.sock"};
+    opts.fault_spec = "seed=3,transient=0.1";
+    TuningSession session(prod.get(), opts);
+    auto r = session.Tune(w);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+  {
+    TuningOptions opts;
+    opts.transport = TuningOptions::Transport::kSocket;
+    opts.socket_endpoints = {"/tmp/one.sock"};
+    opts.shard_fault_spec = "0:down_after=5";
+    TuningSession session(prod.get(), opts);
+    auto r = session.Tune(w);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dta::tuner

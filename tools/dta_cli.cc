@@ -5,6 +5,8 @@
 // Usage:
 //   dta_cli --metadata server.xml --input tuning.xml [--output out.xml]
 //           [--evaluate] [--quiet] [--threads N] [--shards N]
+//           [--transport inproc|socket] [--worker-bin PATH]
+//           [--rpc-timeout MS]
 //           [--tenants N] [--tenant-budget BYTES] [--slow-threshold X]
 //           [--no-derived-costing] [--exact-costing]
 //           [--derivation-error-bound PCT]
@@ -28,6 +30,23 @@
 //                 is the tuning server, shards 1..N-1 bit-exact clones;
 //                 calls are routed by rendezvous hashing with failover).
 //                 The recommendation is identical at any shard count.
+//   --transport   Costing transport: "inproc" (default; shards are
+//                 in-process replicas) or "socket" (each shard is a
+//                 cost_server worker process, spawned by dta_cli and
+//                 reached over a Unix socket; calls run through the async
+//                 completion queue, which requeues timeouts and worker
+//                 failures instead of blocking). The recommendation is
+//                 byte-identical under either transport. Socket mode is
+//                 not combinable with --evaluate, --tenants, or
+//                 --fault-spec (use --shard-fault-spec: it becomes each
+//                 worker's own fault injector).
+//   --worker-bin  Path to the cost_server executable (required with
+//                 --transport socket). Workers are spawned with this run's
+//                 --metadata, listen on sockets under a private temp
+//                 directory, and are killed and reaped when dta_cli exits.
+//   --rpc-timeout Socket transport only: per-attempt budget in ms before
+//                 the completion queue abandons an in-flight request and
+//                 requeues the call on the next shard (0 = router default).
 //   --tenants     Run N independent tenants ("t0".."tN-1") concurrently
 //                 through the multi-tenant driver (dta/tenant_driver.h):
 //                 each tenant tunes its own copy of the server under the
@@ -100,6 +119,12 @@
 // exploratory mode — point it at a real Server in-process for full
 // fidelity.
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -145,7 +170,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --metadata server.xml --input tuning.xml "
                "[--output out.xml] [--evaluate] [--quiet] [--threads N] "
-               "[--shards N] [--tenants N] [--tenant-budget BYTES] "
+               "[--shards N] [--transport inproc|socket] "
+               "[--worker-bin PATH] [--rpc-timeout MS] "
+               "[--tenants N] [--tenant-budget BYTES] "
                "[--slow-threshold X] "
                "[--no-derived-costing] [--exact-costing] "
                "[--derivation-error-bound PCT] "
@@ -157,12 +184,58 @@ int Usage(const char* argv0) {
   return 2;
 }
 
+// The cost_server worker processes a socket-transport run spawned, plus the
+// temp directory their sockets live in. The destructor kills and reaps the
+// fleet and removes the directory, so every exit path of main — error
+// returns included — leaves no orphan workers and no stray sockets behind.
+struct WorkerFleet {
+  std::vector<pid_t> pids;
+  std::vector<std::string> sockets;
+  std::string socket_dir;
+
+  ~WorkerFleet() {
+    for (pid_t pid : pids) ::kill(pid, SIGTERM);
+    for (pid_t pid : pids) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    for (const std::string& path : sockets) ::unlink(path.c_str());
+    if (!socket_dir.empty()) ::rmdir(socket_dir.c_str());
+  }
+};
+
+dta::Result<pid_t> SpawnWorker(const std::vector<std::string>& argv) {
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    raw.push_back(const_cast<char*>(arg.c_str()));
+  }
+  raw.push_back(nullptr);
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    return dta::Status::Internal(std::string("fork failed: ") +
+                                 std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(raw[0], raw.data());
+    // Reached only when exec failed; the parent sees the worker's socket
+    // never appear and fails the connect with a clear deadline error.
+    std::fprintf(stderr, "cannot exec %s: %s\n", raw[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metadata_path, input_path, output_path;
   std::string fault_spec, shard_fault_spec;
   std::string checkpoint_path, resume_path, metrics_path;
+  std::string transport = "inproc", worker_bin;
+  double rpc_timeout = 0;
   bool evaluate = false, quiet = false, fake_clock = false;
   bool no_derived_costing = false, exact_costing = false;
   double derivation_error_bound = -1;  // -1: keep the input's setting
@@ -209,6 +282,30 @@ int main(int argc, char** argv) {
       shards = static_cast<int>(std::strtol(v, &end, 10));
       if (end == v || *end != '\0' || shards < 1) {
         std::fprintf(stderr, "--shards expects a positive integer\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--transport") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      transport = v;
+      if (transport != "inproc" && transport != "socket") {
+        std::fprintf(stderr,
+                     "--transport expects \"inproc\" or \"socket\"\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--worker-bin") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      worker_bin = v;
+    } else if (arg == "--rpc-timeout") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      rpc_timeout = std::strtod(v, &end);
+      if (end == v || *end != '\0' || rpc_timeout < 0) {
+        std::fprintf(stderr,
+                     "--rpc-timeout expects a non-negative millisecond "
+                     "count\n");
         return Usage(argv[0]);
       }
     } else if (arg == "--tenants") {
@@ -360,6 +457,90 @@ int main(int argc, char** argv) {
     }
     input->options.shard_fault_spec = shard_fault_spec;
   }
+  // ---- Socket transport: spawn one cost_server worker per shard on a
+  // private socket directory, translate any per-shard fault spec into each
+  // worker's own --fault-spec (the session cannot attach in-process
+  // injectors to another process), and hand the endpoints to the session.
+  // The fleet is killed, reaped, and its sockets removed when main returns,
+  // whichever path it takes.
+  WorkerFleet fleet;
+  if (transport == "socket") {
+    if (evaluate || tenants > 1) {
+      std::fprintf(stderr,
+                   "--transport socket cannot be combined with --evaluate "
+                   "or --tenants\n");
+      return Usage(argv[0]);
+    }
+    if (!fault_spec.empty()) {
+      std::fprintf(stderr,
+                   "--fault-spec attaches an in-process injector, which "
+                   "the socket transport bypasses; use --shard-fault-spec "
+                   "(it becomes each worker's own fault injector)\n");
+      return Usage(argv[0]);
+    }
+    if (worker_bin.empty()) {
+      std::fprintf(stderr,
+                   "--transport socket requires --worker-bin (path to the "
+                   "cost_server executable)\n");
+      return Usage(argv[0]);
+    }
+    const int worker_count = std::max(1, input->options.shards);
+    std::vector<std::string> worker_faults(
+        static_cast<size_t>(worker_count));
+    if (!input->options.shard_fault_spec.empty()) {
+      auto parsed =
+          dta::tuner::ShardFaultSpec::Parse(input->options.shard_fault_spec);
+      if (!parsed.ok()) {  // spec may come from the input document
+        std::fprintf(stderr, "bad shard fault spec: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& [shard, spec] : parsed->per_shard) {
+        if (shard >= worker_count) {
+          std::fprintf(
+              stderr,
+              "--shard-fault-spec targets shard %d but only %d worker(s) "
+              "exist\n",
+              shard, worker_count);
+          return 1;
+        }
+        worker_faults[static_cast<size_t>(shard)] = spec.ToString();
+      }
+      input->options.shard_fault_spec.clear();
+    }
+    char dir_template[] = "/tmp/dta_cli_workers_XXXXXX";
+    if (::mkdtemp(dir_template) == nullptr) {
+      std::fprintf(stderr, "cannot create socket directory: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    fleet.socket_dir = dir_template;
+    for (int i = 0; i < worker_count; ++i) {
+      const std::string name = "worker" + std::to_string(i);
+      const std::string sock = fleet.socket_dir + "/" + name + ".sock";
+      std::vector<std::string> args = {worker_bin, "--metadata",
+                                       metadata_path, "--listen", sock,
+                                       "--name",     name,
+                                       "--quiet"};
+      if (!worker_faults[static_cast<size_t>(i)].empty()) {
+        args.push_back("--fault-spec");
+        args.push_back(worker_faults[static_cast<size_t>(i)]);
+      }
+      auto pid = SpawnWorker(args);
+      if (!pid.ok()) {
+        std::fprintf(stderr, "cannot spawn %s: %s\n", name.c_str(),
+                     pid.status().ToString().c_str());
+        return 1;
+      }
+      fleet.pids.push_back(*pid);
+      fleet.sockets.push_back(sock);
+      input->options.socket_endpoints.push_back(sock);
+    }
+    input->options.transport =
+        dta::tuner::TuningOptions::Transport::kSocket;
+    if (rpc_timeout > 0) input->options.rpc_attempt_timeout_ms = rpc_timeout;
+  }
+
   if (!checkpoint_path.empty()) {
     input->options.checkpoint_path = checkpoint_path;
   }
