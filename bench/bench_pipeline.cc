@@ -1,9 +1,9 @@
 // bench_pipeline — the CI bench-regression workload.
 //
-// Runs the TPC-H tuning pipeline under eleven scenarios (serial, underived,
+// Runs the TPC-H tuning pipeline under twelve scenarios (serial, underived,
 // parallel, checkpointed, faulty, sharded, sharded_faulty, failslow,
-// socket, socket_failslow, multitenant) and emits one observability
-// document (dta-observability-v1,
+// socket, socket_failslow, multitenant, streaming) and emits one
+// observability document (dta-observability-v1,
 // the same schema dta_cli --metrics-json writes) with, per scenario:
 //   counters  bench.<scenario>.whatif_calls   — deterministic call counts
 //   gauges    bench.<scenario>.wall_ms        — tuning wall-clock
@@ -34,6 +34,16 @@
 //             the slow worker) vs the in-process transport. The socket
 //             number is expected to hold at or above the in-process one:
 //             that comparison is what justifies the async transport.
+//             bench.checkpoint.delta_bytes_per_round — bytes the streaming
+//             (continuous tuning service) scenario appends to its delta log
+//             in its final, steady-state round: the capture has fully
+//             repeated by then, so this round's "new work" is just touched
+//             template weights and the round's small bookkeeping — a sharp
+//             O(new work) bound. Byte-derived and deterministic, gated at
+//             an absolute ceiling even under --ignore-wall-clock; it
+//             regresses if a steady-state round ever rewrites O(total
+//             state). (bench.streaming.delta_bytes_avg, which early rounds'
+//             genuinely-new memo entries dominate, is informational.)
 //
 // Every scenario's recommendation is also required to be byte-identical to
 // the serial run's (failslow included — the detector is routing-only — and
@@ -61,6 +71,7 @@
 #include "common/strings.h"
 #include "common/trace.h"
 #include "dta/rpc/worker.h"
+#include "dta/stream/continuous.h"
 #include "dta/tenant_driver.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
@@ -403,6 +414,88 @@ int Run(int argc, char** argv) {
       ->Increment(tenant_calls);
   metrics.GetGauge("bench.multitenant.wall_ms")->Set(multitenant_wall_ms);
 
+  // Continuous tuning service over the same 22 statements as a capture:
+  // four full passes, re-tuned every 22 events — four rounds on a warm
+  // server with a delta-log checkpoint. Early rounds price genuinely new
+  // work (each pass shifts the weight vector, and one weight threshold
+  // crossing creates a statistic, rebuilding the memo); by the final round
+  // the service has converged — zero what-if calls, zero dirty memo
+  // entries — so its appended segment carries only the touched template
+  // weights and round bookkeeping. That final segment's bytes are the
+  // delta-bytes gauge gated (at an absolute ceiling, even under
+  // --ignore-wall-clock) by bench_compare. The accumulated whatif.calls
+  // across all rounds is the scenario's deterministic counter: it
+  // regresses if the cross-round memo stops carrying costs forward.
+  auto stream_server = MakeWarmServer("prod-stream", wl);
+  if (!stream_server.ok()) {
+    std::fprintf(stderr, "streaming: %s\n",
+                 stream_server.status().ToString().c_str());
+    return 1;
+  }
+  std::string capture;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const workload::WorkloadStatement& ws : wl.statements()) {
+      std::string line = ws.text;
+      for (char& c : line) {
+        if (c == '\n' || c == '\r') c = ' ';
+      }
+      capture += line;
+      capture += '\n';
+    }
+  }
+  const std::string stream_ckpt = "bench_pipeline_stream_ckpt.tmp";
+  std::remove(stream_ckpt.c_str());
+  MetricsRegistry stream_metrics;
+  tuner::stream::ContinuousTuner::Config stream_config;
+  stream_config.server = stream_server->get();
+  stream_config.options.num_threads = 4;
+  stream_config.retune_interval_events = 22;
+  stream_config.checkpoint_path = stream_ckpt;
+  stream_config.metrics = &stream_metrics;
+  tuner::stream::ContinuousTuner streaming(std::move(stream_config));
+  const double stream_t0 = MonotonicClock::Instance()->NowMs();
+  Status stream_status = streaming.Init();
+  if (stream_status.ok()) stream_status = streaming.Feed(capture);
+  if (stream_status.ok()) stream_status = streaming.Finish();
+  const double streaming_wall_ms =
+      MonotonicClock::Instance()->NowMs() - stream_t0;
+  std::remove(stream_ckpt.c_str());
+  if (!stream_status.ok()) {
+    std::fprintf(stderr, "streaming: %s\n",
+                 stream_status.ToString().c_str());
+    return 1;
+  }
+  if (streaming.rounds() != 4) {
+    std::fprintf(stderr, "streaming: expected 4 rounds, got %llu\n",
+                 static_cast<unsigned long long>(streaming.rounds()));
+    return 1;
+  }
+  metrics.GetCounter("bench.streaming.whatif_calls")
+      ->Increment(stream_metrics.GetCounter("whatif.calls")->value());
+  metrics.GetCounter("bench.streaming.rounds")
+      ->Increment(streaming.rounds());
+  metrics.GetGauge("bench.streaming.wall_ms")->Set(streaming_wall_ms);
+  // Round 1 writes the base snapshot; each later round appends one delta
+  // segment. The gated gauge is the final (steady-state) round's appended
+  // bytes — by then the capture has fully repeated, so the segment must be
+  // small; early rounds legitimately append their genuinely-new memo
+  // entries, so their average is exported as information only.
+  double delta_bytes_avg = 0;
+  double delta_bytes_steady = 0;
+  if (!streaming.delta_bytes_history().empty()) {
+    double total = 0;
+    for (size_t bytes : streaming.delta_bytes_history()) {
+      total += static_cast<double>(bytes);
+    }
+    delta_bytes_avg =
+        total / static_cast<double>(streaming.delta_bytes_history().size());
+    delta_bytes_steady =
+        static_cast<double>(streaming.delta_bytes_history().back());
+  }
+  metrics.GetGauge("bench.checkpoint.delta_bytes_per_round")
+      ->Set(delta_bytes_steady);
+  metrics.GetGauge("bench.streaming.delta_bytes_avg")->Set(delta_bytes_avg);
+
   // Robustness overheads (ROADMAP: < 1% checkpoint overhead target). The
   // checkpoint number divides the time actually spent inside checkpoint
   // writes by the same run's wall-clock — immune to run-to-run noise; the
@@ -462,6 +555,8 @@ int Run(int argc, char** argv) {
                  "checkpointed=%.0fms faulty=%.0fms sharded=%.0fms "
                  "sharded_faulty=%.0fms failslow=%.0fms socket=%.0fms "
                  "socket_failslow=%.0fms multitenant=%.0fms "
+                 "streaming=%.0fms (%llu rounds, steady-state segment "
+                 "%.0f bytes, avg %.0f) "
                  "checkpoint_overhead=%.3f%% (%zu writes, %.1fms) "
                  "shard_failover_overhead=%.3f%% (%zu failovers) "
                  "failslow_isolation_overhead=%.3f%% (%zu slow demotions) "
@@ -472,7 +567,9 @@ int Run(int argc, char** argv) {
                  faulty->tuning_time_ms, sharded->tuning_time_ms,
                  sharded_faulty->tuning_time_ms, failslow->tuning_time_ms,
                  socket->tuning_time_ms, socket_failslow->tuning_time_ms,
-                 multitenant_wall_ms, ckpt_pct,
+                 multitenant_wall_ms, streaming_wall_ms,
+                 static_cast<unsigned long long>(streaming.rounds()),
+                 delta_bytes_steady, delta_bytes_avg, ckpt_pct,
                  checkpointed->checkpoint_writes, checkpointed->checkpoint_ms,
                  shard_failover_pct, sharded_faulty->shard_failovers,
                  failslow_pct, failslow->shard_slow_demotions,

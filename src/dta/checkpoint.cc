@@ -25,58 +25,6 @@ double ParseDouble(const std::string& s) {
   return std::strtod(s.c_str(), nullptr);
 }
 
-// snprintf-free formatting for the bulk cache encoder: a checkpoint write
-// formats thousands of entries, and the printf machinery is the single
-// largest cost once the document itself is small. AppendHexDouble emits the
-// same class of C99 hex-float literal as %a — strtod round-trips it
-// bit-exactly, which is all the checkpoint format requires — and falls back
-// to snprintf for the non-normal classes that never appear in cost data.
-void AppendU64(std::string* out, uint64_t v) {
-  char buf[20];
-  char* p = buf + sizeof buf;
-  do {
-    *--p = static_cast<char>('0' + v % 10);
-    v /= 10;
-  } while (v != 0);
-  out->append(p, static_cast<size_t>(buf + sizeof buf - p));
-}
-
-void AppendHexDouble(std::string* out, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof bits);
-  const uint64_t mant = bits & ((uint64_t{1} << 52) - 1);
-  const int biased = static_cast<int>((bits >> 52) & 0x7ff);
-  if (biased == 0 || biased == 0x7ff) {
-    if ((bits << 1) == 0) {  // +/- zero
-      out->append(bits >> 63 ? "-0x0p+0" : "0x0p+0");
-      return;
-    }
-    char buf[40];  // subnormal / inf / nan
-    out->append(buf, static_cast<size_t>(
-                         std::snprintf(buf, sizeof buf, "%a", v)));
-    return;
-  }
-  if (bits >> 63) out->push_back('-');
-  out->append("0x1");
-  if (mant != 0) {
-    out->push_back('.');
-    static const char kHex[] = "0123456789abcdef";
-    uint64_t m = mant;
-    int nibbles = 13;
-    while ((m & 0xf) == 0) {
-      m >>= 4;
-      --nibbles;
-    }
-    for (int i = 0; i < nibbles; ++i) {
-      out->push_back(kHex[(mant >> (48 - 4 * i)) & 0xf]);
-    }
-  }
-  out->push_back('p');
-  const int e = biased - 1023;
-  out->push_back(e < 0 ? '-' : '+');
-  AppendU64(out, static_cast<uint64_t>(e < 0 ? -e : e));
-}
-
 const char* BoolStr(bool b) { return b ? "true" : "false"; }
 bool ParseBool(const std::string& s) {
   return EqualsIgnoreCase(s, "true") || s == "1";
@@ -152,6 +100,58 @@ Result<Candidate> CandidateFromXml(const xml::Element& e,
 
 }  // namespace
 
+// snprintf-free formatting for the bulk cache encoder: a checkpoint write
+// formats thousands of entries, and the printf machinery is the single
+// largest cost once the document itself is small. AppendHexDouble emits the
+// same class of C99 hex-float literal as %a — strtod round-trips it
+// bit-exactly, which is all the checkpoint format requires — and falls back
+// to snprintf for the non-normal classes that never appear in cost data.
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[20];
+  char* p = buf + sizeof buf;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out->append(p, static_cast<size_t>(buf + sizeof buf - p));
+}
+
+void AppendHexDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  const uint64_t mant = bits & ((uint64_t{1} << 52) - 1);
+  const int biased = static_cast<int>((bits >> 52) & 0x7ff);
+  if (biased == 0 || biased == 0x7ff) {
+    if ((bits << 1) == 0) {  // +/- zero
+      out->append(bits >> 63 ? "-0x0p+0" : "0x0p+0");
+      return;
+    }
+    char buf[40];  // subnormal / inf / nan
+    out->append(buf, static_cast<size_t>(
+                         std::snprintf(buf, sizeof buf, "%a", v)));
+    return;
+  }
+  if (bits >> 63) out->push_back('-');
+  out->append("0x1");
+  if (mant != 0) {
+    out->push_back('.');
+    static const char kHex[] = "0123456789abcdef";
+    uint64_t m = mant;
+    int nibbles = 13;
+    while ((m & 0xf) == 0) {
+      m >>= 4;
+      --nibbles;
+    }
+    for (int i = 0; i < nibbles; ++i) {
+      out->push_back(kHex[(mant >> (48 - 4 * i)) & 0xf]);
+    }
+  }
+  out->push_back('p');
+  const int e = biased - 1023;
+  out->push_back(e < 0 ? '-' : '+');
+  AppendU64(out, static_cast<uint64_t>(e < 0 ? -e : e));
+}
+
 uint64_t WorkloadFingerprint(const workload::Workload& workload) {
   uint64_t h = HashBytes("dta-workload");
   for (const auto& ws : workload.statements()) {
@@ -175,6 +175,9 @@ uint64_t OptionsFingerprint(const TuningOptions& o) {
   // derived_costing and derivation_error_bound_pct are included (they decide
   // which cache entries hold derived costs); exact_costing is not — exact
   // mode publishes real costs, which any mode can safely resume from.
+  // quarantined_structures IS included (a quarantine filters the candidate
+  // pool and so changes the recommendation); export_session_state is not —
+  // it only adds output fields to the result.
   std::ostringstream out;
   out << o.tune_indexes << '|' << o.tune_materialized_views << '|'
       << o.tune_partitioning << '|' << o.require_alignment << '|'
@@ -203,6 +206,7 @@ uint64_t OptionsFingerprint(const TuningOptions& o) {
       << o.max_column_group_size << '|' << o.enable_merging << '|'
       << o.lazy_alignment << '|' << o.max_partition_boundaries << '|'
       << ConfigurationToXml(o.user_specified)->ToString();
+  for (const auto& name : o.quarantined_structures) out << '|' << name;
   return HashBytes(out.str());
 }
 
@@ -465,6 +469,145 @@ Result<SessionCheckpoint> LoadCheckpoint(const std::string& path,
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return CheckpointFromXml(buffer.str(), catalog);
+}
+
+// ---- Delta log (format v3) ------------------------------------------------
+
+namespace {
+
+std::string EncodeDeltaRecord(const char* kind, const std::string& payload) {
+  std::string record("DTAS3 ");
+  record += kind;
+  record.push_back(' ');
+  AppendU64(&record, payload.size());
+  record.push_back(' ');
+  AppendU64(&record, HashBytes(payload));
+  record.push_back('\n');
+  record += payload;
+  record.push_back('\n');
+  return record;
+}
+
+// Parses one record at [*p, end). On success advances *p past the record and
+// fills kind/payload. Any malformation — bad magic, unknown kind, header
+// fields that are not numbers, payload running past EOF, missing trailing
+// newline, checksum mismatch — returns false with *p untouched; the caller
+// treats everything from *p on as a torn tail.
+bool DecodeDeltaRecord(const char** p, const char* end, std::string* kind,
+                       std::string* payload) {
+  const char* cur = *p;
+  const char* nl = static_cast<const char*>(
+      std::memchr(cur, '\n', static_cast<size_t>(end - cur)));
+  if (nl == nullptr) return false;
+  const std::string header(cur, static_cast<size_t>(nl - cur));
+  // "DTAS3 <kind> <payload-bytes> <fnv64-checksum>"
+  if (header.rfind("DTAS3 ", 0) != 0) return false;
+  const size_t kind_start = 6;
+  const size_t kind_end = header.find(' ', kind_start);
+  if (kind_end == std::string::npos) return false;
+  const std::string k = header.substr(kind_start, kind_end - kind_start);
+  if (k != "base" && k != "seg") return false;
+  char* q = nullptr;
+  const char* num = header.c_str() + kind_end + 1;
+  const uint64_t bytes = std::strtoull(num, &q, 10);
+  if (q == num || *q != ' ') return false;
+  num = q + 1;
+  const uint64_t checksum = std::strtoull(num, &q, 10);
+  if (q == num || *q != '\0') return false;
+  const char* body = nl + 1;
+  if (bytes > static_cast<uint64_t>(end - body)) return false;
+  // Every record ends in a newline of its own, so a crash that truncates the
+  // payload mid-write is detected even when the payload's declared length
+  // happens to fit in the remaining bytes.
+  if (static_cast<uint64_t>(end - body) == bytes ||
+      body[bytes] != '\n') {
+    return false;
+  }
+  std::string pl(body, static_cast<size_t>(bytes));
+  if (HashBytes(pl) != checksum) return false;
+  *kind = k;
+  *payload = std::move(pl);
+  *p = body + bytes + 1;
+  return true;
+}
+
+}  // namespace
+
+Status WriteDeltaBase(const std::string& path, const std::string& base) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return Status::Internal("cannot write delta log file: " + tmp);
+    }
+    out << EncodeDeltaRecord("base", base);
+    out.flush();
+    if (!out) {
+      return Status::Internal("short write to delta log file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename delta log into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Status AppendDeltaSegment(const std::string& path, const std::string& segment,
+                          size_t* appended_bytes) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) {
+      return Status::FailedPrecondition(
+          "delta log has no base record yet (WriteDeltaBase first): " + path);
+    }
+  }
+  const std::string record = EncodeDeltaRecord("seg", segment);
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  if (!out) {
+    return Status::Internal("cannot append to delta log file: " + path);
+  }
+  out << record;
+  out.flush();
+  if (!out) {
+    return Status::Internal("short append to delta log file: " + path);
+  }
+  if (appended_bytes != nullptr) *appended_bytes = record.size();
+  return Status::Ok();
+}
+
+Result<DeltaLogContents> ReadDeltaLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open delta log file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const char* p = text.c_str();
+  const char* end = p + text.size();
+
+  DeltaLogContents contents;
+  std::string kind;
+  std::string payload;
+  if (!DecodeDeltaRecord(&p, end, &kind, &payload) || kind != "base") {
+    // The base is written atomically, so a file without a valid leading base
+    // record was never a valid delta log — unlike a torn appended tail,
+    // there is nothing to salvage.
+    return Status::InvalidArgument(
+        "delta log has no valid base record: " + path);
+  }
+  contents.base = std::move(payload);
+  while (p < end) {
+    if (!DecodeDeltaRecord(&p, end, &kind, &payload) || kind != "seg") {
+      // Torn or corrupt tail (crash mid-append): drop it and everything
+      // after it — the framing is lost from here on.
+      contents.dropped_records = 1;
+      break;
+    }
+    contents.segments.push_back(std::move(payload));
+  }
+  return contents;
 }
 
 }  // namespace dta::tuner

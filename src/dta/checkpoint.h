@@ -108,6 +108,54 @@ Status SaveCheckpoint(const std::string& path,
 Result<SessionCheckpoint> LoadCheckpoint(const std::string& path,
                                          const catalog::Catalog& catalog);
 
+// ---- Append-only delta checkpoints (format v3) ----------------------------
+//
+// A v2 checkpoint rewrites the whole document on every write; that is fine
+// for a one-shot session but makes per-round persistence on a stream
+// O(total state). Format v3 splits a checkpoint into one *base* snapshot
+// record followed by zero or more appended *delta segments*, each carrying
+// only the entries produced since the previous write — so a steady-state
+// round appends O(new work) bytes. The payloads themselves are opaque to
+// this layer (the continuous tuner serializes its stream state into them);
+// this layer owns the on-disk framing and its crash semantics.
+//
+// Framing: each record is
+//
+//   DTAS3 <kind> <payload-bytes> <fnv64-checksum>\n<payload>\n
+//
+// where <kind> is "base" or "seg" and the checksum covers the payload
+// bytes. The base is written atomically ("<path>.tmp" + rename), which
+// also truncates every previous segment — that is compaction. Segments are
+// appended in place; a crash mid-append leaves a torn tail record, which
+// the reader detects (short payload, bad header, or checksum mismatch) and
+// drops along with anything after it, recovering the longest valid prefix.
+// The dropped round is simply re-run — by the same determinism contract
+// that makes kill-at-a-boundary resume bit-exact.
+struct DeltaLogContents {
+  std::string base;
+  std::vector<std::string> segments;
+  // Torn or corrupt tail records ignored by the reader (0 on a clean file).
+  size_t dropped_records = 0;
+};
+
+// Atomically replaces `path` with a fresh base record (compaction: any
+// previously appended segments are gone).
+Status WriteDeltaBase(const std::string& path, const std::string& base);
+// Appends one segment record to `path` (which must already hold a base).
+// On success `*appended_bytes` (optional) receives the full record size —
+// the per-round persistence cost the delta-bytes gauge reports.
+Status AppendDeltaSegment(const std::string& path, const std::string& segment,
+                          size_t* appended_bytes = nullptr);
+// Reads base + segments, dropping a torn/corrupt tail. Fails only when the
+// file is unreadable or its base record is invalid.
+Result<DeltaLogContents> ReadDeltaLog(const std::string& path);
+
+// Bulk-encoding helpers shared by the v2 cost-cache blob and the stream
+// checkpoint's memo blob: locale-free integer formatting and a C99
+// hex-float encoder whose output strtod round-trips bit-exactly.
+void AppendU64(std::string* out, uint64_t v);
+void AppendHexDouble(std::string* out, double v);
+
 }  // namespace dta::tuner
 
 #endif  // DTA_DTA_CHECKPOINT_H_

@@ -1,0 +1,92 @@
+#include "dta/stream/capture.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace dta::tuner::stream {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  size_t e = s.size();
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+void CaptureReader::Consume(std::string_view bytes) {
+  if (poisoned_ || finished_) return;
+  while (!bytes.empty()) {
+    const size_t nl = bytes.find('\n');
+    if (nl == std::string_view::npos) {
+      partial_.append(bytes.data(), bytes.size());
+      if (partial_.size() > max_line_bytes_) poisoned_ = true;
+      return;
+    }
+    partial_.append(bytes.data(), nl);
+    bytes.remove_prefix(nl + 1);
+    if (partial_.size() > max_line_bytes_) {
+      poisoned_ = true;
+      return;
+    }
+    ++lines_consumed_;
+    if (skip_lines_ > 0) {
+      --skip_lines_;
+    } else {
+      ConsumeLine(partial_);
+    }
+    partial_.clear();
+  }
+}
+
+void CaptureReader::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!poisoned_ && !Trim(partial_).empty()) {
+    // Unterminated trailing line: torn, not half-parsed. Deliberately NOT
+    // counted into lines_consumed_ — a resumed service that re-feeds the
+    // capture must not skip past a line the original never processed.
+    ++torn_lines_;
+  }
+  partial_.clear();
+}
+
+std::vector<CaptureEvent> CaptureReader::Drain() {
+  return std::move(events_);
+}
+
+void CaptureReader::ConsumeLine(std::string_view raw) {
+  const std::string_view line = Trim(raw);
+  if (line.empty() || line[0] == '#') return;
+  if (line[0] == '@') {
+    // Directive. Only `@tick <ms>` exists; anything else on an `@` line is
+    // a malformed directive, counted and skipped.
+    constexpr std::string_view kTick = "@tick ";
+    if (line.size() > kTick.size() &&
+        line.substr(0, kTick.size()) == kTick) {
+      const std::string value(Trim(line.substr(kTick.size())));
+      char* end = nullptr;
+      const double ms = std::strtod(value.c_str(), &end);
+      if (!value.empty() && end != nullptr && *end == '\0' && ms >= 0) {
+        CaptureEvent ev;
+        ev.kind = CaptureEvent::Kind::kTick;
+        ev.tick_ms = ms;
+        events_.push_back(std::move(ev));
+        return;
+      }
+    }
+    ++parse_errors_;
+    return;
+  }
+  CaptureEvent ev;
+  ev.kind = CaptureEvent::Kind::kStatement;
+  ev.text.assign(line.data(), line.size());
+  events_.push_back(std::move(ev));
+}
+
+}  // namespace dta::tuner::stream

@@ -1,0 +1,103 @@
+// Query-capture stream framing (continuous tuning service).
+//
+// A capture stream is the line-oriented feed a profiler writes: one SQL
+// statement per line, `#` comment lines, and `@tick <ms>` directives that
+// advance the service's fake clock (so a recorded capture replays with the
+// original pacing under --fake-clock, deterministically). This layer does
+// line framing only — accumulating arbitrary byte chunks into complete
+// lines, classifying them, and surviving the same hostile inputs the RPC
+// FrameDecoder does:
+//
+//   * a line longer than `max_line_bytes` poisons the stream — framing is
+//     lost (the bound says this is not a capture file), so the reader stops
+//     producing events instead of resynchronizing on garbage;
+//   * an unterminated final line is torn: dropped and counted on Finish(),
+//     never half-parsed;
+//   * a malformed `@` directive is counted and skipped — one bad line never
+//     takes down the service.
+//
+// SQL itself is NOT parsed here; StreamWorkload::Ingest owns that (and its
+// error accounting). Everything is deterministic in the byte stream: chunk
+// boundaries never affect the event sequence.
+//
+// Resume support: the reader counts complete lines consumed;
+// a checkpoint stores that count at a round boundary and a resumed service
+// calls SkipLines(n) before re-feeding the same capture, which discards
+// exactly the already-processed prefix (comments, ticks, and garbage lines
+// included — they were all consumed lines).
+
+#ifndef DTA_DTA_STREAM_CAPTURE_H_
+#define DTA_DTA_STREAM_CAPTURE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dta::tuner::stream {
+
+struct CaptureEvent {
+  enum class Kind {
+    kStatement,  // a (still unparsed) SQL statement line
+    kTick,       // `@tick <ms>`: advance the service clock
+  };
+  Kind kind = Kind::kStatement;
+  std::string text;    // kStatement: the raw line
+  double tick_ms = 0;  // kTick: milliseconds to advance
+};
+
+class CaptureReader {
+ public:
+  static constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
+  explicit CaptureReader(size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  // Accumulates raw capture bytes; complete lines become events retrievable
+  // via Drain(). Safe to call with any chunking, including byte-at-a-time.
+  void Consume(std::string_view bytes);
+
+  // Signals end-of-stream. An unterminated trailing line is torn — dropped
+  // and counted, never parsed (a crash mid-write produces exactly this).
+  void Finish();
+
+  // Moves out the events parsed since the last drain, in stream order.
+  std::vector<CaptureEvent> Drain();
+
+  // Resume: discard the next `n` complete lines instead of parsing them.
+  void SkipLines(size_t n) { skip_lines_ += n; }
+  // Resume: restore the error counters a checkpoint carried, so totals a
+  // resumed service reports match the uninterrupted ones (skipped lines
+  // re-produce no errors).
+  void RestoreCounters(size_t parse_errors, size_t torn_lines) {
+    parse_errors_ = parse_errors;
+    torn_lines_ = torn_lines;
+  }
+
+  // True once an oversized line destroyed the framing; no further events
+  // are produced.
+  bool poisoned() const { return poisoned_; }
+  // Complete lines consumed so far (every classification, skipped lines
+  // included) — the resume cursor.
+  size_t lines_consumed() const { return lines_consumed_; }
+  size_t torn_lines() const { return torn_lines_; }
+  // Malformed `@` directives (unknown verb, unparseable tick value).
+  size_t parse_errors() const { return parse_errors_; }
+
+ private:
+  void ConsumeLine(std::string_view line);
+
+  size_t max_line_bytes_;
+  std::string partial_;
+  std::vector<CaptureEvent> events_;
+  size_t skip_lines_ = 0;
+  size_t lines_consumed_ = 0;
+  size_t torn_lines_ = 0;
+  size_t parse_errors_ = 0;
+  bool poisoned_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace dta::tuner::stream
+
+#endif  // DTA_DTA_STREAM_CAPTURE_H_

@@ -1,0 +1,797 @@
+#include "dta/stream/continuous.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "dta/checkpoint.h"
+#include "dta/xml_schema.h"
+#include "xmlio/xml.h"
+
+namespace dta::tuner::stream {
+
+namespace {
+
+// Canonical names of a configuration's structures in print order — the
+// vocabulary of recommendation deltas and positional feedback targets.
+std::vector<std::string> StructureNames(const catalog::Configuration& c) {
+  std::vector<std::string> names;
+  for (const auto& ix : c.indexes()) names.push_back(ix.CanonicalName());
+  for (const auto& v : c.views()) names.push_back(v.CanonicalName());
+  for (const auto& [table, scheme] : c.table_partitioning()) {
+    names.push_back("partitioning:" + table);
+  }
+  return names;
+}
+
+size_t StructureCount(const catalog::Configuration& c) {
+  return c.indexes().size() + c.views().size() + c.table_partitioning().size();
+}
+
+// Result-affecting fingerprint of the whole service configuration: the base
+// tuning options plus every stream parameter that shapes rounds. Guards a
+// delta-log resume the same way the v2 options fingerprint guards a session
+// resume.
+uint64_t StreamFingerprint(const ContinuousTuner::Config& config) {
+  return HashCombine(
+      OptionsFingerprint(config.options),
+      HashBytes(StrFormat(
+          "%zu|%a|%llu|%zu|%a", config.retune_interval_events,
+          config.retune_interval_ms,
+          static_cast<unsigned long long>(config.quarantine_rounds),
+          config.max_templates, config.decay)));
+}
+
+double ParseHexDouble(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+uint64_t ParseU64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::string U64Str(uint64_t v) {
+  std::string out;
+  AppendU64(&out, v);
+  return out;
+}
+
+std::string HexStr(double v) {
+  std::string out;
+  AppendHexDouble(&out, v);
+  return out;
+}
+
+void StatsKeyToXml(const stats::StatsKey& key, xml::Element* parent) {
+  xml::Element* e = parent->AddChild("Stats");
+  e->SetAttr("Database", key.database);
+  e->SetAttr("Table", key.table);
+  for (const auto& c : key.columns) e->AddTextChild("Column", c);
+}
+
+stats::StatsKey StatsKeyFromXml(const xml::Element& e) {
+  std::vector<std::string> columns;
+  for (const xml::Element* c : e.FindChildren("Column")) {
+    columns.push_back(c->text());
+  }
+  return stats::StatsKey(e.Attr("Database"), e.Attr("Table"),
+                         std::move(columns));
+}
+
+void TemplateToXml(const TemplateEntry& entry, xml::Element* parent) {
+  xml::Element* t = parent->AddChild("T");
+  t->SetAttr("Sig", U64Str(entry.signature));
+  t->SetAttr("First", U64Str(entry.first_seen));
+  t->SetAttr("Touch", U64Str(entry.touch_round));
+  t->SetAttr("W", HexStr(entry.weight));
+  t->AddTextChild("Text", entry.text);
+}
+
+TemplateEntry TemplateFromXml(const xml::Element& t) {
+  TemplateEntry entry;
+  entry.signature = ParseU64(t.Attr("Sig"));
+  entry.first_seen = ParseU64(t.Attr("First"));
+  entry.touch_round = ParseU64(t.Attr("Touch"));
+  entry.weight = ParseHexDouble(t.Attr("W"));
+  if (const xml::Element* text = t.FindChild("Text")) entry.text = text->text();
+  return entry;
+}
+
+}  // namespace
+
+ContinuousTuner::ContinuousTuner(Config config)
+    : config_(std::move(config)),
+      reader_(config_.max_line_bytes),
+      workload_(StreamWorkload::Config{config_.max_templates, config_.decay}) {
+}
+
+Status ContinuousTuner::Init() {
+  if (initialized_) {
+    return Status::FailedPrecondition("ContinuousTuner::Init called twice");
+  }
+  if (config_.server == nullptr) {
+    return Status::InvalidArgument("continuous tuning needs a server");
+  }
+  if (config_.retune_interval_events == 0 && config_.retune_interval_ms <= 0) {
+    return Status::InvalidArgument(
+        "continuous tuning needs a retune cadence (events and/or stream ms)");
+  }
+  if (config_.max_templates == 0) {
+    return Status::InvalidArgument("max_templates must be positive");
+  }
+  if (config_.decay <= 0 || config_.decay > 1) {
+    return Status::InvalidArgument("decay must be in (0, 1]");
+  }
+  if (!config_.checkpoint_path.empty()) {
+    auto log = ReadDeltaLog(config_.checkpoint_path);
+    if (log.ok()) {
+      DTA_RETURN_IF_ERROR(LoadFromLog());
+    } else if (log.status().code() != StatusCode::kNotFound) {
+      return log.status();
+    }
+  }
+  workload_.BeginRound(rounds_ + 1);
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status ContinuousTuner::Feed(std::string_view bytes) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("ContinuousTuner::Init must run first");
+  }
+  pending_.append(bytes.data(), bytes.size());
+  // One line at a time, so the reader's consumed-lines cursor is exact at
+  // every round boundary — a kill at a boundary resumes by skipping exactly
+  // the processed prefix.
+  while (!stopped_) {
+    const size_t nl = pending_.find('\n');
+    if (nl == std::string::npos) break;
+    const Status s = ProcessLine(std::string_view(pending_).substr(0, nl + 1));
+    pending_.erase(0, nl + 1);
+    if (!s.ok()) {
+      stopped_ = true;
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ContinuousTuner::Finish() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("ContinuousTuner::Init must run first");
+  }
+  if (!stopped_ && !pending_.empty()) {
+    reader_.Consume(pending_);
+    pending_.clear();
+  }
+  reader_.Finish();
+  return Status::Ok();
+}
+
+void ContinuousTuner::ConsumeFeedback(const std::string& text) {
+  feedback_.Consume(text);
+}
+
+Status ContinuousTuner::ProcessLine(std::string_view line_with_newline) {
+  reader_.Consume(line_with_newline);
+  if (reader_.poisoned()) {
+    return Status::InvalidArgument(
+        "capture stream poisoned: line exceeds the framing bound");
+  }
+  for (CaptureEvent& ev : reader_.Drain()) {
+    if (ev.kind == CaptureEvent::Kind::kTick) {
+      stream_ms_ += ev.tick_ms;
+    } else {
+      (void)workload_.Ingest(ev.text);
+    }
+    DTA_RETURN_IF_ERROR(MaybeRound());
+    if (stopped_) break;
+  }
+  return Status::Ok();
+}
+
+Status ContinuousTuner::MaybeRound() {
+  const bool events_due =
+      config_.retune_interval_events > 0 &&
+      workload_.events() - events_at_last_round_ >=
+          config_.retune_interval_events;
+  const bool time_due = config_.retune_interval_ms > 0 &&
+                        stream_ms_ - round_started_ms_ >=
+                            config_.retune_interval_ms;
+  if (!events_due && !time_due) return Status::Ok();
+  return RunRound();
+}
+
+Status ContinuousTuner::RunRound() {
+  const uint64_t round = rounds_ + 1;
+  DTA_TRACE_PHASE(config_.tracer, "stream_round");
+
+  feedback_.ApplyBefore(round, previous_recommendation_,
+                        config_.quarantine_rounds);
+
+  const workload::Workload wl = workload_.Snapshot();
+  const size_t parse_errors = workload_.parse_errors() +
+                              reader_.parse_errors();
+
+  std::string delta;
+  delta += "== round ";
+  AppendU64(&delta, round);
+  delta += " ==\n";
+  delta += "events=";
+  AppendU64(&delta, workload_.events());
+  delta += " templates=";
+  AppendU64(&delta, wl.size());
+  delta += " parse_errors=";
+  AppendU64(&delta, parse_errors);
+  delta += " evictions=";
+  AppendU64(&delta, workload_.evictions());
+  delta += " feedback(accepted=";
+  AppendU64(&delta, feedback_.accepted());
+  delta += " rejected=";
+  AppendU64(&delta, feedback_.rejected());
+  delta += " unknown=";
+  AppendU64(&delta, feedback_.unknown());
+  delta += ")\n";
+
+  memo_dirty_last_round_.clear();
+  created_stats_last_round_.clear();
+  memo_cleared_last_round_ = false;
+
+  if (wl.empty()) {
+    delta += "= no templates; tuning skipped\n";
+  } else {
+    TuningOptions opts = config_.options;
+    // The template table IS the compressed workload; per-round snapshots
+    // must not re-compress (weights would collapse).
+    opts.workload_compression = false;
+    // The delta log owns persistence; the per-round session never writes
+    // its own v2 checkpoints.
+    opts.checkpoint_path.clear();
+    opts.resume_path.clear();
+    opts.export_session_state = true;
+    // DBA feedback: pins join the user-specified configuration (duplicates
+    // with the base options tolerated), quarantines filter the pool.
+    for (const auto& ix : feedback_.pinned().indexes()) {
+      (void)opts.user_specified.AddIndex(ix);
+    }
+    for (const auto& v : feedback_.pinned().views()) {
+      (void)opts.user_specified.AddView(v);
+    }
+    for (const auto& [table, scheme] :
+         feedback_.pinned().table_partitioning()) {
+      opts.user_specified.SetTablePartitioning(table, scheme);
+    }
+    opts.quarantined_structures = feedback_.QuarantinedAt(round);
+
+    TuningSession session(config_.server, opts);
+    session.SetObservability(
+        {config_.metrics, config_.tracer, config_.clock});
+    session.SetTenantContext(config_.tenant);
+
+    // Seed the session from the cross-round memo: map text hashes onto this
+    // round's statement indexes (indexes shift as templates arrive and
+    // evict; text hashes do not). Memo order is deterministic, so the seed
+    // vector — and everything downstream — is too.
+    std::map<uint64_t, size_t> index_by_hash;
+    for (size_t i = 0; i < wl.statements().size(); ++i) {
+      index_by_hash[HashBytes(wl.statements()[i].text)] = i;
+    }
+    std::vector<CostService::CacheEntry> seed;
+    for (const auto& [key, entry] : memo_) {
+      auto it = index_by_hash.find(key.first);
+      if (it == index_by_hash.end()) continue;
+      CostService::CacheEntry ce;
+      ce.statement = it->second;
+      ce.fingerprint = key.second;
+      ce.cost = entry.cost;
+      ce.degraded = entry.degraded;
+      ce.derived = entry.derived;
+      seed.push_back(std::move(ce));
+    }
+    session.SetSeedCache(std::move(seed));
+
+    auto result = session.Tune(wl);
+    if (!result.ok()) return result.status();
+
+    // Recommendation delta vs the previous round, as sorted set differences
+    // over canonical structure names.
+    std::vector<std::string> prev_names =
+        StructureNames(previous_recommendation_);
+    std::vector<std::string> next_names =
+        StructureNames(result->recommendation);
+    std::sort(prev_names.begin(), prev_names.end());
+    std::sort(next_names.begin(), next_names.end());
+    std::vector<std::string> added;
+    std::vector<std::string> removed;
+    std::set_difference(next_names.begin(), next_names.end(),
+                        prev_names.begin(), prev_names.end(),
+                        std::back_inserter(added));
+    std::set_difference(prev_names.begin(), prev_names.end(),
+                        next_names.begin(), next_names.end(),
+                        std::back_inserter(removed));
+    for (const auto& name : added) delta += "+ " + name + "\n";
+    for (const auto& name : removed) delta += "- " + name + "\n";
+    if (added.empty() && removed.empty()) {
+      delta += "= no configuration change\n";
+    }
+    delta += "current_cost=" + HexStr(result->current_cost) +
+             " recommended_cost=" + HexStr(result->recommended_cost) +
+             StrFormat(" improvement=%.2f%%\n",
+                       result->ImprovementPercent());
+
+    // Fold the round's final cache into the memo. A round that created
+    // statistics cleared its cost cache mid-flight, so every older memo
+    // entry is suspect — rebuild the memo from this round's final state
+    // (self-limiting: statistics only appear when new templates bring new
+    // candidate columns). Otherwise merge last-wins, tracking exactly what
+    // changed — that set is the round's checkpoint segment.
+    if (!result->created_stats.empty()) {
+      memo_cleared_last_round_ = true;
+      memo_.clear();
+    }
+    for (const auto& e : result->final_cache) {
+      const MemoKey key(HashBytes(wl.statements()[e.statement].text),
+                        e.fingerprint);
+      MemoEntry entry;
+      entry.cost = e.cost;
+      entry.degraded = e.degraded;
+      entry.derived = e.derived;
+      auto it = memo_.find(key);
+      if (it != memo_.end() && it->second.cost == entry.cost &&
+          it->second.degraded == entry.degraded &&
+          it->second.derived == entry.derived) {
+        continue;
+      }
+      memo_[key] = entry;
+      if (!memo_cleared_last_round_) memo_dirty_last_round_.push_back(key);
+    }
+    std::sort(memo_dirty_last_round_.begin(), memo_dirty_last_round_.end());
+    created_stats_last_round_ = result->created_stats;
+    for (const auto& key : result->created_stats) {
+      created_stats_.push_back(key);
+    }
+
+    delta += "whatif_calls=";
+    AppendU64(&delta, result->whatif_calls);
+    delta += " seeded=";
+    AppendU64(&delta, result->seeded_cache_entries);
+    delta += " quarantined=";
+    AppendU64(&delta, result->quarantined_candidates);
+    delta += " pinned=";
+    AppendU64(&delta, StructureCount(feedback_.pinned()));
+    delta += " memo=";
+    AppendU64(&delta, memo_.size());
+    delta += "\n";
+
+    previous_recommendation_ = result->recommendation;
+  }
+
+  // Round boundary: advance the cadence cursors and the decay epoch before
+  // checkpointing, so the snapshot restores to exactly this state. Taking
+  // the dirty/evicted template sets every round (checkpointing or not)
+  // keeps them bounded by per-round churn.
+  rounds_ = round;
+  events_at_last_round_ = workload_.events();
+  round_started_ms_ = stream_ms_;
+  workload_.BeginRound(round + 1);
+  dirty_templates_last_round_ = workload_.TakeDirty();
+  evicted_templates_last_round_ = workload_.TakeEvicted();
+
+  delta_text_ += delta;
+  if (config_.delta_sink) config_.delta_sink(delta);
+
+  DTA_RETURN_IF_ERROR(WriteCheckpoint(/*force_base=*/false, EncodeSegment()));
+  ExportRoundMetrics();
+
+  if (max_rounds_ != 0 && rounds_ >= max_rounds_) stopped_ = true;
+  return Status::Ok();
+}
+
+// ---- Delta-log serialization ----------------------------------------------
+
+namespace {
+
+// Front-coded memo blob: "texthash cost flags shared suffix" per line, the
+// fingerprint suffix front-coded against the previous line (the same codec
+// as the v2 checkpoint's CostCache blob, keyed by text hash instead of
+// statement index).
+void AppendMemoLine(std::string* blob, uint64_t hash, double cost,
+                    unsigned flags, const std::string& fingerprint,
+                    const std::string** prev) {
+  size_t shared = 0;
+  if (*prev != nullptr) {
+    const size_t limit = std::min((*prev)->size(), fingerprint.size());
+    while (shared < limit && (**prev)[shared] == fingerprint[shared]) {
+      ++shared;
+    }
+  }
+  AppendU64(blob, hash);
+  blob->push_back(' ');
+  AppendHexDouble(blob, cost);
+  blob->push_back(' ');
+  AppendU64(blob, flags);
+  blob->push_back(' ');
+  AppendU64(blob, shared);
+  blob->push_back(' ');
+  blob->append(fingerprint.data() + shared, fingerprint.size() - shared);
+  blob->push_back('\n');
+  *prev = &fingerprint;
+}
+
+Status DecodeMemoBlob(
+    const std::string& blob,
+    std::vector<std::pair<std::pair<uint64_t, std::string>, double>>* keys,
+    std::vector<unsigned>* flags) {
+  const char* p = blob.c_str();
+  const char* end = p + blob.size();
+  std::string prev_fp;
+  while (p < end) {
+    char* q = nullptr;
+    const uint64_t hash = std::strtoull(p, &q, 10);
+    const double cost = std::strtod(q, &q);
+    const unsigned f = static_cast<unsigned>(std::strtoul(q, &q, 10));
+    const size_t shared = static_cast<size_t>(std::strtoull(q, &q, 10));
+    if (q < end && *q == ' ') ++q;
+    const char* nl = static_cast<const char*>(
+        std::memchr(q, '\n', static_cast<size_t>(end - q)));
+    if (nl == nullptr) nl = end;
+    if (q > nl || shared > prev_fp.size()) {
+      return Status::InvalidArgument("stream checkpoint has a malformed "
+                                     "memo line");
+    }
+    std::string fp;
+    fp.assign(prev_fp, 0, shared);
+    fp.append(q, static_cast<size_t>(nl - q));
+    prev_fp = fp;
+    keys->emplace_back(std::make_pair(hash, std::move(fp)), cost);
+    flags->push_back(f);
+    p = nl + 1;
+  }
+  return Status::Ok();
+}
+
+void FeedbackToXml(const FeedbackState& feedback, xml::Element* root) {
+  xml::Element* pinned = root->AddChild("Pinned");
+  pinned->AddChild(ConfigurationToXml(feedback.pinned()));
+  xml::Element* quarantine = root->AddChild("Quarantine");
+  for (const auto& [name, expires] : feedback.quarantine()) {
+    xml::Element* q = quarantine->AddChild("Q");
+    q->SetAttr("Expires", U64Str(expires));
+    q->AddTextChild("Name", name);
+  }
+  xml::Element* pending = root->AddChild("PendingFeedback");
+  for (const auto& d : feedback.pending()) {
+    xml::Element* f = pending->AddChild("F");
+    f->SetAttr("Round", U64Str(d.round));
+    f->SetAttr("Accept", d.accept ? "true" : "false");
+    f->AddTextChild("Target", d.target);
+  }
+  root->SetAttr("FeedbackConsumed", U64Str(feedback.consumed_lines()));
+  root->SetAttr("FeedbackAccepted", U64Str(feedback.accepted()));
+  root->SetAttr("FeedbackRejected", U64Str(feedback.rejected()));
+  root->SetAttr("FeedbackUnknown", U64Str(feedback.unknown()));
+}
+
+Result<catalog::Configuration> ConfigurationFromParent(
+    const xml::Element& root, const char* name) {
+  const xml::Element* parent = root.FindChild(name);
+  if (parent == nullptr) return catalog::Configuration();
+  const xml::Element* cfg = parent->FindChild("Configuration");
+  if (cfg == nullptr) return catalog::Configuration();
+  return ConfigurationFromXml(*cfg);
+}
+
+}  // namespace
+
+std::string ContinuousTuner::EncodeBase() const {
+  xml::Element root("DTAStream");
+  root.SetAttr("Version", "3");
+  root.SetAttr("Fingerprint", U64Str(StreamFingerprint(config_)));
+  root.SetAttr("Round", U64Str(rounds_));
+  root.SetAttr("LinesConsumed", U64Str(reader_.lines_consumed()));
+  root.SetAttr("Events", U64Str(workload_.events()));
+  root.SetAttr("SqlParseErrors", U64Str(workload_.parse_errors()));
+  root.SetAttr("DirectiveErrors", U64Str(reader_.parse_errors()));
+  root.SetAttr("TornLines", U64Str(reader_.torn_lines()));
+  root.SetAttr("NextOrdinal", U64Str(workload_.next_ordinal()));
+  root.SetAttr("Evictions", U64Str(workload_.evictions()));
+  root.SetAttr("StreamMs", HexStr(stream_ms_));
+
+  xml::Element* templates = root.AddChild("Templates");
+  for (const auto& [sig, entry] : workload_.entries()) {
+    TemplateToXml(entry, templates);
+  }
+
+  std::string blob;
+  const std::string* prev = nullptr;
+  for (const auto& [key, entry] : memo_) {
+    AppendMemoLine(&blob, key.first, entry.cost,
+                   (entry.degraded ? 1u : 0u) | (entry.derived ? 2u : 0u),
+                   key.second, &prev);
+  }
+  if (!blob.empty()) blob.pop_back();
+  root.AddTextChild("Memo", std::move(blob));
+
+  xml::Element* created = root.AddChild("CreatedStats");
+  for (const auto& key : created_stats_) StatsKeyToXml(key, created);
+
+  xml::Element* rec = root.AddChild("Recommendation");
+  rec->AddChild(ConfigurationToXml(previous_recommendation_));
+  FeedbackToXml(feedback_, &root);
+  return root.ToString(/*prolog=*/true);
+}
+
+std::string ContinuousTuner::EncodeSegment() const {
+  xml::Element root("DTAStreamDelta");
+  root.SetAttr("Round", U64Str(rounds_));
+  root.SetAttr("LinesConsumed", U64Str(reader_.lines_consumed()));
+  root.SetAttr("Events", U64Str(workload_.events()));
+  root.SetAttr("SqlParseErrors", U64Str(workload_.parse_errors()));
+  root.SetAttr("DirectiveErrors", U64Str(reader_.parse_errors()));
+  root.SetAttr("TornLines", U64Str(reader_.torn_lines()));
+  root.SetAttr("NextOrdinal", U64Str(workload_.next_ordinal()));
+  root.SetAttr("Evictions", U64Str(workload_.evictions()));
+  root.SetAttr("StreamMs", HexStr(stream_ms_));
+  root.SetAttr("MemoCleared", memo_cleared_last_round_ ? "true" : "false");
+
+  // Only the templates this round touched travel; evictions as signatures.
+  // (TakeDirty/TakeEvicted are consumed by RunRound's caller — here we hold
+  // the taken copies.)
+  xml::Element* templates = root.AddChild("Templates");
+  for (uint64_t sig : dirty_templates_last_round_) {
+    auto it = workload_.entries().find(sig);
+    if (it != workload_.entries().end()) TemplateToXml(it->second, templates);
+  }
+  xml::Element* evicted = root.AddChild("EvictedTemplates");
+  for (uint64_t sig : evicted_templates_last_round_) {
+    evicted->AddChild("E")->SetAttr("Sig", U64Str(sig));
+  }
+
+  // Memo delta: the changed entries — or the full memo after a clear.
+  std::string blob;
+  const std::string* prev = nullptr;
+  if (memo_cleared_last_round_) {
+    for (const auto& [key, entry] : memo_) {
+      AppendMemoLine(&blob, key.first, entry.cost,
+                     (entry.degraded ? 1u : 0u) | (entry.derived ? 2u : 0u),
+                     key.second, &prev);
+    }
+  } else {
+    for (const auto& key : memo_dirty_last_round_) {
+      auto it = memo_.find(key);
+      if (it == memo_.end()) continue;
+      const MemoEntry& entry = it->second;
+      AppendMemoLine(&blob, key.first, entry.cost,
+                     (entry.degraded ? 1u : 0u) | (entry.derived ? 2u : 0u),
+                     key.second, &prev);
+    }
+  }
+  if (!blob.empty()) blob.pop_back();
+  root.AddTextChild("Memo", std::move(blob));
+
+  xml::Element* created = root.AddChild("CreatedStats");
+  for (const auto& key : created_stats_last_round_) {
+    StatsKeyToXml(key, created);
+  }
+
+  // Small, bounded state — carried whole: the recommendation and the
+  // feedback tables are O(recommendation), not O(cache).
+  xml::Element* rec = root.AddChild("Recommendation");
+  rec->AddChild(ConfigurationToXml(previous_recommendation_));
+  FeedbackToXml(feedback_, &root);
+  return root.ToString(/*prolog=*/true);
+}
+
+Status ContinuousTuner::WriteCheckpoint(bool force_base,
+                                        const std::string& segment) {
+  if (config_.checkpoint_path.empty()) return Status::Ok();
+  if (!base_written_ || force_base) {
+    const std::string base = EncodeBase();
+    DTA_RETURN_IF_ERROR(WriteDeltaBase(config_.checkpoint_path, base));
+    base_written_ = true;
+    segment_bytes_since_base_ = 0;
+    base_bytes_history_.push_back(base.size());
+    return Status::Ok();
+  }
+  size_t appended = 0;
+  DTA_RETURN_IF_ERROR(
+      AppendDeltaSegment(config_.checkpoint_path, segment, &appended));
+  ++segments_written_;
+  delta_bytes_history_.push_back(appended);
+  segment_bytes_since_base_ += appended;
+  if (segment_bytes_since_base_ > config_.compact_threshold_bytes) {
+    // Compaction: fold every segment back into one base record. O(total
+    // state), amortized by the byte threshold that triggered it.
+    const std::string base = EncodeBase();
+    DTA_RETURN_IF_ERROR(WriteDeltaBase(config_.checkpoint_path, base));
+    segment_bytes_since_base_ = 0;
+    base_bytes_history_.push_back(base.size());
+    ++compactions_;
+  }
+  return Status::Ok();
+}
+
+Status ContinuousTuner::LoadFromLog() {
+  auto log = ReadDeltaLog(config_.checkpoint_path);
+  if (!log.ok()) return log.status();
+  dropped_records_ = log->dropped_records;
+
+  auto parsed = xml::Parse(log->base);
+  if (!parsed.ok()) return parsed.status();
+  const xml::Element& root = **parsed;
+  if (root.name() != "DTAStream" || root.Attr("Version") != "3") {
+    return Status::InvalidArgument("not a v3 DTAStream base record");
+  }
+  if (ParseU64(root.Attr("Fingerprint")) != StreamFingerprint(config_)) {
+    return Status::FailedPrecondition(
+        "delta log was written under different tuning options or stream "
+        "parameters; refusing to resume");
+  }
+  DTA_RETURN_IF_ERROR(ApplyStateXml(root, /*is_base=*/true));
+  for (const std::string& segment : log->segments) {
+    auto seg = xml::Parse(segment);
+    if (!seg.ok()) return seg.status();
+    if ((*seg)->name() != "DTAStreamDelta") {
+      return Status::InvalidArgument("not a DTAStreamDelta segment record");
+    }
+    DTA_RETURN_IF_ERROR(ApplyStateXml(**seg, /*is_base=*/false));
+  }
+
+  // The restored memo was priced under the statistics the original service
+  // created; re-create them on this (fresh) server before the first round
+  // — statistics builds are deterministic in the data, so the rebuilt
+  // statistics match and the memo stays valid. Per-round sessions then find
+  // them present and never clear the seeded cache.
+  for (const auto& key : created_stats_) {
+    if (!config_.server->HasStatistics(key)) {
+      // Same tolerance as session resume: a table that cannot produce
+      // statistics was skipped by the original run too.
+      (void)config_.server->CreateStatistics(key);
+    }
+  }
+
+  // Re-feeding the same capture: skip the already-processed prefix and
+  // restore the reader's error totals (skipped lines re-produce nothing).
+  reader_.SkipLines(restored_lines_consumed_);
+  resumed_ = true;
+  base_written_ = true;
+  // Appending resumes where the log stands; compaction bookkeeping restarts
+  // conservatively (worst case: one early compaction after resume).
+  segment_bytes_since_base_ = 0;
+  for (const std::string& segment : log->segments) {
+    segment_bytes_since_base_ += segment.size();
+  }
+  return Status::Ok();
+}
+
+Status ContinuousTuner::ApplyStateXml(const xml::Element& root, bool is_base) {
+  if (!is_base) {
+    // Segment evictions first, then upserts — an evicted-then-reinserted
+    // template must survive.
+    if (const xml::Element* evicted = root.FindChild("EvictedTemplates")) {
+      for (const xml::Element* e : evicted->FindChildren("E")) {
+        workload_.EraseEntry(ParseU64(e->Attr("Sig")));
+      }
+    }
+  }
+  if (const xml::Element* templates = root.FindChild("Templates")) {
+    for (const xml::Element* t : templates->FindChildren("T")) {
+      workload_.RestoreEntry(TemplateFromXml(*t));
+    }
+  }
+  workload_.RestoreCounters(ParseU64(root.Attr("NextOrdinal")),
+                            ParseU64(root.Attr("Events")),
+                            ParseU64(root.Attr("SqlParseErrors")),
+                            ParseU64(root.Attr("Evictions")));
+  reader_.RestoreCounters(ParseU64(root.Attr("DirectiveErrors")),
+                          ParseU64(root.Attr("TornLines")));
+  restored_lines_consumed_ = ParseU64(root.Attr("LinesConsumed"));
+  stream_ms_ = ParseHexDouble(root.Attr("StreamMs"));
+  round_started_ms_ = stream_ms_;
+  events_at_last_round_ = workload_.events();
+  rounds_ = ParseU64(root.Attr("Round"));
+
+  if (const xml::Element* memo = root.FindChild("Memo")) {
+    const bool cleared =
+        is_base || root.Attr("MemoCleared") == "true";
+    if (cleared) memo_.clear();
+    std::vector<std::pair<std::pair<uint64_t, std::string>, double>> keys;
+    std::vector<unsigned> flags;
+    DTA_RETURN_IF_ERROR(DecodeMemoBlob(memo->text(), &keys, &flags));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      MemoEntry entry;
+      entry.cost = keys[i].second;
+      entry.degraded = (flags[i] & 1) != 0;
+      entry.derived = (flags[i] & 2) != 0;
+      memo_[keys[i].first] = entry;
+    }
+  }
+
+  if (const xml::Element* created = root.FindChild("CreatedStats")) {
+    for (const xml::Element* s : created->FindChildren("Stats")) {
+      created_stats_.push_back(StatsKeyFromXml(*s));
+    }
+  }
+
+  auto rec = ConfigurationFromParent(root, "Recommendation");
+  if (!rec.ok()) return rec.status();
+  previous_recommendation_ = std::move(rec).value();
+
+  auto pinned = ConfigurationFromParent(root, "Pinned");
+  if (!pinned.ok()) return pinned.status();
+  std::map<std::string, uint64_t> quarantine;
+  if (const xml::Element* q = root.FindChild("Quarantine")) {
+    for (const xml::Element* e : q->FindChildren("Q")) {
+      const xml::Element* name = e->FindChild("Name");
+      if (name != nullptr) {
+        quarantine[name->text()] = ParseU64(e->Attr("Expires"));
+      }
+    }
+  }
+  std::vector<FeedbackDirective> pending;
+  if (const xml::Element* p = root.FindChild("PendingFeedback")) {
+    for (const xml::Element* f : p->FindChildren("F")) {
+      FeedbackDirective d;
+      d.round = ParseU64(f->Attr("Round"));
+      d.accept = f->Attr("Accept") == "true";
+      if (const xml::Element* target = f->FindChild("Target")) {
+        d.target = target->text();
+      }
+      pending.push_back(std::move(d));
+    }
+  }
+  feedback_.Restore(std::move(pinned).value(), std::move(quarantine),
+                    std::move(pending), ParseU64(root.Attr("FeedbackConsumed")),
+                    ParseU64(root.Attr("FeedbackAccepted")),
+                    ParseU64(root.Attr("FeedbackRejected")),
+                    ParseU64(root.Attr("FeedbackUnknown")));
+  return Status::Ok();
+}
+
+void ContinuousTuner::ExportRoundMetrics() {
+  if (config_.metrics == nullptr) return;
+  MetricsRegistry* m = config_.metrics;
+  const size_t events = workload_.events();
+  const size_t parse = workload_.parse_errors() + reader_.parse_errors();
+  const size_t evictions = workload_.evictions();
+  m->GetCounter("stream.events")->Increment(events - exported_.events);
+  m->GetCounter("stream.parse_errors")->Increment(parse - exported_.parse);
+  m->GetCounter("stream.rounds")->Increment(1);
+  m->GetCounter("stream.feedback.accepted")
+      ->Increment(feedback_.accepted() - exported_.accepted);
+  m->GetCounter("stream.feedback.rejected")
+      ->Increment(feedback_.rejected() - exported_.rejected);
+  m->GetCounter("stream.feedback.unknown")
+      ->Increment(feedback_.unknown() - exported_.unknown);
+  m->GetCounter("stream.evictions")->Increment(evictions - exported_.evictions);
+  m->GetCounter("stream.checkpoint.segments")
+      ->Increment(segments_written_ - exported_.segments);
+  m->GetCounter("stream.checkpoint.compactions")
+      ->Increment(compactions_ - exported_.compactions);
+  exported_.events = events;
+  exported_.parse = parse;
+  exported_.accepted = feedback_.accepted();
+  exported_.rejected = feedback_.rejected();
+  exported_.unknown = feedback_.unknown();
+  exported_.evictions = evictions;
+  exported_.segments = segments_written_;
+  exported_.compactions = compactions_;
+
+  m->GetGauge("stream.templates")
+      ->Set(static_cast<double>(workload_.entries().size()));
+  m->GetGauge("stream.memo.entries")->Set(static_cast<double>(memo_.size()));
+  if (!delta_bytes_history_.empty()) {
+    double total = 0;
+    for (size_t b : delta_bytes_history_) total += static_cast<double>(b);
+    m->GetGauge("stream.checkpoint.delta_bytes_per_round")
+        ->Set(total / static_cast<double>(delta_bytes_history_.size()));
+    m->GetGauge("stream.checkpoint.delta_bytes_last_round")
+        ->Set(static_cast<double>(delta_bytes_history_.back()));
+  }
+}
+
+}  // namespace dta::tuner::stream

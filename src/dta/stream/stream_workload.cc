@@ -1,0 +1,126 @@
+#include "dta/stream/stream_workload.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/signature.h"
+
+namespace dta::tuner::stream {
+
+bool StreamWorkload::Ingest(const std::string& text) {
+  auto stmt = sql::ParseStatement(text);
+  if (!stmt.ok()) {
+    ++parse_errors_;
+    return false;
+  }
+  ++events_;
+  const uint64_t signature = sql::SignatureHash(*stmt);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    TemplateEntry entry;
+    entry.signature = signature;
+    entry.text = sql::ToSql(*stmt);
+    entry.weight = 1.0;
+    entry.first_seen = next_ordinal_++;
+    entry.touch_round = round_;
+    entries_.emplace(signature, std::move(entry));
+    dirty_[signature] = true;
+    if (entries_.size() > config_.max_templates) EvictLightest();
+  } else {
+    TemplateEntry& entry = it->second;
+    // Roll the stored weight forward to the current epoch, then add the
+    // event — from here the entry is "as of" this round.
+    entry.weight = EffectiveWeight(entry) + 1.0;
+    entry.touch_round = round_;
+    dirty_[signature] = true;
+  }
+  return true;
+}
+
+void StreamWorkload::BeginRound(uint64_t round) {
+  DTA_CHECK(round >= round_, "stream round epochs are monotonic");
+  round_ = round;
+}
+
+double StreamWorkload::EffectiveWeight(const TemplateEntry& e) const {
+  double w = e.weight;
+  if (config_.decay != 1.0) {
+    // Repeated multiplication, not std::pow: the same operation sequence on
+    // every platform and on every resume, so weights stay bit-identical.
+    for (uint64_t r = e.touch_round; r < round_; ++r) w *= config_.decay;
+  }
+  return w;
+}
+
+workload::Workload StreamWorkload::Snapshot() const {
+  // Statements enter the workload in first-arrival order — stable across
+  // rounds, so statement indexes (which key the cost cache) only ever shift
+  // when a template is evicted or newly arrives.
+  std::map<uint64_t, const TemplateEntry*> by_arrival;
+  for (const auto& [sig, entry] : entries_) {
+    by_arrival.emplace(entry.first_seen, &entry);
+  }
+  workload::Workload out;
+  for (const auto& [ordinal, entry] : by_arrival) {
+    auto stmt = sql::ParseStatement(entry->text);
+    DTA_CHECK(stmt.ok(), "stored template text must re-parse");
+    out.Add(std::move(*stmt), EffectiveWeight(*entry));
+  }
+  return out;
+}
+
+std::vector<uint64_t> StreamWorkload::TakeDirty() {
+  std::vector<uint64_t> out;
+  out.reserve(dirty_.size());
+  for (const auto& [sig, touched] : dirty_) {
+    // An entry both inserted and evicted between takes is no longer in the
+    // table; the eviction list covers it.
+    if (touched && entries_.count(sig) != 0) out.push_back(sig);
+  }
+  dirty_.clear();
+  return out;
+}
+
+std::vector<uint64_t> StreamWorkload::TakeEvicted() {
+  return std::move(evicted_);
+}
+
+void StreamWorkload::RestoreEntry(TemplateEntry entry) {
+  if (entry.first_seen >= next_ordinal_) next_ordinal_ = entry.first_seen + 1;
+  entries_[entry.signature] = std::move(entry);
+}
+
+void StreamWorkload::RestoreCounters(uint64_t next_ordinal, size_t events,
+                                     size_t parse_errors, size_t evictions) {
+  // The ordinal counter can exceed the max restored first_seen when the
+  // most recent arrivals were evicted; restore it exactly.
+  if (next_ordinal > next_ordinal_) next_ordinal_ = next_ordinal;
+  events_ = events;
+  parse_errors_ = parse_errors;
+  evictions_ = evictions;
+}
+
+void StreamWorkload::EvictLightest() {
+  // Lowest effective weight loses; ties evict the youngest (largest
+  // first_seen) — long-lived templates have earned their seat.
+  auto victim = entries_.end();
+  double victim_weight = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const double w = EffectiveWeight(it->second);
+    if (victim == entries_.end() || w < victim_weight ||
+        (w == victim_weight &&
+         it->second.first_seen > victim->second.first_seen)) {
+      victim = it;
+      victim_weight = w;
+    }
+  }
+  DTA_CHECK(victim != entries_.end(), "eviction from a non-empty table");
+  evicted_.push_back(victim->first);
+  dirty_[victim->first] = true;
+  entries_.erase(victim);
+  ++evictions_;
+}
+
+}  // namespace dta::tuner::stream

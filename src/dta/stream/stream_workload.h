@@ -1,0 +1,116 @@
+// Incrementally maintained compressed workload (continuous tuning service).
+//
+// The one-shot pipeline compresses a workload once, up front (§5.1): equal
+// template signatures collapse into one weighted representative. A stream
+// has no "up front", so this table maintains the compressed form
+// incrementally: one entry per template signature, weight = (decayed) event
+// count, bounded at `max_templates` entries with deterministic eviction of
+// the lightest template.
+//
+// Recency decay without O(table) work per round — the epoch trick: an
+// entry stores its weight as of the round it was last touched
+// (`touch_round`); its effective weight at round R is
+//
+//   weight * decay^(R - touch_round)
+//
+// computed on demand (by repeated multiplication — identical operation
+// sequence everywhere, unlike std::pow). A round boundary therefore never
+// rewrites untouched entries; only entries actually touched by new events
+// change state, which is what keeps per-round checkpoint deltas O(new
+// work). Ingesting into an entry from an older epoch first rolls its weight
+// forward to the current round, then adds the event.
+//
+// Everything is deterministic in the event sequence: the table is a
+// std::map over signatures, eviction breaks weight ties by evicting the
+// youngest entry (largest first_seen — old templates have earned their
+// seat), and snapshots order statements by first arrival. State
+// round-trips bit-exactly through RestoreEntry (weights travel as hex
+// floats in the checkpoint layer above).
+
+#ifndef DTA_DTA_STREAM_STREAM_WORKLOAD_H_
+#define DTA_DTA_STREAM_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace dta::tuner::stream {
+
+struct TemplateEntry {
+  uint64_t signature = 0;
+  std::string text;          // normalized SQL of the first-arrived instance
+  double weight = 0;         // raw weight, valid as of `touch_round`
+  uint64_t first_seen = 0;   // global arrival ordinal (snapshot order)
+  uint64_t touch_round = 0;  // epoch of `weight`
+};
+
+class StreamWorkload {
+ public:
+  struct Config {
+    size_t max_templates = 256;
+    // Per-round multiplicative decay of template weights; 1 disables decay.
+    double decay = 1.0;
+  };
+
+  explicit StreamWorkload(Config config) : config_(config) {}
+
+  // Parses one captured SQL line and folds it into the template table.
+  // Returns false (and counts a parse error) on unparseable SQL — one bad
+  // line never takes down the service.
+  bool Ingest(const std::string& text);
+
+  // Advances the decay epoch. Monotonic; called once per tuning round.
+  void BeginRound(uint64_t round);
+  uint64_t round() const { return round_; }
+
+  // The compressed workload as of now: statements ordered by first arrival,
+  // weighted by effective (decayed) weight. Re-parses the stored normalized
+  // texts; parsing its own printer output cannot fail.
+  workload::Workload Snapshot() const;
+
+  // Effective weight of `e` at the current round.
+  double EffectiveWeight(const TemplateEntry& e) const;
+
+  const std::map<uint64_t, TemplateEntry>& entries() const {
+    return entries_;
+  }
+
+  // Checkpoint-delta support: signatures inserted or updated since the last
+  // take (sorted — std::set-free because the map is ordered), and
+  // signatures evicted since the last take. Taking clears the sets.
+  std::vector<uint64_t> TakeDirty();
+  std::vector<uint64_t> TakeEvicted();
+
+  // Restores one entry verbatim (checkpoint load). Also advances the
+  // arrival-ordinal counter past first_seen so new arrivals stay unique.
+  void RestoreEntry(TemplateEntry entry);
+  // Removes one entry (checkpoint load: applies a segment's evictions).
+  void EraseEntry(uint64_t signature) { entries_.erase(signature); }
+  void RestoreCounters(uint64_t next_ordinal, size_t events,
+                       size_t parse_errors, size_t evictions);
+
+  size_t events() const { return events_; }
+  size_t parse_errors() const { return parse_errors_; }
+  size_t evictions() const { return evictions_; }
+  uint64_t next_ordinal() const { return next_ordinal_; }
+
+ private:
+  void EvictLightest();
+
+  Config config_;
+  std::map<uint64_t, TemplateEntry> entries_;
+  std::map<uint64_t, bool> dirty_;    // signature -> touched since last take
+  std::vector<uint64_t> evicted_;     // since last take, in eviction order
+  uint64_t round_ = 0;
+  uint64_t next_ordinal_ = 0;
+  size_t events_ = 0;
+  size_t parse_errors_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace dta::tuner::stream
+
+#endif  // DTA_DTA_STREAM_STREAM_WORKLOAD_H_

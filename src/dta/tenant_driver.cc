@@ -93,9 +93,10 @@ size_t AdmissionController::waits() const {
   return waits_;
 }
 
-Result<std::vector<TenantOutcome>> TenantDriver::Run(
+Status TenantDriver::ValidateTenants(
     const std::vector<TenantSpec>& tenants,
-    const std::vector<server::Server*>& servers) {
+    const std::vector<server::Server*>& servers,
+    bool require_workloads) const {
   if (tenants.empty()) {
     return Status::InvalidArgument("tenant driver needs at least one tenant");
   }
@@ -105,7 +106,7 @@ Result<std::vector<TenantOutcome>> TenantDriver::Run(
         servers.size()));
   }
   for (size_t i = 0; i < tenants.size(); ++i) {
-    if (tenants[i].workload == nullptr) {
+    if (require_workloads && tenants[i].workload == nullptr) {
       return Status::InvalidArgument(
           StrFormat("tenant '%s' has no workload", tenants[i].name.c_str()));
     }
@@ -120,6 +121,14 @@ Result<std::vector<TenantOutcome>> TenantDriver::Run(
       }
     }
   }
+  return Status::Ok();
+}
+
+Result<std::vector<TenantOutcome>> TenantDriver::Run(
+    const std::vector<TenantSpec>& tenants,
+    const std::vector<server::Server*>& servers) {
+  Status valid = ValidateTenants(tenants, servers, /*require_workloads=*/true);
+  if (!valid.ok()) return valid;
 
   AdmissionController admission(options_.admission);
   std::vector<int> ids;
@@ -158,6 +167,85 @@ Result<std::vector<TenantOutcome>> TenantDriver::Run(
       auto result = session.Tune(*spec.workload);
       outcomes[i].status = result.status();
       if (result.ok()) outcomes[i].result = std::move(result).value();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (options_.metrics != nullptr) {
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      options_.metrics->MergeFrom(*registries[i],
+                                  "tenant." + tenants[i].name + ".");
+    }
+  }
+  admission_waits_ = admission.waits();
+  admission_peak_ = admission.peak_inflight();
+  return outcomes;
+}
+
+Result<std::vector<ContinuousTenantOutcome>> TenantDriver::RunContinuous(
+    const std::vector<TenantSpec>& tenants,
+    const std::vector<server::Server*>& servers,
+    const ContinuousFleetSpec& fleet) {
+  Status valid =
+      ValidateTenants(tenants, servers, /*require_workloads=*/false);
+  if (!valid.ok()) return valid;
+  if (fleet.retune_interval_events == 0 && fleet.retune_interval_ms <= 0) {
+    return Status::InvalidArgument(
+        "continuous fleet needs a retune cadence (events and/or ms)");
+  }
+
+  AdmissionController admission(options_.admission);
+  std::vector<int> ids;
+  ids.reserve(tenants.size());
+  for (const TenantSpec& spec : tenants) {
+    ids.push_back(admission.RegisterTenant(spec.name, spec.weight));
+  }
+
+  std::vector<std::unique_ptr<MetricsRegistry>> registries;
+  registries.reserve(tenants.size());
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    registries.push_back(options_.metrics != nullptr
+                             ? std::make_unique<MetricsRegistry>()
+                             : nullptr);
+  }
+
+  std::vector<ContinuousTenantOutcome> outcomes(tenants.size());
+  std::vector<std::thread> threads;
+  threads.reserve(tenants.size());
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    threads.emplace_back([&, i] {
+      const TenantSpec& spec = tenants[i];
+      outcomes[i].name = spec.name;
+      stream::ContinuousTuner::Config config;
+      config.server = servers[i];
+      config.options = spec.options;
+      config.retune_interval_events = fleet.retune_interval_events;
+      config.retune_interval_ms = fleet.retune_interval_ms;
+      config.max_templates = fleet.max_templates;
+      config.decay = fleet.decay;
+      config.quarantine_rounds = fleet.quarantine_rounds;
+      if (!fleet.checkpoint_prefix.empty()) {
+        config.checkpoint_path =
+            fleet.checkpoint_prefix + ".tenant." + spec.name;
+      }
+      config.compact_threshold_bytes = fleet.compact_threshold_bytes;
+      config.metrics = registries[i].get();
+      config.clock = options_.clock;
+      config.tenant.name = spec.name;
+      config.tenant.admission = &admission;
+      config.tenant.tenant_id = ids[i];
+      stream::ContinuousTuner service(std::move(config));
+      Status status = service.Init();
+      if (status.ok()) {
+        service.ConsumeFeedback(fleet.feedback);
+        status = service.Feed(fleet.capture);
+      }
+      if (status.ok()) status = service.Finish();
+      outcomes[i].status = status;
+      outcomes[i].delta_text = service.delta_text();
+      outcomes[i].rounds = service.rounds();
+      outcomes[i].resumed = service.resumed();
+      outcomes[i].recommendation = service.recommendation();
     });
   }
   for (std::thread& t : threads) t.join();

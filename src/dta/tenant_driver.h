@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "dta/cost_service.h"
+#include "dta/stream/continuous.h"
 #include "dta/tuning_session.h"
 #include "server/server.h"
 #include "workload/workload.h"
@@ -164,6 +165,32 @@ struct TenantDriverOptions {
   const Clock* clock = nullptr;
 };
 
+// Continuous-service parameters shared by every tenant of a RunContinuous
+// fleet: the capture every tenant ingests, the retune cadence, and the
+// stream-state bounds (see dta/stream/continuous.h for semantics).
+struct ContinuousFleetSpec {
+  std::string capture;   // full capture text, fed to every tenant
+  std::string feedback;  // feedback file contents (consumed before feeding)
+  size_t retune_interval_events = 0;
+  double retune_interval_ms = 0;
+  size_t max_templates = 256;
+  double decay = 1.0;
+  uint64_t quarantine_rounds = 3;
+  // When non-empty, tenant `name` checkpoints (and resumes from) the delta
+  // log at "<prefix>.tenant.<name>" — per-tenant logs, never shared.
+  std::string checkpoint_prefix;
+  size_t compact_threshold_bytes = 256 * 1024;
+};
+
+struct ContinuousTenantOutcome {
+  std::string name;
+  Status status;  // the service's terminal status
+  std::string delta_text;
+  uint64_t rounds = 0;
+  bool resumed = false;
+  catalog::Configuration recommendation;
+};
+
 // Runs every tenant's session concurrently and returns their outcomes in
 // tenant order. `servers[i]` is tenant i's production server; tenants and
 // servers must align. A tenant whose session fails reports its status in
@@ -177,11 +204,29 @@ class TenantDriver {
       const std::vector<TenantSpec>& tenants,
       const std::vector<server::Server*>& servers);
 
+  // Continuous-service mode: every tenant runs its own ContinuousTuner over
+  // the same capture stream, against its own server, under the shared
+  // admission controller — one thread per tenant, per-round parallelism
+  // inside each tenant's sessions. TenantSpec::workload is ignored (the
+  // capture IS the workload); everything else (options, weight, name)
+  // applies as in Run. The isolation argument carries over verbatim: each
+  // tenant's per-round delta text is byte-identical to a standalone
+  // ContinuousTuner run at any (threads x shards x tenants) combination.
+  Result<std::vector<ContinuousTenantOutcome>> RunContinuous(
+      const std::vector<TenantSpec>& tenants,
+      const std::vector<server::Server*>& servers,
+      const ContinuousFleetSpec& fleet);
+
   // Admission accounting of the last Run (valid until the next Run).
   size_t admission_waits() const { return admission_waits_; }
   size_t admission_peak_inflight() const { return admission_peak_; }
 
  private:
+  // Shared validation and admission wiring for Run/RunContinuous.
+  Status ValidateTenants(const std::vector<TenantSpec>& tenants,
+                         const std::vector<server::Server*>& servers,
+                         bool require_workloads) const;
+
   TenantDriverOptions options_;
   size_t admission_waits_ = 0;
   size_t admission_peak_ = 0;

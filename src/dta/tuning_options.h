@@ -56,6 +56,15 @@ struct TuningOptions {
   // so DTA effectively recommends DROPs of harmful structures.
   bool keep_existing_structures = false;
 
+  // ---- DBA feedback (semi-automatic tuning; continuous service mode).
+  // Canonical names of structures a DBA has rejected: candidates with these
+  // names are removed from the enumeration pool before search, so they
+  // cannot appear in the recommendation. The continuous tuner fills this
+  // from `reject` feedback lines for the quarantine horizon. Included in
+  // the options fingerprint — a different quarantine set legitimately
+  // changes the recommendation.
+  std::vector<std::string> quarantined_structures;
+
   // ---- Scalability features.
   bool workload_compression = true;
   bool reduced_statistics = true;
@@ -172,6 +181,13 @@ struct TuningOptions {
   // redo window after a crash. 0 disables throttling and checkpoints every
   // round (maximal crash granularity; what the resume tests exercise).
   double checkpoint_budget_pct = 0;
+  // When true, TuningResult additionally carries the session's final what-if
+  // cost cache and the keys of every statistic it created
+  // (TuningResult::final_cache / created_stats). The continuous tuner uses
+  // this to seed the next round's session so steady-state rounds re-price
+  // only what actually changed. Pure output — excluded from the options
+  // fingerprint (it cannot change the recommendation).
+  bool export_session_state = false;
 
   // ---- Search parameters.
   // Greedy(m,k) for per-query candidate selection.

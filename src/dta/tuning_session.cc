@@ -460,6 +460,15 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     result.stats_created = resume_ckpt.stats_created;
     result.stats_creation_ms = resume_ckpt.stats_creation_ms;
     result.candidates_generated = resume_ckpt.candidates_generated;
+  } else if (!seed_cache_.empty()) {
+    // Continuous-service warm start: entries a previous round exported,
+    // remapped by the caller onto this workload's statement indexes. A
+    // resume restore takes precedence — its cache already reflects this
+    // exact session's progress. ImportCache skips out-of-range statement
+    // indexes, so a seed built against a differently-sized workload can
+    // never mis-route an entry.
+    costs.ImportCache(seed_cache_);
+    result.seeded_cache_entries = seed_cache_.size();
   }
 
   auto base = BaseConfiguration();
@@ -830,6 +839,25 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
       }
     }
 
+    // ---- DBA feedback quarantine (semi-automatic mode): rejected
+    // structures leave the pool before enumeration, merged variants
+    // included, so they cannot re-enter the recommendation until their
+    // quarantine horizon expires. Applied before the pool checkpoint so a
+    // resumed session (same options fingerprint, hence same quarantine set)
+    // restores the already-filtered pool.
+    if (!options_.quarantined_structures.empty()) {
+      const std::set<std::string> quarantined(
+          options_.quarantined_structures.begin(),
+          options_.quarantined_structures.end());
+      const size_t before = pool.size();
+      pool.erase(std::remove_if(pool.begin(), pool.end(),
+                                [&](const Candidate& c) {
+                                  return quarantined.count(c.name) != 0;
+                                }),
+                 pool.end());
+      result.quarantined_candidates = before - pool.size();
+    }
+
     DTA_RETURN_IF_ERROR(
         write_checkpoint(kCheckpointPoolReady, &pool, nullptr));
   }
@@ -981,6 +1009,15 @@ Result<TuningResult> TuningSession::Tune(const workload::Workload& input) {
     if (i < result.report.statements.size()) {
       result.report.statements[i].degraded = true;
     }
+  }
+
+  // Continuous-service state export: the final cache (deterministic
+  // ExportCache order) and the statistics this run created, for the next
+  // round's seed. Exported only on request — the cache can hold thousands
+  // of entries and one-shot callers never read it.
+  if (options_.export_session_state) {
+    result.final_cache = costs.ExportCache();
+    result.created_stats = created_stats_log;
   }
 
   result.tuning_time_ms = now_ms() - t_start;

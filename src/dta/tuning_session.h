@@ -26,6 +26,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "dta/cost_service.h"
 #include "dta/report.h"
 #include "dta/tuning_options.h"
 #include "server/server.h"
@@ -134,6 +135,19 @@ struct TuningResult {
   size_t stats_created = 0;
   double stats_creation_ms = 0;
 
+  // Continuous-service accounting. seeded_cache_entries counts the entries a
+  // pre-tuning SetSeedCache import contributed; quarantined_candidates
+  // counts pool candidates removed by options.quarantined_structures. Both
+  // pure functions of the inputs — byte-identical at any thread/shard count.
+  size_t seeded_cache_entries = 0;
+  size_t quarantined_candidates = 0;
+  // Filled only under options.export_session_state: the final what-if cost
+  // cache (deterministic ExportCache order) and the keys of every statistic
+  // this run created, in creation order. The continuous tuner carries these
+  // across rounds.
+  std::vector<CostService::CacheEntry> final_cache;
+  std::vector<stats::StatsKey> created_stats;
+
   workload::CompressionStats compression;
   Report report;
 };
@@ -202,6 +216,17 @@ class TuningSession {
     checkpoint_probe_ = std::move(probe);
   }
 
+  // Continuous-service hookup: cache entries imported into the cost service
+  // before tuning starts (after any resume restore, which takes precedence).
+  // Entries must be keyed by this workload's statement indexes; entries
+  // whose statement index is out of range are skipped, matching
+  // CostService::ImportCache. The continuous tuner maps its cross-round
+  // memo onto the round's workload and seeds it here so unchanged
+  // statements re-price from the cache instead of the optimizer.
+  void SetSeedCache(std::vector<CostService::CacheEntry> entries) {
+    seed_cache_ = std::move(entries);
+  }
+
  private:
   server::Server* TuningServer() {
     return test_ != nullptr ? test_ : production_;
@@ -237,6 +262,7 @@ class TuningSession {
   CheckpointProbe checkpoint_probe_;
   Observability obs_;
   TenantContext tenant_;
+  std::vector<CostService::CacheEntry> seed_cache_;
 };
 
 }  // namespace dta::tuner

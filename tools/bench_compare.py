@@ -27,6 +27,14 @@ writes and dta_cli --metrics-json exports). The comparison gates:
              counter-derived — machine invariant — and gated against the
              floor --min-whatif-calls-saved-pct even when wall-clock gates
              are skipped.
+             bench.checkpoint.delta_bytes_per_round (average bytes the
+             continuous-service scenario appends to its delta log per
+             round) is byte-derived — machine invariant — and gated against
+             the ceiling --max-delta-bytes-per-round: steady-state rounds
+             must stay O(new work), never O(total state).
+             Deterministic floor/ceiling gauges are gated off the *current*
+             document, so they are enforced even before the baseline learns
+             about a new scenario, and they survive --ignore-wall-clock.
              Other gauges (e.g. bench.fault_overhead_pct) are informational.
 
 A baseline key missing from the current document fails (a scenario was
@@ -45,6 +53,7 @@ CHECKPOINT_GAUGE = "bench.checkpoint_overhead_pct"
 SHARD_FAILOVER_GAUGE = "bench.shard_failover_overhead_pct"
 FAILSLOW_GAUGE = "bench.failslow_isolation_overhead_pct"
 CALLS_SAVED_GAUGE = "bench.whatif_calls_saved_pct"
+DELTA_BYTES_GAUGE = "bench.checkpoint.delta_bytes_per_round"
 
 
 def load(path):
@@ -92,6 +101,10 @@ def main():
                         default=50.0,
                         help=f"absolute floor for {CALLS_SAVED_GAUGE} "
                              "(default 50.0)")
+    parser.add_argument("--max-delta-bytes-per-round", type=float,
+                        default=65536.0,
+                        help=f"absolute ceiling for {DELTA_BYTES_GAUGE} "
+                             "(default 65536)")
     parser.add_argument("--ignore-wall-clock", action="store_true",
                         help="skip every time-derived gate; only the "
                              "deterministic counters gate (for debug or "
@@ -123,22 +136,44 @@ def main():
 
     base_gauges = baseline.get("gauges", {})
     cur_gauges = current.get("gauges", {})
-    for name in sorted(base_gauges):
+
+    # Deterministic (count- or byte-derived) gauges with an absolute floor
+    # or ceiling. Gated off the *current* document — a scenario the baseline
+    # does not know about yet is still enforced — and before the wall-clock
+    # skip, so debug/sanitizer builds enforce them too.
+    floors = {CALLS_SAVED_GAUGE: args.min_whatif_calls_saved_pct}
+    ceilings = {DELTA_BYTES_GAUGE: args.max_delta_bytes_per_round}
+
+    def gate_deterministic(name, value):
+        """Applies a floor/ceiling gate; False when `name` has none."""
+        if name in floors:
+            line = f"gauge {name}: {value:.3f}"
+            if value < floors[name]:
+                failures.append(
+                    f"{line} is below the floor {floors[name]:.1f}")
+            else:
+                print(f"ok       {line} (floor {floors[name]:.1f})")
+            return True
+        if name in ceilings:
+            line = f"gauge {name}: {value:.3f}"
+            if value > ceilings[name]:
+                failures.append(
+                    f"{line} exceeds the absolute ceiling "
+                    f"{ceilings[name]:.1f}")
+            else:
+                print(f"ok       {line} (ceiling {ceilings[name]:.1f})")
+            return True
+        return False
+
+    for name in sorted(set(base_gauges) | set(cur_gauges)):
         if name not in cur_gauges:
             failures.append(f"gauge {name} missing from current run")
             continue
-        if name == CALLS_SAVED_GAUGE:
-            # Counter-derived, not a timing: gate it before the wall-clock
-            # skip so debug/sanitizer builds still enforce the floor.
-            value = cur_gauges[name]
-            line = f"gauge {name}: {value:.3f}"
-            if value < args.min_whatif_calls_saved_pct:
-                failures.append(
-                    f"{line} is below the floor "
-                    f"{args.min_whatif_calls_saved_pct:.1f}")
-            else:
-                print(f"ok       {line} (floor "
-                      f"{args.min_whatif_calls_saved_pct:.1f})")
+        if gate_deterministic(name, cur_gauges[name]):
+            continue
+        if name not in base_gauges:
+            print(f"NEW      gauge {name} = {cur_gauges[name]:.3f} "
+                  "(not in baseline)")
             continue
         if args.ignore_wall_clock:
             continue

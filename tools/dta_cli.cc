@@ -13,6 +13,10 @@
 //           [--fault-spec SPEC] [--shard-fault-spec SPEC]
 //           [--checkpoint FILE] [--checkpoint-budget PCT] [--resume FILE]
 //           [--metrics-json FILE] [--fake-clock]
+//           [--serve --stream FILE [--retune-interval N]
+//            [--retune-interval-ms MS] [--stream-checkpoint FILE]
+//            [--feedback-file FILE] [--max-templates N] [--decay X]
+//            [--quarantine-rounds N]]
 //
 //   --metadata    ServerMetadata XML (produced by Server::ScriptMetadata or
 //                 written by hand): databases, tables, columns, row counts.
@@ -114,6 +118,50 @@
 //                 0.000, making --metrics-json output byte-reproducible
 //                 across runs and thread counts (golden tests, CI diffs).
 //
+// Continuous tuning service (DESIGN §16):
+//   --serve       Run as a continuous tuning service instead of a one-shot
+//                 tune: ingest the query capture at --stream, maintain the
+//                 compressed workload incrementally, re-tune on a cadence,
+//                 and print one recommendation delta per round to stdout.
+//                 The input document's workload is ignored (the capture IS
+//                 the workload); its options still apply to every round.
+//                 Not combinable with --evaluate, --checkpoint, --resume,
+//                 or --transport socket. With --tenants N the whole capture
+//                 runs through N tenants under shared admission control
+//                 (per-tenant delta logs at CHECKPOINT.tenant.<name>).
+//   --stream      Capture file (or FIFO) to ingest: one SQL statement per
+//                 line; "# ..." comments and blank lines are skipped;
+//                 "@tick MS" advances the stream clock (the only clock the
+//                 cadence ever sees). Read incrementally to end-of-stream.
+//   --retune-interval
+//                 Re-tune after every N successfully parsed statements
+//                 (default 32 when no cadence flag is given).
+//   --retune-interval-ms
+//                 Re-tune after every MS milliseconds of accumulated @tick
+//                 stream time. Combinable with --retune-interval; whichever
+//                 fires first triggers the round.
+//   --stream-checkpoint
+//                 Append-only delta-log checkpoint (checkpoint format v3:
+//                 base snapshot + per-round delta segments, compacted past
+//                 a byte threshold). A service killed at any round boundary
+//                 and restarted with the same flags resumes bit-exactly.
+//   --feedback-file
+//                 DBA feedback, re-read before every ingest step: lines of
+//                 "accept <index>" / "reject <index>" (1-based position in
+//                 the last printed recommendation, or a structure name;
+//                 prefix "@R " defers to round R). Accepted structures are
+//                 pinned into every later round; rejected ones are
+//                 quarantined for --quarantine-rounds rounds.
+//   --max-templates
+//                 Bound on distinct query templates tracked (default 256);
+//                 beyond it the lowest-weight template is evicted.
+//   --decay       Per-round multiplicative decay of template weights
+//                 (default 1 = no decay); older traffic fades so the
+//                 recommendation tracks the live workload.
+//   --quarantine-rounds
+//                 Rounds a rejected structure stays out of candidate
+//                 generation before becoming re-eligible (default 3).
+//
 // The server built from metadata alone has no table data or generator
 // specs; statistics fall back to optimizer heuristics. This is DTA's
 // exploratory mode — point it at a real Server in-process for full
@@ -140,6 +188,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "dta/shard_router.h"
+#include "dta/stream/continuous.h"
 #include "dta/tenant_driver.h"
 #include "dta/tuning_session.h"
 #include "dta/xml_schema.h"
@@ -179,7 +228,11 @@ int Usage(const char* argv0) {
                "[--fault-spec SPEC] [--shard-fault-spec SPEC] "
                "[--checkpoint FILE] "
                "[--checkpoint-budget PCT] [--resume FILE] "
-               "[--metrics-json FILE] [--fake-clock]\n",
+               "[--metrics-json FILE] [--fake-clock] "
+               "[--serve --stream FILE [--retune-interval N] "
+               "[--retune-interval-ms MS] [--stream-checkpoint FILE] "
+               "[--feedback-file FILE] [--max-templates N] [--decay X] "
+               "[--quarantine-rounds N]]\n",
                argv0);
   return 2;
 }
@@ -245,6 +298,13 @@ int main(int argc, char** argv) {
   int tenants = 1;
   long long tenant_budget = -1;  // bytes; -1: keep the input's constraint
   double slow_threshold = -1;    // -1: keep the input's setting (off)
+  bool serve = false;
+  std::string stream_path, stream_checkpoint_path, feedback_path;
+  long long retune_interval = 0;
+  double retune_interval_ms = 0;
+  long long max_templates = 256;
+  double decay = 1.0;
+  long long quarantine_rounds = 3;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -384,6 +444,71 @@ int main(int argc, char** argv) {
       metrics_path = v;
     } else if (arg == "--fake-clock") {
       fake_clock = true;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--stream") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      stream_path = v;
+    } else if (arg == "--retune-interval") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      retune_interval = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || retune_interval < 1) {
+        std::fprintf(stderr,
+                     "--retune-interval expects a positive event count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--retune-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      retune_interval_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || retune_interval_ms <= 0) {
+        std::fprintf(stderr,
+                     "--retune-interval-ms expects a positive millisecond "
+                     "count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--stream-checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      stream_checkpoint_path = v;
+    } else if (arg == "--feedback-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      feedback_path = v;
+    } else if (arg == "--max-templates") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      max_templates = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || max_templates < 1) {
+        std::fprintf(stderr,
+                     "--max-templates expects a positive template count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--decay") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      decay = std::strtod(v, &end);
+      if (end == v || *end != '\0' || decay <= 0 || decay > 1) {
+        std::fprintf(stderr, "--decay expects a factor in (0, 1]\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--quarantine-rounds") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      quarantine_rounds = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || quarantine_rounds < 0) {
+        std::fprintf(stderr,
+                     "--quarantine-rounds expects a non-negative round "
+                     "count\n");
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -457,6 +582,223 @@ int main(int argc, char** argv) {
     }
     input->options.shard_fault_spec = shard_fault_spec;
   }
+  // ---- Continuous tuning service: ingest the capture stream, re-tune on
+  // cadence, print one recommendation delta per round. The final
+  // recommendation (as a Configuration XML document) goes to --output.
+  if (serve) {
+    if (evaluate || !checkpoint_path.empty() || !resume_path.empty() ||
+        transport == "socket") {
+      std::fprintf(stderr,
+                   "--serve cannot be combined with --evaluate, "
+                   "--checkpoint, --resume, or --transport socket (use "
+                   "--stream-checkpoint for the service's delta log)\n");
+      return Usage(argv[0]);
+    }
+    if (stream_path.empty()) {
+      std::fprintf(stderr, "--serve requires --stream FILE\n");
+      return Usage(argv[0]);
+    }
+    // Default cadence when neither flag is given.
+    if (retune_interval == 0 && retune_interval_ms <= 0) retune_interval = 32;
+
+    dta::MetricsRegistry metrics;
+    dta::FakeClock frozen_clock;
+    const dta::Clock* clock =
+        fake_clock ? static_cast<const dta::Clock*>(&frozen_clock) : nullptr;
+    dta::Tracer tracer(clock);
+
+    // Feedback is re-read in full before every ingest step; the service's
+    // line cursor makes re-reads idempotent. An absent file simply means no
+    // feedback yet.
+    auto read_feedback = [&]() -> std::string {
+      if (feedback_path.empty()) return std::string();
+      auto text = ReadFile(feedback_path);
+      return text.ok() ? std::move(text).value() : std::string();
+    };
+    auto write_metrics = [&]() -> dta::Status {
+      if (metrics_path.empty()) return dta::Status::Ok();
+      std::string doc = dta::ObservabilityJson(metrics, &tracer);
+      if (dta::Status s = WriteFile(metrics_path, doc); !s.ok()) return s;
+      if (!quiet) {
+        std::printf("wrote %s (%zu bytes)\n", metrics_path.c_str(),
+                    doc.size());
+      }
+      return dta::Status::Ok();
+    };
+
+    // ---- Fleet mode: the whole capture through N tenants, each with its
+    // own server clone and (when checkpointing) its own delta log.
+    if (tenants > 1) {
+      auto capture = ReadFile(stream_path);
+      if (!capture.ok()) {
+        std::fprintf(stderr, "%s\n", capture.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::unique_ptr<dta::server::Server>> tenant_clones;
+      std::vector<dta::server::Server*> tenant_servers;
+      std::vector<dta::tuner::TenantSpec> specs;
+      for (int t = 0; t < tenants; ++t) {
+        const std::string name = "t" + std::to_string(t);
+        if (t == 0) {
+          tenant_servers.push_back(server->get());
+        } else {
+          auto clone = (*server)->Clone((*server)->name() + "-" + name);
+          if (!clone.ok()) {
+            std::fprintf(stderr, "cannot clone server for tenant %s: %s\n",
+                         name.c_str(), clone.status().ToString().c_str());
+            return 1;
+          }
+          tenant_servers.push_back(clone->get());
+          tenant_clones.push_back(std::move(clone).value());
+        }
+        dta::tuner::TenantSpec spec;
+        spec.name = name;
+        spec.options = input->options;
+        spec.weight = 1;
+        specs.push_back(std::move(spec));
+      }
+      dta::tuner::TenantDriverOptions driver_options;
+      driver_options.metrics = metrics_path.empty() ? nullptr : &metrics;
+      driver_options.clock = clock;
+      dta::tuner::TenantDriver driver(driver_options);
+      dta::tuner::ContinuousFleetSpec fleet_spec;
+      fleet_spec.capture = std::move(capture).value();
+      fleet_spec.feedback = read_feedback();
+      fleet_spec.retune_interval_events =
+          static_cast<size_t>(retune_interval);
+      fleet_spec.retune_interval_ms = retune_interval_ms;
+      fleet_spec.max_templates = static_cast<size_t>(max_templates);
+      fleet_spec.decay = decay;
+      fleet_spec.quarantine_rounds =
+          static_cast<uint64_t>(quarantine_rounds);
+      fleet_spec.checkpoint_prefix = stream_checkpoint_path;
+      auto outcomes = driver.RunContinuous(specs, tenant_servers, fleet_spec);
+      if (!outcomes.ok()) {
+        std::fprintf(stderr, "continuous fleet failed: %s\n",
+                     outcomes.status().ToString().c_str());
+        return 1;
+      }
+      int rc = 0;
+      for (size_t t = 0; t < outcomes->size(); ++t) {
+        const dta::tuner::ContinuousTenantOutcome& o = (*outcomes)[t];
+        if (!o.status.ok()) {
+          std::fprintf(stderr, "tenant %s failed: %s\n", o.name.c_str(),
+                       o.status.ToString().c_str());
+          rc = 1;
+          continue;
+        }
+        if (!quiet) {
+          std::printf("---- tenant %s (%llu rounds%s) ----\n%s",
+                      o.name.c_str(),
+                      static_cast<unsigned long long>(o.rounds),
+                      o.resumed ? ", resumed" : "", o.delta_text.c_str());
+        }
+        if (!output_path.empty()) {
+          const std::string doc =
+              dta::tuner::ConfigurationToXml(o.recommendation)->ToString();
+          const std::string path =
+              output_path + ".tenant" + std::to_string(t);
+          if (dta::Status s = WriteFile(path, doc); !s.ok()) {
+            std::fprintf(stderr, "%s\n", s.ToString().c_str());
+            return 1;
+          }
+          if (!quiet) {
+            std::printf("wrote %s (%zu bytes)\n", path.c_str(), doc.size());
+          }
+        }
+      }
+      if (dta::Status s = write_metrics(); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      return rc;
+    }
+
+    // ---- Single service: read the capture incrementally (so a FIFO feeds
+    // rounds as its writer produces them), re-reading feedback before every
+    // chunk. Round deltas stream to stdout through the delta sink.
+    dta::tuner::stream::ContinuousTuner::Config config;
+    config.server = server->get();
+    config.options = input->options;
+    config.retune_interval_events = static_cast<size_t>(retune_interval);
+    config.retune_interval_ms = retune_interval_ms;
+    config.max_templates = static_cast<size_t>(max_templates);
+    config.decay = decay;
+    config.quarantine_rounds = static_cast<uint64_t>(quarantine_rounds);
+    config.checkpoint_path = stream_checkpoint_path;
+    config.metrics = metrics_path.empty() ? nullptr : &metrics;
+    config.tracer = metrics_path.empty() ? nullptr : &tracer;
+    config.clock = clock;
+    if (!quiet) {
+      config.delta_sink = [](const std::string& delta) {
+        std::fputs(delta.c_str(), stdout);
+        std::fflush(stdout);
+      };
+    }
+    dta::tuner::stream::ContinuousTuner service(std::move(config));
+    auto run = [&]() -> dta::Status {
+      if (dta::Status s = service.Init(); !s.ok()) return s;
+      if (!quiet && service.resumed()) {
+        std::printf("resumed from %s at round %llu\n",
+                    stream_checkpoint_path.c_str(),
+                    static_cast<unsigned long long>(service.rounds()));
+      }
+      std::ifstream in(stream_path, std::ios::binary);
+      if (!in) {
+        return dta::Status::NotFound("cannot open capture: " + stream_path);
+      }
+      char buffer[1 << 16];
+      while (!service.stopped()) {
+        in.read(buffer, sizeof(buffer));
+        const std::streamsize got = in.gcount();
+        if (got <= 0) break;
+        service.ConsumeFeedback(read_feedback());
+        if (dta::Status s = service.Feed(
+                std::string_view(buffer, static_cast<size_t>(got)));
+            !s.ok()) {
+          return s;
+        }
+      }
+      service.ConsumeFeedback(read_feedback());
+      return service.Finish();
+    };
+    if (dta::Status s = run(); !s.ok()) {
+      std::fprintf(stderr, "continuous service failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("served %llu rounds\n",
+                  static_cast<unsigned long long>(service.rounds()));
+    }
+    const std::string doc =
+        dta::tuner::ConfigurationToXml(service.recommendation())->ToString();
+    if (output_path.empty()) {
+      if (quiet) std::printf("%s", doc.c_str());
+    } else {
+      if (dta::Status s = WriteFile(output_path, doc); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (!quiet) {
+        std::printf("wrote %s (%zu bytes)\n", output_path.c_str(),
+                    doc.size());
+      }
+    }
+    if (dta::Status s = write_metrics(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (!stream_path.empty() || !stream_checkpoint_path.empty() ||
+      !feedback_path.empty()) {
+    std::fprintf(stderr,
+                 "--stream/--stream-checkpoint/--feedback-file require "
+                 "--serve\n");
+    return Usage(argv[0]);
+  }
+
   // ---- Socket transport: spawn one cost_server worker per shard on a
   // private socket directory, translate any per-shard fault spec into each
   // worker's own --fault-spec (the session cannot attach in-process
